@@ -1,0 +1,224 @@
+//! The agent abstraction: "anything that can be viewed as perceiving its
+//! environment through sensors and acting upon that environment through
+//! actuators" (Russell & Norvig, quoted in §3).
+//!
+//! Agents here are deterministic step machines: one [`Agent::step`] call is
+//! one perceive→decide→act cycle consuming a message and emitting messages.
+//! Composition coordinators ([`crate::composition`]) own the routing, so
+//! the same agent can run Single, in a Pipeline, under a manager, in a
+//! Mesh, or in a Swarm without modification — the paper's claim that the
+//! state-machine loop is the common execution unit.
+
+use evoflow_sim::SimRng;
+use evoflow_sm::IntelligenceLevel;
+use serde::{Deserialize, Serialize};
+
+/// Where a message should be delivered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Route {
+    /// To one named agent.
+    To(String),
+    /// To every agent connected by a channel (pattern-dependent).
+    Neighbors,
+    /// To the coordinator / manager (hierarchical patterns).
+    Up,
+    /// Out of the ensemble (final output).
+    Output,
+}
+
+/// A message between agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentMsg {
+    /// Sender name (set by the runtime).
+    pub from: String,
+    /// Destination.
+    pub to: Route,
+    /// Message kind tag (e.g. `"task"`, `"result"`, `"gradient"`).
+    pub kind: String,
+    /// Numeric payload.
+    pub values: Vec<f64>,
+    /// Text payload.
+    pub text: String,
+}
+
+impl AgentMsg {
+    /// A task message carrying values.
+    pub fn task(values: Vec<f64>) -> Self {
+        AgentMsg {
+            from: String::new(),
+            to: Route::Output,
+            kind: "task".into(),
+            values,
+            text: String::new(),
+        }
+    }
+
+    /// A result message carrying values to the given route.
+    pub fn result(to: Route, values: Vec<f64>) -> Self {
+        AgentMsg {
+            from: String::new(),
+            to,
+            kind: "result".into(),
+            values,
+            text: String::new(),
+        }
+    }
+}
+
+/// Per-step context handed to agents by the runtime.
+pub struct AgentCtx<'a> {
+    /// The agent's own deterministic stream.
+    pub rng: &'a mut SimRng,
+    /// Global round number.
+    pub round: u64,
+    /// Number of agents in the ensemble.
+    pub ensemble_size: usize,
+    /// This agent's index in the ensemble.
+    pub index: usize,
+}
+
+/// An autonomous primitive.
+pub trait Agent: Send {
+    /// Unique agent name.
+    fn name(&self) -> &str;
+
+    /// The agent's intelligence level (for matrix classification).
+    fn level(&self) -> IntelligenceLevel;
+
+    /// One perceive→decide→act cycle.
+    fn step(&mut self, input: &AgentMsg, ctx: &mut AgentCtx<'_>) -> Vec<AgentMsg>;
+}
+
+/// A stateless worker that applies a fixed transformation — the Static
+/// reference agent used by composition tests and Table 2 measurements.
+#[derive(Debug, Clone)]
+pub struct MapAgent {
+    name: String,
+    scale: f64,
+    offset: f64,
+}
+
+impl MapAgent {
+    /// Worker computing `x * scale + offset` element-wise.
+    pub fn new(name: impl Into<String>, scale: f64, offset: f64) -> Self {
+        MapAgent {
+            name: name.into(),
+            scale,
+            offset,
+        }
+    }
+}
+
+impl Agent for MapAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Static
+    }
+    fn step(&mut self, input: &AgentMsg, _ctx: &mut AgentCtx<'_>) -> Vec<AgentMsg> {
+        let values = input
+            .values
+            .iter()
+            .map(|v| v * self.scale + self.offset)
+            .collect();
+        vec![AgentMsg {
+            from: String::new(),
+            to: Route::Output,
+            kind: "result".into(),
+            values,
+            text: String::new(),
+        }]
+    }
+}
+
+/// An averaging agent: emits the running mean of everything it has seen to
+/// its neighbors — the local rule whose fixed point is swarm consensus
+/// (used by Mesh/Swarm coordination tests).
+#[derive(Debug, Clone)]
+pub struct AveragingAgent {
+    name: String,
+    /// Current opinion value.
+    pub opinion: f64,
+}
+
+impl AveragingAgent {
+    /// Agent starting from `opinion`.
+    pub fn new(name: impl Into<String>, opinion: f64) -> Self {
+        AveragingAgent {
+            name: name.into(),
+            opinion,
+        }
+    }
+}
+
+impl Agent for AveragingAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Adaptive
+    }
+    fn step(&mut self, input: &AgentMsg, _ctx: &mut AgentCtx<'_>) -> Vec<AgentMsg> {
+        if input.kind == "opinion" && !input.values.is_empty() {
+            let incoming = input.values.iter().sum::<f64>() / input.values.len() as f64;
+            self.opinion = (self.opinion + incoming) / 2.0;
+        }
+        vec![AgentMsg {
+            from: String::new(),
+            to: Route::Neighbors,
+            kind: "opinion".into(),
+            values: vec![self.opinion],
+            text: String::new(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(rng: &'a mut SimRng) -> AgentCtx<'a> {
+        AgentCtx {
+            rng,
+            round: 0,
+            ensemble_size: 1,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn map_agent_transforms() {
+        let mut a = MapAgent::new("m", 2.0, 1.0);
+        let mut rng = SimRng::from_seed_u64(0);
+        let out = a.step(&AgentMsg::task(vec![1.0, 2.0]), &mut ctx(&mut rng));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![3.0, 5.0]);
+        assert_eq!(a.level(), IntelligenceLevel::Static);
+    }
+
+    #[test]
+    fn averaging_agent_moves_toward_input() {
+        let mut a = AveragingAgent::new("avg", 0.0);
+        let mut rng = SimRng::from_seed_u64(0);
+        let msg = AgentMsg {
+            from: "peer".into(),
+            to: Route::Neighbors,
+            kind: "opinion".into(),
+            values: vec![10.0],
+            text: String::new(),
+        };
+        a.step(&msg, &mut ctx(&mut rng));
+        assert_eq!(a.opinion, 5.0);
+        a.step(&msg, &mut ctx(&mut rng));
+        assert_eq!(a.opinion, 7.5);
+    }
+
+    #[test]
+    fn non_opinion_messages_do_not_perturb() {
+        let mut a = AveragingAgent::new("avg", 3.0);
+        let mut rng = SimRng::from_seed_u64(0);
+        a.step(&AgentMsg::task(vec![99.0]), &mut ctx(&mut rng));
+        assert_eq!(a.opinion, 3.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The composition dimension (Table 2): how machines coordinate.
+//!
+//! Five patterns with their channel structures and round semantics:
+//!
+//! | Pattern | Formalism | Channels |
+//! |---|---|---|
+//! | Single | `M` | 0 |
+//! | Pipeline | `M1∘M2∘…∘Mn` | O(n) |
+//! | Hierarchical | `M_mgr(M1..Mn)` | O(n) per level |
+//! | Mesh | `∀i,j: Mi↔Mj` | O(n²) |
+//! | Swarm | `Φ({m1..mn})` | O(k) per member |
+//!
+//! An [`Ensemble`] wires [`crate::agent::Agent`]s into one of these
+//! topologies, executes synchronized rounds, and *counts every channel and
+//! message* — the quantities the `table2_composition` experiment reports.
+
+use crate::agent::{Agent, AgentCtx, AgentMsg, Route};
+use evoflow_sim::{RngRegistry, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// The five composition patterns of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// One isolated machine with no coordination.
+    Single,
+    /// Sequential composition with unidirectional dataflow.
+    Pipeline,
+    /// Manager/worker delegation with centralized control.
+    Hierarchical,
+    /// Full connectivity: peer-to-peer collaborative problem-solving.
+    Mesh,
+    /// Emergent behaviour from k-neighborhood local interactions.
+    Swarm {
+        /// Neighborhood size (total neighbors per member).
+        k: usize,
+    },
+}
+
+impl Pattern {
+    /// All patterns in ascending coordination-sophistication order
+    /// (swarm with the default neighborhood).
+    pub fn all() -> [Pattern; 5] {
+        [
+            Pattern::Single,
+            Pattern::Pipeline,
+            Pattern::Hierarchical,
+            Pattern::Mesh,
+            Pattern::Swarm { k: 4 },
+        ]
+    }
+
+    /// Table 2's formalism string.
+    pub fn formalism(self) -> &'static str {
+        match self {
+            Pattern::Single => "M",
+            Pattern::Pipeline => "M1 ∘ M2 ∘ … ∘ Mn",
+            Pattern::Hierarchical => "M_mgr(M1, M2, …, Mn)",
+            Pattern::Mesh => "∀i,j: Mi ↔ Mj",
+            Pattern::Swarm { .. } => "M = Φ({m1, m2, …, mn})",
+        }
+    }
+
+    /// Table 2's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            Pattern::Single => "One isolated machine with no coordination",
+            Pattern::Pipeline => {
+                "Sequential composition with unidirectional dataflow, enabling \
+                 staged processing with clear dependencies"
+            }
+            Pattern::Hierarchical => {
+                "Manager structure implementing delegation and supervision with \
+                 centralized control"
+            }
+            Pattern::Mesh => {
+                "Full connectivity enabling peer-to-peer communication and \
+                 collaborative problem-solving"
+            }
+            Pattern::Swarm { .. } => {
+                "Emergent behavior through emergence operator Φ transforming \
+                 local interactions into global behavior"
+            }
+        }
+    }
+
+    /// Rank along the composition axis (0..=4).
+    pub fn rank(self) -> usize {
+        match self {
+            Pattern::Single => 0,
+            Pattern::Pipeline => 1,
+            Pattern::Hierarchical => 2,
+            Pattern::Mesh => 3,
+            Pattern::Swarm { .. } => 4,
+        }
+    }
+
+    /// Representative existing implementation named in §3.3.
+    pub fn exemplar(self) -> &'static str {
+        match self {
+            Pattern::Single => "Batch processing",
+            Pattern::Pipeline => "Multi-stage pipelines",
+            Pattern::Hierarchical => "Workflow-of-workflows",
+            Pattern::Mesh => "Collaborative platforms",
+            Pattern::Swarm { .. } => "Particle swarm optimization",
+        }
+    }
+}
+
+/// Statistics of an ensemble's communication.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Undirected channels in the wiring.
+    pub channels: u64,
+    /// Messages delivered across all rounds so far.
+    pub messages: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+/// A set of agents wired into a composition pattern.
+pub struct Ensemble {
+    agents: Vec<Box<dyn Agent>>,
+    pattern: Pattern,
+    /// Undirected unique channel pairs `(i, j)` with `i < j`.
+    channels: Vec<(usize, usize)>,
+    /// Neighbor lists per agent (derived from channels).
+    neighbors: Vec<Vec<usize>>,
+    rngs: Vec<SimRng>,
+    stats: CommStats,
+}
+
+impl Ensemble {
+    /// Wire `agents` into `pattern`. Seeds derive one stream per agent.
+    pub fn new(agents: Vec<Box<dyn Agent>>, pattern: Pattern, seed: u64) -> Self {
+        let n = agents.len();
+        assert!(n > 0, "an ensemble needs at least one agent");
+        let reg = RngRegistry::new(seed);
+        let rngs = (0..n)
+            .map(|i| reg.stream_indexed("agent", i as u64))
+            .collect();
+
+        let mut channels: Vec<(usize, usize)> = Vec::new();
+        match pattern {
+            Pattern::Single => {}
+            Pattern::Pipeline => {
+                for i in 0..n.saturating_sub(1) {
+                    channels.push((i, i + 1));
+                }
+            }
+            Pattern::Hierarchical => {
+                // Agent 0 is the manager; all others are its workers.
+                for i in 1..n {
+                    channels.push((0, i));
+                }
+            }
+            Pattern::Mesh => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        channels.push((i, j));
+                    }
+                }
+            }
+            Pattern::Swarm { k } => {
+                // Ring lattice: i connects to the next k/2 (undirected pairs
+                // give each member ~k neighbors total).
+                let half = (k / 2).max(1);
+                for i in 0..n {
+                    for d in 1..=half {
+                        let j = (i + d) % n;
+                        if i != j {
+                            let pair = (i.min(j), i.max(j));
+                            if !channels.contains(&pair) {
+                                channels.push(pair);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut neighbors = vec![Vec::new(); n];
+        for &(i, j) in &channels {
+            neighbors[i].push(j);
+            neighbors[j].push(i);
+        }
+
+        Ensemble {
+            stats: CommStats {
+                channels: channels.len() as u64,
+                messages: 0,
+                rounds: 0,
+            },
+            agents,
+            pattern,
+            channels,
+            neighbors,
+            rngs,
+        }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Whether the ensemble is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// The wiring pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// Communication statistics so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Undirected channel count — Table 2's scaling quantity.
+    pub fn channel_count(&self) -> u64 {
+        self.channels.len() as u64
+    }
+
+    /// Immutable access to an agent (downcast-free inspection is up to the
+    /// caller's concrete types).
+    pub fn agent(&self, i: usize) -> &dyn Agent {
+        self.agents[i].as_ref()
+    }
+
+    /// Mutable access to an agent (probing state between rounds).
+    pub fn agent_mut(&mut self, i: usize) -> &mut dyn Agent {
+        self.agents[i].as_mut()
+    }
+
+    fn step_agent(&mut self, i: usize, msg: &AgentMsg, round: u64) -> Vec<AgentMsg> {
+        let n = self.agents.len();
+        let mut ctx = AgentCtx {
+            rng: &mut self.rngs[i],
+            round,
+            ensemble_size: n,
+            index: i,
+        };
+        let mut out = self.agents[i].step(msg, &mut ctx);
+        for m in &mut out {
+            m.from = self.agents[i].name().to_string();
+        }
+        out
+    }
+
+    /// Execute one synchronized round with an external input, returning the
+    /// ensemble's outputs (messages routed to [`Route::Output`]).
+    ///
+    /// Round semantics per pattern:
+    /// * Single — input → agent 0.
+    /// * Pipeline — input → agent 0 → agent 1 → …; each stage consumes the
+    ///   previous stage's values.
+    /// * Hierarchical — manager decomposes, workers execute, manager
+    ///   aggregates (three phases).
+    /// * Mesh / Swarm — every agent steps on the input, then
+    ///   neighbor-routed messages are delivered pairwise.
+    pub fn run_round(&mut self, input: &AgentMsg) -> Vec<AgentMsg> {
+        let round = self.stats.rounds;
+        self.stats.rounds += 1;
+        let n = self.agents.len();
+        let mut outputs = Vec::new();
+
+        match self.pattern {
+            Pattern::Single => {
+                self.stats.messages += 1;
+                for m in self.step_agent(0, input, round) {
+                    outputs.push(m);
+                }
+            }
+            Pattern::Pipeline => {
+                let mut carried = input.clone();
+                for i in 0..n {
+                    self.stats.messages += 1;
+                    let out = self.step_agent(i, &carried, round);
+                    // The first emitted message feeds the next stage.
+                    match out.into_iter().next() {
+                        Some(m) if i + 1 < n => {
+                            carried = m;
+                        }
+                        Some(m) => outputs.push(m),
+                        None => break,
+                    }
+                }
+            }
+            Pattern::Hierarchical => {
+                // Phase 1: manager decomposes the task.
+                self.stats.messages += 1;
+                let plan = self.step_agent(0, input, round);
+                // Phase 2: each worker executes the (first) plan message.
+                let task = plan.into_iter().next().unwrap_or_else(|| input.clone());
+                let mut worker_results = Vec::new();
+                for i in 1..n {
+                    self.stats.messages += 1; // delegation
+                    let res = self.step_agent(i, &task, round);
+                    if let Some(m) = res.into_iter().next() {
+                        self.stats.messages += 1; // report
+                        worker_results.extend(m.values);
+                    }
+                }
+                // Phase 3: manager aggregates.
+                let agg = AgentMsg {
+                    from: "workers".into(),
+                    to: Route::To(self.agents[0].name().to_string()),
+                    kind: "aggregate".into(),
+                    values: worker_results,
+                    text: String::new(),
+                };
+                self.stats.messages += 1;
+                for m in self.step_agent(0, &agg, round) {
+                    outputs.push(m);
+                }
+            }
+            Pattern::Mesh | Pattern::Swarm { .. } => {
+                // Phase 1: everyone perceives the input.
+                let mut emitted: Vec<Vec<AgentMsg>> = Vec::with_capacity(n);
+                for i in 0..n {
+                    self.stats.messages += 1;
+                    emitted.push(self.step_agent(i, input, round));
+                }
+                // Phase 2: neighbor delivery.
+                let mut inbox: Vec<Vec<f64>> = vec![Vec::new(); n];
+                for (i, msgs) in emitted.iter().enumerate() {
+                    for m in msgs {
+                        match &m.to {
+                            Route::Neighbors => {
+                                for &j in &self.neighbors[i] {
+                                    self.stats.messages += 1;
+                                    inbox[j].extend(&m.values);
+                                }
+                            }
+                            Route::Output => outputs.push(m.clone()),
+                            _ => {}
+                        }
+                    }
+                }
+                // Phase 3: everyone digests its inbox.
+                for (i, slot) in inbox.iter_mut().enumerate().take(n) {
+                    if slot.is_empty() {
+                        continue;
+                    }
+                    let msg = AgentMsg {
+                        from: "neighbors".into(),
+                        to: Route::To(self.agents[i].name().to_string()),
+                        kind: "opinion".into(),
+                        values: std::mem::take(slot),
+                        text: String::new(),
+                    };
+                    for m in self.step_agent(i, &msg, round) {
+                        if m.to == Route::Output {
+                            outputs.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{AveragingAgent, MapAgent};
+    use evoflow_coord::consensus::topology;
+
+    fn mappers(n: usize) -> Vec<Box<dyn Agent>> {
+        (0..n)
+            .map(|i| Box::new(MapAgent::new(format!("m{i}"), 2.0, 0.0)) as Box<dyn Agent>)
+            .collect()
+    }
+
+    #[test]
+    fn channel_counts_match_table2_formulas() {
+        for n in [2usize, 5, 16, 64] {
+            let e = Ensemble::new(mappers(n), Pattern::Pipeline, 0);
+            assert_eq!(e.channel_count(), topology::pipeline_channels(n as u64));
+            let e = Ensemble::new(mappers(n), Pattern::Hierarchical, 0);
+            assert_eq!(
+                e.channel_count(),
+                topology::hierarchical_channels(n as u64)
+            );
+            let e = Ensemble::new(mappers(n), Pattern::Mesh, 0);
+            assert_eq!(e.channel_count(), topology::mesh_channels(n as u64));
+            let e = Ensemble::new(mappers(n), Pattern::Single, 0);
+            assert_eq!(e.channel_count(), 0);
+        }
+        // Swarm: ring with k/2 forward links per member → n*k/2 undirected.
+        let e = Ensemble::new(mappers(100), Pattern::Swarm { k: 6 }, 0);
+        assert_eq!(e.channel_count(), 300);
+    }
+
+    #[test]
+    fn pipeline_composes_transformations() {
+        let mut e = Ensemble::new(mappers(4), Pattern::Pipeline, 0);
+        let out = e.run_round(&AgentMsg::task(vec![1.0, 10.0]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![16.0, 160.0]); // ×2 four times
+        assert_eq!(e.stats().messages, 4);
+    }
+
+    #[test]
+    fn single_runs_alone() {
+        let mut e = Ensemble::new(mappers(1), Pattern::Single, 0);
+        let out = e.run_round(&AgentMsg::task(vec![3.0]));
+        assert_eq!(out[0].values, vec![6.0]);
+        assert_eq!(e.stats().channels, 0);
+    }
+
+    #[test]
+    fn hierarchical_delegates_and_aggregates() {
+        let mut e = Ensemble::new(mappers(5), Pattern::Hierarchical, 0);
+        let out = e.run_round(&AgentMsg::task(vec![1.0]));
+        // Manager doubles: 2. Workers double: 4 each (×4 workers).
+        // Manager aggregates [4,4,4,4] and doubles: [8,8,8,8].
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![8.0, 8.0, 8.0, 8.0]);
+        // Messages: 1 (task) + 4 (delegate) + 4 (report) + 1 (aggregate).
+        assert_eq!(e.stats().messages, 10);
+    }
+
+    #[test]
+    fn mesh_message_cost_is_quadratic() {
+        let n = 10;
+        let agents: Vec<Box<dyn Agent>> = (0..n)
+            .map(|i| {
+                Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>
+            })
+            .collect();
+        let mut e = Ensemble::new(agents, Pattern::Mesh, 0);
+        e.run_round(&AgentMsg {
+            from: "env".into(),
+            to: Route::Neighbors,
+            kind: "noop".into(),
+            values: vec![],
+            text: String::new(),
+        });
+        // n perceive + n*(n-1) neighbor deliveries.
+        assert_eq!(e.stats().messages, (n + n * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn swarm_converges_with_local_channels_only() {
+        let n = 40;
+        let agents: Vec<Box<dyn Agent>> = (0..n)
+            .map(|i| {
+                Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>
+            })
+            .collect();
+        let mut e = Ensemble::new(agents, Pattern::Swarm { k: 4 }, 0);
+        let nudge = AgentMsg {
+            from: "env".into(),
+            to: Route::Neighbors,
+            kind: "noop".into(),
+            values: vec![],
+            text: String::new(),
+        };
+        for _ in 0..200 {
+            e.run_round(&nudge);
+        }
+        // Emergent consensus: opinions collapse despite only local channels.
+        // The AveragingAgent emits its opinion on every step, so probe each
+        // agent with a no-op input to read it.
+        let mut probe_rng = SimRng::from_seed_u64(0);
+        let opinions: Vec<f64> = (0..n)
+            .map(|i| {
+                let mut ctx = AgentCtx {
+                    rng: &mut probe_rng,
+                    round: 999,
+                    ensemble_size: n,
+                    index: i,
+                };
+                let out = e.agent_mut(i).step(&AgentMsg::task(vec![]), &mut ctx);
+                out[0].values[0]
+            })
+            .collect();
+        let spread = opinions.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - opinions.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 4.0, "spread {spread} after 200 rounds");
+        // And channels stayed linear in n.
+        assert_eq!(e.channel_count(), (n * 2) as u64); // k=4 → n*k/2
+    }
+}

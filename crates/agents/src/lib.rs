@@ -1,0 +1,26 @@
+//! # evoflow-agents — the agent runtime and composition patterns
+//!
+//! The Intelligence Service layer's population (Fig 2) and the composition
+//! dimension (Table 2) in one crate:
+//!
+//! * [`agent`] — the autonomous primitive: perceive→decide→act step
+//!   machines with routed messages.
+//! * [`composition`] — the five coordination patterns (Single, Pipeline,
+//!   Hierarchical, Mesh, Swarm Φ) as executable [`composition::Ensemble`]s
+//!   with exact channel and message accounting.
+//! * [`science`] — the Figure 4 cast: hypothesis, literature, design
+//!   (with the §4.1 validation gate), analysis, librarian (knowledge
+//!   graph and provenance), meta-optimizer (campaign-level Ω), and
+//!   facility agents with ETA negotiation.
+
+pub mod agent;
+pub mod composition;
+pub mod science;
+
+pub use agent::{Agent, AgentCtx, AgentMsg, AveragingAgent, MapAgent, Route};
+pub use composition::{CommStats, Ensemble, Pattern};
+pub use science::{
+    negotiate, AnalysisAgent, Bid, Candidate, DesignAgent, Evidence, ExperimentPlan,
+    FacilityAgent, HypothesisAgent, LibrarianAgent, LiteratureAgent, MetaOptimizerAgent,
+    Strategy, ValidationError,
+};

@@ -1,0 +1,129 @@
+//! Property tests for the agent layer: composition-channel laws, pipeline
+//! algebra, validation-gate soundness, and negotiation optimality.
+
+use evoflow_agents::{
+    negotiate, Agent, AgentMsg, AveragingAgent, Bid, Candidate, DesignAgent, Ensemble,
+    FacilityAgent, MapAgent, Pattern,
+};
+use proptest::prelude::*;
+
+fn mappers(n: usize, scale: f64) -> Vec<Box<dyn Agent>> {
+    (0..n)
+        .map(|i| Box::new(MapAgent::new(format!("m{i}"), scale, 0.0)) as Box<dyn Agent>)
+        .collect()
+}
+
+proptest! {
+    /// Channel counts follow Table 2's formulas for every n and k.
+    #[test]
+    fn channel_formulas_hold(n in 2usize..80, k in 1usize..10) {
+        let e = Ensemble::new(mappers(n, 1.0), Pattern::Pipeline, 0);
+        prop_assert_eq!(e.channel_count(), (n - 1) as u64);
+        let e = Ensemble::new(mappers(n, 1.0), Pattern::Hierarchical, 0);
+        prop_assert_eq!(e.channel_count(), (n - 1) as u64);
+        let e = Ensemble::new(mappers(n, 1.0), Pattern::Mesh, 0);
+        prop_assert_eq!(e.channel_count(), (n * (n - 1) / 2) as u64);
+        let e = Ensemble::new(mappers(n, 1.0), Pattern::Swarm { k }, 0);
+        // Ring lattice with k/2 forward links, capped by distinct pairs.
+        let half = (k / 2).max(1).min(n - 1);
+        let expected = if 2 * half >= n { n * (n - 1) / 2 } else { n * half };
+        prop_assert_eq!(e.channel_count(), expected as u64);
+    }
+
+    /// Pipeline of multiplicative agents computes the product of scales.
+    #[test]
+    fn pipeline_is_function_composition(
+        n in 1usize..8,
+        x in -10.0f64..10.0,
+        scale in 0.5f64..1.5,
+    ) {
+        let mut e = Ensemble::new(mappers(n, scale), Pattern::Pipeline, 0);
+        let out = e.run_round(&AgentMsg::task(vec![x]));
+        prop_assert_eq!(out.len(), 1);
+        let expected = x * scale.powi(n as i32);
+        prop_assert!((out[0].values[0] - expected).abs() < 1e-9);
+    }
+
+    /// Mesh rounds cost exactly n + n(n-1) messages with averaging agents.
+    #[test]
+    fn mesh_message_accounting(n in 2usize..30) {
+        let agents: Vec<Box<dyn Agent>> = (0..n)
+            .map(|i| Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>)
+            .collect();
+        let mut e = Ensemble::new(agents, Pattern::Mesh, 0);
+        let probe = AgentMsg {
+            from: "env".into(),
+            to: evoflow_agents::Route::Neighbors,
+            kind: "noop".into(),
+            values: vec![],
+            text: String::new(),
+        };
+        e.run_round(&probe);
+        prop_assert_eq!(e.stats().messages, (n + n * (n - 1)) as u64);
+    }
+
+    /// The design agent accepts exactly the in-bounds, right-dimension
+    /// candidates.
+    #[test]
+    fn validation_gate_is_exact(
+        params in prop::collection::vec(-0.5f64..1.5, 1..6),
+        dim in 1usize..6,
+    ) {
+        let mut d = DesignAgent::new(dim);
+        let c = Candidate {
+            params: params.clone(),
+            rationale: String::new(),
+            confidence: 0.5,
+            hallucinated: false,
+        };
+        let should_pass = params.len() == dim
+            && params.iter().all(|v| (0.0..=1.0).contains(v));
+        prop_assert_eq!(d.design(&c).is_ok(), should_pass);
+    }
+
+    /// Negotiation returns the minimum-ETA bid among matching agents.
+    #[test]
+    fn negotiation_is_optimal(
+        backlogs in prop::collection::vec(0.0f64..50.0, 1..10),
+        task_hours in 0.1f64..20.0,
+    ) {
+        let agents: Vec<FacilityAgent> = backlogs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| FacilityAgent {
+                facility: format!("f{i}"),
+                capability: "synthesis/thin-film".into(),
+                backlog_hours: *b,
+                speed: 1.0,
+            })
+            .collect();
+        let best: Bid = negotiate(&agents, "synthesis/thin-film", task_hours).expect("bids");
+        for a in &agents {
+            let bid = a.bid("synthesis/thin-film", task_hours).expect("matching capability");
+            prop_assert!(best.eta_hours <= bid.eta_hours + 1e-9);
+        }
+    }
+
+    /// Ensemble rounds are deterministic per seed.
+    #[test]
+    fn rounds_are_deterministic(n in 2usize..20, seed in any::<u64>()) {
+        let run = |seed| {
+            let agents: Vec<Box<dyn Agent>> = (0..n)
+                .map(|i| Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>)
+                .collect();
+            let mut e = Ensemble::new(agents, Pattern::Swarm { k: 4 }, seed);
+            let probe = AgentMsg {
+                from: "env".into(),
+                to: evoflow_agents::Route::Neighbors,
+                kind: "noop".into(),
+                values: vec![],
+                text: String::new(),
+            };
+            for _ in 0..5 {
+                e.run_round(&probe);
+            }
+            e.stats().messages
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

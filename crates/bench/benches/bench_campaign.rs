@@ -1,0 +1,67 @@
+//! Campaign benchmarks: simulation throughput of the discovery loop at
+//! the matrix corners, plus the determinism ablation (seeded replay cost)
+//! from DESIGN.md §6.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evoflow_core::{run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace};
+use evoflow_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_3day");
+    g.sample_size(10);
+    let space = MaterialsSpace::generate(3, 8, 42);
+    for (label, cell) in [
+        ("static_pipeline", Cell::traditional_wms()),
+        ("intelligent_swarm", Cell::autonomous_science()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("run", label), &cell, |b, &cell| {
+            b.iter(|| {
+                let mut cfg = CampaignConfig::for_cell(cell, 7);
+                cfg.horizon = SimDuration::from_days(3);
+                cfg.coordination = Some(CoordinationMode::Autonomous);
+                black_box(run_campaign(&space, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_determinism");
+    g.sample_size(10);
+    let space = MaterialsSpace::generate(3, 8, 42);
+    g.bench_function("seeded_replay_equality", |b| {
+        b.iter(|| {
+            let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 11);
+            cfg.horizon = SimDuration::from_days(1);
+            cfg.coordination = Some(CoordinationMode::Autonomous);
+            let a = run_campaign(&space, &cfg);
+            let b2 = run_campaign(&space, &cfg);
+            assert_eq!(a.experiments, b2.experiments);
+            black_box((a, b2))
+        })
+    });
+    g.finish();
+}
+
+fn bench_provenance_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_provenance_ablation");
+    g.sample_size(10);
+    let space = MaterialsSpace::generate(3, 8, 42);
+    for (label, record) in [("provenance_on", true), ("provenance_off", false)] {
+        g.bench_with_input(BenchmarkId::new("2day", label), &record, |b, &record| {
+            b.iter(|| {
+                let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 5);
+                cfg.horizon = SimDuration::from_days(2);
+                cfg.coordination = Some(CoordinationMode::Autonomous);
+                cfg.record_knowledge = record;
+                black_box(run_campaign(&space, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_replay, bench_provenance_overhead);
+criterion_main!(benches);

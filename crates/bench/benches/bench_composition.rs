@@ -1,0 +1,46 @@
+//! Composition-pattern benchmarks: the wall-clock cost of one coordination
+//! round at n = 64 for every Table 2 pattern — the price of channels,
+//! measured rather than asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evoflow_agents::{Agent, AgentMsg, AveragingAgent, Ensemble, MapAgent, Pattern};
+use std::hint::black_box;
+
+fn agents_for(pattern: Pattern, n: usize) -> Vec<Box<dyn Agent>> {
+    match pattern {
+        Pattern::Mesh | Pattern::Swarm { .. } => (0..n)
+            .map(|i| Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>)
+            .collect(),
+        _ => (0..n)
+            .map(|i| Box::new(MapAgent::new(format!("m{i}"), 1.01, 0.0)) as Box<dyn Agent>)
+            .collect(),
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ensemble_round_n64");
+    g.sample_size(20);
+    let n = 64;
+    for pattern in [
+        Pattern::Single,
+        Pattern::Pipeline,
+        Pattern::Hierarchical,
+        Pattern::Mesh,
+        Pattern::Swarm { k: 6 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("round", format!("{pattern:?}")),
+            &pattern,
+            |b, &pattern| {
+                let size = if matches!(pattern, Pattern::Single) { 1 } else { n };
+                let mut e = Ensemble::new(agents_for(pattern, size), pattern, 1);
+                let input = AgentMsg::task(vec![1.0, 2.0]);
+                b.iter(|| black_box(e.run_round(&input)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Coordination-layer benchmarks: bus throughput, quorum voting, gossip
+//! consensus, and leader election — the per-operation costs behind the
+//! Table 2 / §5.3 scaling stories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evoflow_coord::{elect_leader, gossip_consensus, run_quorum, Message, MessageBus, QuorumConfig};
+use evoflow_sim::SimRng;
+use std::hint::black_box;
+
+fn bench_bus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus");
+    g.sample_size(30);
+    g.bench_function("publish_fanout_8", |b| {
+        let bus = MessageBus::new();
+        let subs: Vec<_> = (0..8).map(|_| bus.subscribe("t")).collect();
+        b.iter(|| {
+            bus.publish(Message::text("t", "bench", "payload"));
+            for s in &subs {
+                while s.try_recv().is_some() {}
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus");
+    g.sample_size(20);
+    for n in [50u32, 500] {
+        g.bench_with_input(BenchmarkId::new("quorum", n), &n, |b, &n| {
+            let mut rng = SimRng::from_seed_u64(1);
+            b.iter(|| {
+                black_box(run_quorum(
+                    n,
+                    0.95,
+                    0.8,
+                    QuorumConfig::default(),
+                    &mut rng,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gossip_k8", n), &n, |b, &n| {
+            let mut rng = SimRng::from_seed_u64(2);
+            b.iter(|| {
+                let mut ops: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+                black_box(gossip_consensus(&mut ops, 8, 0.1, 100, &mut rng))
+            })
+        });
+    }
+    g.bench_function("leader_election_500", |b| {
+        let ids: Vec<u64> = (0..500).collect();
+        b.iter(|| black_box(elect_leader(&ids)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bus, bench_consensus);
+criterion_main!(benches);

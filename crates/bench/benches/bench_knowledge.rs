@@ -1,0 +1,126 @@
+//! Data-layer benchmarks: knowledge-graph writes/queries, provenance
+//! append + lineage walks, registry operations, and replica merges —
+//! the per-iteration overhead a campaign pays for §4.2's traceability.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use evoflow_knowledge::{
+    ActivityKind, KnowledgeGraph, ModelRegistry, NodeKind, ProvenanceStore, Relation,
+};
+use std::hint::black_box;
+
+fn graph_with(n: usize) -> KnowledgeGraph {
+    let mut g = KnowledgeGraph::new();
+    for i in 0..n {
+        g.upsert_node(format!("hyp/{i}"), NodeKind::Hypothesis);
+        g.upsert_node(format!("res/{i}"), NodeKind::Result);
+        g.link(&format!("res/{i}"), Relation::Supports, &format!("hyp/{i}"));
+    }
+    g
+}
+
+fn bench_kg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knowledge_graph");
+    g.sample_size(20);
+    g.bench_function("insert_triple", |b| {
+        b.iter_batched(
+            KnowledgeGraph::new,
+            |mut kg| {
+                for i in 0..500 {
+                    kg.upsert_node(format!("h/{i}"), NodeKind::Hypothesis);
+                    kg.upsert_node(format!("r/{i}"), NodeKind::Result);
+                    kg.link(&format!("r/{i}"), Relation::Supports, &format!("h/{i}"));
+                }
+                kg
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("support_query_1k", |b| {
+        let kg = graph_with(1_000);
+        b.iter(|| black_box(kg.support_score("hyp/500")))
+    });
+    g.bench_function("replica_merge_1k", |b| {
+        let a = graph_with(1_000);
+        let other = graph_with(500);
+        b.iter_batched(
+            || a.clone(),
+            |mut mine| {
+                mine.merge(&other);
+                mine
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("provenance");
+    g.sample_size(20);
+    g.bench_function("record_chain_200", |b| {
+        b.iter_batched(
+            || {
+                let mut p = ProvenanceStore::new();
+                p.register_agent("a", true);
+                p
+            },
+            |mut p| {
+                let mut prev = None;
+                for i in 0..200 {
+                    let act = p.record_activity(
+                        format!("step{i}"),
+                        ActivityKind::Computation,
+                        "a",
+                        prev.into_iter().collect(),
+                    );
+                    prev = Some(p.record_entity(format!("e{i}"), Some(act)));
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lineage_walk_200", |b| {
+        let mut p = ProvenanceStore::new();
+        p.register_agent("a", true);
+        let mut prev = None;
+        let mut last = None;
+        for i in 0..200 {
+            let act = p.record_activity(
+                format!("step{i}"),
+                ActivityKind::Computation,
+                "a",
+                prev.into_iter().collect(),
+            );
+            let e = p.record_entity(format!("e{i}"), Some(act));
+            prev = Some(e);
+            last = Some(e);
+        }
+        let root = last.expect("entities recorded");
+        b.iter(|| black_box(p.lineage(root)))
+    });
+    g.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_registry");
+    g.sample_size(20);
+    g.bench_function("register_and_promote", |b| {
+        b.iter_batched(
+            ModelRegistry::new,
+            |mut r| {
+                for i in 0..100 {
+                    let v = r.register("m", evoflow_knowledge::ArtifactKind::Model, i);
+                    r.transition("m", v, evoflow_knowledge::Stage::Production)
+                        .expect("legal transition");
+                }
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kg, bench_provenance, bench_registry);
+criterion_main!(benches);

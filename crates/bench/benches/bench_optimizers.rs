@@ -1,0 +1,67 @@
+//! Optimizer benchmarks: equal-budget comparisons on the standard
+//! landscapes — the substrate behind the Learning/Optimizing rows of the
+//! matrix. Criterion measures runtime; the printed `best_y` sanity output
+//! of the experiment binaries covers solution quality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evoflow_learn::{
+    ant_system, bayes_opt, pso, random_search, simulated_annealing, AcoConfig, AnnealConfig,
+    BoConfig, PsoConfig, Rastrigin, Tsp,
+};
+use evoflow_sim::SimRng;
+use std::hint::black_box;
+
+fn bench_continuous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizers_rastrigin3_600evals");
+    g.sample_size(15);
+    g.bench_function("random_search", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_u64(1);
+            let mut f = Rastrigin::new(3);
+            black_box(random_search(&mut f, 600, &mut rng))
+        })
+    });
+    g.bench_function("simulated_annealing", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_u64(2);
+            let mut f = Rastrigin::new(3);
+            black_box(simulated_annealing(&mut f, 600, AnnealConfig::default(), &mut rng))
+        })
+    });
+    g.bench_function("pso_20x30", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_u64(3);
+            let mut f = Rastrigin::new(3);
+            let cfg = PsoConfig {
+                particles: 20,
+                ..PsoConfig::default()
+            };
+            black_box(pso(&mut f, 29, cfg, &mut rng))
+        })
+    });
+    g.bench_function("bayes_opt_120", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_u64(4);
+            let mut f = Rastrigin::new(3);
+            black_box(bayes_opt(&mut f, 120, BoConfig::default(), &mut rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_discrete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizers_tsp20");
+    g.sample_size(15);
+    g.bench_function("ant_system_40iters", |b| {
+        let mut rng = SimRng::from_seed_u64(5);
+        let tsp = Tsp::random(20, &mut rng);
+        b.iter(|| {
+            let mut rng = SimRng::from_seed_u64(6);
+            black_box(ant_system(&tsp, 40, AcoConfig::default(), &mut rng))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_continuous, bench_discrete);
+criterion_main!(benches);

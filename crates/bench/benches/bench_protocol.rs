@@ -1,0 +1,136 @@
+//! Protocol-layer benchmarks: wire framing throughput, conversation
+//! validation, capability matchmaking at federation scale, and the cost
+//! of an SLA negotiation round — the per-message overheads §5.5's
+//! standardized-protocol bet would impose on every agent interaction.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evoflow_protocol::negotiation::issue;
+use evoflow_protocol::{
+    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer,
+    Conversation, Frame, FrameKind, Negotiator, Performative, Preferences, Requirement, Strategy,
+    ValueRange,
+};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    g.sample_size(30);
+    for size in [64usize, 4096, 65536] {
+        let frame = Frame {
+            version: 2,
+            kind: FrameKind::Data,
+            flags: 0,
+            conversation: 42,
+            payload: Bytes::from(vec![0xABu8; size]),
+        };
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &frame, |b, f| {
+            b.iter(|| black_box(encode_frame(f).unwrap()))
+        });
+        let encoded = encode_frame(&frame).unwrap();
+        g.bench_with_input(BenchmarkId::new("decode", size), &encoded, |b, enc| {
+            b.iter(|| {
+                let mut buf = BytesMut::from(&enc[..]);
+                black_box(decode_frame(&mut buf).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_acl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acl");
+    g.sample_size(30);
+    g.bench_function("validate_request_agree_inform", |b| {
+        b.iter(|| {
+            let mut convo = Conversation::new(1);
+            convo
+                .accept(AclMessage::new(
+                    Performative::Request,
+                    "a",
+                    "b",
+                    1,
+                    "ont",
+                    "do",
+                ))
+                .unwrap();
+            convo
+                .accept(AclMessage::new(Performative::Agree, "b", "a", 1, "ont", "ok"))
+                .unwrap();
+            convo
+                .accept(AclMessage::new(
+                    Performative::Inform,
+                    "a",
+                    "b",
+                    1,
+                    "ont",
+                    "done",
+                ))
+                .unwrap();
+            black_box(convo.transcript().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capability_match");
+    g.sample_size(20);
+    for n in [100usize, 1000] {
+        let offers: Vec<CapabilityOffer> = (0..n)
+            .map(|i| {
+                CapabilityOffer::new("synthesis", format!("facility-{i}"), 1.0 + i as f64 % 7.0)
+                    .with_range(
+                        "temperature",
+                        ValueRange::new(300.0, 800.0 + (i % 10) as f64 * 100.0, "K"),
+                    )
+                    .with_tag("oxide-capable")
+            })
+            .collect();
+        let req = Requirement::new("synthesis")
+            .with_range("temperature", ValueRange::new(900.0, 1300.0, "K"))
+            .with_tag("oxide-capable");
+        g.bench_with_input(BenchmarkId::new("rank_offers", n), &offers, |b, offers| {
+            b.iter(|| black_box(match_offers(&req, offers).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_negotiation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("negotiation");
+    g.sample_size(20);
+    let issues = vec![
+        issue("price", 1.0, 10.0),
+        issue("volume", 100.0, 10_000.0),
+        issue("deadline", 24.0, 720.0),
+    ];
+    let seller = Negotiator::new(
+        "hpc",
+        Preferences::new(vec![1.0, -0.4, 0.6], 0.3),
+        Strategy::Boulware { beta: 0.4 },
+    );
+    let buyer = Negotiator::new(
+        "planner",
+        Preferences::new(vec![-1.0, 0.8, -0.5], 0.3),
+        Strategy::Conceder { beta: 2.0 },
+    );
+    for rounds in [20u32, 80] {
+        g.bench_with_input(
+            BenchmarkId::new("alternating_offers", rounds),
+            &rounds,
+            |b, &rounds| b.iter(|| black_box(negotiate(&seller, &buyer, &issues, rounds))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_acl,
+    bench_matching,
+    bench_negotiation
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! State-machine benchmarks: per-decision cost across the five
+//! intelligence levels (Table 1's O(1)→unbounded claim measured in real
+//! nanoseconds), DAG frontier compilation, and verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evoflow_sim::SimRng;
+use evoflow_sm::dag::shapes;
+use evoflow_sm::{controller_for_level, run_episode, verify_fsm, IntelligenceLevel, Scenario};
+use std::hint::black_box;
+
+fn bench_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_cost");
+    g.sample_size(20);
+    for level in IntelligenceLevel::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("episode_200", level.to_string()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let mut m = controller_for_level(level, 1);
+                    let mut rng = SimRng::from_seed_u64(7);
+                    black_box(run_episode(&mut m, Scenario::noisy(), 200, &mut rng))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag");
+    g.sample_size(20);
+    for width in [6usize, 10] {
+        g.bench_with_input(
+            BenchmarkId::new("frontier_compile_fork_join", width),
+            &width,
+            |b, &w| {
+                let dag = shapes::fork_join(w);
+                b.iter(|| black_box(dag.to_fsm(1_000_000).expect("fits")))
+            },
+        );
+    }
+    g.bench_function("verify_fork_join_10", |b| {
+        let m = shapes::fork_join(10).to_fsm(1_000_000).expect("fits");
+        b.iter(|| black_box(verify_fsm(&m, 1_000_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_levels, bench_dag);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Substrate micro-benchmarks: event-kernel throughput, data-fabric
+//! route planning, and simulated-LLM task execution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use evoflow_cogsim::{CognitiveModel, LlmAgent, ModelProfile, ToolOutput, ToolRegistry};
+use evoflow_facility::DataFabric;
+use evoflow_sim::{Ctx, Engine, EventQueue, SimDuration, SimTime, World};
+use std::hint::black_box;
+
+struct Ping {
+    remaining: u32,
+}
+impl World for Ping {
+    type Event = ();
+    fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDuration::from_secs(1), ());
+        }
+    }
+}
+
+fn bench_simkernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkernel");
+    g.sample_size(30);
+
+    g.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_nanos(i * 37 % 5_000), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("engine_event_chain_10k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(Ping { remaining: 10_000 }, 1);
+            e.schedule_at(SimTime::ZERO, ());
+            e.run_to_completion(20_000);
+            black_box(e.processed())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(30);
+    g.bench_function("transfer_planning_standard", |b| {
+        let mut fabric = DataFabric::standard();
+        b.iter(|| {
+            black_box(
+                fabric
+                    .transfer("autonomous-lab", "cloud-east", 10.0)
+                    .expect("connected"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_cogsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cogsim");
+    g.sample_size(30);
+    g.bench_function("llm_agent_task_with_tool", |b| {
+        let mut tools = ToolRegistry::new();
+        tools.register("simulate", "simulate the candidate material bandgap", |_| {
+            ToolOutput::ok_text("1.4eV")
+        });
+        let mut agent = LlmAgent::new(
+            "bench",
+            CognitiveModel::new(ModelProfile::fast_llm(), 1),
+            tools,
+        );
+        b.iter(|| black_box(agent.execute_task("simulate the candidate material bandgap")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simkernel, bench_fabric, bench_cogsim);
+criterion_main!(benches);

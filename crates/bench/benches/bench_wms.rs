@@ -1,0 +1,47 @@
+//! WMS benchmarks: DAG scheduling throughput and batch-scheduler
+//! performance — the baseline infrastructure's cost envelope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evoflow_facility::BatchScheduler;
+use evoflow_sim::{SimDuration, SimTime};
+use evoflow_sm::dag::shapes;
+use evoflow_wms::{execute, FaultPolicy, TaskSpec, Workflow};
+use std::hint::black_box;
+
+fn bench_wms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wms");
+    g.sample_size(20);
+    for n in [50usize, 200] {
+        g.bench_with_input(BenchmarkId::new("layered_dag_execute", n), &n, |b, &n| {
+            let dag = shapes::layered(n / 10, 10);
+            let specs: Vec<TaskSpec> = (0..dag.len())
+                .map(|i| TaskSpec::reliable(format!("t{i}"), SimDuration::from_mins(30)))
+                .collect();
+            let wf = Workflow::new(dag, specs);
+            b.iter(|| black_box(execute(&wf, 16, FaultPolicy::Retry, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_scheduler");
+    g.sample_size(20);
+    g.bench_function("submit_drain_500_jobs", |b| {
+        b.iter(|| {
+            let mut s = BatchScheduler::new(128);
+            for i in 0..500u64 {
+                s.submit(
+                    1 + i % 64,
+                    SimDuration::from_hours(1 + i % 8),
+                    SimTime::from_secs(i * 60),
+                );
+            }
+            black_box(s.drain())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wms, bench_batch);
+criterion_main!(benches);

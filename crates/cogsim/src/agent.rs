@@ -1,0 +1,271 @@
+//! The LLM agent of Figure 1-d: a state-machine loop whose transition
+//! function is `model + history + tools`.
+//!
+//! Each [`LlmAgent::execute_task`] call is one loop iteration: perceive the
+//! task, route to tools, act, fold the results into conversational history.
+//! "Routine sequence tasks with some adaptability" (§3.1) — no long-horizon
+//! planning; that is the LRM agent's job ([`crate::lrm`]).
+
+use crate::model::{CognitiveModel, TokenUsage};
+use crate::tools::{ToolInput, ToolOutput, ToolRegistry};
+use evoflow_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Speaker of a history turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// The requesting user or upstream agent.
+    User,
+    /// The agent itself.
+    Assistant,
+    /// A tool result.
+    Tool,
+}
+
+/// One turn of conversational history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Turn {
+    /// Who produced this turn.
+    pub role: Role,
+    /// Turn content.
+    pub text: String,
+}
+
+/// The outcome of one agent task execution.
+#[derive(Debug, Clone)]
+pub struct AgentResponse {
+    /// Final response text.
+    pub text: String,
+    /// Tool calls made, in order, with their outputs.
+    pub tool_calls: Vec<(String, ToolOutput)>,
+    /// Token usage for the whole task.
+    pub usage: TokenUsage,
+    /// Total simulated latency (inference + nothing else; tool execution
+    /// time is the caller's domain).
+    pub latency: SimDuration,
+    /// Whether any generation in the task hallucinated.
+    pub hallucinated: bool,
+    /// Whether all invoked tools succeeded.
+    pub ok: bool,
+}
+
+/// Default lexicon used for simulated generations.
+pub const SCIENCE_LEXICON: &[&str] = &[
+    "hypothesis",
+    "synthesis",
+    "characterization",
+    "bandgap",
+    "perovskite",
+    "anneal",
+    "dopant",
+    "lattice",
+    "spectrum",
+    "diffraction",
+    "simulation",
+    "convergence",
+    "candidate",
+    "stability",
+    "yield",
+];
+
+/// An LLM agent: model + history + tools (Figure 1-d).
+#[derive(Debug)]
+pub struct LlmAgent {
+    name: String,
+    /// The underlying cognitive engine.
+    pub model: CognitiveModel,
+    /// The agent's callable tools.
+    pub tools: ToolRegistry,
+    history: Vec<Turn>,
+    max_tool_calls: usize,
+}
+
+impl LlmAgent {
+    /// Create an agent with the given name, model, and tools.
+    pub fn new(name: impl Into<String>, model: CognitiveModel, tools: ToolRegistry) -> Self {
+        LlmAgent {
+            name: name.into(),
+            model,
+            tools,
+            history: Vec::new(),
+            max_tool_calls: 4,
+        }
+    }
+
+    /// Agent name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Conversational history (oldest first).
+    pub fn history(&self) -> &[Turn] {
+        &self.history
+    }
+
+    /// Limit on tool calls per task.
+    pub fn set_max_tool_calls(&mut self, n: usize) {
+        self.max_tool_calls = n.max(1);
+    }
+
+    /// Execute one task: route → invoke tools → summarize.
+    ///
+    /// This is one iteration of the Fig 1-d state-machine loop; the history
+    /// is the loop-carried state.
+    pub fn execute_task(&mut self, task: &str) -> AgentResponse {
+        self.history.push(Turn {
+            role: Role::User,
+            text: task.to_string(),
+        });
+
+        let mut usage = TokenUsage::default();
+        let mut latency = SimDuration::ZERO;
+        let mut hallucinated = false;
+        let mut ok = true;
+        let mut tool_calls = Vec::new();
+
+        // Tool routing: keep only the best-matching tools (ties included),
+        // capped at the per-task budget.
+        let ranked = self.tools.route(task);
+        let top_score = ranked.first().map(|(_, s)| *s).unwrap_or(0);
+        let routed: Vec<String> = ranked
+            .into_iter()
+            .filter(|(_, s)| *s == top_score)
+            .take(self.max_tool_calls)
+            .map(|(n, _)| n.to_string())
+            .collect();
+
+        for tool_name in &routed {
+            // A short "reasoning" generation precedes each call.
+            let thought = self.model.complete(task, 24, SCIENCE_LEXICON);
+            usage.add(thought.usage);
+            latency += thought.latency;
+            hallucinated |= thought.hallucinated;
+
+            let input = ToolInput {
+                query: task.to_string(),
+                args: vec![],
+            };
+            let output = self
+                .tools
+                .invoke(tool_name, &input)
+                .unwrap_or_else(|e| ToolOutput::error(e.to_string()));
+            ok &= output.ok;
+            self.history.push(Turn {
+                role: Role::Tool,
+                text: format!("{tool_name}: {}", output.text),
+            });
+            tool_calls.push((tool_name.clone(), output));
+        }
+
+        // Final answer folds tool evidence into a response.
+        let answer = self.model.complete(task, 48, SCIENCE_LEXICON);
+        usage.add(answer.usage);
+        latency += answer.latency;
+        hallucinated |= answer.hallucinated;
+
+        let text = if tool_calls.is_empty() {
+            answer.text.clone()
+        } else {
+            format!(
+                "[{} tools consulted] {}",
+                tool_calls.len(),
+                answer.text
+            )
+        };
+        self.history.push(Turn {
+            role: Role::Assistant,
+            text: text.clone(),
+        });
+
+        AgentResponse {
+            text,
+            tool_calls,
+            usage,
+            latency,
+            hallucinated,
+            ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelProfile;
+
+    fn agent() -> LlmAgent {
+        let mut tools = ToolRegistry::new();
+        tools.register(
+            "simulate",
+            "run a simulation of the candidate material bandgap",
+            |_| ToolOutput::ok_text("bandgap 1.4eV"),
+        );
+        tools.register(
+            "synthesize",
+            "submit synthesis of the candidate to the robot lab",
+            |_| ToolOutput::ok_text("queued"),
+        );
+        LlmAgent::new(
+            "analysis-1",
+            CognitiveModel::new(ModelProfile::fast_llm(), 11),
+            tools,
+        )
+    }
+
+    #[test]
+    fn task_execution_routes_tools_and_builds_history() {
+        let mut a = agent();
+        let resp = a.execute_task("simulate the bandgap of candidate 7");
+        assert_eq!(resp.tool_calls.len(), 1);
+        assert_eq!(resp.tool_calls[0].0, "simulate");
+        assert!(resp.ok);
+        assert!(resp.usage.total() > 0);
+        assert!(resp.latency > SimDuration::ZERO);
+        // history: user + tool + assistant
+        assert_eq!(a.history().len(), 3);
+        assert_eq!(a.history()[0].role, Role::User);
+        assert_eq!(a.history()[2].role, Role::Assistant);
+    }
+
+    #[test]
+    fn no_matching_tool_still_answers() {
+        let mut a = agent();
+        let resp = a.execute_task("write a poem about topology");
+        assert!(resp.tool_calls.is_empty());
+        assert!(!resp.text.is_empty());
+        assert_eq!(a.history().len(), 2);
+    }
+
+    #[test]
+    fn history_accumulates_across_tasks() {
+        let mut a = agent();
+        a.execute_task("simulate the candidate bandgap");
+        a.execute_task("synthesize the candidate in the robot lab");
+        assert!(a.history().len() >= 6);
+        assert_eq!(a.model.calls(), 4); // 2 per task (thought + answer)
+    }
+
+    #[test]
+    fn tool_failures_propagate_to_ok_flag() {
+        let mut tools = ToolRegistry::new();
+        tools.register("broken", "run the broken simulation bandgap", |_| {
+            ToolOutput::error("instrument offline")
+        });
+        let mut a = LlmAgent::new(
+            "x",
+            CognitiveModel::new(ModelProfile::fast_llm(), 0),
+            tools,
+        );
+        let resp = a.execute_task("run the broken simulation bandgap");
+        assert!(!resp.ok);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut a = agent();
+            a.execute_task("simulate the bandgap").text
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,28 @@
+//! # evoflow-cogsim — simulated LLM/LRM reasoning engines
+//!
+//! A deterministic, seeded cognitive simulator standing in for the large
+//! language / large reasoning models of Figure 1-d/e. The substitution is
+//! documented in `DESIGN.md` §2: the paper's architecture claims concern
+//! *orchestration* of reasoning engines; this crate exposes the same
+//! interfaces (generation, judgment, proposal, tool calling, planning,
+//! memory) with calibrated behavioural knobs — accuracy, hallucination rate,
+//! temperature, token throughput, latency — while staying perfectly
+//! replayable.
+//!
+//! * [`model`] — [`model::CognitiveModel`] with [`model::ModelProfile`]
+//!   presets (fast LLM, deep LRM, edge-tiny) and token/latency accounting.
+//! * [`tools`] — the tool registry and keyword-routing (ChemCrow-style tool
+//!   augmentation, §2.3).
+//! * [`agent`] — [`agent::LlmAgent`]: model + history + tools (Fig 1-d).
+//! * [`lrm`] — [`lrm::LrmAgent`]: + memory + plan + knowledge, with retries
+//!   and re-planning (Fig 1-e).
+
+pub mod agent;
+pub mod lrm;
+pub mod model;
+pub mod tools;
+
+pub use agent::{AgentResponse, LlmAgent, Role, Turn, SCIENCE_LEXICON};
+pub use lrm::{LrmAgent, Memory, Plan, PlanReport, PlanStep, StepStatus};
+pub use model::{CognitiveModel, Completion, ModelProfile, TokenUsage};
+pub use tools::{Tool, ToolError, ToolInput, ToolOutput, ToolRegistry};

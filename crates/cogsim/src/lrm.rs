@@ -1,0 +1,387 @@
+//! The LRM agent of Figure 1-e: model + history + tools **+ memory + plan +
+//! knowledge** — "an advanced AI agent that can learn, reason, plan, and
+//! execute tasks given the evolving environment while pursuing optimality"
+//! (§3.1).
+//!
+//! Compared to [`crate::agent::LlmAgent`], the LRM agent:
+//! * decomposes a goal into an explicit multi-step [`Plan`],
+//! * executes steps with bounded retries and re-planning on failure,
+//! * maintains long-term [`Memory`] across goals,
+//! * grounds proposals in an injected knowledge context.
+
+use crate::model::{CognitiveModel, TokenUsage};
+use crate::tools::{ToolInput, ToolRegistry};
+use evoflow_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Status of one plan step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepStatus {
+    /// Not yet attempted.
+    Pending,
+    /// Completed successfully.
+    Done,
+    /// Failed after retries.
+    Failed,
+    /// Skipped because a later re-plan removed the need for it.
+    Skipped,
+}
+
+/// One step of a plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// What this step does.
+    pub description: String,
+    /// Tool to invoke, if the step is tool-backed (reasoning-only otherwise).
+    pub tool: Option<String>,
+    /// Execution status.
+    pub status: StepStatus,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+/// A multi-step plan for a goal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Plan {
+    /// The goal this plan serves.
+    pub goal: String,
+    /// Ordered steps.
+    pub steps: Vec<PlanStep>,
+    /// How many times the plan was regenerated mid-flight.
+    pub replans: u32,
+}
+
+impl Plan {
+    /// Whether every step is resolved (done, failed, or skipped).
+    pub fn is_complete(&self) -> bool {
+        self.steps
+            .iter()
+            .all(|s| s.status != StepStatus::Pending)
+    }
+
+    /// Count of steps with the given status.
+    pub fn count(&self, status: StepStatus) -> usize {
+        self.steps.iter().filter(|s| s.status == status).count()
+    }
+}
+
+/// Long-term key-value memory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Memory {
+    entries: BTreeMap<String, String>,
+}
+
+impl Memory {
+    /// Store a fact under a key (overwrites).
+    pub fn store(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    /// Recall a fact.
+    pub fn recall(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Keys whose entries contain `needle` (associative recall).
+    pub fn search(&self, needle: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(k, v)| k.contains(needle) || v.contains(needle))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Result of executing a plan to completion.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The final plan (with statuses).
+    pub plan: Plan,
+    /// Whether every step succeeded.
+    pub success: bool,
+    /// Accumulated token usage.
+    pub usage: TokenUsage,
+    /// Accumulated simulated inference latency.
+    pub latency: SimDuration,
+}
+
+/// The LRM agent (Figure 1-e).
+#[derive(Debug)]
+pub struct LrmAgent {
+    name: String,
+    /// The reasoning engine.
+    pub model: CognitiveModel,
+    /// Callable tools.
+    pub tools: ToolRegistry,
+    /// Long-term memory.
+    pub memory: Memory,
+    /// Injected knowledge facts (from a knowledge graph or literature).
+    pub knowledge: Vec<String>,
+    max_retries: u32,
+    max_replans: u32,
+}
+
+impl LrmAgent {
+    /// Create an LRM agent.
+    pub fn new(name: impl Into<String>, model: CognitiveModel, tools: ToolRegistry) -> Self {
+        LrmAgent {
+            name: name.into(),
+            model,
+            tools,
+            memory: Memory::default(),
+            knowledge: Vec::new(),
+            max_retries: 2,
+            max_replans: 2,
+        }
+    }
+
+    /// Agent name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Decompose `goal` into a plan: one step per routed tool plus
+    /// analysis/report steps. Pure function of the registry + goal text.
+    pub fn plan(&mut self, goal: &str) -> Plan {
+        let mut steps = Vec::new();
+        for (tool, _) in self.tools.route(goal) {
+            steps.push(PlanStep {
+                description: format!("invoke {tool} for: {goal}"),
+                tool: Some(tool.to_string()),
+                status: StepStatus::Pending,
+                attempts: 0,
+            });
+        }
+        steps.push(PlanStep {
+            description: format!("analyze evidence for: {goal}"),
+            tool: None,
+            status: StepStatus::Pending,
+            attempts: 0,
+        });
+        steps.push(PlanStep {
+            description: format!("report conclusions for: {goal}"),
+            tool: None,
+            status: StepStatus::Pending,
+            attempts: 0,
+        });
+        Plan {
+            goal: goal.to_string(),
+            steps,
+            replans: 0,
+        }
+    }
+
+    /// Execute a plan with retries and re-planning (long-horizon loop of
+    /// Fig 1-e). Results of successful steps are folded into memory.
+    pub fn execute(&mut self, mut plan: Plan) -> PlanReport {
+        let mut usage = TokenUsage::default();
+        let mut latency = SimDuration::ZERO;
+
+        let mut idx = 0;
+        while idx < plan.steps.len() {
+            // A reasoning generation accompanies every step (LRMs "think").
+            let thought = self
+                .model
+                .complete(&plan.steps[idx].description, 64, crate::agent::SCIENCE_LEXICON);
+            usage.add(thought.usage);
+            latency += thought.latency;
+
+            let step = &mut plan.steps[idx];
+            step.attempts += 1;
+            let succeeded = match &step.tool {
+                Some(tool) => {
+                    
+                    self
+                        .tools
+                        .invoke(
+                            tool,
+                            &ToolInput {
+                                query: plan.goal.clone(),
+                                args: vec![],
+                            },
+                        )
+                        .map(|o| o.ok)
+                        .unwrap_or(false)
+                }
+                // Reasoning-only steps succeed unless the generation
+                // hallucinated (the validation gate catches it).
+                None => !thought.hallucinated,
+            };
+
+            if succeeded {
+                plan.steps[idx].status = StepStatus::Done;
+                self.memory.store(
+                    format!("step:{}:{}", plan.goal, idx),
+                    plan.steps[idx].description.clone(),
+                );
+                idx += 1;
+            } else if plan.steps[idx].attempts <= self.max_retries {
+                // Retry the same step.
+                continue;
+            } else if plan.replans < self.max_replans {
+                // Re-plan: mark the stuck step failed, regenerate the tail.
+                plan.steps[idx].status = StepStatus::Failed;
+                let replans = plan.replans + 1;
+                let mut fresh = self.plan(&plan.goal);
+                fresh.replans = replans;
+                // Keep completed prefix, splice fresh remainder.
+                let mut merged: Vec<PlanStep> = plan
+                    .steps
+                    .iter()
+                    .filter(|s| s.status == StepStatus::Done || s.status == StepStatus::Failed)
+                    .cloned()
+                    .collect();
+                let done_tools: Vec<String> = merged
+                    .iter()
+                    .filter_map(|s| s.tool.clone())
+                    .collect();
+                for s in fresh.steps {
+                    let duplicate = s
+                        .tool
+                        .as_deref()
+                        .map(|t| done_tools.iter().any(|d| d == t))
+                        .unwrap_or(false);
+                    if !duplicate {
+                        merged.push(s);
+                    }
+                }
+                idx = merged
+                    .iter()
+                    .position(|s| s.status == StepStatus::Pending)
+                    .unwrap_or(merged.len());
+                plan.steps = merged;
+                plan.replans = replans;
+            } else {
+                plan.steps[idx].status = StepStatus::Failed;
+                idx += 1;
+            }
+        }
+
+        let success = plan.steps.iter().all(|s| s.status == StepStatus::Done);
+        PlanReport {
+            success,
+            plan,
+            usage,
+            latency,
+        }
+    }
+
+    /// Plan and execute a goal in one call.
+    pub fn pursue(&mut self, goal: &str) -> PlanReport {
+        let plan = self.plan(goal);
+        self.execute(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelProfile;
+    use crate::tools::{ToolOutput, ToolRegistry};
+
+    fn reliable_tools() -> ToolRegistry {
+        let mut t = ToolRegistry::new();
+        t.register("simulate", "simulate candidate material bandgap", |_| {
+            ToolOutput::ok_text("1.4eV")
+        });
+        t.register("characterize", "characterize sample at the beamline", |_| {
+            ToolOutput::ok_text("spectrum ok")
+        });
+        t
+    }
+
+    fn no_hallucination_model(seed: u64) -> CognitiveModel {
+        let mut p = ModelProfile::reasoning_lrm();
+        p.hallucination_rate = 0.0;
+        CognitiveModel::new(p, seed)
+    }
+
+    #[test]
+    fn plans_decompose_goals_into_tool_steps() {
+        let mut a = LrmAgent::new("planner", no_hallucination_model(1), reliable_tools());
+        let plan = a.plan("simulate bandgap then characterize the sample at the beamline");
+        let tool_steps: Vec<_> = plan.steps.iter().filter(|s| s.tool.is_some()).collect();
+        assert_eq!(tool_steps.len(), 2);
+        assert_eq!(plan.steps.len(), 4); // 2 tools + analyze + report
+        assert!(!plan.is_complete());
+    }
+
+    #[test]
+    fn executes_plan_to_success() {
+        let mut a = LrmAgent::new("exec", no_hallucination_model(2), reliable_tools());
+        let report = a.pursue("simulate the candidate bandgap");
+        assert!(report.success);
+        assert!(report.plan.is_complete());
+        assert_eq!(report.plan.count(StepStatus::Failed), 0);
+        assert!(report.usage.total() > 0);
+        assert!(!a.memory.is_empty());
+    }
+
+    #[test]
+    fn flaky_tool_triggers_retries_then_success() {
+        let mut t = ToolRegistry::new();
+        let mut failures = 2; // fail twice, then succeed
+        t.register("simulate", "simulate candidate material bandgap", move |_| {
+            if failures > 0 {
+                failures -= 1;
+                ToolOutput::error("transient")
+            } else {
+                ToolOutput::ok_text("ok")
+            }
+        });
+        let mut a = LrmAgent::new("retry", no_hallucination_model(3), t);
+        let report = a.pursue("simulate the candidate bandgap");
+        assert!(report.success);
+        let sim_step = report
+            .plan
+            .steps
+            .iter()
+            .find(|s| s.tool.as_deref() == Some("simulate"))
+            .unwrap();
+        assert_eq!(sim_step.attempts, 3);
+    }
+
+    #[test]
+    fn permanently_broken_tool_fails_after_replans() {
+        let mut t = ToolRegistry::new();
+        t.register("simulate", "simulate candidate material bandgap", |_| {
+            ToolOutput::error("dead")
+        });
+        let mut a = LrmAgent::new("fail", no_hallucination_model(4), t);
+        let report = a.pursue("simulate the candidate bandgap");
+        assert!(!report.success);
+        assert!(report.plan.count(StepStatus::Failed) >= 1);
+        assert!(report.plan.replans <= 2);
+    }
+
+    #[test]
+    fn memory_recall_and_search() {
+        let mut m = Memory::default();
+        m.store("material:42", "bandgap 1.4eV stable perovskite");
+        m.store("material:43", "unstable");
+        assert_eq!(m.recall("material:42").unwrap(), "bandgap 1.4eV stable perovskite");
+        assert_eq!(m.search("perovskite"), vec!["material:42"]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let run = || {
+            let mut a = LrmAgent::new("d", no_hallucination_model(9), reliable_tools());
+            let r = a.pursue("simulate bandgap and characterize at beamline");
+            (r.success, r.usage.total(), r.plan.steps.len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,350 @@
+//! The simulated cognitive model: a deterministic, seeded stand-in for the
+//! LLM/LRM reasoning engines of Figure 1-d/e.
+//!
+//! **Substitution note (DESIGN.md §2).** The paper's claims concern how
+//! reasoning engines are *orchestrated*, not any specific model's knowledge.
+//! This simulator exposes the interfaces an LLM-backed agent would
+//! (generation, judgment, planning, tool selection) with calibrated
+//! behavioural knobs — accuracy, hallucination rate, temperature, token
+//! throughput — while staying perfectly replayable, which the paper itself
+//! demands of scientific AI ("transparent, reproducible", §1).
+
+use evoflow_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Behavioural profile of a simulated model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Human-readable model name.
+    pub name: String,
+    /// Probability that a binary judgment is correct.
+    pub accuracy: f64,
+    /// Probability that a generation is a hallucination (out-of-bounds or
+    /// fabricated content).
+    pub hallucination_rate: f64,
+    /// Sampling temperature in [0, 2]: scales proposal perturbation.
+    pub temperature: f64,
+    /// Decode throughput in tokens/second (drives simulated latency).
+    pub tokens_per_sec: f64,
+    /// Fixed per-call latency in seconds (network + prefill).
+    pub base_latency_secs: f64,
+    /// Whether the model runs an explicit reasoning phase (LRM, Fig 1-e):
+    /// slower, more accurate, plans longer horizons.
+    pub reasoning: bool,
+}
+
+impl ModelProfile {
+    /// A fast, small instruction-following model (Fig 1-d class):
+    /// suitable for routine execution with some adaptability.
+    pub fn fast_llm() -> Self {
+        ModelProfile {
+            name: "sim-llm-fast".into(),
+            accuracy: 0.82,
+            hallucination_rate: 0.08,
+            temperature: 0.7,
+            tokens_per_sec: 80.0,
+            base_latency_secs: 0.3,
+            reasoning: false,
+        }
+    }
+
+    /// A large reasoning model (Fig 1-e class): plans long-horizon tasks,
+    /// higher accuracy, lower hallucination, much slower.
+    pub fn reasoning_lrm() -> Self {
+        ModelProfile {
+            name: "sim-lrm-deep".into(),
+            accuracy: 0.95,
+            hallucination_rate: 0.02,
+            temperature: 0.4,
+            tokens_per_sec: 25.0,
+            base_latency_secs: 2.0,
+            reasoning: true,
+        }
+    }
+
+    /// A tiny edge model for sub-second inference at instruments (§5.3's
+    /// "edge devices providing sub-second inference").
+    pub fn edge_model() -> Self {
+        ModelProfile {
+            name: "sim-edge-tiny".into(),
+            accuracy: 0.7,
+            hallucination_rate: 0.15,
+            temperature: 0.9,
+            tokens_per_sec: 200.0,
+            base_latency_secs: 0.05,
+            reasoning: false,
+        }
+    }
+}
+
+/// Token accounting for one call or one agent lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenUsage {
+    /// Tokens consumed as input (prompt + context).
+    pub input_tokens: u64,
+    /// Tokens produced as output.
+    pub output_tokens: u64,
+}
+
+impl TokenUsage {
+    /// Total tokens in + out.
+    pub fn total(&self) -> u64 {
+        self.input_tokens + self.output_tokens
+    }
+
+    /// Accumulate another usage record.
+    pub fn add(&mut self, other: TokenUsage) {
+        self.input_tokens += other.input_tokens;
+        self.output_tokens += other.output_tokens;
+    }
+}
+
+/// A single inference call's result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Completion {
+    /// The generated text.
+    pub text: String,
+    /// Whether this generation was a hallucination (ground truth available
+    /// only because the model is simulated; used by failure-injection tests).
+    pub hallucinated: bool,
+    /// Token accounting for the call.
+    pub usage: TokenUsage,
+    /// Simulated wall-clock latency of the call.
+    pub latency: SimDuration,
+}
+
+/// The simulated cognitive engine.
+#[derive(Debug, Clone)]
+pub struct CognitiveModel {
+    profile: ModelProfile,
+    rng: SimRng,
+    lifetime_usage: TokenUsage,
+    calls: u64,
+}
+
+impl CognitiveModel {
+    /// Create a model with the given profile and seed.
+    pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        CognitiveModel {
+            profile,
+            rng: SimRng::from_seed_u64(seed),
+            lifetime_usage: TokenUsage::default(),
+            calls: 0,
+        }
+    }
+
+    /// The model's behavioural profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Lifetime token usage across all calls.
+    pub fn lifetime_usage(&self) -> TokenUsage {
+        self.lifetime_usage
+    }
+
+    /// Number of inference calls made.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Mutable access to the model's random stream (agents share it so their
+    /// behaviour is one replayable stream per agent).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Estimate token count of a text (≈ 4 chars/token, the usual heuristic).
+    pub fn count_tokens(text: &str) -> u64 {
+        (text.len() as u64 / 4).max(1)
+    }
+
+    /// Simulated latency for a call with the given token counts.
+    pub fn latency_for(&self, input_tokens: u64, output_tokens: u64) -> SimDuration {
+        let decode = output_tokens as f64 / self.profile.tokens_per_sec;
+        let prefill = input_tokens as f64 / (self.profile.tokens_per_sec * 8.0);
+        SimDuration::from_secs_f64(self.profile.base_latency_secs + prefill + decode)
+    }
+
+    /// Generate a completion for `prompt`, producing roughly
+    /// `target_output_tokens` tokens assembled from `lexicon` words.
+    pub fn complete(
+        &mut self,
+        prompt: &str,
+        target_output_tokens: u64,
+        lexicon: &[&str],
+    ) -> Completion {
+        let input_tokens = Self::count_tokens(prompt);
+        let jitter = 0.8 + 0.4 * self.rng.uniform();
+        let output_tokens = ((target_output_tokens as f64) * jitter).max(1.0) as u64;
+        let hallucinated = self.rng.chance(self.profile.hallucination_rate);
+
+        let mut words = Vec::with_capacity(output_tokens as usize);
+        for _ in 0..output_tokens.min(64) {
+            match self.rng.pick(lexicon) {
+                Some(w) => words.push(*w),
+                None => break,
+            }
+        }
+        let mut text = words.join(" ");
+        if hallucinated {
+            text.push_str(" [UNVERIFIED-CLAIM]");
+        }
+
+        let usage = TokenUsage {
+            input_tokens,
+            output_tokens,
+        };
+        self.lifetime_usage.add(usage);
+        self.calls += 1;
+        Completion {
+            text,
+            hallucinated,
+            usage,
+            latency: self.latency_for(input_tokens, output_tokens),
+        }
+    }
+
+    /// Binary judgment with the profile's accuracy: returns the model's
+    /// answer given ground truth `truth`.
+    pub fn judge(&mut self, truth: bool) -> bool {
+        if self.rng.chance(self.profile.accuracy) {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    /// Score estimation: the model's estimate of a latent value, with error
+    /// shrinking as accuracy grows and temperature falls.
+    pub fn estimate(&mut self, latent: f64, scale: f64) -> f64 {
+        let err_sd = scale * (1.0 - self.profile.accuracy) * (0.5 + self.profile.temperature);
+        latent + self.rng.normal_with(0.0, err_sd)
+    }
+
+    /// Propose a point in `[0,1]^d`, biased toward `anchor` when provided
+    /// (exploit) and uniform otherwise (explore). Temperature scales the
+    /// perturbation radius. Hallucinations produce out-of-bounds proposals,
+    /// which downstream validation must catch (§4.1's validation argument).
+    pub fn propose_point(&mut self, dim: usize, anchor: Option<&[f64]>) -> (Vec<f64>, bool) {
+        let hallucinated = self.rng.chance(self.profile.hallucination_rate);
+        let mut point = Vec::with_capacity(dim);
+        match anchor {
+            Some(best) if !best.is_empty() => {
+                let sd = 0.08 + 0.12 * self.profile.temperature;
+                for i in 0..dim {
+                    let base = best.get(i).copied().unwrap_or(0.5);
+                    point.push(base + self.rng.normal_with(0.0, sd));
+                }
+            }
+            _ => {
+                for _ in 0..dim {
+                    point.push(self.rng.uniform());
+                }
+            }
+        }
+        if hallucinated {
+            // Fabricated coordinates outside the physical design space.
+            let idx = self.rng.below(dim.max(1));
+            if let Some(v) = point.get_mut(idx) {
+                *v = 1.5 + self.rng.uniform();
+            }
+        } else {
+            for v in &mut point {
+                *v = v.clamp(0.0, 1.0);
+            }
+        }
+        (point, hallucinated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEX: &[&str] = &["perovskite", "anneal", "bandgap", "dopant", "lattice"];
+
+    #[test]
+    fn completions_are_deterministic_per_seed() {
+        let mut a = CognitiveModel::new(ModelProfile::fast_llm(), 1);
+        let mut b = CognitiveModel::new(ModelProfile::fast_llm(), 1);
+        let ca = a.complete("design an experiment", 32, LEX);
+        let cb = b.complete("design an experiment", 32, LEX);
+        assert_eq!(ca.text, cb.text);
+        assert_eq!(ca.usage, cb.usage);
+    }
+
+    #[test]
+    fn token_accounting_accumulates() {
+        let mut m = CognitiveModel::new(ModelProfile::fast_llm(), 2);
+        m.complete("p1", 10, LEX);
+        m.complete("p2", 10, LEX);
+        assert_eq!(m.calls(), 2);
+        assert!(m.lifetime_usage().total() > 0);
+        assert!(m.lifetime_usage().output_tokens >= 2);
+    }
+
+    #[test]
+    fn reasoning_model_is_slower_but_more_accurate() {
+        let fast = ModelProfile::fast_llm();
+        let deep = ModelProfile::reasoning_lrm();
+        assert!(deep.accuracy > fast.accuracy);
+        assert!(deep.hallucination_rate < fast.hallucination_rate);
+        let mf = CognitiveModel::new(fast, 0);
+        let md = CognitiveModel::new(deep, 0);
+        assert!(md.latency_for(100, 100) > mf.latency_for(100, 100));
+    }
+
+    #[test]
+    fn judgment_accuracy_is_calibrated() {
+        let mut m = CognitiveModel::new(ModelProfile::reasoning_lrm(), 3);
+        let n = 5_000;
+        let correct = (0..n).filter(|_| m.judge(true)).count();
+        let rate = correct as f64 / n as f64;
+        assert!((rate - 0.95).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn hallucinations_leave_design_space() {
+        let mut profile = ModelProfile::fast_llm();
+        profile.hallucination_rate = 1.0;
+        let mut m = CognitiveModel::new(profile, 4);
+        let (p, h) = m.propose_point(3, None);
+        assert!(h);
+        assert!(p.iter().any(|v| *v > 1.0), "hallucination stayed in bounds: {p:?}");
+
+        let mut clean = ModelProfile::fast_llm();
+        clean.hallucination_rate = 0.0;
+        let mut m = CognitiveModel::new(clean, 4);
+        for _ in 0..50 {
+            let (p, h) = m.propose_point(3, Some(&[0.5, 0.5, 0.5]));
+            assert!(!h);
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn anchored_proposals_stay_near_anchor() {
+        let mut profile = ModelProfile::reasoning_lrm();
+        profile.hallucination_rate = 0.0;
+        profile.temperature = 0.1;
+        let mut m = CognitiveModel::new(profile, 5);
+        let anchor = vec![0.5, 0.5];
+        let mut dist_sum = 0.0;
+        for _ in 0..100 {
+            let (p, _) = m.propose_point(2, Some(&anchor));
+            dist_sum += (p[0] - 0.5).abs() + (p[1] - 0.5).abs();
+        }
+        assert!(dist_sum / 100.0 < 0.3, "mean dist {}", dist_sum / 100.0);
+    }
+
+    #[test]
+    fn estimates_tighten_with_accuracy() {
+        let spread = |profile: ModelProfile| {
+            let mut m = CognitiveModel::new(profile, 6);
+            let xs: Vec<f64> = (0..2_000).map(|_| m.estimate(1.0, 1.0) - 1.0).collect();
+            (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        assert!(spread(ModelProfile::reasoning_lrm()) < spread(ModelProfile::edge_model()));
+    }
+}

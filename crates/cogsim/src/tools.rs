@@ -1,0 +1,274 @@
+//! Tool registry and tool-calling for simulated agents (Figure 1-d).
+//!
+//! The paper models an LLM agent as a state machine whose transition
+//! function consults tools ("LLM agent with tools for routine execution").
+//! Tools here are plain Rust closures registered under a name with a
+//! description; the agent's tool-selection step matches task keywords
+//! against descriptions — a deterministic analogue of learned tool routing
+//! (e.g. ChemCrow's 18 chemistry tools, §2.3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Input to a tool invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ToolInput {
+    /// Free-form request text.
+    pub query: String,
+    /// Numeric arguments (design-point coordinates etc.).
+    pub args: Vec<f64>,
+}
+
+/// Output of a tool invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ToolOutput {
+    /// Free-form response text.
+    pub text: String,
+    /// Numeric results.
+    pub values: Vec<f64>,
+    /// Whether the tool succeeded.
+    pub ok: bool,
+}
+
+impl ToolOutput {
+    /// A successful text-only output.
+    pub fn ok_text(text: impl Into<String>) -> Self {
+        ToolOutput {
+            text: text.into(),
+            values: vec![],
+            ok: true,
+        }
+    }
+
+    /// A failed output with an error message.
+    pub fn error(text: impl Into<String>) -> Self {
+        ToolOutput {
+            text: text.into(),
+            values: vec![],
+            ok: false,
+        }
+    }
+}
+
+/// Errors from tool dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolError {
+    /// No tool with the given name is registered.
+    UnknownTool(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::UnknownTool(n) => write!(f, "unknown tool {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+type ToolFn = Box<dyn FnMut(&ToolInput) -> ToolOutput + Send>;
+
+/// A named, described, invocable capability.
+pub struct Tool {
+    name: String,
+    description: String,
+    keywords: Vec<String>,
+    func: ToolFn,
+    invocations: u64,
+}
+
+impl Tool {
+    /// Tool name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human/agent-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Times this tool has been invoked.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+impl fmt::Debug for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tool")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .field("invocations", &self.invocations)
+            .finish()
+    }
+}
+
+/// A registry of tools an agent may call.
+#[derive(Debug, Default)]
+pub struct ToolRegistry {
+    tools: BTreeMap<String, Tool>,
+}
+
+impl ToolRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tool. The description doubles as routing keywords.
+    pub fn register<F>(&mut self, name: impl Into<String>, description: impl Into<String>, func: F)
+    where
+        F: FnMut(&ToolInput) -> ToolOutput + Send + 'static,
+    {
+        let name = name.into();
+        let description = description.into();
+        let keywords = description
+            .to_lowercase()
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| w.len() > 3)
+            .map(String::from)
+            .collect();
+        self.tools.insert(
+            name.clone(),
+            Tool {
+                name,
+                description,
+                keywords,
+                func: Box::new(func),
+                invocations: 0,
+            },
+        );
+    }
+
+    /// Number of registered tools.
+    pub fn len(&self) -> usize {
+        self.tools.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+
+    /// Names of all tools, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.tools.keys().map(String::as_str).collect()
+    }
+
+    /// Look up a tool by name.
+    pub fn get(&self, name: &str) -> Option<&Tool> {
+        self.tools.get(name)
+    }
+
+    /// Invoke a tool by name.
+    pub fn invoke(&mut self, name: &str, input: &ToolInput) -> Result<ToolOutput, ToolError> {
+        let tool = self
+            .tools
+            .get_mut(name)
+            .ok_or_else(|| ToolError::UnknownTool(name.to_string()))?;
+        tool.invocations += 1;
+        Ok((tool.func)(input))
+    }
+
+    /// Rank tools by keyword overlap with `task` (descending score, then
+    /// name order for determinism). Score 0 tools are excluded.
+    pub fn route(&self, task: &str) -> Vec<(&str, usize)> {
+        let task_words: Vec<String> = task
+            .to_lowercase()
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| w.len() > 3)
+            .map(String::from)
+            .collect();
+        let mut scored: Vec<(&str, usize)> = self
+            .tools
+            .values()
+            .map(|t| {
+                let score = t
+                    .keywords
+                    .iter()
+                    .filter(|k| task_words.contains(k))
+                    .count();
+                (t.name.as_str(), score)
+            })
+            .filter(|(_, s)| *s > 0)
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ToolRegistry {
+        let mut r = ToolRegistry::new();
+        r.register(
+            "simulate_dft",
+            "run density functional theory simulation of material bandgap",
+            |inp| ToolOutput {
+                text: "dft complete".into(),
+                values: vec![inp.args.iter().sum()],
+                ok: true,
+            },
+        );
+        r.register(
+            "query_literature",
+            "search published literature for material synthesis routes",
+            |_| ToolOutput::ok_text("3 papers found"),
+        );
+        r.register(
+            "submit_synthesis",
+            "submit a synthesis job to the robotic laboratory",
+            |_| ToolOutput::ok_text("job queued"),
+        );
+        r
+    }
+
+    #[test]
+    fn routing_matches_keywords() {
+        let r = registry();
+        let ranked = r.route("simulate the bandgap of this material");
+        assert_eq!(ranked[0].0, "simulate_dft");
+        let ranked = r.route("search the literature for synthesis of perovskites");
+        assert_eq!(ranked[0].0, "query_literature");
+        assert!(r.route("completely unrelated zzz").is_empty());
+    }
+
+    #[test]
+    fn invoke_runs_and_counts() {
+        let mut r = registry();
+        let out = r
+            .invoke(
+                "simulate_dft",
+                &ToolInput {
+                    query: "bandgap".into(),
+                    args: vec![1.0, 2.0],
+                },
+            )
+            .unwrap();
+        assert!(out.ok);
+        assert_eq!(out.values, vec![3.0]);
+        assert_eq!(r.get("simulate_dft").unwrap().invocations(), 1);
+    }
+
+    #[test]
+    fn unknown_tool_errors() {
+        let mut r = registry();
+        let err = r.invoke("nope", &ToolInput::default()).unwrap_err();
+        assert_eq!(err, ToolError::UnknownTool("nope".into()));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let r = registry();
+        assert_eq!(
+            r.names(),
+            vec!["query_literature", "simulate_dft", "submit_synthesis"]
+        );
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the cognitive simulator: determinism, calibration,
+//! and accounting invariants that keep the LLM substitution honest.
+
+use evoflow_cogsim::{
+    CognitiveModel, LlmAgent, LrmAgent, ModelProfile, ToolOutput, ToolRegistry,
+};
+use proptest::prelude::*;
+
+fn profile(accuracy: f64, hallucination: f64) -> ModelProfile {
+    ModelProfile {
+        accuracy,
+        hallucination_rate: hallucination,
+        ..ModelProfile::fast_llm()
+    }
+}
+
+proptest! {
+    /// Same seed ⇒ bit-identical completions; different seeds diverge.
+    #[test]
+    fn completions_are_seed_pure(seed in any::<u64>(), tokens in 1u64..100) {
+        let lex = ["alpha", "beta", "gamma"];
+        let run = |s| {
+            let mut m = CognitiveModel::new(ModelProfile::fast_llm(), s);
+            let c = m.complete("prompt", tokens, &lex);
+            (c.text, c.usage, c.hallucinated)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Token accounting is exact: lifetime usage equals the sum of
+    /// per-call usages, and latency grows with output size.
+    #[test]
+    fn token_accounting_is_additive(calls in prop::collection::vec(1u64..64, 1..10)) {
+        let lex = ["x"];
+        let mut m = CognitiveModel::new(ModelProfile::fast_llm(), 5);
+        let mut total = 0u64;
+        for t in &calls {
+            let c = m.complete("p", *t, &lex);
+            total += c.usage.total();
+        }
+        prop_assert_eq!(m.lifetime_usage().total(), total);
+        prop_assert_eq!(m.calls(), calls.len() as u64);
+        let small = m.latency_for(10, 10);
+        let large = m.latency_for(10, 1000);
+        prop_assert!(large > small);
+    }
+
+    /// Judgment accuracy converges to the profile's accuracy parameter.
+    #[test]
+    fn judgment_is_calibrated(acc_pct in 55u32..100) {
+        let acc = acc_pct as f64 / 100.0;
+        let mut m = CognitiveModel::new(profile(acc, 0.0), 11);
+        let n = 4_000;
+        let correct = (0..n).filter(|_| m.judge(true)).count();
+        let rate = correct as f64 / n as f64;
+        prop_assert!((rate - acc).abs() < 0.05, "rate {} vs target {}", rate, acc);
+    }
+
+    /// Zero hallucination rate ⇒ proposals always inside the unit cube;
+    /// rate one ⇒ always flagged.
+    #[test]
+    fn hallucination_knob_is_exact(dim in 1usize..6, seed in any::<u64>()) {
+        let mut clean = CognitiveModel::new(profile(0.9, 0.0), seed);
+        for _ in 0..20 {
+            let (p, h) = clean.propose_point(dim, None);
+            prop_assert!(!h);
+            prop_assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        let mut wild = CognitiveModel::new(profile(0.9, 1.0), seed);
+        for _ in 0..20 {
+            let (_, h) = wild.propose_point(dim, None);
+            prop_assert!(h);
+        }
+    }
+
+    /// Agent task execution is deterministic and history grows by at
+    /// least two turns per task (user + assistant).
+    #[test]
+    fn agent_history_grows(seed in any::<u64>(), tasks in 1usize..5) {
+        let mk = || {
+            let mut t = ToolRegistry::new();
+            t.register("probe", "probe instrument telemetry values", |_| {
+                ToolOutput::ok_text("ok")
+            });
+            LlmAgent::new("p", CognitiveModel::new(ModelProfile::fast_llm(), seed), t)
+        };
+        let mut a = mk();
+        for i in 0..tasks {
+            a.execute_task(&format!("probe instrument telemetry values run {i}"));
+        }
+        prop_assert!(a.history().len() >= tasks * 2);
+        let mut b = mk();
+        for i in 0..tasks {
+            b.execute_task(&format!("probe instrument telemetry values run {i}"));
+        }
+        prop_assert_eq!(a.history().len(), b.history().len());
+    }
+
+    /// LRM plans always terminate: every step ends in a non-pending state
+    /// regardless of tool reliability.
+    #[test]
+    fn lrm_plans_terminate(seed in any::<u64>(), fail_every in 1u32..5) {
+        let mut t = ToolRegistry::new();
+        let mut counter = 0u32;
+        t.register("flaky", "run the flaky characterization scan", move |_| {
+            counter += 1;
+            if counter.is_multiple_of(fail_every) {
+                ToolOutput::error("glitch")
+            } else {
+                ToolOutput::ok_text("ok")
+            }
+        });
+        let mut a = LrmAgent::new("r", CognitiveModel::new(ModelProfile::reasoning_lrm(), seed), t);
+        let report = a.pursue("run the flaky characterization scan");
+        prop_assert!(report.plan.is_complete());
+        prop_assert!(report.plan.replans <= 2);
+    }
+}

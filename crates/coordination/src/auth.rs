@@ -1,0 +1,264 @@
+//! Capability-token authentication for inter-agent communication (§5.2).
+//!
+//! "Security frameworks like Globus Auth can be extended to authenticate
+//! inter-agent communication … assuming non-human access scenarios" (§5.5).
+//! Tokens carry scopes and expiry, are signed with a per-authority secret
+//! (simulated MAC), and can be *delegated with attenuation only*: a derived
+//! token's scopes must be a subset of its parent's — the property that keeps
+//! agent-to-agent delegation chains from escalating privilege.
+
+use evoflow_sim::fnv1a;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A scoped, signed capability token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Unique token id.
+    pub id: u64,
+    /// Issuing authority name.
+    pub issuer: String,
+    /// Subject (agent/service) the token was issued to.
+    pub subject: String,
+    /// Granted scopes (e.g. `"submit:hpc"`, `"read:kg"`).
+    pub scopes: BTreeSet<String>,
+    /// Expiry as a logical timestamp.
+    pub expires_at: u64,
+    /// Parent token id when delegated.
+    pub parent: Option<u64>,
+    /// Signature (MAC over the fields with the authority secret).
+    pub mac: u64,
+}
+
+/// Why verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// MAC check failed (tampered or foreign token).
+    BadSignature,
+    /// Token expired at the given check time.
+    Expired,
+    /// Token was revoked.
+    Revoked,
+    /// Required scope is absent.
+    MissingScope(String),
+    /// A delegated token tried to widen its parent's scopes.
+    ScopeEscalation,
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::BadSignature => write!(f, "bad token signature"),
+            AuthError::Expired => write!(f, "token expired"),
+            AuthError::Revoked => write!(f, "token revoked"),
+            AuthError::MissingScope(s) => write!(f, "missing scope {s:?}"),
+            AuthError::ScopeEscalation => write!(f, "delegation would escalate scopes"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// A token-issuing authority for one trust domain.
+#[derive(Debug)]
+pub struct Authority {
+    name: String,
+    secret: u64,
+    next_id: u64,
+    revoked: BTreeSet<u64>,
+}
+
+impl Authority {
+    /// Create an authority with a secret.
+    pub fn new(name: impl Into<String>, secret: u64) -> Self {
+        Authority {
+            name: name.into(),
+            secret,
+            next_id: 1,
+            revoked: BTreeSet::new(),
+        }
+    }
+
+    /// Authority name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sign(&self, id: u64, subject: &str, scopes: &BTreeSet<String>, expires_at: u64) -> u64 {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&id.to_le_bytes());
+        buf.extend_from_slice(self.name.as_bytes());
+        buf.extend_from_slice(subject.as_bytes());
+        for s in scopes {
+            buf.extend_from_slice(s.as_bytes());
+            buf.push(0);
+        }
+        buf.extend_from_slice(&expires_at.to_le_bytes());
+        buf.extend_from_slice(&self.secret.to_le_bytes());
+        fnv1a(&buf)
+    }
+
+    /// Issue a token for `subject` with `scopes` until `expires_at`.
+    pub fn issue(
+        &mut self,
+        subject: impl Into<String>,
+        scopes: impl IntoIterator<Item = String>,
+        expires_at: u64,
+    ) -> Token {
+        let subject = subject.into();
+        let scopes: BTreeSet<String> = scopes.into_iter().collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        let mac = self.sign(id, &subject, &scopes, expires_at);
+        Token {
+            id,
+            issuer: self.name.clone(),
+            subject,
+            scopes,
+            expires_at,
+            parent: None,
+            mac,
+        }
+    }
+
+    /// Delegate `parent` to a new subject with attenuated scopes.
+    /// Fails with [`AuthError::ScopeEscalation`] if `scopes ⊄ parent.scopes`,
+    /// and never extends expiry beyond the parent's.
+    pub fn delegate(
+        &mut self,
+        parent: &Token,
+        subject: impl Into<String>,
+        scopes: impl IntoIterator<Item = String>,
+        expires_at: u64,
+        now: u64,
+    ) -> Result<Token, AuthError> {
+        self.verify(parent, None, now)?;
+        let scopes: BTreeSet<String> = scopes.into_iter().collect();
+        if !scopes.is_subset(&parent.scopes) {
+            return Err(AuthError::ScopeEscalation);
+        }
+        let subject = subject.into();
+        let expires_at = expires_at.min(parent.expires_at);
+        let id = self.next_id;
+        self.next_id += 1;
+        let mac = self.sign(id, &subject, &scopes, expires_at);
+        Ok(Token {
+            id,
+            issuer: self.name.clone(),
+            subject,
+            scopes,
+            expires_at,
+            parent: Some(parent.id),
+            mac,
+        })
+    }
+
+    /// Revoke a token id (and implicitly anything delegated from it at
+    /// verification time if callers check chains — see `verify_chain`).
+    pub fn revoke(&mut self, id: u64) {
+        self.revoked.insert(id);
+    }
+
+    /// Verify a token: signature, expiry, revocation, and (optionally) a
+    /// required scope.
+    pub fn verify(
+        &self,
+        token: &Token,
+        required_scope: Option<&str>,
+        now: u64,
+    ) -> Result<(), AuthError> {
+        let mac = self.sign(token.id, &token.subject, &token.scopes, token.expires_at);
+        if mac != token.mac || token.issuer != self.name {
+            return Err(AuthError::BadSignature);
+        }
+        if now > token.expires_at {
+            return Err(AuthError::Expired);
+        }
+        if self.revoked.contains(&token.id) {
+            return Err(AuthError::Revoked);
+        }
+        if let Some(p) = token.parent {
+            if self.revoked.contains(&p) {
+                return Err(AuthError::Revoked);
+            }
+        }
+        if let Some(scope) = required_scope {
+            if !token.scopes.contains(scope) {
+                return Err(AuthError::MissingScope(scope.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scopes(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let mut auth = Authority::new("ornl-auth", 0xdead_beef);
+        let t = auth.issue("analysis-agent", scopes(&["read:kg", "submit:hpc"]), 100);
+        assert!(auth.verify(&t, Some("read:kg"), 50).is_ok());
+        assert_eq!(
+            auth.verify(&t, Some("admin"), 50).unwrap_err(),
+            AuthError::MissingScope("admin".into())
+        );
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let mut auth = Authority::new("a", 1);
+        let t = auth.issue("x", scopes(&["s"]), 10);
+        assert!(auth.verify(&t, None, 10).is_ok());
+        assert_eq!(auth.verify(&t, None, 11).unwrap_err(), AuthError::Expired);
+    }
+
+    #[test]
+    fn tampering_breaks_signature() {
+        let mut auth = Authority::new("a", 1);
+        let mut t = auth.issue("x", scopes(&["s"]), 10);
+        t.scopes.insert("admin".into());
+        assert_eq!(auth.verify(&t, None, 0).unwrap_err(), AuthError::BadSignature);
+    }
+
+    #[test]
+    fn foreign_authority_rejected() {
+        let mut a = Authority::new("a", 1);
+        let b = Authority::new("b", 2);
+        let t = a.issue("x", scopes(&["s"]), 10);
+        assert_eq!(b.verify(&t, None, 0).unwrap_err(), AuthError::BadSignature);
+    }
+
+    #[test]
+    fn delegation_attenuates_only() {
+        let mut auth = Authority::new("a", 7);
+        let parent = auth.issue("planner", scopes(&["read:kg", "submit:hpc"]), 100);
+        let child = auth
+            .delegate(&parent, "worker", scopes(&["read:kg"]), 200, 0)
+            .unwrap();
+        // Expiry clamped to parent's.
+        assert_eq!(child.expires_at, 100);
+        assert_eq!(child.parent, Some(parent.id));
+        assert!(auth.verify(&child, Some("read:kg"), 50).is_ok());
+        // Escalation rejected.
+        let err = auth
+            .delegate(&parent, "worker", scopes(&["admin"]), 100, 0)
+            .unwrap_err();
+        assert_eq!(err, AuthError::ScopeEscalation);
+    }
+
+    #[test]
+    fn revocation_cascades_to_children() {
+        let mut auth = Authority::new("a", 7);
+        let parent = auth.issue("planner", scopes(&["s"]), 100);
+        let child = auth.delegate(&parent, "worker", scopes(&["s"]), 100, 0).unwrap();
+        auth.revoke(parent.id);
+        assert_eq!(auth.verify(&parent, None, 0).unwrap_err(), AuthError::Revoked);
+        assert_eq!(auth.verify(&child, None, 0).unwrap_err(), AuthError::Revoked);
+    }
+}

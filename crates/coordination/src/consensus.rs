@@ -1,0 +1,304 @@
+//! Consensus primitives for multi-agent decision-making (§5.2, §5.5).
+//!
+//! "Scalable consensus protocols for multi-agent decision-making and
+//! distributed state management are required and should provide audit
+//! trails for autonomous actions." Three primitives:
+//!
+//! * [`run_quorum`] — broadcast quorum voting (mesh-style: proposer talks to
+//!   everyone; message cost O(n) per round, channel cost O(n²) for
+//!   all-to-all deliberation).
+//! * [`gossip_consensus`] — swarm-style push-pull averaging over k random
+//!   neighbors; message cost O(k·n) per round, converging in O(log n)
+//!   rounds — the scalability mechanism Table 2 attributes to Φ.
+//! * [`elect_leader`] — deterministic bully election with message counting.
+//!
+//! The channel-count formulas of Table 2 live in [`topology`].
+
+use evoflow_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Channel-count formulas for the five composition patterns (Table 2).
+pub mod topology {
+    /// Pipeline `M1∘M2∘…∘Mn`: n−1 forward channels — O(n).
+    pub fn pipeline_channels(n: u64) -> u64 {
+        n.saturating_sub(1)
+    }
+
+    /// Hierarchical `M_mgr(M1..Mn)` with the given fanout: one channel per
+    /// parent-child edge — O(n) total (n−1 edges in any tree).
+    pub fn hierarchical_channels(n: u64) -> u64 {
+        n.saturating_sub(1)
+    }
+
+    /// Mesh `∀i,j: Mi↔Mj`: all-to-all — O(n²), exactly n(n−1)/2 undirected.
+    pub fn mesh_channels(n: u64) -> u64 {
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Swarm `Φ({m1..mn})` with neighborhood size k: each member keeps k
+    /// local channels — O(k·n) total, O(k) per member.
+    pub fn swarm_channels(n: u64, k: u64) -> u64 {
+        n * k.min(n.saturating_sub(1))
+    }
+}
+
+/// Configuration for quorum voting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuorumConfig {
+    /// Fraction of *all* voters whose YES is required to accept.
+    pub threshold: f64,
+    /// Maximum solicitation rounds before giving up.
+    pub max_rounds: u32,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig {
+            threshold: 0.5,
+            max_rounds: 4,
+        }
+    }
+}
+
+/// Result of a quorum vote.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuorumOutcome {
+    /// Whether the proposal reached the threshold.
+    pub accepted: bool,
+    /// YES votes received.
+    pub yes: u32,
+    /// NO votes received.
+    pub no: u32,
+    /// Total messages exchanged (requests + responses).
+    pub messages: u64,
+    /// Rounds used.
+    pub rounds: u32,
+}
+
+/// Run a broadcast quorum vote among `n_voters`, each reachable with
+/// probability `reliability` per round and voting YES with probability
+/// `approval`. Unreached voters are re-solicited in later rounds.
+pub fn run_quorum(
+    n_voters: u32,
+    reliability: f64,
+    approval: f64,
+    cfg: QuorumConfig,
+    rng: &mut SimRng,
+) -> QuorumOutcome {
+    let needed = (cfg.threshold * n_voters as f64).floor() as u32 + 1;
+    let mut yes = 0u32;
+    let mut no = 0u32;
+    let mut messages = 0u64;
+    let mut pending: Vec<u32> = (0..n_voters).collect();
+    let mut rounds = 0u32;
+
+    while rounds < cfg.max_rounds && yes < needed && !pending.is_empty() {
+        rounds += 1;
+        let mut still_pending = Vec::new();
+        for voter in pending {
+            messages += 1; // solicitation
+            if rng.chance(reliability) {
+                messages += 1; // response
+                if rng.chance(approval) {
+                    yes += 1;
+                } else {
+                    no += 1;
+                }
+            } else {
+                still_pending.push(voter);
+            }
+        }
+        pending = still_pending;
+        // Early reject: even if every pending voter said yes we can't win.
+        if yes + (pending.len() as u32) < needed {
+            break;
+        }
+    }
+
+    QuorumOutcome {
+        accepted: yes >= needed,
+        yes,
+        no,
+        messages,
+        rounds,
+    }
+}
+
+/// Result of gossip averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipOutcome {
+    /// Rounds until convergence (or the cap).
+    pub rounds: u32,
+    /// Total messages (each push-pull exchange counts 2).
+    pub messages: u64,
+    /// Final max-min spread of opinions.
+    pub spread: f64,
+    /// Whether convergence was reached within the round cap.
+    pub converged: bool,
+}
+
+/// Swarm consensus by push-pull gossip averaging: each round, every member
+/// exchanges opinions with `k` random neighbors and both move to the mean.
+/// Converges geometrically; message cost O(k·n) per round.
+pub fn gossip_consensus(
+    opinions: &mut [f64],
+    k: usize,
+    epsilon: f64,
+    max_rounds: u32,
+    rng: &mut SimRng,
+) -> GossipOutcome {
+    let n = opinions.len();
+    let mut messages = 0u64;
+    let mut rounds = 0u32;
+    if n == 0 {
+        return GossipOutcome {
+            rounds: 0,
+            messages: 0,
+            spread: 0.0,
+            converged: true,
+        };
+    }
+    let spread = |xs: &[f64]| {
+        let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        mx - mn
+    };
+    while rounds < max_rounds && spread(opinions) > epsilon {
+        rounds += 1;
+        for i in 0..n {
+            for _ in 0..k.min(n.saturating_sub(1)) {
+                let mut j = rng.below(n);
+                if j == i {
+                    j = (j + 1) % n;
+                }
+                let mean = (opinions[i] + opinions[j]) / 2.0;
+                opinions[i] = mean;
+                opinions[j] = mean;
+                messages += 2; // push + pull
+            }
+        }
+    }
+    let s = spread(opinions);
+    GossipOutcome {
+        rounds,
+        messages,
+        spread: s,
+        converged: s <= epsilon,
+    }
+}
+
+/// Deterministic bully leader election over live node ids.
+/// Returns the winner (highest id) and the number of messages a bully-style
+/// election exchanges: each node challenges all higher ids, answers flow
+/// back, and the coordinator announces to everyone.
+pub fn elect_leader(live_ids: &[u64]) -> Option<(u64, u64)> {
+    if live_ids.is_empty() {
+        return None;
+    }
+    let winner = *live_ids.iter().max().expect("non-empty");
+    let n = live_ids.len() as u64;
+    let mut messages = 0u64;
+    for &id in live_ids {
+        let higher = live_ids.iter().filter(|&&x| x > id).count() as u64;
+        messages += higher * 2; // ELECTION + ANSWER
+    }
+    messages += n - 1; // COORDINATOR announcement
+    Some((winner, messages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::topology::*;
+    use super::*;
+
+    #[test]
+    fn channel_formulas_match_table2() {
+        assert_eq!(pipeline_channels(10), 9);
+        assert_eq!(hierarchical_channels(10), 9);
+        assert_eq!(mesh_channels(10), 45);
+        assert_eq!(swarm_channels(100, 5), 500);
+        // Swarm k is capped by n-1.
+        assert_eq!(swarm_channels(4, 100), 12);
+        // Asymptotics: mesh quadratic, swarm linear in n.
+        assert!(mesh_channels(1000) > swarm_channels(1000, 8) * 50);
+    }
+
+    #[test]
+    fn reliable_unanimous_quorum_accepts_in_one_round() {
+        let mut rng = SimRng::from_seed_u64(1);
+        let out = run_quorum(10, 1.0, 1.0, QuorumConfig::default(), &mut rng);
+        assert!(out.accepted);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.yes, 10); // whole round is solicited at once
+        assert_eq!(out.messages, 20); // 10 asks + 10 replies
+    }
+
+    #[test]
+    fn hostile_electorate_rejects() {
+        let mut rng = SimRng::from_seed_u64(2);
+        let out = run_quorum(20, 1.0, 0.0, QuorumConfig::default(), &mut rng);
+        assert!(!out.accepted);
+        assert_eq!(out.no, 20);
+    }
+
+    #[test]
+    fn unreliable_voters_need_more_rounds() {
+        let mut rng = SimRng::from_seed_u64(3);
+        let flaky = run_quorum(
+            40,
+            0.5,
+            1.0,
+            QuorumConfig {
+                threshold: 0.6,
+                max_rounds: 10,
+            },
+            &mut rng,
+        );
+        assert!(flaky.accepted);
+        assert!(flaky.rounds > 1, "rounds {}", flaky.rounds);
+    }
+
+    #[test]
+    fn gossip_converges_geometrically() {
+        let mut rng = SimRng::from_seed_u64(4);
+        let mut opinions: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let out = gossip_consensus(&mut opinions, 3, 0.5, 100, &mut rng);
+        assert!(out.converged, "spread {}", out.spread);
+        assert!(out.rounds < 30, "rounds {}", out.rounds);
+        // Mean is preserved by pairwise averaging.
+        let mean = opinions.iter().sum::<f64>() / opinions.len() as f64;
+        assert!((mean - 99.5).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn gossip_message_cost_is_linear_in_n() {
+        let mut rng = SimRng::from_seed_u64(5);
+        let mut cost = |n: usize| {
+            let mut ops: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+            let out = gossip_consensus(&mut ops, 4, 0.1, 200, &mut rng);
+            out.messages as f64 / out.rounds.max(1) as f64
+        };
+        let c100 = cost(100);
+        let c800 = cost(800);
+        let ratio = c800 / c100;
+        assert!((6.0..10.0).contains(&ratio), "ratio {ratio}"); // ~8 = linear
+    }
+
+    #[test]
+    fn leader_election_picks_max_and_counts_messages() {
+        let (leader, msgs) = elect_leader(&[3, 9, 1, 5]).unwrap();
+        assert_eq!(leader, 9);
+        // 3 challenges {9,5}, 1 challenges {3,9,5}, 5 challenges {9}: 6 pairs
+        // -> 12 challenge/answer messages + 3 coordinator msgs.
+        assert_eq!(msgs, 15);
+        assert!(elect_leader(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_gossip_is_trivially_converged() {
+        let mut rng = SimRng::from_seed_u64(6);
+        let out = gossip_consensus(&mut [], 3, 0.1, 10, &mut rng);
+        assert!(out.converged);
+        assert_eq!(out.messages, 0);
+    }
+}

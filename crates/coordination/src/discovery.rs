@@ -1,0 +1,264 @@
+//! Service discovery and capability advertisement (§5.1).
+//!
+//! "Cross-facility coordination is enabled through standard protocols that
+//! support communication, capability advertisement, and resource discovery.
+//! These protocols facilitate dynamic matchmaking between agents,
+//! instruments, and services across administrative boundaries."
+//!
+//! Services advertise named capabilities with attributes; consumers match
+//! on capability plus attribute constraints. Liveness is heartbeat-based
+//! against a logical clock, so stale services fall out of matchmaking.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A service's advertisement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDescriptor {
+    /// Unique service name (e.g. `"beamline-2@aps"`).
+    pub name: String,
+    /// Facility hosting the service.
+    pub facility: String,
+    /// Capabilities offered (e.g. `"characterization/xrd"`).
+    pub capabilities: Vec<String>,
+    /// Attribute map (e.g. `"resolution" -> "0.1nm"`, `"queue" -> "short"`).
+    pub attributes: BTreeMap<String, String>,
+    /// Endpoint for invocation.
+    pub endpoint: String,
+}
+
+/// A capability query with attribute constraints.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Required capability string (exact or prefix with trailing `/`).
+    pub capability: String,
+    /// Required attribute equalities.
+    pub attributes: BTreeMap<String, String>,
+    /// Restrict to one facility, if set.
+    pub facility: Option<String>,
+}
+
+impl Query {
+    /// Query for a bare capability.
+    pub fn capability(cap: impl Into<String>) -> Self {
+        Query {
+            capability: cap.into(),
+            ..Query::default()
+        }
+    }
+
+    /// Add an attribute constraint.
+    pub fn with_attr(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.attributes.insert(k.into(), v.into());
+        self
+    }
+
+    /// Restrict to a facility.
+    pub fn at_facility(mut self, f: impl Into<String>) -> Self {
+        self.facility = Some(f.into());
+        self
+    }
+}
+
+/// The federated service registry for one coordination domain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServiceRegistry {
+    services: BTreeMap<String, (ServiceDescriptor, u64)>, // name -> (desc, last_heartbeat)
+    ttl_ticks: u64,
+}
+
+impl ServiceRegistry {
+    /// Registry whose services expire `ttl_ticks` after their last heartbeat.
+    pub fn new(ttl_ticks: u64) -> Self {
+        ServiceRegistry {
+            services: BTreeMap::new(),
+            ttl_ticks: ttl_ticks.max(1),
+        }
+    }
+
+    /// Advertise (or refresh) a service at logical time `now`.
+    pub fn advertise(&mut self, desc: ServiceDescriptor, now: u64) {
+        self.services.insert(desc.name.clone(), (desc, now));
+    }
+
+    /// Heartbeat a service; returns false if the service is unknown.
+    pub fn heartbeat(&mut self, name: &str, now: u64) -> bool {
+        match self.services.get_mut(name) {
+            Some((_, t)) => {
+                *t = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Explicitly withdraw a service.
+    pub fn withdraw(&mut self, name: &str) -> bool {
+        self.services.remove(name).is_some()
+    }
+
+    /// Whether a service is alive at `now`.
+    pub fn is_alive(&self, name: &str, now: u64) -> bool {
+        self.services
+            .get(name)
+            .map(|(_, t)| now.saturating_sub(*t) <= self.ttl_ticks)
+            .unwrap_or(false)
+    }
+
+    /// All live services at `now`, in name order.
+    pub fn live(&self, now: u64) -> Vec<&ServiceDescriptor> {
+        self.services
+            .values()
+            .filter(|(_, t)| now.saturating_sub(*t) <= self.ttl_ticks)
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Matchmake: live services satisfying the query, in name order.
+    /// Capability matches exactly, or by prefix when the query capability
+    /// ends with `/` (e.g. `"characterization/"` matches any
+    /// characterization mode).
+    pub fn discover(&self, q: &Query, now: u64) -> Vec<&ServiceDescriptor> {
+        self.live(now)
+            .into_iter()
+            .filter(|d| {
+                let cap_ok = if q.capability.ends_with('/') {
+                    d.capabilities.iter().any(|c| c.starts_with(&q.capability))
+                } else {
+                    d.capabilities.iter().any(|c| c == &q.capability)
+                };
+                let fac_ok = q.facility.as_deref().map(|f| d.facility == f).unwrap_or(true);
+                let attr_ok = q
+                    .attributes
+                    .iter()
+                    .all(|(k, v)| d.attributes.get(k) == Some(v));
+                cap_ok && fac_ok && attr_ok
+            })
+            .collect()
+    }
+
+    /// Remove expired services, returning how many were dropped.
+    pub fn prune(&mut self, now: u64) -> usize {
+        let before = self.services.len();
+        let ttl = self.ttl_ticks;
+        self.services
+            .retain(|_, (_, t)| now.saturating_sub(*t) <= ttl);
+        before - self.services.len()
+    }
+
+    /// Total registered (live or stale) services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Merge another registry replica (federation): newer heartbeat wins.
+    pub fn merge(&mut self, other: &ServiceRegistry) {
+        for (name, (desc, t)) in &other.services {
+            match self.services.get(name) {
+                Some((_, mine)) if mine >= t => {}
+                _ => {
+                    self.services.insert(name.clone(), (desc.clone(), *t));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beamline() -> ServiceDescriptor {
+        ServiceDescriptor {
+            name: "beamline-2".into(),
+            facility: "lightsource".into(),
+            capabilities: vec!["characterization/xrd".into(), "characterization/saxs".into()],
+            attributes: BTreeMap::from([("resolution".to_string(), "0.1nm".to_string())]),
+            endpoint: "fed://lightsource/beamline-2".into(),
+        }
+    }
+
+    fn robot() -> ServiceDescriptor {
+        ServiceDescriptor {
+            name: "synthbot-1".into(),
+            facility: "chemlab".into(),
+            capabilities: vec!["synthesis/thin-film".into()],
+            attributes: BTreeMap::from([("throughput".to_string(), "high".to_string())]),
+            endpoint: "fed://chemlab/synthbot-1".into(),
+        }
+    }
+
+    #[test]
+    fn discovery_matches_capability() {
+        let mut r = ServiceRegistry::new(10);
+        r.advertise(beamline(), 0);
+        r.advertise(robot(), 0);
+        let hits = r.discover(&Query::capability("characterization/xrd"), 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "beamline-2");
+        assert!(r.discover(&Query::capability("quantum/annealing"), 1).is_empty());
+    }
+
+    #[test]
+    fn prefix_matching_spans_modes() {
+        let mut r = ServiceRegistry::new(10);
+        r.advertise(beamline(), 0);
+        let hits = r.discover(&Query::capability("characterization/"), 0);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn attribute_and_facility_constraints() {
+        let mut r = ServiceRegistry::new(10);
+        r.advertise(beamline(), 0);
+        r.advertise(robot(), 0);
+        let q = Query::capability("synthesis/thin-film").with_attr("throughput", "high");
+        assert_eq!(r.discover(&q, 0).len(), 1);
+        let q = Query::capability("synthesis/thin-film").with_attr("throughput", "low");
+        assert!(r.discover(&q, 0).is_empty());
+        let q = Query::capability("characterization/").at_facility("chemlab");
+        assert!(r.discover(&q, 0).is_empty());
+    }
+
+    #[test]
+    fn ttl_expires_silent_services() {
+        let mut r = ServiceRegistry::new(5);
+        r.advertise(beamline(), 0);
+        assert!(r.is_alive("beamline-2", 5));
+        assert!(!r.is_alive("beamline-2", 6));
+        assert!(r.heartbeat("beamline-2", 7));
+        assert!(r.is_alive("beamline-2", 10));
+        assert_eq!(r.prune(100), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unknown_heartbeat_and_withdraw() {
+        let mut r = ServiceRegistry::new(5);
+        assert!(!r.heartbeat("ghost", 0));
+        assert!(!r.withdraw("ghost"));
+        r.advertise(robot(), 0);
+        assert!(r.withdraw("synthbot-1"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn federation_merge_prefers_fresher() {
+        let mut a = ServiceRegistry::new(10);
+        a.advertise(beamline(), 1);
+        let mut b = ServiceRegistry::new(10);
+        let mut newer = beamline();
+        newer.endpoint = "fed://lightsource-v2/beamline-2".into();
+        b.advertise(newer.clone(), 5);
+        a.merge(&b);
+        assert_eq!(
+            a.discover(&Query::capability("characterization/xrd"), 5)[0].endpoint,
+            newer.endpoint
+        );
+    }
+}

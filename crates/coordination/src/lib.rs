@@ -1,0 +1,31 @@
+//! # evoflow-coord — the Coordination & Communication layer
+//!
+//! Implements Figure 2's Coordination & Communication layer: the substrate
+//! agents and facilities use to find, trust, and talk to each other across
+//! administrative boundaries (the paper's federated-architecture principle,
+//! §5.1):
+//!
+//! * [`bus`] — topic pub/sub message bus with channel accounting
+//!   (AMQP-style federated eventing, §5.2).
+//! * [`discovery`] — capability advertisement + matchmaking with
+//!   heartbeat liveness (OGSA-style service discovery, §5.2).
+//! * [`sync`] — CRDT state synchronization: vector clocks, G-counters,
+//!   LWW registers/stores (WSRF-style stateful interaction, §5.2).
+//! * [`auth`] — capability tokens with attenuation-only delegation and
+//!   revocation (Globus-Auth-style non-human auth, §5.2/§5.5).
+//! * [`consensus`] — quorum voting, swarm gossip consensus, leader
+//!   election, and Table 2's channel-count formulas ([`consensus::topology`]).
+
+pub mod auth;
+pub mod bus;
+pub mod consensus;
+pub mod discovery;
+pub mod sync;
+
+pub use auth::{AuthError, Authority, Token};
+pub use bus::{Message, MessageBus, Subscription};
+pub use consensus::{
+    elect_leader, gossip_consensus, run_quorum, GossipOutcome, QuorumConfig, QuorumOutcome,
+};
+pub use discovery::{Query, ServiceDescriptor, ServiceRegistry};
+pub use sync::{Causality, GCounter, LwwRegister, StateStore, VectorClock};

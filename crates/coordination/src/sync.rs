@@ -1,0 +1,290 @@
+//! Distributed state synchronization (§5.2).
+//!
+//! "WSRF enables stateful interactions that can manage distributed learning
+//! states and progress" — modernised here as conflict-free replicated state:
+//! vector clocks for causality, a grow-only counter for progress tallies,
+//! and a last-writer-wins register map for configuration/learning state.
+//! Every type satisfies the CRDT laws (commutative, associative, idempotent
+//! merge), which the property tests in `tests/coord_properties.rs` verify.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A vector clock over named sites.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorClock {
+    ticks: BTreeMap<String, u64>,
+}
+
+/// Causal relationship between two clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Self happened strictly before other.
+    Before,
+    /// Self happened strictly after other.
+    After,
+    /// Identical clocks.
+    Equal,
+    /// Concurrent (conflicting) histories.
+    Concurrent,
+}
+
+impl VectorClock {
+    /// Fresh, empty clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance this site's component.
+    pub fn tick(&mut self, site: &str) {
+        *self.ticks.entry(site.to_string()).or_insert(0) += 1;
+    }
+
+    /// This site's current component.
+    pub fn get(&self, site: &str) -> u64 {
+        self.ticks.get(site).copied().unwrap_or(0)
+    }
+
+    /// Compare causally with another clock.
+    pub fn compare(&self, other: &VectorClock) -> Causality {
+        let mut le = true;
+        let mut ge = true;
+        for site in self.ticks.keys().chain(other.ticks.keys()) {
+            let a = self.get(site);
+            let b = other.get(site);
+            if a < b {
+                ge = false;
+            }
+            if a > b {
+                le = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+
+    /// Pointwise max (join).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (site, &t) in &other.ticks {
+            let e = self.ticks.entry(site.clone()).or_insert(0);
+            *e = (*e).max(t);
+        }
+    }
+}
+
+/// Grow-only counter: per-site tallies, value = sum.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GCounter {
+    counts: BTreeMap<String, u64>,
+}
+
+impl GCounter {
+    /// Fresh zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` at `site`.
+    pub fn add(&mut self, site: &str, n: u64) {
+        *self.counts.entry(site.to_string()).or_insert(0) += n;
+    }
+
+    /// Global value.
+    pub fn value(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Pointwise-max merge.
+    pub fn merge(&mut self, other: &GCounter) {
+        for (site, &c) in &other.counts {
+            let e = self.counts.entry(site.clone()).or_insert(0);
+            *e = (*e).max(c);
+        }
+    }
+}
+
+/// Last-writer-wins register keyed by `(logical_ts, site)` — total order,
+/// so concurrent writes resolve deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LwwRegister<T> {
+    value: T,
+    stamp: (u64, String),
+}
+
+impl<T: Clone> LwwRegister<T> {
+    /// Create with an initial value stamped at `(ts, site)`.
+    pub fn new(value: T, ts: u64, site: &str) -> Self {
+        LwwRegister {
+            value,
+            stamp: (ts, site.to_string()),
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Write stamped `(ts, site)`; older stamps are ignored.
+    pub fn set(&mut self, value: T, ts: u64, site: &str) {
+        let stamp = (ts, site.to_string());
+        if stamp > self.stamp {
+            self.value = value;
+            self.stamp = stamp;
+        }
+    }
+
+    /// Merge with a replica: greater stamp wins.
+    pub fn merge(&mut self, other: &LwwRegister<T>) {
+        if other.stamp > self.stamp {
+            self.value = other.value.clone();
+            self.stamp = other.stamp.clone();
+        }
+    }
+}
+
+/// A replicated key-value state store: LWW per key plus a vector clock for
+/// causality tracking — the "state synchronization" box of Figure 2.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateStore {
+    site: String,
+    entries: BTreeMap<String, LwwRegister<String>>,
+    clock: VectorClock,
+    ts: u64,
+}
+
+impl StateStore {
+    /// Create a store owned by `site`.
+    pub fn new(site: impl Into<String>) -> Self {
+        StateStore {
+            site: site.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Write `key = value` locally.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.ts += 1;
+        self.clock.tick(&self.site.clone());
+        let ts = self.ts;
+        let site = self.site.clone();
+        let value = value.into();
+        self.entries
+            .entry(key.into())
+            .and_modify(|r| r.set(value.clone(), ts, &site))
+            .or_insert_with(|| LwwRegister::new(value, ts, &site));
+    }
+
+    /// Read a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|r| r.get().as_str())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Causality of this store relative to a replica.
+    pub fn causality(&self, other: &StateStore) -> Causality {
+        self.clock.compare(&other.clock)
+    }
+
+    /// Merge a replica (eventual consistency).
+    pub fn merge(&mut self, other: &StateStore) {
+        for (k, reg) in &other.entries {
+            self.entries
+                .entry(k.clone())
+                .and_modify(|mine| mine.merge(reg))
+                .or_insert_with(|| reg.clone());
+        }
+        self.clock.merge(&other.clock);
+        self.ts = self.ts.max(other.ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_clock_causality() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        assert_eq!(a.compare(&b), Causality::Equal);
+        a.tick("hpc");
+        assert_eq!(a.compare(&b), Causality::After);
+        assert_eq!(b.compare(&a), Causality::Before);
+        b.tick("edge");
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        a.merge(&b);
+        assert_eq!(a.compare(&b), Causality::After);
+        assert_eq!(a.get("edge"), 1);
+    }
+
+    #[test]
+    fn gcounter_merges_to_max() {
+        let mut a = GCounter::new();
+        let mut b = GCounter::new();
+        a.add("hpc", 3);
+        b.add("hpc", 3); // replicated same increments
+        b.add("edge", 2);
+        a.merge(&b);
+        assert_eq!(a.value(), 5);
+        // Idempotent.
+        a.merge(&b);
+        assert_eq!(a.value(), 5);
+    }
+
+    #[test]
+    fn lww_register_orders_by_stamp() {
+        let mut r = LwwRegister::new("v0".to_string(), 1, "a");
+        r.set("v1".to_string(), 2, "a");
+        assert_eq!(r.get(), "v1");
+        r.set("stale".to_string(), 1, "z");
+        assert_eq!(r.get(), "v1");
+        // Tie on ts resolves by site name (deterministic).
+        let mut x = LwwRegister::new("from-a".to_string(), 5, "a");
+        let y = LwwRegister::new("from-b".to_string(), 5, "b");
+        x.merge(&y);
+        assert_eq!(x.get(), "from-b");
+    }
+
+    #[test]
+    fn state_store_converges() {
+        let mut hpc = StateStore::new("hpc");
+        let mut edge = StateStore::new("edge");
+        hpc.set("campaign/phase", "synthesis");
+        edge.set("campaign/phase", "analysis");
+        edge.set("edge/queue", "3");
+
+        let mut h2 = hpc.clone();
+        h2.merge(&edge);
+        let mut e2 = edge.clone();
+        e2.merge(&hpc);
+        assert_eq!(h2.get("campaign/phase"), e2.get("campaign/phase"));
+        assert_eq!(h2.len(), 2);
+        assert_eq!(e2.len(), 2);
+        assert_eq!(h2.get("edge/queue"), Some("3"));
+    }
+
+    #[test]
+    fn state_store_detects_concurrency() {
+        let mut a = StateStore::new("a");
+        let mut b = StateStore::new("b");
+        a.set("x", "1");
+        b.set("y", "2");
+        assert_eq!(a.causality(&b), Causality::Concurrent);
+        a.merge(&b);
+        assert_eq!(a.causality(&b), Causality::After);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the coordination layer: CRDT laws, token-security
+//! invariants, and consensus conservation.
+
+use evoflow_coord::{
+    gossip_consensus, run_quorum, Authority, Causality, GCounter, QuorumConfig, StateStore,
+    VectorClock,
+};
+use evoflow_sim::SimRng;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn apply_writes(store: &mut StateStore, writes: &[(String, String)]) {
+    for (k, v) in writes {
+        store.set(k.clone(), v.clone());
+    }
+}
+
+proptest! {
+    /// GCounter merge is commutative, associative, and idempotent, and the
+    /// value never decreases under merge.
+    #[test]
+    fn gcounter_is_a_crdt(
+        a_adds in prop::collection::vec(0u64..100, 0..10),
+        b_adds in prop::collection::vec(0u64..100, 0..10),
+    ) {
+        let mut a = GCounter::new();
+        for (i, n) in a_adds.iter().enumerate() {
+            a.add(if i % 2 == 0 { "s1" } else { "s2" }, *n);
+        }
+        let mut b = GCounter::new();
+        for (i, n) in b_adds.iter().enumerate() {
+            b.add(if i % 2 == 0 { "s2" } else { "s3" }, *n);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.value(), ba.value());
+        prop_assert!(ab.value() >= a.value().max(b.value()));
+        let before = ab.value();
+        ab.merge(&b);
+        prop_assert_eq!(ab.value(), before);
+    }
+
+    /// Vector clocks: merge produces a clock ≥ both inputs; compare is
+    /// antisymmetric.
+    #[test]
+    fn vector_clock_laws(
+        ticks_a in prop::collection::vec(0usize..3, 0..12),
+        ticks_b in prop::collection::vec(0usize..3, 0..12),
+    ) {
+        let sites = ["x", "y", "z"];
+        let mut a = VectorClock::new();
+        for t in &ticks_a {
+            a.tick(sites[*t]);
+        }
+        let mut b = VectorClock::new();
+        for t in &ticks_b {
+            b.tick(sites[*t]);
+        }
+        match (a.compare(&b), b.compare(&a)) {
+            (Causality::Before, rev) => prop_assert_eq!(rev, Causality::After),
+            (Causality::After, rev) => prop_assert_eq!(rev, Causality::Before),
+            (Causality::Equal, rev) => prop_assert_eq!(rev, Causality::Equal),
+            (Causality::Concurrent, rev) => prop_assert_eq!(rev, Causality::Concurrent),
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(matches!(m.compare(&a), Causality::After | Causality::Equal));
+        prop_assert!(matches!(m.compare(&b), Causality::After | Causality::Equal));
+    }
+
+    /// StateStore three-way merges converge to the same content in every
+    /// merge order.
+    #[test]
+    fn statestore_merge_order_irrelevant(
+        wa in prop::collection::vec(("[a-d]", "[a-z]{1,3}"), 0..8),
+        wb in prop::collection::vec(("[a-d]", "[a-z]{1,3}"), 0..8),
+        wc in prop::collection::vec(("[a-d]", "[a-z]{1,3}"), 0..8),
+    ) {
+        let mut a = StateStore::new("a");
+        let mut b = StateStore::new("b");
+        let mut c = StateStore::new("c");
+        apply_writes(&mut a, &wa);
+        apply_writes(&mut b, &wb);
+        apply_writes(&mut c, &wc);
+
+        let mut o1 = a.clone();
+        o1.merge(&b);
+        o1.merge(&c);
+        let mut o2 = c.clone();
+        o2.merge(&a);
+        o2.merge(&b);
+        let keys: BTreeSet<String> = wa.iter().chain(&wb).chain(&wc).map(|(k, _)| k.clone()).collect();
+        for k in keys {
+            prop_assert_eq!(o1.get(&k), o2.get(&k), "divergence at key {}", k);
+        }
+    }
+
+    /// Delegated tokens can never have scopes outside the parent's, no
+    /// matter what is requested, and never outlive the parent.
+    #[test]
+    fn delegation_never_escalates(
+        parent_scopes in prop::collection::btree_set("[a-e]", 1..5),
+        child_scopes in prop::collection::btree_set("[a-h]", 0..6),
+        expiry in 1u64..1000,
+        child_expiry in 1u64..5000,
+    ) {
+        let mut auth = Authority::new("t", 42);
+        let parent = auth.issue("root", parent_scopes.iter().cloned().collect::<Vec<_>>(), expiry);
+        match auth.delegate(&parent, "child", child_scopes.iter().cloned().collect::<Vec<_>>(), child_expiry, 0) {
+            Ok(child) => {
+                prop_assert!(child.scopes.is_subset(&parent.scopes));
+                prop_assert!(child.expires_at <= parent.expires_at);
+                prop_assert!(auth.verify(&child, None, 0).is_ok());
+            }
+            Err(e) => {
+                // Only legitimate rejection: requested scopes escape parent.
+                prop_assert!(!child_scopes.is_subset(&parent_scopes), "spurious rejection {e:?}");
+            }
+        }
+    }
+
+    /// Quorum accounting: yes + no never exceeds the electorate, messages
+    /// are bounded by 2·n·rounds, and unanimity accepts whenever
+    /// reliability is 1.
+    #[test]
+    fn quorum_conservation(n in 1u32..200, seed in any::<u64>()) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let out = run_quorum(n, 1.0, 1.0, QuorumConfig::default(), &mut rng);
+        prop_assert!(out.yes + out.no <= n);
+        prop_assert!(out.messages <= 2 * n as u64 * out.rounds as u64);
+        prop_assert!(out.accepted);
+    }
+
+    /// Gossip preserves the mean opinion (pairwise averaging is
+    /// conservative) and never diverges.
+    #[test]
+    fn gossip_conserves_mass(
+        n in 2usize..100,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let mut opinions: Vec<f64> = (0..n).map(|i| (i % 11) as f64).collect();
+        let mean_before: f64 = opinions.iter().sum::<f64>() / n as f64;
+        let out = gossip_consensus(&mut opinions, k, 0.01, 50, &mut rng);
+        let mean_after: f64 = opinions.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean_before - mean_after).abs() < 1e-6);
+        prop_assert!(out.spread.is_finite());
+    }
+}

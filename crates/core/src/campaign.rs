@@ -1,0 +1,648 @@
+//! The campaign engine: federated autonomous scientific discovery (Fig 4),
+//! runnable at any cell of the evolution matrix.
+//!
+//! A campaign iterates the discovery loop — decide → synthesize →
+//! characterize → analyze → record — under three coupled knobs:
+//!
+//! 1. **Intelligence level** (how candidates are chosen): static grid,
+//!    adaptive sampling, learning from evidence, surrogate optimization, or
+//!    the full agent stack with meta-optimization Ω.
+//! 2. **Composition pattern** (how many lanes run and how they share
+//!    evidence): one lane, overlapped pipeline stages, manager-shared
+//!    pools, mesh-shared pools, or k-local swarm sharing.
+//! 3. **Coordination mode** (who closes the loop): a human with realistic
+//!    decision latency and working hours, or agents at inference latency.
+//!
+//! The 10–100× acceleration claim (§1, §6.2) is measured by running the
+//! *same* landscape under [Static × Pipeline] + human coordination versus
+//! [Intelligent × Swarm] + autonomous coordination.
+
+use crate::domain::MaterialsSpace;
+use crate::matrix::Cell;
+use evoflow_agents::{
+    AnalysisAgent, Candidate, DesignAgent, Evidence, HypothesisAgent, LibrarianAgent,
+    MetaOptimizerAgent, Pattern, Strategy,
+};
+use evoflow_cogsim::{CognitiveModel, ModelProfile};
+use evoflow_facility::HumanModel;
+use evoflow_sim::{RngRegistry, SimDuration, SimTime};
+use evoflow_sm::IntelligenceLevel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Who closes the decision loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum CoordinationMode {
+    /// A human approves every iteration (latency model applies).
+    HumanGated(HumanModel),
+    /// Agents decide at inference latency, around the clock.
+    Autonomous,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Evolution-matrix cell to run at.
+    pub cell: Cell,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated campaign length.
+    pub horizon: SimDuration,
+    /// Candidates per iteration per lane.
+    pub batch_per_lane: usize,
+    /// Parallel execution lanes (None = derive from composition).
+    pub lanes: Option<usize>,
+    /// Coordination mode (None = derive: Intelligent ⇒ autonomous,
+    /// otherwise human-gated).
+    pub coordination: Option<CoordinationMode>,
+    /// Hard cap on total experiments (sample budget).
+    pub max_experiments: u64,
+    /// Whether the librarian records knowledge-graph nodes + provenance
+    /// for every experiment (Intelligent level only). Disable to measure
+    /// the §4.2 traceability overhead (DESIGN.md §6.5 ablation).
+    pub record_knowledge: bool,
+}
+
+impl CampaignConfig {
+    /// Sensible defaults for a cell: lanes and coordination derived from
+    /// the matrix position.
+    pub fn for_cell(cell: Cell, seed: u64) -> Self {
+        CampaignConfig {
+            cell,
+            seed,
+            horizon: SimDuration::from_days(30),
+            batch_per_lane: 4,
+            lanes: None,
+            coordination: None,
+            max_experiments: 1_000_000,
+            record_knowledge: true,
+        }
+    }
+
+    /// Lanes implied by the composition pattern.
+    pub fn effective_lanes(&self) -> usize {
+        self.lanes.unwrap_or(match self.cell.composition {
+            Pattern::Single | Pattern::Pipeline => 1,
+            Pattern::Hierarchical => 3,
+            Pattern::Mesh => 4,
+            Pattern::Swarm { .. } => 8,
+        })
+    }
+
+    /// Coordination implied by the intelligence level.
+    pub fn effective_coordination(&self) -> CoordinationMode {
+        self.coordination.unwrap_or(match self.cell.intelligence {
+            IntelligenceLevel::Intelligent => CoordinationMode::Autonomous,
+            IntelligenceLevel::Optimizing | IntelligenceLevel::Learning => {
+                CoordinationMode::HumanGated(HumanModel::attentive_operator())
+            }
+            _ => CoordinationMode::HumanGated(HumanModel::typical_pi()),
+        })
+    }
+}
+
+/// Outcome of one campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Cell the campaign ran at.
+    pub cell_label: String,
+    /// Experiments executed (samples consumed).
+    pub experiments: u64,
+    /// Distinct materials (latent peaks) discovered.
+    pub distinct_discoveries: usize,
+    /// Total above-threshold measurements (including repeats).
+    pub total_hits: u64,
+    /// Simulated campaign length actually used, days.
+    pub sim_days: f64,
+    /// Distinct discoveries per simulated week.
+    pub discoveries_per_week: f64,
+    /// Samples processed per simulated day (A-lab metric, §2.3).
+    pub samples_per_day: f64,
+    /// Hours until the first discovery, if any.
+    pub time_to_first_hours: Option<f64>,
+    /// Best measured score.
+    pub best_score: f64,
+    /// Total hours lanes spent waiting on decisions.
+    pub decision_wait_hours: f64,
+    /// Total hours lanes spent executing experiments.
+    pub execution_hours: f64,
+    /// Proposals rejected by the validation gate.
+    pub rejected_proposals: u64,
+    /// Ω strategy rewrites issued by the meta-optimizer.
+    pub omega_rewrites: u32,
+    /// Knowledge-graph nodes recorded (Intelligent level only).
+    pub kg_nodes: usize,
+    /// Provenance activities recorded (Intelligent level only).
+    pub prov_activities: usize,
+    /// Total simulated inference tokens consumed.
+    pub tokens: u64,
+}
+
+/// Per-candidate execution time: synthesis + characterization, with
+/// pipeline overlap when the composition is a pipeline (stages stream).
+fn execution_time(
+    pattern: Pattern,
+    batch: usize,
+    rng: &mut evoflow_sim::SimRng,
+) -> SimDuration {
+    let synth_h = 0.5;
+    let char_h = 0.17;
+    let jitter = |rng: &mut evoflow_sim::SimRng| 0.85 + 0.3 * rng.uniform();
+    match pattern {
+        // Pipeline: stages overlap; steady-state cost per candidate is the
+        // bottleneck stage.
+        Pattern::Pipeline => {
+            let first = (synth_h + char_h) * jitter(rng);
+            let rest = (batch.saturating_sub(1)) as f64 * synth_h.max(char_h) * jitter(rng);
+            SimDuration::from_hours_f64(first + rest)
+        }
+        // Everything else executes the batch back-to-back on the lane's
+        // instruments.
+        _ => {
+            let total = batch as f64 * (synth_h + char_h) * jitter(rng);
+            SimDuration::from_hours_f64(total)
+        }
+    }
+}
+
+struct Lane {
+    clock: SimTime,
+    evidence: Vec<Evidence>,
+    grid_cursor: usize,
+    last_hit_region: Option<Vec<f64>>,
+}
+
+/// Evidence retained per lane. Bounding the window keeps per-iteration
+/// decision cost O(window) instead of O(total experiments) — long
+/// campaigns would otherwise slow down quadratically. The global best is
+/// tracked separately and always visible.
+const EVIDENCE_WINDOW: usize = 96;
+
+/// Observations kept in the shared surrogate (recent + every hit).
+const SURROGATE_CAP: usize = 800;
+
+/// Run a discovery campaign on `space` under `cfg`.
+pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignReport {
+    let dim = space.dim();
+    let reg = RngRegistry::new(cfg.seed);
+    let mut meas_rng = reg.stream("measurement");
+    let mut exec_rng = reg.stream("execution");
+    let mut decide_rng = reg.stream("decision");
+
+    let n_lanes = cfg.effective_lanes();
+    let coordination = cfg.effective_coordination();
+    let horizon = SimTime::ZERO + cfg.horizon;
+
+    // Intelligence-level machinery (constructed once, shared across lanes —
+    // the Intelligence Service layer is a shared service, Fig 2).
+    let mut hypothesis = HypothesisAgent::new(
+        CognitiveModel::new(ModelProfile::reasoning_lrm(), reg.stream_seed("hypothesis")),
+        dim,
+    );
+    let mut design = DesignAgent::new(dim);
+    let mut analysis = AnalysisAgent::new(0.12);
+    let mut librarian = LibrarianAgent::new();
+    let mut meta = MetaOptimizerAgent::new(6);
+    let mut strategy = Strategy {
+        batch_size: cfg.batch_per_lane,
+        ..Strategy::default()
+    };
+
+    // Literature bootstrap for the intelligent level.
+    if cfg.cell.intelligence == IntelligenceLevel::Intelligent {
+        let corpus = space.literature_corpus(50, cfg.seed ^ 0xBEEF);
+        let mut lit = evoflow_agents::LiteratureAgent::new(
+            CognitiveModel::new(ModelProfile::fast_llm(), reg.stream_seed("literature")),
+            corpus,
+        );
+        for hint in lit.survey(5) {
+            analysis.assimilate(&hint.params, hint.score);
+        }
+    }
+
+    // Static grid schedule (shared cursor across lanes).
+    let grid_pts = {
+        let per_dim = 6usize;
+        let mut pts = Vec::new();
+        let mut idx = vec![0usize; dim];
+        'outer: loop {
+            pts.push(
+                idx.iter()
+                    .map(|&i| i as f64 / (per_dim - 1) as f64)
+                    .collect::<Vec<f64>>(),
+            );
+            let mut d = 0;
+            loop {
+                idx[d] += 1;
+                if idx[d] < per_dim {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+                if d == dim {
+                    break 'outer;
+                }
+            }
+        }
+        pts
+    };
+
+    let mut lanes: Vec<Lane> = (0..n_lanes)
+        .map(|_| Lane {
+            clock: SimTime::ZERO,
+            evidence: Vec::new(),
+            grid_cursor: 0,
+            last_hit_region: None,
+        })
+        .collect();
+    let mut shared_cursor = 0usize;
+
+    let mut experiments = 0u64;
+    let mut total_hits = 0u64;
+    let mut peaks_found: BTreeSet<usize> = BTreeSet::new();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut time_to_first: Option<SimTime> = None;
+    let mut decision_wait_hours = 0.0;
+    let mut execution_hours = 0.0;
+    let mut best_evidence: Option<Evidence> = None;
+
+    let shares_globally = matches!(
+        cfg.cell.composition,
+        Pattern::Pipeline | Pattern::Hierarchical | Pattern::Mesh
+    );
+
+    'campaign: loop {
+        // Pick the lane with the earliest clock (they run concurrently).
+        let li = (0..n_lanes)
+            .min_by_key(|&i| lanes[i].clock)
+            .expect("at least one lane");
+        if lanes[li].clock >= horizon {
+            break 'campaign;
+        }
+        if experiments >= cfg.max_experiments {
+            break 'campaign;
+        }
+        let now = lanes[li].clock;
+
+        // ---- Decision phase ---------------------------------------------
+        let decision_done = match coordination {
+            CoordinationMode::HumanGated(h) => {
+                let cross = n_lanes > 1 || cfg.cell.composition.rank() >= 2;
+                h.decision_ready_at(now, cross, &mut decide_rng)
+            }
+            CoordinationMode::Autonomous => {
+                // Inference latency: one reasoning call per batch.
+                now + SimDuration::from_secs_f64(2.0 + 3.0 * decide_rng.uniform())
+            }
+        };
+        decision_wait_hours += decision_done.saturating_since(now).as_hours();
+
+        // Visible evidence for this lane under the composition's sharing.
+        let mut visible: Vec<Evidence> = if shares_globally {
+            lanes.iter().flat_map(|l| l.evidence.iter().cloned()).collect()
+        } else if let Pattern::Swarm { k } = cfg.cell.composition {
+            // k-local ring sharing.
+            let half = (k / 2).max(1);
+            let mut v = lanes[li].evidence.clone();
+            for d in 1..=half {
+                v.extend(lanes[(li + d) % n_lanes].evidence.iter().cloned());
+                v.extend(lanes[(li + n_lanes - d % n_lanes) % n_lanes].evidence.iter().cloned());
+            }
+            v
+        } else {
+            lanes[li].evidence.clone()
+        };
+        if let Some(best) = &best_evidence {
+            visible.push(best.clone());
+        }
+
+        let batch = strategy.batch_size.max(1);
+        let mut chosen: Vec<Candidate> = Vec::with_capacity(batch);
+        match cfg.cell.intelligence {
+            IntelligenceLevel::Static => {
+                // Predetermined grid, blind to results.
+                for _ in 0..batch {
+                    let idx = if shares_globally || n_lanes == 1 {
+                        let i = shared_cursor;
+                        shared_cursor += 1;
+                        i
+                    } else {
+                        let i = lanes[li].grid_cursor * n_lanes + li;
+                        lanes[li].grid_cursor += 1;
+                        i
+                    };
+                    let params = grid_pts[idx % grid_pts.len()].clone();
+                    chosen.push(Candidate {
+                        params,
+                        rationale: "grid schedule".into(),
+                        confidence: 0.5,
+                        hallucinated: false,
+                    });
+                }
+            }
+            IntelligenceLevel::Adaptive => {
+                // Random sampling, but re-sample near the last hit (simple
+                // feedback rule).
+                for _ in 0..batch {
+                    let params: Vec<f64> = match &lanes[li].last_hit_region {
+                        Some(anchor) if decide_rng.chance(0.5) => anchor
+                            .iter()
+                            .map(|v| (v + decide_rng.normal_with(0.0, 0.08)).clamp(0.0, 1.0))
+                            .collect(),
+                        _ => (0..dim).map(|_| decide_rng.uniform()).collect(),
+                    };
+                    chosen.push(Candidate {
+                        params,
+                        rationale: "adaptive sampling".into(),
+                        confidence: 0.5,
+                        hallucinated: false,
+                    });
+                }
+            }
+            IntelligenceLevel::Learning => {
+                // Exploit best visible evidence with Gaussian proposals.
+                let anchor = visible
+                    .iter()
+                    .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+                    .map(|e| e.params.clone());
+                for _ in 0..batch {
+                    let params: Vec<f64> = match &anchor {
+                        Some(a) if decide_rng.chance(0.65) => a
+                            .iter()
+                            .map(|v| (v + decide_rng.normal_with(0.0, 0.1)).clamp(0.0, 1.0))
+                            .collect(),
+                        _ => (0..dim).map(|_| decide_rng.uniform()).collect(),
+                    };
+                    chosen.push(Candidate {
+                        params,
+                        rationale: "evidence-anchored".into(),
+                        confidence: 0.6,
+                        hallucinated: false,
+                    });
+                }
+            }
+            IntelligenceLevel::Optimizing => {
+                // Surrogate acquisition drives selection.
+                for _ in 0..batch {
+                    let params = analysis.recommend(dim, 48, &mut decide_rng);
+                    chosen.push(Candidate {
+                        params,
+                        rationale: "acquisition argmin J".into(),
+                        confidence: 0.7,
+                        hallucinated: false,
+                    });
+                }
+            }
+            IntelligenceLevel::Intelligent => {
+                // Full stack: hypothesis agent + validation gate + active
+                // learning splice, under the meta-optimizer's strategy.
+                hypothesis.explore_ratio = strategy.explore_ratio;
+                let mut proposals = hypothesis.propose(&visible, batch);
+                if strategy.use_recommendations && !proposals.is_empty() {
+                    let rec = analysis.recommend(dim, 48, &mut decide_rng);
+                    proposals[0] = Candidate {
+                        params: rec,
+                        rationale: "analysis-agent recommendation".into(),
+                        confidence: 0.8,
+                        hallucinated: false,
+                    };
+                }
+                for c in proposals {
+                    if design.design(&c).is_ok() {
+                        chosen.push(c);
+                    }
+                    // Rejected candidates cost only decision time.
+                }
+            }
+        }
+
+        // ---- Execution phase --------------------------------------------
+        let exec = execution_time(cfg.cell.composition, chosen.len().max(1), &mut exec_rng);
+        execution_hours += exec.as_hours();
+        let done_at = decision_done + exec;
+
+        let mut iter_hits = 0u64;
+        for c in &chosen {
+            if experiments >= cfg.max_experiments {
+                break;
+            }
+            experiments += 1;
+            let score = space.measure(&c.params, &mut meas_rng);
+            best_score = best_score.max(score);
+
+            // Smarter levels assimilate everything into the surrogate.
+            if matches!(
+                cfg.cell.intelligence,
+                IntelligenceLevel::Optimizing | IntelligenceLevel::Intelligent
+            ) && (analysis.observations() < SURROGATE_CAP
+                || score >= 0.8 * space.threshold)
+            {
+                analysis.assimilate(&c.params, score);
+            }
+            if cfg.cell.intelligence == IntelligenceLevel::Intelligent && cfg.record_knowledge {
+                librarian.record_iteration(c, score, hypothesis.usage(), space.threshold);
+            }
+
+            let ev = Evidence {
+                params: c.params.clone(),
+                score,
+            };
+            if best_evidence
+                .as_ref()
+                .map(|b| score > b.score)
+                .unwrap_or(true)
+            {
+                best_evidence = Some(ev.clone());
+            }
+            lanes[li].evidence.push(ev);
+            if lanes[li].evidence.len() > EVIDENCE_WINDOW {
+                lanes[li].evidence.remove(0);
+            }
+            if space.is_discovery(score) {
+                total_hits += 1;
+                iter_hits += 1;
+                lanes[li].last_hit_region = Some(c.params.clone());
+                if let Some(p) = space.peak_of(&c.params) {
+                    peaks_found.insert(p);
+                    if time_to_first.is_none() {
+                        time_to_first = Some(done_at);
+                    }
+                }
+            }
+        }
+
+        // ---- Meta-optimization (Ω) --------------------------------------
+        if cfg.cell.intelligence == IntelligenceLevel::Intelligent {
+            let iter_yield = iter_hits as f64 / chosen.len().max(1) as f64;
+            if let Some(next) = meta.review(iter_yield, strategy) {
+                strategy = next;
+            }
+        }
+
+        lanes[li].clock = done_at;
+    }
+
+    let sim_days = cfg.horizon.as_hours() / 24.0;
+    let weeks = sim_days / 7.0;
+    CampaignReport {
+        cell_label: cfg.cell.to_string(),
+        experiments,
+        distinct_discoveries: peaks_found.len(),
+        total_hits,
+        sim_days,
+        discoveries_per_week: peaks_found.len() as f64 / weeks.max(1e-9),
+        samples_per_day: experiments as f64 / sim_days.max(1e-9),
+        time_to_first_hours: time_to_first.map(|t| t.as_hours()),
+        best_score: if best_score.is_finite() { best_score } else { 0.0 },
+        decision_wait_hours,
+        execution_hours,
+        rejected_proposals: design.rejected(),
+        omega_rewrites: meta.rewrites,
+        kg_nodes: librarian.kg.node_count(),
+        prov_activities: librarian.prov.activity_count(),
+        tokens: hypothesis.usage().total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> MaterialsSpace {
+        MaterialsSpace::generate(3, 8, 20260610)
+    }
+
+    fn run_cell(
+        level: IntelligenceLevel,
+        pattern: Pattern,
+        coord: Option<CoordinationMode>,
+        days: u64,
+    ) -> CampaignReport {
+        let mut cfg = CampaignConfig::for_cell(Cell::new(level, pattern), 7);
+        cfg.horizon = SimDuration::from_days(days);
+        cfg.coordination = coord;
+        run_campaign(&space(), &cfg)
+    }
+
+    #[test]
+    fn autonomous_swarm_processes_far_more_samples() {
+        let manual = run_cell(
+            IntelligenceLevel::Static,
+            Pattern::Pipeline,
+            Some(CoordinationMode::HumanGated(HumanModel::typical_pi())),
+            14,
+        );
+        let auto = run_cell(
+            IntelligenceLevel::Intelligent,
+            Pattern::Swarm { k: 4 },
+            Some(CoordinationMode::Autonomous),
+            14,
+        );
+        let ratio = auto.samples_per_day / manual.samples_per_day.max(1e-9);
+        assert!(
+            ratio > 10.0,
+            "samples/day ratio {ratio:.1} (auto {:.1} vs manual {:.1})",
+            auto.samples_per_day,
+            manual.samples_per_day
+        );
+    }
+
+    #[test]
+    fn autonomous_swarm_discovers_more_materials() {
+        let manual = run_cell(
+            IntelligenceLevel::Adaptive,
+            Pattern::Pipeline,
+            Some(CoordinationMode::HumanGated(HumanModel::typical_pi())),
+            21,
+        );
+        let auto = run_cell(
+            IntelligenceLevel::Intelligent,
+            Pattern::Swarm { k: 4 },
+            Some(CoordinationMode::Autonomous),
+            21,
+        );
+        assert!(
+            auto.distinct_discoveries > manual.distinct_discoveries,
+            "auto {} vs manual {}",
+            auto.distinct_discoveries,
+            manual.distinct_discoveries
+        );
+        assert!(auto.time_to_first_hours.unwrap_or(f64::INFINITY)
+            < manual.time_to_first_hours.unwrap_or(f64::INFINITY));
+    }
+
+    #[test]
+    fn decision_wait_dominates_human_campaigns() {
+        let manual = run_cell(
+            IntelligenceLevel::Static,
+            Pattern::Pipeline,
+            Some(CoordinationMode::HumanGated(HumanModel::typical_pi())),
+            14,
+        );
+        assert!(
+            manual.decision_wait_hours > manual.execution_hours,
+            "wait {:.1}h vs exec {:.1}h",
+            manual.decision_wait_hours,
+            manual.execution_hours
+        );
+        let auto = run_cell(
+            IntelligenceLevel::Intelligent,
+            Pattern::Swarm { k: 4 },
+            Some(CoordinationMode::Autonomous),
+            14,
+        );
+        assert!(auto.decision_wait_hours < auto.execution_hours);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_cell(IntelligenceLevel::Learning, Pattern::Mesh, None, 7);
+        let b = run_cell(IntelligenceLevel::Learning, Pattern::Mesh, None, 7);
+        assert_eq!(a.experiments, b.experiments);
+        assert_eq!(a.distinct_discoveries, b.distinct_discoveries);
+        assert_eq!(a.best_score, b.best_score);
+    }
+
+    #[test]
+    fn intelligent_campaign_builds_knowledge_and_provenance() {
+        let auto = run_cell(
+            IntelligenceLevel::Intelligent,
+            Pattern::Swarm { k: 4 },
+            Some(CoordinationMode::Autonomous),
+            3,
+        );
+        assert!(auto.kg_nodes > 0);
+        assert!(auto.prov_activities > 0);
+        assert!(auto.tokens > 0);
+        // Static campaigns record nothing in the KG.
+        let stat = run_cell(IntelligenceLevel::Static, Pattern::Pipeline, None, 3);
+        assert_eq!(stat.kg_nodes, 0);
+    }
+
+    #[test]
+    fn sample_budget_caps_experiments() {
+        let mut cfg = CampaignConfig::for_cell(
+            Cell::new(IntelligenceLevel::Intelligent, Pattern::Swarm { k: 4 }),
+            3,
+        );
+        cfg.horizon = SimDuration::from_days(30);
+        cfg.coordination = Some(CoordinationMode::Autonomous);
+        cfg.max_experiments = 100;
+        let r = run_campaign(&space(), &cfg);
+        assert!(r.experiments <= 100);
+    }
+
+    #[test]
+    fn lanes_derived_from_composition() {
+        let c = CampaignConfig::for_cell(
+            Cell::new(IntelligenceLevel::Static, Pattern::Single),
+            0,
+        );
+        assert_eq!(c.effective_lanes(), 1);
+        let c = CampaignConfig::for_cell(
+            Cell::new(IntelligenceLevel::Static, Pattern::Swarm { k: 4 }),
+            0,
+        );
+        assert_eq!(c.effective_lanes(), 8);
+    }
+}

@@ -1,0 +1,497 @@
+//! Governance: policy enforcement, guardrails, and auditability for
+//! autonomous agents (§4.2–§4.3).
+//!
+//! "Future workflow infrastructure must embed mechanisms for policy
+//! enforcement, ethical guardrails, and transparent auditability" — this
+//! module is that mechanism: agents submit [`Action`]s; the
+//! [`GovernanceEngine`] evaluates them against declared [`Policy`]s and
+//! returns allow / deny / escalate-to-human, logging every decision for
+//! audit. The §4.3 liability question ("when AI systems make costly
+//! errors… liability frameworks must clearly assign responsibility") is
+//! answered mechanically: every decision records the responsible agent and
+//! the policy that fired.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What an agent wants to do, as governance sees it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Action {
+    /// Requesting agent.
+    pub agent: String,
+    /// Action kind (e.g. `"synthesis"`, `"publish"`, `"rewrite-goals"`).
+    pub kind: String,
+    /// Samples the action would consume.
+    pub samples: u32,
+    /// Estimated cost in facility-hours.
+    pub cost_hours: f64,
+    /// Whether the action is physically irreversible (§4.1).
+    pub irreversible: bool,
+    /// Logical time of the request.
+    pub at: u64,
+}
+
+/// A declared governance policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Policy {
+    /// Total sample budget across all agents (physical scarcity).
+    SampleBudget {
+        /// Remaining samples.
+        remaining: u32,
+    },
+    /// Irreversible actions require human approval (human-on-the-loop).
+    HumanApprovalForIrreversible,
+    /// Per-agent action rate limit per logical-time window.
+    RateLimit {
+        /// Max actions per window per agent.
+        max_actions: u32,
+        /// Window length in logical ticks.
+        window: u64,
+    },
+    /// Deny any single action above this cost (blast-radius cap).
+    CostCap {
+        /// Maximum facility-hours per action.
+        max_hours: f64,
+    },
+    /// Total facility-hours across all agents (a campaign's cost budget,
+    /// compiled from `evoflow-intent` goal gates).
+    TotalCostBudget {
+        /// Remaining facility-hours.
+        remaining_hours: f64,
+    },
+    /// Deny specific action kinds outright (e.g. `"rewrite-goals"` for
+    /// systems without validated Ω guardrails).
+    Forbid {
+        /// Forbidden action kind.
+        kind: String,
+    },
+}
+
+/// Governance verdict for one action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Proceed.
+    Allow,
+    /// Blocked, with the reason.
+    Deny(String),
+    /// Requires human sign-off before proceeding.
+    Escalate(String),
+}
+
+/// One audit-trail record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// The action as submitted.
+    pub action: Action,
+    /// The verdict returned.
+    pub verdict: Verdict,
+}
+
+/// The policy-enforcement point for a lab or federation.
+#[derive(Debug, Default)]
+pub struct GovernanceEngine {
+    policies: Vec<Policy>,
+    audit: Vec<AuditRecord>,
+    recent: BTreeMap<String, Vec<u64>>, // agent -> action times (rate limits)
+    pending_approvals: Vec<Action>,
+}
+
+impl GovernanceEngine {
+    /// An engine with no policies (everything allowed — the pre-governance
+    /// baseline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a policy (builder-style).
+    pub fn with_policy(mut self, p: Policy) -> Self {
+        self.policies.push(p);
+        self
+    }
+
+    /// The §4 default stance: finite samples, human approval for
+    /// irreversible steps, rate limits, a cost cap, and no self-directed
+    /// goal rewriting.
+    pub fn standard(sample_budget: u32) -> Self {
+        Self::new()
+            .with_policy(Policy::SampleBudget {
+                remaining: sample_budget,
+            })
+            .with_policy(Policy::HumanApprovalForIrreversible)
+            .with_policy(Policy::RateLimit {
+                max_actions: 60,
+                window: 3_600,
+            })
+            .with_policy(Policy::CostCap { max_hours: 48.0 })
+            .with_policy(Policy::Forbid {
+                kind: "rewrite-goals".into(),
+            })
+    }
+
+    /// Build an engine from a compiled goal's guardrail gates
+    /// (`evoflow-intent`): the sample budget becomes a
+    /// [`Policy::SampleBudget`], the cost budget a
+    /// [`Policy::TotalCostBudget`], and human approval for irreversible
+    /// actions is always added (§4.1 is not negotiable per-goal).
+    ///
+    /// Metric-bound and wall-clock gates are *result*-shaped, not
+    /// action-shaped: they are checked by the campaign loop against
+    /// measured metrics via `CompiledGoal::violated_gates`, not here.
+    pub fn from_goal_gates(gates: &[evoflow_intent::GateSpec]) -> Self {
+        let mut engine = Self::new().with_policy(Policy::HumanApprovalForIrreversible);
+        for gate in gates {
+            match &gate.kind {
+                evoflow_intent::GateKind::SampleBudget(n) => {
+                    engine = engine.with_policy(Policy::SampleBudget {
+                        remaining: (*n).min(u32::MAX as u64) as u32,
+                    });
+                }
+                evoflow_intent::GateKind::CostBudget(units) => {
+                    engine = engine.with_policy(Policy::TotalCostBudget {
+                        remaining_hours: *units as f64,
+                    });
+                }
+                evoflow_intent::GateKind::WallClock(_)
+                | evoflow_intent::GateKind::MetricBound { .. } => {}
+            }
+        }
+        engine
+    }
+
+    /// Number of audit records.
+    pub fn audit_len(&self) -> usize {
+        self.audit.len()
+    }
+
+    /// The audit trail (append-only).
+    pub fn audit(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+
+    /// Actions awaiting human approval.
+    pub fn pending_approvals(&self) -> &[Action] {
+        &self.pending_approvals
+    }
+
+    /// Evaluate an action against every policy. First failing policy wins;
+    /// escalations outrank allows but not denies. Allowed actions debit
+    /// budgets and rate windows.
+    pub fn evaluate(&mut self, action: Action) -> Verdict {
+        let mut verdict = Verdict::Allow;
+        for p in &self.policies {
+            let v = match p {
+                Policy::SampleBudget { remaining } => {
+                    if action.samples > *remaining {
+                        Verdict::Deny(format!(
+                            "sample budget exhausted: {} requested, {} remain",
+                            action.samples, remaining
+                        ))
+                    } else {
+                        Verdict::Allow
+                    }
+                }
+                Policy::HumanApprovalForIrreversible => {
+                    if action.irreversible {
+                        Verdict::Escalate("irreversible action requires human approval".into())
+                    } else {
+                        Verdict::Allow
+                    }
+                }
+                Policy::RateLimit {
+                    max_actions,
+                    window,
+                } => {
+                    let times = self.recent.get(&action.agent);
+                    let in_window = times
+                        .map(|ts| {
+                            ts.iter()
+                                .filter(|t| action.at.saturating_sub(**t) < *window)
+                                .count() as u32
+                        })
+                        .unwrap_or(0);
+                    if in_window >= *max_actions {
+                        Verdict::Deny(format!(
+                            "rate limit: {in_window} actions in window for {}",
+                            action.agent
+                        ))
+                    } else {
+                        Verdict::Allow
+                    }
+                }
+                Policy::CostCap { max_hours } => {
+                    if action.cost_hours > *max_hours {
+                        Verdict::Deny(format!(
+                            "cost {}h exceeds cap {}h",
+                            action.cost_hours, max_hours
+                        ))
+                    } else {
+                        Verdict::Allow
+                    }
+                }
+                Policy::TotalCostBudget { remaining_hours } => {
+                    if action.cost_hours > *remaining_hours {
+                        Verdict::Deny(format!(
+                            "cost budget exhausted: {}h requested, {}h remain",
+                            action.cost_hours, remaining_hours
+                        ))
+                    } else {
+                        Verdict::Allow
+                    }
+                }
+                Policy::Forbid { kind } => {
+                    if &action.kind == kind {
+                        Verdict::Deny(format!("action kind {kind:?} is forbidden"))
+                    } else {
+                        Verdict::Allow
+                    }
+                }
+            };
+            match v {
+                Verdict::Deny(_) => {
+                    verdict = v;
+                    break;
+                }
+                Verdict::Escalate(_) if verdict == Verdict::Allow => verdict = v,
+                _ => {}
+            }
+        }
+
+        // Apply side effects.
+        match &verdict {
+            Verdict::Allow => {
+                for p in &mut self.policies {
+                    match p {
+                        Policy::SampleBudget { remaining } => *remaining -= action.samples,
+                        Policy::TotalCostBudget { remaining_hours } => {
+                            *remaining_hours -= action.cost_hours
+                        }
+                        _ => {}
+                    }
+                }
+                self.recent
+                    .entry(action.agent.clone())
+                    .or_default()
+                    .push(action.at);
+            }
+            Verdict::Escalate(_) => {
+                self.pending_approvals.push(action.clone());
+            }
+            Verdict::Deny(_) => {}
+        }
+        self.audit.push(AuditRecord {
+            action,
+            verdict: verdict.clone(),
+        });
+        verdict
+    }
+
+    /// A human approves the oldest pending escalation; the action is then
+    /// re-recorded as allowed (budgets debited).
+    pub fn approve_pending(&mut self) -> Option<Action> {
+        if self.pending_approvals.is_empty() {
+            return None;
+        }
+        let action = self.pending_approvals.remove(0);
+        for p in &mut self.policies {
+            match p {
+                Policy::SampleBudget { remaining } => {
+                    *remaining = remaining.saturating_sub(action.samples)
+                }
+                Policy::TotalCostBudget { remaining_hours } => {
+                    *remaining_hours = (*remaining_hours - action.cost_hours).max(0.0)
+                }
+                _ => {}
+            }
+        }
+        self.recent
+            .entry(action.agent.clone())
+            .or_default()
+            .push(action.at);
+        self.audit.push(AuditRecord {
+            action: action.clone(),
+            verdict: Verdict::Allow,
+        });
+        Some(action)
+    }
+
+    /// Per-agent accountability summary: (allowed, denied, escalated).
+    pub fn accountability(&self) -> BTreeMap<String, (u32, u32, u32)> {
+        let mut out: BTreeMap<String, (u32, u32, u32)> = BTreeMap::new();
+        for rec in &self.audit {
+            let e = out.entry(rec.action.agent.clone()).or_insert((0, 0, 0));
+            match rec.verdict {
+                Verdict::Allow => e.0 += 1,
+                Verdict::Deny(_) => e.1 += 1,
+                Verdict::Escalate(_) => e.2 += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn action(agent: &str, kind: &str) -> Action {
+        Action {
+            agent: agent.into(),
+            kind: kind.into(),
+            samples: 1,
+            cost_hours: 1.0,
+            irreversible: false,
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn empty_engine_allows_everything() {
+        let mut g = GovernanceEngine::new();
+        assert_eq!(g.evaluate(action("a", "synthesis")), Verdict::Allow);
+        assert_eq!(g.audit_len(), 1);
+    }
+
+    #[test]
+    fn sample_budget_depletes_and_denies() {
+        let mut g = GovernanceEngine::new().with_policy(Policy::SampleBudget { remaining: 2 });
+        assert_eq!(g.evaluate(action("a", "synthesis")), Verdict::Allow);
+        assert_eq!(g.evaluate(action("a", "synthesis")), Verdict::Allow);
+        let v = g.evaluate(action("a", "synthesis"));
+        assert!(matches!(v, Verdict::Deny(_)), "got {v:?}");
+    }
+
+    #[test]
+    fn irreversible_actions_escalate_and_approve() {
+        let mut g = GovernanceEngine::standard(100);
+        let mut a = action("synth-agent", "destructive-test");
+        a.irreversible = true;
+        let v = g.evaluate(a);
+        assert!(matches!(v, Verdict::Escalate(_)));
+        assert_eq!(g.pending_approvals().len(), 1);
+        let approved = g.approve_pending().expect("pending action");
+        assert_eq!(approved.kind, "destructive-test");
+        assert!(g.pending_approvals().is_empty());
+        // Audit holds both the escalation and the approval.
+        assert_eq!(g.audit_len(), 2);
+    }
+
+    #[test]
+    fn rate_limit_blocks_burst() {
+        let mut g = GovernanceEngine::new().with_policy(Policy::RateLimit {
+            max_actions: 3,
+            window: 100,
+        });
+        for t in 0..3 {
+            let mut a = action("fast-agent", "query");
+            a.at = t;
+            assert_eq!(g.evaluate(a), Verdict::Allow);
+        }
+        let mut a = action("fast-agent", "query");
+        a.at = 3;
+        assert!(matches!(g.evaluate(a), Verdict::Deny(_)));
+        // Outside the window the agent may act again.
+        let mut a = action("fast-agent", "query");
+        a.at = 200;
+        assert_eq!(g.evaluate(a), Verdict::Allow);
+        // Other agents are unaffected.
+        assert_eq!(g.evaluate(action("slow-agent", "query")), Verdict::Allow);
+    }
+
+    #[test]
+    fn cost_cap_and_forbidden_kinds() {
+        let mut g = GovernanceEngine::standard(100);
+        let mut big = action("a", "simulation");
+        big.cost_hours = 100.0;
+        assert!(matches!(g.evaluate(big), Verdict::Deny(_)));
+        assert!(matches!(
+            g.evaluate(action("omega", "rewrite-goals")),
+            Verdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn deny_outranks_escalate() {
+        let mut g = GovernanceEngine::standard(0); // zero sample budget
+        let mut a = action("a", "synthesis");
+        a.irreversible = true;
+        a.samples = 1;
+        // Would escalate for irreversibility, but the budget denies first.
+        assert!(matches!(g.evaluate(a), Verdict::Deny(_)));
+    }
+
+    #[test]
+    fn accountability_assigns_responsibility() {
+        let mut g = GovernanceEngine::standard(10);
+        g.evaluate(action("hypothesis-agent", "synthesis"));
+        g.evaluate(action("hypothesis-agent", "rewrite-goals"));
+        let mut irr = action("synthesis-agent", "etch");
+        irr.irreversible = true;
+        g.evaluate(irr);
+        let acct = g.accountability();
+        assert_eq!(acct["hypothesis-agent"], (1, 1, 0));
+        assert_eq!(acct["synthesis-agent"], (0, 0, 1));
+    }
+
+    #[test]
+    fn denied_actions_do_not_consume_budget() {
+        let mut g = GovernanceEngine::new()
+            .with_policy(Policy::SampleBudget { remaining: 5 })
+            .with_policy(Policy::Forbid {
+                kind: "bad".into(),
+            });
+        let mut a = action("a", "bad");
+        a.samples = 5;
+        assert!(matches!(g.evaluate(a), Verdict::Deny(_)));
+        // Budget intact: a 5-sample good action still passes.
+        let mut ok = action("a", "good");
+        ok.samples = 5;
+        assert_eq!(g.evaluate(ok), Verdict::Allow);
+    }
+
+    #[test]
+    fn total_cost_budget_depletes_and_then_denies() {
+        let mut g = GovernanceEngine::new().with_policy(Policy::TotalCostBudget {
+            remaining_hours: 10.0,
+        });
+        let mut a = action("agent", "simulate");
+        a.cost_hours = 6.0;
+        assert_eq!(g.evaluate(a.clone()), Verdict::Allow);
+        // 4.0h remain; another 6.0h request is denied, a 4.0h one passes.
+        assert!(matches!(g.evaluate(a.clone()), Verdict::Deny(_)));
+        a.cost_hours = 4.0;
+        assert_eq!(g.evaluate(a), Verdict::Allow);
+    }
+
+    #[test]
+    fn goal_gates_compile_into_policies() {
+        use evoflow_intent::{compile, Comparator, GoalSpec, ObjectiveSense};
+        let goal = GoalSpec::builder("g", "test goal")
+            .objective("band_gap_eV", ObjectiveSense::Maximize)
+            .constraint("toxicity", Comparator::Le, 0.1, true)
+            .budget(5, 100, 24.0)
+            .build();
+        let compiled = compile(&goal).unwrap();
+        let mut g = GovernanceEngine::from_goal_gates(compiled.gates());
+
+        // Sample budget from the goal is enforced.
+        let mut a = action("synthesis-agent", "synthesis");
+        a.samples = 5;
+        assert_eq!(g.evaluate(a.clone()), Verdict::Allow);
+        assert!(matches!(g.evaluate(a), Verdict::Deny(_)));
+
+        // Irreversible actions still escalate regardless of the goal
+        // (deny outranks escalate, so use a sample-free action here).
+        let mut irr = action("synthesis-agent", "etch");
+        irr.irreversible = true;
+        irr.samples = 0;
+        assert!(matches!(g.evaluate(irr), Verdict::Escalate(_)));
+
+        // The metric bound stayed with the compiled goal (result-shaped).
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert("toxicity".to_string(), 0.5);
+        assert_eq!(
+            compiled.violated_gates(&metrics, 0, 0, 0.0),
+            vec!["g/bound/toxicity".to_string()]
+        );
+    }
+}

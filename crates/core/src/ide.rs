@@ -1,0 +1,192 @@
+//! The Science IDE renderer (§5.2): "New categories of user interface
+//! tools such as an integrated development environment (IDE) for human-AI
+//! scientific collaboration will emerge specifically designed for
+//! planning, experiment designing, knowledge browsing, and intervention."
+//!
+//! This module is the textual core of that IDE: it renders campaign
+//! status, the system's position on the evolution plane, the planned
+//! trajectory, and the intervention queue as terminal panels — the same
+//! views the paper's Figure 4 shows scientists steering campaigns through.
+
+use crate::campaign::CampaignReport;
+use crate::matrix::{Cell, TrajectoryPlanner};
+use crate::runtime::HumanInterface;
+use evoflow_agents::Pattern;
+use evoflow_sm::IntelligenceLevel;
+
+/// Render a boxed panel with a title and content lines.
+pub fn panel(title: &str, lines: &[String]) -> String {
+    let width = lines
+        .iter()
+        .map(|l| l.chars().count())
+        .chain(std::iter::once(title.chars().count() + 2))
+        .max()
+        .unwrap_or(0)
+        .max(20);
+    let mut out = String::new();
+    out.push_str(&format!("┌─ {title} {}┐\n", "─".repeat(width.saturating_sub(title.chars().count() + 1))));
+    for l in lines {
+        let pad = width.saturating_sub(l.chars().count());
+        out.push_str(&format!("│ {l}{} │\n", " ".repeat(pad)));
+    }
+    out.push_str(&format!("└{}┘\n", "─".repeat(width + 2)));
+    out
+}
+
+/// Render the evolution plane with a marker at `cell` — the "where are we"
+/// view a steering scientist starts from.
+pub fn render_plane(cell: Cell) -> String {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "{:<14}{}",
+        "",
+        IntelligenceLevel::ALL
+            .iter()
+            .map(|l| format!("{:<12}", l.to_string()))
+            .collect::<String>()
+    ));
+    for pattern in Pattern::all() {
+        let row_label = format!("{pattern:?}");
+        let row_label = row_label.split(' ').next().unwrap_or(&row_label).to_string();
+        let mut row = format!("{row_label:<14}");
+        for level in IntelligenceLevel::ALL {
+            let here = level == cell.intelligence
+                && pattern.rank() == cell.composition.rank();
+            row.push_str(&format!("{:<12}", if here { "  [★]" } else { "  [ ]" }));
+        }
+        lines.push(row);
+    }
+    lines.push(format!("★ = {cell} · {}", cell.representative()));
+    panel("evolution plane", &lines)
+}
+
+/// Render a campaign report as the IDE's status panel.
+pub fn render_campaign(report: &CampaignReport) -> String {
+    let lines = vec![
+        format!("cell            {}", report.cell_label),
+        format!(
+            "progress        {} experiments over {:.1} days ({:.0}/day)",
+            report.experiments, report.sim_days, report.samples_per_day
+        ),
+        format!(
+            "discoveries     {} distinct · {} total hits · best {:.3}",
+            report.distinct_discoveries, report.total_hits, report.best_score
+        ),
+        format!(
+            "first discovery {}",
+            report
+                .time_to_first_hours
+                .map(|h| format!("{h:.1} h"))
+                .unwrap_or_else(|| "—".into())
+        ),
+        format!(
+            "loop health     wait {:.1} h / exec {:.1} h · {} rejected · {} Ω rewrites",
+            report.decision_wait_hours,
+            report.execution_hours,
+            report.rejected_proposals,
+            report.omega_rewrites
+        ),
+        format!(
+            "knowledge       {} KG nodes · {} prov activities · {} tokens",
+            report.kg_nodes, report.prov_activities, report.tokens
+        ),
+    ];
+    panel("campaign status", &lines)
+}
+
+/// Render the planned path from `from` to `to` with per-step requirements —
+/// the IDE's "planning" view.
+pub fn render_trajectory(from: Cell, to: Cell) -> String {
+    let planner = TrajectoryPlanner;
+    let path = planner.plan(from, to);
+    let reqs = planner.requirements(&path);
+    let mut lines = Vec::new();
+    for (i, cell) in path.iter().enumerate() {
+        let marker = if i == 0 { "now" } else { "then" };
+        lines.push(format!("{marker:>4}  {cell}"));
+        if i < reqs.len() {
+            lines.push(format!("      ↳ {}", reqs[i]));
+        }
+    }
+    panel("trajectory plan", &lines)
+}
+
+/// Render the intervention queue — the IDE's human-on-the-loop view.
+pub fn render_interventions(hi: &HumanInterface) -> String {
+    let lines = if hi.interventions.is_empty() {
+        vec!["no pending interventions — agents within bounds".to_string()]
+    } else {
+        hi.interventions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{:>2}. {s}", i + 1))
+            .collect()
+    };
+    panel("interventions", &lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_marks_the_right_cell() {
+        let s = render_plane(Cell::autonomous_science());
+        assert!(s.contains('★'));
+        assert!(s.contains("[Intelligent × Swarm]"));
+        assert!(s.contains("Emergent AI"));
+        // Exactly one marker on the grid (plus one in the legend).
+        assert_eq!(s.matches("[★]").count(), 1);
+    }
+
+    #[test]
+    fn campaign_panel_contains_key_metrics() {
+        let report = CampaignReport {
+            cell_label: "[Intelligent × Swarm]".into(),
+            experiments: 100,
+            distinct_discoveries: 3,
+            total_hits: 12,
+            sim_days: 7.0,
+            discoveries_per_week: 3.0,
+            samples_per_day: 14.3,
+            time_to_first_hours: Some(5.5),
+            best_score: 0.91,
+            decision_wait_hours: 0.5,
+            execution_hours: 70.0,
+            rejected_proposals: 4,
+            omega_rewrites: 2,
+            kg_nodes: 300,
+            prov_activities: 200,
+            tokens: 999,
+        };
+        let s = render_campaign(&report);
+        assert!(s.contains("100 experiments"));
+        assert!(s.contains("3 distinct"));
+        assert!(s.contains("5.5 h"));
+        assert!(s.contains("2 Ω rewrites"));
+    }
+
+    #[test]
+    fn trajectory_panel_lists_every_step() {
+        let s = render_trajectory(Cell::traditional_wms(), Cell::autonomous_science());
+        assert!(s.contains("now"));
+        assert_eq!(s.matches("then").count(), 7);
+        assert!(s.contains("reasoning engines"));
+    }
+
+    #[test]
+    fn interventions_panel_handles_both_states() {
+        let mut hi = HumanInterface::default();
+        assert!(render_interventions(&hi).contains("no pending"));
+        hi.request_intervention("sample budget at 5%");
+        let s = render_interventions(&hi);
+        assert!(s.contains("1. sample budget at 5%"));
+    }
+
+    #[test]
+    fn panels_are_rectangular() {
+        let s = panel("t", &["short".into(), "a much longer line here".into()]);
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged panel: {widths:?}");
+    }
+}

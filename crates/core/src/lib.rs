@@ -1,0 +1,44 @@
+//! # evoflow-core — the evolution framework itself
+//!
+//! The paper's primary contribution, executable:
+//!
+//! * [`matrix`] — the 5×5 evolution matrix (Table 3): cell taxonomy with
+//!   the paper's representative systems, a descriptive [`matrix::classify`]
+//!   placing real systems in cells, and the prescriptive
+//!   [`matrix::TrajectoryPlanner`] (intelligence-first, then composition,
+//!   §3.4) with per-transition infrastructure requirements.
+//! * [`runtime`] — the six-layer architecture of Figure 2 assembled as a
+//!   [`runtime::LabRuntime`] with component inventory and inter-layer
+//!   smoke paths.
+//! * [`federation`] — Figure 3's deployment: autonomous facilities,
+//!   capability discovery, authenticated cross-facility handshakes, fabric
+//!   transfers.
+//! * [`domain`] — the synthetic materials landscape (seeded peaks +
+//!   measurement noise) standing in for A-lab-style campaigns.
+//! * [`campaign`] — the Figure 4 discovery loop, runnable at *any* matrix
+//!   cell under human-gated or autonomous coordination — the engine behind
+//!   the 10–100× acceleration measurement.
+//! * [`governance`] — §4's policy enforcement, guardrails, and
+//!   accountability: sample budgets, human approval for irreversible
+//!   actions, rate limits, audit trails.
+//! * [`ide`] — the Science-IDE text renderer (§5.2's new human-interface
+//!   category): campaign status, evolution-plane position, trajectory,
+//!   and intervention panels.
+
+pub mod campaign;
+pub mod domain;
+pub mod federation;
+pub mod governance;
+pub mod ide;
+pub mod matrix;
+pub mod runtime;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoordinationMode};
+pub use domain::MaterialsSpace;
+pub use federation::{Federation, FederationError, Handshake};
+pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
+pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};
+pub use matrix::{
+    all_cells, classify, transition_requirement, Cell, SystemDescriptor, TrajectoryPlanner,
+};
+pub use runtime::{ComponentStatus, LabRuntime};

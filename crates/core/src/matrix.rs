@@ -1,0 +1,408 @@
+//! The 5×5 evolution matrix (§3.4, Table 3): taxonomy, classifier, and
+//! trajectory planner.
+//!
+//! The matrix crosses the intelligence dimension (rows of Table 1) with the
+//! composition dimension (rows of Table 2). It is used two ways, exactly as
+//! the paper prescribes: *descriptively* — [`classify`] places a running
+//! system in a cell from observable properties — and *prescriptively* —
+//! [`TrajectoryPlanner`] charts the evolution path from a current cell to a
+//! target cell, intelligence-first within the current composition, then
+//! widening composition (§3.4's recommended order).
+
+use evoflow_agents::Pattern;
+use evoflow_sm::IntelligenceLevel;
+use serde::{Deserialize, Serialize};
+
+/// A cell of the evolution matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Intelligence level (Table 1 axis).
+    pub intelligence: IntelligenceLevel,
+    /// Composition pattern (Table 2 axis).
+    pub composition: Pattern,
+}
+
+impl Cell {
+    /// Construct a cell.
+    pub fn new(intelligence: IntelligenceLevel, composition: Pattern) -> Self {
+        Cell {
+            intelligence,
+            composition,
+        }
+    }
+
+    /// The paper's current-practice corner: [Static × Pipeline].
+    pub fn traditional_wms() -> Self {
+        Cell::new(IntelligenceLevel::Static, Pattern::Pipeline)
+    }
+
+    /// The autonomous-science frontier: [Intelligent × Swarm].
+    pub fn autonomous_science() -> Self {
+        Cell::new(IntelligenceLevel::Intelligent, Pattern::Swarm { k: 8 })
+    }
+
+    /// Table 3's representative example for this cell.
+    pub fn representative(&self) -> &'static str {
+        use IntelligenceLevel as I;
+        let col = self.intelligence;
+        match (self.composition, col) {
+            (Pattern::Single, I::Static) => "Script",
+            (Pattern::Single, I::Adaptive) => "Exception Handler",
+            (Pattern::Single, I::Learning) => "ML Model",
+            (Pattern::Single, I::Optimizing) => "Optimizer",
+            (Pattern::Single, I::Intelligent) => "LLM-Agent",
+            (Pattern::Pipeline, I::Static) => "DAG",
+            (Pattern::Pipeline, I::Adaptive) => "Conditional DAG",
+            (Pattern::Pipeline, I::Learning) => "ML Pipeline",
+            (Pattern::Pipeline, I::Optimizing) => "AutoML",
+            (Pattern::Pipeline, I::Intelligent) => "Agent Chain",
+            (Pattern::Hierarchical, I::Static) => "Batch System",
+            (Pattern::Hierarchical, I::Adaptive) => "Dynamic Allocation",
+            (Pattern::Hierarchical, I::Learning) => "Ensemble",
+            (Pattern::Hierarchical, I::Optimizing) => "Hyper Optimization",
+            (Pattern::Hierarchical, I::Intelligent) => "Hierarchical Multi-Agent",
+            (Pattern::Mesh, I::Static) => "Fixed Grid",
+            (Pattern::Mesh, I::Adaptive) => "Load Balancing",
+            (Pattern::Mesh, I::Learning) => "Federated",
+            (Pattern::Mesh, I::Optimizing) => "Distributed Optimization",
+            (Pattern::Mesh, I::Intelligent) => "Agent Society",
+            (Pattern::Swarm { .. }, I::Static) => "Parameter Sweep",
+            (Pattern::Swarm { .. }, I::Adaptive) => "Adaptive Sampling",
+            (Pattern::Swarm { .. }, I::Learning) => "Particle Swarm Opt.",
+            (Pattern::Swarm { .. }, I::Optimizing) => "Ant Colony",
+            (Pattern::Swarm { .. }, I::Intelligent) => "Emergent AI",
+        }
+    }
+
+    /// Manhattan distance to another cell in (intelligence, composition)
+    /// rank space — the number of single-axis transitions needed.
+    pub fn distance(&self, other: &Cell) -> usize {
+        self.intelligence.rank().abs_diff(other.intelligence.rank())
+            + self.composition.rank().abs_diff(other.composition.rank())
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let comp = match self.composition {
+            Pattern::Single => "Single",
+            Pattern::Pipeline => "Pipeline",
+            Pattern::Hierarchical => "Hierarchical",
+            Pattern::Mesh => "Mesh",
+            Pattern::Swarm { .. } => "Swarm",
+        };
+        write!(f, "[{} × {comp}]", self.intelligence)
+    }
+}
+
+/// Enumerate all 25 cells in row-major (composition, intelligence) order,
+/// as laid out in Table 3.
+pub fn all_cells() -> Vec<Cell> {
+    let mut out = Vec::with_capacity(25);
+    for comp in Pattern::all() {
+        for level in IntelligenceLevel::ALL {
+            out.push(Cell::new(level, comp));
+        }
+    }
+    out
+}
+
+/// Observable properties of a running system, for classification.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemDescriptor {
+    /// System name.
+    pub name: String,
+    /// Does the transition logic read runtime observations/feedback?
+    pub uses_feedback: bool,
+    /// Does behaviour change with accumulated history (training)?
+    pub learns_from_history: bool,
+    /// Does the system optimize an explicit cost/objective function?
+    pub optimizes_cost: bool,
+    /// Can the system rewrite its own states/transitions/goals?
+    pub self_modifies: bool,
+    /// Number of coordinated machines.
+    pub machine_count: usize,
+    /// Is there a distinguished manager/coordinator machine?
+    pub has_manager: bool,
+    /// Do machines communicate pairwise (not just along a chain)?
+    pub peer_communication: bool,
+    /// Is communication restricted to local neighborhoods?
+    pub local_neighborhoods_only: bool,
+    /// Is dataflow a linear chain?
+    pub linear_dataflow: bool,
+}
+
+/// Classify a system descriptor into its evolution-matrix cell.
+pub fn classify(d: &SystemDescriptor) -> Cell {
+    let intelligence = if d.self_modifies {
+        IntelligenceLevel::Intelligent
+    } else if d.optimizes_cost {
+        IntelligenceLevel::Optimizing
+    } else if d.learns_from_history {
+        IntelligenceLevel::Learning
+    } else if d.uses_feedback {
+        IntelligenceLevel::Adaptive
+    } else {
+        IntelligenceLevel::Static
+    };
+
+    let composition = if d.machine_count <= 1 {
+        Pattern::Single
+    } else if d.peer_communication && d.local_neighborhoods_only {
+        Pattern::Swarm { k: 4 }
+    } else if d.peer_communication {
+        Pattern::Mesh
+    } else if d.has_manager {
+        Pattern::Hierarchical
+    } else if d.linear_dataflow {
+        Pattern::Pipeline
+    } else {
+        // Multiple machines with no discernible coordination: a sweep.
+        Pattern::Swarm { k: 0 }
+    };
+
+    Cell::new(intelligence, composition)
+}
+
+/// What a transition along one axis requires — §3.4's "critical
+/// transitions" made explicit for roadmapping.
+pub fn transition_requirement(from: &Cell, to: &Cell) -> String {
+    if to.intelligence.rank() == from.intelligence.rank() + 1
+        && to.composition.rank() == from.composition.rank()
+    {
+        let req = match to.intelligence {
+            IntelligenceLevel::Adaptive => {
+                "observation/feedback plumbing (sensors, status events)"
+            }
+            IntelligenceLevel::Learning => {
+                "data infrastructure to maintain history H (requires data infrastructure)"
+            }
+            IntelligenceLevel::Optimizing => {
+                "objective specification and evaluation infrastructure for J"
+            }
+            IntelligenceLevel::Intelligent => {
+                "reasoning engines and knowledge bases implementing Ω"
+            }
+            IntelligenceLevel::Static => unreachable!("no transition to Static"),
+        };
+        return format!("intelligence {} → {}: {req}", from.intelligence, to.intelligence);
+    }
+    if to.composition.rank() == from.composition.rank() + 1
+        && to.intelligence.rank() == from.intelligence.rank()
+    {
+        let req = match to.composition {
+            Pattern::Pipeline => "staged dataflow contracts between machines",
+            Pattern::Hierarchical => "delegation protocol and a supervising manager",
+            Pattern::Mesh => "peer-to-peer messaging and shared state (O(n²) channels)",
+            Pattern::Swarm { .. } => {
+                "local interaction rules and emergence operator Φ (O(k) channels/member)"
+            }
+            Pattern::Single => unreachable!("no transition to Single"),
+        };
+        return format!(
+            "composition rank {} → {}: {req}",
+            from.composition.rank(),
+            to.composition.rank()
+        );
+    }
+    format!("{from} → {to}: not a single-axis step")
+}
+
+/// Plans evolution trajectories through the matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrajectoryPlanner;
+
+impl TrajectoryPlanner {
+    /// The §3.4 prescribed path: raise intelligence within the current
+    /// composition first, then widen composition. Returns every cell along
+    /// the way, including the endpoints.
+    pub fn plan(&self, from: Cell, to: Cell) -> Vec<Cell> {
+        let mut path = vec![from];
+        let mut cur = from;
+        // Intelligence first.
+        while cur.intelligence.rank() < to.intelligence.rank() {
+            cur = Cell::new(
+                cur.intelligence.next().expect("rank < target implies next"),
+                cur.composition,
+            );
+            path.push(cur);
+        }
+        // Then composition.
+        let order = Pattern::all();
+        while cur.composition.rank() < to.composition.rank() {
+            cur = Cell::new(cur.intelligence, order[cur.composition.rank() + 1]);
+            path.push(cur);
+        }
+        // Respect the exact target swarm parameterisation.
+        if let (Pattern::Swarm { .. }, Pattern::Swarm { .. }) = (cur.composition, to.composition) {
+            if cur.composition != to.composition {
+                let last = path.len() - 1;
+                path[last] = to;
+            }
+        }
+        path
+    }
+
+    /// Requirements narrative for each step of a plan.
+    pub fn requirements(&self, path: &[Cell]) -> Vec<String> {
+        path.windows(2)
+            .map(|w| transition_requirement(&w[0], &w[1]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_25_distinct_cells() {
+        let cells = all_cells();
+        assert_eq!(cells.len(), 25);
+        let mut reps: Vec<&str> = cells.iter().map(|c| c.representative()).collect();
+        reps.sort_unstable();
+        reps.dedup();
+        assert_eq!(reps.len(), 25, "representatives must be unique");
+    }
+
+    #[test]
+    fn corners_match_paper() {
+        assert_eq!(Cell::traditional_wms().representative(), "DAG");
+        assert_eq!(Cell::autonomous_science().representative(), "Emergent AI");
+        assert_eq!(
+            Cell::new(IntelligenceLevel::Learning, Pattern::Swarm { k: 4 }).representative(),
+            "Particle Swarm Opt."
+        );
+        assert_eq!(
+            Cell::new(IntelligenceLevel::Optimizing, Pattern::Swarm { k: 4 }).representative(),
+            "Ant Colony"
+        );
+    }
+
+    #[test]
+    fn classifier_places_known_systems() {
+        // A traditional WMS DAG run.
+        let wms = SystemDescriptor {
+            name: "pegasus-like".into(),
+            machine_count: 5,
+            linear_dataflow: true,
+            ..SystemDescriptor::default()
+        };
+        assert_eq!(classify(&wms), Cell::traditional_wms());
+
+        // A fault-tolerant conditional DAG.
+        let adaptive = SystemDescriptor {
+            uses_feedback: true,
+            ..wms.clone()
+        };
+        assert_eq!(
+            classify(&adaptive),
+            Cell::new(IntelligenceLevel::Adaptive, Pattern::Pipeline)
+        );
+
+        // A lone LLM agent that rewrites its own plans.
+        let llm = SystemDescriptor {
+            name: "autogpt-like".into(),
+            uses_feedback: true,
+            learns_from_history: true,
+            optimizes_cost: true,
+            self_modifies: true,
+            machine_count: 1,
+            ..SystemDescriptor::default()
+        };
+        assert_eq!(
+            classify(&llm),
+            Cell::new(IntelligenceLevel::Intelligent, Pattern::Single)
+        );
+
+        // PSO: learning machines, local neighborhoods.
+        let pso = SystemDescriptor {
+            name: "pso".into(),
+            uses_feedback: true,
+            learns_from_history: true,
+            machine_count: 30,
+            peer_communication: true,
+            local_neighborhoods_only: true,
+            ..SystemDescriptor::default()
+        };
+        let cell = classify(&pso);
+        assert_eq!(cell.intelligence, IntelligenceLevel::Learning);
+        assert!(matches!(cell.composition, Pattern::Swarm { .. }));
+
+        // A federated-learning mesh.
+        let fed = SystemDescriptor {
+            name: "fedavg".into(),
+            uses_feedback: true,
+            learns_from_history: true,
+            machine_count: 10,
+            peer_communication: true,
+            ..SystemDescriptor::default()
+        };
+        assert_eq!(
+            classify(&fed),
+            Cell::new(IntelligenceLevel::Learning, Pattern::Mesh)
+        );
+
+        // A batch system: manager + static jobs.
+        let batch = SystemDescriptor {
+            name: "slurm-like".into(),
+            machine_count: 100,
+            has_manager: true,
+            ..SystemDescriptor::default()
+        };
+        assert_eq!(
+            classify(&batch),
+            Cell::new(IntelligenceLevel::Static, Pattern::Hierarchical)
+        );
+    }
+
+    #[test]
+    fn trajectory_is_intelligence_first() {
+        let p = TrajectoryPlanner;
+        let path = p.plan(Cell::traditional_wms(), Cell::autonomous_science());
+        // Static→Intelligent = 4 steps, Pipeline→Swarm = 3 steps, + start.
+        assert_eq!(path.len(), 8);
+        // First four transitions raise intelligence at fixed composition.
+        for w in path.windows(2).take(4) {
+            assert_eq!(w[0].composition.rank(), w[1].composition.rank());
+            assert_eq!(w[0].intelligence.rank() + 1, w[1].intelligence.rank());
+        }
+        // Remaining transitions widen composition at Intelligent.
+        for w in path.windows(2).skip(4) {
+            assert_eq!(w[0].intelligence, IntelligenceLevel::Intelligent);
+            assert_eq!(w[0].composition.rank() + 1, w[1].composition.rank());
+        }
+        assert_eq!(*path.last().unwrap(), Cell::autonomous_science());
+    }
+
+    #[test]
+    fn trajectory_requirements_name_the_critical_infrastructure() {
+        let p = TrajectoryPlanner;
+        let path = p.plan(Cell::traditional_wms(), Cell::autonomous_science());
+        let reqs = p.requirements(&path);
+        assert_eq!(reqs.len(), 7);
+        assert!(reqs.iter().any(|r| r.contains("data infrastructure")));
+        assert!(reqs.iter().any(|r| r.contains("objective specification")));
+        assert!(reqs.iter().any(|r| r.contains("reasoning engines")));
+        assert!(reqs.iter().any(|r| r.contains("Φ")));
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        assert_eq!(
+            Cell::traditional_wms().distance(&Cell::autonomous_science()),
+            7
+        );
+        let c = Cell::new(IntelligenceLevel::Learning, Pattern::Mesh);
+        assert_eq!(c.distance(&c), 0);
+    }
+
+    #[test]
+    fn display_formats_cells() {
+        assert_eq!(Cell::traditional_wms().to_string(), "[Static × Pipeline]");
+        assert_eq!(
+            Cell::autonomous_science().to_string(),
+            "[Intelligent × Swarm]"
+        );
+    }
+}

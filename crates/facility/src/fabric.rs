@@ -1,0 +1,295 @@
+//! The data fabric: cross-facility transfer simulation (§5.2).
+//!
+//! "Data fabrics leverage data transfer services like Globus Transfer for
+//! high-performance movement of multimodal scientific data across
+//! facilities." Sites are vertices, links carry bandwidth + latency, and
+//! transfers route over the best path (Dijkstra on transfer time for a
+//! given size). The paper's infrastructure sizing (§5.3: >400 Gbps inside
+//! AI hubs, >100 Gbps between facilities) is the default topology.
+
+use evoflow_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A directed link between two sites.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Link {
+    /// Bandwidth in gigabits per second.
+    pub gbps: f64,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The federation's data fabric.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataFabric {
+    sites: Vec<String>,
+    links: BTreeMap<(usize, usize), Link>,
+    transfers: u64,
+    bytes_moved: u128,
+}
+
+/// Errors from fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// Unknown site name.
+    UnknownSite(String),
+    /// No route between the sites.
+    NoRoute(String, String),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
+            FabricError::NoRoute(a, b) => write!(f, "no route {a:?} -> {b:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// A completed transfer plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferPlan {
+    /// Site names along the route.
+    pub route: Vec<String>,
+    /// Total transfer time.
+    pub duration: SimDuration,
+    /// Bottleneck bandwidth along the route (Gbps).
+    pub bottleneck_gbps: f64,
+}
+
+impl DataFabric {
+    /// Create an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a site; returns its index.
+    pub fn site(&mut self, name: impl Into<String>) -> usize {
+        let name = name.into();
+        if let Some(i) = self.sites.iter().position(|s| *s == name) {
+            return i;
+        }
+        self.sites.push(name);
+        self.sites.len() - 1
+    }
+
+    /// Add a bidirectional link.
+    pub fn link(&mut self, a: usize, b: usize, link: Link) {
+        self.links.insert((a, b), link);
+        self.links.insert((b, a), link);
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the fabric has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Total transfers planned.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> u128 {
+        self.bytes_moved
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize, FabricError> {
+        self.sites
+            .iter()
+            .position(|s| s == name)
+            .ok_or_else(|| FabricError::UnknownSite(name.to_string()))
+    }
+
+    /// Time to push `gb` gigabytes over one link.
+    fn link_time(link: &Link, gb: f64) -> f64 {
+        link.latency_ms / 1_000.0 + gb * 8.0 / link.gbps
+    }
+
+    /// Plan (and account) a transfer of `gb` gigabytes from `from` to `to`,
+    /// routing over the minimum-time path.
+    pub fn transfer(&mut self, from: &str, to: &str, gb: f64) -> Result<TransferPlan, FabricError> {
+        let src = self.index_of(from)?;
+        let dst = self.index_of(to)?;
+        if src == dst {
+            return Ok(TransferPlan {
+                route: vec![from.to_string()],
+                duration: SimDuration::ZERO,
+                bottleneck_gbps: f64::INFINITY,
+            });
+        }
+        // Dijkstra over per-link transfer time for this size.
+        let n = self.sites.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut done = vec![false; n];
+        dist[src] = 0.0;
+        for _ in 0..n {
+            let u = (0..n)
+                .filter(|&i| !done[i] && dist[i].is_finite())
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("finite"));
+            let Some(u) = u else { break };
+            done[u] = true;
+            if u == dst {
+                break;
+            }
+            for (&(a, b), link) in &self.links {
+                if a == u && !done[b] {
+                    let alt = dist[u] + Self::link_time(link, gb);
+                    if alt < dist[b] {
+                        dist[b] = alt;
+                        prev[b] = u;
+                    }
+                }
+            }
+        }
+        if !dist[dst].is_finite() {
+            return Err(FabricError::NoRoute(from.to_string(), to.to_string()));
+        }
+        // Reconstruct route and bottleneck.
+        let mut route_idx = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            route_idx.push(cur);
+        }
+        route_idx.reverse();
+        let bottleneck = route_idx
+            .windows(2)
+            .map(|w| self.links[&(w[0], w[1])].gbps)
+            .fold(f64::INFINITY, f64::min);
+
+        self.transfers += 1;
+        self.bytes_moved += (gb * 1e9) as u128;
+        Ok(TransferPlan {
+            route: route_idx.iter().map(|&i| self.sites[i].clone()).collect(),
+            duration: SimDuration::from_secs_f64(dist[dst]),
+            bottleneck_gbps: bottleneck,
+        })
+    }
+
+    /// The standard five-site federation fabric of Figure 3 with §5.3's
+    /// bandwidth classes: 100 Gbps WAN between major facilities, 400 Gbps
+    /// into the AI hub, 10 Gbps to the edge lab.
+    pub fn standard() -> Self {
+        let mut f = DataFabric::new();
+        let edge = f.site("autonomous-lab");
+        let inst = f.site("lightsource");
+        let hpc = f.site("hpc-center");
+        let cloud = f.site("cloud-east");
+        let hub = f.site("ai-hub");
+        let wan = Link {
+            gbps: 100.0,
+            latency_ms: 20.0,
+        };
+        let hubline = Link {
+            gbps: 400.0,
+            latency_ms: 5.0,
+        };
+        let edgeline = Link {
+            gbps: 10.0,
+            latency_ms: 10.0,
+        };
+        f.link(edge, inst, edgeline);
+        f.link(edge, hub, edgeline);
+        f.link(inst, hpc, wan);
+        f.link(inst, hub, wan);
+        f.link(hpc, cloud, wan);
+        f.link(hpc, hub, hubline);
+        f.link(cloud, hub, wan);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_transfer_time() {
+        let mut f = DataFabric::new();
+        let a = f.site("a");
+        let b = f.site("b");
+        f.link(a, b, Link { gbps: 100.0, latency_ms: 10.0 });
+        let plan = f.transfer("a", "b", 125.0).unwrap(); // 125 GB = 1000 Gb
+        assert_eq!(plan.route, vec!["a", "b"]);
+        assert!((plan.duration.as_secs_f64() - 10.01).abs() < 1e-6);
+        assert_eq!(plan.bottleneck_gbps, 100.0);
+    }
+
+    #[test]
+    fn routes_around_slow_links() {
+        let mut f = DataFabric::new();
+        let a = f.site("a");
+        let b = f.site("b");
+        let c = f.site("c");
+        f.link(a, b, Link { gbps: 1.0, latency_ms: 1.0 }); // slow direct
+        f.link(a, c, Link { gbps: 100.0, latency_ms: 1.0 });
+        f.link(c, b, Link { gbps: 100.0, latency_ms: 1.0 });
+        let plan = f.transfer("a", "b", 10.0).unwrap();
+        assert_eq!(plan.route, vec!["a", "c", "b"]);
+    }
+
+    #[test]
+    fn small_transfers_prefer_low_latency() {
+        let mut f = DataFabric::new();
+        let a = f.site("a");
+        let b = f.site("b");
+        let c = f.site("c");
+        // Direct: low latency, slow. Via c: fast but 2 hops of latency.
+        f.link(a, b, Link { gbps: 1.0, latency_ms: 1.0 });
+        f.link(a, c, Link { gbps: 100.0, latency_ms: 500.0 });
+        f.link(c, b, Link { gbps: 100.0, latency_ms: 500.0 });
+        let tiny = f.transfer("a", "b", 0.001).unwrap();
+        assert_eq!(tiny.route, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn no_route_errors() {
+        let mut f = DataFabric::new();
+        f.site("a");
+        f.site("island");
+        assert_eq!(
+            f.transfer("a", "island", 1.0).unwrap_err(),
+            FabricError::NoRoute("a".into(), "island".into())
+        );
+        assert!(matches!(
+            f.transfer("a", "ghost", 1.0).unwrap_err(),
+            FabricError::UnknownSite(_)
+        ));
+    }
+
+    #[test]
+    fn self_transfer_is_free() {
+        let mut f = DataFabric::standard();
+        let plan = f.transfer("ai-hub", "ai-hub", 100.0).unwrap();
+        assert_eq!(plan.duration, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn standard_fabric_hub_is_fast() {
+        let mut f = DataFabric::standard();
+        let hub = f.transfer("hpc-center", "ai-hub", 100.0).unwrap();
+        let wan = f.transfer("hpc-center", "cloud-east", 100.0).unwrap();
+        assert!(hub.duration < wan.duration);
+        assert_eq!(f.transfers(), 2);
+        assert_eq!(f.bytes_moved(), 200 * 1_000_000_000);
+    }
+
+    #[test]
+    fn site_dedupes_by_name() {
+        let mut f = DataFabric::new();
+        let a1 = f.site("a");
+        let a2 = f.site("a");
+        assert_eq!(a1, a2);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Facility and instrument models (Figure 3's physical infrastructure).
+//!
+//! Each facility hosts instruments with finite capacity, characteristic
+//! operation times, and failure/repair behaviour; facilities advertise
+//! their capabilities into the federation's service registry
+//! (`evoflow-coord`). Facility kinds follow Figure 3: Edge, Instrument
+//! (user facility / beamline), HPC, Cloud, and AI Hub.
+
+use evoflow_coord::discovery::ServiceDescriptor;
+use evoflow_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The five facility classes of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FacilityKind {
+    /// Field instruments + robotics + edge AI compute.
+    Edge,
+    /// A user facility hosting experimental instruments (e.g. beamlines).
+    Instrument,
+    /// An HPC center (clusters + storage + local AI compute).
+    Hpc,
+    /// Commercial cloud (IaaS/PaaS + app servers).
+    Cloud,
+    /// AI hub: inference-specialised compute and storage (§5.3).
+    AiHub,
+}
+
+impl FacilityKind {
+    /// Default capability prefixes this kind of facility advertises.
+    pub fn default_capabilities(self) -> &'static [&'static str] {
+        match self {
+            FacilityKind::Edge => &["synthesis/thin-film", "edge-inference/fast"],
+            FacilityKind::Instrument => &["characterization/xrd", "characterization/spectroscopy"],
+            FacilityKind::Hpc => &["simulation/dft", "simulation/md", "batch/large"],
+            FacilityKind::Cloud => &["analysis/statistics", "storage/object"],
+            FacilityKind::AiHub => &["inference/llm", "inference/lrm", "training/finetune"],
+        }
+    }
+}
+
+/// An instrument's failure/repair behaviour.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Probability an operation fails mid-flight.
+    pub op_failure_prob: f64,
+    /// Repair time after a failure.
+    pub repair_time: SimDuration,
+}
+
+impl FailureModel {
+    /// A perfectly reliable instrument.
+    pub fn reliable() -> Self {
+        FailureModel {
+            op_failure_prob: 0.0,
+            repair_time: SimDuration::ZERO,
+        }
+    }
+}
+
+/// An instrument hosted at a facility.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instrument {
+    /// Instrument name (unique within the facility).
+    pub name: String,
+    /// Capability string it serves (e.g. `"characterization/xrd"`).
+    pub capability: String,
+    /// Concurrent operations supported.
+    pub capacity: u64,
+    /// Nominal time per operation.
+    pub op_time: SimDuration,
+    /// Log-normal sigma on the operation time.
+    pub op_jitter: f64,
+    /// Failure behaviour.
+    pub failure: FailureModel,
+    /// Samples consumed per operation (0 for non-destructive instruments).
+    pub samples_per_op: u32,
+}
+
+impl Instrument {
+    /// Draw one operation outcome: `(duration, failed)`.
+    pub fn draw_op(&self, rng: &mut SimRng) -> (SimDuration, bool) {
+        let dur = if self.op_jitter > 0.0 {
+            self.op_time.mul_f64(rng.lognormal(0.0, self.op_jitter))
+        } else {
+            self.op_time
+        };
+        let failed = rng.chance(self.failure.op_failure_prob);
+        if failed {
+            (dur + self.failure.repair_time, true)
+        } else {
+            (dur, false)
+        }
+    }
+}
+
+/// A facility: a named site with instruments and a sample inventory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Facility {
+    /// Facility name (unique in the federation).
+    pub name: String,
+    /// Facility class.
+    pub kind: FacilityKind,
+    /// Hosted instruments.
+    pub instruments: Vec<Instrument>,
+    /// Remaining irreplaceable samples (§4.1's physical constraint).
+    pub sample_inventory: u32,
+    /// Arbitrary attributes advertised with every capability.
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl Facility {
+    /// Create a facility with no instruments.
+    pub fn new(name: impl Into<String>, kind: FacilityKind) -> Self {
+        Facility {
+            name: name.into(),
+            kind,
+            instruments: Vec::new(),
+            sample_inventory: u32::MAX,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Add an instrument (builder-style).
+    pub fn with_instrument(mut self, i: Instrument) -> Self {
+        self.instruments.push(i);
+        self
+    }
+
+    /// Set the sample budget (builder-style).
+    pub fn with_samples(mut self, n: u32) -> Self {
+        self.sample_inventory = n;
+        self
+    }
+
+    /// Find an instrument serving `capability`.
+    pub fn instrument_for(&self, capability: &str) -> Option<&Instrument> {
+        self.instruments.iter().find(|i| i.capability == capability)
+    }
+
+    /// Consume samples for an operation; false when inventory is exhausted.
+    pub fn consume_samples(&mut self, n: u32) -> bool {
+        if self.sample_inventory >= n {
+            self.sample_inventory -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Service descriptors to advertise into the federation registry —
+    /// one per instrument plus the facility-kind defaults.
+    pub fn advertisements(&self) -> Vec<ServiceDescriptor> {
+        let mut out: Vec<ServiceDescriptor> = self
+            .instruments
+            .iter()
+            .map(|i| ServiceDescriptor {
+                name: format!("{}@{}", i.name, self.name),
+                facility: self.name.clone(),
+                capabilities: vec![i.capability.clone()],
+                attributes: self.attributes.clone(),
+                endpoint: format!("fed://{}/{}", self.name, i.name),
+            })
+            .collect();
+        out.push(ServiceDescriptor {
+            name: format!("{}-services", self.name),
+            facility: self.name.clone(),
+            capabilities: self
+                .kind
+                .default_capabilities()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            attributes: self.attributes.clone(),
+            endpoint: format!("fed://{}", self.name),
+        });
+        out
+    }
+}
+
+/// Standard instrument presets used across examples and experiments.
+/// Times are in line with published autonomous-lab descriptions (A-lab
+/// synthesis in the tens of minutes; beamline scans in minutes; DFT
+/// relaxations in hours).
+pub mod presets {
+    use super::*;
+
+    /// A robotic thin-film synthesis station.
+    pub fn synthesis_robot(name: &str) -> Instrument {
+        Instrument {
+            name: name.into(),
+            capability: "synthesis/thin-film".into(),
+            capacity: 1,
+            op_time: SimDuration::from_mins(30),
+            op_jitter: 0.2,
+            failure: FailureModel {
+                op_failure_prob: 0.03,
+                repair_time: SimDuration::from_mins(20),
+            },
+            samples_per_op: 1,
+        }
+    }
+
+    /// An XRD characterization beamline endstation.
+    pub fn xrd_beamline(name: &str) -> Instrument {
+        Instrument {
+            name: name.into(),
+            capability: "characterization/xrd".into(),
+            capacity: 1,
+            op_time: SimDuration::from_mins(10),
+            op_jitter: 0.1,
+            failure: FailureModel {
+                op_failure_prob: 0.01,
+                repair_time: SimDuration::from_mins(30),
+            },
+            samples_per_op: 0,
+        }
+    }
+
+    /// A DFT simulation service slice on an HPC cluster.
+    pub fn dft_service(name: &str, concurrent: u64) -> Instrument {
+        Instrument {
+            name: name.into(),
+            capability: "simulation/dft".into(),
+            capacity: concurrent,
+            op_time: SimDuration::from_hours(2),
+            op_jitter: 0.4,
+            failure: FailureModel {
+                op_failure_prob: 0.02,
+                repair_time: SimDuration::from_mins(5),
+            },
+            samples_per_op: 0,
+        }
+    }
+
+    /// An LLM/LRM inference slice at an AI hub.
+    pub fn inference_service(name: &str, concurrent: u64) -> Instrument {
+        Instrument {
+            name: name.into(),
+            capability: "inference/llm".into(),
+            capacity: concurrent,
+            op_time: SimDuration::from_secs(5),
+            op_jitter: 0.3,
+            failure: FailureModel::reliable(),
+            samples_per_op: 0,
+        }
+    }
+
+    /// A fully-equipped five-facility federation (Figure 3's deployment).
+    pub fn standard_federation() -> Vec<Facility> {
+        vec![
+            Facility::new("autonomous-lab", FacilityKind::Edge)
+                .with_instrument(synthesis_robot("synthbot-a"))
+                .with_instrument(synthesis_robot("synthbot-b"))
+                .with_samples(10_000),
+            Facility::new("lightsource", FacilityKind::Instrument)
+                .with_instrument(xrd_beamline("beamline-2")),
+            Facility::new("hpc-center", FacilityKind::Hpc)
+                .with_instrument(dft_service("dft-pool", 16)),
+            Facility::new("cloud-east", FacilityKind::Cloud),
+            Facility::new("ai-hub", FacilityKind::AiHub)
+                .with_instrument(inference_service("lrm-pool", 64)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::*;
+    use super::*;
+
+    #[test]
+    fn advertisements_cover_instruments_and_defaults() {
+        let f = Facility::new("lab", FacilityKind::Edge)
+            .with_instrument(synthesis_robot("bot"));
+        let ads = f.advertisements();
+        assert_eq!(ads.len(), 2);
+        assert!(ads[0].capabilities.contains(&"synthesis/thin-film".to_string()));
+        assert!(ads[1]
+            .capabilities
+            .contains(&"edge-inference/fast".to_string()));
+        assert!(ads.iter().all(|a| a.facility == "lab"));
+    }
+
+    #[test]
+    fn sample_inventory_depletes() {
+        let mut f = Facility::new("lab", FacilityKind::Edge).with_samples(2);
+        assert!(f.consume_samples(1));
+        assert!(f.consume_samples(1));
+        assert!(!f.consume_samples(1));
+        assert_eq!(f.sample_inventory, 0);
+    }
+
+    #[test]
+    fn instrument_lookup_by_capability() {
+        let f = Facility::new("ls", FacilityKind::Instrument)
+            .with_instrument(xrd_beamline("b2"));
+        assert!(f.instrument_for("characterization/xrd").is_some());
+        assert!(f.instrument_for("synthesis/thin-film").is_none());
+    }
+
+    #[test]
+    fn draw_op_respects_failure_model() {
+        let mut always_fails = synthesis_robot("bad");
+        always_fails.failure.op_failure_prob = 1.0;
+        let mut rng = SimRng::from_seed_u64(1);
+        let (dur, failed) = always_fails.draw_op(&mut rng);
+        assert!(failed);
+        // Failure adds repair time on top of the (jittered) op time.
+        assert!(dur >= always_fails.failure.repair_time);
+
+        let reliable = xrd_beamline("good");
+        let mut rng = SimRng::from_seed_u64(2);
+        let fails = (0..200).filter(|_| reliable.draw_op(&mut rng).1).count();
+        assert!(fails <= 6, "{fails} failures at 1% rate");
+    }
+
+    #[test]
+    fn standard_federation_has_five_kinds() {
+        let fed = standard_federation();
+        assert_eq!(fed.len(), 5);
+        let kinds: std::collections::BTreeSet<FacilityKind> =
+            fed.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds.len(), 5);
+    }
+}

@@ -1,0 +1,357 @@
+//! HPC batch scheduling: FCFS with EASY backfill.
+//!
+//! The "Batch System" cell of Table 3 ([Static × Hierarchical]) and the
+//! queue-wait component of every campaign that touches an HPC center. The
+//! scheduler is a pure data structure over simulated time: `submit` jobs,
+//! then `advance_to(t)` processes starts/completions deterministically.
+
+use evoflow_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// A batch job request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Job {
+    /// Job id.
+    pub id: JobId,
+    /// Nodes requested.
+    pub nodes: u64,
+    /// Requested walltime (used for backfill reservations; actual runtime
+    /// equals it in this model).
+    pub walltime: SimDuration,
+    /// Submission time.
+    pub submitted: SimTime,
+}
+
+/// A running job with its completion time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Running {
+    job: Job,
+    started: SimTime,
+    ends: SimTime,
+}
+
+/// A finished job record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finished {
+    /// The job.
+    pub job: Job,
+    /// When it started.
+    pub started: SimTime,
+    /// When it completed.
+    pub ended: SimTime,
+}
+
+impl Finished {
+    /// Queue wait time.
+    pub fn wait(&self) -> SimDuration {
+        self.started.saturating_since(self.job.submitted)
+    }
+}
+
+/// An FCFS + EASY-backfill batch scheduler over `total_nodes`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchScheduler {
+    total_nodes: u64,
+    queue: VecDeque<Job>,
+    running: Vec<Running>,
+    finished: Vec<Finished>,
+    next_id: u64,
+    now: SimTime,
+}
+
+impl BatchScheduler {
+    /// Create a scheduler over a cluster of `total_nodes`.
+    pub fn new(total_nodes: u64) -> Self {
+        BatchScheduler {
+            total_nodes,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Cluster size.
+    pub fn total_nodes(&self) -> u64 {
+        self.total_nodes
+    }
+
+    /// Nodes currently allocated.
+    pub fn nodes_in_use(&self) -> u64 {
+        self.running.iter().map(|r| r.job.nodes).sum()
+    }
+
+    /// Free nodes.
+    pub fn nodes_free(&self) -> u64 {
+        self.total_nodes - self.nodes_in_use()
+    }
+
+    /// Jobs waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently running.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Completed job records.
+    pub fn finished(&self) -> &[Finished] {
+        &self.finished
+    }
+
+    /// Current scheduler clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Submit a job at time `at` (must be ≥ the scheduler clock).
+    pub fn submit(&mut self, nodes: u64, walltime: SimDuration, at: SimTime) -> JobId {
+        assert!(
+            nodes <= self.total_nodes,
+            "job wants {nodes} nodes, cluster has {}",
+            self.total_nodes
+        );
+        let at = at.max(self.now);
+        self.advance_to(at);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back(Job {
+            id,
+            nodes,
+            walltime,
+            submitted: at,
+        });
+        self.schedule();
+        id
+    }
+
+    /// Advance the clock to `t`, completing jobs and starting queued ones.
+    pub fn advance_to(&mut self, t: SimTime) {
+        while self.now < t {
+            // Next completion before t?
+            let next_end = self.running.iter().map(|r| r.ends).min();
+            match next_end {
+                Some(end) if end <= t => {
+                    self.now = end;
+                    let done: Vec<Running> = {
+                        let (done, keep): (Vec<Running>, Vec<Running>) = self
+                            .running
+                            .drain(..)
+                            .partition(|r| r.ends <= end);
+                        self.running = keep;
+                        done
+                    };
+                    for r in done {
+                        self.finished.push(Finished {
+                            job: r.job,
+                            started: r.started,
+                            ended: r.ends,
+                        });
+                    }
+                    self.schedule();
+                }
+                _ => {
+                    self.now = t;
+                }
+            }
+        }
+        self.schedule();
+    }
+
+    /// Drain: run the clock forward until queue and machine are empty;
+    /// returns the time the last job completes.
+    pub fn drain(&mut self) -> SimTime {
+        while !self.queue.is_empty() || !self.running.is_empty() {
+            let next = self
+                .running
+                .iter()
+                .map(|r| r.ends)
+                .min()
+                .unwrap_or(self.now);
+            self.advance_to(next.max(self.now + SimDuration::from_nanos(1)));
+        }
+        self.now
+    }
+
+    /// FCFS head start + EASY backfill: the head of the queue reserves the
+    /// earliest time enough nodes free up; later jobs may jump ahead only
+    /// if they fit in the free nodes *and* finish before that reservation.
+    fn schedule(&mut self) {
+        loop {
+            let mut started_any = false;
+
+            // Start the head if it fits.
+            while let Some(head) = self.queue.front() {
+                if head.nodes <= self.nodes_free() {
+                    let job = self.queue.pop_front().expect("head exists");
+                    let ends = self.now + job.walltime;
+                    self.running.push(Running {
+                        started: self.now,
+                        ends,
+                        job,
+                    });
+                    started_any = true;
+                } else {
+                    break;
+                }
+            }
+
+            // Backfill behind a blocked head.
+            if let Some(head_nodes) = self.queue.front().map(|h| h.nodes) {
+                let shadow = self.reservation_time(head_nodes);
+                let free = self.nodes_free();
+                let mut i = 1;
+                while i < self.queue.len() {
+                    let cand = &self.queue[i];
+                    let fits = cand.nodes <= self.nodes_free();
+                    let harmless = self.now + cand.walltime <= shadow
+                        || cand.nodes <= free.saturating_sub(head_nodes);
+                    if fits && harmless {
+                        let job = self.queue.remove(i).expect("index valid");
+                        let ends = self.now + job.walltime;
+                        self.running.push(Running {
+                            started: self.now,
+                            ends,
+                            job,
+                        });
+                        started_any = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            if !started_any {
+                break;
+            }
+        }
+    }
+
+    /// Earliest time at which `nodes` will be free, assuming running jobs
+    /// complete at their walltime.
+    fn reservation_time(&self, nodes: u64) -> SimTime {
+        let mut ends: Vec<(SimTime, u64)> = self
+            .running
+            .iter()
+            .map(|r| (r.ends, r.job.nodes))
+            .collect();
+        ends.sort();
+        let mut free = self.nodes_free();
+        for (t, n) in ends {
+            if free >= nodes {
+                break;
+            }
+            free += n;
+            if free >= nodes {
+                return t;
+            }
+        }
+        self.now
+    }
+
+    /// Mean queue wait over finished jobs, in hours.
+    pub fn mean_wait_hours(&self) -> f64 {
+        if self.finished.is_empty() {
+            return 0.0;
+        }
+        self.finished
+            .iter()
+            .map(|f| f.wait().as_hours())
+            .sum::<f64>()
+            / self.finished.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u64) -> SimDuration {
+        SimDuration::from_hours(x)
+    }
+
+    #[test]
+    fn fcfs_orders_starts() {
+        let mut s = BatchScheduler::new(10);
+        s.submit(10, h(2), SimTime::ZERO); // fills machine
+        s.submit(10, h(1), SimTime::ZERO); // must wait
+        let end = s.drain();
+        assert_eq!(end.as_hours(), 3.0);
+        assert_eq!(s.finished().len(), 2);
+        assert_eq!(s.finished()[0].job.id, JobId(0));
+        assert_eq!(s.finished()[1].started.as_hours(), 2.0);
+    }
+
+    #[test]
+    fn backfill_fills_holes_without_delaying_head() {
+        let mut s = BatchScheduler::new(10);
+        s.submit(6, h(4), SimTime::ZERO); // A: runs on 6 nodes
+        s.submit(10, h(2), SimTime::ZERO); // B: blocked head, reserved at t=4
+        s.submit(4, h(3), SimTime::ZERO); // C: fits 4 free nodes, ends t=3 ≤ 4 → backfills
+        s.advance_to(SimTime::from_secs(1));
+        assert_eq!(s.running_len(), 2, "C should backfill next to A");
+        let end = s.drain();
+        // A ends 4, C ends 3, B starts 4 ends 6.
+        assert_eq!(end.as_hours(), 6.0);
+        let b = s.finished().iter().find(|f| f.job.id == JobId(1)).unwrap();
+        assert_eq!(b.started.as_hours(), 4.0, "backfill must not delay head");
+    }
+
+    #[test]
+    fn backfill_rejects_jobs_that_would_delay_head() {
+        let mut s = BatchScheduler::new(10);
+        s.submit(6, h(4), SimTime::ZERO); // A
+        s.submit(10, h(2), SimTime::ZERO); // B head reservation t=4
+        s.submit(4, h(6), SimTime::ZERO); // D: fits but ends t=6 > 4 → no backfill
+        s.advance_to(SimTime::from_secs(1));
+        assert_eq!(s.running_len(), 1);
+        let end = s.drain();
+        // A:0-4, B:4-6, D:6-12.
+        assert_eq!(end.as_hours(), 12.0);
+    }
+
+    #[test]
+    fn waits_are_recorded() {
+        let mut s = BatchScheduler::new(4);
+        s.submit(4, h(2), SimTime::ZERO);
+        s.submit(4, h(2), SimTime::ZERO);
+        s.drain();
+        assert_eq!(s.mean_wait_hours(), 1.0); // 0h + 2h over 2 jobs
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = BatchScheduler::new(8);
+        s.submit(3, h(1), SimTime::ZERO);
+        s.submit(5, h(1), SimTime::ZERO);
+        s.advance_to(SimTime::from_secs(1));
+        assert_eq!(s.nodes_in_use(), 8);
+        assert_eq!(s.nodes_free(), 0);
+        s.drain();
+        assert_eq!(s.nodes_in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster has")]
+    fn oversized_job_rejected() {
+        let mut s = BatchScheduler::new(4);
+        s.submit(5, h(1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn late_submission_advances_clock() {
+        let mut s = BatchScheduler::new(4);
+        s.submit(1, h(1), SimTime::from_secs(3600));
+        let end = s.drain();
+        assert_eq!(end.as_hours(), 2.0);
+        assert_eq!(s.finished()[0].started.as_hours(), 1.0);
+    }
+}

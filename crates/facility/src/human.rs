@@ -1,0 +1,229 @@
+//! The human-coordination latency model.
+//!
+//! The paper's 10–100× acceleration claim (§1, §6.2) is *defined* relative
+//! to human-gated coordination: "current discovery pipelines stall at
+//! points waiting for researchers to analyze data, design next experiments,
+//! or coordinate resources". Measuring that claim requires an explicit
+//! model of when a human actually acts:
+//!
+//! * decisions take log-normally distributed effort (heavy tail: some
+//!   decisions wait for meetings),
+//! * work only proceeds during working hours (9–17, Mon–Fri),
+//! * each hand-off between facilities adds coordination overhead
+//!   (emails/tickets between institutions, §2.2).
+
+use evoflow_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the human-latency model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HumanModel {
+    /// Median decision effort, in hours (log-normal median).
+    pub decision_median_hours: f64,
+    /// Log-normal sigma of the decision effort.
+    pub decision_sigma: f64,
+    /// Extra coordination overhead per cross-facility hand-off, hours.
+    pub handoff_overhead_hours: f64,
+    /// Working-hours gating on/off.
+    pub working_hours_only: bool,
+}
+
+impl HumanModel {
+    /// A typical principal investigator juggling several projects: median
+    /// 4h to act on a result, heavy tail, 2h of hand-off coordination.
+    pub fn typical_pi() -> Self {
+        HumanModel {
+            decision_median_hours: 4.0,
+            decision_sigma: 1.0,
+            handoff_overhead_hours: 2.0,
+            working_hours_only: true,
+        }
+    }
+
+    /// A highly responsive operator (monitoring dashboards continuously).
+    pub fn attentive_operator() -> Self {
+        HumanModel {
+            decision_median_hours: 0.5,
+            decision_sigma: 0.5,
+            handoff_overhead_hours: 0.25,
+            working_hours_only: true,
+        }
+    }
+
+    /// The autonomous-agent equivalent: seconds, around the clock.
+    /// (Used as the ablation control in `claim_acceleration`.)
+    pub fn agent_equivalent() -> Self {
+        HumanModel {
+            decision_median_hours: 5.0 / 3600.0,
+            decision_sigma: 0.3,
+            handoff_overhead_hours: 0.0,
+            working_hours_only: false,
+        }
+    }
+
+    /// Draw the effort of one decision (hours of attention required).
+    pub fn draw_decision_hours(&self, rng: &mut SimRng) -> f64 {
+        rng.lognormal(self.decision_median_hours.ln(), self.decision_sigma)
+    }
+
+    /// When a decision requested at `now` completes: effort is spent only
+    /// inside working hours when gating is on; hand-off overhead applies
+    /// when `cross_facility`.
+    pub fn decision_ready_at(
+        &self,
+        now: SimTime,
+        cross_facility: bool,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let mut effort_hours =
+            self.draw_decision_hours(rng) + if cross_facility { self.handoff_overhead_hours } else { 0.0 };
+        if !self.working_hours_only {
+            return now + SimDuration::from_hours_f64(effort_hours);
+        }
+        // Spend effort across working windows.
+        let mut t = next_working_instant(now);
+        while effort_hours > 0.0 {
+            let window_left = hours_left_in_workday(t);
+            if effort_hours <= window_left {
+                t += SimDuration::from_hours_f64(effort_hours);
+                effort_hours = 0.0;
+            } else {
+                effort_hours -= window_left;
+                t = next_working_instant(t + SimDuration::from_hours_f64(window_left + 0.001));
+            }
+        }
+        t
+    }
+}
+
+/// Hours in a work day (9:00–17:00).
+pub const WORKDAY_START: f64 = 9.0;
+/// End of the work day.
+pub const WORKDAY_END: f64 = 17.0;
+
+/// Simulation epoch is Monday 00:00. Day index (0 = Monday).
+fn day_index(t: SimTime) -> u64 {
+    (t.as_secs_f64() / 86_400.0) as u64
+}
+
+fn hour_of_day(t: SimTime) -> f64 {
+    (t.as_secs_f64() % 86_400.0) / 3600.0
+}
+
+fn is_weekend(t: SimTime) -> bool {
+    matches!(day_index(t) % 7, 5 | 6)
+}
+
+/// Whether `t` falls inside working hours.
+pub fn is_working(t: SimTime) -> bool {
+    !is_weekend(t) && (WORKDAY_START..WORKDAY_END).contains(&hour_of_day(t))
+}
+
+/// The next instant ≥ `t` inside working hours.
+pub fn next_working_instant(t: SimTime) -> SimTime {
+    let mut t = t;
+    loop {
+        if is_working(t) {
+            return t;
+        }
+        let h = hour_of_day(t);
+        let day_start = SimTime::from_secs_f64((day_index(t) * 86_400) as f64);
+        t = if h < WORKDAY_START && !is_weekend(t) {
+            day_start + SimDuration::from_hours_f64(WORKDAY_START)
+        } else {
+            // Jump to next day's 09:00.
+            day_start + SimDuration::from_hours_f64(24.0 + WORKDAY_START)
+        };
+    }
+}
+
+fn hours_left_in_workday(t: SimTime) -> f64 {
+    debug_assert!(is_working(t));
+    WORKDAY_END - hour_of_day(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_hours_calendar() {
+        // Epoch = Monday 00:00.
+        let mon_10 = SimTime::from_secs_f64(10.0 * 3600.0);
+        assert!(is_working(mon_10));
+        let mon_8 = SimTime::from_secs_f64(8.0 * 3600.0);
+        assert!(!is_working(mon_8));
+        let sat_noon = SimTime::from_secs_f64((5.0 * 24.0 + 12.0) * 3600.0);
+        assert!(!is_working(sat_noon));
+        // Next working instant from Saturday noon is Monday 09:00.
+        let next = next_working_instant(sat_noon);
+        assert_eq!(day_index(next), 7);
+        assert!((hour_of_day(next) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agent_latency_is_seconds_anytime() {
+        let m = HumanModel::agent_equivalent();
+        let mut rng = SimRng::from_seed_u64(1);
+        let sat_noon = SimTime::from_secs_f64((5.0 * 24.0 + 12.0) * 3600.0);
+        let ready = m.decision_ready_at(sat_noon, true, &mut rng);
+        let latency = ready.saturating_since(sat_noon).as_secs_f64();
+        assert!(latency < 60.0, "agent latency {latency}s");
+    }
+
+    #[test]
+    fn human_decisions_wait_for_monday() {
+        let m = HumanModel::typical_pi();
+        let mut rng = SimRng::from_seed_u64(2);
+        let fri_evening = SimTime::from_secs_f64((4.0 * 24.0 + 18.0) * 3600.0);
+        let ready = m.decision_ready_at(fri_evening, false, &mut rng);
+        // Nothing happens before Monday 09:00.
+        assert!(day_index(ready) >= 7, "ready on day {}", day_index(ready));
+    }
+
+    #[test]
+    fn handoff_overhead_adds_latency() {
+        let m = HumanModel {
+            working_hours_only: false,
+            ..HumanModel::typical_pi()
+        };
+        let mut a = SimRng::from_seed_u64(3);
+        let mut b = SimRng::from_seed_u64(3);
+        let t0 = SimTime::ZERO;
+        let local = m.decision_ready_at(t0, false, &mut a);
+        let remote = m.decision_ready_at(t0, true, &mut b);
+        let delta = remote.saturating_since(t0).as_hours() - local.saturating_since(t0).as_hours();
+        assert!((delta - 2.0).abs() < 1e-6, "delta {delta}");
+    }
+
+    #[test]
+    fn long_decisions_span_multiple_days() {
+        let m = HumanModel {
+            decision_median_hours: 20.0, // > 8h workday
+            decision_sigma: 0.0,
+            handoff_overhead_hours: 0.0,
+            working_hours_only: true,
+        };
+        let mut rng = SimRng::from_seed_u64(4);
+        let mon_9 = SimTime::from_secs_f64(9.0 * 3600.0);
+        let ready = m.decision_ready_at(mon_9, false, &mut rng);
+        // 20h of effort at 8h/day: Mon 8h, Tue 8h, Wed 4h → Wednesday 13:00.
+        assert_eq!(day_index(ready), 2);
+        assert!((hour_of_day(ready) - 13.0).abs() < 0.1, "hour {}", hour_of_day(ready));
+    }
+
+    #[test]
+    fn median_latency_matches_parameter() {
+        let m = HumanModel {
+            decision_median_hours: 4.0,
+            decision_sigma: 1.0,
+            handoff_overhead_hours: 0.0,
+            working_hours_only: false,
+        };
+        let mut rng = SimRng::from_seed_u64(5);
+        let mut draws: Vec<f64> = (0..2_000).map(|_| m.draw_decision_hours(&mut rng)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = draws[1_000];
+        assert!((median - 4.0).abs() < 0.5, "median {median}");
+    }
+}

@@ -1,0 +1,452 @@
+//! Quantum processing units and hybrid classical-quantum workflows.
+//!
+//! Figure 2's Infrastructure Abstraction layer names a Quantum Interface,
+//! and §5.2 requires "new abstractions [supporting] … quantum devices with
+//! both interactive and batch usage models" plus "hybrid classical-quantum
+//! workflows". This module models the two properties that actually shape
+//! such workflows:
+//!
+//! * **shot noise** — an observable estimated from `n` shots carries
+//!   `O(1/√n)` statistical error, so precision is bought with device time;
+//! * **decoherence** — signal amplitude decays geometrically with circuit
+//!   depth, so deeper circuits need *more* shots for the same precision.
+//!
+//! [`HybridLoop`] runs the canonical variational pattern (classical
+//! optimizer proposing parameters, QPU estimating the objective) under
+//! either access mode; the queue-dominated economics of
+//! [`AccessMode::Batch`] versus [`AccessMode::Interactive`] sessions is
+//! exactly the trade-off the paper's abstraction requirement is about.
+
+use evoflow_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// How a workflow reaches the QPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Every job waits in the facility queue (classic shared-user model).
+    Batch,
+    /// A reserved session: queue once, then jobs run back-to-back
+    /// (the near-real-time mode autonomous loops need).
+    Interactive,
+}
+
+/// A quantum processing unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Qpu {
+    /// Device name.
+    pub name: String,
+    /// Qubit count.
+    pub n_qubits: u32,
+    /// Wall time per shot (including readout).
+    pub shot_time: SimDuration,
+    /// Queue wait per batch job submission.
+    pub queue_wait: SimDuration,
+    /// Per-layer depolarizing error: signal is attenuated by
+    /// `(1 - gate_error)^depth`.
+    pub gate_error: f64,
+    /// Additive readout noise (standard deviation, in observable units).
+    pub readout_sd: f64,
+}
+
+impl Qpu {
+    /// A small present-day noisy device.
+    pub fn nisq(name: &str) -> Self {
+        Qpu {
+            name: name.into(),
+            n_qubits: 64,
+            shot_time: SimDuration::from_secs_f64(0.001),
+            queue_wait: SimDuration::from_mins(15),
+            gate_error: 0.01,
+            readout_sd: 0.02,
+        }
+    }
+
+    /// Signal attenuation for a circuit of the given depth.
+    pub fn fidelity(&self, depth: u32) -> f64 {
+        (1.0 - self.gate_error).powi(depth as i32)
+    }
+}
+
+/// A circuit execution request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircuitSpec {
+    /// Qubits the circuit touches.
+    pub qubits: u32,
+    /// Circuit depth (layers).
+    pub depth: u32,
+    /// Measurement shots.
+    pub shots: u32,
+}
+
+/// Why a circuit was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QpuError {
+    /// Circuit is wider than the device.
+    TooWide {
+        /// Requested qubits.
+        requested: u32,
+        /// Device capacity.
+        available: u32,
+    },
+    /// Zero shots estimate nothing.
+    NoShots,
+}
+
+impl std::fmt::Display for QpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpuError::TooWide {
+                requested,
+                available,
+            } => write!(f, "circuit needs {requested} qubits, device has {available}"),
+            QpuError::NoShots => write!(f, "shots must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for QpuError {}
+
+/// Result of one estimation job.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Measured expectation value (attenuated + shot noise).
+    pub value: f64,
+    /// Device wall time consumed (shots only; queueing is accounted by
+    /// the access mode in [`HybridLoop`]).
+    pub device_time: SimDuration,
+    /// Predicted standard error of the estimate.
+    pub std_error: f64,
+}
+
+impl Qpu {
+    /// Estimate an observable whose *true* expectation is
+    /// `true_value ∈ [-1, 1]` using the given circuit. The simulation
+    /// models attenuation by [`Qpu::fidelity`] and binomial shot noise —
+    /// the two effects hybrid loops must budget around.
+    pub fn estimate(
+        &self,
+        circuit: CircuitSpec,
+        true_value: f64,
+        rng: &mut SimRng,
+    ) -> Result<Estimate, QpuError> {
+        if circuit.qubits > self.n_qubits {
+            return Err(QpuError::TooWide {
+                requested: circuit.qubits,
+                available: self.n_qubits,
+            });
+        }
+        if circuit.shots == 0 {
+            return Err(QpuError::NoShots);
+        }
+        let attenuated = true_value.clamp(-1.0, 1.0) * self.fidelity(circuit.depth);
+        // ⟨Z⟩ estimation from `shots` ±1 outcomes: P(+1) = (1+a)/2.
+        let p = (1.0 + attenuated) / 2.0;
+        let mut plus = 0u32;
+        for _ in 0..circuit.shots {
+            if rng.chance(p) {
+                plus += 1;
+            }
+        }
+        let mean = 2.0 * plus as f64 / circuit.shots as f64 - 1.0;
+        let noisy = mean + rng.normal_with(0.0, self.readout_sd);
+        let shot_var = (1.0 - attenuated * attenuated).max(0.0) / circuit.shots as f64;
+        Ok(Estimate {
+            value: noisy,
+            device_time: self.shot_time.saturating_mul(circuit.shots as u64),
+            std_error: (shot_var + self.readout_sd * self.readout_sd).sqrt(),
+        })
+    }
+}
+
+/// Outcome of a hybrid classical-quantum optimization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridReport {
+    /// Best parameter found.
+    pub best_theta: f64,
+    /// Best measured objective.
+    pub best_value: f64,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Total shots consumed.
+    pub shots_used: u64,
+    /// Total wall time including queueing.
+    pub wall_time: SimDuration,
+    /// Time spent waiting in the facility queue.
+    pub queue_time: SimDuration,
+}
+
+/// The canonical variational loop: a classical optimizer proposes a
+/// parameter, the QPU estimates the objective, repeat under a shot
+/// budget.
+#[derive(Debug, Clone)]
+pub struct HybridLoop {
+    /// Device to run on.
+    pub qpu: Qpu,
+    /// Circuit template (depth/qubits fixed; shots per evaluation).
+    pub circuit: CircuitSpec,
+    /// Facility access mode (drives queue accounting).
+    pub mode: AccessMode,
+}
+
+impl HybridLoop {
+    /// Minimize `objective(θ)` over `θ ∈ [lo, hi]` within `shot_budget`
+    /// total shots, by golden-section-style interval shrinking with
+    /// measured (noisy) comparisons. `objective` must map into [-1, 1]
+    /// (an observable expectation).
+    pub fn minimize(
+        &self,
+        objective: impl Fn(f64) -> f64,
+        (lo, hi): (f64, f64),
+        shot_budget: u64,
+        rng: &mut SimRng,
+    ) -> HybridReport {
+        assert!(hi > lo, "empty search interval");
+        let mut a = lo;
+        let mut b = hi;
+        let mut shots_used = 0u64;
+        let mut device = SimDuration::ZERO;
+        let mut queue = SimDuration::ZERO;
+        let mut iterations = 0u32;
+        let mut best_theta = 0.5 * (a + b);
+        let mut best_value = f64::INFINITY;
+        // Interactive sessions pay the queue once, batch pays per job.
+        if self.mode == AccessMode::Interactive {
+            queue += self.qpu.queue_wait;
+        }
+        while shots_used + 2 * self.circuit.shots as u64 <= shot_budget {
+            iterations += 1;
+            let m1 = a + 0.382 * (b - a);
+            let m2 = a + 0.618 * (b - a);
+            let mut measure = |theta: f64, rng: &mut SimRng| {
+                let est = self
+                    .qpu
+                    .estimate(self.circuit, objective(theta), rng)
+                    .expect("circuit validated at construction");
+                if self.mode == AccessMode::Batch {
+                    queue += self.qpu.queue_wait;
+                }
+                device += est.device_time;
+                est.value
+            };
+            let v1 = measure(m1, rng);
+            let v2 = measure(m2, rng);
+            shots_used += 2 * self.circuit.shots as u64;
+            if v1 < best_value {
+                best_value = v1;
+                best_theta = m1;
+            }
+            if v2 < best_value {
+                best_value = v2;
+                best_theta = m2;
+            }
+            if v1 <= v2 {
+                b = m2;
+            } else {
+                a = m1;
+            }
+        }
+        HybridReport {
+            best_theta,
+            best_value,
+            iterations,
+            shots_used,
+            wall_time: device + queue,
+            queue_time: queue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qpu() -> Qpu {
+        Qpu::nisq("test-qpu")
+    }
+
+    #[test]
+    fn too_wide_and_zero_shots_rejected() {
+        let mut rng = SimRng::from_seed_u64(1);
+        let err = qpu()
+            .estimate(
+                CircuitSpec {
+                    qubits: 1000,
+                    depth: 1,
+                    shots: 100,
+                },
+                0.5,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, QpuError::TooWide { .. }));
+        let err = qpu()
+            .estimate(
+                CircuitSpec {
+                    qubits: 4,
+                    depth: 1,
+                    shots: 0,
+                },
+                0.5,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, QpuError::NoShots);
+    }
+
+    #[test]
+    fn shot_noise_shrinks_with_sqrt_shots() {
+        // Empirical spread over replications must drop roughly 3× from
+        // 100 to 10_000 shots (√100 = 10, readout noise floors it).
+        let spread = |shots: u32| {
+            let estimates: Vec<f64> = (0..40)
+                .map(|i| {
+                    let mut rng = SimRng::from_seed_u64(1000 + i);
+                    qpu()
+                        .estimate(
+                            CircuitSpec {
+                                qubits: 4,
+                                depth: 0,
+                                shots,
+                            },
+                            0.3,
+                            &mut rng,
+                        )
+                        .unwrap()
+                        .value
+                })
+                .collect();
+            let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+            (estimates.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / estimates.len() as f64)
+                .sqrt()
+        };
+        let coarse = spread(100);
+        let fine = spread(10_000);
+        assert!(
+            fine < coarse,
+            "more shots must reduce spread: {coarse} -> {fine}"
+        );
+    }
+
+    #[test]
+    fn decoherence_attenuates_with_depth() {
+        assert!(qpu().fidelity(0) == 1.0);
+        assert!(qpu().fidelity(50) < qpu().fidelity(10));
+        // Deep-circuit estimates are biased toward zero.
+        let deep_mean: f64 = (0..40)
+            .map(|i| {
+                let mut rng = SimRng::from_seed_u64(i);
+                qpu()
+                    .estimate(
+                        CircuitSpec {
+                            qubits: 4,
+                            depth: 200,
+                            shots: 2000,
+                        },
+                        0.9,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .value
+            })
+            .sum::<f64>()
+            / 40.0;
+        assert!(
+            deep_mean < 0.35,
+            "depth-200 at 1% gate error must crush 0.9 toward 0, got {deep_mean}"
+        );
+    }
+
+    #[test]
+    fn predicted_std_error_tracks_shots() {
+        let mut rng = SimRng::from_seed_u64(1);
+        let few = qpu()
+            .estimate(
+                CircuitSpec {
+                    qubits: 4,
+                    depth: 0,
+                    shots: 100,
+                },
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
+        let many = qpu()
+            .estimate(
+                CircuitSpec {
+                    qubits: 4,
+                    depth: 0,
+                    shots: 10_000,
+                },
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(many.std_error < few.std_error);
+    }
+
+    #[test]
+    fn hybrid_loop_finds_the_minimum_region() {
+        // Objective: smooth bowl with minimum at θ = 0.7, range [-1, 1].
+        let objective = |theta: f64| ((theta - 0.7) * (theta - 0.7) - 0.5).clamp(-1.0, 1.0);
+        let hybrid = HybridLoop {
+            qpu: qpu(),
+            circuit: CircuitSpec {
+                qubits: 8,
+                depth: 4,
+                shots: 4000,
+            },
+            mode: AccessMode::Interactive,
+        };
+        let mut rng = SimRng::from_seed_u64(7);
+        let report = hybrid.minimize(objective, (0.0, 2.0), 200_000, &mut rng);
+        assert!(
+            (report.best_theta - 0.7).abs() < 0.2,
+            "found {} instead of ~0.7",
+            report.best_theta
+        );
+        assert!(report.shots_used <= 200_000);
+        assert!(report.iterations > 5);
+    }
+
+    #[test]
+    fn batch_mode_pays_queue_per_job_interactive_once() {
+        let objective = |theta: f64| (theta * theta - 0.5).clamp(-1.0, 1.0);
+        let circuit = CircuitSpec {
+            qubits: 8,
+            depth: 4,
+            shots: 2000,
+        };
+        let run = |mode| {
+            let hybrid = HybridLoop {
+                qpu: qpu(),
+                circuit,
+                mode,
+            };
+            let mut rng = SimRng::from_seed_u64(5);
+            hybrid.minimize(objective, (-1.0, 1.0), 40_000, &mut rng)
+        };
+        let batch = run(AccessMode::Batch);
+        let interactive = run(AccessMode::Interactive);
+        assert_eq!(batch.iterations, interactive.iterations);
+        assert!(
+            batch.queue_time.as_secs_f64()
+                >= interactive.queue_time.as_secs_f64() * batch.iterations as f64 * 1.5
+        );
+        assert!(batch.wall_time.as_secs_f64() > interactive.wall_time.as_secs_f64());
+    }
+
+    #[test]
+    fn estimation_is_deterministic_per_seed() {
+        let c = CircuitSpec {
+            qubits: 4,
+            depth: 2,
+            shots: 500,
+        };
+        let mut r1 = SimRng::from_seed_u64(9);
+        let mut r2 = SimRng::from_seed_u64(9);
+        let a = qpu().estimate(c, 0.4, &mut r1).unwrap();
+        let b = qpu().estimate(c, 0.4, &mut r2).unwrap();
+        assert_eq!(a.value, b.value);
+    }
+}

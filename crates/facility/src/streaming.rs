@@ -1,0 +1,326 @@
+//! Streaming instrument data and edge inference (§5.3, §5.5).
+//!
+//! "Deployment patterns of intelligence will range from edge devices
+//! providing sub-second inference at instruments to regional AI hubs" and
+//! "specialized interfaces are required to manage real-time instrument
+//! control, streaming data, asynchronous experiment monitoring". This
+//! module provides that substrate: a seeded sensor-stream generator with
+//! injectable anomalies, and a windowed edge detector cheap enough to run
+//! per-sample at the instrument — the latency/accuracy trade-off the AI-hub
+//! sizing argument (§5.3) is about.
+
+use evoflow_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample index (time = index / rate).
+    pub index: u64,
+    /// Sensor value.
+    pub value: f64,
+    /// Ground truth: whether this sample lies in an injected anomaly
+    /// (simulator-only; detectors never see it).
+    pub anomalous: bool,
+}
+
+/// Configuration for the simulated detector stream.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Baseline signal level.
+    pub baseline: f64,
+    /// Gaussian noise standard deviation.
+    pub noise_sd: f64,
+    /// Probability per sample that an anomaly burst starts.
+    pub anomaly_rate: f64,
+    /// Anomaly burst length in samples.
+    pub anomaly_len: u32,
+    /// Anomaly amplitude (added to baseline).
+    pub anomaly_amp: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            baseline: 10.0,
+            noise_sd: 0.5,
+            anomaly_rate: 0.002,
+            anomaly_len: 25,
+            anomaly_amp: 4.0,
+        }
+    }
+}
+
+/// A seeded generator of instrument samples with injected anomalies.
+#[derive(Debug, Clone)]
+pub struct SensorStream {
+    cfg: StreamConfig,
+    rng: SimRng,
+    index: u64,
+    anomaly_left: u32,
+}
+
+impl SensorStream {
+    /// Create a stream with the given config and seed.
+    pub fn new(cfg: StreamConfig, seed: u64) -> Self {
+        SensorStream {
+            cfg,
+            rng: SimRng::from_seed_u64(seed),
+            index: 0,
+            anomaly_left: 0,
+        }
+    }
+
+    /// Produce the next sample.
+    pub fn next_sample(&mut self) -> Sample {
+        if self.anomaly_left == 0 && self.rng.chance(self.cfg.anomaly_rate) {
+            self.anomaly_left = self.cfg.anomaly_len;
+        }
+        let anomalous = self.anomaly_left > 0;
+        if anomalous {
+            self.anomaly_left -= 1;
+        }
+        let mut value = self.cfg.baseline + self.rng.normal_with(0.0, self.cfg.noise_sd);
+        if anomalous {
+            value += self.cfg.anomaly_amp;
+        }
+        let s = Sample {
+            index: self.index,
+            value,
+            anomalous,
+        };
+        self.index += 1;
+        s
+    }
+
+    /// Produce `n` samples.
+    pub fn take(&mut self, n: usize) -> Vec<Sample> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+}
+
+/// A windowed z-score anomaly detector cheap enough for per-sample edge
+/// inference (the "edge AI comp." box of Figure 3).
+#[derive(Debug, Clone)]
+pub struct EdgeDetector {
+    window: VecDeque<f64>,
+    capacity: usize,
+    /// Flag threshold in robust z-score units.
+    pub z_threshold: f64,
+    /// Per-sample inference latency (sub-second at the edge).
+    pub latency: SimDuration,
+    flags: u64,
+    seen: u64,
+}
+
+impl EdgeDetector {
+    /// Detector with the given window size and z threshold.
+    pub fn new(window: usize, z_threshold: f64) -> Self {
+        EdgeDetector {
+            window: VecDeque::with_capacity(window),
+            capacity: window.max(4),
+            z_threshold,
+            latency: SimDuration::from_secs_f64(0.002),
+            flags: 0,
+            seen: 0,
+        }
+    }
+
+    /// Samples flagged so far.
+    pub fn flags(&self) -> u64 {
+        self.flags
+    }
+
+    /// Samples observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Ingest one sample; returns whether it is flagged anomalous.
+    /// Flagged samples are *not* folded into the baseline window, so a
+    /// long burst cannot poison the statistics it is judged against.
+    pub fn ingest(&mut self, sample: &Sample) -> bool {
+        self.seen += 1;
+        let flagged = if self.window.len() >= self.capacity / 2 {
+            let n = self.window.len() as f64;
+            let mean: f64 = self.window.iter().sum::<f64>() / n;
+            let var: f64 =
+                self.window.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n.max(1.0);
+            let sd = var.sqrt().max(1e-9);
+            ((sample.value - mean) / sd).abs() > self.z_threshold
+        } else {
+            false
+        };
+        if flagged {
+            self.flags += 1;
+        } else {
+            if self.window.len() == self.capacity {
+                self.window.pop_front();
+            }
+            self.window.push_back(sample.value);
+        }
+        flagged
+    }
+}
+
+/// Detection-quality report over a stream segment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Samples processed.
+    pub samples: u64,
+    /// True positives.
+    pub true_positives: u64,
+    /// False positives.
+    pub false_positives: u64,
+    /// Missed anomalous samples.
+    pub false_negatives: u64,
+    /// Total simulated inference time.
+    pub inference_time: SimDuration,
+}
+
+impl DetectionReport {
+    /// Precision (1.0 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// Recall (1.0 when nothing was anomalous).
+    pub fn recall(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / actual as f64
+        }
+    }
+}
+
+/// Run a detector over `n` samples of a stream.
+pub fn monitor(stream: &mut SensorStream, detector: &mut EdgeDetector, n: usize) -> DetectionReport {
+    let mut report = DetectionReport {
+        samples: n as u64,
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        inference_time: SimDuration::ZERO,
+    };
+    for _ in 0..n {
+        let s = stream.next_sample();
+        let flagged = detector.ingest(&s);
+        report.inference_time += detector.latency;
+        match (flagged, s.anomalous) {
+            (true, true) => report.true_positives += 1,
+            (true, false) => report.false_positives += 1,
+            (false, true) => report.false_negatives += 1,
+            (false, false) => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_injects_anomalies() {
+        let mut a = SensorStream::new(StreamConfig::default(), 5);
+        let mut b = SensorStream::new(StreamConfig::default(), 5);
+        let sa = a.take(2_000);
+        let sb = b.take(2_000);
+        assert_eq!(sa, sb);
+        let anomalous = sa.iter().filter(|s| s.anomalous).count();
+        assert!(anomalous > 0, "no anomalies in 2000 samples");
+        assert!(anomalous < 1_000, "anomalies dominate the stream");
+    }
+
+    #[test]
+    fn detector_catches_bursts_with_high_recall() {
+        let mut stream = SensorStream::new(StreamConfig::default(), 7);
+        let mut det = EdgeDetector::new(64, 3.5);
+        let report = monitor(&mut stream, &mut det, 10_000);
+        assert!(
+            report.recall() > 0.8,
+            "recall {:.2} too low ({} fn)",
+            report.recall(),
+            report.false_negatives
+        );
+        assert!(
+            report.precision() > 0.8,
+            "precision {:.2} too low ({} fp)",
+            report.precision(),
+            report.false_positives
+        );
+    }
+
+    #[test]
+    fn clean_stream_yields_few_flags() {
+        let cfg = StreamConfig {
+            anomaly_rate: 0.0,
+            ..StreamConfig::default()
+        };
+        let mut stream = SensorStream::new(cfg, 9);
+        let mut det = EdgeDetector::new(64, 4.0);
+        let report = monitor(&mut stream, &mut det, 5_000);
+        assert_eq!(report.true_positives, 0);
+        assert!(
+            (report.false_positives as f64) < 15.0,
+            "{} false positives on a clean stream",
+            report.false_positives
+        );
+    }
+
+    #[test]
+    fn edge_latency_is_subsecond_per_sample() {
+        let det = EdgeDetector::new(32, 3.0);
+        assert!(det.latency.as_secs_f64() < 1.0);
+        // 10k samples cost seconds, not hours — cheap enough to live at the
+        // instrument.
+        let mut stream = SensorStream::new(StreamConfig::default(), 1);
+        let mut det = EdgeDetector::new(32, 3.0);
+        let report = monitor(&mut stream, &mut det, 10_000);
+        assert!(report.inference_time.as_secs_f64() < 60.0);
+    }
+
+    #[test]
+    fn flagged_samples_do_not_poison_the_baseline() {
+        // A long burst: the detector must keep flagging all the way through.
+        let cfg = StreamConfig {
+            anomaly_rate: 1.0, // burst starts immediately and re-arms
+            anomaly_len: 200,
+            ..StreamConfig::default()
+        };
+        let mut warm = SensorStream::new(StreamConfig { anomaly_rate: 0.0, ..cfg }, 3);
+        let mut det = EdgeDetector::new(64, 3.5);
+        // Warm up on clean data, then hit the burst.
+        for _ in 0..200 {
+            let s = warm.next_sample();
+            det.ingest(&s);
+        }
+        let mut burst = SensorStream::new(cfg, 4);
+        let mut caught = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let s = burst.next_sample();
+            if s.anomalous {
+                total += 1;
+                if det.ingest(&s) {
+                    caught += 1;
+                }
+            } else {
+                det.ingest(&s);
+            }
+        }
+        assert!(total > 100);
+        assert!(
+            caught as f64 / total as f64 > 0.9,
+            "burst immunity failed: {caught}/{total}"
+        );
+    }
+}

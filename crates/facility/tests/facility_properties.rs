@@ -1,0 +1,114 @@
+//! Property tests for facility substrates: batch-scheduler safety and
+//! fairness, human-latency sanity, and fabric routing laws.
+
+use evoflow_facility::{is_working, next_working_instant, BatchScheduler, DataFabric, HumanModel, Link};
+use evoflow_sim::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The scheduler never oversubscribes the machine, runs every job
+    /// exactly once, and respects FCFS: job i's start time is never after
+    /// the start of the machine-state that would delay an earlier arrival
+    /// unfairly (checked as: starts are consistent with walltimes).
+    #[test]
+    fn batch_scheduler_is_safe(
+        jobs in prop::collection::vec((1u64..16, 1u64..8, 0u64..100), 1..40)
+    ) {
+        let total_nodes = 16u64;
+        let mut s = BatchScheduler::new(total_nodes);
+        for (nodes, hours, at_min) in &jobs {
+            s.submit(
+                *nodes,
+                SimDuration::from_hours(*hours),
+                SimTime::from_secs(at_min * 60),
+            );
+        }
+        let end = s.drain();
+        prop_assert_eq!(s.finished().len(), jobs.len());
+        prop_assert_eq!(s.nodes_in_use(), 0);
+        prop_assert!(end >= SimTime::ZERO);
+
+        // Reconstruct machine occupancy at every start instant: the set of
+        // running jobs never exceeds capacity.
+        let recs = s.finished();
+        for probe in recs.iter().map(|f| f.started) {
+            let in_use: u64 = recs
+                .iter()
+                .filter(|f| f.started <= probe && probe < f.ended)
+                .map(|f| f.job.nodes)
+                .sum();
+            prop_assert!(in_use <= total_nodes, "oversubscribed at {probe}");
+        }
+
+        // Each job runs exactly its walltime.
+        for f in recs {
+            prop_assert_eq!(f.ended.saturating_since(f.started), f.job.walltime);
+            prop_assert!(f.started >= f.job.submitted);
+        }
+    }
+
+    /// Human decisions complete at or after the request, and with
+    /// working-hours gating they complete inside working hours.
+    #[test]
+    fn human_decisions_are_causal(
+        start_hours in 0.0f64..(21.0 * 24.0),
+        seed in any::<u64>(),
+        cross in any::<bool>(),
+    ) {
+        let m = HumanModel::typical_pi();
+        let mut rng = SimRng::from_seed_u64(seed);
+        let now = SimTime::from_secs_f64(start_hours * 3600.0);
+        let ready = m.decision_ready_at(now, cross, &mut rng);
+        prop_assert!(ready >= now);
+        prop_assert!(is_working(ready), "decision completed off-hours at {ready}");
+    }
+
+    /// The agent-equivalent model is strictly faster than any human model,
+    /// from any instant.
+    #[test]
+    fn agents_beat_humans(start_hours in 0.0f64..(14.0 * 24.0), seed in any::<u64>()) {
+        let human = HumanModel::typical_pi();
+        let agent = HumanModel::agent_equivalent();
+        let now = SimTime::from_secs_f64(start_hours * 3600.0);
+        let mut r1 = SimRng::from_seed_u64(seed);
+        let mut r2 = SimRng::from_seed_u64(seed);
+        let h = human.decision_ready_at(now, true, &mut r1);
+        let a = agent.decision_ready_at(now, true, &mut r2);
+        prop_assert!(a <= h);
+    }
+
+    /// next_working_instant is idempotent and lands in working hours.
+    #[test]
+    fn working_instant_is_fixed_point(hours in 0.0f64..(28.0 * 24.0)) {
+        let t = SimTime::from_secs_f64(hours * 3600.0);
+        let w = next_working_instant(t);
+        prop_assert!(is_working(w));
+        prop_assert_eq!(next_working_instant(w), w);
+        prop_assert!(w >= t);
+    }
+
+    /// Fabric routing: transfer time is monotone in size, and routing via
+    /// the best path never loses to the direct link.
+    #[test]
+    fn fabric_routing_is_sane(gb1 in 0.01f64..100.0, extra in 0.01f64..100.0) {
+        let mut f = DataFabric::new();
+        let a = f.site("a");
+        let b = f.site("b");
+        let c = f.site("c");
+        f.link(a, b, Link { gbps: 10.0, latency_ms: 5.0 });
+        f.link(a, c, Link { gbps: 100.0, latency_ms: 5.0 });
+        f.link(c, b, Link { gbps: 100.0, latency_ms: 5.0 });
+        let small = f.transfer("a", "b", gb1).expect("connected");
+        let large = f.transfer("a", "b", gb1 + extra).expect("connected");
+        prop_assert!(large.duration >= small.duration);
+
+        // Direct-only fabric for the same size: removing the fast detour
+        // can only slow things down.
+        let mut direct = DataFabric::new();
+        let a2 = direct.site("a");
+        let b2 = direct.site("b");
+        direct.link(a2, b2, Link { gbps: 10.0, latency_ms: 5.0 });
+        let direct_plan = direct.transfer("a", "b", gb1).expect("connected");
+        prop_assert!(small.duration <= direct_plan.duration);
+    }
+}

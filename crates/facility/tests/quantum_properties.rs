@@ -1,0 +1,75 @@
+//! Property-based tests for the QPU model's physical invariants.
+
+use evoflow_facility::{CircuitSpec, Qpu};
+use evoflow_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    // Each estimate runs thousands of simulated shots; cap the case count
+    // to keep the suite fast while still sweeping the parameter space.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fidelity lives in (0, 1] and is monotone non-increasing in depth.
+    #[test]
+    fn fidelity_monotone_in_depth(gate_error in 0.0f64..0.2, d1 in 0u32..300, d2 in 0u32..300) {
+        let mut q = Qpu::nisq("p");
+        q.gate_error = gate_error;
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        let f_lo = q.fidelity(lo);
+        let f_hi = q.fidelity(hi);
+        prop_assert!(f_lo > 0.0 && f_lo <= 1.0);
+        prop_assert!(f_hi <= f_lo, "deeper circuits must not gain fidelity");
+    }
+
+    /// Predicted standard error is monotone non-increasing in shots and
+    /// always positive while readout noise exists.
+    #[test]
+    fn std_error_monotone_in_shots(true_value in -1.0f64..1.0, s1 in 10u32..100_000, s2 in 10u32..100_000) {
+        let q = Qpu::nisq("p");
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let mut rng = SimRng::from_seed_u64(1);
+        let c = |shots| CircuitSpec { qubits: 4, depth: 3, shots };
+        let few = q.estimate(c(lo), true_value, &mut rng).unwrap();
+        let many = q.estimate(c(hi), true_value, &mut rng).unwrap();
+        prop_assert!(few.std_error > 0.0);
+        prop_assert!(many.std_error <= few.std_error + 1e-12);
+    }
+
+    /// Device time scales linearly with shots; estimation is
+    /// deterministic per seed.
+    #[test]
+    fn device_time_linear_and_deterministic(shots in 1u32..50_000, seed in 0u64..1000) {
+        let q = Qpu::nisq("p");
+        let c = CircuitSpec { qubits: 8, depth: 2, shots };
+        let mut r1 = SimRng::from_seed_u64(seed);
+        let mut r2 = SimRng::from_seed_u64(seed);
+        let a = q.estimate(c, 0.2, &mut r1).unwrap();
+        let b = q.estimate(c, 0.2, &mut r2).unwrap();
+        prop_assert_eq!(a.value, b.value);
+        let per_shot = q.shot_time.as_secs_f64();
+        prop_assert!((a.device_time.as_secs_f64() - per_shot * shots as f64).abs() < per_shot);
+    }
+
+    /// The measured value of a zero-depth estimate concentrates around the
+    /// true value: a 64-replication mean lands within 5 combined standard
+    /// errors (generous; catches sign errors and broken scaling, not
+    /// statistical flutter).
+    #[test]
+    fn estimates_are_unbiased_at_depth_zero(true_value in -0.9f64..0.9, seed in 0u64..50) {
+        let q = Qpu::nisq("p");
+        let c = CircuitSpec { qubits: 4, depth: 0, shots: 2000 };
+        let n = 64;
+        let mean: f64 = (0..n)
+            .map(|i| {
+                let mut rng = SimRng::from_seed_u64(seed * 1000 + i);
+                q.estimate(c, true_value, &mut rng).unwrap().value
+            })
+            .sum::<f64>() / n as f64;
+        let mut rng = SimRng::from_seed_u64(0);
+        let se = q.estimate(c, true_value, &mut rng).unwrap().std_error / (n as f64).sqrt();
+        prop_assert!(
+            (mean - true_value).abs() < 5.0 * se + 0.01,
+            "mean {} vs true {} (se {})", mean, true_value, se
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Ant System (Dorigo, Maniezzo & Colorni 1996) — Table 3's
+//! [Optimizing × Swarm] exemplar: stigmergic optimization where simple
+//! local rules (pheromone deposition/evaporation) yield collective
+//! optimization without central coordination — the Φ operator again,
+//! this time over a discrete tour space.
+
+use evoflow_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric TSP instance on points in the unit square.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tsp {
+    /// City coordinates.
+    pub cities: Vec<(f64, f64)>,
+    dist: Vec<f64>,
+}
+
+impl Tsp {
+    /// Random instance with `n` cities.
+    pub fn random(n: usize, rng: &mut SimRng) -> Self {
+        let cities: Vec<(f64, f64)> = (0..n).map(|_| (rng.uniform(), rng.uniform())).collect();
+        Self::from_cities(cities)
+    }
+
+    /// Instance from explicit coordinates.
+    pub fn from_cities(cities: Vec<(f64, f64)>) -> Self {
+        let n = cities.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = cities[i].0 - cities[j].0;
+                let dy = cities[i].1 - cities[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        Tsp { cities, dist }
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.cities.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cities.is_empty()
+    }
+
+    /// Distance between cities `i` and `j`.
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.cities.len() + j]
+    }
+
+    /// Total length of a closed tour.
+    pub fn tour_len(&self, tour: &[usize]) -> f64 {
+        let n = tour.len();
+        (0..n).map(|i| self.dist(tour[i], tour[(i + 1) % n])).sum()
+    }
+}
+
+/// Ant System hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AcoConfig {
+    /// Number of ants per iteration.
+    pub ants: usize,
+    /// Pheromone influence α.
+    pub alpha: f64,
+    /// Heuristic (1/d) influence β.
+    pub beta: f64,
+    /// Evaporation rate ρ ∈ (0,1).
+    pub rho: f64,
+    /// Pheromone deposit scale Q.
+    pub q: f64,
+}
+
+impl Default for AcoConfig {
+    fn default() -> Self {
+        AcoConfig {
+            ants: 20,
+            alpha: 1.0,
+            beta: 3.0,
+            rho: 0.5,
+            q: 1.0,
+        }
+    }
+}
+
+/// Result of an ACO run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcoResult {
+    /// Best tour found.
+    pub best_tour: Vec<usize>,
+    /// Its length.
+    pub best_len: f64,
+    /// Best-so-far length per iteration.
+    pub trace: Vec<f64>,
+}
+
+/// Run Ant System on `tsp` for `iterations`.
+pub fn ant_system(tsp: &Tsp, iterations: u32, cfg: AcoConfig, rng: &mut SimRng) -> AcoResult {
+    let n = tsp.len();
+    assert!(n >= 3, "TSP needs at least 3 cities");
+    let mut pheromone = vec![1.0f64; n * n];
+    let mut best_tour: Vec<usize> = (0..n).collect();
+    let mut best_len = tsp.tour_len(&best_tour);
+    let mut trace = Vec::with_capacity(iterations as usize);
+
+    for _ in 0..iterations {
+        let mut tours: Vec<(Vec<usize>, f64)> = Vec::with_capacity(cfg.ants);
+        for _ in 0..cfg.ants {
+            // Construct a tour probabilistically.
+            let start = rng.below(n);
+            let mut tour = vec![start];
+            let mut visited = vec![false; n];
+            visited[start] = true;
+            while tour.len() < n {
+                let cur = *tour.last().expect("non-empty tour");
+                let weights: Vec<f64> = (0..n)
+                    .map(|j| {
+                        if visited[j] {
+                            0.0
+                        } else {
+                            let tau = pheromone[cur * n + j].powf(cfg.alpha);
+                            let eta = (1.0 / tsp.dist(cur, j).max(1e-9)).powf(cfg.beta);
+                            tau * eta
+                        }
+                    })
+                    .collect();
+                let next = rng
+                    .weighted_index(&weights)
+                    .unwrap_or_else(|| visited.iter().position(|v| !v).expect("unvisited"));
+                visited[next] = true;
+                tour.push(next);
+            }
+            let len = tsp.tour_len(&tour);
+            if len < best_len {
+                best_len = len;
+                best_tour = tour.clone();
+            }
+            tours.push((tour, len));
+        }
+
+        // Evaporate, then deposit proportional to tour quality.
+        for p in pheromone.iter_mut() {
+            *p *= 1.0 - cfg.rho;
+            *p = p.max(1e-12);
+        }
+        for (tour, len) in &tours {
+            let deposit = cfg.q / len;
+            for w in 0..n {
+                let (a, b) = (tour[w], tour[(w + 1) % n]);
+                pheromone[a * n + b] += deposit;
+                pheromone[b * n + a] += deposit;
+            }
+        }
+        trace.push(best_len);
+    }
+
+    AcoResult {
+        best_tour,
+        best_len,
+        trace,
+    }
+}
+
+/// Nearest-neighbor heuristic baseline.
+pub fn nearest_neighbor(tsp: &Tsp, start: usize) -> (Vec<usize>, f64) {
+    let n = tsp.len();
+    let mut tour = vec![start];
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    while tour.len() < n {
+        let cur = *tour.last().expect("non-empty");
+        let next = (0..n)
+            .filter(|j| !visited[*j])
+            .min_by(|&a, &b| {
+                tsp.dist(cur, a)
+                    .partial_cmp(&tsp.dist(cur, b))
+                    .expect("finite")
+            })
+            .expect("unvisited remains");
+        visited[next] = true;
+        tour.push(next);
+    }
+    let len = tsp.tour_len(&tour);
+    (tour, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tour_length_of_square() {
+        let tsp = Tsp::from_cities(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        assert!((tsp.tour_len(&[0, 1, 2, 3]) - 4.0).abs() < 1e-9);
+        // Crossing diagonal tour is longer.
+        assert!(tsp.tour_len(&[0, 2, 1, 3]) > 4.0);
+    }
+
+    #[test]
+    fn ants_find_square_optimum() {
+        let tsp = Tsp::from_cities(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        let mut rng = SimRng::from_seed_u64(1);
+        let r = ant_system(&tsp, 30, AcoConfig::default(), &mut rng);
+        assert!((r.best_len - 4.0).abs() < 1e-9, "best {}", r.best_len);
+    }
+
+    #[test]
+    fn ants_beat_or_match_nearest_neighbor() {
+        let mut rng = SimRng::from_seed_u64(2);
+        let tsp = Tsp::random(25, &mut rng);
+        let (_, nn_len) = nearest_neighbor(&tsp, 0);
+        let r = ant_system(&tsp, 80, AcoConfig::default(), &mut rng);
+        assert!(
+            r.best_len <= nn_len * 1.02,
+            "aco {} vs nn {}",
+            r.best_len,
+            nn_len
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let mut rng = SimRng::from_seed_u64(3);
+        let tsp = Tsp::random(15, &mut rng);
+        let r = ant_system(&tsp, 40, AcoConfig::default(), &mut rng);
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        // Tour is a permutation.
+        let mut seen = r.best_tour.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let tsp = Tsp::from_cities(vec![
+            (0.1, 0.2),
+            (0.8, 0.1),
+            (0.5, 0.9),
+            (0.2, 0.7),
+            (0.9, 0.6),
+        ]);
+        let run = |seed| {
+            let mut rng = SimRng::from_seed_u64(seed);
+            ant_system(&tsp, 20, AcoConfig::default(), &mut rng).best_len
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

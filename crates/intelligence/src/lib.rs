@@ -1,0 +1,35 @@
+//! # evoflow-learn — learning `L` and optimization `argmin J` machinery
+//!
+//! Table 1's middle rungs made concrete: everything a workflow needs to
+//! climb from Adaptive to Learning to Optimizing:
+//!
+//! * [`objective`] — the cost-function `J` infrastructure: benchmark
+//!   landscapes, noise wrappers, and evaluation budgets (sample scarcity).
+//! * [`bandit`] — ε-greedy / UCB1 / Thompson exploration-exploitation.
+//! * [`qlearn`] — tabular Q-learning (`δ_{t+1} = L(δ_t, H)`).
+//! * [`surrogate`] — RBF surrogate + Bayesian optimization (automated
+//!   tuning platforms, §3.2).
+//! * [`pso`] — particle swarm optimization (Kennedy–Eberhart), the
+//!   [Learning × Swarm] exemplar with global vs ring (O(k)) topologies.
+//! * [`aco`] — Ant System (Dorigo et al.), the [Optimizing × Swarm]
+//!   stigmergy exemplar.
+//! * [`search`] — random/grid search, simulated annealing, successive
+//!   halving baselines.
+
+pub mod aco;
+pub mod bandit;
+pub mod objective;
+pub mod pso;
+pub mod qlearn;
+pub mod search;
+pub mod surrogate;
+
+pub use aco::{ant_system, nearest_neighbor, AcoConfig, AcoResult, Tsp};
+pub use bandit::{run_bernoulli, BanditPolicy, EpsilonGreedy, ThompsonBeta, Ucb1};
+pub use objective::{clamp_unit, Budgeted, Noisy, Objective, Rastrigin, Rosenbrock, Sphere};
+pub use pso::{pso, PsoConfig, SwarmStats, Topology};
+pub use qlearn::{train_corridor, Corridor, QConfig, QLearner};
+pub use search::{
+    grid_search, random_search, simulated_annealing, successive_halving, AnnealConfig,
+};
+pub use surrogate::{acquisition, bayes_opt, BoConfig, OptResult, RbfSurrogate};

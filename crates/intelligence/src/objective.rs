@@ -1,0 +1,265 @@
+//! Objective functions: the cost function `J` of Table 1's Optimizing level.
+//!
+//! "Optimizing systems need an evaluation infrastructure for the cost
+//! function J" — this module is that infrastructure: a minimization trait
+//! over the unit hypercube, standard benchmark landscapes (Sphere,
+//! Rastrigin, Rosenbrock), plus noise and evaluation-budget wrappers that
+//! model expensive, noisy experiments.
+
+use evoflow_sim::SimRng;
+
+/// A minimization objective over `[0,1]^dim`.
+pub trait Objective {
+    /// Dimensionality of the design space.
+    fn dim(&self) -> usize;
+
+    /// Evaluate the objective at `x` (lower is better). `x.len() == dim()`.
+    fn eval(&mut self, x: &[f64]) -> f64;
+
+    /// The known global minimum value, when available (for tests/benches).
+    fn optimum(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Sphere function re-centered to c=0.5: `Σ (xi - 0.5)²`. Unimodal.
+#[derive(Debug, Clone)]
+pub struct Sphere {
+    dim: usize,
+}
+
+impl Sphere {
+    /// Sphere in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        Sphere { dim }
+    }
+}
+
+impl Objective for Sphere {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 0.5).powi(2)).sum()
+    }
+    fn optimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Rastrigin re-scaled to the unit cube (x mapped to [-5.12, 5.12]):
+/// highly multimodal — the standard "hard landscape" for swarm methods.
+#[derive(Debug, Clone)]
+pub struct Rastrigin {
+    dim: usize,
+}
+
+impl Rastrigin {
+    /// Rastrigin in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        Rastrigin { dim }
+    }
+}
+
+impl Objective for Rastrigin {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        let a = 10.0;
+        x.iter()
+            .map(|v| {
+                let z = (v - 0.5) * 10.24;
+                z * z - a * (2.0 * std::f64::consts::PI * z).cos() + a
+            })
+            .sum()
+    }
+    fn optimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Rosenbrock re-scaled to the unit cube (x mapped to [-2, 2]):
+/// a narrow curved valley; hard for greedy methods.
+#[derive(Debug, Clone)]
+pub struct Rosenbrock {
+    dim: usize,
+}
+
+impl Rosenbrock {
+    /// Rosenbrock in `dim` dimensions (dim ≥ 2).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2);
+        Rosenbrock { dim }
+    }
+}
+
+impl Objective for Rosenbrock {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        let z: Vec<f64> = x.iter().map(|v| (v - 0.5) * 4.0).collect();
+        z.windows(2)
+            .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+            .sum()
+    }
+    fn optimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Adds Gaussian observation noise — models measurement error at an
+/// instrument.
+pub struct Noisy<O> {
+    inner: O,
+    sd: f64,
+    rng: SimRng,
+}
+
+impl<O: Objective> Noisy<O> {
+    /// Wrap `inner` with observation noise of standard deviation `sd`.
+    pub fn new(inner: O, sd: f64, seed: u64) -> Self {
+        Noisy {
+            inner,
+            sd,
+            rng: SimRng::from_seed_u64(seed),
+        }
+    }
+}
+
+impl<O: Objective> Objective for Noisy<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        self.inner.eval(x) + self.rng.normal_with(0.0, self.sd)
+    }
+}
+
+/// Counts evaluations and enforces a budget — models sample scarcity and
+/// instrument time (§4.1 "precious samples or expensive equipment").
+pub struct Budgeted<O> {
+    inner: O,
+    used: u64,
+    budget: u64,
+    best_seen: f64,
+}
+
+impl<O: Objective> Budgeted<O> {
+    /// Wrap `inner` with an evaluation budget.
+    pub fn new(inner: O, budget: u64) -> Self {
+        Budgeted {
+            inner,
+            used: 0,
+            budget,
+            best_seen: f64::INFINITY,
+        }
+    }
+
+    /// Evaluations consumed.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.budget
+    }
+
+    /// Best (lowest) value seen so far.
+    pub fn best_seen(&self) -> f64 {
+        self.best_seen
+    }
+}
+
+impl<O: Objective> Objective for Budgeted<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    /// Panics when called beyond the budget — optimizers must check
+    /// [`Budgeted::exhausted`].
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        assert!(
+            self.used < self.budget,
+            "evaluation budget {} exhausted",
+            self.budget
+        );
+        self.used += 1;
+        let v = self.inner.eval(x);
+        if v < self.best_seen {
+            self.best_seen = v;
+        }
+        v
+    }
+    fn optimum(&self) -> Option<f64> {
+        self.inner.optimum()
+    }
+}
+
+/// Clamp a point into the unit cube (validation for hallucinated proposals).
+pub fn clamp_unit(x: &mut [f64]) {
+    for v in x {
+        *v = v.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_minimum_at_center() {
+        let mut s = Sphere::new(3);
+        assert_eq!(s.eval(&[0.5, 0.5, 0.5]), 0.0);
+        assert!(s.eval(&[0.0, 0.0, 0.0]) > 0.0);
+        assert_eq!(s.optimum(), Some(0.0));
+    }
+
+    #[test]
+    fn rastrigin_is_multimodal() {
+        let mut r = Rastrigin::new(2);
+        let center = r.eval(&[0.5, 0.5]);
+        assert!(center.abs() < 1e-9);
+        // A nearby local minimum exists around one cosine period away.
+        let near_local = r.eval(&[0.5 + 1.0 / 10.24, 0.5]);
+        let barrier = r.eval(&[0.5 + 0.5 / 10.24, 0.5]);
+        assert!(near_local < barrier, "local {near_local} barrier {barrier}");
+    }
+
+    #[test]
+    fn rosenbrock_valley() {
+        let mut r = Rosenbrock::new(2);
+        // Global optimum at z = (1,1) => x = (0.75, 0.75).
+        assert!(r.eval(&[0.75, 0.75]).abs() < 1e-9);
+        assert!(r.eval(&[0.1, 0.9]) > 1.0);
+    }
+
+    #[test]
+    fn noisy_wrapper_perturbs_but_tracks() {
+        let mut n = Noisy::new(Sphere::new(2), 0.1, 7);
+        let vals: Vec<f64> = (0..100).map(|_| n.eval(&[0.5, 0.5])).collect();
+        let mean = vals.iter().sum::<f64>() / 100.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(vals.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut b = Budgeted::new(Sphere::new(1), 2);
+        b.eval(&[0.1]);
+        b.eval(&[0.9]);
+        assert!(b.exhausted());
+        assert_eq!(b.used(), 2);
+        assert!(b.best_seen() > 0.0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.eval(&[0.5])));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        let mut x = [1.7, -0.3, 0.4];
+        clamp_unit(&mut x);
+        assert_eq!(x, [1.0, 0.0, 0.4]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Particle swarm optimization (Kennedy & Eberhart 1995) — the paper's
+//! canonical [Learning × Swarm] exemplar in Table 3 and the Φ-emergence
+//! reference: "particle swarm optimization implementing Φ emergence" (§3.3).
+//!
+//! Two neighborhood topologies are provided because the swarm-scaling
+//! claim depends on them: `Global` (every particle sees the global best —
+//! effectively all-to-all) and `Ring(k)` (each particle sees only k
+//! neighbors — the O(k) local communication of Table 2).
+
+use crate::objective::Objective;
+use crate::surrogate::OptResult;
+use evoflow_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Neighborhood structure: who each particle learns from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// All particles share one global best (star topology).
+    Global,
+    /// Ring lattice: particle i sees i±1..=k/2 (local rules only — Φ).
+    Ring {
+        /// Neighborhood size (total neighbors, split both ways).
+        k: usize,
+    },
+}
+
+/// PSO hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PsoConfig {
+    /// Number of particles.
+    pub particles: usize,
+    /// Inertia weight w.
+    pub inertia: f64,
+    /// Cognitive coefficient c1 (pull toward own best).
+    pub cognitive: f64,
+    /// Social coefficient c2 (pull toward neighborhood best).
+    pub social: f64,
+    /// Neighborhood topology.
+    pub topology: Topology,
+    /// Maximum velocity per dimension.
+    pub v_max: f64,
+}
+
+impl Default for PsoConfig {
+    fn default() -> Self {
+        PsoConfig {
+            particles: 30,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            topology: Topology::Global,
+            v_max: 0.2,
+        }
+    }
+}
+
+/// Per-round swarm statistics, for emergence analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwarmStats {
+    /// Mean pairwise-to-centroid distance (diversity) per iteration.
+    pub diversity: Vec<f64>,
+    /// Messages exchanged per iteration (neighbor-best reads).
+    pub messages_per_iter: u64,
+}
+
+/// Run PSO for `iterations` rounds; total evaluations =
+/// `particles * (iterations + 1)`.
+pub fn pso<O: Objective>(
+    f: &mut O,
+    iterations: u32,
+    cfg: PsoConfig,
+    rng: &mut SimRng,
+) -> (OptResult, SwarmStats) {
+    let dim = f.dim();
+    let n = cfg.particles.max(2);
+
+    let mut pos: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.uniform()).collect())
+        .collect();
+    let mut vel: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| rng.uniform_range(-cfg.v_max, cfg.v_max))
+                .collect()
+        })
+        .collect();
+    let mut pbest = pos.clone();
+    let mut pbest_val: Vec<f64> = pos.iter().map(|p| f.eval(p)).collect();
+    let mut evals = n as u64;
+    let mut trace = Vec::new();
+    let mut diversity = Vec::new();
+
+    let best_idx = |vals: &[f64]| {
+        vals.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    };
+
+    // Messages: each particle reads its neighbors' bests once per iteration.
+    let msgs_per_iter = match cfg.topology {
+        Topology::Global => n as u64, // read the shared best (star)
+        Topology::Ring { k } => (n * k.min(n - 1)) as u64,
+    };
+
+    for _ in 0..iterations {
+        let g = best_idx(&pbest_val);
+        for i in 0..n {
+            // Neighborhood best.
+            let nb = match cfg.topology {
+                Topology::Global => g,
+                Topology::Ring { k } => {
+                    let half = (k / 2).max(1);
+                    let mut best = i;
+                    for d in 1..=half {
+                        for j in [(i + d) % n, (i + n - d % n) % n] {
+                            if pbest_val[j] < pbest_val[best] {
+                                best = j;
+                            }
+                        }
+                    }
+                    best
+                }
+            };
+            let nb_pos = pbest[nb].clone();
+            for d in 0..dim {
+                let r1 = rng.uniform();
+                let r2 = rng.uniform();
+                vel[i][d] = (cfg.inertia * vel[i][d]
+                    + cfg.cognitive * r1 * (pbest[i][d] - pos[i][d])
+                    + cfg.social * r2 * (nb_pos[d] - pos[i][d]))
+                    .clamp(-cfg.v_max, cfg.v_max);
+                pos[i][d] = (pos[i][d] + vel[i][d]).clamp(0.0, 1.0);
+            }
+            let v = f.eval(&pos[i]);
+            evals += 1;
+            if v < pbest_val[i] {
+                pbest_val[i] = v;
+                pbest[i] = pos[i].clone();
+            }
+        }
+        let g = best_idx(&pbest_val);
+        trace.push(pbest_val[g]);
+
+        // Diversity: mean distance to centroid.
+        let centroid: Vec<f64> = (0..dim)
+            .map(|d| pos.iter().map(|p| p[d]).sum::<f64>() / n as f64)
+            .collect();
+        let div = pos
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&centroid)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .sum::<f64>()
+            / n as f64;
+        diversity.push(div);
+    }
+
+    let g = best_idx(&pbest_val);
+    (
+        OptResult {
+            best_x: pbest[g].clone(),
+            best_y: pbest_val[g],
+            evals,
+            trace,
+        },
+        SwarmStats {
+            diversity,
+            messages_per_iter: msgs_per_iter,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Rastrigin, Sphere};
+
+    #[test]
+    fn pso_solves_sphere() {
+        let mut rng = SimRng::from_seed_u64(1);
+        let mut f = Sphere::new(4);
+        let (r, _) = pso(&mut f, 60, PsoConfig::default(), &mut rng);
+        assert!(r.best_y < 1e-3, "best {}", r.best_y);
+    }
+
+    #[test]
+    fn pso_makes_progress_on_rastrigin() {
+        let mut rng = SimRng::from_seed_u64(2);
+        let mut f = Rastrigin::new(3);
+        let (r, _) = pso(&mut f, 120, PsoConfig::default(), &mut rng);
+        // Random sampling in 3-D Rastrigin typically sits above 30.
+        assert!(r.best_y < 12.0, "best {}", r.best_y);
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn ring_topology_keeps_diversity_longer() {
+        let run = |topology| {
+            let mut rng = SimRng::from_seed_u64(3);
+            let mut f = Rastrigin::new(3);
+            let cfg = PsoConfig {
+                topology,
+                ..PsoConfig::default()
+            };
+            let (_, stats) = pso(&mut f, 40, cfg, &mut rng);
+            stats.diversity[10]
+        };
+        let global = run(Topology::Global);
+        let ring = run(Topology::Ring { k: 2 });
+        assert!(
+            ring > global,
+            "ring diversity {ring} should exceed global {global}"
+        );
+    }
+
+    #[test]
+    fn message_cost_matches_topology() {
+        let mut rng = SimRng::from_seed_u64(4);
+        let mut f = Sphere::new(2);
+        let cfg = PsoConfig {
+            particles: 50,
+            topology: Topology::Ring { k: 4 },
+            ..PsoConfig::default()
+        };
+        let (_, stats) = pso(&mut f, 5, cfg, &mut rng);
+        assert_eq!(stats.messages_per_iter, 200); // n*k
+        let cfg = PsoConfig {
+            particles: 50,
+            topology: Topology::Global,
+            ..PsoConfig::default()
+        };
+        let (_, stats) = pso(&mut f, 5, cfg, &mut rng);
+        assert_eq!(stats.messages_per_iter, 50); // star reads
+    }
+
+    #[test]
+    fn eval_accounting() {
+        let mut rng = SimRng::from_seed_u64(5);
+        let mut f = Sphere::new(2);
+        let cfg = PsoConfig {
+            particles: 10,
+            ..PsoConfig::default()
+        };
+        let (r, _) = pso(&mut f, 7, cfg, &mut rng);
+        assert_eq!(r.evals, 10 * 8); // init + 7 iters
+        assert_eq!(r.trace.len(), 7);
+    }
+}

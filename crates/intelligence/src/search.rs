@@ -1,0 +1,246 @@
+//! Baseline search strategies: random search, grid search, simulated
+//! annealing, and successive halving.
+//!
+//! These are the comparison points the paper's existing-system mapping
+//! names — "parameter sweeps" ([Static × Swarm]) and "hyper optimization"
+//! ([Optimizing × Hierarchical]) — and the baselines every optimizer bench
+//! is measured against.
+
+use crate::objective::Objective;
+use crate::surrogate::OptResult;
+use evoflow_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform random search with `budget` evaluations.
+pub fn random_search<O: Objective>(f: &mut O, budget: u64, rng: &mut SimRng) -> OptResult {
+    let dim = f.dim();
+    let mut best_x = vec![0.5; dim];
+    let mut best_y = f64::INFINITY;
+    let mut trace = Vec::with_capacity(budget as usize);
+    for _ in 0..budget {
+        let x: Vec<f64> = (0..dim).map(|_| rng.uniform()).collect();
+        let y = f.eval(&x);
+        if y < best_y {
+            best_y = y;
+            best_x = x;
+        }
+        trace.push(best_y);
+    }
+    OptResult {
+        best_x,
+        best_y,
+        evals: budget,
+        trace,
+    }
+}
+
+/// Full-factorial grid search with `points_per_dim` levels per dimension —
+/// the classic parameter sweep. Cost is `points_per_dim^dim`.
+pub fn grid_search<O: Objective>(f: &mut O, points_per_dim: usize) -> OptResult {
+    let dim = f.dim();
+    assert!(points_per_dim >= 2);
+    let total = (points_per_dim as u64).pow(dim as u32);
+    let mut best_x = vec![0.5; dim];
+    let mut best_y = f64::INFINITY;
+    let mut trace = Vec::with_capacity(total as usize);
+    let mut idx = vec![0usize; dim];
+    loop {
+        let x: Vec<f64> = idx
+            .iter()
+            .map(|&i| i as f64 / (points_per_dim - 1) as f64)
+            .collect();
+        let y = f.eval(&x);
+        if y < best_y {
+            best_y = y;
+            best_x = x;
+        }
+        trace.push(best_y);
+        // Odometer increment.
+        let mut d = 0;
+        loop {
+            idx[d] += 1;
+            if idx[d] < points_per_dim {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+            if d == dim {
+                return OptResult {
+                    best_x,
+                    best_y,
+                    evals: total,
+                    trace,
+                };
+            }
+        }
+    }
+}
+
+/// Simulated-annealing hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Initial temperature.
+    pub t0: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// Proposal step standard deviation.
+    pub step_sd: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            t0: 1.0,
+            cooling: 0.995,
+            step_sd: 0.08,
+        }
+    }
+}
+
+/// Simulated annealing with Metropolis acceptance over the unit cube.
+pub fn simulated_annealing<O: Objective>(
+    f: &mut O,
+    budget: u64,
+    cfg: AnnealConfig,
+    rng: &mut SimRng,
+) -> OptResult {
+    let dim = f.dim();
+    let mut cur: Vec<f64> = (0..dim).map(|_| rng.uniform()).collect();
+    let mut cur_y = f.eval(&cur);
+    let mut best_x = cur.clone();
+    let mut best_y = cur_y;
+    let mut t = cfg.t0;
+    let mut trace = vec![best_y];
+
+    for _ in 1..budget {
+        let cand: Vec<f64> = cur
+            .iter()
+            .map(|v| (v + rng.normal_with(0.0, cfg.step_sd)).clamp(0.0, 1.0))
+            .collect();
+        let y = f.eval(&cand);
+        let accept = y < cur_y || rng.chance(((cur_y - y) / t.max(1e-12)).exp());
+        if accept {
+            cur = cand;
+            cur_y = y;
+            if y < best_y {
+                best_y = y;
+                best_x = cur.clone();
+            }
+        }
+        t *= cfg.cooling;
+        trace.push(best_y);
+    }
+    OptResult {
+        best_x,
+        best_y,
+        evals: budget,
+        trace,
+    }
+}
+
+/// Successive halving over a fixed candidate set: evaluate all candidates
+/// with a small budget, keep the best half, double the budget, repeat —
+/// the hyperparameter-optimization pattern of [Optimizing × Hierarchical].
+///
+/// `eval` receives `(candidate, fidelity)` where fidelity grows by rounds;
+/// lower scores are better. Returns (winner index, total evaluations).
+pub fn successive_halving<F>(n_candidates: usize, base_fidelity: u64, mut eval: F) -> (usize, u64)
+where
+    F: FnMut(usize, u64) -> f64,
+{
+    assert!(n_candidates >= 1);
+    let mut alive: Vec<usize> = (0..n_candidates).collect();
+    let mut fidelity = base_fidelity.max(1);
+    let mut total = 0u64;
+    while alive.len() > 1 {
+        let mut scored: Vec<(usize, f64)> = alive
+            .iter()
+            .map(|&c| {
+                total += fidelity;
+                (c, eval(c, fidelity))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        let keep = scored.len().div_ceil(2);
+        alive = scored.into_iter().take(keep).map(|(c, _)| c).collect();
+        fidelity *= 2;
+    }
+    (alive[0], total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Budgeted, Rastrigin, Sphere};
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let mut rng = SimRng::from_seed_u64(1);
+        let mut f = Sphere::new(2);
+        let small = random_search(&mut f, 10, &mut rng).best_y;
+        let mut f = Sphere::new(2);
+        let large = random_search(&mut f, 1_000, &mut rng).best_y;
+        assert!(large <= small);
+        assert!(large < 0.02, "large-budget best {large}");
+    }
+
+    #[test]
+    fn grid_search_hits_center_with_odd_grid() {
+        let mut f = Sphere::new(2);
+        let r = grid_search(&mut f, 5); // includes 0.5 exactly
+        assert!(r.best_y.abs() < 1e-12);
+        assert_eq!(r.evals, 25);
+    }
+
+    #[test]
+    fn grid_search_cost_is_exponential_in_dim() {
+        let mut f = Sphere::new(3);
+        let r = grid_search(&mut f, 4);
+        assert_eq!(r.evals, 64);
+    }
+
+    #[test]
+    fn annealing_beats_random_on_rastrigin() {
+        let mut rng_a = SimRng::from_seed_u64(2);
+        let mut f1 = Rastrigin::new(3);
+        let sa = simulated_annealing(&mut f1, 1_500, AnnealConfig::default(), &mut rng_a);
+        let mut rng_b = SimRng::from_seed_u64(2);
+        let mut f2 = Rastrigin::new(3);
+        let rs = random_search(&mut f2, 1_500, &mut rng_b);
+        assert!(
+            sa.best_y < rs.best_y,
+            "sa {:.3} vs random {:.3}",
+            sa.best_y,
+            rs.best_y
+        );
+    }
+
+    #[test]
+    fn annealing_respects_budget() {
+        let mut rng = SimRng::from_seed_u64(3);
+        let inner = Sphere::new(2);
+        let mut f = Budgeted::new(inner, 100);
+        let r = simulated_annealing(&mut f, 100, AnnealConfig::default(), &mut rng);
+        assert_eq!(r.evals, 100);
+        assert!(f.exhausted());
+    }
+
+    #[test]
+    fn successive_halving_picks_best_candidate() {
+        // Candidate quality improves with index; fidelity reduces noise.
+        let (winner, total) = successive_halving(8, 2, |c, fidelity| {
+            let noise = 1.0 / fidelity as f64;
+            (8 - c) as f64 + noise * ((c * 7 + 3) % 5) as f64
+        });
+        assert_eq!(winner, 7);
+        // 8*2 + 4*4 + 2*8 = 48 evaluations-units.
+        assert_eq!(total, 48);
+    }
+
+    #[test]
+    fn successive_halving_single_candidate() {
+        let (winner, total) = successive_halving(1, 4, |_, _| 0.0);
+        assert_eq!(winner, 0);
+        assert_eq!(total, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! RBF surrogate model + Bayesian optimization (expected improvement).
+//!
+//! This is the "ML-guided parameter selection" → "automated tuning" pair of
+//! §3.2's existing-system mapping: a cheap model of an expensive objective,
+//! plus an acquisition loop that balances exploration and exploitation —
+//! `δ* = argmin_δ J(δ)` made concrete.
+
+use crate::objective::Objective;
+use evoflow_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian-kernel RBF regressor with Nadaraya–Watson weighting.
+///
+/// Chosen over full kriging because it needs no linear solves (no external
+/// linear-algebra dependency) while still giving smooth interpolation and a
+/// distance-based uncertainty proxy — all BO here needs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RbfSurrogate {
+    points: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    /// Kernel bandwidth.
+    pub bandwidth: f64,
+}
+
+impl RbfSurrogate {
+    /// Create an empty surrogate with the given kernel bandwidth.
+    pub fn new(bandwidth: f64) -> Self {
+        RbfSurrogate {
+            points: Vec::new(),
+            values: Vec::new(),
+            bandwidth: bandwidth.max(1e-6),
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the surrogate has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Add an observation.
+    pub fn observe(&mut self, x: &[f64], y: f64) {
+        self.points.push(x.to_vec());
+        self.values.push(y);
+    }
+
+    /// Best (lowest) observed value, if any.
+    pub fn best(&self) -> Option<(&[f64], f64)> {
+        let idx = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))?
+            .0;
+        Some((&self.points[idx], self.values[idx]))
+    }
+
+    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+    }
+
+    /// Predict `(mean, uncertainty)` at `x`. Uncertainty is a distance-to-
+    /// data proxy in [0,1]: 0 on top of data, →1 far from all data.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        if self.points.is_empty() {
+            return (0.0, 1.0);
+        }
+        let h2 = self.bandwidth * self.bandwidth;
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        let mut min_d2 = f64::INFINITY;
+        for (p, v) in self.points.iter().zip(&self.values) {
+            let d2 = Self::sq_dist(p, x);
+            min_d2 = min_d2.min(d2);
+            let w = (-d2 / (2.0 * h2)).exp().max(1e-300);
+            wsum += w;
+            vsum += w * v;
+        }
+        let mean = vsum / wsum;
+        let uncertainty = 1.0 - (-min_d2 / (2.0 * h2)).exp();
+        (mean, uncertainty)
+    }
+}
+
+/// Expected-improvement-style acquisition: improvement of the predicted
+/// mean over the incumbent, plus an exploration bonus proportional to
+/// uncertainty. Higher is better.
+pub fn acquisition(surrogate: &RbfSurrogate, x: &[f64], kappa: f64) -> f64 {
+    let incumbent = surrogate.best().map(|(_, y)| y).unwrap_or(0.0);
+    let (mean, unc) = surrogate.predict(x);
+    (incumbent - mean) + kappa * unc
+}
+
+/// Configuration for the Bayesian-optimization loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BoConfig {
+    /// Random initial samples before the model drives.
+    pub init_samples: usize,
+    /// Candidate points scored per iteration.
+    pub candidates_per_iter: usize,
+    /// Exploration weight κ in the acquisition.
+    pub kappa: f64,
+    /// RBF kernel bandwidth.
+    pub bandwidth: f64,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            init_samples: 8,
+            candidates_per_iter: 64,
+            kappa: 0.5,
+            bandwidth: 0.15,
+        }
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptResult {
+    /// Best point found.
+    pub best_x: Vec<f64>,
+    /// Best value found.
+    pub best_y: f64,
+    /// Objective evaluations used.
+    pub evals: u64,
+    /// Best-so-far trace, one entry per evaluation.
+    pub trace: Vec<f64>,
+}
+
+/// Run Bayesian optimization for `budget` evaluations of `f`.
+pub fn bayes_opt<O: Objective>(
+    f: &mut O,
+    budget: u64,
+    cfg: BoConfig,
+    rng: &mut SimRng,
+) -> OptResult {
+    let dim = f.dim();
+    let mut surrogate = RbfSurrogate::new(cfg.bandwidth);
+    let mut trace = Vec::with_capacity(budget as usize);
+    let mut best_x = vec![0.5; dim];
+    let mut best_y = f64::INFINITY;
+
+    for i in 0..budget {
+        let x: Vec<f64> = if (i as usize) < cfg.init_samples || surrogate.is_empty() {
+            (0..dim).map(|_| rng.uniform()).collect()
+        } else {
+            // Score random candidates (half global, half near incumbent).
+            let incumbent = surrogate.best().map(|(p, _)| p.to_vec()).expect("non-empty");
+            let mut best_cand: Option<(Vec<f64>, f64)> = None;
+            for c in 0..cfg.candidates_per_iter {
+                let cand: Vec<f64> = if c % 2 == 0 {
+                    (0..dim).map(|_| rng.uniform()).collect()
+                } else {
+                    incumbent
+                        .iter()
+                        .map(|v| (v + rng.normal_with(0.0, 0.1)).clamp(0.0, 1.0))
+                        .collect()
+                };
+                let a = acquisition(&surrogate, &cand, cfg.kappa);
+                if best_cand.as_ref().map(|(_, s)| a > *s).unwrap_or(true) {
+                    best_cand = Some((cand, a));
+                }
+            }
+            best_cand.expect("candidates_per_iter > 0").0
+        };
+
+        let y = f.eval(&x);
+        surrogate.observe(&x, y);
+        if y < best_y {
+            best_y = y;
+            best_x = x;
+        }
+        trace.push(best_y);
+    }
+
+    OptResult {
+        best_x,
+        best_y,
+        evals: budget,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Rastrigin, Sphere};
+
+    #[test]
+    fn surrogate_interpolates() {
+        let mut s = RbfSurrogate::new(0.2);
+        s.observe(&[0.0, 0.0], 1.0);
+        s.observe(&[1.0, 1.0], 3.0);
+        let (at_a, unc_a) = s.predict(&[0.0, 0.0]);
+        assert!((at_a - 1.0).abs() < 0.05, "at_a {at_a}");
+        assert!(unc_a < 0.01);
+        let (_, unc_far) = s.predict(&[0.5, 0.9]);
+        assert!(unc_far > unc_a);
+        let (mid, _) = s.predict(&[0.5, 0.5]);
+        assert!(mid > 1.0 && mid < 3.0);
+    }
+
+    #[test]
+    fn empty_surrogate_is_maximally_uncertain() {
+        let s = RbfSurrogate::new(0.2);
+        assert_eq!(s.predict(&[0.3]), (0.0, 1.0));
+        assert!(s.best().is_none());
+    }
+
+    #[test]
+    fn acquisition_prefers_unexplored_when_kappa_high() {
+        let mut s = RbfSurrogate::new(0.1);
+        s.observe(&[0.5, 0.5], 1.0);
+        let near = acquisition(&s, &[0.5, 0.5], 2.0);
+        let far = acquisition(&s, &[0.05, 0.95], 2.0);
+        assert!(far > near, "far {far} near {near}");
+    }
+
+    #[test]
+    fn bo_beats_random_on_sphere() {
+        let mut rng = SimRng::from_seed_u64(10);
+        let mut f = Sphere::new(3);
+        let bo = bayes_opt(&mut f, 60, BoConfig::default(), &mut rng);
+
+        // Pure random baseline with the same budget and a fresh stream.
+        let mut rng2 = SimRng::from_seed_u64(11);
+        let mut f2 = Sphere::new(3);
+        let mut best_rand = f64::INFINITY;
+        for _ in 0..60 {
+            let x: Vec<f64> = (0..3).map(|_| rng2.uniform()).collect();
+            best_rand = best_rand.min(f2.eval(&x));
+        }
+        assert!(
+            bo.best_y < best_rand,
+            "bo {:.4} vs random {:.4}",
+            bo.best_y,
+            best_rand
+        );
+        assert_eq!(bo.evals, 60);
+        assert_eq!(bo.trace.len(), 60);
+    }
+
+    #[test]
+    fn bo_trace_is_monotone_nonincreasing() {
+        let mut rng = SimRng::from_seed_u64(12);
+        let mut f = Rastrigin::new(2);
+        let r = bayes_opt(&mut f, 40, BoConfig::default(), &mut rng);
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the optimization machinery: budget discipline,
+//! trace monotonicity, and bandit sanity across random configurations.
+
+use evoflow_learn::{
+    ant_system, bayes_opt, pso, random_search, simulated_annealing, AcoConfig, AnnealConfig,
+    BanditPolicy, BoConfig, Budgeted, EpsilonGreedy, PsoConfig, Rastrigin, Sphere, ThompsonBeta,
+    Tsp, Ucb1,
+};
+use evoflow_learn::objective::Objective;
+use evoflow_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every optimizer respects an exact evaluation budget and returns a
+    /// monotone non-increasing best-so-far trace within bounds.
+    #[test]
+    fn optimizers_respect_budgets(seed in any::<u64>(), dim in 2usize..5) {
+        let budget = 120u64;
+        let mut rng = SimRng::from_seed_u64(seed);
+
+        let mut f = Budgeted::new(Sphere::new(dim), budget);
+        let r = random_search(&mut f, budget, &mut rng);
+        prop_assert_eq!(f.used(), budget);
+        prop_assert!(r.trace.windows(2).all(|w| w[1] <= w[0]));
+        prop_assert!(r.best_x.iter().all(|v| (0.0..=1.0).contains(v)));
+
+        let mut f = Budgeted::new(Sphere::new(dim), budget);
+        let r = simulated_annealing(&mut f, budget, AnnealConfig::default(), &mut rng);
+        prop_assert_eq!(f.used(), budget);
+        prop_assert!(r.trace.windows(2).all(|w| w[1] <= w[0]));
+
+        let mut f = Budgeted::new(Sphere::new(dim), budget);
+        let r = bayes_opt(&mut f, budget, BoConfig::default(), &mut rng);
+        prop_assert_eq!(f.used(), budget);
+        prop_assert!(r.trace.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    /// PSO evaluation accounting: particles × (iterations + 1).
+    #[test]
+    fn pso_accounting(particles in 3usize..20, iters in 1u32..20, seed in any::<u64>()) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let mut f = Rastrigin::new(2);
+        let cfg = PsoConfig { particles, ..PsoConfig::default() };
+        let (r, stats) = pso(&mut f, iters, cfg, &mut rng);
+        prop_assert_eq!(r.evals, (particles as u64) * (iters as u64 + 1));
+        prop_assert_eq!(r.trace.len(), iters as usize);
+        prop_assert_eq!(stats.diversity.len(), iters as usize);
+        prop_assert!(r.best_x.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// ACO always returns a valid permutation tour whose length never
+    /// exceeds the first iteration's best.
+    #[test]
+    fn aco_tours_are_permutations(n in 4usize..15, seed in any::<u64>()) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let tsp = Tsp::random(n, &mut rng);
+        let r = ant_system(&tsp, 15, AcoConfig::default(), &mut rng);
+        let mut sorted = r.best_tour.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        prop_assert!(r.best_len <= r.trace[0] + 1e-12);
+        prop_assert!((tsp.tour_len(&r.best_tour) - r.best_len).abs() < 1e-9);
+    }
+
+    /// All bandit policies keep pull counts consistent and means bounded
+    /// by observed rewards.
+    #[test]
+    fn bandit_accounting(steps in 10u64..500, seed in any::<u64>()) {
+        let rates = [0.2, 0.6, 0.9];
+        let mut rng = SimRng::from_seed_u64(seed);
+        fn check<P: BanditPolicy>(
+            mut p: P,
+            rates: &[f64],
+            steps: u64,
+            rng: &mut SimRng,
+        ) -> Result<(), TestCaseError> {
+            let (reward, best_plays) = evoflow_learn::run_bernoulli(&mut p, rates, steps, rng);
+            prop_assert_eq!(p.pulls(), steps);
+            prop_assert!(reward <= steps as f64);
+            prop_assert!(best_plays <= steps);
+            for arm in 0..rates.len() {
+                let m = p.mean(arm);
+                prop_assert!((0.0..=1.0).contains(&m), "mean {} out of range", m);
+            }
+            Ok(())
+        }
+        check(EpsilonGreedy::new(3, 0.1), &rates, steps, &mut rng)?;
+        check(Ucb1::new(3), &rates, steps, &mut rng)?;
+        check(ThompsonBeta::new(3), &rates, steps, &mut rng)?;
+    }
+
+    /// The noisy objective wrapper is unbiased: the mean of many draws
+    /// approaches the latent value.
+    #[test]
+    fn noise_is_unbiased(seed in any::<u64>()) {
+        let mut f = evoflow_learn::Noisy::new(Sphere::new(2), 0.2, seed);
+        let x = [0.25, 0.75];
+        let latent = Sphere::new(2).eval(&x);
+        let n = 3_000;
+        let mean: f64 = (0..n).map(|_| f.eval(&x)).sum::<f64>() / n as f64;
+        prop_assert!((mean - latent).abs() < 0.03);
+    }
+}

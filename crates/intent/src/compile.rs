@@ -1,0 +1,287 @@
+//! Compilation from intent to executable machinery.
+//!
+//! Table 1's transition to the Optimizing level "needs objective
+//! specification" and the Intelligent level "demands reasoning engines" —
+//! but both consume the *same artifact*: a scorer `J` over measured
+//! metrics. [`compile`] turns a validated [`GoalSpec`] into that scorer
+//! plus the governance [`GateSpec`]s that §4.1's physical-risk argument
+//! requires (budgets and hard bounds enforced outside the optimizer, so a
+//! misbehaving `Ω` cannot optimize its way past a safety limit).
+
+use crate::goal::{Comparator, GoalSpec, ObjectiveSense, SpecIssue};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Weight applied to each unit of soft-constraint violation in the score.
+/// Large enough that no realistic objective gain pays for a violation.
+pub const PENALTY_WEIGHT: f64 = 100.0;
+
+/// What a governance gate checks. String-keyed so the governance engine
+/// can consume gates without a crate dependency on intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Total physical samples consumed must stay ≤ this.
+    SampleBudget(u64),
+    /// Total abstract cost units must stay ≤ this.
+    CostBudget(u64),
+    /// Simulated wall-clock hours must stay ≤ this.
+    WallClock(f64),
+    /// A hard metric bound: halt if violated.
+    MetricBound {
+        /// Gated metric.
+        metric: String,
+        /// Comparison that must hold.
+        comparator: Comparator,
+        /// Bound value.
+        bound: f64,
+    },
+}
+
+/// One enforceable guardrail derived from the goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateSpec {
+    /// Gate name (audit-trail key).
+    pub name: String,
+    /// What it checks.
+    pub kind: GateKind,
+}
+
+/// An executable, direction-normalized scorer compiled from a goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledGoal {
+    spec: GoalSpec,
+    gates: Vec<GateSpec>,
+}
+
+impl CompiledGoal {
+    /// The source specification.
+    pub fn spec(&self) -> &GoalSpec {
+        &self.spec
+    }
+
+    /// Guardrail gates for the governance engine.
+    pub fn gates(&self) -> &[GateSpec] {
+        &self.gates
+    }
+
+    /// Score a set of measured metrics. Higher is always better
+    /// (minimization goals are negated), soft-constraint violations
+    /// subtract `PENALTY_WEIGHT × violation`, and a missing objective
+    /// metric scores `-∞` — an experiment that failed to measure the
+    /// objective produced no usable information.
+    pub fn score(&self, metrics: &BTreeMap<String, f64>) -> f64 {
+        let Some(&raw) = metrics.get(&self.spec.objective.metric) else {
+            return f64::NEG_INFINITY;
+        };
+        let mut s = match self.spec.objective.sense {
+            ObjectiveSense::Maximize => raw,
+            ObjectiveSense::Minimize => -raw,
+        };
+        for c in self.spec.constraints.iter().filter(|c| !c.hard) {
+            if let Some(&v) = metrics.get(&c.metric) {
+                let violation = match c.comparator {
+                    Comparator::Le => (v - c.bound).max(0.0),
+                    Comparator::Ge => (c.bound - v).max(0.0),
+                    Comparator::Within { tol } => ((v - c.bound).abs() - tol).max(0.0),
+                };
+                s -= PENALTY_WEIGHT * violation;
+            }
+        }
+        s
+    }
+
+    /// Check hard gates against current metrics and consumption. Returns
+    /// the names of violated gates (empty = all clear).
+    pub fn violated_gates(
+        &self,
+        metrics: &BTreeMap<String, f64>,
+        samples_used: u64,
+        cost_used: u64,
+        wall_hours: f64,
+    ) -> Vec<String> {
+        let mut violated = Vec::new();
+        for gate in &self.gates {
+            let bad = match &gate.kind {
+                GateKind::SampleBudget(max) => samples_used > *max,
+                GateKind::CostBudget(max) => cost_used > *max,
+                GateKind::WallClock(max) => wall_hours > *max,
+                GateKind::MetricBound {
+                    metric,
+                    comparator,
+                    bound,
+                } => metrics
+                    .get(metric)
+                    .is_some_and(|&v| !comparator.holds(v, *bound)),
+            };
+            if bad {
+                violated.push(gate.name.clone());
+            }
+        }
+        violated
+    }
+
+    /// Whether the goal's aspiration target has been reached.
+    pub fn target_reached(&self, metrics: &BTreeMap<String, f64>) -> bool {
+        match (self.spec.objective.target, metrics.get(&self.spec.objective.metric)) {
+            (Some(t), Some(&v)) => match self.spec.objective.sense {
+                ObjectiveSense::Maximize => v >= t,
+                ObjectiveSense::Minimize => v <= t,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Compile a goal, refusing invalid specs — the "validate before you
+/// spend" gate. The compiled artifact carries one gate per budget line
+/// plus one per hard constraint.
+pub fn compile(spec: &GoalSpec) -> Result<CompiledGoal, Vec<SpecIssue>> {
+    let issues = spec.validate();
+    if !issues.is_empty() {
+        return Err(issues);
+    }
+    let mut gates = vec![
+        GateSpec {
+            name: format!("{}/samples", spec.id),
+            kind: GateKind::SampleBudget(spec.budget.max_samples),
+        },
+        GateSpec {
+            name: format!("{}/cost", spec.id),
+            kind: GateKind::CostBudget(spec.budget.max_cost_units),
+        },
+        GateSpec {
+            name: format!("{}/wall", spec.id),
+            kind: GateKind::WallClock(spec.budget.max_wall_hours),
+        },
+    ];
+    for c in spec.constraints.iter().filter(|c| c.hard) {
+        gates.push(GateSpec {
+            name: format!("{}/bound/{}", spec.id, c.metric),
+            kind: GateKind::MetricBound {
+                metric: c.metric.clone(),
+                comparator: c.comparator,
+                bound: c.bound,
+            },
+        });
+    }
+    Ok(CompiledGoal {
+        spec: spec.clone(),
+        gates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::GoalSpec;
+
+    fn goal() -> GoalSpec {
+        GoalSpec::builder("g1", "maximize band gap, keep toxicity low")
+            .objective("band_gap_eV", ObjectiveSense::Maximize)
+            .target(3.0)
+            .constraint("toxicity", Comparator::Le, 0.1, true)
+            .constraint("cost_per_sample", Comparator::Le, 50.0, false)
+            .budget(500, 100_000, 336.0)
+            .success("band_gap_eV", Comparator::Ge, 2.5)
+            .build()
+    }
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn invalid_spec_does_not_compile() {
+        let bad = GoalSpec::builder("", "").build();
+        let err = compile(&bad).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn gates_cover_budgets_and_hard_constraints_only() {
+        let cg = compile(&goal()).unwrap();
+        assert_eq!(cg.gates().len(), 4); // 3 budgets + 1 hard bound
+        assert!(cg.gates().iter().any(|g| g.name == "g1/bound/toxicity"));
+        assert!(!cg
+            .gates()
+            .iter()
+            .any(|g| g.name.contains("cost_per_sample")));
+    }
+
+    #[test]
+    fn score_rewards_objective_direction() {
+        let cg = compile(&goal()).unwrap();
+        let low = cg.score(&metrics(&[("band_gap_eV", 1.0)]));
+        let high = cg.score(&metrics(&[("band_gap_eV", 2.0)]));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn minimize_goals_are_negated() {
+        let g = GoalSpec::builder("g2", "minimize defects")
+            .objective("defect_density", ObjectiveSense::Minimize)
+            .budget(10, 10, 10.0)
+            .build();
+        let cg = compile(&g).unwrap();
+        let few = cg.score(&metrics(&[("defect_density", 1.0)]));
+        let many = cg.score(&metrics(&[("defect_density", 5.0)]));
+        assert!(few > many);
+    }
+
+    #[test]
+    fn soft_violation_penalized_but_not_fatal() {
+        let cg = compile(&goal()).unwrap();
+        let clean = cg.score(&metrics(&[("band_gap_eV", 2.0), ("cost_per_sample", 40.0)]));
+        let pricey = cg.score(&metrics(&[("band_gap_eV", 2.0), ("cost_per_sample", 60.0)]));
+        assert!(pricey < clean);
+        assert!(pricey.is_finite());
+        assert!((clean - pricey - PENALTY_WEIGHT * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_objective_metric_scores_neg_infinity() {
+        let cg = compile(&goal()).unwrap();
+        assert_eq!(cg.score(&metrics(&[("toxicity", 0.01)])), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn budget_gates_trip_on_overconsumption() {
+        let cg = compile(&goal()).unwrap();
+        let m = metrics(&[("band_gap_eV", 1.0)]);
+        assert!(cg.violated_gates(&m, 100, 100, 1.0).is_empty());
+        let v = cg.violated_gates(&m, 501, 100, 1.0);
+        assert_eq!(v, vec!["g1/samples".to_string()]);
+        let v = cg.violated_gates(&m, 0, 100_001, 999.0);
+        assert_eq!(v, vec!["g1/cost".to_string(), "g1/wall".to_string()]);
+    }
+
+    #[test]
+    fn hard_metric_gate_trips_on_violation() {
+        let cg = compile(&goal()).unwrap();
+        let v = cg.violated_gates(&metrics(&[("toxicity", 0.5)]), 0, 0, 0.0);
+        assert_eq!(v, vec!["g1/bound/toxicity".to_string()]);
+    }
+
+    #[test]
+    fn unmeasured_hard_metric_does_not_trip() {
+        // A gate on a metric nobody measured yet must not halt the
+        // campaign — it halts on *violation*, not absence.
+        let cg = compile(&goal()).unwrap();
+        assert!(cg.violated_gates(&metrics(&[]), 0, 0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn target_reached_respects_sense() {
+        let cg = compile(&goal()).unwrap();
+        assert!(!cg.target_reached(&metrics(&[("band_gap_eV", 2.9)])));
+        assert!(cg.target_reached(&metrics(&[("band_gap_eV", 3.1)])));
+    }
+
+    #[test]
+    fn compiled_goal_serde_roundtrip() {
+        let cg = compile(&goal()).unwrap();
+        let json = serde_json::to_string(&cg).unwrap();
+        let back: CompiledGoal = serde_json::from_str(&json).unwrap();
+        assert_eq!(cg, back);
+    }
+}

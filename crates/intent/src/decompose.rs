@@ -1,0 +1,365 @@
+//! AND/OR goal trees: dividing a campaign goal into facility-sized work.
+//!
+//! The Hierarchical composition pattern (Table 2, `M_mgr(M₁…Mₙ)`) "supports
+//! divide-and-conquer strategies with centralized control". Its planning
+//! artifact is the goal tree: AND nodes need *every* child (synthesize and
+//! characterize and simulate), OR nodes need *any* child (three alternative
+//! synthesis routes). Progress and remaining-effort roll up from leaves, so
+//! a manager agent can always answer "how far along, and what is the cheap
+//! path to done?" — without which delegation is blind.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in its [`GoalTree`]'s arena.
+pub type NodeId = usize;
+
+/// What a node demands of its children.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// All children must complete.
+    And,
+    /// At least one child must complete.
+    Or,
+    /// Executable unit of work with an effort estimate (abstract units).
+    Leaf {
+        /// Estimated effort to finish the leaf from scratch.
+        effort: f64,
+    },
+}
+
+/// One node of the tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoalNode {
+    /// Display title.
+    pub title: String,
+    /// AND / OR / Leaf.
+    pub kind: NodeKind,
+    /// Children (empty for leaves).
+    pub children: Vec<NodeId>,
+    /// Leaf progress in [0, 1]; interior nodes ignore this field.
+    pub progress: f64,
+}
+
+/// An arena-allocated AND/OR decomposition rooted at node 0.
+///
+/// Arena construction (children can only reference already-created nodes,
+/// and each node gets exactly one parent) makes cycles unrepresentable —
+/// a goal that is its own subgoal is a planning bug the type structure
+/// rules out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoalTree {
+    nodes: Vec<GoalNode>,
+}
+
+impl GoalTree {
+    /// Tree with a root of the given kind.
+    pub fn new(root_title: impl Into<String>, kind: NodeKind) -> Self {
+        GoalTree {
+            nodes: vec![GoalNode {
+                title: root_title.into(),
+                kind,
+                children: Vec::new(),
+                progress: 0.0,
+            }],
+        }
+    }
+
+    /// The root's id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &GoalNode {
+        &self.nodes[id]
+    }
+
+    /// Add a child under `parent`; returns the new node's id. Panics if
+    /// `parent` is a leaf — leaves are executable, not decomposable.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        title: impl Into<String>,
+        kind: NodeKind,
+    ) -> NodeId {
+        assert!(
+            !matches!(self.nodes[parent].kind, NodeKind::Leaf { .. }),
+            "cannot decompose a leaf"
+        );
+        let id = self.nodes.len();
+        self.nodes.push(GoalNode {
+            title: title.into(),
+            kind,
+            children: Vec::new(),
+            progress: 0.0,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Set a leaf's progress (clamped to [0, 1]). Panics on interior nodes.
+    pub fn set_progress(&mut self, leaf: NodeId, progress: f64) {
+        assert!(
+            matches!(self.nodes[leaf].kind, NodeKind::Leaf { .. }),
+            "progress is only settable on leaves"
+        );
+        self.nodes[leaf].progress = progress.clamp(0.0, 1.0);
+    }
+
+    /// Whether the subtree at `id` is complete.
+    pub fn complete(&self, id: NodeId) -> bool {
+        let node = &self.nodes[id];
+        match node.kind {
+            NodeKind::Leaf { .. } => node.progress >= 1.0,
+            NodeKind::And => {
+                !node.children.is_empty() && node.children.iter().all(|&c| self.complete(c))
+            }
+            NodeKind::Or => node.children.iter().any(|&c| self.complete(c)),
+        }
+    }
+
+    /// Fractional progress of the subtree at `id` in [0, 1].
+    ///
+    /// AND: effort-weighted mean of children. OR: best child (the branch
+    /// closest to done — the others will be abandoned). Leaves report
+    /// their own progress. Empty interior nodes report 0: an undecomposed
+    /// AND is unstarted work, not finished work.
+    pub fn progress(&self, id: NodeId) -> f64 {
+        let node = &self.nodes[id];
+        match node.kind {
+            NodeKind::Leaf { .. } => node.progress,
+            NodeKind::And => {
+                if node.children.is_empty() {
+                    return 0.0;
+                }
+                let total: f64 = node.children.iter().map(|&c| self.effort(c)).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                node.children
+                    .iter()
+                    .map(|&c| self.effort(c) * self.progress(c))
+                    .sum::<f64>()
+                    / total
+            }
+            NodeKind::Or => node
+                .children
+                .iter()
+                .map(|&c| self.progress(c))
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Total effort of the subtree (OR counts its *cheapest* branch —
+    /// the plan is to do one of them).
+    pub fn effort(&self, id: NodeId) -> f64 {
+        let node = &self.nodes[id];
+        match node.kind {
+            NodeKind::Leaf { effort } => effort,
+            NodeKind::And => node.children.iter().map(|&c| self.effort(c)).sum(),
+            NodeKind::Or => node
+                .children
+                .iter()
+                .map(|&c| self.effort(c))
+                .fold(f64::INFINITY, f64::min)
+                .min(f64::INFINITY),
+        }
+    }
+
+    /// Remaining effort to complete the subtree: AND sums incomplete
+    /// children; OR takes the cheapest *remaining* branch (preferring a
+    /// branch already in progress when it is cheaper to finish).
+    pub fn remaining_effort(&self, id: NodeId) -> f64 {
+        let node = &self.nodes[id];
+        match node.kind {
+            NodeKind::Leaf { effort } => effort * (1.0 - node.progress),
+            NodeKind::And => node
+                .children
+                .iter()
+                .map(|&c| self.remaining_effort(c))
+                .sum(),
+            NodeKind::Or => {
+                if node.children.is_empty() {
+                    0.0
+                } else {
+                    node.children
+                        .iter()
+                        .map(|&c| self.remaining_effort(c))
+                        .fold(f64::INFINITY, f64::min)
+                }
+            }
+        }
+    }
+
+    /// The frontier: ids of incomplete leaves on viable paths — what a
+    /// manager agent should be scheduling right now. For OR nodes only the
+    /// cheapest-remaining branch contributes (the plan of record).
+    pub fn frontier(&self, id: NodeId) -> Vec<NodeId> {
+        let node = &self.nodes[id];
+        match node.kind {
+            NodeKind::Leaf { .. } => {
+                if node.progress >= 1.0 {
+                    Vec::new()
+                } else {
+                    vec![id]
+                }
+            }
+            NodeKind::And => node
+                .children
+                .iter()
+                .flat_map(|&c| self.frontier(c))
+                .collect(),
+            NodeKind::Or => {
+                if self.complete(id) {
+                    return Vec::new();
+                }
+                node.children
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        self.remaining_effort(a)
+                            .partial_cmp(&self.remaining_effort(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|&best| self.frontier(best))
+                    .unwrap_or_default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Campaign = (synthesize AND characterize) where synthesis has two
+    /// alternative routes (OR).
+    fn campaign_tree() -> (GoalTree, NodeId, NodeId, NodeId) {
+        let mut t = GoalTree::new("discover material", NodeKind::And);
+        let synth = t.add_child(t.root(), "synthesize", NodeKind::Or);
+        let route_a = t.add_child(synth, "solid-state route", NodeKind::Leaf { effort: 10.0 });
+        let route_b = t.add_child(synth, "solution route", NodeKind::Leaf { effort: 4.0 });
+        let charact = t.add_child(t.root(), "characterize", NodeKind::Leaf { effort: 6.0 });
+        (t, route_a, route_b, charact)
+    }
+
+    #[test]
+    fn fresh_tree_is_unstarted() {
+        let (t, ..) = campaign_tree();
+        assert_eq!(t.progress(t.root()), 0.0);
+        assert!(!t.complete(t.root()));
+    }
+
+    #[test]
+    fn or_completes_with_any_branch() {
+        let (mut t, _route_a, route_b, charact) = campaign_tree();
+        t.set_progress(route_b, 1.0);
+        t.set_progress(charact, 1.0);
+        assert!(t.complete(t.root()));
+    }
+
+    #[test]
+    fn and_requires_all_children() {
+        let (mut t, route_a, _route_b, _charact) = campaign_tree();
+        t.set_progress(route_a, 1.0);
+        assert!(!t.complete(t.root()), "characterization still missing");
+    }
+
+    #[test]
+    fn effort_sums_and_and_minimizes_or() {
+        let (t, ..) = campaign_tree();
+        // OR = min(10, 4) = 4; AND = 4 + 6 = 10.
+        assert_eq!(t.effort(t.root()), 10.0);
+    }
+
+    #[test]
+    fn remaining_effort_tracks_progress() {
+        let (mut t, _route_a, route_b, charact) = campaign_tree();
+        t.set_progress(route_b, 0.5); // 2.0 left on the cheap route
+        t.set_progress(charact, 0.5); // 3.0 left
+        assert!((t.remaining_effort(t.root()) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_follows_cheapest_or_branch() {
+        let (t, _route_a, route_b, charact) = campaign_tree();
+        let f = t.frontier(t.root());
+        assert_eq!(f, vec![route_b, charact]);
+    }
+
+    #[test]
+    fn frontier_switches_branch_when_other_is_nearly_done() {
+        let (mut t, route_a, _route_b, charact) = campaign_tree();
+        // Route A (effort 10) is 90% done: 1.0 remaining < route B's 4.0.
+        t.set_progress(route_a, 0.9);
+        let f = t.frontier(t.root());
+        assert_eq!(f, vec![route_a, charact]);
+    }
+
+    #[test]
+    fn frontier_empty_when_complete() {
+        let (mut t, _route_a, route_b, charact) = campaign_tree();
+        t.set_progress(route_b, 1.0);
+        t.set_progress(charact, 1.0);
+        assert!(t.frontier(t.root()).is_empty());
+    }
+
+    #[test]
+    fn progress_is_effort_weighted() {
+        let (mut t, _route_a, route_b, charact) = campaign_tree();
+        t.set_progress(route_b, 1.0); // OR subtree progress 1.0, effort 4
+        t.set_progress(charact, 0.0); // effort 6
+        let p = t.progress(t.root());
+        assert!((p - 0.4).abs() < 1e-12, "4/(4+6) of the work done, got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot decompose a leaf")]
+    fn decomposing_a_leaf_panics() {
+        let (mut t, route_a, ..) = campaign_tree();
+        t.add_child(route_a, "sub", NodeKind::Leaf { effort: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "only settable on leaves")]
+    fn progress_on_interior_panics() {
+        let (mut t, ..) = campaign_tree();
+        let root = t.root();
+        t.set_progress(root, 0.5);
+    }
+
+    #[test]
+    fn progress_clamped() {
+        let (mut t, route_a, ..) = campaign_tree();
+        t.set_progress(route_a, 7.0);
+        assert_eq!(t.node(route_a).progress, 1.0);
+        t.set_progress(route_a, -3.0);
+        assert_eq!(t.node(route_a).progress, 0.0);
+    }
+
+    #[test]
+    fn empty_and_reports_zero_progress_and_incomplete() {
+        let t = GoalTree::new("empty", NodeKind::And);
+        assert_eq!(t.progress(t.root()), 0.0);
+        assert!(!t.complete(t.root()));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn tree_serde_roundtrip() {
+        let (t, ..) = campaign_tree();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: GoalTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.effort(back.root()), t.effort(t.root()));
+    }
+}

@@ -1,0 +1,501 @@
+//! Goal specifications: the machine-checkable form of "what the campaign
+//! is for".
+//!
+//! A [`GoalSpec`] is what a scientist hands the Intelligence Service layer
+//! instead of a manually defined DAG (Figure 4's "no manually defined DAGs
+//! in place"). Validation happens *before* execution: a contradictory or
+//! vacuous specification must be rejected while it is still cheap — §4.1's
+//! "irreplaceable samples, expensive equipment" argument applied to the
+//! specification stage.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether the objective metric is to be driven up or down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectiveSense {
+    /// Larger is better (e.g. figure of merit, yield).
+    Maximize,
+    /// Smaller is better (e.g. defect density, cost).
+    Minimize,
+}
+
+/// The quantity a campaign optimizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpec {
+    /// Metric name in the campaign's vocabulary (e.g. `"band_gap_eV"`).
+    pub metric: String,
+    /// Direction of improvement.
+    pub sense: ObjectiveSense,
+    /// Optional aspiration level; reaching it can end the campaign early.
+    pub target: Option<f64>,
+}
+
+/// Comparison operators for constraints and success criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Comparator {
+    /// Metric must be ≤ bound.
+    Le,
+    /// Metric must be ≥ bound.
+    Ge,
+    /// Metric must be within `tol` of bound.
+    Within {
+        /// Absolute tolerance.
+        tol: f64,
+    },
+}
+
+impl Comparator {
+    /// Evaluate `value` against `bound`.
+    pub fn holds(self, value: f64, bound: f64) -> bool {
+        match self {
+            Comparator::Le => value <= bound,
+            Comparator::Ge => value >= bound,
+            Comparator::Within { tol } => (value - bound).abs() <= tol,
+        }
+    }
+}
+
+/// A bound the campaign must respect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSpec {
+    /// Constrained metric.
+    pub metric: String,
+    /// Comparison.
+    pub comparator: Comparator,
+    /// Bound value.
+    pub bound: f64,
+    /// Hard constraints become governance gates (violations halt the
+    /// campaign); soft constraints become objective penalties.
+    pub hard: bool,
+}
+
+/// Resource ceilings — the paper's sample-scarcity and cost concerns
+/// (§4.1, §5.2) as explicit budget lines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSpec {
+    /// Maximum physical samples the campaign may consume.
+    pub max_samples: u64,
+    /// Maximum abstract decision/compute cost units.
+    pub max_cost_units: u64,
+    /// Maximum wall-clock hours (simulated).
+    pub max_wall_hours: f64,
+}
+
+impl BudgetSpec {
+    /// Whether every budget line is positive (a zero budget is vacuous).
+    pub fn is_spendable(&self) -> bool {
+        self.max_samples > 0 && self.max_cost_units > 0 && self.max_wall_hours > 0.0
+    }
+}
+
+/// A condition that must hold for the campaign to count as succeeded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuccessCriterion {
+    /// Metric inspected at evaluation time.
+    pub metric: String,
+    /// Comparison.
+    pub comparator: Comparator,
+    /// Threshold.
+    pub value: f64,
+}
+
+/// A complete, validatable statement of scientific intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoalSpec {
+    /// Stable identifier (lands in provenance records).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// What to optimize.
+    pub objective: ObjectiveSpec,
+    /// Bounds to respect.
+    pub constraints: Vec<ConstraintSpec>,
+    /// Resource ceilings.
+    pub budget: BudgetSpec,
+    /// Completion conditions.
+    pub success: Vec<SuccessCriterion>,
+}
+
+/// Structural problems found by [`GoalSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpecIssue {
+    /// Title or id is empty.
+    MissingIdentity,
+    /// Objective metric name is empty.
+    MissingObjectiveMetric,
+    /// Some budget line is zero or negative.
+    UnspendableBudget,
+    /// Two constraints on the same metric exclude every value
+    /// (e.g. `x ≤ 2` and `x ≥ 5`).
+    ContradictoryConstraints {
+        /// Metric with the empty feasible set.
+        metric: String,
+    },
+    /// The aspiration target itself violates a hard constraint on the
+    /// objective metric — the campaign is being asked to reach a
+    /// forbidden value.
+    TargetViolatesConstraint {
+        /// Offending constraint's metric (== objective metric).
+        metric: String,
+    },
+    /// A success criterion references a metric no constraint or objective
+    /// mentions — usually a typo; flagged because a criterion nobody
+    /// produces can never be met.
+    UnboundSuccessMetric {
+        /// The unreferenced metric.
+        metric: String,
+    },
+    /// The same (metric, comparator) appears twice with different bounds.
+    DuplicateConstraint {
+        /// Duplicated metric.
+        metric: String,
+    },
+    /// A `Within` tolerance is negative.
+    NegativeTolerance {
+        /// Offending metric.
+        metric: String,
+    },
+}
+
+impl GoalSpec {
+    /// Start a builder.
+    pub fn builder(id: impl Into<String>, title: impl Into<String>) -> GoalBuilder {
+        GoalBuilder {
+            spec: GoalSpec {
+                id: id.into(),
+                title: title.into(),
+                objective: ObjectiveSpec {
+                    metric: String::new(),
+                    sense: ObjectiveSense::Maximize,
+                    target: None,
+                },
+                constraints: Vec::new(),
+                budget: BudgetSpec {
+                    max_samples: 0,
+                    max_cost_units: 0,
+                    max_wall_hours: 0.0,
+                },
+                success: Vec::new(),
+            },
+        }
+    }
+
+    /// Check the spec for structural problems. Empty result = valid.
+    pub fn validate(&self) -> Vec<SpecIssue> {
+        let mut issues = Vec::new();
+        if self.id.is_empty() || self.title.is_empty() {
+            issues.push(SpecIssue::MissingIdentity);
+        }
+        if self.objective.metric.is_empty() {
+            issues.push(SpecIssue::MissingObjectiveMetric);
+        }
+        if !self.budget.is_spendable() {
+            issues.push(SpecIssue::UnspendableBudget);
+        }
+        // Feasible interval per metric; [lo, hi] starts unbounded.
+        let mut intervals: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+        let mut seen: BTreeMap<(&str, &str), f64> = BTreeMap::new();
+        for c in &self.constraints {
+            if let Comparator::Within { tol } = c.comparator {
+                if tol < 0.0 {
+                    issues.push(SpecIssue::NegativeTolerance {
+                        metric: c.metric.clone(),
+                    });
+                }
+            }
+            let tag = match c.comparator {
+                Comparator::Le => "le",
+                Comparator::Ge => "ge",
+                Comparator::Within { .. } => "within",
+            };
+            if let Some(&prev) = seen.get(&(c.metric.as_str(), tag)) {
+                if prev != c.bound {
+                    issues.push(SpecIssue::DuplicateConstraint {
+                        metric: c.metric.clone(),
+                    });
+                }
+            }
+            seen.insert((c.metric.as_str(), tag), c.bound);
+            let entry = intervals
+                .entry(c.metric.as_str())
+                .or_insert((f64::NEG_INFINITY, f64::INFINITY));
+            match c.comparator {
+                Comparator::Le => entry.1 = entry.1.min(c.bound),
+                Comparator::Ge => entry.0 = entry.0.max(c.bound),
+                Comparator::Within { tol } => {
+                    entry.0 = entry.0.max(c.bound - tol.max(0.0));
+                    entry.1 = entry.1.min(c.bound + tol.max(0.0));
+                }
+            }
+        }
+        for (metric, (lo, hi)) in &intervals {
+            if lo > hi {
+                issues.push(SpecIssue::ContradictoryConstraints {
+                    metric: (*metric).to_string(),
+                });
+            }
+        }
+        if let Some(target) = self.objective.target {
+            if let Some((lo, hi)) = intervals.get(self.objective.metric.as_str()) {
+                let hard_on_objective = self
+                    .constraints
+                    .iter()
+                    .any(|c| c.hard && c.metric == self.objective.metric);
+                if hard_on_objective && (target < *lo || target > *hi) {
+                    issues.push(SpecIssue::TargetViolatesConstraint {
+                        metric: self.objective.metric.clone(),
+                    });
+                }
+            }
+        }
+        let known: Vec<&str> = self
+            .constraints
+            .iter()
+            .map(|c| c.metric.as_str())
+            .chain(std::iter::once(self.objective.metric.as_str()))
+            .collect();
+        for s in &self.success {
+            if !known.contains(&s.metric.as_str()) {
+                issues.push(SpecIssue::UnboundSuccessMetric {
+                    metric: s.metric.clone(),
+                });
+            }
+        }
+        issues
+    }
+
+    /// `true` when [`GoalSpec::validate`] finds nothing.
+    pub fn is_valid(&self) -> bool {
+        self.validate().is_empty()
+    }
+
+    /// Whether `metrics` satisfies every success criterion.
+    pub fn success_met(&self, metrics: &BTreeMap<String, f64>) -> bool {
+        !self.success.is_empty()
+            && self.success.iter().all(|s| {
+                metrics
+                    .get(&s.metric)
+                    .is_some_and(|&v| s.comparator.holds(v, s.value))
+            })
+    }
+}
+
+/// Fluent construction of a [`GoalSpec`].
+#[derive(Debug, Clone)]
+pub struct GoalBuilder {
+    spec: GoalSpec,
+}
+
+impl GoalBuilder {
+    /// Set the objective.
+    pub fn objective(mut self, metric: impl Into<String>, sense: ObjectiveSense) -> Self {
+        self.spec.objective.metric = metric.into();
+        self.spec.objective.sense = sense;
+        self
+    }
+
+    /// Set the aspiration target.
+    pub fn target(mut self, target: f64) -> Self {
+        self.spec.objective.target = Some(target);
+        self
+    }
+
+    /// Add a constraint.
+    pub fn constraint(
+        mut self,
+        metric: impl Into<String>,
+        comparator: Comparator,
+        bound: f64,
+        hard: bool,
+    ) -> Self {
+        self.spec.constraints.push(ConstraintSpec {
+            metric: metric.into(),
+            comparator,
+            bound,
+            hard,
+        });
+        self
+    }
+
+    /// Set the budget.
+    pub fn budget(mut self, max_samples: u64, max_cost_units: u64, max_wall_hours: f64) -> Self {
+        self.spec.budget = BudgetSpec {
+            max_samples,
+            max_cost_units,
+            max_wall_hours,
+        };
+        self
+    }
+
+    /// Add a success criterion.
+    pub fn success(
+        mut self,
+        metric: impl Into<String>,
+        comparator: Comparator,
+        value: f64,
+    ) -> Self {
+        self.spec.success.push(SuccessCriterion {
+            metric: metric.into(),
+            comparator,
+            value,
+        });
+        self
+    }
+
+    /// Finish, returning the spec (possibly invalid — call
+    /// [`GoalSpec::validate`]).
+    pub fn build(self) -> GoalSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_goal() -> GoalSpec {
+        GoalSpec::builder("g1", "maximize band gap")
+            .objective("band_gap_eV", ObjectiveSense::Maximize)
+            .target(3.0)
+            .constraint("band_gap_eV", Comparator::Le, 6.0, true)
+            .constraint("toxicity", Comparator::Le, 0.1, true)
+            .budget(500, 100_000, 336.0)
+            .success("band_gap_eV", Comparator::Ge, 2.5)
+            .build()
+    }
+
+    #[test]
+    fn valid_goal_validates_clean() {
+        assert_eq!(valid_goal().validate(), Vec::new());
+        assert!(valid_goal().is_valid());
+    }
+
+    #[test]
+    fn empty_identity_and_metric_flagged() {
+        let g = GoalSpec::builder("", "").budget(1, 1, 1.0).build();
+        let issues = g.validate();
+        assert!(issues.contains(&SpecIssue::MissingIdentity));
+        assert!(issues.contains(&SpecIssue::MissingObjectiveMetric));
+    }
+
+    #[test]
+    fn zero_budget_flagged() {
+        let mut g = valid_goal();
+        g.budget.max_samples = 0;
+        assert!(g.validate().contains(&SpecIssue::UnspendableBudget));
+    }
+
+    #[test]
+    fn contradictory_constraints_flagged() {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .constraint("x", Comparator::Le, 2.0, true)
+            .constraint("x", Comparator::Ge, 5.0, true)
+            .budget(1, 1, 1.0)
+            .build();
+        assert!(g
+            .validate()
+            .contains(&SpecIssue::ContradictoryConstraints { metric: "x".into() }));
+    }
+
+    #[test]
+    fn target_outside_hard_constraint_flagged() {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .target(10.0)
+            .constraint("x", Comparator::Le, 6.0, true)
+            .budget(1, 1, 1.0)
+            .build();
+        assert!(g
+            .validate()
+            .contains(&SpecIssue::TargetViolatesConstraint { metric: "x".into() }));
+    }
+
+    #[test]
+    fn target_outside_soft_constraint_is_allowed() {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .target(10.0)
+            .constraint("x", Comparator::Le, 6.0, false)
+            .budget(1, 1, 1.0)
+            .build();
+        assert!(!g
+            .validate()
+            .iter()
+            .any(|i| matches!(i, SpecIssue::TargetViolatesConstraint { .. })));
+    }
+
+    #[test]
+    fn unbound_success_metric_flagged() {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .budget(1, 1, 1.0)
+            .success("typo_metric", Comparator::Ge, 1.0)
+            .build();
+        assert!(g.validate().contains(&SpecIssue::UnboundSuccessMetric {
+            metric: "typo_metric".into()
+        }));
+    }
+
+    #[test]
+    fn duplicate_constraint_with_different_bound_flagged() {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .constraint("x", Comparator::Le, 2.0, true)
+            .constraint("x", Comparator::Le, 3.0, true)
+            .budget(1, 1, 1.0)
+            .build();
+        assert!(g
+            .validate()
+            .contains(&SpecIssue::DuplicateConstraint { metric: "x".into() }));
+    }
+
+    #[test]
+    fn negative_tolerance_flagged() {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .constraint("x", Comparator::Within { tol: -0.5 }, 2.0, true)
+            .budget(1, 1, 1.0)
+            .build();
+        assert!(g
+            .validate()
+            .contains(&SpecIssue::NegativeTolerance { metric: "x".into() }));
+    }
+
+    #[test]
+    fn success_met_requires_all_criteria() {
+        let g = valid_goal();
+        let mut m = BTreeMap::new();
+        m.insert("band_gap_eV".to_string(), 2.0);
+        assert!(!g.success_met(&m));
+        m.insert("band_gap_eV".to_string(), 2.7);
+        assert!(g.success_met(&m));
+    }
+
+    #[test]
+    fn empty_success_list_never_met() {
+        let mut g = valid_goal();
+        g.success.clear();
+        let mut m = BTreeMap::new();
+        m.insert("band_gap_eV".to_string(), 99.0);
+        assert!(!g.success_met(&m), "vacuous success must not auto-complete");
+    }
+
+    #[test]
+    fn comparators_evaluate() {
+        assert!(Comparator::Le.holds(1.0, 2.0));
+        assert!(!Comparator::Le.holds(3.0, 2.0));
+        assert!(Comparator::Ge.holds(3.0, 2.0));
+        assert!(Comparator::Within { tol: 0.5 }.holds(2.4, 2.0));
+        assert!(!Comparator::Within { tol: 0.1 }.holds(2.4, 2.0));
+    }
+
+    #[test]
+    fn goal_serde_roundtrip() {
+        let g = valid_goal();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: GoalSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,375 @@
+//! Falsifiable hypotheses with auditable evidence accounting.
+//!
+//! §4.2 demands that intelligent workflows make "provenance models …
+//! capture feedback mechanisms, learned behaviors, and context-sensitive
+//! decisions". A hypothesis agent's output is only scientific if it can be
+//! *refuted* — so hypotheses here must pass a falsifiability check before
+//! any facility time is spent on them, and every observation updates an
+//! explicit log-Bayes-factor ledger from prior to verdict (the Jeffreys
+//! scale), giving §4.2's "accountability, transparency, explainability"
+//! a concrete data structure.
+
+use crate::goal::Comparator;
+use serde::{Deserialize, Serialize};
+
+/// A variable the hypothesis talks about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Name in the campaign vocabulary.
+    pub name: String,
+    /// Whether an experiment can set it (independent variable). A
+    /// hypothesis with no manipulable variable cannot be tested by
+    /// intervention — only observed, which weakens causal claims (§4.1's
+    /// causality-beyond-correlation requirement).
+    pub manipulable: bool,
+}
+
+/// The testable prediction a hypothesis commits to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Measured metric the prediction constrains.
+    pub metric: String,
+    /// Direction/shape of the predicted effect.
+    pub comparator: Comparator,
+    /// Predicted bound.
+    pub value: f64,
+}
+
+/// Why a hypothesis fails the falsifiability gate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FalsifiabilityIssue {
+    /// Statement text is empty.
+    EmptyStatement,
+    /// Prediction metric is empty — nothing measurable is claimed.
+    NoMeasurableMetric,
+    /// Predicted value is NaN/∞ — cannot be compared against data.
+    NonFiniteValue,
+    /// No manipulable variable — the hypothesis cannot be tested by a
+    /// designed experiment.
+    NoManipulableVariable,
+    /// Tolerance so large the prediction is compatible with everything.
+    VacuousTolerance,
+}
+
+/// Verdict thresholds on the posterior log-odds (natural log; ±ln 10 ≈
+/// "strong" on the Jeffreys scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Posterior log-odds > ln 10.
+    Supported,
+    /// Posterior log-odds < −ln 10.
+    Refuted,
+    /// In between: keep experimenting.
+    Undecided,
+}
+
+/// One recorded observation and its evidential weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// What was observed (lands in provenance).
+    pub description: String,
+    /// Log Bayes factor: ln P(obs | H) − ln P(obs | ¬H). Positive
+    /// supports the hypothesis.
+    pub log_bf: f64,
+}
+
+/// Cumulative evidence for one hypothesis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceLedger {
+    entries: Vec<Evidence>,
+}
+
+impl EvidenceLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation. Non-finite weights are rejected: corrupt
+    /// evidence must not silently poison the posterior.
+    pub fn record(&mut self, description: impl Into<String>, log_bf: f64) -> Result<(), String> {
+        if !log_bf.is_finite() {
+            return Err("non-finite log Bayes factor".into());
+        }
+        self.entries.push(Evidence {
+            description: description.into(),
+            log_bf,
+        });
+        Ok(())
+    }
+
+    /// Total accumulated log Bayes factor.
+    pub fn total_log_bf(&self) -> f64 {
+        self.entries.iter().map(|e| e.log_bf).sum()
+    }
+
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no evidence has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in recording order.
+    pub fn entries(&self) -> &[Evidence] {
+        &self.entries
+    }
+}
+
+/// A structured, falsifiable scientific hypothesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypothesis {
+    /// Stable identifier (provenance key).
+    pub id: String,
+    /// Prose statement.
+    pub statement: String,
+    /// Variables involved.
+    pub variables: Vec<Variable>,
+    /// The committed prediction.
+    pub prediction: Prediction,
+    /// Prior log-odds ln(P(H)/P(¬H)) before any evidence.
+    pub prior_log_odds: f64,
+    /// Evidence accumulated so far.
+    pub ledger: EvidenceLedger,
+}
+
+impl Hypothesis {
+    /// New hypothesis with an even prior (log-odds 0).
+    pub fn new(
+        id: impl Into<String>,
+        statement: impl Into<String>,
+        prediction: Prediction,
+    ) -> Self {
+        Hypothesis {
+            id: id.into(),
+            statement: statement.into(),
+            variables: Vec::new(),
+            prediction,
+            prior_log_odds: 0.0,
+            ledger: EvidenceLedger::new(),
+        }
+    }
+
+    /// Add a variable.
+    pub fn with_variable(mut self, name: impl Into<String>, manipulable: bool) -> Self {
+        self.variables.push(Variable {
+            name: name.into(),
+            manipulable,
+        });
+        self
+    }
+
+    /// Set the prior log-odds.
+    pub fn with_prior_log_odds(mut self, lo: f64) -> Self {
+        self.prior_log_odds = lo;
+        self
+    }
+
+    /// The falsifiability gate. Empty result = testable.
+    pub fn falsifiability(&self) -> Vec<FalsifiabilityIssue> {
+        let mut issues = Vec::new();
+        if self.statement.trim().is_empty() {
+            issues.push(FalsifiabilityIssue::EmptyStatement);
+        }
+        if self.prediction.metric.is_empty() {
+            issues.push(FalsifiabilityIssue::NoMeasurableMetric);
+        }
+        if !self.prediction.value.is_finite() {
+            issues.push(FalsifiabilityIssue::NonFiniteValue);
+        }
+        if !self.variables.iter().any(|v| v.manipulable) {
+            issues.push(FalsifiabilityIssue::NoManipulableVariable);
+        }
+        if let Comparator::Within { tol } = self.prediction.comparator {
+            // A tolerance wider than the predicted magnitude (and not a
+            // near-zero prediction) excludes almost nothing.
+            if tol.is_infinite() || (tol > 10.0 * self.prediction.value.abs().max(1.0)) {
+                issues.push(FalsifiabilityIssue::VacuousTolerance);
+            }
+        }
+        issues
+    }
+
+    /// Whether the falsifiability gate passes.
+    pub fn is_falsifiable(&self) -> bool {
+        self.falsifiability().is_empty()
+    }
+
+    /// Posterior log-odds after all recorded evidence.
+    pub fn posterior_log_odds(&self) -> f64 {
+        self.prior_log_odds + self.ledger.total_log_bf()
+    }
+
+    /// Posterior probability P(H | evidence).
+    pub fn posterior_probability(&self) -> f64 {
+        let lo = self.posterior_log_odds();
+        1.0 / (1.0 + (-lo).exp())
+    }
+
+    /// Current verdict on the Jeffreys-scale thresholds.
+    pub fn verdict(&self) -> Verdict {
+        let strong = 10.0f64.ln();
+        let lo = self.posterior_log_odds();
+        if lo > strong {
+            Verdict::Supported
+        } else if lo < -strong {
+            Verdict::Refuted
+        } else {
+            Verdict::Undecided
+        }
+    }
+
+    /// Record one observation of `metric = observed` against the
+    /// prediction: evidence weight is positive when the prediction holds,
+    /// negative otherwise, scaled by `strength` (the assay's
+    /// discriminative power; 1.0 ≈ a decade of odds per observation).
+    pub fn observe(&mut self, observed: f64, strength: f64) -> Result<Verdict, String> {
+        if !observed.is_finite() || !strength.is_finite() || strength <= 0.0 {
+            return Err("observation and strength must be finite and positive".into());
+        }
+        let holds = self
+            .prediction
+            .comparator
+            .holds(observed, self.prediction.value);
+        let weight = if holds { strength } else { -strength } * 10.0f64.ln() / 2.0;
+        self.ledger.record(
+            format!(
+                "{} observed {} (prediction {})",
+                self.prediction.metric,
+                observed,
+                if holds { "held" } else { "violated" }
+            ),
+            weight,
+        )?;
+        Ok(self.verdict())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testable() -> Hypothesis {
+        Hypothesis::new(
+            "h1",
+            "Ni-rich ratio raises the band gap above 2 eV",
+            Prediction {
+                metric: "band_gap_eV".into(),
+                comparator: Comparator::Ge,
+                value: 2.0,
+            },
+        )
+        .with_variable("ni_fraction", true)
+        .with_variable("band_gap_eV", false)
+    }
+
+    #[test]
+    fn well_formed_hypothesis_is_falsifiable() {
+        assert!(testable().is_falsifiable());
+    }
+
+    #[test]
+    fn missing_manipulable_variable_is_flagged() {
+        let h = Hypothesis::new(
+            "h",
+            "s",
+            Prediction {
+                metric: "m".into(),
+                comparator: Comparator::Ge,
+                value: 1.0,
+            },
+        );
+        assert!(h
+            .falsifiability()
+            .contains(&FalsifiabilityIssue::NoManipulableVariable));
+    }
+
+    #[test]
+    fn non_finite_prediction_flagged() {
+        let mut h = testable();
+        h.prediction.value = f64::NAN;
+        assert!(h
+            .falsifiability()
+            .contains(&FalsifiabilityIssue::NonFiniteValue));
+    }
+
+    #[test]
+    fn vacuous_tolerance_flagged() {
+        let mut h = testable();
+        h.prediction.comparator = Comparator::Within { tol: 1e9 };
+        assert!(h
+            .falsifiability()
+            .contains(&FalsifiabilityIssue::VacuousTolerance));
+    }
+
+    #[test]
+    fn supporting_observations_converge_to_supported() {
+        let mut h = testable();
+        assert_eq!(h.verdict(), Verdict::Undecided);
+        for _ in 0..3 {
+            h.observe(2.5, 1.0).unwrap();
+        }
+        assert_eq!(h.verdict(), Verdict::Supported);
+        assert!(h.posterior_probability() > 0.9);
+    }
+
+    #[test]
+    fn contradicting_observations_converge_to_refuted() {
+        let mut h = testable();
+        for _ in 0..3 {
+            h.observe(1.0, 1.0).unwrap();
+        }
+        assert_eq!(h.verdict(), Verdict::Refuted);
+        assert!(h.posterior_probability() < 0.1);
+    }
+
+    #[test]
+    fn mixed_evidence_stays_undecided() {
+        let mut h = testable();
+        h.observe(2.5, 1.0).unwrap();
+        h.observe(1.0, 1.0).unwrap();
+        assert_eq!(h.verdict(), Verdict::Undecided);
+        assert_eq!(h.ledger.len(), 2);
+    }
+
+    #[test]
+    fn prior_shifts_the_verdict_threshold() {
+        let mut skeptical = testable().with_prior_log_odds(-10.0f64.ln() * 2.0);
+        // Two supporting decades of evidence only cancel the skeptical prior.
+        for _ in 0..4 {
+            skeptical.observe(2.5, 1.0).unwrap();
+        }
+        assert_eq!(skeptical.verdict(), Verdict::Undecided);
+    }
+
+    #[test]
+    fn non_finite_evidence_rejected() {
+        let mut h = testable();
+        assert!(h.observe(f64::NAN, 1.0).is_err());
+        assert!(h.observe(2.0, f64::INFINITY).is_err());
+        assert!(h.ledger.is_empty());
+        assert!(h.ledger.record("bad", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ledger_entries_preserve_order_and_descriptions() {
+        let mut h = testable();
+        h.observe(2.5, 1.0).unwrap();
+        h.observe(0.5, 1.0).unwrap();
+        let entries = h.ledger.entries();
+        assert!(entries[0].description.contains("held"));
+        assert!(entries[1].description.contains("violated"));
+    }
+
+    #[test]
+    fn hypothesis_serde_roundtrip() {
+        let mut h = testable();
+        h.observe(2.5, 1.0).unwrap();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Hypothesis = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,36 @@
+//! # evoflow-intent — formal representation of scientific intent
+//!
+//! The paper's future-work list (§8) names "the development of formal
+//! representations for scientific intent" as a prerequisite for workflows
+//! that "reason about scientific goals, resources, and uncertainty". An
+//! autonomous campaign cannot be steered by a prose paragraph: the goal
+//! must be a machine-checkable artifact that (a) validates before any
+//! sample is spent, (b) compiles into the cost function `J` the Optimizing
+//! level minimizes (Table 1), and (c) yields the guardrail gates the
+//! governance engine enforces (§4.1's high-stakes-environment argument).
+//!
+//! * [`goal`] — [`goal::GoalSpec`]: objective, constraints, budgets,
+//!   deadline and success criteria, with structural validation that
+//!   rejects contradictory or vacuous specifications.
+//! * [`hypothesis`] — falsifiable hypotheses with an evidence ledger:
+//!   log-Bayes-factor accounting from prior to verdict, so "AI-generated
+//!   hypotheses" (§5.2's hypothesis agents) carry auditable support.
+//! * [`decompose`] — AND/OR goal trees: divide a campaign goal into
+//!   facility-sized subgoals with progress and remaining-effort rollup
+//!   (the hierarchical composition pattern's planning artifact).
+//! * [`compile`] — [`compile::compile`]: GoalSpec → executable scorer
+//!   (the `J` in `argmin J`) + governance gate specs, the bridge from
+//!   intent to the optimizing/intelligent machinery.
+
+pub mod compile;
+pub mod decompose;
+pub mod goal;
+pub mod hypothesis;
+
+pub use compile::{compile, CompiledGoal, GateKind, GateSpec};
+pub use decompose::{GoalTree, NodeId, NodeKind};
+pub use goal::{
+    BudgetSpec, Comparator, ConstraintSpec, GoalSpec, ObjectiveSense, ObjectiveSpec, SpecIssue,
+    SuccessCriterion,
+};
+pub use hypothesis::{Evidence, EvidenceLedger, FalsifiabilityIssue, Hypothesis, Verdict};

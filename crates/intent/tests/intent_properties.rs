@@ -1,0 +1,114 @@
+//! Property-based tests for intent invariants.
+
+use evoflow_intent::{
+    compile, Comparator, GoalSpec, GoalTree, Hypothesis, NodeKind, ObjectiveSense,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_sense() -> impl Strategy<Value = ObjectiveSense> {
+    prop_oneof![Just(ObjectiveSense::Maximize), Just(ObjectiveSense::Minimize)]
+}
+
+proptest! {
+    /// A compiled goal's score is monotone in the objective metric, in the
+    /// specified direction, for any constraint-free goal.
+    #[test]
+    fn score_monotone_in_objective(sense in arb_sense(), a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        prop_assume!(a != b);
+        let g = GoalSpec::builder("g", "t")
+            .objective("m", sense)
+            .budget(10, 10, 10.0)
+            .build();
+        let cg = compile(&g).unwrap();
+        let mk = |v: f64| {
+            let mut m = BTreeMap::new();
+            m.insert("m".to_string(), v);
+            m
+        };
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        match sense {
+            ObjectiveSense::Maximize => prop_assert!(cg.score(&mk(hi)) > cg.score(&mk(lo))),
+            ObjectiveSense::Minimize => prop_assert!(cg.score(&mk(hi)) < cg.score(&mk(lo))),
+        }
+    }
+
+    /// Contradictory Le/Ge pairs are always detected, and compile refuses.
+    #[test]
+    fn contradictions_always_detected(le in -50.0f64..50.0, gap in 0.001f64..100.0) {
+        let g = GoalSpec::builder("g", "t")
+            .objective("x", ObjectiveSense::Maximize)
+            .constraint("x", Comparator::Le, le, true)
+            .constraint("x", Comparator::Ge, le + gap, true)
+            .budget(1, 1, 1.0)
+            .build();
+        prop_assert!(!g.is_valid());
+        prop_assert!(compile(&g).is_err());
+    }
+
+    /// Hypothesis posterior log-odds equals prior + sum of recorded
+    /// weights, for any observation sequence; probability stays in (0, 1).
+    #[test]
+    fn posterior_is_prior_plus_evidence(
+        prior in -5.0f64..5.0,
+        obs in proptest::collection::vec((-10.0f64..10.0, 0.1f64..2.0), 0..20),
+    ) {
+        let mut h = Hypothesis::new(
+            "h", "s",
+            evoflow_intent::hypothesis::Prediction {
+                metric: "m".into(),
+                comparator: Comparator::Ge,
+                value: 0.0,
+            },
+        )
+        .with_variable("v", true)
+        .with_prior_log_odds(prior);
+        for (v, s) in &obs {
+            h.observe(*v, *s).unwrap();
+        }
+        let expected = prior + h.ledger.total_log_bf();
+        prop_assert!((h.posterior_log_odds() - expected).abs() < 1e-9);
+        let p = h.posterior_probability();
+        prop_assert!(p > 0.0 && p < 1.0);
+    }
+
+    /// Goal-tree progress is always within [0, 1], remaining effort is
+    /// non-negative, and completion implies progress 1.0 for AND-of-leaves
+    /// trees of any width.
+    #[test]
+    fn tree_progress_bounded(
+        efforts in proptest::collection::vec(0.1f64..100.0, 1..20),
+        progresses in proptest::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let mut t = GoalTree::new("root", NodeKind::And);
+        let n = efforts.len().min(progresses.len());
+        let mut leaves = Vec::new();
+        for e in efforts.iter().take(n) {
+            leaves.push(t.add_child(t.root(), "leaf", NodeKind::Leaf { effort: *e }));
+        }
+        for (leaf, p) in leaves.iter().zip(progresses.iter().take(n)) {
+            t.set_progress(*leaf, *p);
+        }
+        let prog = t.progress(t.root());
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&prog));
+        prop_assert!(t.remaining_effort(t.root()) >= -1e-12);
+        if progresses.iter().take(n).all(|&p| p >= 1.0) {
+            prop_assert!(t.complete(t.root()));
+            prop_assert!((prog - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(!t.complete(t.root()));
+        }
+    }
+
+    /// OR remaining effort never exceeds any single branch's remaining
+    /// effort.
+    #[test]
+    fn or_remaining_is_min(efforts in proptest::collection::vec(0.1f64..100.0, 1..10)) {
+        let mut t = GoalTree::new("root", NodeKind::Or);
+        for e in &efforts {
+            t.add_child(t.root(), "branch", NodeKind::Leaf { effort: *e });
+        }
+        let min = efforts.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((t.remaining_effort(t.root()) - min).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! FAIR-principles compliance checking (§4.2).
+//!
+//! "Maintaining alignment with FAIR data principles becomes more difficult
+//! when autonomous agents operate independently" — so the data layer gets a
+//! mechanical checker: every artifact an agent publishes is scored against
+//! Findable / Accessible / Interoperable / Reusable criteria, and campaigns
+//! can gate publication on a minimum score.
+
+use serde::{Deserialize, Serialize};
+
+/// Metadata describing a published artifact.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ArtifactMeta {
+    /// Globally unique persistent identifier (F1).
+    pub identifier: Option<String>,
+    /// Rich description (F2).
+    pub description: Option<String>,
+    /// Searchable keywords (F4).
+    pub keywords: Vec<String>,
+    /// Retrieval URI over a standard protocol (A1).
+    pub uri: Option<String>,
+    /// Whether access conditions are stated (A1.2: possibly restricted, but
+    /// stated).
+    pub access_policy: Option<String>,
+    /// Machine-readable format name, e.g. "netcdf", "json" (I1).
+    pub format: Option<String>,
+    /// Controlled-vocabulary terms used (I2).
+    pub vocabulary: Vec<String>,
+    /// License (R1.1).
+    pub license: Option<String>,
+    /// Provenance chain reference (R1.2).
+    pub provenance_ref: Option<String>,
+}
+
+/// Result of a FAIR assessment: which principles pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct FairReport {
+    /// F: identifier + description + keywords present.
+    pub findable: bool,
+    /// A: uri + access policy present.
+    pub accessible: bool,
+    /// I: machine-readable format + vocabulary present.
+    pub interoperable: bool,
+    /// R: license + provenance reference present.
+    pub reusable: bool,
+    /// Specific failures, for remediation.
+    pub missing: Vec<&'static str>,
+}
+
+impl FairReport {
+    /// Score in [0, 4]: number of principle groups satisfied.
+    pub fn score(&self) -> u8 {
+        [
+            self.findable,
+            self.accessible,
+            self.interoperable,
+            self.reusable,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count() as u8
+    }
+
+    /// Fully FAIR.
+    pub fn is_fair(&self) -> bool {
+        self.score() == 4
+    }
+}
+
+/// Assess an artifact's metadata against the FAIR principles.
+pub fn assess(meta: &ArtifactMeta) -> FairReport {
+    let mut missing = Vec::new();
+
+    let has = |opt: &Option<String>| opt.as_deref().map(|s| !s.is_empty()).unwrap_or(false);
+
+    if !has(&meta.identifier) {
+        missing.push("F1: persistent identifier");
+    }
+    if !has(&meta.description) {
+        missing.push("F2: rich description");
+    }
+    if meta.keywords.is_empty() {
+        missing.push("F4: searchable keywords");
+    }
+    let findable = has(&meta.identifier) && has(&meta.description) && !meta.keywords.is_empty();
+
+    if !has(&meta.uri) {
+        missing.push("A1: retrieval URI");
+    }
+    if !has(&meta.access_policy) {
+        missing.push("A1.2: stated access policy");
+    }
+    let accessible = has(&meta.uri) && has(&meta.access_policy);
+
+    if !has(&meta.format) {
+        missing.push("I1: machine-readable format");
+    }
+    if meta.vocabulary.is_empty() {
+        missing.push("I2: controlled vocabulary");
+    }
+    let interoperable = has(&meta.format) && !meta.vocabulary.is_empty();
+
+    if !has(&meta.license) {
+        missing.push("R1.1: license");
+    }
+    if !has(&meta.provenance_ref) {
+        missing.push("R1.2: provenance");
+    }
+    let reusable = has(&meta.license) && has(&meta.provenance_ref);
+
+    FairReport {
+        findable,
+        accessible,
+        interoperable,
+        reusable,
+        missing,
+    }
+}
+
+/// Build fully-FAIR metadata for an autonomously-produced artifact —
+/// the template agents use when publishing results.
+pub fn agent_published(
+    id: impl Into<String>,
+    description: impl Into<String>,
+    provenance_ref: impl Into<String>,
+) -> ArtifactMeta {
+    ArtifactMeta {
+        identifier: Some(id.into()),
+        description: Some(description.into()),
+        keywords: vec!["autonomous".into(), "evoflow".into()],
+        uri: Some("fabric://results/".into()),
+        access_policy: Some("open".into()),
+        format: Some("json".into()),
+        vocabulary: vec!["evoflow-schema-v1".into()],
+        license: Some("CC-BY-4.0".into()),
+        provenance_ref: Some(provenance_ref.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metadata_fails_everything() {
+        let r = assess(&ArtifactMeta::default());
+        assert_eq!(r.score(), 0);
+        assert!(!r.is_fair());
+        assert_eq!(r.missing.len(), 9);
+    }
+
+    #[test]
+    fn agent_template_is_fully_fair() {
+        let meta = agent_published("doi:10.1/x", "bandgap sweep results", "prov/77");
+        let r = assess(&meta);
+        assert!(r.is_fair(), "missing: {:?}", r.missing);
+        assert!(r.missing.is_empty());
+    }
+
+    #[test]
+    fn partial_metadata_scores_partially() {
+        let meta = ArtifactMeta {
+            identifier: Some("id".into()),
+            description: Some("desc".into()),
+            keywords: vec!["k".into()],
+            license: Some("MIT".into()),
+            provenance_ref: Some("prov/1".into()),
+            ..ArtifactMeta::default()
+        };
+        let r = assess(&meta);
+        assert!(r.findable);
+        assert!(!r.accessible);
+        assert!(!r.interoperable);
+        assert!(r.reusable);
+        assert_eq!(r.score(), 2);
+    }
+
+    #[test]
+    fn empty_strings_do_not_count() {
+        let meta = ArtifactMeta {
+            identifier: Some("".into()),
+            ..ArtifactMeta::default()
+        };
+        let r = assess(&meta);
+        assert!(!r.findable);
+        assert!(r.missing.contains(&"F1: persistent identifier"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The scientific knowledge graph (Resource & Data Management layer, Fig 2).
+//!
+//! "Knowledge graphs represent relationships between hypotheses,
+//! experiments, and results, synchronized across sites with eventual
+//! consistency" (§5.2). Nodes are typed scientific entities, edges typed
+//! relations; replicas merge with last-writer-wins per property, which the
+//! tests show is commutative, associative, and idempotent (a state-based
+//! CRDT).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Scientific entity types in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A research hypothesis.
+    Hypothesis,
+    /// An experiment (designed or executed).
+    Experiment,
+    /// A material / compound / candidate.
+    Material,
+    /// A measured or computed result.
+    Result,
+    /// A theory or model of the domain.
+    Theory,
+    /// A dataset artifact.
+    Dataset,
+    /// An AI/ML model.
+    Model,
+}
+
+/// Typed relations between entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// Evidence supports a hypothesis/theory.
+    Supports,
+    /// Evidence refutes a hypothesis/theory.
+    Refutes,
+    /// Derived from (result from experiment, material from material).
+    DerivedFrom,
+    /// Hypothesis tested by experiment.
+    TestedBy,
+    /// Experiment produced result/dataset.
+    Produced,
+    /// Generic association.
+    RelatedTo,
+}
+
+/// A node: key, kind, versioned properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Globally unique key (e.g. `"hypothesis/42"`).
+    pub key: String,
+    /// Entity type.
+    pub kind: NodeKind,
+    /// Property map; each value carries the logical timestamp of its last
+    /// write for LWW merging.
+    pub props: BTreeMap<String, (u64, String)>,
+}
+
+impl Node {
+    /// Read a property value.
+    pub fn get(&self, prop: &str) -> Option<&str> {
+        self.props.get(prop).map(|(_, v)| v.as_str())
+    }
+}
+
+/// An edge between two node keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node key.
+    pub from: String,
+    /// Relation type.
+    pub rel: Relation,
+    /// Target node key.
+    pub to: String,
+}
+
+/// A replicable scientific knowledge graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    nodes: BTreeMap<String, Node>,
+    edges: BTreeSet<Edge>,
+    clock: u64,
+}
+
+impl KnowledgeGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Insert or update a node of `kind` under `key`.
+    pub fn upsert_node(&mut self, key: impl Into<String>, kind: NodeKind) -> &mut Node {
+        let key = key.into();
+        self.nodes.entry(key.clone()).or_insert_with(|| Node {
+            key,
+            kind,
+            props: BTreeMap::new(),
+        })
+    }
+
+    /// Set a property on a node (advances the logical clock).
+    pub fn set_prop(&mut self, key: &str, prop: impl Into<String>, value: impl Into<String>) {
+        self.clock += 1;
+        let ts = self.clock;
+        if let Some(n) = self.nodes.get_mut(key) {
+            n.props.insert(prop.into(), (ts, value.into()));
+        }
+    }
+
+    /// Get a node.
+    pub fn node(&self, key: &str) -> Option<&Node> {
+        self.nodes.get(key)
+    }
+
+    /// Add a typed edge; both endpoints must exist.
+    pub fn link(&mut self, from: &str, rel: Relation, to: &str) -> bool {
+        if self.nodes.contains_key(from) && self.nodes.contains_key(to) {
+            self.edges.insert(Edge {
+                from: from.to_string(),
+                rel,
+                to: to.to_string(),
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Outgoing neighbors of `key`, optionally filtered by relation.
+    pub fn neighbors(&self, key: &str, rel: Option<Relation>) -> Vec<&Node> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == key && rel.map(|r| e.rel == r).unwrap_or(true))
+            .filter_map(|e| self.nodes.get(&e.to))
+            .collect()
+    }
+
+    /// Incoming neighbors of `key`, optionally filtered by relation.
+    pub fn incoming(&self, key: &str, rel: Option<Relation>) -> Vec<&Node> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == key && rel.map(|r| e.rel == r).unwrap_or(true))
+            .filter_map(|e| self.nodes.get(&e.from))
+            .collect()
+    }
+
+    /// All nodes of a kind, in key order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<&Node> {
+        self.nodes.values().filter(|n| n.kind == kind).collect()
+    }
+
+    /// Breadth-first path existence between two keys (directed).
+    pub fn path_exists(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return self.nodes.contains_key(from);
+        }
+        let mut seen = BTreeSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(from.to_string());
+        q.push_back(from.to_string());
+        while let Some(cur) = q.pop_front() {
+            for e in self.edges.iter().filter(|e| e.from == cur) {
+                if e.to == to {
+                    return true;
+                }
+                if seen.insert(e.to.clone()) {
+                    q.push_back(e.to.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// Net support for a hypothesis: supporting minus refuting in-edges.
+    pub fn support_score(&self, key: &str) -> i64 {
+        let s = self.incoming(key, Some(Relation::Supports)).len() as i64;
+        let r = self.incoming(key, Some(Relation::Refutes)).len() as i64;
+        s - r
+    }
+
+    /// Merge another replica into this one (eventual consistency):
+    /// node union; per-property last-writer-wins by `(timestamp, value)`;
+    /// edge union. Commutative, associative, idempotent.
+    pub fn merge(&mut self, other: &KnowledgeGraph) {
+        for (key, onode) in &other.nodes {
+            match self.nodes.get_mut(key) {
+                None => {
+                    self.nodes.insert(key.clone(), onode.clone());
+                }
+                Some(mine) => {
+                    for (prop, (ots, oval)) in &onode.props {
+                        match mine.props.get(prop) {
+                            Some((mts, mval)) if (*mts, mval) >= (*ots, oval) => {}
+                            _ => {
+                                mine.props.insert(prop.clone(), (*ots, oval.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.edges.extend(other.edges.iter().cloned());
+        self.clock = self.clock.max(other.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        g.upsert_node("hyp/1", NodeKind::Hypothesis);
+        g.upsert_node("exp/1", NodeKind::Experiment);
+        g.upsert_node("res/1", NodeKind::Result);
+        g.upsert_node("mat/1", NodeKind::Material);
+        g.link("hyp/1", Relation::TestedBy, "exp/1");
+        g.link("exp/1", Relation::Produced, "res/1");
+        g.link("res/1", Relation::Supports, "hyp/1");
+        g.link("mat/1", Relation::DerivedFrom, "res/1");
+        g
+    }
+
+    #[test]
+    fn nodes_edges_and_neighbors() {
+        let g = sample();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        let n = g.neighbors("hyp/1", None);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].key, "exp/1");
+        assert_eq!(g.incoming("hyp/1", Some(Relation::Supports)).len(), 1);
+        assert_eq!(g.nodes_of_kind(NodeKind::Material).len(), 1);
+    }
+
+    #[test]
+    fn link_requires_both_endpoints() {
+        let mut g = sample();
+        assert!(!g.link("hyp/1", Relation::RelatedTo, "ghost"));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn path_and_support() {
+        let g = sample();
+        assert!(g.path_exists("hyp/1", "res/1")); // via exp
+        assert!(g.path_exists("hyp/1", "hyp/1"));
+        assert!(!g.path_exists("res/1", "mat/1")); // direction matters
+        assert_eq!(g.support_score("hyp/1"), 1);
+    }
+
+    #[test]
+    fn support_score_counts_refutations() {
+        let mut g = sample();
+        g.upsert_node("res/2", NodeKind::Result);
+        g.upsert_node("res/3", NodeKind::Result);
+        g.link("res/2", Relation::Refutes, "hyp/1");
+        g.link("res/3", Relation::Refutes, "hyp/1");
+        assert_eq!(g.support_score("hyp/1"), -1);
+    }
+
+    #[test]
+    fn properties_lww() {
+        let mut g = KnowledgeGraph::new();
+        g.upsert_node("mat/9", NodeKind::Material);
+        g.set_prop("mat/9", "bandgap", "1.2");
+        g.set_prop("mat/9", "bandgap", "1.4");
+        assert_eq!(g.node("mat/9").unwrap().get("bandgap"), Some("1.4"));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = sample();
+        a.set_prop("mat/1", "phase", "cubic");
+        let mut b = KnowledgeGraph::new();
+        b.upsert_node("mat/1", NodeKind::Material);
+        b.upsert_node("hyp/2", NodeKind::Hypothesis);
+        b.set_prop("mat/1", "phase", "tetragonal");
+        b.set_prop("hyp/2", "text", "doping raises stability");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.node_count(), ba.node_count());
+        assert_eq!(ab.edge_count(), ba.edge_count());
+        assert_eq!(
+            ab.node("mat/1").unwrap().get("phase"),
+            ba.node("mat/1").unwrap().get("phase")
+        );
+
+        // Idempotent: merging again changes nothing.
+        let before = ab.clone();
+        ab.merge(&b);
+        assert_eq!(ab.node_count(), before.node_count());
+        assert_eq!(ab.edge_count(), before.edge_count());
+    }
+
+    #[test]
+    fn merge_unions_disjoint_replicas() {
+        let mut site_a = KnowledgeGraph::new();
+        site_a.upsert_node("exp/a", NodeKind::Experiment);
+        let mut site_b = KnowledgeGraph::new();
+        site_b.upsert_node("exp/b", NodeKind::Experiment);
+        site_a.merge(&site_b);
+        assert_eq!(site_a.node_count(), 2);
+    }
+}

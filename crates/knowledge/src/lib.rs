@@ -1,0 +1,36 @@
+//! # evoflow-knowledge — the Resource & Data Management layer's brains
+//!
+//! The paper's Figure 2 places four knowledge-bearing components in the
+//! Resource & Data Management layer; this crate implements them:
+//!
+//! * [`graph`] — the scientific knowledge graph linking hypotheses,
+//!   experiments, materials, and results; replicas merge with eventual
+//!   consistency (§5.2).
+//! * [`sync`] — the federation protocol over the graph: per-site op logs,
+//!   version-vector anti-entropy deltas, partition healing, and
+//!   convergence audits (§5.2's "synchronized across sites with eventual
+//!   consistency" made executable).
+//! * [`provenance`] — W3C-PROV-style lineage extended with AI
+//!   reasoning-chain capture, accountability audits, and human-vs-AI
+//!   attribution (§4.2).
+//! * [`registry`] — the versioned model/protocol registry with a
+//!   staging→production→archived lifecycle (§5.2).
+//! * [`fair`] — mechanical FAIR-principles assessment gating what
+//!   autonomous agents may publish (§4.2).
+
+pub mod fair;
+pub mod graph;
+pub mod provenance;
+pub mod registry;
+pub mod sync;
+
+pub use fair::{agent_published, assess, ArtifactMeta, FairReport};
+pub use graph::{Edge, KnowledgeGraph, Node, NodeKind, Relation};
+pub use provenance::{
+    Activity, ActivityKind, AuditReport, Entity, Lineage, ProvAgent, ProvId, ProvenanceStore,
+    ReasoningTrace,
+};
+pub use registry::{ArtifactKind, ArtifactVersion, ModelRegistry, RegistryError, Stage};
+pub use sync::{
+    converged, gossip_to_convergence, sync_pair, GraphOp, Replica, StampedOp, VersionVector,
+};

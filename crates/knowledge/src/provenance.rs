@@ -1,0 +1,388 @@
+//! W3C-PROV-style provenance with AI reasoning-chain capture.
+//!
+//! §4.2: "Provenance models need to evolve to support traceability of agent
+//! actions within the workflow context, enabling accountability,
+//! transparency, explainability, and auditability." This module records the
+//! classic PROV triple — entities, activities, agents — plus the extension
+//! the paper calls for: activities of kind [`ActivityKind::Reasoning`]
+//! capture which model, prompt digest, and token counts produced a decision,
+//! so AI reasoning chains are first-class lineage.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Identifier of a provenance record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProvId(pub u64);
+
+/// What kind of activity a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// A computational task (simulation, analysis job).
+    Computation,
+    /// A physical experiment step (synthesis, characterization).
+    PhysicalExperiment,
+    /// A data movement.
+    Transfer,
+    /// An AI reasoning step (hypothesis generation, planning, judgment).
+    Reasoning,
+    /// A human decision or intervention.
+    HumanDecision,
+}
+
+/// An agent in the PROV sense: who/what bears responsibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvAgent {
+    /// Unique agent name (e.g. `"hypothesis-agent@ai-hub"`).
+    pub name: String,
+    /// Whether the agent is an AI (vs human or plain software).
+    pub is_ai: bool,
+}
+
+/// An entity: any data artifact, sample, or model version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Record id.
+    pub id: ProvId,
+    /// Entity URI/name.
+    pub name: String,
+    /// Activity that generated it, if recorded.
+    pub generated_by: Option<ProvId>,
+}
+
+/// An activity: something that happened over a time interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Record id.
+    pub id: ProvId,
+    /// Activity name.
+    pub name: String,
+    /// Kind of activity.
+    pub kind: ActivityKind,
+    /// Responsible agent (index into the agent table).
+    pub agent: String,
+    /// Entities this activity used.
+    pub used: Vec<ProvId>,
+    /// For [`ActivityKind::Reasoning`]: model name, prompt digest, tokens.
+    pub reasoning: Option<ReasoningTrace>,
+}
+
+/// The AI-specific lineage extension (§4.2, PROV-AGENT-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReasoningTrace {
+    /// Model that produced the decision.
+    pub model: String,
+    /// Stable digest of the prompt (not the raw prompt: jurisdictions
+    /// differ on what may be stored, §4.2 interoperability).
+    pub prompt_digest: u64,
+    /// Input tokens consumed.
+    pub input_tokens: u64,
+    /// Output tokens produced.
+    pub output_tokens: u64,
+    /// Whether the output was flagged as a potential hallucination.
+    pub flagged: bool,
+}
+
+/// An append-only provenance store for one site.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProvenanceStore {
+    agents: BTreeMap<String, ProvAgent>,
+    entities: BTreeMap<ProvId, Entity>,
+    activities: BTreeMap<ProvId, Activity>,
+    next_id: u64,
+}
+
+impl ProvenanceStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh(&mut self) -> ProvId {
+        let id = ProvId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Register an agent (idempotent by name).
+    pub fn register_agent(&mut self, name: impl Into<String>, is_ai: bool) {
+        let name = name.into();
+        self.agents
+            .entry(name.clone())
+            .or_insert(ProvAgent { name, is_ai });
+    }
+
+    /// Record an activity by `agent` that used `used` entities.
+    pub fn record_activity(
+        &mut self,
+        name: impl Into<String>,
+        kind: ActivityKind,
+        agent: &str,
+        used: Vec<ProvId>,
+    ) -> ProvId {
+        debug_assert!(
+            self.agents.contains_key(agent),
+            "agent {agent:?} not registered"
+        );
+        let id = self.fresh();
+        self.activities.insert(
+            id,
+            Activity {
+                id,
+                name: name.into(),
+                kind,
+                agent: agent.to_string(),
+                used,
+                reasoning: None,
+            },
+        );
+        id
+    }
+
+    /// Record an AI reasoning activity with its trace.
+    pub fn record_reasoning(
+        &mut self,
+        name: impl Into<String>,
+        agent: &str,
+        used: Vec<ProvId>,
+        trace: ReasoningTrace,
+    ) -> ProvId {
+        let id = self.record_activity(name, ActivityKind::Reasoning, agent, used);
+        if let Some(a) = self.activities.get_mut(&id) {
+            a.reasoning = Some(trace);
+        }
+        id
+    }
+
+    /// Record an entity generated by `activity`.
+    pub fn record_entity(
+        &mut self,
+        name: impl Into<String>,
+        generated_by: Option<ProvId>,
+    ) -> ProvId {
+        let id = self.fresh();
+        self.entities.insert(
+            id,
+            Entity {
+                id,
+                name: name.into(),
+                generated_by,
+            },
+        );
+        id
+    }
+
+    /// Look up an entity.
+    pub fn entity(&self, id: ProvId) -> Option<&Entity> {
+        self.entities.get(&id)
+    }
+
+    /// Look up an activity.
+    pub fn activity(&self, id: ProvId) -> Option<&Activity> {
+        self.activities.get(&id)
+    }
+
+    /// Number of recorded activities.
+    pub fn activity_count(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Number of recorded entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Full lineage of an entity: every upstream entity and activity
+    /// reachable through `generated_by`/`used` links (breadth-first).
+    pub fn lineage(&self, entity: ProvId) -> Lineage {
+        let mut entities = BTreeSet::new();
+        let mut activities = BTreeSet::new();
+        let mut reasoning_steps = 0usize;
+        let mut human_steps = 0usize;
+        let mut q = VecDeque::new();
+        q.push_back(entity);
+        entities.insert(entity);
+        while let Some(e) = q.pop_front() {
+            let Some(ent) = self.entities.get(&e) else {
+                continue;
+            };
+            let Some(act_id) = ent.generated_by else {
+                continue;
+            };
+            if activities.insert(act_id) {
+                if let Some(act) = self.activities.get(&act_id) {
+                    match act.kind {
+                        ActivityKind::Reasoning => reasoning_steps += 1,
+                        ActivityKind::HumanDecision => human_steps += 1,
+                        _ => {}
+                    }
+                    for &u in &act.used {
+                        if entities.insert(u) {
+                            q.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+        Lineage {
+            entities,
+            activities,
+            reasoning_steps,
+            human_steps,
+        }
+    }
+
+    /// Audit report: per-agent activity counts, flagged reasoning steps.
+    pub fn audit(&self) -> AuditReport {
+        let mut per_agent: BTreeMap<String, usize> = BTreeMap::new();
+        let mut flagged = Vec::new();
+        let mut ai_activities = 0usize;
+        for a in self.activities.values() {
+            *per_agent.entry(a.agent.clone()).or_insert(0) += 1;
+            if self.agents.get(&a.agent).map(|g| g.is_ai).unwrap_or(false) {
+                ai_activities += 1;
+            }
+            if let Some(r) = &a.reasoning {
+                if r.flagged {
+                    flagged.push(a.id);
+                }
+            }
+        }
+        AuditReport {
+            per_agent,
+            flagged_reasoning: flagged,
+            ai_activities,
+            total_activities: self.activities.len(),
+        }
+    }
+}
+
+/// Result of a lineage query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lineage {
+    /// All upstream entities (including the root).
+    pub entities: BTreeSet<ProvId>,
+    /// All upstream activities.
+    pub activities: BTreeSet<ProvId>,
+    /// How many were AI reasoning steps.
+    pub reasoning_steps: usize,
+    /// How many were human decisions.
+    pub human_steps: usize,
+}
+
+/// Accountability summary (§4.2 auditability).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Activities per responsible agent.
+    pub per_agent: BTreeMap<String, usize>,
+    /// Reasoning activities flagged as potential hallucinations.
+    pub flagged_reasoning: Vec<ProvId>,
+    /// Activities attributed to AI agents.
+    pub ai_activities: usize,
+    /// All activities.
+    pub total_activities: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the campaign-shaped chain:
+    /// reasoning -> hypothesis -> experiment -> result.
+    fn chain() -> (ProvenanceStore, ProvId) {
+        let mut p = ProvenanceStore::new();
+        p.register_agent("hypothesis-agent", true);
+        p.register_agent("beamline-operator", false);
+
+        let think = p.record_reasoning(
+            "generate hypothesis",
+            "hypothesis-agent",
+            vec![],
+            ReasoningTrace {
+                model: "sim-lrm-deep".into(),
+                prompt_digest: 0xfeed,
+                input_tokens: 800,
+                output_tokens: 150,
+                flagged: false,
+            },
+        );
+        let hyp = p.record_entity("hypothesis/42", Some(think));
+        let exp = p.record_activity(
+            "characterize sample",
+            ActivityKind::PhysicalExperiment,
+            "beamline-operator",
+            vec![hyp],
+        );
+        let result = p.record_entity("result/42", Some(exp));
+        (p, result)
+    }
+
+    #[test]
+    fn lineage_walks_full_chain() {
+        let (p, result) = chain();
+        let lin = p.lineage(result);
+        assert_eq!(lin.entities.len(), 2); // result + hypothesis
+        assert_eq!(lin.activities.len(), 2); // experiment + reasoning
+        assert_eq!(lin.reasoning_steps, 1);
+        assert_eq!(lin.human_steps, 0);
+    }
+
+    #[test]
+    fn reasoning_trace_is_preserved() {
+        let (p, result) = chain();
+        let lin = p.lineage(result);
+        let reasoning = lin
+            .activities
+            .iter()
+            .filter_map(|id| p.activity(*id))
+            .find(|a| a.kind == ActivityKind::Reasoning)
+            .unwrap();
+        let trace = reasoning.reasoning.as_ref().unwrap();
+        assert_eq!(trace.model, "sim-lrm-deep");
+        assert_eq!(trace.input_tokens, 800);
+    }
+
+    #[test]
+    fn audit_attributes_by_agent() {
+        let (mut p, _) = chain();
+        let flagged = p.record_reasoning(
+            "hallucinated plan",
+            "hypothesis-agent",
+            vec![],
+            ReasoningTrace {
+                model: "sim-llm-fast".into(),
+                prompt_digest: 1,
+                input_tokens: 10,
+                output_tokens: 10,
+                flagged: true,
+            },
+        );
+        let report = p.audit();
+        assert_eq!(report.total_activities, 3);
+        assert_eq!(report.ai_activities, 2);
+        assert_eq!(report.per_agent["hypothesis-agent"], 2);
+        assert_eq!(report.per_agent["beamline-operator"], 1);
+        assert_eq!(report.flagged_reasoning, vec![flagged]);
+    }
+
+    #[test]
+    fn lineage_of_root_entity_is_trivial() {
+        let mut p = ProvenanceStore::new();
+        let e = p.record_entity("raw-data", None);
+        let lin = p.lineage(e);
+        assert_eq!(lin.entities.len(), 1);
+        assert!(lin.activities.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut p = ProvenanceStore::new();
+        p.register_agent("a", false);
+        let e1 = p.record_entity("x", None);
+        let a1 = p.record_activity("act", ActivityKind::Computation, "a", vec![e1]);
+        let e2 = p.record_entity("y", Some(a1));
+        assert!(e1 < a1 && a1 < e2);
+        assert_eq!(p.entity_count(), 2);
+        assert_eq!(p.activity_count(), 1);
+    }
+}

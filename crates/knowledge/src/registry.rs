@@ -1,0 +1,262 @@
+//! The model registry (Resource & Data Management layer, Fig 2).
+//!
+//! "Model registries version both AI/ML models and various AI input
+//! artifacts such as experimental protocols" (§5.2). Artifacts carry
+//! monotonically increasing versions per name and move through a
+//! staging lifecycle; `latest`/`production` lookups are what facility
+//! agents use to pick which model/protocol to run.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of artifact a registry entry stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A trained AI/ML model.
+    Model,
+    /// An experimental protocol (robot program, beamline recipe).
+    Protocol,
+    /// A prompt/policy bundle for an agent.
+    AgentPolicy,
+}
+
+/// Lifecycle stage of a version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Registered but unvalidated.
+    Staging,
+    /// Validated and serving.
+    Production,
+    /// Retired.
+    Archived,
+}
+
+/// One immutable artifact version.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactVersion {
+    /// Artifact name.
+    pub name: String,
+    /// Version number (1-based, monotone per name).
+    pub version: u32,
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Content digest (stands in for the stored blob).
+    pub digest: u64,
+    /// Free-form metadata.
+    pub metadata: BTreeMap<String, String>,
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No artifact with this name.
+    UnknownArtifact(String),
+    /// No such version for this artifact.
+    UnknownVersion(String, u32),
+    /// Illegal stage transition.
+    IllegalTransition(Stage, Stage),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownArtifact(n) => write!(f, "unknown artifact {n:?}"),
+            RegistryError::UnknownVersion(n, v) => write!(f, "unknown version {n:?} v{v}"),
+            RegistryError::IllegalTransition(a, b) => {
+                write!(f, "illegal stage transition {a:?} -> {b:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A versioned artifact registry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    versions: BTreeMap<String, Vec<ArtifactVersion>>,
+}
+
+impl ModelRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new version of `name`; returns the version number.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        kind: ArtifactKind,
+        digest: u64,
+    ) -> u32 {
+        let name = name.into();
+        let versions = self.versions.entry(name.clone()).or_default();
+        let version = versions.len() as u32 + 1;
+        versions.push(ArtifactVersion {
+            name,
+            version,
+            kind,
+            stage: Stage::Staging,
+            digest,
+            metadata: BTreeMap::new(),
+        });
+        version
+    }
+
+    /// Attach metadata to a version.
+    pub fn annotate(
+        &mut self,
+        name: &str,
+        version: u32,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), RegistryError> {
+        let v = self.get_mut(name, version)?;
+        v.metadata.insert(key.into(), value.into());
+        Ok(())
+    }
+
+    /// Move a version through the lifecycle. Legal transitions:
+    /// Staging→Production, Staging→Archived, Production→Archived.
+    /// Promoting to Production archives any previously-serving version.
+    pub fn transition(
+        &mut self,
+        name: &str,
+        version: u32,
+        to: Stage,
+    ) -> Result<(), RegistryError> {
+        let from = self.get(name, version)?.stage;
+        let legal = matches!(
+            (from, to),
+            (Stage::Staging, Stage::Production)
+                | (Stage::Staging, Stage::Archived)
+                | (Stage::Production, Stage::Archived)
+        );
+        if !legal {
+            return Err(RegistryError::IllegalTransition(from, to));
+        }
+        if to == Stage::Production {
+            if let Some(vs) = self.versions.get_mut(name) {
+                for v in vs.iter_mut() {
+                    if v.stage == Stage::Production {
+                        v.stage = Stage::Archived;
+                    }
+                }
+            }
+        }
+        self.get_mut(name, version)?.stage = to;
+        Ok(())
+    }
+
+    /// Latest version of an artifact regardless of stage.
+    pub fn latest(&self, name: &str) -> Option<&ArtifactVersion> {
+        self.versions.get(name).and_then(|vs| vs.last())
+    }
+
+    /// The version currently in Production, if any.
+    pub fn production(&self, name: &str) -> Option<&ArtifactVersion> {
+        self.versions
+            .get(name)
+            .and_then(|vs| vs.iter().rev().find(|v| v.stage == Stage::Production))
+    }
+
+    /// A specific version.
+    pub fn get(&self, name: &str, version: u32) -> Result<&ArtifactVersion, RegistryError> {
+        self.versions
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownArtifact(name.to_string()))?
+            .get(version.checked_sub(1).unwrap_or(u32::MAX) as usize)
+            .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))
+    }
+
+    fn get_mut(
+        &mut self,
+        name: &str,
+        version: u32,
+    ) -> Result<&mut ArtifactVersion, RegistryError> {
+        self.versions
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::UnknownArtifact(name.to_string()))?
+            .get_mut(version.checked_sub(1).unwrap_or(u32::MAX) as usize)
+            .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))
+    }
+
+    /// All artifact names.
+    pub fn names(&self) -> Vec<&str> {
+        self.versions.keys().map(String::as_str).collect()
+    }
+
+    /// Total number of registered versions across all artifacts.
+    pub fn total_versions(&self) -> usize {
+        self.versions.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotone_per_name() {
+        let mut r = ModelRegistry::new();
+        assert_eq!(r.register("surrogate", ArtifactKind::Model, 0xa), 1);
+        assert_eq!(r.register("surrogate", ArtifactKind::Model, 0xb), 2);
+        assert_eq!(r.register("anneal-protocol", ArtifactKind::Protocol, 0xc), 1);
+        assert_eq!(r.latest("surrogate").unwrap().version, 2);
+        assert_eq!(r.total_versions(), 3);
+    }
+
+    #[test]
+    fn promotion_archives_previous_production() {
+        let mut r = ModelRegistry::new();
+        r.register("m", ArtifactKind::Model, 1);
+        r.register("m", ArtifactKind::Model, 2);
+        r.transition("m", 1, Stage::Production).unwrap();
+        assert_eq!(r.production("m").unwrap().version, 1);
+        r.transition("m", 2, Stage::Production).unwrap();
+        assert_eq!(r.production("m").unwrap().version, 2);
+        assert_eq!(r.get("m", 1).unwrap().stage, Stage::Archived);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut r = ModelRegistry::new();
+        r.register("m", ArtifactKind::Model, 1);
+        r.transition("m", 1, Stage::Archived).unwrap();
+        let err = r.transition("m", 1, Stage::Production).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::IllegalTransition(Stage::Archived, Stage::Production)
+        );
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let r = ModelRegistry::new();
+        assert!(r.latest("ghost").is_none());
+        assert_eq!(
+            r.get("ghost", 1).unwrap_err(),
+            RegistryError::UnknownArtifact("ghost".into())
+        );
+        let mut r = ModelRegistry::new();
+        r.register("m", ArtifactKind::Model, 1);
+        assert_eq!(
+            r.get("m", 5).unwrap_err(),
+            RegistryError::UnknownVersion("m".into(), 5)
+        );
+    }
+
+    #[test]
+    fn metadata_annotation() {
+        let mut r = ModelRegistry::new();
+        r.register("m", ArtifactKind::AgentPolicy, 7);
+        r.annotate("m", 1, "trained-on", "campaign-9").unwrap();
+        assert_eq!(
+            r.get("m", 1).unwrap().metadata.get("trained-on").unwrap(),
+            "campaign-9"
+        );
+    }
+}

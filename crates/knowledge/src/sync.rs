@@ -1,0 +1,464 @@
+//! Federated knowledge-graph replication with anti-entropy delta sync.
+//!
+//! §5.2: "Knowledge graphs represent relationships between hypotheses,
+//! experiments, and results, **synchronized across sites with eventual
+//! consistency**." [`crate::graph::KnowledgeGraph::merge`] gives
+//! full-state LWW merge; a federation cannot afford to ship whole graphs
+//! over 100 Gbps WAN links every round, so this module adds the *delta*
+//! protocol: each site keeps an operation log and a version vector, and
+//! peers exchange only the ops the other has not seen. Ops are applied in
+//! a deterministic order with LWW property resolution, so any exchange
+//! schedule that eventually connects all sites converges to the same graph
+//! — partitions included.
+
+use crate::graph::{KnowledgeGraph, NodeKind, Relation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One replicated mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphOp {
+    /// Create (or re-assert) a node.
+    UpsertNode {
+        /// Node key.
+        key: String,
+        /// Entity kind.
+        kind: NodeKind,
+    },
+    /// Set a node property (LWW by `(lamport, site)`).
+    SetProp {
+        /// Node key.
+        key: String,
+        /// Property name.
+        prop: String,
+        /// Property value.
+        value: String,
+    },
+    /// Add a typed edge.
+    Link {
+        /// Source key.
+        from: String,
+        /// Relation.
+        rel: Relation,
+        /// Target key.
+        to: String,
+    },
+}
+
+/// An op stamped with its origin: `(site, seq)` identifies it globally,
+/// `lamport` orders it causally across sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StampedOp {
+    /// Originating site.
+    pub site: String,
+    /// Per-site sequence number (1-based, gap-free).
+    pub seq: u64,
+    /// Lamport timestamp at the origin.
+    pub lamport: u64,
+    /// The mutation.
+    pub op: GraphOp,
+}
+
+/// Version vector: per-site count of ops known.
+pub type VersionVector = BTreeMap<String, u64>;
+
+mod stamp_entries {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    type Key = (String, String);
+    type Stamp = (u64, String);
+    type Map = BTreeMap<Key, Stamp>;
+
+    pub fn serialize<S: Serializer>(map: &Map, ser: S) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&Key, &Stamp)> = map.iter().collect();
+        entries.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Map, D::Error> {
+        let entries: Vec<((String, String), (u64, String))> = Vec::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+/// One site's replica of the federated knowledge graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Replica {
+    site: String,
+    graph: KnowledgeGraph,
+    /// Every op this replica knows, keyed for gap-free delta extraction.
+    log: Vec<StampedOp>,
+    vv: VersionVector,
+    lamport: u64,
+    /// LWW metadata: property → (lamport, site) of the winning write.
+    /// Serialized as an entry list because JSON map keys must be strings.
+    #[serde(with = "stamp_entries")]
+    prop_stamps: BTreeMap<(String, String), (u64, String)>,
+    /// Links whose endpoints have not both arrived yet (cross-site
+    /// causality: an edge can travel faster than its endpoints).
+    pending_links: Vec<StampedOp>,
+}
+
+impl Replica {
+    /// Empty replica for `site`.
+    pub fn new(site: impl Into<String>) -> Self {
+        Replica {
+            site: site.into(),
+            graph: KnowledgeGraph::new(),
+            log: Vec::new(),
+            vv: VersionVector::new(),
+            lamport: 0,
+            prop_stamps: BTreeMap::new(),
+            pending_links: Vec::new(),
+        }
+    }
+
+    /// Site name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// Read access to the local graph view.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// This replica's version vector (its sync digest).
+    pub fn version_vector(&self) -> &VersionVector {
+        &self.vv
+    }
+
+    /// Number of link ops still waiting for endpoints.
+    pub fn pending_link_count(&self) -> usize {
+        self.pending_links.len()
+    }
+
+    fn next_stamp(&mut self) -> (u64, u64) {
+        self.lamport += 1;
+        let seq = self.vv.get(&self.site).copied().unwrap_or(0) + 1;
+        (seq, self.lamport)
+    }
+
+    fn record_local(&mut self, op: GraphOp) -> &StampedOp {
+        let (seq, lamport) = self.next_stamp();
+        let stamped = StampedOp {
+            site: self.site.clone(),
+            seq,
+            lamport,
+            op,
+        };
+        self.apply(&stamped);
+        self.vv.insert(self.site.clone(), seq);
+        self.log.push(stamped);
+        self.log.last().expect("just pushed")
+    }
+
+    /// Create a node locally.
+    pub fn upsert_node(&mut self, key: impl Into<String>, kind: NodeKind) {
+        self.record_local(GraphOp::UpsertNode {
+            key: key.into(),
+            kind,
+        });
+    }
+
+    /// Set a property locally.
+    pub fn set_prop(
+        &mut self,
+        key: impl Into<String>,
+        prop: impl Into<String>,
+        value: impl Into<String>,
+    ) {
+        self.record_local(GraphOp::SetProp {
+            key: key.into(),
+            prop: prop.into(),
+            value: value.into(),
+        });
+    }
+
+    /// Add an edge locally.
+    pub fn link(&mut self, from: impl Into<String>, rel: Relation, to: impl Into<String>) {
+        self.record_local(GraphOp::Link {
+            from: from.into(),
+            rel,
+            to: to.into(),
+        });
+    }
+
+    /// Apply one op to the local graph (not the log). LWW for properties;
+    /// links without endpoints park in the pending buffer.
+    fn apply(&mut self, stamped: &StampedOp) {
+        match &stamped.op {
+            GraphOp::UpsertNode { key, kind } => {
+                self.graph.upsert_node(key.clone(), *kind);
+                self.drain_pending();
+            }
+            GraphOp::SetProp { key, prop, value } => {
+                let stamp_key = (key.clone(), prop.clone());
+                let incoming = (stamped.lamport, stamped.site.clone());
+                let wins = match self.prop_stamps.get(&stamp_key) {
+                    Some(current) => incoming > *current,
+                    None => true,
+                };
+                if wins {
+                    // Write through the node directly: the replica layer
+                    // owns ordering, not the graph's local clock.
+                    if self.graph.node(key).is_some() {
+                        let node = self.graph.upsert_node(key.clone(), NodeKind::Result);
+                        node.props
+                            .insert(prop.clone(), (stamped.lamport, value.clone()));
+                        self.prop_stamps.insert(stamp_key, incoming);
+                    }
+                }
+            }
+            GraphOp::Link { from, rel, to } => {
+                if !self.graph.link(from, *rel, to) {
+                    self.pending_links.push(stamped.clone());
+                }
+            }
+        }
+    }
+
+    /// Retry parked links after new nodes arrive.
+    fn drain_pending(&mut self) {
+        let mut still_pending = Vec::new();
+        for stamped in std::mem::take(&mut self.pending_links) {
+            if let GraphOp::Link { from, rel, to } = &stamped.op {
+                if !self.graph.link(from, *rel, to) {
+                    still_pending.push(stamped);
+                }
+            }
+        }
+        self.pending_links = still_pending;
+    }
+
+    /// The ops `peer_vv` has not seen, in `(site, seq)` order — the
+    /// anti-entropy delta.
+    pub fn delta_since(&self, peer_vv: &VersionVector) -> Vec<StampedOp> {
+        let mut delta: Vec<StampedOp> = self
+            .log
+            .iter()
+            .filter(|op| op.seq > peer_vv.get(&op.site).copied().unwrap_or(0))
+            .cloned()
+            .collect();
+        delta.sort_by(|a, b| a.site.cmp(&b.site).then(a.seq.cmp(&b.seq)));
+        delta
+    }
+
+    /// Ingest a delta from a peer. Already-known ops are skipped
+    /// (idempotence); the Lamport clock advances past everything seen.
+    /// Returns how many ops were new.
+    pub fn apply_delta(&mut self, delta: &[StampedOp]) -> usize {
+        // Apply in deterministic global order so every replica resolves
+        // races identically.
+        let mut fresh: Vec<&StampedOp> = delta
+            .iter()
+            .filter(|op| op.seq > self.vv.get(&op.site).copied().unwrap_or(0))
+            .collect();
+        fresh.sort_by(|a, b| {
+            (a.lamport, &a.site, a.seq).cmp(&(b.lamport, &b.site, b.seq))
+        });
+        let count = fresh.len();
+        for op in fresh {
+            self.apply(op);
+            self.lamport = self.lamport.max(op.lamport);
+            let e = self.vv.entry(op.site.clone()).or_insert(0);
+            debug_assert_eq!(op.seq, *e + 1, "per-site op logs must be gap-free");
+            *e = op.seq;
+            self.log.push(op.clone());
+        }
+        count
+    }
+
+    /// Stable checksum of the graph state (for convergence audits).
+    pub fn checksum(&self) -> u64 {
+        // BTreeMap/BTreeSet serialization is canonical, so the JSON text
+        // is a deterministic function of graph content.
+        let json = serde_json::to_string(&self.graph).expect("graph serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// One bidirectional anti-entropy exchange. Returns `(a_to_b, b_to_a)` op
+/// counts — the bandwidth the protocol actually used.
+pub fn sync_pair(a: &mut Replica, b: &mut Replica) -> (usize, usize) {
+    let to_b = a.delta_since(b.version_vector());
+    let to_a = b.delta_since(a.version_vector());
+    let nb = b.apply_delta(&to_b);
+    let na = a.apply_delta(&to_a);
+    (nb, na)
+}
+
+/// Whether two replicas hold identical graph state.
+pub fn converged(a: &Replica, b: &Replica) -> bool {
+    a.version_vector() == b.version_vector() && a.checksum() == b.checksum()
+}
+
+/// Gossip all replicas to convergence over a ring topology; returns the
+/// number of rounds used. Each round syncs every adjacent pair once —
+/// O(k·n) messages per round, the swarm-scaling shape of Table 2.
+pub fn gossip_to_convergence(replicas: &mut [Replica], max_rounds: usize) -> Option<usize> {
+    if replicas.len() <= 1 {
+        return Some(0);
+    }
+    for round in 1..=max_rounds {
+        let n = replicas.len();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            // Split-borrow the pair out of the slice.
+            let (left, right) = if i < j {
+                let (lo, hi) = replicas.split_at_mut(j);
+                (&mut lo[i], &mut hi[0])
+            } else {
+                let (lo, hi) = replicas.split_at_mut(i);
+                (&mut hi[0], &mut lo[j])
+            };
+            sync_pair(left, right);
+        }
+        let all_equal = replicas
+            .windows(2)
+            .all(|w| converged(&w[0], &w[1]));
+        if all_equal {
+            return Some(round);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_sites() -> (Replica, Replica) {
+        (Replica::new("hpc"), Replica::new("beamline"))
+    }
+
+    #[test]
+    fn delta_sync_transfers_only_missing_ops() {
+        let (mut a, mut b) = two_sites();
+        a.upsert_node("hyp/1", NodeKind::Hypothesis);
+        a.set_prop("hyp/1", "status", "proposed");
+        let (to_b, to_a) = sync_pair(&mut a, &mut b);
+        assert_eq!((to_b, to_a), (2, 0));
+        assert!(converged(&a, &b));
+        // A second sync ships nothing.
+        let (to_b, to_a) = sync_pair(&mut a, &mut b);
+        assert_eq!((to_b, to_a), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_identically_on_both_sides() {
+        let (mut a, mut b) = two_sites();
+        a.upsert_node("mat/1", NodeKind::Material);
+        sync_pair(&mut a, &mut b);
+        // Concurrent conflicting property writes during a partition.
+        a.set_prop("mat/1", "phase", "cubic");
+        b.set_prop("mat/1", "phase", "tetragonal");
+        sync_pair(&mut a, &mut b);
+        assert!(converged(&a, &b));
+        let pa = a.graph().node("mat/1").unwrap().get("phase").unwrap();
+        let pb = b.graph().node("mat/1").unwrap().get("phase").unwrap();
+        assert_eq!(pa, pb, "LWW must pick one winner everywhere");
+    }
+
+    #[test]
+    fn edge_arriving_before_endpoint_parks_then_applies() {
+        let (mut a, b) = two_sites();
+        // a creates both nodes and the edge.
+        a.upsert_node("exp/1", NodeKind::Experiment);
+        a.upsert_node("res/1", NodeKind::Result);
+        a.link("exp/1", Relation::Produced, "res/1");
+        // Hand b only the link op first (simulated out-of-order channel).
+        let delta = a.delta_since(b.version_vector());
+        let link_only: Vec<_> = delta
+            .iter()
+            .filter(|op| matches!(op.op, GraphOp::Link { .. }))
+            .cloned()
+            .collect();
+        // apply_delta refuses gapped seq in debug; emulate a lossy channel
+        // by applying through the public apply path on a fresh replica
+        // with full delta but checking the pending buffer mid-way through
+        // apply order instead: lamport-sorted order already delivers nodes
+        // first here, so force the scenario through a third site.
+        let mut c = Replica::new("cloud");
+        // c learns the edge op via... the only gap-free path is full
+        // delta; the pending buffer is still exercised: craft a replica
+        // whose local order is edge-before-node.
+        c.link("exp/1", Relation::Produced, "res/1");
+        assert_eq!(c.pending_link_count(), 1);
+        c.upsert_node("exp/1", NodeKind::Experiment);
+        assert_eq!(c.pending_link_count(), 1, "one endpoint still missing");
+        c.upsert_node("res/1", NodeKind::Result);
+        assert_eq!(c.pending_link_count(), 0);
+        assert_eq!(c.graph().edge_count(), 1);
+        let _ = link_only;
+    }
+
+    #[test]
+    fn three_site_partition_heals_to_convergence() {
+        let mut sites = vec![
+            Replica::new("hpc"),
+            Replica::new("beamline"),
+            Replica::new("ai-hub"),
+        ];
+        // Partition: {hpc, beamline} talk; ai-hub is isolated and writes.
+        sites[0].upsert_node("hyp/1", NodeKind::Hypothesis);
+        sites[1].upsert_node("exp/1", NodeKind::Experiment);
+        {
+            let (lo, hi) = sites.split_at_mut(1);
+            sync_pair(&mut lo[0], &mut hi[0]);
+        }
+        sites[2].upsert_node("mat/9", NodeKind::Material);
+        sites[2].set_prop("mat/9", "source", "isolated-writes");
+        // Heal.
+        let rounds = gossip_to_convergence(&mut sites, 10).expect("must converge");
+        assert!(rounds <= 3, "ring of 3 should converge fast, took {rounds}");
+        for w in sites.windows(2) {
+            assert!(converged(&w[0], &w[1]));
+        }
+        assert_eq!(sites[0].graph().node_count(), 3);
+        assert_eq!(
+            sites[1].graph().node("mat/9").unwrap().get("source"),
+            Some("isolated-writes")
+        );
+    }
+
+    #[test]
+    fn apply_delta_is_idempotent() {
+        let (mut a, mut b) = two_sites();
+        a.upsert_node("n/1", NodeKind::Dataset);
+        let delta = a.delta_since(b.version_vector());
+        assert_eq!(b.apply_delta(&delta), 1);
+        assert_eq!(b.apply_delta(&delta), 0, "replay must be a no-op");
+        assert!(converged(&a, &b));
+    }
+
+    #[test]
+    fn checksum_distinguishes_different_graphs() {
+        let (mut a, mut b) = two_sites();
+        a.upsert_node("n/1", NodeKind::Dataset);
+        b.upsert_node("n/2", NodeKind::Dataset);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn single_replica_converges_trivially() {
+        let mut sites = vec![Replica::new("solo")];
+        assert_eq!(gossip_to_convergence(&mut sites, 5), Some(0));
+    }
+
+    #[test]
+    fn replica_serde_roundtrip_preserves_state() {
+        let (mut a, _) = two_sites();
+        a.upsert_node("hyp/1", NodeKind::Hypothesis);
+        a.set_prop("hyp/1", "status", "testing");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Replica = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.checksum(), a.checksum());
+        assert_eq!(back.version_vector(), a.version_vector());
+    }
+}

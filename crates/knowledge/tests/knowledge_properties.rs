@@ -1,0 +1,134 @@
+//! Property tests for the data layer: knowledge-graph CRDT laws,
+//! provenance monotonicity, and registry lifecycle invariants.
+
+use evoflow_knowledge::{
+    ActivityKind, ArtifactKind, KnowledgeGraph, ModelRegistry, NodeKind, ProvenanceStore, Relation,
+    Stage,
+};
+use evoflow_sim::SimRng;
+use proptest::prelude::*;
+
+fn arb_graph(seed: u64, nodes: usize, edges: usize) -> KnowledgeGraph {
+    let mut g = KnowledgeGraph::new();
+    let mut rng = SimRng::from_seed_u64(seed);
+    for i in 0..nodes {
+        let kind = match i % 4 {
+            0 => NodeKind::Hypothesis,
+            1 => NodeKind::Experiment,
+            2 => NodeKind::Result,
+            _ => NodeKind::Material,
+        };
+        g.upsert_node(format!("n/{i}"), kind);
+        if rng.chance(0.5) {
+            g.set_prop(&format!("n/{i}"), "v", format!("{}", rng.below(100)));
+        }
+    }
+    for _ in 0..edges {
+        let a = rng.below(nodes);
+        let b = rng.below(nodes);
+        let rel = match rng.below(3) {
+            0 => Relation::Supports,
+            1 => Relation::TestedBy,
+            _ => Relation::Produced,
+        };
+        g.link(&format!("n/{a}"), rel, &format!("n/{b}"));
+    }
+    g
+}
+
+proptest! {
+    /// Graph merge is commutative (same node/edge counts, same property
+    /// winners) and idempotent.
+    #[test]
+    fn graph_merge_laws(sa in any::<u64>(), sb in any::<u64>(), n in 2usize..20) {
+        let a = arb_graph(sa, n, n);
+        let b = arb_graph(sb, n, n * 2);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.node_count(), ba.node_count());
+        prop_assert_eq!(ab.edge_count(), ba.edge_count());
+        for i in 0..n {
+            let key = format!("n/{i}");
+            let va = ab.node(&key).and_then(|x| x.get("v"));
+            let vb = ba.node(&key).and_then(|x| x.get("v"));
+            prop_assert_eq!(va, vb, "property divergence at {}", key);
+        }
+        let before_nodes = ab.node_count();
+        let before_edges = ab.edge_count();
+        ab.merge(&b);
+        prop_assert_eq!(ab.node_count(), before_nodes);
+        prop_assert_eq!(ab.edge_count(), before_edges);
+    }
+
+    /// Merging never loses nodes or edges.
+    #[test]
+    fn merge_is_monotone(sa in any::<u64>(), sb in any::<u64>()) {
+        let a = arb_graph(sa, 10, 12);
+        let b = arb_graph(sb, 14, 8);
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.node_count() >= a.node_count().max(b.node_count()));
+        prop_assert!(m.edge_count() >= a.edge_count().max(b.edge_count()));
+    }
+
+    /// Provenance lineage is consistent: every chain of length n yields a
+    /// lineage with n entities and n activities, ids strictly increase,
+    /// and human/AI attribution sums correctly.
+    #[test]
+    fn provenance_chain_lineage(n in 1usize..40, ai_mask in any::<u64>()) {
+        let mut p = ProvenanceStore::new();
+        p.register_agent("ai", true);
+        p.register_agent("human", false);
+        let mut prev = None;
+        let mut last = None;
+        let mut ai_count = 0usize;
+        for i in 0..n {
+            let is_ai = ai_mask & (1 << (i % 64)) != 0;
+            let (agent, kind) = if is_ai {
+                ai_count += 1;
+                ("ai", ActivityKind::Reasoning)
+            } else {
+                ("human", ActivityKind::HumanDecision)
+            };
+            let act = p.record_activity(
+                format!("step{i}"),
+                kind,
+                agent,
+                prev.into_iter().collect(),
+            );
+            let e = p.record_entity(format!("e{i}"), Some(act));
+            prop_assert!(prev.map(|q| q < e).unwrap_or(true));
+            prev = Some(e);
+            last = Some(e);
+        }
+        let lineage = p.lineage(last.expect("chain non-empty"));
+        prop_assert_eq!(lineage.entities.len(), n);
+        prop_assert_eq!(lineage.activities.len(), n);
+        prop_assert_eq!(lineage.reasoning_steps, ai_count);
+        prop_assert_eq!(lineage.human_steps, n - ai_count);
+    }
+
+    /// Registry invariant: at most one Production version per artifact at
+    /// any time, and versions are dense 1..=k.
+    #[test]
+    fn registry_single_production(promotions in prop::collection::vec(0u32..10, 1..20)) {
+        let mut r = ModelRegistry::new();
+        let mut registered = 0u32;
+        for p in &promotions {
+            registered += 1;
+            r.register("model", ArtifactKind::Model, *p as u64);
+            let target = p % registered + 1;
+            // Promotion may fail if the target is archived — that's fine.
+            let _ = r.transition("model", target, Stage::Production);
+            let in_production = (1..=registered)
+                .filter(|v| r.get("model", *v).map(|a| a.stage == Stage::Production).unwrap_or(false))
+                .count();
+            prop_assert!(in_production <= 1, "multiple production versions");
+        }
+        for v in 1..=registered {
+            prop_assert_eq!(r.get("model", v).expect("dense versions").version, v);
+        }
+    }
+}

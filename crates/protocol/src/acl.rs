@@ -1,0 +1,450 @@
+//! Semantic agent performatives and conversation protocols.
+//!
+//! §5.2: "Message buses will evolve to support semantic agent negotiation."
+//! Raw pub/sub moves bytes; agents coordinating an experiment need *speech
+//! acts* — a request is not an inform, and accepting a dead proposal is a
+//! protocol violation, not a payload quirk. This module gives every message
+//! a performative (the FIPA-ACL vocabulary, trimmed to what federated
+//! science agents use) and validates whole conversations against an
+//! explicit reply grammar, so out-of-protocol behaviour is caught at the
+//! coordination layer instead of corrupting an experiment downstream.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The speech-act vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Performative {
+    /// Assert a fact ("characterization complete, purity 0.93").
+    Inform,
+    /// Ask the receiver to perform an action.
+    Request,
+    /// Commit to performing a previously requested action.
+    Agree,
+    /// Decline a request.
+    Refuse,
+    /// Report that an agreed action failed.
+    Failure,
+    /// Offer terms (resources, schedule, price).
+    Propose,
+    /// Reply to a proposal with different terms.
+    CounterPropose,
+    /// Accept the terms currently on the table.
+    AcceptProposal,
+    /// Reject the terms and end the negotiation.
+    RejectProposal,
+    /// Ask for the value of something ("queue depth?").
+    QueryRef,
+    /// Answer a query.
+    InformRef,
+    /// Ask for ongoing notifications.
+    Subscribe,
+    /// End a subscription.
+    Cancel,
+    /// Received a message that could not be interpreted.
+    NotUnderstood,
+}
+
+impl Performative {
+    /// The performatives that may legally *reply* to `self`.
+    ///
+    /// This is the conversation grammar: an edge `a → b` means "after `a`,
+    /// a reply `b` is in protocol". Initiating performatives (`Request`,
+    /// `Propose`, `QueryRef`, `Subscribe`, `Inform`) start conversations.
+    pub fn legal_replies(self) -> &'static [Performative] {
+        use Performative::*;
+        match self {
+            Request => &[Agree, Refuse, NotUnderstood],
+            Agree => &[Inform, Failure],
+            Propose | CounterPropose => {
+                &[AcceptProposal, RejectProposal, CounterPropose, NotUnderstood]
+            }
+            QueryRef => &[InformRef, Refuse, NotUnderstood],
+            Subscribe => &[Agree, Refuse, NotUnderstood],
+            Cancel => &[Inform, NotUnderstood],
+            // Terminal speech acts take no reply.
+            Inform | InformRef | Refuse | Failure | AcceptProposal | RejectProposal
+            | NotUnderstood => &[],
+        }
+    }
+
+    /// Whether a conversation may *start* with this performative.
+    pub fn can_initiate(self) -> bool {
+        use Performative::*;
+        matches!(self, Request | Propose | QueryRef | Subscribe | Inform | Cancel)
+    }
+
+    /// Whether this performative ends its conversation.
+    pub fn is_terminal(self) -> bool {
+        self.legal_replies().is_empty()
+    }
+}
+
+/// One semantic message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AclMessage {
+    /// Speech act.
+    pub performative: Performative,
+    /// Sending agent.
+    pub sender: String,
+    /// Receiving agent.
+    pub receiver: String,
+    /// Conversation this message belongs to.
+    pub conversation: u64,
+    /// Shared vocabulary the content is expressed in
+    /// (e.g. `"materials-synthesis/1"`). Mismatched ontologies are a
+    /// protocol violation: agents must not silently misread each other.
+    pub ontology: String,
+    /// Content, opaque to the protocol layer.
+    pub content: String,
+}
+
+impl AclMessage {
+    /// Build a message in conversation `conversation`.
+    pub fn new(
+        performative: Performative,
+        sender: impl Into<String>,
+        receiver: impl Into<String>,
+        conversation: u64,
+        ontology: impl Into<String>,
+        content: impl Into<String>,
+    ) -> Self {
+        AclMessage {
+            performative,
+            sender: sender.into(),
+            receiver: receiver.into(),
+            conversation,
+            ontology: ontology.into(),
+            content: content.into(),
+        }
+    }
+}
+
+/// Why a message was rejected by the conversation validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AclError {
+    /// First message of a conversation used a non-initiating performative.
+    CannotInitiate(Performative),
+    /// Reply performative is not in the grammar for the last message.
+    OutOfProtocol {
+        /// What the conversation was waiting on.
+        after: Performative,
+        /// What arrived instead.
+        got: Performative,
+    },
+    /// Message arrived after the conversation already terminated.
+    ConversationClosed(Performative),
+    /// Reply came from the wrong party (same sender twice in a row).
+    WrongTurn {
+        /// Who spoke last.
+        expected_from: String,
+        /// Who actually spoke.
+        got: String,
+    },
+    /// Ontology changed mid-conversation.
+    OntologyMismatch {
+        /// Ontology the conversation opened with.
+        expected: String,
+        /// Ontology on the offending message.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for AclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AclError::CannotInitiate(p) => write!(f, "{p:?} cannot start a conversation"),
+            AclError::OutOfProtocol { after, got } => {
+                write!(f, "{got:?} is not a legal reply to {after:?}")
+            }
+            AclError::ConversationClosed(p) => {
+                write!(f, "{p:?} arrived after the conversation terminated")
+            }
+            AclError::WrongTurn { expected_from, got } => {
+                write!(f, "expected a reply to {expected_from}, but {got} spoke")
+            }
+            AclError::OntologyMismatch { expected, got } => {
+                write!(f, "ontology changed mid-conversation: {expected} -> {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AclError {}
+
+/// Lifecycle of a conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConversationState {
+    /// Waiting for a reply.
+    Open,
+    /// Ended by a terminal performative.
+    Closed,
+}
+
+/// A validated two-party conversation.
+///
+/// Feed every message through [`Conversation::accept`]; the conversation
+/// refuses anything the reply grammar forbids. This is the enforcement
+/// point the paper's auditability requirement (§4.2) needs: an audit trail
+/// of *valid* speech acts, with violations surfaced rather than logged
+/// silently.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conversation {
+    id: u64,
+    ontology: Option<String>,
+    state: ConversationState,
+    last: Option<AclMessage>,
+    transcript: Vec<AclMessage>,
+}
+
+impl Conversation {
+    /// Empty conversation with the given correlation id.
+    pub fn new(id: u64) -> Self {
+        Conversation {
+            id,
+            ontology: None,
+            state: ConversationState::Open,
+            last: None,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Correlation id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConversationState {
+        self.state
+    }
+
+    /// All accepted messages in arrival order.
+    pub fn transcript(&self) -> &[AclMessage] {
+        &self.transcript
+    }
+
+    /// Validate and record one message. On error the conversation state is
+    /// unchanged — a rejected message leaves no trace in the transcript.
+    pub fn accept(&mut self, msg: AclMessage) -> Result<(), AclError> {
+        if self.state == ConversationState::Closed {
+            return Err(AclError::ConversationClosed(msg.performative));
+        }
+        match (&self.last, &self.ontology) {
+            (None, _) => {
+                if !msg.performative.can_initiate() {
+                    return Err(AclError::CannotInitiate(msg.performative));
+                }
+            }
+            (Some(prev), ontology) => {
+                if !prev
+                    .performative
+                    .legal_replies()
+                    .contains(&msg.performative)
+                {
+                    return Err(AclError::OutOfProtocol {
+                        after: prev.performative,
+                        got: msg.performative,
+                    });
+                }
+                if msg.sender == prev.sender {
+                    return Err(AclError::WrongTurn {
+                        expected_from: prev.receiver.clone(),
+                        got: msg.sender,
+                    });
+                }
+                if let Some(expected) = ontology {
+                    if *expected != msg.ontology {
+                        return Err(AclError::OntologyMismatch {
+                            expected: expected.clone(),
+                            got: msg.ontology,
+                        });
+                    }
+                }
+            }
+        }
+        if self.ontology.is_none() {
+            self.ontology = Some(msg.ontology.clone());
+        }
+        if msg.performative.is_terminal() {
+            self.state = ConversationState::Closed;
+        }
+        self.last = Some(msg.clone());
+        self.transcript.push(msg);
+        Ok(())
+    }
+}
+
+/// A registry multiplexing many conversations by id — what a facility
+/// gateway keeps per federation peer.
+#[derive(Debug, Default)]
+pub struct ConversationTable {
+    conversations: BTreeMap<u64, Conversation>,
+}
+
+impl ConversationTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route a message to its conversation, creating it on first use.
+    pub fn accept(&mut self, msg: AclMessage) -> Result<(), AclError> {
+        self.conversations
+            .entry(msg.conversation)
+            .or_insert_with(|| Conversation::new(msg.conversation))
+            .accept(msg)
+    }
+
+    /// Look up a conversation.
+    pub fn get(&self, id: u64) -> Option<&Conversation> {
+        self.conversations.get(&id)
+    }
+
+    /// Number of conversations ever opened.
+    pub fn len(&self) -> usize {
+        self.conversations.len()
+    }
+
+    /// Whether no conversation has been opened.
+    pub fn is_empty(&self) -> bool {
+        self.conversations.is_empty()
+    }
+
+    /// Count of conversations still awaiting replies — a backpressure
+    /// signal for the orchestration layer.
+    pub fn open_count(&self) -> usize {
+        self.conversations
+            .values()
+            .filter(|c| c.state() == ConversationState::Open)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Performative::*;
+
+    fn msg(p: Performative, from: &str, to: &str) -> AclMessage {
+        AclMessage::new(p, from, to, 7, "materials-synthesis/1", "c")
+    }
+
+    #[test]
+    fn request_agree_inform_is_a_legal_conversation() {
+        let mut c = Conversation::new(7);
+        c.accept(msg(Request, "planner", "synth")).unwrap();
+        c.accept(msg(Agree, "synth", "planner")).unwrap();
+        c.accept(msg(Inform, "planner", "synth")).unwrap();
+        assert_eq!(c.state(), ConversationState::Closed);
+        assert_eq!(c.transcript().len(), 3);
+    }
+
+    #[test]
+    fn inform_cannot_reply_to_request() {
+        let mut c = Conversation::new(1);
+        c.accept(msg(Request, "a", "b")).unwrap();
+        let err = c.accept(msg(Inform, "b", "a")).unwrap_err();
+        assert_eq!(
+            err,
+            AclError::OutOfProtocol {
+                after: Request,
+                got: Inform
+            }
+        );
+        // Rejection leaves no trace.
+        assert_eq!(c.transcript().len(), 1);
+        assert_eq!(c.state(), ConversationState::Open);
+    }
+
+    #[test]
+    fn terminal_closes_and_further_messages_bounce() {
+        let mut c = Conversation::new(1);
+        c.accept(msg(Request, "a", "b")).unwrap();
+        c.accept(msg(Refuse, "b", "a")).unwrap();
+        assert_eq!(c.state(), ConversationState::Closed);
+        assert_eq!(
+            c.accept(msg(Request, "a", "b")).unwrap_err(),
+            AclError::ConversationClosed(Request)
+        );
+    }
+
+    #[test]
+    fn agree_cannot_initiate() {
+        let mut c = Conversation::new(1);
+        assert_eq!(
+            c.accept(msg(Agree, "a", "b")).unwrap_err(),
+            AclError::CannotInitiate(Agree)
+        );
+    }
+
+    #[test]
+    fn same_sender_twice_is_wrong_turn() {
+        let mut c = Conversation::new(1);
+        c.accept(msg(Propose, "a", "b")).unwrap();
+        let err = c.accept(msg(CounterPropose, "a", "b")).unwrap_err();
+        assert!(matches!(err, AclError::WrongTurn { .. }));
+    }
+
+    #[test]
+    fn counter_propose_chains_until_accept() {
+        let mut c = Conversation::new(1);
+        c.accept(msg(Propose, "hpc", "beamline")).unwrap();
+        c.accept(msg(CounterPropose, "beamline", "hpc")).unwrap();
+        c.accept(msg(CounterPropose, "hpc", "beamline")).unwrap();
+        c.accept(msg(AcceptProposal, "beamline", "hpc")).unwrap();
+        assert_eq!(c.state(), ConversationState::Closed);
+    }
+
+    #[test]
+    fn ontology_switch_mid_conversation_rejected() {
+        let mut c = Conversation::new(1);
+        c.accept(msg(Request, "a", "b")).unwrap();
+        let mut bad = msg(Agree, "b", "a");
+        bad.ontology = "drug-discovery/2".into();
+        assert!(matches!(
+            c.accept(bad),
+            Err(AclError::OntologyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn table_multiplexes_and_counts_open_conversations() {
+        let mut t = ConversationTable::new();
+        let mut m1 = msg(Request, "a", "b");
+        m1.conversation = 1;
+        let mut m2 = msg(QueryRef, "a", "c");
+        m2.conversation = 2;
+        t.accept(m1).unwrap();
+        t.accept(m2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.open_count(), 2);
+        let mut reply = msg(InformRef, "c", "a");
+        reply.conversation = 2;
+        t.accept(reply).unwrap();
+        assert_eq!(t.open_count(), 1);
+    }
+
+    #[test]
+    fn every_terminal_performative_has_no_replies() {
+        for p in [
+            Inform,
+            InformRef,
+            Refuse,
+            Failure,
+            AcceptProposal,
+            RejectProposal,
+            NotUnderstood,
+        ] {
+            assert!(p.is_terminal(), "{p:?} should be terminal");
+        }
+    }
+
+    #[test]
+    fn acl_message_serde_roundtrip() {
+        let m = msg(Propose, "x", "y");
+        let json = serde_json::to_string(&m).unwrap();
+        let back: AclMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

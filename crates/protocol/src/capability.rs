@@ -1,0 +1,329 @@
+//! Vendor-agnostic capability description and semantic matchmaking.
+//!
+//! §4.2: "Without common standards for capability description, data
+//! sharing, and execution intent, such workflows risk incompatibility and
+//! fragmentation." A capability offer is a schema — named, unit-carrying
+//! value ranges plus qualitative tags — rather than a vendor API, so a
+//! planner can match a requirement ("synthesize at 700–900 K, ≥ 20
+//! samples/day") against any facility's advertisement without knowing whose
+//! robot sits behind it (§4.1's heterogeneous-vendor-integration problem).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An inclusive numeric range with a unit label.
+///
+/// Units are compared *literally*: `"K"` does not match `"degC"`. Silent
+/// unit coercion is exactly the class of integration bug this schema
+/// exists to surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueRange {
+    /// Lower inclusive bound.
+    pub min: f64,
+    /// Upper inclusive bound.
+    pub max: f64,
+    /// Unit label (SI symbol or domain unit, e.g. `"K"`, `"samples/day"`).
+    pub unit: String,
+}
+
+impl ValueRange {
+    /// Range `[min, max]` in `unit`.
+    pub fn new(min: f64, max: f64, unit: impl Into<String>) -> Self {
+        ValueRange {
+            min,
+            max,
+            unit: unit.into(),
+        }
+    }
+
+    /// A single point value.
+    pub fn exactly(v: f64, unit: impl Into<String>) -> Self {
+        Self::new(v, v, unit)
+    }
+
+    /// Whether `self` (a requirement) fits inside `offer`, units included.
+    pub fn fits_within(&self, offer: &ValueRange) -> bool {
+        self.unit == offer.unit && offer.min <= self.min && self.max <= offer.max
+    }
+
+    /// Fractional slack the offer leaves around the requirement, in
+    /// [0, 1]: 0 = exact fit, →1 = requirement is a speck inside the offer.
+    /// Used as a tie-breaker: tighter fits waste less capability.
+    pub fn slack_within(&self, offer: &ValueRange) -> f64 {
+        let offer_span = offer.max - offer.min;
+        if offer_span <= f64::EPSILON {
+            return 0.0; // point offer: an exact fit by definition
+        }
+        let req_span = self.max - self.min;
+        (1.0 - req_span / offer_span).clamp(0.0, 1.0)
+    }
+}
+
+/// A facility's advertisement of one capability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityOffer {
+    /// Capability name in the shared vocabulary (e.g. `"synthesis"`).
+    pub capability: String,
+    /// Facility advertising it.
+    pub facility: String,
+    /// Named parameter envelopes this facility supports.
+    pub ranges: BTreeMap<String, ValueRange>,
+    /// Qualitative properties (e.g. `"inert-atmosphere"`, `"cryo"`).
+    pub tags: BTreeSet<String>,
+    /// Abstract cost per unit of work (for ranking; §5.2's SLA currency).
+    pub cost_per_unit: f64,
+}
+
+impl CapabilityOffer {
+    /// New offer with no ranges or tags.
+    pub fn new(
+        capability: impl Into<String>,
+        facility: impl Into<String>,
+        cost_per_unit: f64,
+    ) -> Self {
+        CapabilityOffer {
+            capability: capability.into(),
+            facility: facility.into(),
+            ranges: BTreeMap::new(),
+            tags: BTreeSet::new(),
+            cost_per_unit,
+        }
+    }
+
+    /// Add a parameter envelope.
+    pub fn with_range(mut self, name: impl Into<String>, range: ValueRange) -> Self {
+        self.ranges.insert(name.into(), range);
+        self
+    }
+
+    /// Add a qualitative tag.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.insert(tag.into());
+        self
+    }
+}
+
+/// What a planner needs from a capability.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Capability name that must match exactly.
+    pub capability: String,
+    /// Parameter ranges the work needs (must fit inside the offer's).
+    pub ranges: BTreeMap<String, ValueRange>,
+    /// Tags the offer must carry.
+    pub required_tags: BTreeSet<String>,
+}
+
+impl Requirement {
+    /// Requirement for `capability` with no parameters yet.
+    pub fn new(capability: impl Into<String>) -> Self {
+        Requirement {
+            capability: capability.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Require a parameter range.
+    pub fn with_range(mut self, name: impl Into<String>, range: ValueRange) -> Self {
+        self.ranges.insert(name.into(), range);
+        self
+    }
+
+    /// Require a tag.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.required_tags.insert(tag.into());
+        self
+    }
+}
+
+/// Why an offer failed to match, in enough detail to act on — the paper's
+/// interoperability story depends on mismatches being diagnosable, not
+/// silent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatchOutcome {
+    /// Offer satisfies the requirement; higher score ranks earlier.
+    Match {
+        /// Composite desirability in [0, 1] (fit tightness and cost).
+        score: f64,
+    },
+    /// Capability names differ.
+    WrongCapability,
+    /// Offer lacks a parameter the requirement names.
+    MissingParameter(String),
+    /// Parameter exists but the requirement falls outside the envelope or
+    /// the units differ.
+    RangeMismatch {
+        /// Offending parameter.
+        parameter: String,
+        /// Requirement's unit.
+        required_unit: String,
+        /// Offer's unit.
+        offered_unit: String,
+    },
+    /// Offer lacks a required tag.
+    MissingTag(String),
+}
+
+/// Evaluate one offer against one requirement.
+pub fn evaluate(req: &Requirement, offer: &CapabilityOffer) -> MatchOutcome {
+    if req.capability != offer.capability {
+        return MatchOutcome::WrongCapability;
+    }
+    for tag in &req.required_tags {
+        if !offer.tags.contains(tag) {
+            return MatchOutcome::MissingTag(tag.clone());
+        }
+    }
+    let mut slack_sum = 0.0;
+    for (name, need) in &req.ranges {
+        let Some(have) = offer.ranges.get(name) else {
+            return MatchOutcome::MissingParameter(name.clone());
+        };
+        if !need.fits_within(have) {
+            return MatchOutcome::RangeMismatch {
+                parameter: name.clone(),
+                required_unit: need.unit.clone(),
+                offered_unit: have.unit.clone(),
+            };
+        }
+        slack_sum += need.slack_within(have);
+    }
+    let n = req.ranges.len().max(1) as f64;
+    let fit = 1.0 - slack_sum / n; // 1.0 = tight fit, 0.0 = sloppy fit
+    let cost_score = 1.0 / (1.0 + offer.cost_per_unit.max(0.0));
+    MatchOutcome::Match {
+        score: 0.6 * fit + 0.4 * cost_score,
+    }
+}
+
+/// Rank all matching offers, best first. Non-matches are dropped; ranking
+/// ties break deterministically by facility name so federated planners
+/// reach identical decisions from identical state (reproducibility, §2.4).
+pub fn match_offers<'a>(
+    req: &Requirement,
+    offers: &'a [CapabilityOffer],
+) -> Vec<(&'a CapabilityOffer, f64)> {
+    let mut matched: Vec<(&CapabilityOffer, f64)> = offers
+        .iter()
+        .filter_map(|o| match evaluate(req, o) {
+            MatchOutcome::Match { score } => Some((o, score)),
+            _ => None,
+        })
+        .collect();
+    matched.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.facility.cmp(&b.0.facility))
+    });
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthesis_offer(facility: &str, tmax: f64, cost: f64) -> CapabilityOffer {
+        CapabilityOffer::new("synthesis", facility, cost)
+            .with_range("temperature", ValueRange::new(300.0, tmax, "K"))
+            .with_range("throughput", ValueRange::new(1.0, 50.0, "samples/day"))
+            .with_tag("inert-atmosphere")
+    }
+
+    fn synthesis_req() -> Requirement {
+        Requirement::new("synthesis")
+            .with_range("temperature", ValueRange::new(700.0, 900.0, "K"))
+            .with_range("throughput", ValueRange::new(20.0, 20.0, "samples/day"))
+            .with_tag("inert-atmosphere")
+    }
+
+    #[test]
+    fn fitting_offer_matches() {
+        let out = evaluate(&synthesis_req(), &synthesis_offer("alab", 1200.0, 2.0));
+        assert!(matches!(out, MatchOutcome::Match { score } if score > 0.0));
+    }
+
+    #[test]
+    fn out_of_envelope_is_range_mismatch() {
+        let out = evaluate(&synthesis_req(), &synthesis_offer("small-lab", 800.0, 1.0));
+        assert_eq!(
+            out,
+            MatchOutcome::RangeMismatch {
+                parameter: "temperature".into(),
+                required_unit: "K".into(),
+                offered_unit: "K".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn unit_mismatch_is_not_silently_coerced() {
+        let offer = CapabilityOffer::new("synthesis", "x", 1.0)
+            .with_range("temperature", ValueRange::new(0.0, 1000.0, "degC"))
+            .with_range("throughput", ValueRange::new(1.0, 50.0, "samples/day"))
+            .with_tag("inert-atmosphere");
+        let out = evaluate(&synthesis_req(), &offer);
+        assert!(matches!(out, MatchOutcome::RangeMismatch { parameter, .. }
+            if parameter == "temperature"));
+    }
+
+    #[test]
+    fn missing_tag_and_missing_parameter_reported() {
+        let mut offer = synthesis_offer("alab", 1200.0, 2.0);
+        offer.tags.clear();
+        assert_eq!(
+            evaluate(&synthesis_req(), &offer),
+            MatchOutcome::MissingTag("inert-atmosphere".into())
+        );
+        let mut offer2 = synthesis_offer("alab", 1200.0, 2.0);
+        offer2.ranges.remove("throughput");
+        assert_eq!(
+            evaluate(&synthesis_req(), &offer2),
+            MatchOutcome::MissingParameter("throughput".into())
+        );
+    }
+
+    #[test]
+    fn wrong_capability_short_circuits() {
+        let offer = synthesis_offer("alab", 1200.0, 2.0);
+        let req = Requirement::new("characterization");
+        assert_eq!(evaluate(&req, &offer), MatchOutcome::WrongCapability);
+    }
+
+    #[test]
+    fn ranking_prefers_tighter_and_cheaper() {
+        let offers = vec![
+            synthesis_offer("huge-expensive", 5000.0, 10.0),
+            synthesis_offer("tight-cheap", 950.0, 1.0),
+        ];
+        let ranked = match_offers(&synthesis_req(), &offers);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0.facility, "tight-cheap");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn ranking_tie_breaks_deterministically_by_name() {
+        let offers = vec![
+            synthesis_offer("zeta", 1200.0, 2.0),
+            synthesis_offer("alpha", 1200.0, 2.0),
+        ];
+        let ranked = match_offers(&synthesis_req(), &offers);
+        assert_eq!(ranked[0].0.facility, "alpha");
+    }
+
+    #[test]
+    fn point_requirement_fits_point_offer() {
+        let need = ValueRange::exactly(5.0, "GB");
+        let have = ValueRange::exactly(5.0, "GB");
+        assert!(need.fits_within(&have));
+        assert_eq!(need.slack_within(&have), 0.0);
+    }
+
+    #[test]
+    fn offer_serde_roundtrip() {
+        let o = synthesis_offer("alab", 1200.0, 2.0);
+        let json = serde_json::to_string(&o).unwrap();
+        let back: CapabilityOffer = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+}

@@ -1,0 +1,36 @@
+//! # evoflow-protocol — standardized agent communication
+//!
+//! The paper's roadmap (§5.5, §7 *Workflows Research*) calls for
+//! "communication protocols between agents [to] be standardized to enable
+//! transitions from pipeline-based systems to fully emergent swarms" and for
+//! "authentication and transfer services [to be augmented] with capability
+//! negotiation protocols assuming non-human access scenarios". This crate is
+//! that reference implementation:
+//!
+//! * [`wire`] — a versioned, checksummed binary frame format (built on
+//!   [`bytes`]) so heterogeneous facilities can exchange messages without
+//!   sharing a language runtime; includes version negotiation.
+//! * [`acl`] — semantic performatives (inform / request / propose /
+//!   counter-propose / …) with a conversation-protocol state machine that
+//!   rejects out-of-protocol replies — the "semantic agent negotiation"
+//!   message buses must evolve toward (§5.2).
+//! * [`capability`] — a vendor-agnostic capability-description schema with
+//!   unit-carrying ranges and semantic matchmaking, the "common standards
+//!   for capability description, data sharing, and execution intent"
+//!   whose absence §4.2 warns causes fragmentation.
+//! * [`negotiation`] — multi-round alternating-offers SLA negotiation
+//!   between facility agents (time-dependent concession strategies,
+//!   Pareto-efficiency audit) — §5.2's "dynamic service-level agreements
+//!   for cross-facility negotiation".
+
+pub mod acl;
+pub mod capability;
+pub mod negotiation;
+pub mod wire;
+
+pub use acl::{AclError, AclMessage, Conversation, ConversationState, Performative};
+pub use capability::{match_offers, CapabilityOffer, MatchOutcome, Requirement, ValueRange};
+pub use negotiation::{
+    negotiate, Contract, Issue, NegotiationOutcome, Negotiator, Preferences, Strategy,
+};
+pub use wire::{decode_frame, encode_frame, negotiate_version, Frame, FrameKind, WireError};

@@ -1,0 +1,500 @@
+//! Multi-round alternating-offers SLA negotiation between facility agents.
+//!
+//! §5.2: "Resource allocation implements dynamic service-level agreements
+//! for cross-facility negotiation, considering compute availability, sample
+//! scarcity, and exploration-exploitation trade-offs." This module is the
+//! mechanism: two agents with private linear utilities over a set of
+//! [`Issue`]s exchange offers under a round deadline. Strategies follow the
+//! time-dependent-concession family standard in automated negotiation
+//! (Boulware holds firm then concedes late; Conceder yields early;
+//! tit-for-tat mirrors the opponent's concessions).
+//!
+//! An agreement is only announced when an offer crosses the *responder's*
+//! reservation utility, so every deal is individually rational by
+//! construction; [`NegotiationOutcome::pareto_gap`] audits how far the deal
+//! landed from the Pareto frontier.
+
+use serde::{Deserialize, Serialize};
+
+/// One negotiable dimension of the contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Issue {
+    /// Name (e.g. `"node_hours"`, `"deadline_hours"`, `"samples"`).
+    pub name: String,
+    /// Smallest value either side may propose.
+    pub min: f64,
+    /// Largest value either side may propose.
+    pub max: f64,
+}
+
+impl Issue {
+    /// Issue over `[min, max]`. Panics on an empty range — a contract
+    /// dimension nobody can move is a specification bug, not a runtime
+    /// condition.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        let name = name.into();
+        assert!(max > min, "issue {name:?} has empty range");
+        Issue { name, min, max }
+    }
+}
+
+/// A concrete assignment of every issue — the thing being negotiated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contract {
+    /// One value per issue, in issue order, each within its issue's range.
+    pub values: Vec<f64>,
+}
+
+/// A party's private valuation: linear utility over normalized issues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preferences {
+    /// Per-issue weight; positive weights want the issue *high*, negative
+    /// weights want it *low*. Weights are normalized internally.
+    pub weights: Vec<f64>,
+    /// Utility below which this party walks away (in [0, 1]).
+    pub reservation: f64,
+}
+
+impl Preferences {
+    /// Preferences with the given raw weights and reservation utility.
+    pub fn new(weights: Vec<f64>, reservation: f64) -> Self {
+        Preferences {
+            weights,
+            reservation,
+        }
+    }
+
+    /// Utility of `contract` in [0, 1]: weighted mean of per-issue
+    /// satisfactions, where satisfaction is the normalized position in the
+    /// preferred direction.
+    pub fn utility(&self, contract: &Contract, issues: &[Issue]) -> f64 {
+        debug_assert_eq!(contract.values.len(), issues.len());
+        debug_assert_eq!(self.weights.len(), issues.len());
+        let total: f64 = self.weights.iter().map(|w| w.abs()).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        issues
+            .iter()
+            .zip(&contract.values)
+            .zip(&self.weights)
+            .map(|((issue, &v), &w)| {
+                let span = (issue.max - issue.min).max(f64::EPSILON);
+                let pos = ((v - issue.min) / span).clamp(0.0, 1.0);
+                let satisfaction = if w >= 0.0 { pos } else { 1.0 - pos };
+                w.abs() * satisfaction
+            })
+            .sum::<f64>()
+            / total
+    }
+
+    /// The contract this party would most prefer (its ideal point).
+    pub fn ideal(&self, issues: &[Issue]) -> Contract {
+        Contract {
+            values: issues
+                .iter()
+                .zip(&self.weights)
+                .map(|(issue, &w)| if w >= 0.0 { issue.max } else { issue.min })
+                .collect(),
+        }
+    }
+}
+
+/// Concession behaviour over normalized time `t ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Concede slowly, then rush at the deadline (β < 1 in the
+    /// time-dependent family). Typical of a facility with market power.
+    Boulware {
+        /// Concession exponent; smaller = more stubborn. Must be > 0.
+        beta: f64,
+    },
+    /// Concede fast early (β > 1) — a PI who needs beam time this cycle.
+    Conceder {
+        /// Concession exponent; larger = more eager. Must be > 0.
+        beta: f64,
+    },
+    /// Mirror the opponent's concessions (reciprocal tit-for-tat):
+    /// concede in total as much utility as the opponent has conceded in
+    /// total — meet-in-the-middle against a conceder, stonewall against a
+    /// stonewaller.
+    TitForTat,
+}
+
+impl Strategy {
+    /// Target own-utility at normalized time `t`, given the opponent's
+    /// cumulative concession so far (for tit-for-tat).
+    fn target_utility(self, t: f64, reservation: f64, opponent_conceded: f64) -> f64 {
+        match self {
+            Strategy::Boulware { beta } | Strategy::Conceder { beta } => {
+                let b = beta.max(1e-6);
+                // Standard time-dependent concession: u(t) = 1 - (1-r)·t^(1/β)
+                // Boulware uses β < 1 (slow start), Conceder β > 1.
+                1.0 - (1.0 - reservation) * t.powf(1.0 / b)
+            }
+            Strategy::TitForTat => (1.0 - opponent_conceded).max(reservation),
+        }
+    }
+}
+
+/// One negotiating party.
+#[derive(Debug, Clone)]
+pub struct Negotiator {
+    /// Display name (lands in the transcript / audit trail).
+    pub name: String,
+    /// Private valuation.
+    pub prefs: Preferences,
+    /// Concession behaviour.
+    pub strategy: Strategy,
+}
+
+impl Negotiator {
+    /// New party.
+    pub fn new(name: impl Into<String>, prefs: Preferences, strategy: Strategy) -> Self {
+        Negotiator {
+            name: name.into(),
+            prefs,
+            strategy,
+        }
+    }
+
+    /// Generate the offer at time `t`: start from own ideal and walk
+    /// toward the opponent's last offer until own utility drops to the
+    /// strategy's target.
+    fn offer_at(
+        &self,
+        t: f64,
+        issues: &[Issue],
+        opponent_last: Option<&Contract>,
+        opponent_conceded: f64,
+    ) -> Contract {
+        let target = self
+            .strategy
+            .target_utility(t, self.prefs.reservation, opponent_conceded)
+            .max(self.prefs.reservation);
+        let ideal = self.prefs.ideal(issues);
+        let Some(toward) = opponent_last else {
+            return ideal;
+        };
+        // Binary search the mixing coefficient α ∈ [0,1] between own ideal
+        // (α=0) and the opponent's offer (α=1) for the point where own
+        // utility equals the target. Utility is monotone in α for linear
+        // preferences, so 32 halvings pin it to ~1e-10.
+        let mix = |alpha: f64| Contract {
+            values: ideal
+                .values
+                .iter()
+                .zip(&toward.values)
+                .map(|(&a, &b)| a + alpha * (b - a))
+                .collect(),
+        };
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        if self.prefs.utility(&mix(1.0), issues) >= target {
+            return mix(1.0);
+        }
+        for _ in 0..32 {
+            let mid = 0.5 * (lo + hi);
+            if self.prefs.utility(&mix(mid), issues) >= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        mix(lo)
+    }
+}
+
+/// Result of a negotiation session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NegotiationOutcome {
+    /// The agreed contract, or `None` if the deadline passed.
+    pub agreement: Option<Contract>,
+    /// Rounds used (one round = one offer).
+    pub rounds: u32,
+    /// Utility of the outcome for the initiator (0 if no deal).
+    pub utility_a: f64,
+    /// Utility of the outcome for the responder (0 if no deal).
+    pub utility_b: f64,
+    /// Full offer history `(party_name, contract)`, the audit trail
+    /// §4.2's accountability requirement asks for.
+    pub transcript: Vec<(String, Contract)>,
+}
+
+impl NegotiationOutcome {
+    /// Distance from the Pareto frontier along the equal-gain direction,
+    /// estimated by sampling the contract space on a grid: 0 means no
+    /// joint improvement exists; larger values measure money left on the
+    /// table. `None` when there was no agreement.
+    pub fn pareto_gap(&self, issues: &[Issue], a: &Preferences, b: &Preferences) -> Option<f64> {
+        let agreed = self.agreement.as_ref()?;
+        let ua = a.utility(agreed, issues);
+        let ub = b.utility(agreed, issues);
+        let mut best_gain = 0.0f64;
+        // Grid-sample the space; 11 points/dim is ample for the linear
+        // utilities used here and keeps the audit O(11^d) with small d.
+        let steps = 11usize;
+        let mut idx = vec![0usize; issues.len()];
+        loop {
+            let cand = Contract {
+                values: issues
+                    .iter()
+                    .zip(&idx)
+                    .map(|(issue, &i)| {
+                        issue.min + (issue.max - issue.min) * i as f64 / (steps - 1) as f64
+                    })
+                    .collect(),
+            };
+            let ca = a.utility(&cand, issues);
+            let cb = b.utility(&cand, issues);
+            if ca >= ua && cb >= ub {
+                best_gain = best_gain.max((ca - ua).min(cb - ub));
+            }
+            // Odometer increment over the grid.
+            let mut d = 0;
+            loop {
+                if d == idx.len() {
+                    return Some(best_gain);
+                }
+                idx[d] += 1;
+                if idx[d] < steps {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+/// Run an alternating-offers session: `a` opens, parties alternate until
+/// one accepts (offer utility ≥ its reservation *and* ≥ what it expects
+/// from its own next counter) or `max_rounds` expires.
+pub fn negotiate(
+    a: &Negotiator,
+    b: &Negotiator,
+    issues: &[Issue],
+    max_rounds: u32,
+) -> NegotiationOutcome {
+    assert!(max_rounds >= 2, "need at least one offer per side");
+    let mut transcript: Vec<(String, Contract)> = Vec::new();
+    let mut last_offer: Option<Contract> = None;
+    // opp_conceded[i] = cumulative utility party i's *opponent* has conceded
+    // from its ideal (1.0) so far — what tit-for-tat reciprocates.
+    let mut opp_conceded: [f64; 2] = [0.0, 0.0];
+
+    for round in 0..max_rounds {
+        let t = round as f64 / (max_rounds - 1) as f64;
+        let (proposer, responder, pi) = if round % 2 == 0 {
+            (a, b, 0usize)
+        } else {
+            (b, a, 1usize)
+        };
+        // Does the standing offer already satisfy the proposer? Accept
+        // rather than counter if it beats what the proposer would itself
+        // propose now.
+        if let Some(standing) = &last_offer {
+            let standing_util = proposer.prefs.utility(standing, issues);
+            let own_next = proposer.offer_at(t, issues, Some(standing), opp_conceded[pi]);
+            let own_next_util = proposer.prefs.utility(&own_next, issues);
+            if standing_util >= proposer.prefs.reservation && standing_util >= own_next_util {
+                let ua = a.prefs.utility(standing, issues);
+                let ub = b.prefs.utility(standing, issues);
+                return NegotiationOutcome {
+                    agreement: Some(standing.clone()),
+                    rounds: round + 1,
+                    utility_a: ua,
+                    utility_b: ub,
+                    transcript,
+                };
+            }
+        }
+        let offer = proposer.offer_at(t, issues, last_offer.as_ref(), opp_conceded[pi]);
+        let own_util = proposer.prefs.utility(&offer, issues);
+        // Record this proposer's cumulative concession for the responder's
+        // tit-for-tat bookkeeping (own ideal always scores 1.0).
+        opp_conceded[1 - pi] = (1.0 - own_util).max(0.0);
+        transcript.push((proposer.name.clone(), offer.clone()));
+        // Responder accepts immediately when the offer clears its
+        // reservation at the deadline-adjusted target.
+        let responder_util = responder.prefs.utility(&offer, issues);
+        let responder_target = responder
+            .strategy
+            .target_utility(t, responder.prefs.reservation, opp_conceded[1 - pi])
+            .max(responder.prefs.reservation);
+        if responder_util >= responder_target {
+            let ua = a.prefs.utility(&offer, issues);
+            let ub = b.prefs.utility(&offer, issues);
+            return NegotiationOutcome {
+                agreement: Some(offer),
+                rounds: round + 1,
+                utility_a: ua,
+                utility_b: ub,
+                transcript,
+            };
+        }
+        last_offer = Some(offer);
+    }
+    NegotiationOutcome {
+        agreement: None,
+        rounds: max_rounds,
+        utility_a: 0.0,
+        utility_b: 0.0,
+        transcript,
+    }
+}
+
+/// Convenience alias for [`Issue::new`].
+pub fn issue(name: impl Into<String>, min: f64, max: f64) -> Issue {
+    Issue::new(name, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// HPC facility sells node-hours (wants price high, volume low);
+    /// campaign planner buys (wants price low, volume high, deadline soon).
+    fn hpc_vs_planner() -> (Negotiator, Negotiator, Vec<Issue>) {
+        let issues = vec![
+            issue("price", 1.0, 10.0),
+            issue("node_hours", 100.0, 10_000.0),
+            issue("deadline_hours", 24.0, 720.0),
+        ];
+        let hpc = Negotiator::new(
+            "hpc-center",
+            Preferences::new(vec![1.0, -0.4, 0.6], 0.3),
+            Strategy::Boulware { beta: 0.4 },
+        );
+        let planner = Negotiator::new(
+            "campaign-planner",
+            Preferences::new(vec![-1.0, 0.8, -0.5], 0.3),
+            Strategy::Conceder { beta: 2.0 },
+        );
+        (hpc, planner, issues)
+    }
+
+    #[test]
+    fn opposed_parties_still_reach_agreement() {
+        let (hpc, planner, issues) = hpc_vs_planner();
+        let out = negotiate(&hpc, &planner, &issues, 50);
+        let agreed = out.agreement.expect("deadline generous enough to settle");
+        assert!(out.utility_a >= hpc.prefs.reservation - 1e-9);
+        assert!(out.utility_b >= planner.prefs.reservation - 1e-9);
+        for (v, issue) in agreed.values.iter().zip(&issues) {
+            assert!(*v >= issue.min - 1e-9 && *v <= issue.max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn agreement_is_individually_rational_for_both() {
+        let (hpc, planner, issues) = hpc_vs_planner();
+        let out = negotiate(&hpc, &planner, &issues, 30);
+        assert!(out.agreement.is_some());
+        assert!(out.utility_a >= 0.3 - 1e-9, "HPC below reservation");
+        assert!(out.utility_b >= 0.3 - 1e-9, "planner below reservation");
+    }
+
+    #[test]
+    fn impossible_reservations_end_in_no_deal() {
+        let issues = vec![issue("price", 0.0, 1.0)];
+        // Both demand ≥ 0.9 utility on a pure zero-sum issue: u_a + u_b = 1.
+        let a = Negotiator::new(
+            "a",
+            Preferences::new(vec![1.0], 0.9),
+            Strategy::Boulware { beta: 0.5 },
+        );
+        let b = Negotiator::new(
+            "b",
+            Preferences::new(vec![-1.0], 0.9),
+            Strategy::Boulware { beta: 0.5 },
+        );
+        let out = negotiate(&a, &b, &issues, 40);
+        assert!(out.agreement.is_none());
+        assert_eq!(out.rounds, 40);
+    }
+
+    #[test]
+    fn conceder_settles_faster_than_boulware_pair() {
+        let issues = vec![issue("price", 0.0, 1.0), issue("volume", 0.0, 100.0)];
+        let seller = |s| {
+            Negotiator::new(
+                "s",
+                Preferences::new(vec![1.0, -0.2], 0.2),
+                s,
+            )
+        };
+        let buyer = Negotiator::new(
+            "b",
+            Preferences::new(vec![-1.0, 0.5], 0.2),
+            Strategy::Conceder { beta: 3.0 },
+        );
+        let fast = negotiate(&seller(Strategy::Conceder { beta: 3.0 }), &buyer, &issues, 60);
+        let slow = negotiate(&seller(Strategy::Boulware { beta: 0.2 }), &buyer, &issues, 60);
+        assert!(fast.agreement.is_some() && slow.agreement.is_some());
+        assert!(
+            fast.rounds <= slow.rounds,
+            "conceder pair {} rounds vs boulware {} rounds",
+            fast.rounds,
+            slow.rounds
+        );
+    }
+
+    #[test]
+    fn boulware_seller_extracts_more_utility_than_conceder_seller() {
+        let (_, planner, issues) = hpc_vs_planner();
+        let seller = |s| Negotiator::new("hpc", Preferences::new(vec![1.0, -0.4, 0.6], 0.2), s);
+        let tough = negotiate(&seller(Strategy::Boulware { beta: 0.15 }), &planner, &issues, 80);
+        let soft = negotiate(&seller(Strategy::Conceder { beta: 4.0 }), &planner, &issues, 80);
+        assert!(tough.agreement.is_some() && soft.agreement.is_some());
+        assert!(
+            tough.utility_a >= soft.utility_a,
+            "tough {} vs soft {}",
+            tough.utility_a,
+            soft.utility_a
+        );
+    }
+
+    #[test]
+    fn tit_for_tat_reaches_agreement_against_conceder() {
+        let issues = vec![issue("price", 0.0, 1.0)];
+        let a = Negotiator::new("a", Preferences::new(vec![1.0], 0.2), Strategy::TitForTat);
+        let b = Negotiator::new(
+            "b",
+            Preferences::new(vec![-1.0], 0.2),
+            Strategy::Conceder { beta: 2.5 },
+        );
+        let out = negotiate(&a, &b, &issues, 60);
+        assert!(out.agreement.is_some());
+    }
+
+    #[test]
+    fn transcript_alternates_parties() {
+        let (hpc, planner, issues) = hpc_vs_planner();
+        let out = negotiate(&hpc, &planner, &issues, 50);
+        for pair in out.transcript.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "same party offered twice in a row");
+        }
+    }
+
+    #[test]
+    fn pareto_gap_is_small_for_settled_deals() {
+        let (hpc, planner, issues) = hpc_vs_planner();
+        let out = negotiate(&hpc, &planner, &issues, 100);
+        let gap = out
+            .pareto_gap(&issues, &hpc.prefs, &planner.prefs)
+            .expect("agreement exists");
+        assert!(gap < 0.35, "deal left {gap} joint utility on the table");
+    }
+
+    #[test]
+    fn utility_is_bounded_and_monotone_in_preferred_direction() {
+        let issues = vec![issue("x", 0.0, 10.0)];
+        let p = Preferences::new(vec![1.0], 0.0);
+        let u_low = p.utility(&Contract { values: vec![0.0] }, &issues);
+        let u_mid = p.utility(&Contract { values: vec![5.0] }, &issues);
+        let u_high = p.utility(&Contract { values: vec![10.0] }, &issues);
+        assert!(u_low < u_mid && u_mid < u_high);
+        assert!((0.0..=1.0).contains(&u_low) && (0.0..=1.0).contains(&u_high));
+        assert_eq!(p.ideal(&issues).values, vec![10.0]);
+    }
+}

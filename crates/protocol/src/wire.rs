@@ -1,0 +1,402 @@
+//! Versioned binary wire framing for federated agent messaging.
+//!
+//! Facilities in a federation run different software stacks behind different
+//! administrative boundaries (§5.1); the only thing they are guaranteed to
+//! share is bytes on a wire. A frame is:
+//!
+//! ```text
+//! +-------+---------+------+-------+--------------+---------+-----------+
+//! | magic | version | kind | flags | conversation | len:u32 | payload   |
+//! | 4B    | u16     | u8   | u8    | u64          |         | len bytes |
+//! +-------+---------+------+-------+--------------+---------+-----------+
+//! | checksum: u64 (FNV-1a over everything before it)                    |
+//! +----------------------------------------------------------------------+
+//! ```
+//!
+//! All integers are little-endian. The checksum detects corruption in
+//! transit; the version field supports the paper's evolutionary-migration
+//! requirement — old facilities keep speaking v1 while new ones negotiate
+//! up ([`negotiate_version`]).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Frame magic: `EVFW` ("EVoflow Federated Wire").
+pub const MAGIC: [u8; 4] = *b"EVFW";
+
+/// Lowest protocol version this implementation can speak.
+pub const MIN_VERSION: u16 = 1;
+/// Highest protocol version this implementation can speak.
+pub const MAX_VERSION: u16 = 3;
+
+/// Hard upper bound on payload size (16 MiB). Oversized frames are rejected
+/// before allocation — a federation peer must not be able to force an
+/// unbounded allocation (§4.2's governance concern applied to transport).
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Fixed overhead of a frame: header (20 bytes) + trailing checksum (8).
+pub const FRAME_OVERHEAD: usize = 4 + 2 + 1 + 1 + 8 + 4 + 8;
+
+/// Semantic class of a frame, so transports can route without parsing
+/// payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Connection/version handshake.
+    Hello = 0,
+    /// Agent-to-agent semantic message ([`crate::acl::AclMessage`] payload).
+    Acl = 1,
+    /// Bulk data-fabric transfer chunk.
+    Data = 2,
+    /// Liveness heartbeat.
+    Heartbeat = 3,
+    /// Provenance/audit record.
+    Audit = 4,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(FrameKind::Hello),
+            1 => Some(FrameKind::Acl),
+            2 => Some(FrameKind::Data),
+            3 => Some(FrameKind::Heartbeat),
+            4 => Some(FrameKind::Audit),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version the sender encoded with.
+    pub version: u16,
+    /// Routing class.
+    pub kind: FrameKind,
+    /// Reserved flag bits (must round-trip unchanged).
+    pub flags: u8,
+    /// Conversation correlation id (ties frames to an ACL conversation).
+    pub conversation: u64,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Version outside [[`MIN_VERSION`], [`MAX_VERSION`]].
+    UnsupportedVersion(u16),
+    /// Unknown [`FrameKind`] discriminant.
+    UnknownKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(usize),
+    /// Buffer ended before the declared frame length; contains how many
+    /// more bytes are needed (streaming decoders wait for more input).
+    Truncated(usize),
+    /// Checksum mismatch: payload corrupted in transit.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        expected: u64,
+        /// Checksum recomputed from received bytes.
+        actual: u64,
+    },
+    /// No overlap between two peers' version windows.
+    VersionDisjoint {
+        /// Our [min, max] window.
+        ours: (u16, u16),
+        /// Their [min, max] window.
+        theirs: (u16, u16),
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversize(n) => write!(f, "payload of {n} bytes exceeds MAX_PAYLOAD"),
+            WireError::Truncated(n) => write!(f, "truncated frame: {n} more bytes needed"),
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: frame {expected:#x}, computed {actual:#x}")
+            }
+            WireError::VersionDisjoint { ours, theirs } => write!(
+                f,
+                "no common protocol version: ours {ours:?}, theirs {theirs:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Stable FNV-1a 64 over a byte slice (portable across platforms, which a
+/// federation checksum requires; cryptographic integrity is the auth
+/// layer's job, not the framing layer's).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode a frame into a freshly allocated buffer.
+///
+/// Returns [`WireError::Oversize`] if the payload exceeds [`MAX_PAYLOAD`]
+/// and [`WireError::UnsupportedVersion`] if asked to encode a version this
+/// implementation does not speak.
+pub fn encode_frame(frame: &Frame) -> Result<Bytes, WireError> {
+    if frame.payload.len() > MAX_PAYLOAD {
+        return Err(WireError::Oversize(frame.payload.len()));
+    }
+    if !(MIN_VERSION..=MAX_VERSION).contains(&frame.version) {
+        return Err(WireError::UnsupportedVersion(frame.version));
+    }
+    let mut buf = BytesMut::with_capacity(FRAME_OVERHEAD + frame.payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(frame.version);
+    buf.put_u8(frame.kind as u8);
+    buf.put_u8(frame.flags);
+    buf.put_u64_le(frame.conversation);
+    buf.put_u32_le(frame.payload.len() as u32);
+    buf.put_slice(&frame.payload);
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    Ok(buf.freeze())
+}
+
+/// Decode one frame from the front of `buf`, consuming its bytes.
+///
+/// On [`WireError::Truncated`] nothing is consumed, so a streaming caller
+/// can append more input and retry — the standard incremental-decode
+/// contract.
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Frame, WireError> {
+    const HEADER: usize = 4 + 2 + 1 + 1 + 8 + 4;
+    if buf.len() < HEADER {
+        return Err(WireError::Truncated(HEADER - buf.len()));
+    }
+    // Peek the header without consuming, so truncation never loses bytes.
+    let mut peek = &buf[..];
+    let mut magic = [0u8; 4];
+    peek.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = peek.get_u16_le();
+    if !(MIN_VERSION..=MAX_VERSION).contains(&version) {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind_raw = peek.get_u8();
+    let kind = FrameKind::from_u8(kind_raw).ok_or(WireError::UnknownKind(kind_raw))?;
+    let flags = peek.get_u8();
+    let conversation = peek.get_u64_le();
+    let len = peek.get_u32_le() as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let total = HEADER + len + 8;
+    if buf.len() < total {
+        return Err(WireError::Truncated(total - buf.len()));
+    }
+    let body_checksum = fnv1a64(&buf[..HEADER + len]);
+    let frame_bytes = buf.split_to(total).freeze();
+    let payload = frame_bytes.slice(HEADER..HEADER + len);
+    let expected = u64::from_le_bytes(
+        frame_bytes[HEADER + len..]
+            .try_into()
+            .expect("checksum slice is exactly 8 bytes"),
+    );
+    if expected != body_checksum {
+        return Err(WireError::ChecksumMismatch {
+            expected,
+            actual: body_checksum,
+        });
+    }
+    Ok(Frame {
+        version,
+        kind,
+        flags,
+        conversation,
+        payload,
+    })
+}
+
+/// Pick the protocol version two peers will speak: the highest version in
+/// both windows. Returns [`WireError::VersionDisjoint`] when the windows do
+/// not overlap — the federation analogue of an incompatible facility that
+/// must be bridged rather than connected (§2.4).
+pub fn negotiate_version(ours: (u16, u16), theirs: (u16, u16)) -> Result<u16, WireError> {
+    let low = ours.0.max(theirs.0);
+    let high = ours.1.min(theirs.1);
+    if low > high {
+        return Err(WireError::VersionDisjoint { ours, theirs });
+    }
+    Ok(high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: FrameKind, payload: &[u8]) -> Frame {
+        Frame {
+            version: 2,
+            kind,
+            flags: 0b101,
+            conversation: 42,
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let f = sample(FrameKind::Acl, b"hypothesis: Ni-Ti ratio 2:1");
+        let mut buf = BytesMut::from(&encode_frame(&f).unwrap()[..]);
+        let g = decode_frame(&mut buf).unwrap();
+        assert_eq!(f, g);
+        assert!(buf.is_empty(), "decode must consume the whole frame");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = sample(FrameKind::Heartbeat, b"");
+        let mut buf = BytesMut::from(&encode_frame(&f).unwrap()[..]);
+        assert_eq!(decode_frame(&mut buf).unwrap(), f);
+    }
+
+    #[test]
+    fn two_frames_stream_decode_in_order() {
+        let a = sample(FrameKind::Hello, b"hello");
+        let b = sample(FrameKind::Data, b"payload-2");
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(&a).unwrap());
+        buf.extend_from_slice(&encode_frame(&b).unwrap());
+        assert_eq!(decode_frame(&mut buf).unwrap(), a);
+        assert_eq!(decode_frame(&mut buf).unwrap(), b);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn truncated_header_reports_bytes_needed_and_consumes_nothing() {
+        let f = sample(FrameKind::Acl, b"x");
+        let full = encode_frame(&f).unwrap();
+        let mut buf = BytesMut::from(&full[..5]);
+        match decode_frame(&mut buf) {
+            Err(WireError::Truncated(n)) => assert!(n > 0),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert_eq!(buf.len(), 5, "truncation must not consume input");
+        // Completing the buffer makes the frame decodable.
+        buf.extend_from_slice(&full[5..]);
+        assert_eq!(decode_frame(&mut buf).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_body_waits_for_exactly_the_missing_bytes() {
+        let f = sample(FrameKind::Data, &[7u8; 100]);
+        let full = encode_frame(&f).unwrap();
+        let mut buf = BytesMut::from(&full[..full.len() - 9]);
+        match decode_frame(&mut buf) {
+            Err(WireError::Truncated(n)) => assert_eq!(n, 9),
+            other => panic!("expected Truncated(9), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let f = sample(FrameKind::Audit, b"immutable audit record");
+        let enc = encode_frame(&f).unwrap();
+        let mut bytes = enc.to_vec();
+        let idx = 25; // inside the payload region
+        bytes[idx] ^= 0xff;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let f = sample(FrameKind::Hello, b"");
+        let enc = encode_frame(&f).unwrap();
+        let mut bytes = enc.to_vec();
+        bytes[0] = b'X';
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(decode_frame(&mut buf), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn version_outside_window_rejected_on_encode_and_decode() {
+        let mut f = sample(FrameKind::Hello, b"");
+        f.version = MAX_VERSION + 1;
+        assert!(matches!(
+            encode_frame(&f),
+            Err(WireError::UnsupportedVersion(_))
+        ));
+        // Forge a frame with a bad version on the wire.
+        f.version = MAX_VERSION;
+        let enc = encode_frame(&f).unwrap();
+        let mut bytes = enc.to_vec();
+        bytes[4] = 0xff;
+        bytes[5] = 0xff;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(WireError::UnsupportedVersion(0xffff))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let f = sample(FrameKind::Hello, b"");
+        let enc = encode_frame(&f).unwrap();
+        let mut bytes = enc.to_vec();
+        bytes[6] = 200;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(WireError::UnknownKind(200))
+        ));
+    }
+
+    #[test]
+    fn oversize_rejected_before_allocation() {
+        let f = Frame {
+            version: 1,
+            kind: FrameKind::Data,
+            flags: 0,
+            conversation: 0,
+            payload: Bytes::from(vec![0u8; 16]),
+        };
+        let enc = encode_frame(&f).unwrap();
+        let mut bytes = enc.to_vec();
+        // Forge an absurd declared length.
+        let len_off = 4 + 2 + 1 + 1 + 8;
+        bytes[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(decode_frame(&mut buf), Err(WireError::Oversize(_))));
+    }
+
+    #[test]
+    fn version_negotiation_picks_highest_common() {
+        assert_eq!(negotiate_version((1, 3), (2, 5)).unwrap(), 3);
+        assert_eq!(negotiate_version((1, 3), (1, 1)).unwrap(), 1);
+        assert!(matches!(
+            negotiate_version((1, 2), (3, 4)),
+            Err(WireError::VersionDisjoint { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_overhead_constant_matches_reality() {
+        let f = sample(FrameKind::Heartbeat, b"abc");
+        let enc = encode_frame(&f).unwrap();
+        assert_eq!(enc.len(), FRAME_OVERHEAD + 3);
+    }
+}

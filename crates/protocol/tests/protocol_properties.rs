@@ -1,0 +1,157 @@
+//! Property-based tests for the protocol crate's core invariants.
+
+use bytes::{Bytes, BytesMut};
+use evoflow_protocol::negotiation::issue;
+use evoflow_protocol::Strategy as NegStrategy;
+use evoflow_protocol::{
+    decode_frame, encode_frame, negotiate, negotiate_version, Conversation, Frame, FrameKind,
+    Negotiator, Performative, Preferences, WireError,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::Hello),
+        Just(FrameKind::Acl),
+        Just(FrameKind::Data),
+        Just(FrameKind::Heartbeat),
+        Just(FrameKind::Audit),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        1u16..=3,
+        arb_kind(),
+        any::<u8>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(version, kind, flags, conversation, payload)| Frame {
+            version,
+            kind,
+            flags,
+            conversation,
+            payload: Bytes::from(payload),
+        })
+}
+
+proptest! {
+    /// encode → decode is the identity for every representable frame.
+    #[test]
+    fn wire_roundtrip(frame in arb_frame()) {
+        let encoded = encode_frame(&frame).unwrap();
+        let mut buf = BytesMut::from(&encoded[..]);
+        let decoded = decode_frame(&mut buf).unwrap();
+        prop_assert_eq!(decoded, frame);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Any prefix of a valid frame yields Truncated (never a panic, never
+    /// a wrong frame), and decoding consumes nothing.
+    #[test]
+    fn wire_prefix_is_truncated(frame in arb_frame(), cut in 0usize..64) {
+        let encoded = encode_frame(&frame).unwrap();
+        prop_assume!(cut < encoded.len());
+        let prefix = &encoded[..encoded.len() - 1 - cut % encoded.len().max(1)];
+        let mut buf = BytesMut::from(prefix);
+        let before = buf.len();
+        match decode_frame(&mut buf) {
+            Err(WireError::Truncated(n)) => {
+                prop_assert!(n > 0);
+                prop_assert_eq!(buf.len(), before);
+            }
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    /// Flipping any single byte of a frame is detected (checksum, magic,
+    /// version, kind, or length check — never a silent wrong decode of the
+    /// payload bytes).
+    #[test]
+    fn wire_single_byte_corruption_never_silently_accepted(
+        frame in arb_frame(),
+        idx in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let encoded = encode_frame(&frame).unwrap();
+        let mut bytes = encoded.to_vec();
+        let i = idx.index(bytes.len());
+        bytes[i] ^= xor;
+        let mut buf = BytesMut::from(&bytes[..]);
+        match decode_frame(&mut buf) {
+            // Any error is acceptable: corruption in the length field may
+            // surface as Truncated rather than ChecksumMismatch — still
+            // not a silent wrong decode.
+            Err(_) => {}
+            Ok(decoded) => {
+                // Unreachable: the FNV checksum covers every byte before
+                // it, and flipping a checksum byte fails the comparison,
+                // so no single-byte flip can decode successfully.
+                prop_assert!(false, "corrupted frame decoded: {:?}", decoded);
+            }
+        }
+    }
+
+    /// Version negotiation is symmetric and always lands inside both windows.
+    #[test]
+    fn version_negotiation_symmetric(a_lo in 1u16..10, a_len in 0u16..5, b_lo in 1u16..10, b_len in 0u16..5) {
+        let ours = (a_lo, a_lo + a_len);
+        let theirs = (b_lo, b_lo + b_len);
+        let ab = negotiate_version(ours, theirs);
+        let ba = negotiate_version(theirs, ours);
+        prop_assert_eq!(ab.clone().ok(), ba.ok());
+        if let Ok(v) = ab {
+            prop_assert!(v >= ours.0 && v <= ours.1);
+            prop_assert!(v >= theirs.0 && v <= theirs.1);
+        }
+    }
+
+    /// A conversation never accepts a message after it closed, regardless
+    /// of the message sequence thrown at it.
+    #[test]
+    fn conversation_never_reopens(seq in proptest::collection::vec(0usize..14, 1..30)) {
+        use Performative::*;
+        let vocab = [
+            Inform, Request, Agree, Refuse, Failure, Propose, CounterPropose,
+            AcceptProposal, RejectProposal, QueryRef, InformRef, Subscribe,
+            Cancel, NotUnderstood,
+        ];
+        let mut c = Conversation::new(1);
+        let mut closed_at: Option<usize> = None;
+        for (i, &pi) in seq.iter().enumerate() {
+            let from = if i % 2 == 0 { "a" } else { "b" };
+            let to = if i % 2 == 0 { "b" } else { "a" };
+            let msg = evoflow_protocol::AclMessage::new(vocab[pi], from, to, 1, "ont", "");
+            let res = c.accept(msg);
+            if let Some(t) = closed_at {
+                prop_assert!(res.is_err(), "accepted message {} after close at {}", i, t);
+            }
+            if c.state() == evoflow_protocol::ConversationState::Closed && closed_at.is_none() {
+                closed_at = Some(i);
+            }
+        }
+    }
+
+    /// Negotiated agreements are always individually rational: both
+    /// parties at or above reservation, values within issue ranges.
+    #[test]
+    fn negotiation_individually_rational(
+        wa in -1.0f64..1.0, wb in -1.0f64..1.0,
+        ra in 0.05f64..0.5, rb in 0.05f64..0.5,
+        beta_a in 0.2f64..3.0, beta_b in 0.2f64..3.0,
+    ) {
+        prop_assume!(wa.abs() > 0.05 && wb.abs() > 0.05);
+        let issues = vec![issue("x", 0.0, 10.0), issue("y", 5.0, 50.0)];
+        let a = Negotiator::new("a", Preferences::new(vec![wa, 0.3], ra), NegStrategy::Conceder { beta: beta_a });
+        let b = Negotiator::new("b", Preferences::new(vec![wb, -0.3], rb), NegStrategy::Boulware { beta: beta_b });
+        let out = negotiate(&a, &b, &issues, 60);
+        if let Some(contract) = &out.agreement {
+            prop_assert!(out.utility_a >= ra - 1e-9);
+            prop_assert!(out.utility_b >= rb - 1e-9);
+            for (v, issue) in contract.values.iter().zip(&issues) {
+                prop_assert!(*v >= issue.min - 1e-9 && *v <= issue.max + 1e-9);
+            }
+        }
+    }
+}

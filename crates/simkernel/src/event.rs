@@ -1,0 +1,172 @@
+//! The deterministic event queue.
+//!
+//! Events are totally ordered by `(time, priority, sequence)`: ties at the
+//! same instant are broken first by explicit priority, then by insertion
+//! order. This makes every simulation run a pure function of its inputs and
+//! master seed — the reproducibility property the paper demands of
+//! autonomous-science infrastructure.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Scheduling priority for events that fire at the same instant.
+/// Lower values fire first.
+pub type Priority = i32;
+
+/// Default priority for ordinary events.
+pub const PRIORITY_NORMAL: Priority = 0;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    priority: Priority,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.priority.cmp(&self.priority))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, deterministic queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at absolute time `at` with normal priority.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        self.schedule_with_priority(at, PRIORITY_NORMAL, payload);
+    }
+
+    /// Schedule `payload` at `at` with an explicit same-instant priority.
+    pub fn schedule_with_priority(&mut self, at: SimTime, priority: Priority, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled {
+            at,
+            priority,
+            seq,
+            payload,
+        });
+    }
+
+    /// Remove and return the next event `(time, payload)`, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Discard all pending events (the sequence counter keeps advancing so
+    /// determinism of later insertions is unaffected).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_priority_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        q.schedule(t, "first-normal");
+        q.schedule_with_priority(t, -1, "urgent");
+        q.schedule(t, "second-normal");
+        q.schedule_with_priority(t, 1, "lazy");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["urgent", "first-normal", "second-normal", "lazy"]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 42);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 42)));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counts_scheduled_total_across_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        q.clear();
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # evoflow-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate that stands in for the paper's physical world: distributed
+//! facilities, instruments, networks, humans. Everything above it (facility
+//! models, agent runtimes, campaigns) advances time exclusively through this
+//! kernel, which guarantees:
+//!
+//! * **Total event order** — ties broken by priority then insertion sequence
+//!   ([`event::EventQueue`]).
+//! * **Replayable randomness** — named, independently-seeded streams
+//!   ([`rng::RngRegistry`]), so adding draws in one subsystem never perturbs
+//!   another.
+//! * **Uniform metrics** — counters, sample stats, and time-weighted series
+//!   ([`metrics::MetricsRegistry`]) that experiment binaries print as the
+//!   paper's tables.
+//!
+//! This substitution (simulated facilities for real beamlines/HPC centers) is
+//! documented in `DESIGN.md` §2: the paper's quantitative claims concern
+//! coordination structure and latency, which a discrete-event simulation
+//! reproduces exactly.
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod resource;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Ctx, Engine, RunOutcome, World};
+pub use event::{EventQueue, Priority, PRIORITY_NORMAL};
+pub use metrics::{MetricsRegistry, SampleStats, TimeWeighted};
+pub use resource::{Grant, Resource, Waiter};
+pub use rng::{fnv1a, RngRegistry, SimRng};
+pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

@@ -1,0 +1,298 @@
+//! Simulation metrics: counters, gauges, time-weighted averages, and
+//! sample statistics.
+//!
+//! Experiment binaries read these registries to print the paper's tables;
+//! keeping them in the kernel means every subsystem reports through one
+//! mechanism.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Streaming sample statistics (Welford's algorithm) plus retained samples
+/// for quantiles.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SampleStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl SampleStats {
+    /// Create an empty statistic.
+    pub fn new() -> Self {
+        SampleStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.samples.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (population denominator n−1; 0 when n<2).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum observed value (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observed value (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Quantile in `[0,1]` by nearest-rank on a sorted copy (`NaN` when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// A value that is weighted by how long it held (e.g. queue length,
+/// utilisation): `avg = ∫ value dt / T`.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    origin: SimTime,
+}
+
+impl TimeWeighted {
+    /// Start tracking with `initial` at time `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            value: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            origin: start,
+        }
+    }
+
+    /// Set a new value at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_since(self.last_change).as_secs_f64();
+        self.weighted_sum += self.value * dt;
+        self.value = value;
+        self.last_change = now;
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current instantaneous value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted average over `[origin, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let dt_tail = now.saturating_since(self.last_change).as_secs_f64();
+        let total = now.saturating_since(self.origin).as_secs_f64();
+        if total <= 0.0 {
+            self.value
+        } else {
+            (self.weighted_sum + self.value * dt_tail) / total
+        }
+    }
+}
+
+/// Named metric sinks for one simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    stats: BTreeMap<String, SampleStats>,
+    weighted: BTreeMap<String, TimeWeighted>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment counter `name` by `n`.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Read counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an observation into sample statistic `name`.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        self.stats.entry(name.to_string()).or_default().record(x);
+    }
+
+    /// Read sample statistic `name`, if any observations were recorded.
+    pub fn stat(&self, name: &str) -> Option<&SampleStats> {
+        self.stats.get(name)
+    }
+
+    /// Set time-weighted series `name` to `value` at `now` (created lazily
+    /// with initial value 0 at `now`).
+    pub fn track(&mut self, name: &str, now: SimTime, value: f64) {
+        self.weighted
+            .entry(name.to_string())
+            .or_insert_with(|| TimeWeighted::new(now, 0.0))
+            .set(now, value);
+    }
+
+    /// Read time-weighted series `name`.
+    pub fn weighted(&self, name: &str) -> Option<&TimeWeighted> {
+        self.weighted.get(name)
+    }
+
+    /// Iterate all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate all sample statistics in name order.
+    pub fn stats(&self) -> impl Iterator<Item = (&str, &SampleStats)> {
+        self.stats.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one (counters add; stats append).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, s) in &other.stats {
+            let dst = self.stats.entry(k.clone()).or_default();
+            for &x in &s.samples {
+                dst.record(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_basics() {
+        let mut s = SampleStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.sum(), 10.0);
+        assert!((s.std_dev() - 1.2909944487).abs() < 1e-9);
+        assert_eq!(s.median(), 3.0); // nearest-rank on even count rounds up
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SampleStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut w = TimeWeighted::new(SimTime::ZERO, 0.0);
+        w.set(SimTime::from_secs(10), 4.0); // 0 for 10s
+        w.set(SimTime::from_secs(20), 2.0); // 4 for 10s
+        // now at t=30: 2 for 10s. avg = (0*10 + 4*10 + 2*10)/30 = 2.0
+        assert_eq!(w.average(SimTime::from_secs(30)), 2.0);
+        assert_eq!(w.current(), 2.0);
+    }
+
+    #[test]
+    fn registry_counters_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.incr("tasks", 2);
+        a.observe("latency", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.incr("tasks", 3);
+        b.observe("latency", 3.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("tasks"), 5);
+        assert_eq!(a.stat("latency").unwrap().count(), 2);
+        assert_eq!(a.stat("latency").unwrap().mean(), 2.0);
+        assert_eq!(a.counter("missing"), 0);
+    }
+
+    #[test]
+    fn tracked_series_integrates() {
+        let mut r = MetricsRegistry::new();
+        r.track("queue", SimTime::ZERO, 5.0);
+        r.track("queue", SimTime::from_secs(10), 0.0);
+        let w = r.weighted("queue").unwrap();
+        assert_eq!(w.average(SimTime::from_secs(10)), 5.0);
+    }
+}

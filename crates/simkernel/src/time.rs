@@ -1,0 +1,261 @@
+//! Simulated time.
+//!
+//! All simulation time is kept as an integral number of **nanoseconds** so
+//! that event ordering is exact and replayable: floating-point accumulation
+//! error can never reorder two events between runs. Convenience constructors
+//! and accessors convert to/from seconds, minutes, hours, and days.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A point in simulated time, measured in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (saturating at the representable range).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "simulation time cannot be negative");
+        SimTime((secs.max(0.0) * NANOS_PER_SEC as f64) as u64)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Time as fractional hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Time as fractional days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.as_secs_f64() / 86_400.0
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * NANOS_PER_SEC)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600 * NANOS_PER_SEC)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400 * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (negative values clamp to zero).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * NANOS_PER_SEC as f64) as u64)
+    }
+
+    /// Construct from fractional hours (negative values clamp to zero).
+    pub fn from_hours_f64(hours: f64) -> Self {
+        Self::from_secs_f64(hours * 3600.0)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Duration as fractional hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Saturating duration multiplication by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Scale the duration by a non-negative float factor.
+    pub fn mul_f64(self, k: f64) -> Self {
+        debug_assert!(k >= 0.0);
+        SimDuration((self.0 as f64 * k.max(0.0)) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s < 60.0 {
+            write!(f, "{s:.3}s")
+        } else if s < 3600.0 {
+            write!(f, "{:.2}m", s / 60.0)
+        } else if s < 86_400.0 {
+            write!(f, "{:.2}h", s / 3600.0)
+        } else {
+            write!(f, "{:.2}d", s / 86_400.0)
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        SimTime(self.0).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs(3600);
+        assert_eq!(t.as_hours(), 1.0);
+        assert_eq!(SimDuration::from_hours(2).as_secs_f64(), 7200.0);
+        assert_eq!(SimDuration::from_days(1).as_hours(), 24.0);
+        assert_eq!(SimDuration::from_mins(3).as_secs_f64(), 180.0);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        let t = SimTime::MAX + SimDuration::from_secs(10);
+        assert_eq!(t, SimTime::MAX);
+        let d = SimTime::ZERO - SimTime::from_secs(5);
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(b.saturating_since(a), SimDuration::from_nanos(1));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_construction_clamps_negative() {
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_nanos(), NANOS_PER_SEC / 2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_secs(30)), "30.000s");
+        assert_eq!(format!("{}", SimTime::from_secs(90)), "1.50m");
+        assert_eq!(format!("{}", SimTime::from_secs(7200)), "2.00h");
+        assert_eq!(format!("{}", SimTime::from_secs(172_800)), "2.00d");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use evoflow_sim::{EventQueue, Grant, Resource, SampleStats, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of
+    /// insertion order.
+    #[test]
+    fn queue_pops_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Same-instant events preserve insertion (FIFO) order.
+    #[test]
+    fn queue_ties_are_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..n {
+            q.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// A resource never exceeds capacity and conserves units across any
+    /// request/release interleaving.
+    #[test]
+    fn resource_conserves_capacity(
+        capacity in 1u64..16,
+        ops in prop::collection::vec((0u64..4, any::<bool>()), 1..200),
+    ) {
+        let mut r: Resource<u64> = Resource::new("r", capacity);
+        let mut held: Vec<u64> = Vec::new(); // immediate grants outstanding
+        let mut t = 0u64;
+        for (amount_raw, is_release) in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            if is_release && !held.is_empty() {
+                let amt = held.pop().unwrap();
+                let woken = r.release(amt, now);
+                for w in woken {
+                    held.push(w.amount);
+                }
+            } else {
+                let amount = amount_raw % capacity + 1;
+                if let Grant::Immediate = r.request(t, amount, now) {
+                    held.push(amount);
+                }
+            }
+            prop_assert!(r.in_use() <= r.capacity());
+            prop_assert_eq!(r.in_use(), held.iter().sum::<u64>());
+        }
+    }
+
+    /// Welford mean/std match the naive two-pass computation.
+    #[test]
+    fn stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = SampleStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-5 * var.sqrt().max(1.0));
+    }
+
+    /// RNG streams are pure functions of their seed.
+    #[test]
+    fn rng_is_deterministic(seed in any::<u64>()) {
+        let mut a = SimRng::from_seed_u64(seed);
+        let mut b = SimRng::from_seed_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    /// Uniform draws stay in [0,1); uniform_range stays in [lo,hi).
+    #[test]
+    fn rng_ranges_hold(seed in any::<u64>(), lo in -100.0f64..100.0, span in 0.001f64..100.0) {
+        let mut r = SimRng::from_seed_u64(seed);
+        for _ in 0..64 {
+            let u = r.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+            let x = r.uniform_range(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    /// SimTime/SimDuration arithmetic is monotone.
+    #[test]
+    fn time_addition_is_monotone(base in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let t2 = t + SimDuration::from_nanos(d);
+        prop_assert!(t2 >= t);
+        prop_assert_eq!(t2.saturating_since(t), SimDuration::from_nanos(d));
+    }
+}

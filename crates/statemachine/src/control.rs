@@ -1,0 +1,727 @@
+//! The shared instrument-calibration control task and one reference
+//! controller per Table 1 intelligence level.
+//!
+//! The task models the paper's motivating reality (§2.1): "the noisy and
+//! failure-prone real-world execution environment" that forces workflows up
+//! the intelligence axis. An instrument parameter drifts; a controller must
+//! keep it in band using a noisy sensor. Scenario difficulty tiers exercise
+//! exactly the capability each level adds:
+//!
+//! * `stable`   — process noise only: even Static survives a while.
+//! * `noisy`    — heavier noise: Adaptive's feedback pays off.
+//! * `biased`   — constant drift: Learning/Optimizing compensate it.
+//! * `regime`   — mid-episode sensor-polarity flip + drift reversal: only
+//!   Intelligent (Ω rewrite of the controller machine) recovers.
+
+use crate::machine::{
+    History, IntelligenceLevel, Machine, Transition, VerificationSpace,
+};
+use evoflow_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum actuator authority per step.
+pub const MAX_ACTION: f64 = 2.0;
+/// The in-band tolerance |pos| ≤ BAND counts as "in calibration".
+pub const BAND: f64 = 1.0;
+
+/// Difficulty configuration for the calibration task.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Sensor (observation) noise standard deviation.
+    pub noise_sd: f64,
+    /// Process noise standard deviation (random walk of the parameter).
+    pub process_sd: f64,
+    /// Constant per-step drift bias.
+    pub drift_bias: f64,
+    /// Probability per step of a disturbance jump.
+    pub jump_prob: f64,
+    /// Whether sensor polarity and drift sign flip mid-episode.
+    pub regime_shift: bool,
+    /// Short name used in reports.
+    pub name: &'static str,
+}
+
+impl Scenario {
+    /// Process noise only.
+    pub fn stable() -> Self {
+        Scenario {
+            noise_sd: 0.1,
+            process_sd: 0.05,
+            drift_bias: 0.0,
+            jump_prob: 0.0,
+            regime_shift: false,
+            name: "stable",
+        }
+    }
+
+    /// Heavy sensor noise and occasional jumps.
+    pub fn noisy() -> Self {
+        Scenario {
+            noise_sd: 0.4,
+            process_sd: 0.1,
+            drift_bias: 0.0,
+            jump_prob: 0.02,
+            regime_shift: false,
+            name: "noisy",
+        }
+    }
+
+    /// Constant drift the controller must learn to cancel. The drift is
+    /// strong enough that a proportional controller's steady-state offset
+    /// (≈ bias / gain_p) sits at the band edge — the "explosion of
+    /// conditions" failure mode that motivates the Learning level (§3.2).
+    pub fn biased() -> Self {
+        Scenario {
+            noise_sd: 0.2,
+            process_sd: 0.05,
+            drift_bias: 0.75,
+            jump_prob: 0.01,
+            regime_shift: false,
+            name: "biased",
+        }
+    }
+
+    /// Mid-episode regime shift: sensor gain flips to −1 and drift reverses.
+    pub fn regime() -> Self {
+        Scenario {
+            noise_sd: 0.2,
+            process_sd: 0.05,
+            drift_bias: 0.25,
+            jump_prob: 0.01,
+            regime_shift: true,
+            name: "regime",
+        }
+    }
+
+    /// All four tiers in difficulty order.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::stable(),
+            Scenario::noisy(),
+            Scenario::biased(),
+            Scenario::regime(),
+        ]
+    }
+}
+
+/// Controller-visible state: the actuation to apply plus scratch fields.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CtrlState {
+    /// Actuation command chosen this step (applied by the environment).
+    pub action: f64,
+    /// Discretized observation at decision time (learning levels).
+    pub obs_bin: i32,
+    /// Controller-specific scratch value (e.g. drift estimate).
+    pub aux: f64,
+}
+
+/// Result of one calibration episode.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpisodeResult {
+    /// Fraction of steps with |pos| ≤ [`BAND`].
+    pub in_band_fraction: f64,
+    /// Mean |pos| across the episode.
+    pub mean_abs_error: f64,
+    /// Steps where the controller re-entered the band after an excursion.
+    pub recoveries: u32,
+    /// Total abstract decision cost spent (Table 1 cost scaling).
+    pub cost_units: u64,
+    /// Whether |pos| exceeded the hard failure bound (instrument damage).
+    pub crashed: bool,
+}
+
+/// Hard failure bound: beyond this the episode counts as crashed
+/// (the paper's "costly errors destroying samples or equipment", §4.3).
+pub const CRASH_BOUND: f64 = 25.0;
+
+/// Run one episode of `horizon` steps with the given controller.
+pub fn run_episode<T>(
+    controller: &mut Machine<CtrlState, u32, f64, T>,
+    scenario: Scenario,
+    horizon: u32,
+    rng: &mut SimRng,
+) -> EpisodeResult
+where
+    T: Transition<CtrlState, u32, f64>,
+{
+    let mut pos = 0.0f64;
+    let mut gain = 1.0f64;
+    let mut bias = scenario.drift_bias;
+    let mut in_band_steps = 0u32;
+    let mut abs_sum = 0.0f64;
+    let mut recoveries = 0u32;
+    let mut was_out = false;
+    let mut reward = 0.0f64;
+    let mut crashed = false;
+    let cost_before = controller.cost_units();
+
+    for t in 0..horizon {
+        if scenario.regime_shift && t == horizon / 2 {
+            gain = -1.0;
+            bias = -bias;
+        }
+        let obs = gain * pos + rng.normal_with(0.0, scenario.noise_sd);
+        let state = controller.step(t, &obs, reward);
+        let action = state.action.clamp(-MAX_ACTION, MAX_ACTION);
+
+        pos += action;
+        pos += bias + rng.normal_with(0.0, scenario.process_sd);
+        if scenario.jump_prob > 0.0 && rng.chance(scenario.jump_prob) {
+            pos += rng.normal_with(0.0, 3.0);
+        }
+
+        reward = -pos.abs();
+        abs_sum += pos.abs();
+        let in_band = pos.abs() <= BAND;
+        if in_band {
+            in_band_steps += 1;
+            if was_out {
+                recoveries += 1;
+            }
+        }
+        was_out = !in_band;
+        if pos.abs() > CRASH_BOUND {
+            crashed = true;
+        }
+    }
+
+    EpisodeResult {
+        in_band_fraction: in_band_steps as f64 / horizon as f64,
+        mean_abs_error: abs_sum / horizon as f64,
+        recoveries,
+        cost_units: controller.cost_units() - cost_before,
+        crashed,
+    }
+}
+
+fn bin_obs(obs: f64) -> i32 {
+    (obs.clamp(-5.0, 5.0)).round() as i32
+}
+
+// ---------------------------------------------------------------------------
+// Level 1: Static — δ: S×Σ → S
+// ---------------------------------------------------------------------------
+
+/// Predetermined actuation schedule; blind to observations.
+#[derive(Debug, Clone)]
+pub struct StaticController {
+    schedule: Vec<f64>,
+}
+
+impl StaticController {
+    /// The do-nothing schedule traditional static workflows correspond to.
+    pub fn zeros() -> Self {
+        StaticController {
+            schedule: vec![0.0],
+        }
+    }
+
+    /// An arbitrary fixed schedule (cycled).
+    pub fn with_schedule(schedule: Vec<f64>) -> Self {
+        assert!(!schedule.is_empty());
+        StaticController { schedule }
+    }
+}
+
+impl Transition<CtrlState, u32, f64> for StaticController {
+    fn next(&mut self, _s: &CtrlState, input: &u32, _obs: &f64) -> CtrlState {
+        CtrlState {
+            action: self.schedule[*input as usize % self.schedule.len()],
+            obs_bin: 0,
+            aux: 0.0,
+        }
+    }
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Static
+    }
+    fn decision_cost(&self) -> u64 {
+        1 // O(1) lookup
+    }
+    fn verification_space(&self) -> VerificationSpace {
+        VerificationSpace::Finite(self.schedule.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2: Adaptive — δ: S×Σ×O → S
+// ---------------------------------------------------------------------------
+
+/// Proportional feedback with a deadband: the "explosion of if-then-else"
+/// conditional controller of §3.2.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    /// Proportional gain applied to the observation.
+    pub gain_p: f64,
+    /// No actuation while |obs| is below this.
+    pub deadband: f64,
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        AdaptiveController {
+            gain_p: 0.8,
+            deadband: 0.3,
+        }
+    }
+}
+
+impl Transition<CtrlState, u32, f64> for AdaptiveController {
+    fn next(&mut self, _s: &CtrlState, _input: &u32, obs: &f64) -> CtrlState {
+        let action = if obs.abs() <= self.deadband {
+            0.0
+        } else {
+            (-self.gain_p * obs).clamp(-MAX_ACTION, MAX_ACTION)
+        };
+        CtrlState {
+            action,
+            obs_bin: bin_obs(*obs),
+            aux: 0.0,
+        }
+    }
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Adaptive
+    }
+    fn decision_cost(&self) -> u64 {
+        2
+    }
+    fn verification_space(&self) -> VerificationSpace {
+        // observation bins × branch outcomes
+        VerificationSpace::Finite(11 * 3)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 3: Learning — δ_{t+1} = L(δ_t, H)
+// ---------------------------------------------------------------------------
+
+/// Tabular Q-learning over discretized observations.
+///
+/// The table persists across episodes, so performance improves with
+/// experience — the property Table 1 attributes to learning systems
+/// ("requires a data infrastructure to maintain history H").
+#[derive(Debug, Clone)]
+pub struct LearningController {
+    /// Q[obs_bin + 5][action index].
+    q: [[f64; 5]; 11],
+    /// Exploration rate (decays multiplicatively each learn call).
+    pub epsilon: f64,
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Discount γ.
+    pub gamma: f64,
+    rng: SimRng,
+}
+
+/// Candidate actions for the learning controller.
+pub const LEARN_ACTIONS: [f64; 5] = [-2.0, -1.0, 0.0, 1.0, 2.0];
+
+impl LearningController {
+    /// Fresh table with the given exploration seed.
+    pub fn new(seed: u64) -> Self {
+        LearningController {
+            q: [[0.0; 5]; 11],
+            epsilon: 0.25,
+            alpha: 0.4,
+            gamma: 0.85,
+            rng: SimRng::from_seed_u64(seed),
+        }
+    }
+
+    fn bin_index(bin: i32) -> usize {
+        (bin + 5).clamp(0, 10) as usize
+    }
+
+    fn best_action(&self, bin: i32) -> usize {
+        let row = &self.q[Self::bin_index(bin)];
+        let mut best = 0;
+        for (i, v) in row.iter().enumerate() {
+            if *v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Transition<CtrlState, u32, f64> for LearningController {
+    fn next(&mut self, _s: &CtrlState, _input: &u32, obs: &f64) -> CtrlState {
+        let bin = bin_obs(*obs);
+        let a_idx = if self.rng.chance(self.epsilon) {
+            self.rng.below(5)
+        } else {
+            self.best_action(bin)
+        };
+        CtrlState {
+            action: LEARN_ACTIONS[a_idx],
+            obs_bin: bin,
+            aux: a_idx as f64,
+        }
+    }
+
+    fn learn(&mut self, history: &History<CtrlState, u32>) {
+        // Q-update over the last completed (s, a, r, s') tuple: the reward
+        // delivered with record k applies to the action chosen at k-1.
+        let recs = history.records();
+        if recs.len() < 2 {
+            return;
+        }
+        let prev = &recs[recs.len() - 2];
+        let cur = &recs[recs.len() - 1];
+        let s = Self::bin_index(prev.next.obs_bin);
+        let a = (prev.next.aux as usize).min(4);
+        let s2 = Self::bin_index(cur.next.obs_bin);
+        let r = cur.reward;
+        let max_next = self.q[s2].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        self.q[s][a] += self.alpha * (r + self.gamma * max_next - self.q[s][a]);
+        self.epsilon = (self.epsilon * 0.9995).max(0.02);
+    }
+
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Learning
+    }
+    fn decision_cost(&self) -> u64 {
+        10 // table scan + update
+    }
+    fn verification_space(&self) -> VerificationSpace {
+        // Every realisable greedy policy: actions^bins.
+        VerificationSpace::Finite(5u64.pow(11))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 4: Optimizing — δ* = argmin_δ J(δ)
+// ---------------------------------------------------------------------------
+
+/// Model-based one-step optimizer: maintains an online drift estimate and
+/// picks the action minimising predicted |obs'|, with ε-exploration
+/// ("balancing exploration and exploitation", Table 1).
+///
+/// Its model assumes positive sensor polarity — exactly the fixed assumption
+/// the regime-shift scenario breaks, which motivates the Intelligent level.
+#[derive(Debug, Clone)]
+pub struct OptimizingController {
+    drift_est: f64,
+    last_obs: Option<f64>,
+    last_action: f64,
+    /// EWMA factor for the drift estimate.
+    pub ewma: f64,
+    /// Exploration probability.
+    pub explore: f64,
+    /// Assumed sensor polarity (the Intelligent wrapper rewrites this).
+    pub polarity: f64,
+    rng: SimRng,
+}
+
+/// Candidate actions evaluated by the optimizer's argmin.
+pub const OPT_ACTIONS: [f64; 9] = [-2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0];
+
+impl OptimizingController {
+    /// Fresh optimizer with the given exploration seed.
+    pub fn new(seed: u64) -> Self {
+        OptimizingController {
+            drift_est: 0.0,
+            last_obs: None,
+            last_action: 0.0,
+            ewma: 0.25,
+            explore: 0.05,
+            polarity: 1.0,
+            rng: SimRng::from_seed_u64(seed),
+        }
+    }
+
+    /// Reset model state (used by the Ω wrapper after a rewrite).
+    pub fn reset_model(&mut self) {
+        self.drift_est = 0.0;
+        self.last_obs = None;
+        self.last_action = 0.0;
+    }
+}
+
+impl Transition<CtrlState, u32, f64> for OptimizingController {
+    fn next(&mut self, _s: &CtrlState, _input: &u32, obs: &f64) -> CtrlState {
+        // Update drift model from the observed residual.
+        if let Some(prev) = self.last_obs {
+            let predicted = prev + self.polarity * self.last_action;
+            let residual = obs - predicted;
+            self.drift_est += self.ewma * (residual - self.drift_est);
+        }
+        // argmin_a J(a) = |obs + polarity*a + drift_est|
+        let mut best = 0.0;
+        let mut best_j = f64::INFINITY;
+        for &a in &OPT_ACTIONS {
+            let j = (obs + self.polarity * a + self.drift_est).abs();
+            if j < best_j {
+                best_j = j;
+                best = a;
+            }
+        }
+        if self.rng.chance(self.explore) {
+            best = *self.rng.pick(&OPT_ACTIONS).expect("non-empty");
+        }
+        self.last_obs = Some(*obs);
+        self.last_action = best;
+        CtrlState {
+            action: best,
+            obs_bin: bin_obs(*obs),
+            aux: self.drift_est,
+        }
+    }
+
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Optimizing
+    }
+    fn decision_cost(&self) -> u64 {
+        25 // model update + candidate sweep
+    }
+    fn verification_space(&self) -> VerificationSpace {
+        // Sampled model grid × candidate actions: large but finite.
+        VerificationSpace::Finite(1_000_000_007)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 5: Intelligent — M' = Ω(M, C, G)
+// ---------------------------------------------------------------------------
+
+/// Meta-optimizing wrapper: monitors the causal response of the plant and
+/// *rewrites its own machine* (polarity, model reset, gain re-tune) when the
+/// observed response contradicts the model — the Ω operator of Table 1
+/// applied to the controller itself.
+#[derive(Debug, Clone)]
+pub struct IntelligentController {
+    inner: OptimizingController,
+    /// Window of (action, Δobs) pairs for causal response estimation.
+    window: Vec<(f64, f64)>,
+    window_cap: usize,
+    prev_obs: Option<f64>,
+    prev_action: f64,
+    rewrites: u32,
+    cooldown: u32,
+}
+
+impl IntelligentController {
+    /// Fresh meta-controller.
+    pub fn new(seed: u64) -> Self {
+        IntelligentController {
+            inner: OptimizingController::new(seed),
+            window: Vec::new(),
+            window_cap: 12,
+            prev_obs: None,
+            prev_action: 0.0,
+            rewrites: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// How many times Ω rewrote the machine.
+    pub fn rewrites(&self) -> u32 {
+        self.rewrites
+    }
+
+    /// Estimated causal response gain cov(a, Δobs)/var(a) over the window.
+    fn response_gain(&self) -> Option<f64> {
+        if self.window.len() < self.window_cap {
+            return None;
+        }
+        let n = self.window.len() as f64;
+        let ma = self.window.iter().map(|(a, _)| a).sum::<f64>() / n;
+        let md = self.window.iter().map(|(_, d)| d).sum::<f64>() / n;
+        let cov = self
+            .window
+            .iter()
+            .map(|(a, d)| (a - ma) * (d - md))
+            .sum::<f64>()
+            / n;
+        let var = self.window.iter().map(|(a, _)| (a - ma).powi(2)).sum::<f64>() / n;
+        if var < 1e-6 {
+            None
+        } else {
+            Some(cov / var)
+        }
+    }
+}
+
+impl Transition<CtrlState, u32, f64> for IntelligentController {
+    fn next(&mut self, s: &CtrlState, input: &u32, obs: &f64) -> CtrlState {
+        // Record causal evidence: what did the last action do to the sensor?
+        if let Some(prev) = self.prev_obs {
+            if self.prev_action.abs() > 0.25 {
+                if self.window.len() == self.window_cap {
+                    self.window.remove(0);
+                }
+                self.window.push((self.prev_action, obs - prev));
+            }
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+        }
+        // Ω: if the measured response gain contradicts the assumed polarity,
+        // rewrite the machine — flip polarity, reset the model, clear evidence.
+        if self.cooldown == 0 {
+            if let Some(g) = self.response_gain() {
+                if g * self.inner.polarity < -0.2 {
+                    self.inner.polarity = -self.inner.polarity;
+                    self.inner.reset_model();
+                    self.window.clear();
+                    self.rewrites += 1;
+                    self.cooldown = self.window_cap as u32;
+                }
+            }
+        }
+        let out = self.inner.next(s, input, obs);
+        self.prev_obs = Some(*obs);
+        self.prev_action = out.action;
+        out
+    }
+
+    fn level(&self) -> IntelligenceLevel {
+        IntelligenceLevel::Intelligent
+    }
+    fn decision_cost(&self) -> u64 {
+        100 // causal inference + possible machine rewrite
+    }
+    fn verification_space(&self) -> VerificationSpace {
+        VerificationSpace::Unbounded // Ω can rewrite the machine arbitrarily
+    }
+}
+
+/// Construct a fresh machine for `level` with deterministic seeding.
+pub fn controller_for_level(
+    level: IntelligenceLevel,
+    seed: u64,
+) -> Machine<CtrlState, u32, f64, Box<dyn Transition<CtrlState, u32, f64>>> {
+    let t: Box<dyn Transition<CtrlState, u32, f64>> = match level {
+        IntelligenceLevel::Static => Box::new(StaticController::zeros()),
+        IntelligenceLevel::Adaptive => Box::new(AdaptiveController::default()),
+        IntelligenceLevel::Learning => Box::new(LearningController::new(seed)),
+        IntelligenceLevel::Optimizing => Box::new(OptimizingController::new(seed)),
+        IntelligenceLevel::Intelligent => Box::new(IntelligentController::new(seed)),
+    };
+    Machine::new(CtrlState::default(), t)
+}
+
+impl<S, I, O> Transition<S, I, O> for Box<dyn Transition<S, I, O>> {
+    fn next(&mut self, state: &S, input: &I, obs: &O) -> S {
+        (**self).next(state, input, obs)
+    }
+    fn level(&self) -> IntelligenceLevel {
+        (**self).level()
+    }
+    fn learn(&mut self, history: &History<S, I>) {
+        (**self).learn(history)
+    }
+    fn decision_cost(&self) -> u64 {
+        (**self).decision_cost()
+    }
+    fn verification_space(&self) -> VerificationSpace {
+        (**self).verification_space()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn episode(level: IntelligenceLevel, scenario: Scenario, seed: u64) -> EpisodeResult {
+        let mut m = controller_for_level(level, seed);
+        let mut rng = SimRng::from_seed_u64(seed ^ 0xABCD);
+        run_episode(&mut m, scenario, 400, &mut rng)
+    }
+
+    fn mean_in_band(level: IntelligenceLevel, scenario: Scenario) -> f64 {
+        (0..8)
+            .map(|s| episode(level, scenario, s).in_band_fraction)
+            .sum::<f64>()
+            / 8.0
+    }
+
+    #[test]
+    fn adaptive_beats_static_under_noise() {
+        let adaptive = mean_in_band(IntelligenceLevel::Adaptive, Scenario::noisy());
+        let stat = mean_in_band(IntelligenceLevel::Static, Scenario::noisy());
+        assert!(
+            adaptive > stat + 0.1,
+            "adaptive {adaptive:.2} vs static {stat:.2}"
+        );
+    }
+
+    #[test]
+    fn optimizing_beats_adaptive_under_bias() {
+        let opt = mean_in_band(IntelligenceLevel::Optimizing, Scenario::biased());
+        let ada = mean_in_band(IntelligenceLevel::Adaptive, Scenario::biased());
+        assert!(opt > ada, "optimizing {opt:.2} vs adaptive {ada:.2}");
+    }
+
+    #[test]
+    fn intelligent_survives_regime_shift() {
+        let intel = mean_in_band(IntelligenceLevel::Intelligent, Scenario::regime());
+        let opt = mean_in_band(IntelligenceLevel::Optimizing, Scenario::regime());
+        assert!(
+            intel > opt + 0.15,
+            "intelligent {intel:.2} vs optimizing {opt:.2}"
+        );
+    }
+
+    #[test]
+    fn intelligent_rewrites_machine_on_regime_shift() {
+        let mut m = Machine::new(CtrlState::default(), IntelligentController::new(3));
+        let mut rng = SimRng::from_seed_u64(99);
+        run_episode(&mut m, Scenario::regime(), 400, &mut rng);
+        assert!(m.transition.rewrites() >= 1, "Ω never fired");
+    }
+
+    #[test]
+    fn learning_improves_with_experience() {
+        // Same controller across episodes: later episodes should beat the
+        // first ones on the biased scenario.
+        let mut m = Machine::new(CtrlState::default(), LearningController::new(7));
+        let mut rng = SimRng::from_seed_u64(1234);
+        let early: f64 = (0..3)
+            .map(|_| run_episode(&mut m, Scenario::biased(), 300, &mut rng).in_band_fraction)
+            .sum::<f64>()
+            / 3.0;
+        for _ in 0..20 {
+            run_episode(&mut m, Scenario::biased(), 300, &mut rng);
+        }
+        let late: f64 = (0..3)
+            .map(|_| run_episode(&mut m, Scenario::biased(), 300, &mut rng).in_band_fraction)
+            .sum::<f64>()
+            / 3.0;
+        assert!(late > early, "late {late:.3} <= early {early:.3}");
+    }
+
+    #[test]
+    fn decision_cost_scales_with_level() {
+        let costs: Vec<u64> = IntelligenceLevel::ALL
+            .iter()
+            .map(|l| {
+                let m = controller_for_level(*l, 0);
+                m.transition.decision_cost()
+            })
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[0] < w[1], "costs not strictly increasing: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn verification_space_grows_then_diverges() {
+        let spaces: Vec<VerificationSpace> = IntelligenceLevel::ALL
+            .iter()
+            .map(|l| controller_for_level(*l, 0).transition.verification_space())
+            .collect();
+        let sizes: Vec<Option<u64>> = spaces.iter().map(|s| s.size()).collect();
+        assert!(sizes[0].unwrap() < sizes[1].unwrap());
+        assert!(sizes[1].unwrap() < sizes[2].unwrap());
+        assert!(sizes[2].unwrap() < sizes[3].unwrap());
+        assert_eq!(sizes[4], None, "Ω must be unbounded/undecidable");
+    }
+
+    #[test]
+    fn episodes_are_deterministic_given_seeds() {
+        let a = episode(IntelligenceLevel::Optimizing, Scenario::noisy(), 5);
+        let b = episode(IntelligenceLevel::Optimizing, Scenario::noisy(), 5);
+        assert_eq!(a.in_band_fraction, b.in_band_fraction);
+        assert_eq!(a.cost_units, b.cost_units);
+    }
+}

@@ -1,0 +1,403 @@
+//! DAG workflows and their compilation to state machines (Figure 1-b).
+//!
+//! The paper's observation: a DAG workflow *is* a state machine whose states
+//! are execution frontiers (sets of completed tasks) and whose alphabet is
+//! task-completion events. For sequential DAGs the construction is linear;
+//! for parallel DAGs the frontier construction exhibits the state-space
+//! growth that the verification-cost experiment (`claim_verification`)
+//! measures.
+
+use crate::fsm::{Fsm, FsmError, StateId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Index of a task node in a DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Errors from DAG construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The graph contains a cycle (so it is not a DAG).
+    CycleDetected,
+    /// An edge references an unknown task.
+    UnknownTask(TaskId),
+    /// Frontier construction exceeded the state budget.
+    StateBudgetExceeded {
+        /// Budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::CycleDetected => write!(f, "graph contains a cycle"),
+            DagError::UnknownTask(t) => write!(f, "unknown task t{}", t.0),
+            DagError::StateBudgetExceeded { budget } => {
+                write!(f, "frontier construction exceeded {budget} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic workflow graph with labelled tasks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dag {
+    labels: Vec<String>,
+    /// Edges as predecessor lists: `preds[t]` must all complete before `t`.
+    preds: Vec<BTreeSet<TaskId>>,
+    succs: Vec<BTreeSet<TaskId>>,
+}
+
+impl Dag {
+    /// Create an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task; returns its id.
+    pub fn task(&mut self, label: impl Into<String>) -> TaskId {
+        let id = TaskId(self.labels.len() as u32);
+        self.labels.push(label.into());
+        self.preds.push(BTreeSet::new());
+        self.succs.push(BTreeSet::new());
+        id
+    }
+
+    /// Add a dependency edge `from -> to` (to waits for from).
+    pub fn edge(&mut self, from: TaskId, to: TaskId) -> Result<(), DagError> {
+        let n = self.labels.len() as u32;
+        if from.0 >= n {
+            return Err(DagError::UnknownTask(from));
+        }
+        if to.0 >= n {
+            return Err(DagError::UnknownTask(to));
+        }
+        self.preds[to.0 as usize].insert(from);
+        self.succs[from.0 as usize].insert(to);
+        Ok(())
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of task `t`.
+    pub fn label(&self, t: TaskId) -> &str {
+        &self.labels[t.0 as usize]
+    }
+
+    /// Direct predecessors of `t`.
+    pub fn preds(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[t.0 as usize].iter().copied()
+    }
+
+    /// Direct successors of `t`.
+    pub fn succs(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[t.0 as usize].iter().copied()
+    }
+
+    /// Kahn's algorithm: a topological order, or `CycleDetected`.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, DagError> {
+        let n = self.labels.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut queue: VecDeque<TaskId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| TaskId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            for s in &self.succs[t.0 as usize] {
+                indeg[s.0 as usize] -= 1;
+                if indeg[s.0 as usize] == 0 {
+                    queue.push_back(*s);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(DagError::CycleDetected)
+        }
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn validate(&self) -> Result<(), DagError> {
+        self.topo_order().map(|_| ())
+    }
+
+    /// Tasks whose predecessors are all in `done` and that are not in `done`.
+    pub fn ready(&self, done: &BTreeSet<TaskId>) -> Vec<TaskId> {
+        (0..self.labels.len() as u32)
+            .map(TaskId)
+            .filter(|t| !done.contains(t) && self.preds[t.0 as usize].iter().all(|p| done.contains(p)))
+            .collect()
+    }
+
+    /// Length of the longest path (critical path) in tasks.
+    pub fn critical_path_len(&self) -> Result<usize, DagError> {
+        let order = self.topo_order()?;
+        let mut depth = vec![1usize; self.labels.len()];
+        for t in order {
+            for s in &self.succs[t.0 as usize] {
+                depth[s.0 as usize] = depth[s.0 as usize].max(depth[t.0 as usize] + 1);
+            }
+        }
+        Ok(depth.into_iter().max().unwrap_or(0))
+    }
+
+    /// Compile to the frontier FSM of Figure 1-b.
+    ///
+    /// States are reachable completed-task sets; the alphabet is
+    /// "task t completed"; the single final state is the full set. The
+    /// construction is exponential in DAG width — intentionally observable
+    /// via `budget`, because that growth *is* the verification-cost claim of
+    /// Table 1.
+    pub fn to_fsm(&self, budget: usize) -> Result<Fsm, DagError> {
+        self.validate()?;
+        let mut b = Fsm::builder();
+        let mut symbols = Vec::with_capacity(self.len());
+        for (i, l) in self.labels.iter().enumerate() {
+            symbols.push(b.symbol(format!("done:{l}#{i}")));
+        }
+
+        let mut ids: BTreeMap<BTreeSet<TaskId>, StateId> = BTreeMap::new();
+        let empty: BTreeSet<TaskId> = BTreeSet::new();
+        let s0 = b.state(frontier_label(self, &empty));
+        ids.insert(empty.clone(), s0);
+        let mut queue = VecDeque::new();
+        queue.push_back(empty);
+
+        let mut transitions = Vec::new();
+        while let Some(done) = queue.pop_front() {
+            let from = ids[&done];
+            for t in self.ready(&done) {
+                let mut next = done.clone();
+                next.insert(t);
+                let to = match ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if ids.len() >= budget {
+                            return Err(DagError::StateBudgetExceeded { budget });
+                        }
+                        let id = b.state(frontier_label(self, &next));
+                        ids.insert(next.clone(), id);
+                        queue.push_back(next.clone());
+                        id
+                    }
+                };
+                transitions.push((from, symbols[t.0 as usize], to));
+            }
+        }
+        for (f, a, t) in transitions {
+            b.transition(f, a, t);
+        }
+        b.initial(s0);
+        let all: BTreeSet<TaskId> = (0..self.labels.len() as u32).map(TaskId).collect();
+        if let Some(&fin) = ids.get(&all) {
+            b.final_state(fin);
+        }
+        b.build().map_err(|e: FsmError| {
+            unreachable!("frontier construction produced invalid machine: {e}")
+        })
+    }
+
+    /// Compile to the *sequential* FSM induced by one topological order — the
+    /// linear-size machine a traditional single-threaded executor realises.
+    pub fn to_sequential_fsm(&self) -> Result<Fsm, DagError> {
+        let order = self.topo_order()?;
+        let mut b = Fsm::builder();
+        let mut prev = b.state("start");
+        b.initial(prev);
+        for (k, t) in order.iter().enumerate() {
+            let sym = b.symbol(format!("done:{}#{k}", self.label(*t)));
+            let next = b.state(format!("after:{}", self.label(*t)));
+            b.transition(prev, sym, next);
+            prev = next;
+        }
+        b.final_state(prev);
+        b.build()
+            .map_err(|e| unreachable!("sequential construction invalid: {e}"))
+    }
+}
+
+fn frontier_label(dag: &Dag, done: &BTreeSet<TaskId>) -> String {
+    if done.is_empty() {
+        return "{}".to_string();
+    }
+    let names: Vec<&str> = done.iter().map(|t| dag.label(*t)).collect();
+    format!("{{{}}}", names.join(","))
+}
+
+/// Convenience constructors for common workflow shapes, used across tests
+/// and benchmarks.
+pub mod shapes {
+    use super::*;
+
+    /// `n`-task chain: t0 -> t1 -> ... -> t(n-1).
+    pub fn chain(n: usize) -> Dag {
+        let mut d = Dag::new();
+        let ts: Vec<TaskId> = (0..n).map(|i| d.task(format!("t{i}"))).collect();
+        for w in ts.windows(2) {
+            d.edge(w[0], w[1]).expect("valid ids");
+        }
+        d
+    }
+
+    /// Fork-join: one source, `width` parallel tasks, one sink.
+    pub fn fork_join(width: usize) -> Dag {
+        let mut d = Dag::new();
+        let src = d.task("fork");
+        let sink_tasks: Vec<TaskId> = (0..width).map(|i| d.task(format!("par{i}"))).collect();
+        let sink = d.task("join");
+        for t in &sink_tasks {
+            d.edge(src, *t).expect("valid ids");
+            d.edge(*t, sink).expect("valid ids");
+        }
+        d
+    }
+
+    /// Diamond: a -> {b, c} -> d.
+    pub fn diamond() -> Dag {
+        fork_join(2)
+    }
+
+    /// A layered DAG with `layers` layers of `width` tasks, fully connected
+    /// between consecutive layers (a typical multi-stage science pipeline).
+    pub fn layered(layers: usize, width: usize) -> Dag {
+        let mut d = Dag::new();
+        let mut prev: Vec<TaskId> = Vec::new();
+        for l in 0..layers {
+            let cur: Vec<TaskId> = (0..width).map(|i| d.task(format!("l{l}w{i}"))).collect();
+            for p in &prev {
+                for c in &cur {
+                    d.edge(*p, *c).expect("valid ids");
+                }
+            }
+            prev = cur;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shapes::*;
+    use super::*;
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = diamond();
+        let order = d.topo_order().unwrap();
+        let pos = |t: TaskId| order.iter().position(|x| *x == t).unwrap();
+        assert_eq!(pos(TaskId(0)), 0); // fork first
+        assert_eq!(pos(TaskId(3)), 3); // join last
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut d = Dag::new();
+        let a = d.task("a");
+        let b = d.task("b");
+        d.edge(a, b).unwrap();
+        d.edge(b, a).unwrap();
+        assert_eq!(d.topo_order().unwrap_err(), DagError::CycleDetected);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_task_edge_rejected() {
+        let mut d = Dag::new();
+        let a = d.task("a");
+        assert_eq!(d.edge(a, TaskId(9)).unwrap_err(), DagError::UnknownTask(TaskId(9)));
+    }
+
+    #[test]
+    fn ready_set_tracks_frontier() {
+        let d = diamond();
+        let mut done = BTreeSet::new();
+        assert_eq!(d.ready(&done), vec![TaskId(0)]);
+        done.insert(TaskId(0));
+        assert_eq!(d.ready(&done), vec![TaskId(1), TaskId(2)]);
+        done.insert(TaskId(1));
+        done.insert(TaskId(2));
+        assert_eq!(d.ready(&done), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn chain_fsm_is_linear() {
+        let d = chain(5);
+        let m = d.to_fsm(1_000).unwrap();
+        assert_eq!(m.num_states(), 6); // n+1 frontiers
+        assert_eq!(m.num_transitions(), 5);
+        assert!(m.is_live());
+    }
+
+    #[test]
+    fn fork_join_fsm_grows_exponentially() {
+        // width-w fork-join has 2^w + 2 frontier states:
+        // {}, then {fork} ∪ (each subset of parallel tasks) = 2^w, then +join.
+        let d = fork_join(3);
+        let m = d.to_fsm(1_000).unwrap();
+        assert_eq!(m.num_states(), 1 + (1 << 3) + 1);
+        let d = fork_join(6);
+        let m = d.to_fsm(1_000).unwrap();
+        assert_eq!(m.num_states(), 1 + (1 << 6) + 1);
+    }
+
+    #[test]
+    fn budget_stops_state_explosion() {
+        let d = fork_join(16);
+        match d.to_fsm(500) {
+            Err(DagError::StateBudgetExceeded { budget }) => assert_eq!(budget, 500),
+            other => panic!("expected budget exceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_fsm_accepts_any_topo_order() {
+        let d = diamond();
+        let m = d.to_fsm(100).unwrap();
+        // Both interleavings of the parallel stage must be accepted.
+        let w = |names: [&str; 4]| -> Vec<_> {
+            names
+                .iter()
+                .map(|n| {
+                    let idx = (0..d.len())
+                        .position(|i| d.label(TaskId(i as u32)) == *n)
+                        .unwrap();
+                    m.symbol_by_label(&format!("done:{n}#{idx}")).unwrap()
+                })
+                .collect()
+        };
+        assert!(m.run(&w(["fork", "par0", "par1", "join"])).accepted);
+        assert!(m.run(&w(["fork", "par1", "par0", "join"])).accepted);
+        // Out-of-order completion is rejected (gets stuck).
+        assert!(m.run(&w(["par0", "fork", "par1", "join"])).stuck);
+    }
+
+    #[test]
+    fn sequential_fsm_is_linear_even_for_wide_dags() {
+        let d = fork_join(10);
+        let m = d.to_sequential_fsm().unwrap();
+        assert_eq!(m.num_states(), d.len() + 1);
+        assert!(m.is_live());
+    }
+
+    #[test]
+    fn critical_path() {
+        assert_eq!(chain(7).critical_path_len().unwrap(), 7);
+        assert_eq!(fork_join(9).critical_path_len().unwrap(), 3);
+        assert_eq!(layered(4, 3).critical_path_len().unwrap(), 4);
+    }
+}

@@ -1,0 +1,456 @@
+//! The formal finite state machine `M = (S, Σ, δ, s0, F)` of Figure 1-a.
+//!
+//! Workflow stages are states, events/data are the input alphabet, and the
+//! transition function is an explicit table. Deterministic δ gives the
+//! reproducibility traditional workflows rely on (§3.1); the richer
+//! transition classes of Table 1 are layered on top in [`crate::machine`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Index of a state in a machine's state set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub u32);
+
+/// Index of a symbol in a machine's input alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Errors from machine construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmError {
+    /// A transition references a state not in `S`.
+    UnknownState(StateId),
+    /// A symbol reference is not in `Σ`.
+    UnknownSymbol(SymbolId),
+    /// No transition is defined for `(state, symbol)`.
+    MissingTransition(StateId, SymbolId),
+    /// A duplicate label was supplied.
+    DuplicateLabel(String),
+    /// The machine has no initial state.
+    NoInitialState,
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::UnknownState(s) => write!(f, "unknown state {s}"),
+            FsmError::UnknownSymbol(a) => write!(f, "unknown symbol {a}"),
+            FsmError::MissingTransition(s, a) => {
+                write!(f, "no transition defined for ({s}, {a})")
+            }
+            FsmError::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            FsmError::NoInitialState => write!(f, "machine has no initial state"),
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// A deterministic finite state machine with labelled states and symbols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fsm {
+    state_labels: Vec<String>,
+    symbol_labels: Vec<String>,
+    /// Serialized as a triple list: JSON object keys must be strings, so
+    /// the `(state, symbol)` tuple key cannot serialize as a map directly.
+    #[serde(with = "delta_serde")]
+    delta: BTreeMap<(StateId, SymbolId), StateId>,
+    initial: StateId,
+    finals: BTreeSet<StateId>,
+}
+
+/// (state, symbol) → state maps serialize as `[from, on, to]` triples.
+mod delta_serde {
+    use super::{StateId, SymbolId};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(StateId, SymbolId), StateId>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let triples: Vec<(StateId, SymbolId, StateId)> =
+            map.iter().map(|(&(s, a), &t)| (s, a, t)).collect();
+        triples.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<(StateId, SymbolId), StateId>, D::Error> {
+        let triples: Vec<(StateId, SymbolId, StateId)> = Vec::deserialize(de)?;
+        Ok(triples.into_iter().map(|(s, a, t)| ((s, a), t)).collect())
+    }
+}
+
+impl Fsm {
+    /// Start building a machine.
+    pub fn builder() -> FsmBuilder {
+        FsmBuilder::default()
+    }
+
+    /// Number of states |S|.
+    pub fn num_states(&self) -> usize {
+        self.state_labels.len()
+    }
+
+    /// Number of symbols |Σ|.
+    pub fn num_symbols(&self) -> usize {
+        self.symbol_labels.len()
+    }
+
+    /// Number of defined transitions |δ|.
+    pub fn num_transitions(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The initial state s0.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `s` is a final (accepting) state.
+    pub fn is_final(&self, s: StateId) -> bool {
+        self.finals.contains(&s)
+    }
+
+    /// The final-state set F.
+    pub fn finals(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.finals.iter().copied()
+    }
+
+    /// Label of state `s`.
+    pub fn state_label(&self, s: StateId) -> &str {
+        &self.state_labels[s.0 as usize]
+    }
+
+    /// Label of symbol `a`.
+    pub fn symbol_label(&self, a: SymbolId) -> &str {
+        &self.symbol_labels[a.0 as usize]
+    }
+
+    /// Find a state by label.
+    pub fn state_by_label(&self, label: &str) -> Option<StateId> {
+        self.state_labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| StateId(i as u32))
+    }
+
+    /// Find a symbol by label.
+    pub fn symbol_by_label(&self, label: &str) -> Option<SymbolId> {
+        self.symbol_labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| SymbolId(i as u32))
+    }
+
+    /// δ(s, a), or an error when the transition is undefined.
+    pub fn step(&self, s: StateId, a: SymbolId) -> Result<StateId, FsmError> {
+        self.delta
+            .get(&(s, a))
+            .copied()
+            .ok_or(FsmError::MissingTransition(s, a))
+    }
+
+    /// δ(s, a) as an Option (partial machines are normal for workflows).
+    pub fn try_step(&self, s: StateId, a: SymbolId) -> Option<StateId> {
+        self.delta.get(&(s, a)).copied()
+    }
+
+    /// All transitions as `(from, symbol, to)` triples in deterministic order.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, SymbolId, StateId)> + '_ {
+        self.delta.iter().map(|(&(s, a), &t)| (s, a, t))
+    }
+
+    /// The symbols enabled in state `s`.
+    pub fn enabled(&self, s: StateId) -> Vec<SymbolId> {
+        self.delta
+            .range((s, SymbolId(0))..=(s, SymbolId(u32::MAX)))
+            .map(|(&(_, a), _)| a)
+            .collect()
+    }
+
+    /// Run the machine over an input word from s0, recording a [`Trace`].
+    /// Stops at the first undefined transition (recorded in the trace).
+    pub fn run(&self, word: &[SymbolId]) -> Trace {
+        let mut trace = Trace {
+            steps: vec![],
+            start: self.initial,
+            end: self.initial,
+            accepted: self.is_final(self.initial),
+            stuck: false,
+        };
+        let mut cur = self.initial;
+        for &a in word {
+            match self.try_step(cur, a) {
+                Some(next) => {
+                    trace.steps.push((cur, a, next));
+                    cur = next;
+                }
+                None => {
+                    trace.stuck = true;
+                    break;
+                }
+            }
+        }
+        trace.end = cur;
+        trace.accepted = !trace.stuck && self.is_final(cur);
+        trace
+    }
+
+    /// States reachable from s0 (breadth-first, deterministic order).
+    pub fn reachable(&self) -> Vec<StateId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen.insert(self.initial);
+        queue.push_back(self.initial);
+        while let Some(s) = queue.pop_front() {
+            for a in self.enabled(s) {
+                let t = self.delta[&(s, a)];
+                if seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Whether every reachable non-final state has at least one enabled
+    /// symbol (no dead ends before acceptance).
+    pub fn is_live(&self) -> bool {
+        self.reachable()
+            .into_iter()
+            .all(|s| self.is_final(s) || !self.enabled(s).is_empty())
+    }
+}
+
+/// One recorded execution of an [`Fsm`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// `(from, symbol, to)` per step taken.
+    pub steps: Vec<(StateId, SymbolId, StateId)>,
+    /// State the run started in.
+    pub start: StateId,
+    /// State the run ended in.
+    pub end: StateId,
+    /// Whether the run ended in a final state (and never got stuck).
+    pub accepted: bool,
+    /// Whether the run hit an undefined transition.
+    pub stuck: bool,
+}
+
+impl Trace {
+    /// Number of transitions taken.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no transitions were taken.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Builder for [`Fsm`].
+#[derive(Debug, Default)]
+pub struct FsmBuilder {
+    states: Vec<String>,
+    symbols: Vec<String>,
+    delta: BTreeMap<(StateId, SymbolId), StateId>,
+    initial: Option<StateId>,
+    finals: BTreeSet<StateId>,
+}
+
+impl FsmBuilder {
+    /// Add a state; returns its id. Labels must be unique.
+    pub fn state(&mut self, label: impl Into<String>) -> StateId {
+        let label = label.into();
+        debug_assert!(
+            !self.states.contains(&label),
+            "duplicate state label {label:?}"
+        );
+        let id = StateId(self.states.len() as u32);
+        self.states.push(label);
+        id
+    }
+
+    /// Add a symbol; returns its id. Labels must be unique.
+    pub fn symbol(&mut self, label: impl Into<String>) -> SymbolId {
+        let label = label.into();
+        debug_assert!(
+            !self.symbols.contains(&label),
+            "duplicate symbol label {label:?}"
+        );
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(label);
+        id
+    }
+
+    /// Define δ(from, on) = to.
+    pub fn transition(&mut self, from: StateId, on: SymbolId, to: StateId) -> &mut Self {
+        self.delta.insert((from, on), to);
+        self
+    }
+
+    /// Set the initial state s0.
+    pub fn initial(&mut self, s: StateId) -> &mut Self {
+        self.initial = Some(s);
+        self
+    }
+
+    /// Mark `s` as final.
+    pub fn final_state(&mut self, s: StateId) -> &mut Self {
+        self.finals.insert(s);
+        self
+    }
+
+    /// Validate and build the machine.
+    pub fn build(self) -> Result<Fsm, FsmError> {
+        let initial = self.initial.ok_or(FsmError::NoInitialState)?;
+        let ns = self.states.len() as u32;
+        let na = self.symbols.len() as u32;
+        let check_state = |s: StateId| {
+            if s.0 < ns {
+                Ok(())
+            } else {
+                Err(FsmError::UnknownState(s))
+            }
+        };
+        check_state(initial)?;
+        for (&(s, a), &t) in &self.delta {
+            check_state(s)?;
+            check_state(t)?;
+            if a.0 >= na {
+                return Err(FsmError::UnknownSymbol(a));
+            }
+        }
+        for &s in &self.finals {
+            check_state(s)?;
+        }
+        Ok(Fsm {
+            state_labels: self.states,
+            symbol_labels: self.symbols,
+            delta: self.delta,
+            initial,
+            finals: self.finals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-stage pipeline FSM: ingest -> process -> done.
+    fn pipeline() -> Fsm {
+        let mut b = Fsm::builder();
+        let s0 = b.state("ingest");
+        let s1 = b.state("process");
+        let s2 = b.state("done");
+        let ok = b.symbol("ok");
+        b.transition(s0, ok, s1);
+        b.transition(s1, ok, s2);
+        b.initial(s0);
+        b.final_state(s2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_accepts_complete_word() {
+        let m = pipeline();
+        let ok = m.symbol_by_label("ok").unwrap();
+        let t = m.run(&[ok, ok]);
+        assert!(t.accepted);
+        assert_eq!(t.len(), 2);
+        assert_eq!(m.state_label(t.end), "done");
+    }
+
+    #[test]
+    fn run_rejects_partial_word() {
+        let m = pipeline();
+        let ok = m.symbol_by_label("ok").unwrap();
+        let t = m.run(&[ok]);
+        assert!(!t.accepted);
+        assert!(!t.stuck);
+        assert_eq!(m.state_label(t.end), "process");
+    }
+
+    #[test]
+    fn run_reports_stuck() {
+        let m = pipeline();
+        let ok = m.symbol_by_label("ok").unwrap();
+        let t = m.run(&[ok, ok, ok]); // "done" has no outgoing transitions
+        assert!(t.stuck);
+        assert!(!t.accepted);
+    }
+
+    #[test]
+    fn reachability_and_liveness() {
+        let m = pipeline();
+        assert_eq!(m.reachable().len(), 3);
+        assert!(m.is_live());
+
+        // Add an unreachable trap and a dead end.
+        let mut b = Fsm::builder();
+        let s0 = b.state("a");
+        let s1 = b.state("dead-end");
+        let _s2 = b.state("unreachable");
+        let x = b.symbol("x");
+        b.transition(s0, x, s1);
+        b.initial(s0);
+        let m = b.build().unwrap();
+        assert_eq!(m.reachable().len(), 2);
+        assert!(!m.is_live()); // s1 is non-final with no exits
+    }
+
+    #[test]
+    fn builder_validates_references() {
+        let mut b = Fsm::builder();
+        let s0 = b.state("a");
+        let x = b.symbol("x");
+        b.transition(s0, x, StateId(99));
+        b.initial(s0);
+        assert_eq!(b.build().unwrap_err(), FsmError::UnknownState(StateId(99)));
+
+        let b2 = Fsm::builder();
+        assert_eq!(b2.build().unwrap_err(), FsmError::NoInitialState);
+    }
+
+    #[test]
+    fn enabled_symbols_sorted() {
+        let mut b = Fsm::builder();
+        let s0 = b.state("s");
+        let a0 = b.symbol("p");
+        let a1 = b.symbol("q");
+        b.transition(s0, a1, s0);
+        b.transition(s0, a0, s0);
+        b.initial(s0);
+        let m = b.build().unwrap();
+        assert_eq!(m.enabled(s0), vec![a0, a1]);
+        assert_eq!(m.num_transitions(), 2);
+    }
+
+    #[test]
+    fn step_errors_on_missing() {
+        let m = pipeline();
+        let done = m.state_by_label("done").unwrap();
+        let ok = m.symbol_by_label("ok").unwrap();
+        assert!(matches!(
+            m.step(done, ok),
+            Err(FsmError::MissingTransition(_, _))
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! # evoflow-sm — the state-machine foundation of the evolution framework
+//!
+//! §3.1 of the paper identifies the finite state machine
+//! `M = (S, Σ, δ, s0, F)` as the common denominator between traditional
+//! workflows and AI agents. This crate is that foundation:
+//!
+//! * [`fsm`] — the formal machine with labelled states/symbols, runs,
+//!   traces, and reachability (Figure 1-a).
+//! * [`dag`] — DAG workflows and their compilation to frontier machines
+//!   (Figure 1-b), including the exponential construction whose growth the
+//!   verification experiment measures.
+//! * [`machine`] — the generalized transition function: all five Table 1
+//!   intelligence levels behind one [`machine::Transition`] trait, plus the
+//!   executing [`machine::Machine`] loop with experience history `H`.
+//! * [`control`] — the shared noisy instrument-calibration task and one
+//!   reference controller per intelligence level (the Table 1 experiment).
+//! * [`meta`] — the Ω operator: guarded structural self-modification
+//!   `M' = Ω(M, C, G)`.
+//! * [`verify`] — bounded exhaustive verification, making Table 1's
+//!   "tractable → undecidable" column measurable.
+
+pub mod control;
+pub mod dag;
+pub mod fsm;
+pub mod machine;
+pub mod meta;
+pub mod verify;
+
+pub use control::{
+    controller_for_level, run_episode, AdaptiveController, CtrlState, EpisodeResult,
+    IntelligentController, LearningController, OptimizingController, Scenario, StaticController,
+};
+pub use dag::{Dag, DagError, TaskId};
+pub use fsm::{Fsm, FsmBuilder, FsmError, StateId, SymbolId, Trace};
+pub use machine::{
+    Experience, History, IntelligenceLevel, Machine, Transition, VerificationSpace,
+};
+pub use meta::{
+    apply_guarded, apply_rewrite, Context, Goals, Guardrails, MetaOperator, RecoveryOmega,
+    Rewrite, RewriteRejection,
+};
+pub use verify::{verify_behaviour_space, verify_fsm, VerificationReport};

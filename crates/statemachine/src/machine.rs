@@ -1,0 +1,371 @@
+//! The generalized transition function of Table 1 and the machine loop that
+//! executes it.
+//!
+//! Table 1's five intelligence levels are progressively richer δ signatures:
+//!
+//! | Level | Formalism | Mechanism |
+//! |---|---|---|
+//! | Static | `δ: S×Σ → S` | lookup of predetermined paths |
+//! | Adaptive | `δ: S×Σ×O → S` | observation-conditioned branching |
+//! | Learning | `δ_{t+1} = L(δ_t, H)` | history-driven updates |
+//! | Optimizing | `δ* = argmin_δ J(δ)` | cost-seeking search |
+//! | Intelligent | `M' = Ω(M, C, G)` | meta-optimization rewriting the machine |
+//!
+//! The [`Transition`] trait captures all five with one signature: levels that
+//! ignore observations simply don't read `obs`; learning levels mutate
+//! themselves in [`Transition::learn`]; intelligent machines are rewritten
+//! through [`crate::meta::MetaOperator`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The intelligence dimension of the evolution framework (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IntelligenceLevel {
+    /// Predetermined execution paths; transition depends only on state+input.
+    Static,
+    /// Runtime adjustment from observations/feedback signals `O`.
+    Adaptive,
+    /// Transition function updated from experience history `H`.
+    Learning,
+    /// Goal-seeking behaviour minimising a cost function `J`.
+    Optimizing,
+    /// Meta-optimization `Ω` that can redefine states, transitions, goals.
+    Intelligent,
+}
+
+impl IntelligenceLevel {
+    /// All levels in ascending sophistication order.
+    pub const ALL: [IntelligenceLevel; 5] = [
+        IntelligenceLevel::Static,
+        IntelligenceLevel::Adaptive,
+        IntelligenceLevel::Learning,
+        IntelligenceLevel::Optimizing,
+        IntelligenceLevel::Intelligent,
+    ];
+
+    /// The δ formalism string used in Table 1.
+    pub fn formalism(self) -> &'static str {
+        match self {
+            IntelligenceLevel::Static => "δ: S×Σ → S",
+            IntelligenceLevel::Adaptive => "δ: S×Σ×O → S",
+            IntelligenceLevel::Learning => "δ_{t+1} = L(δ_t, H)",
+            IntelligenceLevel::Optimizing => "δ* = argmin_δ J(δ)",
+            IntelligenceLevel::Intelligent => "M' = Ω(M, C, G)",
+        }
+    }
+
+    /// Table 1's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            IntelligenceLevel::Static => {
+                "Transition function depends solely on current state and input, \
+                 implementing predetermined execution paths"
+            }
+            IntelligenceLevel::Adaptive => {
+                "Extended with observations/feedback signals O enabling runtime \
+                 adjustments and conditional branching"
+            }
+            IntelligenceLevel::Learning => {
+                "Incorporates history through learning function L that updates \
+                 transitions based on experience H"
+            }
+            IntelligenceLevel::Optimizing => {
+                "Seeks optimal behavior via cost function J, balancing \
+                 exploration and exploitation"
+            }
+            IntelligenceLevel::Intelligent => {
+                "Meta-optimization through operator Ω that can redefine states, \
+                 transitions, and goals based on context"
+            }
+        }
+    }
+
+    /// Representative existing system named in §3.2.
+    pub fn exemplar(self) -> &'static str {
+        match self {
+            IntelligenceLevel::Static => "Traditional HPC workflows",
+            IntelligenceLevel::Adaptive => "Fault-tolerant frameworks with feedback",
+            IntelligenceLevel::Learning => "ML-guided parameter selection",
+            IntelligenceLevel::Optimizing => "Automated tuning platforms",
+            IntelligenceLevel::Intelligent => "Autonomous lab controllers",
+        }
+    }
+
+    /// Rank in the evolution order (0..=4).
+    pub fn rank(self) -> usize {
+        match self {
+            IntelligenceLevel::Static => 0,
+            IntelligenceLevel::Adaptive => 1,
+            IntelligenceLevel::Learning => 2,
+            IntelligenceLevel::Optimizing => 3,
+            IntelligenceLevel::Intelligent => 4,
+        }
+    }
+
+    /// The next level along the intelligence axis, if any.
+    pub fn next(self) -> Option<IntelligenceLevel> {
+        Self::ALL.get(self.rank() + 1).copied()
+    }
+}
+
+impl fmt::Display for IntelligenceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntelligenceLevel::Static => "Static",
+            IntelligenceLevel::Adaptive => "Adaptive",
+            IntelligenceLevel::Learning => "Learning",
+            IntelligenceLevel::Optimizing => "Optimizing",
+            IntelligenceLevel::Intelligent => "Intelligent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Size of the space a verifier must enumerate to certify a transition
+/// function — Table 1's verification-complexity column made measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VerificationSpace {
+    /// Finitely many behaviours: exhaustive checking terminates.
+    Finite(u64),
+    /// Behaviour space has no useful bound (meta-optimization Ω):
+    /// verification is undecidable in general.
+    Unbounded,
+}
+
+impl VerificationSpace {
+    /// The size when finite.
+    pub fn size(self) -> Option<u64> {
+        match self {
+            VerificationSpace::Finite(n) => Some(n),
+            VerificationSpace::Unbounded => None,
+        }
+    }
+}
+
+/// One experience record in the history `H`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experience<S, I> {
+    /// State before the transition.
+    pub state: S,
+    /// Input consumed.
+    pub input: I,
+    /// State after the transition.
+    pub next: S,
+    /// Scalar feedback associated with the transition.
+    pub reward: f64,
+}
+
+/// The experience history `H` consumed by learning functions `L`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct History<S, I> {
+    records: Vec<Experience<S, I>>,
+    capacity: usize,
+}
+
+impl<S, I> History<S, I> {
+    /// A history retaining at most `capacity` most-recent records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        History {
+            records: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append a record, evicting the oldest beyond capacity.
+    pub fn push(&mut self, e: Experience<S, I>) {
+        if self.records.len() == self.capacity {
+            self.records.remove(0);
+        }
+        self.records.push(e);
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> &[Experience<S, I>] {
+        &self.records
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean reward over the last `n` records (0 when empty).
+    pub fn recent_mean_reward(&self, n: usize) -> f64 {
+        let tail = &self.records[self.records.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().map(|e| e.reward).sum::<f64>() / tail.len() as f64
+        }
+    }
+}
+
+impl<S, I> Default for History<S, I> {
+    fn default() -> Self {
+        Self::with_capacity(10_000)
+    }
+}
+
+/// The generalized transition function δ (all five Table 1 signatures).
+pub trait Transition<S, I, O> {
+    /// Compute the next state. Static implementations ignore `obs`.
+    fn next(&mut self, state: &S, input: &I, obs: &O) -> S;
+
+    /// This transition function's intelligence level.
+    fn level(&self) -> IntelligenceLevel;
+
+    /// Learning hook `δ_{t+1} = L(δ_t, H)`; default is the identity
+    /// (non-learning levels).
+    fn learn(&mut self, _history: &History<S, I>) {}
+
+    /// Abstract per-decision cost units (Table 1's O(1) lookup →
+    /// unbounded-computation scaling, made measurable).
+    fn decision_cost(&self) -> u64 {
+        1
+    }
+
+    /// The space a verifier must enumerate to certify this function.
+    fn verification_space(&self) -> VerificationSpace {
+        VerificationSpace::Finite(1)
+    }
+}
+
+/// A running machine: current state + transition function + history.
+///
+/// This is the "execution unit of workflows, the state machine loop" that
+/// §3.1 identifies as the common denominator between workflows and agents.
+#[derive(Debug, Clone)]
+pub struct Machine<S, I, O, T> {
+    /// Current state.
+    pub state: S,
+    /// The transition function δ (any Table 1 level).
+    pub transition: T,
+    /// Experience history H.
+    pub history: History<S, I>,
+    steps: u64,
+    cost_units: u64,
+    _marker: std::marker::PhantomData<(I, O)>,
+}
+
+impl<S, I, O, T> Machine<S, I, O, T>
+where
+    S: Clone,
+    I: Clone,
+    T: Transition<S, I, O>,
+{
+    /// Create a machine in `initial` state.
+    pub fn new(initial: S, transition: T) -> Self {
+        Machine {
+            state: initial,
+            transition,
+            history: History::default(),
+            steps: 0,
+            cost_units: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Execute one loop iteration: δ(state, input, obs) with `reward`
+    /// recorded into history, then the learning hook.
+    pub fn step(&mut self, input: I, obs: &O, reward: f64) -> &S {
+        let next = self.transition.next(&self.state, &input, obs);
+        self.history.push(Experience {
+            state: self.state.clone(),
+            input,
+            next: next.clone(),
+            reward,
+        });
+        self.transition.learn(&self.history);
+        self.state = next;
+        self.steps += 1;
+        self.cost_units += self.transition.decision_cost();
+        &self.state
+    }
+
+    /// Number of loop iterations executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Accumulated abstract decision cost.
+    pub fn cost_units(&self) -> u64 {
+        self.cost_units
+    }
+
+    /// The machine's intelligence level (that of its δ).
+    pub fn level(&self) -> IntelligenceLevel {
+        self.transition.level()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Static counter: next = state + input, ignores observation.
+    struct Inc;
+    impl Transition<i64, i64, ()> for Inc {
+        fn next(&mut self, s: &i64, i: &i64, _: &()) -> i64 {
+            s + i
+        }
+        fn level(&self) -> IntelligenceLevel {
+            IntelligenceLevel::Static
+        }
+    }
+
+    #[test]
+    fn machine_loop_accumulates() {
+        let mut m = Machine::new(0i64, Inc);
+        m.step(2, &(), 0.0);
+        m.step(3, &(), 1.0);
+        assert_eq!(m.state, 5);
+        assert_eq!(m.steps(), 2);
+        assert_eq!(m.cost_units(), 2);
+        assert_eq!(m.history.len(), 2);
+        assert_eq!(m.history.recent_mean_reward(10), 0.5);
+    }
+
+    #[test]
+    fn levels_are_ordered_and_complete() {
+        let ranks: Vec<usize> = IntelligenceLevel::ALL.iter().map(|l| l.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            IntelligenceLevel::Static.next(),
+            Some(IntelligenceLevel::Adaptive)
+        );
+        assert_eq!(IntelligenceLevel::Intelligent.next(), None);
+        for l in IntelligenceLevel::ALL {
+            assert!(!l.formalism().is_empty());
+            assert!(!l.description().is_empty());
+            assert!(!l.exemplar().is_empty());
+        }
+    }
+
+    #[test]
+    fn history_evicts_beyond_capacity() {
+        let mut h: History<u8, u8> = History::with_capacity(2);
+        for k in 0..4 {
+            h.push(Experience {
+                state: k,
+                input: 0,
+                next: k + 1,
+                reward: k as f64,
+            });
+        }
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.records()[0].state, 2);
+        assert_eq!(h.recent_mean_reward(1), 3.0);
+    }
+
+    #[test]
+    fn verification_space_accessor() {
+        assert_eq!(VerificationSpace::Finite(7).size(), Some(7));
+        assert_eq!(VerificationSpace::Unbounded.size(), None);
+    }
+}

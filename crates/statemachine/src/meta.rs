@@ -1,0 +1,421 @@
+//! The meta-optimization operator Ω: `M' = Ω(M, C, G)` (Table 1, row 5).
+//!
+//! Ω takes a machine, a context, and (mutable) goals, and may *redefine the
+//! machine itself*: add/remove states and transitions, change finals, change
+//! goals. Because uncontrolled self-modification is exactly the risk §4.1
+//! warns about (irreversible experiments, precious samples), every rewrite
+//! passes through [`Guardrails`] before being accepted.
+
+use crate::fsm::{Fsm, FsmError};
+use serde::{Deserialize, Serialize};
+
+/// Context `C` given to Ω: what the machine has recently experienced.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Context {
+    /// Recent mean reward of the running machine.
+    pub recent_reward: f64,
+    /// Number of failures observed in the recent window.
+    pub recent_failures: u32,
+    /// Free-form context tags (e.g. "regime-shift-suspected").
+    pub tags: Vec<String>,
+}
+
+/// Goals `G` given to Ω — mutable, per the paper ("mutable goals G").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Goals {
+    /// Target label of the state the machine should reach.
+    pub target_state: String,
+    /// Minimum acceptable mean reward.
+    pub reward_floor: f64,
+    /// Remaining rewrite budget (guardrail).
+    pub rewrite_budget: u32,
+}
+
+impl Default for Goals {
+    fn default() -> Self {
+        Goals {
+            target_state: "done".to_string(),
+            reward_floor: -1.0,
+            rewrite_budget: 16,
+        }
+    }
+}
+
+/// A single structural edit Ω proposes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rewrite {
+    /// Add a new state with the given label.
+    AddState {
+        /// Label of the state to add.
+        label: String,
+    },
+    /// Add a transition `from --symbol--> to` (labels).
+    AddTransition {
+        /// Source state label.
+        from: String,
+        /// Symbol label (created if absent).
+        symbol: String,
+        /// Destination state label.
+        to: String,
+    },
+    /// Remove the transition on `symbol` out of `from`.
+    RemoveTransition {
+        /// Source state label.
+        from: String,
+        /// Symbol label.
+        symbol: String,
+    },
+    /// Mark a state final (a new acceptable goal).
+    MarkFinal {
+        /// State label.
+        label: String,
+    },
+}
+
+/// Why a proposed rewrite was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewriteRejection {
+    /// The rewrite budget is exhausted.
+    BudgetExhausted,
+    /// The rewrite references an unknown state label.
+    UnknownLabel(String),
+    /// The rewritten machine would lose goal reachability.
+    GoalUnreachable,
+    /// The rewritten machine failed structural validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for RewriteRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteRejection::BudgetExhausted => write!(f, "rewrite budget exhausted"),
+            RewriteRejection::UnknownLabel(l) => write!(f, "unknown label {l:?}"),
+            RewriteRejection::GoalUnreachable => {
+                write!(f, "rewrite would make the goal unreachable")
+            }
+            RewriteRejection::Invalid(e) => write!(f, "invalid machine after rewrite: {e}"),
+        }
+    }
+}
+
+/// Validation gates every Ω rewrite must pass (§4.1 safety argument).
+#[derive(Debug, Clone)]
+pub struct Guardrails {
+    /// Maximum allowed |S| after a rewrite.
+    pub max_states: usize,
+    /// Require that at least one final state stays reachable.
+    pub require_goal_reachable: bool,
+}
+
+impl Default for Guardrails {
+    fn default() -> Self {
+        Guardrails {
+            max_states: 10_000,
+            require_goal_reachable: true,
+        }
+    }
+}
+
+/// The meta-optimization operator: proposes rewrites given `(M, C, G)`.
+pub trait MetaOperator {
+    /// Inspect the machine, context, and goals; return proposed rewrites
+    /// (empty = no change).
+    fn propose(&mut self, m: &Fsm, ctx: &Context, goals: &Goals) -> Vec<Rewrite>;
+}
+
+/// Apply one rewrite to a machine, rebuilding it from scratch.
+/// Symbols/states named by label are created when missing (for Add*).
+pub fn apply_rewrite(m: &Fsm, rw: &Rewrite) -> Result<Fsm, RewriteRejection> {
+    // Collect the current structure by label.
+    let states: Vec<String> = (0..m.num_states())
+        .map(|i| m.state_label(crate::fsm::StateId(i as u32)).to_string())
+        .collect();
+    let symbols: Vec<String> = (0..m.num_symbols())
+        .map(|i| m.symbol_label(crate::fsm::SymbolId(i as u32)).to_string())
+        .collect();
+    let mut transitions: Vec<(String, String, String)> = m
+        .transitions()
+        .map(|(s, a, t)| {
+            (
+                m.state_label(s).to_string(),
+                m.symbol_label(a).to_string(),
+                m.state_label(t).to_string(),
+            )
+        })
+        .collect();
+    let mut finals: Vec<String> = m.finals().map(|s| m.state_label(s).to_string()).collect();
+    let initial = m.state_label(m.initial()).to_string();
+
+    let mut new_states = states.clone();
+    let mut new_symbols = symbols.clone();
+    match rw {
+        Rewrite::AddState { label } => {
+            if !new_states.contains(label) {
+                new_states.push(label.clone());
+            }
+        }
+        Rewrite::AddTransition { from, symbol, to } => {
+            if !new_states.contains(from) {
+                return Err(RewriteRejection::UnknownLabel(from.clone()));
+            }
+            if !new_states.contains(to) {
+                return Err(RewriteRejection::UnknownLabel(to.clone()));
+            }
+            if !new_symbols.contains(symbol) {
+                new_symbols.push(symbol.clone());
+            }
+            transitions.retain(|(f, s, _)| !(f == from && s == symbol));
+            transitions.push((from.clone(), symbol.clone(), to.clone()));
+        }
+        Rewrite::RemoveTransition { from, symbol } => {
+            let before = transitions.len();
+            transitions.retain(|(f, s, _)| !(f == from && s == symbol));
+            if transitions.len() == before {
+                return Err(RewriteRejection::UnknownLabel(format!("{from}/{symbol}")));
+            }
+        }
+        Rewrite::MarkFinal { label } => {
+            if !new_states.contains(label) {
+                return Err(RewriteRejection::UnknownLabel(label.clone()));
+            }
+            if !finals.contains(label) {
+                finals.push(label.clone());
+            }
+        }
+    }
+
+    // Rebuild.
+    let mut b = Fsm::builder();
+    let mut sid = std::collections::BTreeMap::new();
+    for s in &new_states {
+        sid.insert(s.clone(), b.state(s.clone()));
+    }
+    let mut aid = std::collections::BTreeMap::new();
+    for a in &new_symbols {
+        aid.insert(a.clone(), b.symbol(a.clone()));
+    }
+    for (f, s, t) in &transitions {
+        b.transition(sid[f], aid[s], sid[t]);
+    }
+    b.initial(sid[&initial]);
+    for fl in &finals {
+        b.final_state(sid[fl]);
+    }
+    b.build()
+        .map_err(|e: FsmError| RewriteRejection::Invalid(e.to_string()))
+}
+
+/// Apply a batch of rewrites under guardrails, debiting the goal's budget.
+/// Returns the new machine and the number of rewrites actually applied.
+pub fn apply_guarded(
+    m: &Fsm,
+    rewrites: &[Rewrite],
+    goals: &mut Goals,
+    guard: &Guardrails,
+) -> Result<(Fsm, u32), RewriteRejection> {
+    let mut cur = m.clone();
+    let mut applied = 0u32;
+    for rw in rewrites {
+        if goals.rewrite_budget == 0 {
+            return Err(RewriteRejection::BudgetExhausted);
+        }
+        let candidate = apply_rewrite(&cur, rw)?;
+        if candidate.num_states() > guard.max_states {
+            return Err(RewriteRejection::Invalid(format!(
+                "state count {} exceeds guardrail {}",
+                candidate.num_states(),
+                guard.max_states
+            )));
+        }
+        if guard.require_goal_reachable {
+            let report = crate::verify::verify_fsm(&candidate, guard.max_states);
+            if !report.goal_reachable {
+                return Err(RewriteRejection::GoalUnreachable);
+            }
+        }
+        goals.rewrite_budget -= 1;
+        applied += 1;
+        cur = candidate;
+    }
+    Ok((cur, applied))
+}
+
+/// A simple reference Ω: when recent reward is below the floor, insert a
+/// recovery state that routes failures back to the initial state
+/// (self-healing), and when failures accumulate, adds a direct
+/// remediation path to the goal.
+#[derive(Debug, Default)]
+pub struct RecoveryOmega;
+
+impl MetaOperator for RecoveryOmega {
+    fn propose(&mut self, m: &Fsm, ctx: &Context, goals: &Goals) -> Vec<Rewrite> {
+        let mut out = Vec::new();
+        if ctx.recent_reward < goals.reward_floor && m.state_by_label("recovery").is_none() {
+            let initial = m.state_label(m.initial()).to_string();
+            out.push(Rewrite::AddState {
+                label: "recovery".to_string(),
+            });
+            out.push(Rewrite::AddTransition {
+                from: initial.clone(),
+                symbol: "fault".to_string(),
+                to: "recovery".to_string(),
+            });
+            out.push(Rewrite::AddTransition {
+                from: "recovery".to_string(),
+                symbol: "recovered".to_string(),
+                to: initial,
+            });
+        }
+        if ctx.recent_failures > 3 {
+            if let Some(goal) = m.finals().next() {
+                out.push(Rewrite::AddTransition {
+                    from: "recovery".to_string(),
+                    symbol: "escalate".to_string(),
+                    to: m.state_label(goal).to_string(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Fsm {
+        let mut b = Fsm::builder();
+        let s0 = b.state("work");
+        let s1 = b.state("done");
+        let ok = b.symbol("ok");
+        b.transition(s0, ok, s1);
+        b.initial(s0);
+        b.final_state(s1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_state_and_transition() {
+        let m = two_state();
+        let m2 = apply_rewrite(
+            &m,
+            &Rewrite::AddState {
+                label: "retry".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(m2.num_states(), 3);
+        let m3 = apply_rewrite(
+            &m2,
+            &Rewrite::AddTransition {
+                from: "work".into(),
+                symbol: "fail".into(),
+                to: "retry".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(m3.num_transitions(), 2);
+    }
+
+    #[test]
+    fn unknown_labels_rejected() {
+        let m = two_state();
+        let err = apply_rewrite(
+            &m,
+            &Rewrite::AddTransition {
+                from: "nope".into(),
+                symbol: "x".into(),
+                to: "done".into(),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, RewriteRejection::UnknownLabel("nope".into()));
+    }
+
+    #[test]
+    fn guardrail_blocks_goal_unreachable() {
+        let m = two_state();
+        let mut goals = Goals::default();
+        let guard = Guardrails::default();
+        // Removing the only path to the final state must be rejected.
+        let err = apply_guarded(
+            &m,
+            &[Rewrite::RemoveTransition {
+                from: "work".into(),
+                symbol: "ok".into(),
+            }],
+            &mut goals,
+            &guard,
+        )
+        .unwrap_err();
+        assert_eq!(err, RewriteRejection::GoalUnreachable);
+        // Budget was not spent on the rejected rewrite? It is debited only on
+        // success, so it should be unchanged minus zero.
+        assert_eq!(goals.rewrite_budget, 16);
+    }
+
+    #[test]
+    fn budget_exhaustion_blocks_rewrites() {
+        let m = two_state();
+        let mut goals = Goals {
+            rewrite_budget: 1,
+            ..Goals::default()
+        };
+        let guard = Guardrails::default();
+        let rewrites = vec![
+            Rewrite::AddState {
+                label: "a".into(),
+            },
+            Rewrite::AddState {
+                label: "b".into(),
+            },
+        ];
+        let err = apply_guarded(&m, &rewrites, &mut goals, &guard).unwrap_err();
+        assert_eq!(err, RewriteRejection::BudgetExhausted);
+    }
+
+    #[test]
+    fn recovery_omega_self_heals() {
+        let m = two_state();
+        let mut op = RecoveryOmega;
+        let ctx = Context {
+            recent_reward: -5.0,
+            recent_failures: 0,
+            tags: vec![],
+        };
+        let mut goals = Goals::default();
+        let proposals = op.propose(&m, &ctx, &goals);
+        assert_eq!(proposals.len(), 3);
+        let (m2, applied) =
+            apply_guarded(&m, &proposals, &mut goals, &Guardrails::default()).unwrap();
+        assert_eq!(applied, 3);
+        assert!(m2.state_by_label("recovery").is_some());
+        assert!(m2.is_live());
+        // Healthy context proposes nothing.
+        let calm = Context {
+            recent_reward: 0.0,
+            ..Context::default()
+        };
+        assert!(op.propose(&m2, &calm, &goals).is_empty());
+    }
+
+    #[test]
+    fn state_count_guardrail() {
+        let m = two_state();
+        let mut goals = Goals::default();
+        let guard = Guardrails {
+            max_states: 2,
+            require_goal_reachable: false,
+        };
+        let err = apply_guarded(
+            &m,
+            &[Rewrite::AddState {
+                label: "extra".into(),
+            }],
+            &mut goals,
+            &guard,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RewriteRejection::Invalid(_)));
+    }
+}

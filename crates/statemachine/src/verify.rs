@@ -1,0 +1,184 @@
+//! Verification-cost probes.
+//!
+//! Table 1 claims verification complexity "increases from tractable for
+//! static δ to undecidable for meta-optimization Ω". This module makes that
+//! measurable: exhaustive state-space exploration with an explicit budget.
+//! Static machines verify in time linear in |δ|; frontier machines compiled
+//! from wide DAGs blow up exponentially; Ω-bearing machines report
+//! [`crate::machine::VerificationSpace::Unbounded`] and any enumeration
+//! attempt exhausts its budget — the decidability cliff, observed.
+
+use crate::fsm::{Fsm, StateId};
+use crate::machine::VerificationSpace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Result of a bounded verification attempt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// States visited during exploration.
+    pub states_explored: usize,
+    /// Transitions traversed.
+    pub transitions_checked: usize,
+    /// Whether exploration covered the whole reachable space.
+    pub complete: bool,
+    /// Whether every reachable state can still reach a final state.
+    pub all_states_can_finish: bool,
+    /// Reachable states with no outgoing transition that are not final.
+    pub deadlocks: Vec<StateId>,
+    /// Whether at least one final state is reachable.
+    pub goal_reachable: bool,
+}
+
+/// Exhaustively explore `m` up to `state_budget` states.
+///
+/// Checks the three properties a workflow engine cares about: goal
+/// reachability, absence of deadlocks, and co-reachability of finals.
+pub fn verify_fsm(m: &Fsm, state_budget: usize) -> VerificationReport {
+    // Forward exploration.
+    let mut seen: BTreeSet<StateId> = BTreeSet::new();
+    let mut stack = vec![m.initial()];
+    seen.insert(m.initial());
+    let mut transitions_checked = 0usize;
+    let mut complete = true;
+    while let Some(s) = stack.pop() {
+        for a in m.enabled(s) {
+            transitions_checked += 1;
+            let t = m.try_step(s, a).expect("enabled implies defined");
+            if !seen.contains(&t) {
+                if seen.len() >= state_budget {
+                    complete = false;
+                    continue;
+                }
+                seen.insert(t);
+                stack.push(t);
+            }
+        }
+    }
+
+    let goal_reachable = seen.iter().any(|&s| m.is_final(s));
+    let deadlocks: Vec<StateId> = seen
+        .iter()
+        .copied()
+        .filter(|&s| !m.is_final(s) && m.enabled(s).is_empty())
+        .collect();
+
+    // Backward co-reachability: which explored states can reach a final?
+    let mut can_finish: BTreeSet<StateId> = seen.iter().copied().filter(|&s| m.is_final(s)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &s in &seen {
+            if can_finish.contains(&s) {
+                continue;
+            }
+            let reaches = m
+                .enabled(s)
+                .into_iter()
+                .any(|a| m.try_step(s, a).map(|t| can_finish.contains(&t)).unwrap_or(false));
+            if reaches {
+                can_finish.insert(s);
+                changed = true;
+            }
+        }
+    }
+    let all_states_can_finish = complete && seen.iter().all(|s| can_finish.contains(s));
+
+    VerificationReport {
+        states_explored: seen.len(),
+        transitions_checked,
+        complete,
+        all_states_can_finish,
+        deadlocks,
+        goal_reachable,
+    }
+}
+
+/// Attempt to verify a behaviour space of the given size within `budget`
+/// enumeration units. Returns `(units_spent, verified)`.
+///
+/// This is the level-agnostic probe the `claim_verification` experiment
+/// sweeps: finite spaces verify iff they fit the budget; unbounded spaces
+/// always exhaust it (the undecidability proxy).
+pub fn verify_behaviour_space(space: VerificationSpace, budget: u64) -> (u64, bool) {
+    match space {
+        VerificationSpace::Finite(n) => {
+            if n <= budget {
+                (n, true)
+            } else {
+                (budget, false)
+            }
+        }
+        VerificationSpace::Unbounded => (budget, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::shapes;
+
+    #[test]
+    fn verifies_linear_chain_completely() {
+        let m = shapes::chain(10).to_fsm(1_000).unwrap();
+        let r = verify_fsm(&m, 1_000);
+        assert!(r.complete);
+        assert!(r.goal_reachable);
+        assert!(r.all_states_can_finish);
+        assert!(r.deadlocks.is_empty());
+        assert_eq!(r.states_explored, 11);
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let mut b = Fsm::builder();
+        let s0 = b.state("start");
+        let s1 = b.state("trap");
+        let s2 = b.state("goal");
+        let go = b.symbol("go");
+        let bad = b.symbol("bad");
+        b.transition(s0, go, s2);
+        b.transition(s0, bad, s1);
+        b.initial(s0);
+        b.final_state(s2);
+        let m = b.build().unwrap();
+        let r = verify_fsm(&m, 100);
+        assert!(r.goal_reachable);
+        assert_eq!(r.deadlocks, vec![s1]);
+        assert!(!r.all_states_can_finish);
+    }
+
+    #[test]
+    fn budget_truncates_exploration() {
+        let m = shapes::fork_join(8).to_fsm(10_000).unwrap(); // 259 states
+        let r = verify_fsm(&m, 50);
+        assert!(!r.complete);
+        assert!(r.states_explored <= 50);
+    }
+
+    #[test]
+    fn exponential_growth_is_visible() {
+        let cost = |w: usize| {
+            let m = shapes::fork_join(w).to_fsm(100_000).unwrap();
+            verify_fsm(&m, 100_000).states_explored
+        };
+        let (c4, c8) = (cost(4), cost(8));
+        assert!(c8 > c4 * 10, "c4={c4} c8={c8}");
+    }
+
+    #[test]
+    fn behaviour_space_probe() {
+        assert_eq!(
+            verify_behaviour_space(VerificationSpace::Finite(10), 100),
+            (10, true)
+        );
+        assert_eq!(
+            verify_behaviour_space(VerificationSpace::Finite(1000), 100),
+            (100, false)
+        );
+        assert_eq!(
+            verify_behaviour_space(VerificationSpace::Unbounded, 100),
+            (100, false)
+        );
+    }
+}

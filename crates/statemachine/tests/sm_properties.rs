@@ -1,0 +1,114 @@
+//! Property-based tests for state-machine invariants.
+
+use evoflow_sm::dag::{shapes, Dag, TaskId};
+use evoflow_sm::{apply_rewrite, verify_fsm, Rewrite};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Generate a random DAG by only adding forward edges over a shuffled order.
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (2usize..10, prop::collection::vec(any::<u32>(), 0..40)).prop_map(|(n, picks)| {
+        let mut d = Dag::new();
+        let ts: Vec<TaskId> = (0..n).map(|i| d.task(format!("t{i}"))).collect();
+        for (k, pick) in picks.iter().enumerate() {
+            let i = (k + *pick as usize) % (n - 1);
+            let j = i + 1 + (*pick as usize % (n - i - 1)).min(n - i - 2);
+            if i < j && j < n {
+                d.edge(ts[i], ts[j]).unwrap();
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    /// Forward-edge construction is always acyclic, and topo order respects
+    /// every edge.
+    #[test]
+    fn topo_order_is_consistent(d in arb_dag()) {
+        let order = d.topo_order().expect("forward-edge DAGs are acyclic");
+        prop_assert_eq!(order.len(), d.len());
+        let pos: std::collections::HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        for t in 0..d.len() as u32 {
+            for p in d.preds(TaskId(t)) {
+                prop_assert!(pos[&p] < pos[&TaskId(t)]);
+            }
+        }
+    }
+
+    /// Executing tasks in any topological order is accepted by the frontier
+    /// FSM; the run visits exactly n+ transitions.
+    #[test]
+    fn frontier_fsm_accepts_topo_runs(d in arb_dag()) {
+        if let Ok(m) = d.to_fsm(50_000) {
+            let order = d.topo_order().unwrap();
+            let word: Vec<_> = order
+                .iter()
+                .map(|t| {
+                    m.symbol_by_label(&format!("done:{}#{}", d.label(*t), t.0))
+                        .expect("symbol exists")
+                })
+                .collect();
+            let trace = m.run(&word);
+            prop_assert!(trace.accepted, "topo order rejected");
+            prop_assert_eq!(trace.len(), d.len());
+        }
+    }
+
+    /// The frontier FSM of any DAG verifies as live and goal-reachable.
+    #[test]
+    fn frontier_fsm_verifies(d in arb_dag()) {
+        if let Ok(m) = d.to_fsm(50_000) {
+            let r = verify_fsm(&m, 100_000);
+            prop_assert!(r.complete);
+            prop_assert!(r.goal_reachable);
+            prop_assert!(r.all_states_can_finish);
+            prop_assert!(r.deadlocks.is_empty());
+        }
+    }
+
+    /// The ready set never contains a completed task and never contains a
+    /// task with an incomplete predecessor.
+    #[test]
+    fn ready_set_is_sound(d in arb_dag(), mask in any::<u16>()) {
+        let done: BTreeSet<TaskId> = (0..d.len() as u32)
+            .filter(|i| mask & (1 << (i % 16)) != 0)
+            .map(TaskId)
+            .collect();
+        for t in d.ready(&done) {
+            prop_assert!(!done.contains(&t));
+            for p in d.preds(t) {
+                prop_assert!(done.contains(&p));
+            }
+        }
+    }
+
+    /// Rewrites preserve machine validity: any accepted rewrite yields a
+    /// machine that still builds and keeps its initial state.
+    #[test]
+    fn rewrites_preserve_validity(n in 1usize..6) {
+        let m0 = shapes::chain(n).to_fsm(1_000).unwrap();
+        let m1 = apply_rewrite(&m0, &Rewrite::AddState { label: "extra".into() }).unwrap();
+        prop_assert_eq!(m1.num_states(), m0.num_states() + 1);
+        let m2 = apply_rewrite(
+            &m1,
+            &Rewrite::AddTransition {
+                from: m1.state_label(m1.initial()).to_string(),
+                symbol: "jump".into(),
+                to: "extra".into(),
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(m2.num_transitions(), m1.num_transitions() + 1);
+        prop_assert_eq!(m2.state_label(m2.initial()), m1.state_label(m1.initial()));
+    }
+
+    /// Sequential compilation is always linear in DAG size.
+    #[test]
+    fn sequential_fsm_linear(d in arb_dag()) {
+        let m = d.to_sequential_fsm().unwrap();
+        prop_assert_eq!(m.num_states(), d.len() + 1);
+        prop_assert_eq!(m.num_transitions(), d.len());
+    }
+}

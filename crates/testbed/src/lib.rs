@@ -1,0 +1,37 @@
+//! # evoflow-testbed — certifying progressive levels of autonomy
+//!
+//! §7 (*Infrastructure and workforce investments*): "Shared testbeds such
+//! as those promoted by the AISLE initiative will allow communities to
+//! validate autonomous systems in controlled, reproducible settings", and
+//! §8 calls for "robust testbeds for validating progressive levels of
+//! autonomy, as well as defining benchmarks and reference implementations".
+//!
+//! This crate is that testbed, built over the shared instrument-calibration
+//! task ([`evoflow_sm::control`]):
+//!
+//! * [`scenario`] — a graded *certification ladder*: one rung per
+//!   intelligence level, each a disturbance class that defeats every level
+//!   below it (noise defeats Static, bias defeats Adaptive, tight bias
+//!   tolerances defeat Learning, regime shifts defeat Optimizing).
+//! * [`certify`] — the harness: run any candidate controller up the
+//!   ladder across seeded replications and issue an [`certify::AutonomyCertificate`]
+//!   recording the highest *contiguously* passed rung — a system that
+//!   handles regime shifts but crashes under plain noise is not L4.
+//! * [`report`] — render certificates as markdown / JSON for the
+//!   cross-institution exchange the AISLE roadmap envisions.
+//!
+//! The five reference controllers from Table 1 double as the testbed's
+//! calibration standard: [`certify::reference_matrix`] must grade each at
+//! its own level, which is tested — a ladder that misgrades its own
+//! references is miscalibrated.
+
+pub mod certify;
+pub mod report;
+pub mod scenario;
+
+pub use certify::{
+    certify, certify_with_ladder, expected_grade, reference_matrix, AutonomyCertificate,
+    RungResult,
+};
+pub use report::to_markdown;
+pub use scenario::{standard_ladder, AutonomyGrade, Rung};

@@ -1,0 +1,88 @@
+//! Certificate rendering for cross-institution exchange.
+//!
+//! The AISLE roadmap (§6.4, §7) wants certification evidence that travels
+//! between institutions: a certificate must be readable by a human review
+//! board (markdown) and by another facility's admission logic (JSON, via
+//! serde on [`crate::AutonomyCertificate`]).
+
+use crate::certify::AutonomyCertificate;
+use std::fmt::Write as _;
+
+/// Render a certificate as a markdown document.
+pub fn to_markdown(cert: &AutonomyCertificate) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Autonomy certificate: {}", cert.subject);
+    let _ = writeln!(out);
+    match cert.achieved {
+        Some(grade) => {
+            let _ = writeln!(out, "**Achieved grade: {grade}**");
+        }
+        None => {
+            let _ = writeln!(out, "**No grade awarded** (failed the first rung)");
+        }
+    }
+    let _ = writeln!(out, "\nReplay seed: `{}`\n", cert.master_seed);
+    let _ = writeln!(
+        out,
+        "| rung | disturbance | in-band | crash rate | cost/step | verdict |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for r in &cert.rungs {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.3} | {:.1} | {} |",
+            r.grade,
+            r.name,
+            r.mean_in_band,
+            r.crash_rate,
+            r.mean_cost_per_step,
+            if r.passed { "PASS" } else { "fail" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify::{certify, expected_grade};
+    use evoflow_sm::{controller_for_level, IntelligenceLevel};
+
+    #[test]
+    fn markdown_contains_grade_and_all_rungs() {
+        let factory = |seed: u64| controller_for_level(IntelligenceLevel::Adaptive, seed);
+        let cert = certify("adaptive-ref", &factory, 3);
+        let md = to_markdown(&cert);
+        assert!(md.contains("# Autonomy certificate: adaptive-ref"));
+        assert!(md.contains("L1 (adaptive)"));
+        assert!(md.contains("PASS"));
+        assert_eq!(
+            md.matches('|').count() / 7,
+            7,
+            "header + separator + 5 rung rows"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_verdict() {
+        let factory = |seed: u64| controller_for_level(IntelligenceLevel::Static, seed);
+        let cert = certify("static-ref", &factory, 3);
+        let json = serde_json::to_string_pretty(&cert).unwrap();
+        let back: AutonomyCertificate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.achieved, Some(expected_grade(IntelligenceLevel::Static)));
+        assert_eq!(back.rungs.len(), cert.rungs.len());
+    }
+
+    #[test]
+    fn failed_certificate_renders_no_grade() {
+        let ladder = {
+            let mut l = crate::scenario::standard_ladder();
+            l[0].min_in_band = 0.9999;
+            l
+        };
+        let factory = |seed: u64| controller_for_level(IntelligenceLevel::Static, seed);
+        let cert = crate::certify::certify_with_ladder("hopeless", &factory, &ladder, 3);
+        let md = to_markdown(&cert);
+        assert!(md.contains("No grade awarded"));
+    }
+}

@@ -1,0 +1,204 @@
+//! The certification ladder: graded disturbance scenarios.
+//!
+//! Each rung pairs a disturbance class from the shared calibration task
+//! with pass thresholds calibrated so that the Table-1 reference
+//! controller *at* that level passes and the one *below* it fails — the
+//! testbed analogue of a materials reference standard. Thresholds sit in
+//! the wide gaps between adjacent levels' measured performance (see
+//! EXPERIMENTS.md Table 1), not at marginal points, so certification is
+//! stable across seeds.
+
+use evoflow_sm::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// The autonomy grade a certificate can award — one per intelligence
+/// level of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AutonomyGrade {
+    /// Executes a predetermined schedule (Static δ).
+    L0Static,
+    /// Survives observation noise via feedback (Adaptive δ+O).
+    L1Adaptive,
+    /// Compensates systematic bias from experience (Learning L).
+    L2Learning,
+    /// Meets tight tolerances by goal-seeking (Optimizing argmin J).
+    L3Optimizing,
+    /// Survives regime shifts by self-modification (Intelligent Ω).
+    L4Intelligent,
+}
+
+impl AutonomyGrade {
+    /// All grades, lowest first.
+    pub const ALL: [AutonomyGrade; 5] = [
+        AutonomyGrade::L0Static,
+        AutonomyGrade::L1Adaptive,
+        AutonomyGrade::L2Learning,
+        AutonomyGrade::L3Optimizing,
+        AutonomyGrade::L4Intelligent,
+    ];
+}
+
+impl std::fmt::Display for AutonomyGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AutonomyGrade::L0Static => "L0 (static)",
+            AutonomyGrade::L1Adaptive => "L1 (adaptive)",
+            AutonomyGrade::L2Learning => "L2 (learning)",
+            AutonomyGrade::L3Optimizing => "L3 (optimizing)",
+            AutonomyGrade::L4Intelligent => "L4 (intelligent)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rung of the certification ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rung {
+    /// Grade this rung certifies.
+    pub grade: AutonomyGrade,
+    /// Human-readable description of the disturbance class.
+    pub name: String,
+    /// Disturbance scenario from the shared calibration task. Serialized
+    /// by name and reconstructed from [`Scenario::all`] — certificates
+    /// exchange *standard* disturbance classes, which is what makes them
+    /// comparable across institutions.
+    #[serde(with = "scenario_by_name")]
+    pub scenario: Scenario,
+    /// Steps per episode.
+    pub horizon: u32,
+    /// Pre-evaluation training episodes (the "data infrastructure"
+    /// Table 1 says Learning requires; all candidates get the same).
+    pub training_episodes: u32,
+    /// Independent seeded replications averaged for the verdict.
+    pub replications: u64,
+    /// Minimum mean in-band fraction to pass.
+    pub min_in_band: f64,
+    /// Maximum fraction of replications that may crash.
+    pub max_crash_rate: f64,
+}
+
+mod scenario_by_name {
+    use evoflow_sm::Scenario;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(s: &Scenario, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(s.name)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Scenario, D::Error> {
+        let name = String::deserialize(de)?;
+        Scenario::all()
+            .into_iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown scenario {name:?}")))
+    }
+}
+
+/// The standard five-rung ladder.
+///
+/// Thresholds were placed midway between the measured performance of the
+/// reference controller at the rung's level and the one below it
+/// (24-seed means, EXPERIMENTS.md): e.g. the noisy rung demands 0.60
+/// where Static measures ≈0.40 and Adaptive ≈0.80.
+pub fn standard_ladder() -> Vec<Rung> {
+    vec![
+        Rung {
+            grade: AutonomyGrade::L0Static,
+            name: "nominal operations (process noise only)".into(),
+            scenario: Scenario::stable(),
+            horizon: 500,
+            training_episodes: 0,
+            replications: 16,
+            min_in_band: 0.30,
+            max_crash_rate: 0.25,
+        },
+        Rung {
+            grade: AutonomyGrade::L1Adaptive,
+            name: "noisy feedback (heavy sensor noise)".into(),
+            scenario: Scenario::noisy(),
+            horizon: 500,
+            // Training is offered on every rung from here up (the same
+            // "data infrastructure" for all candidates): an untrained
+            // learner scores ≈0.5 here, a trained one ≈0.75, and the
+            // grade must reflect capability, not starvation.
+            training_episodes: 12,
+            replications: 16,
+            min_in_band: 0.60,
+            max_crash_rate: 0.25,
+        },
+        Rung {
+            grade: AutonomyGrade::L2Learning,
+            name: "systematic bias (constant drift, history available)".into(),
+            scenario: Scenario::biased(),
+            horizon: 500,
+            training_episodes: 12,
+            replications: 16,
+            min_in_band: 0.72,
+            max_crash_rate: 0.25,
+        },
+        Rung {
+            grade: AutonomyGrade::L3Optimizing,
+            name: "tight tolerance under bias (goal-seeking required)".into(),
+            scenario: Scenario::biased(),
+            horizon: 500,
+            training_episodes: 12,
+            replications: 16,
+            min_in_band: 0.875,
+            // The Ω reference occasionally crashes an episode while
+            // probing a rewrite (≤3/16 across calibration seeds); the
+            // rung grades tolerance-holding, not crash-freedom.
+            max_crash_rate: 0.30,
+        },
+        Rung {
+            grade: AutonomyGrade::L4Intelligent,
+            name: "regime shift (mid-episode sensor polarity flip)".into(),
+            scenario: Scenario::regime(),
+            horizon: 500,
+            training_episodes: 0,
+            replications: 16,
+            min_in_band: 0.70,
+            max_crash_rate: 0.25,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_one_rung_per_grade_in_order() {
+        let ladder = standard_ladder();
+        assert_eq!(ladder.len(), AutonomyGrade::ALL.len());
+        for (rung, grade) in ladder.iter().zip(AutonomyGrade::ALL) {
+            assert_eq!(rung.grade, grade);
+        }
+    }
+
+    #[test]
+    fn rung_difficulty_thresholds_are_sane() {
+        for rung in standard_ladder() {
+            assert!(rung.min_in_band > 0.0 && rung.min_in_band < 1.0);
+            assert!(rung.max_crash_rate >= 0.0 && rung.max_crash_rate < 1.0);
+            assert!(rung.replications >= 8, "too few replications for a verdict");
+            assert!(rung.horizon >= 100);
+        }
+    }
+
+    #[test]
+    fn grades_are_totally_ordered() {
+        let g = AutonomyGrade::ALL;
+        for w in g.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn rung_serde_roundtrip() {
+        let ladder = standard_ladder();
+        let json = serde_json::to_string(&ladder).unwrap();
+        let back: Vec<Rung> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), ladder.len());
+        assert_eq!(back[3].grade, AutonomyGrade::L3Optimizing);
+    }
+}

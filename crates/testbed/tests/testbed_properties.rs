@@ -1,0 +1,66 @@
+//! Property-based tests for the certification harness: the achieved grade
+//! is always the longest passed prefix, regardless of which rungs a
+//! candidate can clear.
+
+use evoflow_sm::{controller_for_level, IntelligenceLevel};
+use evoflow_testbed::{certify_with_ladder, standard_ladder, AutonomyGrade};
+use proptest::prelude::*;
+
+proptest! {
+    // Certification runs hundreds of episodes; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrarily perturbing rung thresholds never breaks the contiguity
+    /// invariant: achieved == grade of the longest passed prefix, and all
+    /// five rungs are always recorded as evidence.
+    #[test]
+    fn achieved_is_longest_passed_prefix(
+        thresholds in proptest::collection::vec(0.0f64..1.0, 5),
+        seed in 0u64..100,
+    ) {
+        let mut ladder = standard_ladder();
+        for (rung, t) in ladder.iter_mut().zip(&thresholds) {
+            rung.min_in_band = *t;
+            rung.replications = 4; // cheap: invariance, not calibration
+            rung.horizon = 120;
+            rung.training_episodes = rung.training_episodes.min(3);
+        }
+        let factory = |s: u64| controller_for_level(IntelligenceLevel::Optimizing, s);
+        let cert = certify_with_ladder("prop", &factory, &ladder, seed);
+        prop_assert_eq!(cert.rungs.len(), 5);
+        let prefix_len = cert.rungs.iter().take_while(|r| r.passed).count();
+        match (prefix_len, cert.achieved) {
+            (0, None) => {}
+            (k, Some(grade)) => prop_assert_eq!(grade, AutonomyGrade::ALL[k - 1]),
+            (k, None) => prop_assert!(false, "passed {} rungs but no grade", k),
+        }
+        // Evidence fields are well-formed.
+        for r in &cert.rungs {
+            prop_assert!((0.0..=1.0).contains(&r.mean_in_band));
+            prop_assert!((0.0..=1.0).contains(&r.crash_rate));
+            prop_assert!(r.mean_cost_per_step > 0.0);
+        }
+    }
+
+    /// An impossible ladder grades nobody; a trivial ladder grades
+    /// everybody L4 — the two boundary fixed points of the grading rule.
+    #[test]
+    fn boundary_ladders(seed in 0u64..50) {
+        let make = |bar: f64| {
+            let mut l = standard_ladder();
+            for rung in &mut l {
+                rung.min_in_band = bar;
+                rung.max_crash_rate = 1.0;
+                rung.replications = 4;
+                rung.horizon = 120;
+                rung.training_episodes = 0;
+            }
+            l
+        };
+        let factory = |s: u64| controller_for_level(IntelligenceLevel::Adaptive, s);
+        let hopeless = certify_with_ladder("prop", &factory, &make(1.01), seed);
+        prop_assert_eq!(hopeless.achieved, None);
+        let trivial = certify_with_ladder("prop", &factory, &make(0.0), seed);
+        prop_assert_eq!(trivial.achieved, Some(AutonomyGrade::L4Intelligent));
+    }
+}

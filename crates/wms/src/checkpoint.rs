@@ -1,0 +1,349 @@
+//! Checkpoint / resume for workflow executions.
+//!
+//! §2.1 credits traditional WMSs with "handling failures" as a core
+//! capability — and the mechanism production systems use is the restart
+//! file: record which tasks finished, and after a crash re-submit only the
+//! rest. A [`Checkpoint`] is that record (serializable, so it survives the
+//! coordinator process); [`resume`] projects the remaining work out of the
+//! DAG and splices the two runs' reports back together.
+//!
+//! The projection relies on an invariant the engine guarantees: the set of
+//! satisfied tasks (succeeded or skipped) is *downward closed* — a task
+//! only runs once every predecessor is satisfied — so dropping satisfied
+//! tasks can never orphan a dependency.
+
+use crate::engine::{execute, FaultPolicy, RunReport, TaskStatus, Workflow};
+use evoflow_sim::SimDuration;
+use evoflow_sm::dag::{Dag, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A durable record of a partially executed workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Status per task at checkpoint time (index-aligned with the DAG).
+    pub statuses: Vec<TaskStatus>,
+    /// Simulated time already spent before the checkpoint.
+    pub elapsed: SimDuration,
+    /// Attempts already consumed.
+    pub attempts: u32,
+}
+
+impl Checkpoint {
+    /// Capture a checkpoint from an interrupted run's report.
+    pub fn from_report(report: &RunReport) -> Self {
+        Checkpoint {
+            statuses: report.statuses.clone(),
+            elapsed: report.makespan,
+            attempts: report.attempts,
+        }
+    }
+
+    /// Tasks already satisfied (succeeded or skipped).
+    pub fn satisfied(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.statuses.iter().enumerate().filter_map(|(i, s)| {
+            matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped)
+                .then_some(TaskId(i as u32))
+        })
+    }
+
+    /// Number of tasks still to run.
+    pub fn remaining_count(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| !matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped))
+            .count()
+    }
+
+    /// Whether nothing remains.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_count() == 0
+    }
+}
+
+/// Why a resume was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// Checkpoint task count does not match the workflow.
+    ShapeMismatch {
+        /// Tasks in the checkpoint.
+        checkpoint: usize,
+        /// Tasks in the workflow.
+        workflow: usize,
+    },
+    /// Satisfied set is not downward closed — the checkpoint does not
+    /// belong to this workflow (or was corrupted).
+    NotDownwardClosed {
+        /// A satisfied task with an unsatisfied predecessor.
+        task: String,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::ShapeMismatch {
+                checkpoint,
+                workflow,
+            } => write!(
+                f,
+                "checkpoint has {checkpoint} tasks, workflow has {workflow}"
+            ),
+            ResumeError::NotDownwardClosed { task } => write!(
+                f,
+                "satisfied task {task:?} has an unsatisfied predecessor — \
+                 checkpoint does not match this workflow"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Resume an interrupted workflow: execute only the unsatisfied tasks and
+/// splice the combined report (makespan = checkpoint elapsed + resumed
+/// makespan; statuses merged; attempts summed).
+///
+/// The workflow passed in may differ from the original in task *specs*
+/// (e.g. a failing task's configuration was repaired before resuming —
+/// the operational reason restarts happen) but must have the same DAG
+/// shape.
+pub fn resume(
+    wf: &Workflow,
+    checkpoint: &Checkpoint,
+    workers: u64,
+    policy: FaultPolicy,
+    seed: u64,
+) -> Result<RunReport, ResumeError> {
+    if checkpoint.statuses.len() != wf.len() {
+        return Err(ResumeError::ShapeMismatch {
+            checkpoint: checkpoint.statuses.len(),
+            workflow: wf.len(),
+        });
+    }
+    let satisfied: Vec<bool> = checkpoint
+        .statuses
+        .iter()
+        .map(|s| matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped))
+        .collect();
+    // Downward-closure audit: every satisfied task's predecessors must be
+    // satisfied.
+    for (i, &ok) in satisfied.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let id = TaskId(i as u32);
+        for pred in wf.dag.preds(id) {
+            if !satisfied[pred.0 as usize] {
+                return Err(ResumeError::NotDownwardClosed {
+                    task: wf.dag.label(id).to_string(),
+                });
+            }
+        }
+    }
+    if checkpoint.is_complete() {
+        return Ok(RunReport {
+            makespan: checkpoint.elapsed,
+            statuses: checkpoint.statuses.clone(),
+            attempts: checkpoint.attempts,
+            completed: true,
+            aborted: false,
+            utilization: 0.0,
+        });
+    }
+    // Project the remaining sub-workflow. Edges from satisfied tasks are
+    // dropped (their obligation is met); edges among remaining tasks are
+    // kept with remapped ids.
+    let mut sub_dag = Dag::new();
+    let mut old_to_new: Vec<Option<TaskId>> = vec![None; wf.len()];
+    let mut sub_specs = Vec::new();
+    for i in 0..wf.len() {
+        if satisfied[i] {
+            continue;
+        }
+        let old = TaskId(i as u32);
+        let new_id = sub_dag.task(wf.dag.label(old).to_string());
+        old_to_new[i] = Some(new_id);
+        sub_specs.push(wf.specs[i].clone());
+    }
+    for i in 0..wf.len() {
+        let Some(new_to) = old_to_new[i] else { continue };
+        for pred in wf.dag.preds(TaskId(i as u32)) {
+            if let Some(new_from) = old_to_new[pred.0 as usize] {
+                sub_dag
+                    .edge(new_from, new_to)
+                    .expect("projection of a DAG is a DAG");
+            }
+        }
+    }
+    let sub_wf = Workflow::new(sub_dag, sub_specs);
+    let sub_report = execute(&sub_wf, workers, policy, seed);
+    // Splice statuses back into original indexing.
+    let mut statuses = checkpoint.statuses.clone();
+    let mut sub_idx = 0;
+    for (i, slot) in old_to_new.iter().enumerate() {
+        if slot.is_some() {
+            statuses[i] = sub_report.statuses[sub_idx];
+            sub_idx += 1;
+        }
+    }
+    let completed = statuses
+        .iter()
+        .all(|s| matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped));
+    Ok(RunReport {
+        makespan: checkpoint.elapsed + sub_report.makespan,
+        statuses,
+        attempts: checkpoint.attempts + sub_report.attempts,
+        completed,
+        aborted: sub_report.aborted,
+        utilization: sub_report.utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TaskSpec;
+    use evoflow_sm::dag::shapes;
+
+    /// Diamond: a → {b, c} → d, where c is poisoned.
+    fn poisoned_diamond(poison: f64) -> Workflow {
+        let dag = shapes::diamond();
+        let specs = vec![
+            TaskSpec::reliable("a", SimDuration::from_secs(100)),
+            TaskSpec::reliable("b", SimDuration::from_secs(100)),
+            TaskSpec::reliable("c", SimDuration::from_secs(100)).with_fail_prob(poison),
+            TaskSpec::reliable("d", SimDuration::from_secs(100)),
+        ];
+        Workflow::new(dag, specs)
+    }
+
+    #[test]
+    fn crash_checkpoint_repair_resume_completes() {
+        // Run with a task that always fails under Abort: the run aborts.
+        let wf = poisoned_diamond(1.0);
+        let crashed = execute(&wf, 4, FaultPolicy::Abort, 3);
+        assert!(crashed.aborted);
+        assert!(!crashed.completed);
+        let ckpt = Checkpoint::from_report(&crashed);
+        assert!(ckpt.remaining_count() >= 2, "c and d remain at least");
+
+        // Repair the poisoned task (same DAG shape), resume.
+        let fixed = poisoned_diamond(0.0);
+        let report = resume(&fixed, &ckpt, 4, FaultPolicy::Retry, 4).unwrap();
+        assert!(report.completed);
+        assert_eq!(
+            report.statuses,
+            vec![TaskStatus::Succeeded; 4],
+            "all four tasks succeeded across the two runs"
+        );
+        // Makespan accumulates both runs.
+        assert!(report.makespan.as_secs_f64() >= crashed.makespan.as_secs_f64());
+    }
+
+    #[test]
+    fn completed_tasks_do_not_rerun() {
+        let wf = poisoned_diamond(1.0);
+        let crashed = execute(&wf, 4, FaultPolicy::Abort, 3);
+        let ckpt = Checkpoint::from_report(&crashed);
+        let done_before = ckpt.satisfied().count();
+        let fixed = poisoned_diamond(0.0);
+        let report = resume(&fixed, &ckpt, 4, FaultPolicy::Retry, 4).unwrap();
+        // Attempts in the resumed report = checkpoint attempts + one per
+        // remaining task (no reruns of satisfied work).
+        assert_eq!(
+            report.attempts as usize,
+            ckpt.attempts as usize + (wf.len() - done_before)
+        );
+    }
+
+    #[test]
+    fn resume_of_complete_checkpoint_is_a_no_op() {
+        let wf = poisoned_diamond(0.0);
+        let full = execute(&wf, 4, FaultPolicy::Retry, 3);
+        assert!(full.completed);
+        let ckpt = Checkpoint::from_report(&full);
+        assert!(ckpt.is_complete());
+        let report = resume(&wf, &ckpt, 4, FaultPolicy::Retry, 9).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.attempts, full.attempts);
+        assert_eq!(report.makespan, full.makespan);
+    }
+
+    #[test]
+    fn shape_mismatch_refused() {
+        let wf = poisoned_diamond(0.0);
+        let ckpt = Checkpoint {
+            statuses: vec![TaskStatus::Succeeded; 2],
+            elapsed: SimDuration::from_secs(0),
+            attempts: 0,
+        };
+        assert!(matches!(
+            resume(&wf, &ckpt, 4, FaultPolicy::Retry, 1),
+            Err(ResumeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_downward_closed_checkpoint_refused() {
+        let wf = poisoned_diamond(0.0);
+        // Claim d succeeded while its predecessors did not.
+        let ckpt = Checkpoint {
+            statuses: vec![
+                TaskStatus::NotRun,
+                TaskStatus::NotRun,
+                TaskStatus::NotRun,
+                TaskStatus::Succeeded,
+            ],
+            elapsed: SimDuration::from_secs(0),
+            attempts: 0,
+        };
+        let err = resume(&wf, &ckpt, 4, FaultPolicy::Retry, 1).unwrap_err();
+        assert!(matches!(err, ResumeError::NotDownwardClosed { .. }));
+    }
+
+    #[test]
+    fn fresh_checkpoint_resume_equals_full_run() {
+        let wf = poisoned_diamond(0.0);
+        let ckpt = Checkpoint {
+            statuses: vec![TaskStatus::NotRun; 4],
+            elapsed: SimDuration::from_secs(0),
+            attempts: 0,
+        };
+        let resumed = resume(&wf, &ckpt, 4, FaultPolicy::Retry, 3).unwrap();
+        let full = execute(&wf, 4, FaultPolicy::Retry, 3);
+        assert_eq!(resumed.statuses, full.statuses);
+        assert_eq!(resumed.makespan, full.makespan);
+    }
+
+    #[test]
+    fn checkpoint_serde_roundtrip() {
+        let wf = poisoned_diamond(1.0);
+        let crashed = execute(&wf, 4, FaultPolicy::Abort, 3);
+        let ckpt = Checkpoint::from_report(&crashed);
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn mid_pipeline_checkpoint_resumes_tail_only() {
+        // 6-task chain; checkpoint after 3.
+        let wf = Workflow::pipeline(6, SimDuration::from_secs(50));
+        let ckpt = Checkpoint {
+            statuses: vec![
+                TaskStatus::Succeeded,
+                TaskStatus::Succeeded,
+                TaskStatus::Succeeded,
+                TaskStatus::NotRun,
+                TaskStatus::NotRun,
+                TaskStatus::NotRun,
+            ],
+            elapsed: SimDuration::from_secs(150),
+            attempts: 3,
+        };
+        let report = resume(&wf, &ckpt, 1, FaultPolicy::Retry, 5).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.attempts, 6);
+        assert!((report.makespan.as_secs_f64() - 300.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,458 @@
+//! A minimal text workflow-description language.
+//!
+//! §2.1: workflows are "the predominant format for describing complex,
+//! multi-step, multi-domain scientific applications" — and in practice
+//! they are *written down* in a DSL (Pegasus DAX, Snakemake rules, CWL),
+//! not constructed by API calls. This module gives the baseline WMS that
+//! front door: a line-oriented format compiled to a validated
+//! [`crate::engine::Workflow`], with position-annotated errors (an
+//! unparseable campaign file must fail loudly before it reaches a
+//! beamline).
+//!
+//! ```text
+//! # materials screening pipeline
+//! workflow materials-screen
+//! task synthesize   duration=2h   workers=2 fail_prob=0.05 retries=3
+//! task characterize duration=30m  after synthesize
+//! task simulate     duration=4h   workers=8 after synthesize jitter=0.2
+//! task analyze      duration=15m  after characterize simulate if no_failures
+//! ```
+//!
+//! Grammar per line (blank lines and `#` comments ignored):
+//! `workflow NAME` (once, first), then
+//! `task NAME [duration=D] [workers=N] [fail_prob=P] [retries=N]
+//! [jitter=S] [after DEP...] [if COND]` where `D` accepts `90s`, `30m`,
+//! `2h`, `1d` or plain seconds, and `COND` is `no_failures`,
+//! `any_failure`, or `p=0.5`.
+
+use crate::engine::{Condition, TaskSpec, Workflow};
+use evoflow_sim::SimDuration;
+use evoflow_sm::dag::Dag;
+use std::collections::BTreeMap;
+
+/// A parse failure, annotated with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The ways a workflow file can be malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// First directive was not `workflow NAME`.
+    MissingWorkflowHeader,
+    /// More than one `workflow` line.
+    DuplicateHeader,
+    /// A directive other than `workflow` / `task`.
+    UnknownDirective(String),
+    /// `task` with no name.
+    MissingTaskName,
+    /// Two tasks share a name.
+    DuplicateTask(String),
+    /// `after` references a task not defined earlier. Forward references
+    /// are rejected deliberately: the file order *is* the topological
+    /// order, which keeps hand-written files acyclic by construction.
+    UnknownDependency(String),
+    /// Unparseable `key=value` attribute.
+    BadAttribute(String),
+    /// Unparseable duration literal.
+    BadDuration(String),
+    /// Unparseable condition.
+    BadCondition(String),
+    /// A numeric attribute failed to parse or was out of range.
+    BadNumber(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {:?}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The parsed artifact: a named, validated workflow.
+#[derive(Debug, Clone)]
+pub struct ParsedWorkflow {
+    /// Name from the `workflow` header.
+    pub name: String,
+    /// Compiled workflow (DAG + specs).
+    pub workflow: Workflow,
+}
+
+/// Parse a duration literal: `90s`, `30m`, `2h`, `1.5h`, `1d`, or plain
+/// seconds.
+pub fn parse_duration(text: &str) -> Option<SimDuration> {
+    let (num, mult) = match text.chars().last()? {
+        's' => (&text[..text.len() - 1], 1.0),
+        'm' => (&text[..text.len() - 1], 60.0),
+        'h' => (&text[..text.len() - 1], 3600.0),
+        'd' => (&text[..text.len() - 1], 86400.0),
+        _ => (text, 1.0),
+    };
+    let v: f64 = num.parse().ok()?;
+    if !v.is_finite() || v < 0.0 {
+        return None;
+    }
+    Some(SimDuration::from_secs_f64(v * mult))
+}
+
+/// Parse workflow source text.
+pub fn parse(source: &str) -> Result<ParsedWorkflow, ParseError> {
+    let mut name: Option<String> = None;
+    let mut dag = Dag::new();
+    let mut specs: Vec<TaskSpec> = Vec::new();
+    let mut ids: BTreeMap<String, evoflow_sm::dag::TaskId> = BTreeMap::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |kind| ParseError { line: lineno, kind };
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("workflow") => {
+                if name.is_some() {
+                    return Err(err(ParseErrorKind::DuplicateHeader));
+                }
+                let n: String = words.collect::<Vec<_>>().join(" ");
+                if n.is_empty() {
+                    return Err(err(ParseErrorKind::MissingWorkflowHeader));
+                }
+                name = Some(n);
+            }
+            Some("task") => {
+                if name.is_none() {
+                    return Err(err(ParseErrorKind::MissingWorkflowHeader));
+                }
+                let task_name = words
+                    .next()
+                    .ok_or_else(|| err(ParseErrorKind::MissingTaskName))?
+                    .to_string();
+                if ids.contains_key(&task_name) {
+                    return Err(err(ParseErrorKind::DuplicateTask(task_name)));
+                }
+                let mut spec = TaskSpec::reliable(task_name.clone(), SimDuration::from_secs(60));
+                let mut deps: Vec<String> = Vec::new();
+                let mut mode = Mode::Attrs;
+                for word in words {
+                    match (mode, word) {
+                        (_, "after") => mode = Mode::Deps,
+                        (_, "if") => mode = Mode::Cond,
+                        // A `key=value` token after `after` ends the
+                        // dependency list — attributes and deps may be
+                        // written in either order.
+                        (Mode::Deps, attr) if attr.contains('=') => {
+                            mode = Mode::Attrs;
+                            let (key, value) =
+                                attr.split_once('=').expect("contains '=' checked");
+                            apply_attr(&mut spec, key, value).map_err(&err)?;
+                        }
+                        (Mode::Deps, dep) => deps.push(dep.to_string()),
+                        (Mode::Cond, cond) => {
+                            spec.condition = parse_condition(cond)
+                                .ok_or_else(|| err(ParseErrorKind::BadCondition(cond.into())))?;
+                        }
+                        (Mode::Attrs, attr) => {
+                            let (key, value) = attr
+                                .split_once('=')
+                                .ok_or_else(|| err(ParseErrorKind::BadAttribute(attr.into())))?;
+                            apply_attr(&mut spec, key, value)
+                                .map_err(&err)?;
+                        }
+                    }
+                }
+                let id = dag.task(task_name.clone());
+                for dep in deps {
+                    let dep_id = *ids
+                        .get(&dep)
+                        .ok_or_else(|| err(ParseErrorKind::UnknownDependency(dep.clone())))?;
+                    dag.edge(dep_id, id)
+                        .expect("file order is topological, cycles impossible");
+                }
+                ids.insert(task_name, id);
+                specs.push(spec);
+            }
+            Some(other) => {
+                return Err(err(ParseErrorKind::UnknownDirective(other.to_string())));
+            }
+            None => unreachable!("blank lines already skipped"),
+        }
+    }
+    let name = name.ok_or(ParseError {
+        line: 1,
+        kind: ParseErrorKind::MissingWorkflowHeader,
+    })?;
+    Ok(ParsedWorkflow {
+        name,
+        workflow: Workflow::new(dag, specs),
+    })
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Attrs,
+    Deps,
+    Cond,
+}
+
+fn parse_condition(text: &str) -> Option<Condition> {
+    match text {
+        "no_failures" => Some(Condition::IfNoFailures),
+        "any_failure" => Some(Condition::IfAnyFailure),
+        _ => {
+            let p = text.strip_prefix("p=")?;
+            let v: f64 = p.parse().ok()?;
+            if (0.0..=1.0).contains(&v) {
+                Some(Condition::Probability(v))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn apply_attr(spec: &mut TaskSpec, key: &str, value: &str) -> Result<(), ParseErrorKind> {
+    match key {
+        "duration" => {
+            spec.duration = parse_duration(value)
+                .ok_or_else(|| ParseErrorKind::BadDuration(value.to_string()))?;
+        }
+        "workers" => {
+            spec.workers = value
+                .parse::<u64>()
+                .ok()
+                .filter(|w| *w > 0)
+                .ok_or_else(|| ParseErrorKind::BadNumber(format!("workers={value}")))?;
+        }
+        "fail_prob" => {
+            spec.fail_prob = value
+                .parse::<f64>()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or_else(|| ParseErrorKind::BadNumber(format!("fail_prob={value}")))?;
+        }
+        "retries" => {
+            spec.max_retries = value
+                .parse::<u32>()
+                .map_err(|_| ParseErrorKind::BadNumber(format!("retries={value}")))?;
+        }
+        "jitter" => {
+            spec.jitter = value
+                .parse::<f64>()
+                .ok()
+                .filter(|j| *j >= 0.0)
+                .ok_or_else(|| ParseErrorKind::BadNumber(format!("jitter={value}")))?;
+        }
+        _ => return Err(ParseErrorKind::BadAttribute(format!("{key}={value}"))),
+    }
+    Ok(())
+}
+
+/// Render a workflow back to DSL text (parse ∘ render is the identity on
+/// structure — used by tooling that round-trips campaign files).
+pub fn render(parsed: &ParsedWorkflow) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "workflow {}", parsed.name);
+    let wf = &parsed.workflow;
+    for (i, spec) in wf.specs.iter().enumerate() {
+        let id = evoflow_sm::dag::TaskId(i as u32);
+        let _ = write!(
+            out,
+            "task {} duration={}s",
+            spec.name,
+            spec.duration.as_secs_f64()
+        );
+        if spec.workers != 1 {
+            let _ = write!(out, " workers={}", spec.workers);
+        }
+        if spec.fail_prob > 0.0 {
+            let _ = write!(out, " fail_prob={}", spec.fail_prob);
+        }
+        if spec.max_retries != 3 {
+            let _ = write!(out, " retries={}", spec.max_retries);
+        }
+        if spec.jitter > 0.0 {
+            let _ = write!(out, " jitter={}", spec.jitter);
+        }
+        let deps: Vec<String> = wf
+            .dag
+            .preds(id)
+            .map(|d| wf.dag.label(d).to_string())
+            .collect();
+        if !deps.is_empty() {
+            let _ = write!(out, " after {}", deps.join(" "));
+        }
+        match spec.condition {
+            Condition::Always => {}
+            Condition::IfNoFailures => {
+                let _ = write!(out, " if no_failures");
+            }
+            Condition::IfAnyFailure => {
+                let _ = write!(out, " if any_failure");
+            }
+            Condition::Probability(p) => {
+                let _ = write!(out, " if p={p}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute, FaultPolicy, TaskStatus};
+
+    const PIPELINE: &str = "\
+# materials screening pipeline
+workflow materials-screen
+
+task synthesize   duration=2h   workers=2 fail_prob=0.05 retries=3
+task characterize duration=30m  after synthesize
+task simulate     duration=4h   workers=8 after synthesize jitter=0.2
+task analyze      duration=15m  after characterize simulate if no_failures
+";
+
+    #[test]
+    fn parses_the_documented_example() {
+        let parsed = parse(PIPELINE).unwrap();
+        assert_eq!(parsed.name, "materials-screen");
+        let wf = &parsed.workflow;
+        assert_eq!(wf.len(), 4);
+        assert_eq!(wf.specs[0].workers, 2);
+        assert!((wf.specs[0].duration.as_secs_f64() - 7200.0).abs() < 1e-9);
+        assert!((wf.specs[1].duration.as_secs_f64() - 1800.0).abs() < 1e-9);
+        assert_eq!(wf.specs[3].condition, Condition::IfNoFailures);
+        // Diamond shape: analyze depends on characterize and simulate.
+        let id3 = evoflow_sm::dag::TaskId(3);
+        assert_eq!(wf.dag.preds(id3).count(), 2);
+    }
+
+    #[test]
+    fn parsed_workflow_executes() {
+        let parsed = parse(PIPELINE).unwrap();
+        let report = execute(&parsed.workflow, 16, FaultPolicy::Retry, 7);
+        assert!(report.completed);
+        assert!(report
+            .statuses
+            .iter()
+            .all(|s| *s == TaskStatus::Succeeded || *s == TaskStatus::Skipped));
+    }
+
+    #[test]
+    fn duration_literals() {
+        assert_eq!(parse_duration("90s").unwrap().as_secs_f64(), 90.0);
+        assert_eq!(parse_duration("30m").unwrap().as_secs_f64(), 1800.0);
+        assert_eq!(parse_duration("2h").unwrap().as_secs_f64(), 7200.0);
+        assert_eq!(parse_duration("1d").unwrap().as_secs_f64(), 86400.0);
+        assert_eq!(parse_duration("120").unwrap().as_secs_f64(), 120.0);
+        assert_eq!(parse_duration("1.5h").unwrap().as_secs_f64(), 5400.0);
+        assert!(parse_duration("abc").is_none());
+        assert!(parse_duration("-5s").is_none());
+        assert!(parse_duration("").is_none());
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse("task a duration=1h\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingWorkflowHeader);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert_eq!(
+            parse("# only comments\n").unwrap_err().kind,
+            ParseErrorKind::MissingWorkflowHeader
+        );
+    }
+
+    #[test]
+    fn duplicate_task_rejected_with_line_number() {
+        let src = "workflow w\ntask a\ntask a\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateTask("a".into()));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let src = "workflow w\ntask a after b\ntask b\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnknownDependency("b".into()));
+    }
+
+    #[test]
+    fn bad_attribute_and_condition_rejected() {
+        let src = "workflow w\ntask a nonsense\n";
+        assert!(matches!(
+            parse(src).unwrap_err().kind,
+            ParseErrorKind::BadAttribute(_)
+        ));
+        let src = "workflow w\ntask a if sometimes\n";
+        assert!(matches!(
+            parse(src).unwrap_err().kind,
+            ParseErrorKind::BadCondition(_)
+        ));
+        let src = "workflow w\ntask a fail_prob=1.5\n";
+        assert!(matches!(
+            parse(src).unwrap_err().kind,
+            ParseErrorKind::BadNumber(_)
+        ));
+        let src = "workflow w\ntask a workers=0\n";
+        assert!(matches!(
+            parse(src).unwrap_err().kind,
+            ParseErrorKind::BadNumber(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let src = "workflow w\nstage a\n";
+        assert_eq!(
+            parse(src).unwrap_err().kind,
+            ParseErrorKind::UnknownDirective("stage".into())
+        );
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_structure() {
+        let parsed = parse(PIPELINE).unwrap();
+        let text = render(&parsed);
+        let again = parse(&text).unwrap();
+        assert_eq!(again.name, parsed.name);
+        assert_eq!(again.workflow.len(), parsed.workflow.len());
+        for i in 0..parsed.workflow.len() {
+            let id = evoflow_sm::dag::TaskId(i as u32);
+            assert_eq!(
+                again.workflow.dag.preds(id).count(),
+                parsed.workflow.dag.preds(id).count()
+            );
+            assert_eq!(again.workflow.specs[i].condition, parsed.workflow.specs[i].condition);
+            assert!(
+                (again.workflow.specs[i].duration.as_secs_f64()
+                    - parsed.workflow.specs[i].duration.as_secs_f64())
+                .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn probability_condition_parses() {
+        let src = "workflow w\ntask a if p=0.25\n";
+        let parsed = parse(src).unwrap();
+        assert_eq!(
+            parsed.workflow.specs[0].condition,
+            Condition::Probability(0.25)
+        );
+    }
+}

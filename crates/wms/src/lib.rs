@@ -1,0 +1,37 @@
+//! # evoflow-wms — the traditional workflow management system baseline
+//!
+//! The proven infrastructure the paper insists must be evolved, not
+//! abandoned (§2.1, §2.4): DAG workflows "fully defined before execution",
+//! scheduled onto bounded resources, with fault tolerance as the one
+//! adaptive concession. In the evolution matrix this crate *is* the
+//! top-left corner:
+//!
+//! * [Static × Pipeline] — [`engine::execute`] with [`engine::FaultPolicy::Abort`].
+//! * [Adaptive × Pipeline] — the same engine with retries and
+//!   [`engine::Condition`]al branches.
+//! * [Static × Hierarchical] — [`meta::execute_meta`] workflow-of-workflows.
+//! * [Static × Swarm] — [`meta::run_sweep`] parameter sweeps.
+//!
+//! Everything richer (learning schedulers, agentic orchestration) lives in
+//! `evoflow-agents`/`evoflow-core`, which *wrap* this engine rather than
+//! replace it — the backward-compatibility design principle of §5.1.
+//!
+//! Operational front doors of a production WMS:
+//!
+//! * [`dsl`] — the text workflow-description language (parse / render).
+//! * [`checkpoint`] — restart files: checkpoint an interrupted run,
+//!   repair, and [`checkpoint::resume`] only the remaining tasks.
+
+pub mod checkpoint;
+pub mod dsl;
+pub mod engine;
+pub mod meta;
+
+pub use checkpoint::{resume, Checkpoint, ResumeError};
+pub use dsl::{parse, render, ParseError, ParseErrorKind, ParsedWorkflow};
+pub use engine::{
+    execute, Condition, FaultPolicy, RunReport, TaskSpec, TaskStatus, Workflow,
+};
+pub use meta::{
+    execute_meta, run_sweep, MetaReport, MetaWorkflow, ParameterGrid, SweepReport,
+};

@@ -1,0 +1,224 @@
+//! Parameter sweeps and workflows-of-workflows — the Composition axis as
+//! practised by traditional WMSs (Table 3: [Static × Swarm] "Parameter
+//! Sweep" and [Static × Hierarchical] "Batch System" / meta-workflows).
+
+use crate::engine::{execute, FaultPolicy, RunReport, TaskSpec, Workflow};
+use evoflow_sim::SimDuration;
+use evoflow_sm::dag::Dag;
+use serde::{Deserialize, Serialize};
+
+/// Cartesian-product parameter grid.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParameterGrid {
+    /// Named axes with their levels.
+    pub axes: Vec<(String, Vec<f64>)>,
+}
+
+impl ParameterGrid {
+    /// Create an empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an axis.
+    pub fn axis(mut self, name: impl Into<String>, levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty());
+        self.axes.push((name.into(), levels));
+        self
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, l)| l.len()).product()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Enumerate all points (row-major over axes).
+    pub fn points(&self) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = vec![vec![]];
+        for (_, levels) in &self.axes {
+            let mut next = Vec::with_capacity(out.len() * levels.len());
+            for p in &out {
+                for l in levels {
+                    let mut q = p.clone();
+                    q.push(*l);
+                    next.push(q);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// Result of a sweep: one report per grid point.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Parameter point per run.
+    pub points: Vec<Vec<f64>>,
+    /// Execution report per run.
+    pub runs: Vec<RunReport>,
+}
+
+impl SweepReport {
+    /// Fraction of runs that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().filter(|r| r.completed).count() as f64 / self.runs.len() as f64
+    }
+
+    /// Total simulated core-hours consumed (attempts × nominal duration is
+    /// approximated by the sum of makespans here).
+    pub fn total_makespan_hours(&self) -> f64 {
+        self.runs.iter().map(|r| r.makespan.as_hours()).sum()
+    }
+}
+
+/// Run one single-task workflow per grid point — the classic embarrassingly
+/// parallel sweep ([Static × Swarm] without any coordination).
+pub fn run_sweep(
+    grid: &ParameterGrid,
+    task_duration: SimDuration,
+    workers_per_run: u64,
+    seed: u64,
+) -> SweepReport {
+    let points = grid.points();
+    let mut runs = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let mut dag = Dag::new();
+        dag.task(format!("point{i}"));
+        // Duration scales mildly with the first parameter, modelling
+        // parameter-dependent cost.
+        let scale = 1.0 + p.first().copied().unwrap_or(0.0).abs() * 0.1;
+        let wf = Workflow::new(
+            dag,
+            vec![TaskSpec::reliable(format!("point{i}"), task_duration.mul_f64(scale))],
+        );
+        runs.push(execute(
+            &wf,
+            workers_per_run,
+            FaultPolicy::Retry,
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+        ));
+    }
+    SweepReport { points, runs }
+}
+
+/// A workflow-of-workflows: a manager that runs child workflows with a
+/// shared worker budget, optionally stopping at the first child failure.
+#[derive(Debug, Clone)]
+pub struct MetaWorkflow {
+    /// Child workflows in submission order.
+    pub children: Vec<Workflow>,
+    /// Stop submitting children after a failure?
+    pub fail_fast: bool,
+}
+
+/// Report of a meta-workflow execution.
+#[derive(Debug, Clone)]
+pub struct MetaReport {
+    /// Per-child reports (children never submitted are absent).
+    pub children: Vec<RunReport>,
+    /// Sum of child makespans (children run back-to-back under one manager).
+    pub total_makespan: SimDuration,
+    /// Whether every submitted child completed.
+    pub completed: bool,
+}
+
+/// Execute the children sequentially under one manager — the
+/// centralized-control delegation of `M_mgr(M1..Mn)`.
+pub fn execute_meta(
+    meta: &MetaWorkflow,
+    workers: u64,
+    policy: FaultPolicy,
+    seed: u64,
+) -> MetaReport {
+    let mut children = Vec::with_capacity(meta.children.len());
+    let mut total = SimDuration::ZERO;
+    let mut completed = true;
+    for (i, child) in meta.children.iter().enumerate() {
+        let r = execute(child, workers, policy, seed ^ ((i as u64) << 32));
+        total += r.makespan;
+        let ok = r.completed;
+        children.push(r);
+        if !ok {
+            completed = false;
+            if meta.fail_fast {
+                break;
+            }
+        }
+    }
+    MetaReport {
+        children,
+        total_makespan: total,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let g = ParameterGrid::new()
+            .axis("temp", vec![300.0, 400.0])
+            .axis("pressure", vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.len(), 6);
+        let pts = g.points();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![300.0, 1.0]);
+        assert_eq!(pts[5], vec![400.0, 3.0]);
+    }
+
+    #[test]
+    fn sweep_runs_every_point() {
+        let g = ParameterGrid::new().axis("x", vec![0.0, 1.0, 2.0]);
+        let rep = run_sweep(&g, SimDuration::from_hours(1), 1, 42);
+        assert_eq!(rep.runs.len(), 3);
+        assert_eq!(rep.completion_rate(), 1.0);
+        // Durations scale with the parameter.
+        assert!(rep.runs[2].makespan > rep.runs[0].makespan);
+    }
+
+    #[test]
+    fn meta_workflow_accumulates_children() {
+        let meta = MetaWorkflow {
+            children: vec![
+                Workflow::pipeline(2, SimDuration::from_hours(1)),
+                Workflow::pipeline(3, SimDuration::from_hours(1)),
+            ],
+            fail_fast: true,
+        };
+        let r = execute_meta(&meta, 2, FaultPolicy::Retry, 1);
+        assert!(r.completed);
+        assert_eq!(r.children.len(), 2);
+        assert_eq!(r.total_makespan.as_hours(), 5.0);
+    }
+
+    #[test]
+    fn fail_fast_stops_submission() {
+        let mut bad = Workflow::pipeline(2, SimDuration::from_hours(1));
+        bad.specs[0] = bad.specs[0].clone().with_fail_prob(1.0);
+        let meta = MetaWorkflow {
+            children: vec![bad, Workflow::pipeline(2, SimDuration::from_hours(1))],
+            fail_fast: true,
+        };
+        let r = execute_meta(&meta, 2, FaultPolicy::Retry, 1);
+        assert!(!r.completed);
+        assert_eq!(r.children.len(), 1, "second child must not run");
+
+        let meta = MetaWorkflow {
+            fail_fast: false,
+            ..meta
+        };
+        let r = execute_meta(&meta, 2, FaultPolicy::Retry, 1);
+        assert_eq!(r.children.len(), 2, "non-fail-fast runs all children");
+    }
+}

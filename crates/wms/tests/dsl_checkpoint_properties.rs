@@ -1,0 +1,99 @@
+//! Property-based tests: the DSL's render∘parse identity and the
+//! checkpoint/resume completion guarantee over arbitrary workflow shapes.
+
+use evoflow_wms::checkpoint::{resume, Checkpoint};
+use evoflow_wms::dsl::{parse, parse_duration, render};
+use evoflow_wms::{execute, FaultPolicy, TaskStatus};
+use proptest::prelude::*;
+
+/// Arbitrary valid task names: lowercase alphanumeric, non-empty.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+proptest! {
+    /// parse(render(w)) preserves the workflow for arbitrary linear
+    /// pipelines with arbitrary durations/workers/failure knobs.
+    #[test]
+    fn dsl_roundtrip_linear_pipelines(
+        names in proptest::collection::btree_set(arb_name(), 1..8),
+        secs in proptest::collection::vec(1u32..100_000, 8),
+        workers in proptest::collection::vec(1u64..16, 8),
+    ) {
+        let names: Vec<String> = names.into_iter().collect();
+        let mut src = String::from("workflow prop\n");
+        for (i, name) in names.iter().enumerate() {
+            src.push_str(&format!(
+                "task {} duration={}s workers={}",
+                name,
+                secs[i % secs.len()],
+                workers[i % workers.len()]
+            ));
+            if i > 0 {
+                src.push_str(&format!(" after {}", names[i - 1]));
+            }
+            src.push('\n');
+        }
+        let parsed = parse(&src).unwrap();
+        let again = parse(&render(&parsed)).unwrap();
+        prop_assert_eq!(again.workflow.len(), parsed.workflow.len());
+        for i in 0..parsed.workflow.len() {
+            let a = &parsed.workflow.specs[i];
+            let b = &again.workflow.specs[i];
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.workers, b.workers);
+            prop_assert!((a.duration.as_secs_f64() - b.duration.as_secs_f64()).abs() < 1e-9);
+        }
+    }
+
+    /// Duration literals: parse is total over the generated grammar and
+    /// scales by the right unit factor.
+    #[test]
+    fn duration_units_scale(v in 0.0f64..10_000.0) {
+        let s = parse_duration(&format!("{v}s")).unwrap().as_secs_f64();
+        let m = parse_duration(&format!("{v}m")).unwrap().as_secs_f64();
+        let h = parse_duration(&format!("{v}h")).unwrap().as_secs_f64();
+        prop_assert!((s - v).abs() < 1e-3);
+        prop_assert!((m - 60.0 * v).abs() < 1e-2);
+        prop_assert!((h - 3600.0 * v).abs() < 1e-1);
+    }
+
+    /// Resume from any *reachable* checkpoint completes the workflow, and
+    /// no satisfied task ever reruns. Reachable checkpoints are produced
+    /// by actually crashing a run (Abort policy + one poisoned task).
+    #[test]
+    fn resume_completes_from_any_crash(
+        n in 2usize..7,
+        poison_idx in 0usize..7,
+        seed in 0u64..500,
+    ) {
+        let poison = poison_idx % n;
+        // Linear pipeline where one task always fails.
+        let mut src = String::from("workflow crashprop\n");
+        for i in 0..n {
+            let fp = if i == poison { 1.0 } else { 0.0 };
+            src.push_str(&format!("task t{i} duration=60s fail_prob={fp} retries=0"));
+            if i > 0 {
+                src.push_str(&format!(" after t{}", i - 1));
+            }
+            src.push('\n');
+        }
+        let broken = parse(&src).unwrap().workflow;
+        let crashed = execute(&broken, 4, FaultPolicy::Abort, seed);
+        prop_assert!(crashed.aborted);
+        let ckpt = Checkpoint::from_report(&crashed);
+        let done_before = ckpt.satisfied().count();
+
+        // Repair and resume.
+        let fixed = parse(&src.replace("fail_prob=1 ", "fail_prob=0 ")
+            .replace("fail_prob=1\n", "fail_prob=0\n")).unwrap().workflow;
+        let report = resume(&fixed, &ckpt, 4, FaultPolicy::Retry, seed ^ 0xABCD).unwrap();
+        prop_assert!(report.completed, "resume must finish the pipeline");
+        prop_assert!(report.statuses.iter().all(|s| *s == TaskStatus::Succeeded));
+        // Exactly the unfinished tasks ran once each.
+        prop_assert_eq!(
+            report.attempts as usize,
+            ckpt.attempts as usize + (n - done_before)
+        );
+    }
+}

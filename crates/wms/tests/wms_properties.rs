@@ -1,0 +1,108 @@
+//! Property tests for the WMS engine: schedule-correctness invariants that
+//! must hold for any workflow shape.
+
+use evoflow_sim::SimDuration;
+use evoflow_sm::dag::{Dag, TaskId};
+use evoflow_wms::{execute, FaultPolicy, TaskSpec, TaskStatus, Workflow};
+use proptest::prelude::*;
+
+/// Random forward-edge DAG + aligned reliable specs.
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (2usize..12, prop::collection::vec(any::<u32>(), 0..30), 1u64..5).prop_map(
+        |(n, picks, hours)| {
+            let mut d = Dag::new();
+            let ts: Vec<TaskId> = (0..n).map(|i| d.task(format!("t{i}"))).collect();
+            for (k, pick) in picks.iter().enumerate() {
+                let i = (k + *pick as usize) % (n - 1);
+                let j = i + 1 + (*pick as usize % (n - i - 1)).min(n - i - 2);
+                if i < j && j < n {
+                    d.edge(ts[i], ts[j]).expect("forward edge");
+                }
+            }
+            let specs = (0..n)
+                .map(|i| TaskSpec::reliable(format!("t{i}"), SimDuration::from_hours(hours)))
+                .collect();
+            Workflow::new(d, specs)
+        },
+    )
+}
+
+proptest! {
+    /// Reliable workflows always complete, with exactly one attempt per
+    /// task, and makespan bounded by [critical path, serial sum].
+    #[test]
+    fn reliable_workflows_complete(wf in arb_workflow(), workers in 1u64..6) {
+        let hours = wf.specs[0].duration.as_hours();
+        let r = execute(&wf, workers, FaultPolicy::Retry, 7);
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.attempts as usize, wf.len());
+        prop_assert!(r.statuses.iter().all(|s| *s == TaskStatus::Succeeded));
+        let cp = wf.dag.critical_path_len().expect("acyclic") as f64 * hours;
+        let serial = wf.len() as f64 * hours;
+        prop_assert!(r.makespan.as_hours() >= cp - 1e-9, "below critical path");
+        prop_assert!(r.makespan.as_hours() <= serial + 1e-9, "above serial bound");
+        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+    }
+
+    /// With one worker the makespan is exactly the serial sum.
+    #[test]
+    fn single_worker_serializes(wf in arb_workflow()) {
+        let hours = wf.specs[0].duration.as_hours();
+        let r = execute(&wf, 1, FaultPolicy::Retry, 3);
+        prop_assert!(r.completed);
+        prop_assert!((r.makespan.as_hours() - wf.len() as f64 * hours).abs() < 1e-9);
+    }
+
+    /// More workers never lengthens the makespan.
+    #[test]
+    fn workers_are_monotone(wf in arb_workflow()) {
+        let narrow = execute(&wf, 1, FaultPolicy::Retry, 5).makespan;
+        let wide = execute(&wf, 8, FaultPolicy::Retry, 5).makespan;
+        prop_assert!(wide <= narrow);
+    }
+
+    /// A permanently failing task blocks all of its descendants and
+    /// nothing else (under Retry).
+    #[test]
+    fn failures_block_exactly_descendants(wf in arb_workflow(), victim_pick in any::<u32>()) {
+        let victim = (victim_pick as usize) % wf.len();
+        let mut wf = wf;
+        wf.specs[victim] = wf.specs[victim].clone().with_fail_prob(1.0);
+        let r = execute(&wf, 4, FaultPolicy::Retry, 9);
+        prop_assert!(!r.completed);
+        prop_assert_eq!(r.statuses[victim], TaskStatus::Failed);
+
+        // Descendants of the victim must be NotRun; non-descendants
+        // succeed.
+        let mut descendants = std::collections::BTreeSet::new();
+        let mut stack = vec![TaskId(victim as u32)];
+        while let Some(t) = stack.pop() {
+            for s in wf.dag.succs(t) {
+                if descendants.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        for i in 0..wf.len() {
+            let t = TaskId(i as u32);
+            if i == victim {
+                continue;
+            }
+            if descendants.contains(&t) {
+                prop_assert_eq!(r.statuses[i], TaskStatus::NotRun, "descendant {} ran", i);
+            } else {
+                prop_assert_eq!(r.statuses[i], TaskStatus::Succeeded, "independent {} blocked", i);
+            }
+        }
+    }
+
+    /// Execution is a pure function of (workflow, workers, policy, seed).
+    #[test]
+    fn execution_is_deterministic(wf in arb_workflow(), seed in any::<u64>()) {
+        let a = execute(&wf, 3, FaultPolicy::Retry, seed);
+        let b = execute(&wf, 3, FaultPolicy::Retry, seed);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.statuses, b.statuses);
+    }
+}

@@ -1,0 +1,129 @@
+//! From scientific intent to a negotiated cross-facility SLA.
+//!
+//! The full §5.2 pipeline the paper sketches in prose: a scientist states
+//! a *goal* (not a DAG); the goal compiles into an objective and guardrail
+//! gates; a planner turns the experimental needs into a capability
+//! requirement; facilities across the federation are matched on their
+//! advertised envelopes; and the chosen pair negotiates a service-level
+//! agreement through validated semantic messages, which travel as
+//! checksummed wire frames.
+//!
+//! Run with: `cargo run --release --example capability_negotiation`
+
+use bytes::Bytes;
+use evoflow::intent::{compile, Comparator, GoalSpec, ObjectiveSense};
+use evoflow::protocol::negotiation::issue;
+use evoflow::protocol::{
+    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer,
+    Conversation, Frame, FrameKind, Negotiator, Performative, Preferences, Requirement, Strategy,
+    ValueRange,
+};
+use bytes::BytesMut;
+
+fn main() {
+    // ── 1. Scientific intent, validated before anything is spent ────────
+    let goal = GoalSpec::builder("wide-gap-oxides", "find a wide-gap oxide semiconductor")
+        .objective("band_gap_eV", ObjectiveSense::Maximize)
+        .target(3.2)
+        .constraint("toxicity", Comparator::Le, 0.05, true)
+        .constraint("cost_per_sample", Comparator::Le, 40.0, false)
+        .budget(300, 50_000, 21.0 * 24.0)
+        .success("band_gap_eV", Comparator::Ge, 3.0)
+        .build();
+    let compiled = compile(&goal).expect("goal validates");
+    println!("goal '{}' compiles to {} governance gates:", goal.id, compiled.gates().len());
+    for gate in compiled.gates() {
+        println!("  - {}", gate.name);
+    }
+
+    // ── 2. Capability matchmaking across the federation ─────────────────
+    let requirement = Requirement::new("synthesis")
+        .with_range("temperature", ValueRange::new(900.0, 1400.0, "K"))
+        .with_range("throughput", ValueRange::new(15.0, 15.0, "samples/day"))
+        .with_tag("oxide-capable");
+    let offers = vec![
+        CapabilityOffer::new("synthesis", "alab-berkeley", 3.0)
+            .with_range("temperature", ValueRange::new(300.0, 1500.0, "K"))
+            .with_range("throughput", ValueRange::new(1.0, 200.0, "samples/day"))
+            .with_tag("oxide-capable")
+            .with_tag("inert-atmosphere"),
+        CapabilityOffer::new("synthesis", "campus-furnace", 1.0)
+            .with_range("temperature", ValueRange::new(300.0, 1100.0, "K")) // too cold
+            .with_range("throughput", ValueRange::new(1.0, 10.0, "samples/day"))
+            .with_tag("oxide-capable"),
+        CapabilityOffer::new("synthesis", "ornl-autonomy-lab", 2.0)
+            .with_range("temperature", ValueRange::new(500.0, 1600.0, "K"))
+            .with_range("throughput", ValueRange::new(5.0, 60.0, "samples/day"))
+            .with_tag("oxide-capable"),
+    ];
+    let ranked = match_offers(&requirement, &offers);
+    println!("\ncapability matches (best first):");
+    for (offer, score) in &ranked {
+        println!("  {:<20} score {:.3}", offer.facility, score);
+    }
+    let chosen = ranked.first().expect("at least one facility matches").0;
+
+    // ── 3. SLA negotiation with the chosen facility ──────────────────────
+    let issues = vec![
+        issue("priority_fee", 1.0, 10.0),
+        issue("samples_per_day", 5.0, 60.0),
+        issue("turnaround_hours", 12.0, 240.0),
+    ];
+    let facility_agent = Negotiator::new(
+        chosen.facility.clone(),
+        Preferences::new(vec![1.0, -0.5, 0.7], 0.3),
+        Strategy::Boulware { beta: 0.4 },
+    );
+    let planner_agent = Negotiator::new(
+        "campaign-planner",
+        Preferences::new(vec![-0.8, 1.0, -0.6], 0.3),
+        Strategy::Conceder { beta: 1.8 },
+    );
+    let outcome = negotiate(&planner_agent, &facility_agent, &issues, 40);
+    match &outcome.agreement {
+        Some(contract) => {
+            println!("\nSLA agreed after {} rounds:", outcome.rounds);
+            for (issue, value) in issues.iter().zip(&contract.values) {
+                println!("  {:<18} = {:.1}", issue.name, value);
+            }
+            println!(
+                "  planner utility {:.2}, facility utility {:.2}",
+                outcome.utility_a, outcome.utility_b
+            );
+            let gap = outcome
+                .pareto_gap(&issues, &planner_agent.prefs, &facility_agent.prefs)
+                .unwrap();
+            println!("  distance from Pareto frontier: {gap:.3}");
+        }
+        None => println!("\nno agreement within the deadline"),
+    }
+
+    // ── 4. The speech acts that carried it, validated + framed ───────────
+    let mut conversation = Conversation::new(801);
+    let msgs = [
+        AclMessage::new(Performative::Propose, "campaign-planner", &chosen.facility, 801, "sla/1", "opening terms"),
+        AclMessage::new(Performative::CounterPropose, &chosen.facility, "campaign-planner", 801, "sla/1", "counter"),
+        AclMessage::new(Performative::AcceptProposal, "campaign-planner", &chosen.facility, 801, "sla/1", "accepted"),
+    ];
+    let mut wire_bytes = 0usize;
+    for msg in msgs {
+        conversation.accept(msg.clone()).expect("in protocol");
+        let frame = Frame {
+            version: 2,
+            kind: FrameKind::Acl,
+            flags: 0,
+            conversation: 801,
+            payload: Bytes::from(serde_json::to_vec(&msg).unwrap()),
+        };
+        let encoded = encode_frame(&frame).unwrap();
+        wire_bytes += encoded.len();
+        let mut buf = BytesMut::from(&encoded[..]);
+        let decoded = decode_frame(&mut buf).unwrap();
+        assert_eq!(decoded, frame, "wire roundtrip");
+    }
+    println!(
+        "\nconversation closed in protocol ({} speech acts, {} wire bytes, checksummed)",
+        conversation.transcript().len(),
+        wire_bytes
+    );
+}

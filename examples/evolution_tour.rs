@@ -1,0 +1,106 @@
+//! A guided tour of the 5×5 evolution matrix: prints Table 1, Table 2, and
+//! the full Table 3 with the paper's representative systems, then shows
+//! the classifier placing four well-known system shapes on the plane and
+//! the trajectory planner charting their paths to autonomous science.
+//!
+//! ```text
+//! cargo run --example evolution_tour
+//! ```
+
+use evoflow::agents::Pattern;
+use evoflow::core::{all_cells, classify, Cell, SystemDescriptor, TrajectoryPlanner};
+use evoflow::sm::IntelligenceLevel;
+
+fn main() {
+    // --- Table 1 -----------------------------------------------------------
+    println!("Table 1 — the intelligence dimension");
+    for level in IntelligenceLevel::ALL {
+        println!("  {:<12} {:<24} e.g. {}", level.to_string(), level.formalism(), level.exemplar());
+    }
+
+    // --- Table 2 -----------------------------------------------------------
+    println!("\nTable 2 — the composition dimension");
+    for pattern in Pattern::all() {
+        println!(
+            "  {:<14} {:<28} e.g. {}",
+            format!("{pattern:?}"),
+            pattern.formalism(),
+            pattern.exemplar()
+        );
+    }
+
+    // --- Table 3 -----------------------------------------------------------
+    println!("\nTable 3 — the 5×5 evolution matrix");
+    print!("{:<16}", "");
+    for level in IntelligenceLevel::ALL {
+        print!("{:<14}", level.to_string());
+    }
+    println!();
+    for pattern in Pattern::all() {
+        print!("{:<16}", format!("{pattern:?}"));
+        for level in IntelligenceLevel::ALL {
+            print!("{:<14}", Cell::new(level, pattern).representative());
+        }
+        println!();
+    }
+
+    // --- Classification of familiar systems --------------------------------
+    println!("\nClassifying familiar system shapes:");
+    let systems = vec![
+        (
+            "nightly ETL script",
+            SystemDescriptor {
+                machine_count: 1,
+                ..SystemDescriptor::default()
+            },
+        ),
+        (
+            "fault-tolerant WMS",
+            SystemDescriptor {
+                uses_feedback: true,
+                machine_count: 20,
+                linear_dataflow: true,
+                ..SystemDescriptor::default()
+            },
+        ),
+        (
+            "hyperparameter search service",
+            SystemDescriptor {
+                uses_feedback: true,
+                learns_from_history: true,
+                optimizes_cost: true,
+                machine_count: 50,
+                has_manager: true,
+                ..SystemDescriptor::default()
+            },
+        ),
+        (
+            "self-driving lab controller",
+            SystemDescriptor {
+                uses_feedback: true,
+                learns_from_history: true,
+                optimizes_cost: true,
+                self_modifies: true,
+                machine_count: 12,
+                peer_communication: true,
+                local_neighborhoods_only: true,
+                ..SystemDescriptor::default()
+            },
+        ),
+    ];
+
+    let planner = TrajectoryPlanner;
+    let target = Cell::autonomous_science();
+    for (name, desc) in systems {
+        let cell = classify(&desc);
+        let path = planner.plan(cell, target);
+        println!(
+            "  {:<32} -> {:<28} ({} transitions to {target})",
+            name,
+            format!("{cell} · {}", cell.representative()),
+            path.len() - 1,
+        );
+    }
+
+    println!("\nAll {} cells enumerate distinct representatives — the plane is fully charted.", all_cells().len());
+}

@@ -1,0 +1,70 @@
+//! Hybrid classical-quantum workflow on a simulated QPU.
+//!
+//! §5.2's Infrastructure Abstraction layer requires "quantum devices with
+//! both interactive and batch usage models" and "hybrid classical-quantum
+//! workflows". This example runs the canonical variational loop (classical
+//! optimizer proposing parameters, QPU estimating an energy) under both
+//! access modes and shows why autonomous loops need the interactive one:
+//! batch queueing, not device time, dominates the wall clock — the same
+//! human-free-loop economics as the paper's 10–100× argument, applied to
+//! a quantum resource.
+//!
+//! Run with: `cargo run --release --example hybrid_quantum`
+
+use evoflow::facility::{AccessMode, CircuitSpec, HybridLoop, Qpu};
+use evoflow::sim::SimRng;
+
+fn main() {
+    // Synthetic molecular energy surface: minimum at θ ≈ 1.1, scaled into
+    // the observable range [-1, 1].
+    let energy = |theta: f64| (0.8 * (theta - 1.1).powi(2) - 0.6).clamp(-1.0, 1.0);
+
+    let qpu = Qpu::nisq("simulated-qpu-64q");
+    println!(
+        "device: {} ({} qubits, {:.1}% gate error, queue {})",
+        qpu.name,
+        qpu.n_qubits,
+        qpu.gate_error * 100.0,
+        qpu.queue_wait
+    );
+
+    let circuit = CircuitSpec {
+        qubits: 16,
+        depth: 8,
+        shots: 4000,
+    };
+    println!(
+        "ansatz: {} qubits, depth {}, {} shots/evaluation (fidelity {:.3})\n",
+        circuit.qubits,
+        circuit.depth,
+        circuit.shots,
+        qpu.fidelity(circuit.depth)
+    );
+
+    for mode in [AccessMode::Batch, AccessMode::Interactive] {
+        let hybrid = HybridLoop {
+            qpu: qpu.clone(),
+            circuit,
+            mode,
+        };
+        let mut rng = SimRng::from_seed_u64(7);
+        let report = hybrid.minimize(energy, (0.0, 2.5), 400_000, &mut rng);
+        println!("== {mode:?} access ==");
+        println!("  best θ          : {:.3} (true optimum 1.100)", report.best_theta);
+        println!("  best energy     : {:.3}", report.best_value);
+        println!("  iterations      : {}", report.iterations);
+        println!("  shots consumed  : {}", report.shots_used);
+        println!("  wall time       : {}", report.wall_time);
+        println!(
+            "  ...of which queue: {} ({:.0}%)\n",
+            report.queue_time,
+            100.0 * report.queue_time.as_secs_f64() / report.wall_time.as_secs_f64().max(1e-9)
+        );
+    }
+
+    println!(
+        "The interactive session turns a queue-dominated campaign into a\n\
+         device-time-dominated one — the quantum instance of the paper's\n\
+         'remove the human-scale waits from the loop' argument."
+    );
+}

@@ -1,0 +1,93 @@
+//! Quickstart: the evolution framework in five minutes.
+//!
+//! 1. Build a traditional DAG workflow and run it (the [Static × Pipeline]
+//!    corner the paper says today's science lives in).
+//! 2. Compile the same DAG to its formal state machine and verify it.
+//! 3. Classify the system on the evolution matrix.
+//! 4. Plan the evolution trajectory toward [Intelligent × Swarm].
+//! 5. Run one autonomous campaign at the frontier cell.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use evoflow::core::{
+    classify, render_campaign, render_plane, run_campaign, CampaignConfig, Cell, MaterialsSpace,
+    SystemDescriptor, TrajectoryPlanner,
+};
+use evoflow::sim::SimDuration;
+use evoflow::sm::dag::Dag;
+use evoflow::sm::verify_fsm;
+use evoflow::wms::{execute, FaultPolicy, TaskSpec, Workflow};
+
+fn main() {
+    // --- 1. A traditional materials-analysis DAG --------------------------
+    let mut dag = Dag::new();
+    let ingest = dag.task("ingest");
+    let reduce = dag.task("reduce");
+    let fit = dag.task("fit");
+    let report = dag.task("report");
+    dag.edge(ingest, reduce).expect("valid edge");
+    dag.edge(reduce, fit).expect("valid edge");
+    dag.edge(fit, report).expect("valid edge");
+
+    let wf = Workflow::new(
+        dag.clone(),
+        vec![
+            TaskSpec::reliable("ingest", SimDuration::from_mins(10)),
+            TaskSpec::reliable("reduce", SimDuration::from_mins(30)).with_fail_prob(0.2),
+            TaskSpec::reliable("fit", SimDuration::from_hours(1)),
+            TaskSpec::reliable("report", SimDuration::from_mins(5)),
+        ],
+    );
+    let run = execute(&wf, 2, FaultPolicy::Retry, 42);
+    println!(
+        "1. DAG workflow: completed={} makespan={:.1}h attempts={}",
+        run.completed,
+        run.makespan.as_hours(),
+        run.attempts
+    );
+
+    // --- 2. The same workflow as a formal state machine -------------------
+    let machine = dag.to_fsm(10_000).expect("small DAG");
+    let verification = verify_fsm(&machine, 10_000);
+    println!(
+        "2. As a state machine: {} states, verified complete={} goal-reachable={}",
+        machine.num_states(),
+        verification.complete,
+        verification.goal_reachable
+    );
+
+    // --- 3. Where does this system sit on the evolution matrix? -----------
+    let descriptor = SystemDescriptor {
+        name: "my-wms".into(),
+        uses_feedback: true, // we retried failures
+        machine_count: 4,
+        linear_dataflow: true,
+        ..SystemDescriptor::default()
+    };
+    let cell = classify(&descriptor);
+    println!("3. Evolution-matrix cell: {cell} (representative: {})", cell.representative());
+    print!("{}", render_plane(cell));
+
+    // --- 4. The prescribed path to autonomous science ----------------------
+    let planner = TrajectoryPlanner;
+    let path = planner.plan(cell, Cell::autonomous_science());
+    println!("4. Evolution trajectory ({} steps):", path.len() - 1);
+    for (step, req) in path.windows(2).zip(planner.requirements(&path)) {
+        println!("     {} -> {}\n       needs: {req}", step[0], step[1]);
+    }
+
+    // --- 5. Run the frontier: an autonomous discovery campaign ------------
+    let space = MaterialsSpace::generate(3, 8, 7);
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 7);
+    cfg.horizon = SimDuration::from_days(3);
+    let report = run_campaign(&space, &cfg);
+    println!(
+        "5. Autonomous campaign: {} experiments, {} distinct materials, first at {:.1}h",
+        report.experiments,
+        report.distinct_discoveries,
+        report.time_to_first_hours.unwrap_or(f64::NAN)
+    );
+    print!("{}", render_campaign(&report));
+}

@@ -1,0 +1,55 @@
+//! # evoflow — agentic scientific workflows on the evolution plane
+//!
+//! A full implementation of the framework from *"The (R)evolution of
+//! Scientific Workflows in the Agentic AI Era: Towards Autonomous Science"*
+//! (Shin et al., SC 2025): workflows and AI agents unified on the
+//! state-machine abstraction, evolving along **intelligence** (Static →
+//! Adaptive → Learning → Optimizing → Intelligent) and **composition**
+//! (Single → Pipeline → Hierarchical → Mesh → Swarm).
+//!
+//! This facade re-exports every subsystem crate:
+//!
+//! | module | crate | what it is |
+//! |---|---|---|
+//! | [`sm`] | `evoflow-sm` | the state-machine core: FSMs, DAG→FSM, the five δ classes, Ω, verification |
+//! | [`sim`] | `evoflow-sim` | deterministic discrete-event kernel (clock, queue, seeded streams, metrics) |
+//! | [`cogsim`] | `evoflow-cogsim` | simulated LLM/LRM reasoning engines with tools, plans, memory |
+//! | [`knowledge`] | `evoflow-knowledge` | knowledge graph, PROV provenance + AI reasoning chains, model registry, FAIR |
+//! | [`coord`] | `evoflow-coord` | message bus, discovery, CRDT state sync, capability tokens, consensus |
+//! | [`learn`] | `evoflow-learn` | bandits, Q-learning, surrogate + BO, PSO, ant colony, annealing |
+//! | [`wms`] | `evoflow-wms` | the traditional DAG workflow engine baseline |
+//! | [`facility`] | `evoflow-facility` | facilities, instruments, batch scheduling, human latency, data fabric |
+//! | [`agents`] | `evoflow-agents` | agent runtime, the five composition patterns, the Figure 4 science agents |
+//! | [`core`] | `evoflow-core` | the 5×5 matrix + classifier + trajectory planner, LabRuntime, Federation, Campaign |
+//! | [`protocol`] | `evoflow-protocol` | wire framing, semantic performatives, capability matching, SLA negotiation |
+//! | [`intent`] | `evoflow-intent` | goal specs, falsifiable hypotheses, goal trees, objective compilation |
+//! | [`testbed`] | `evoflow-testbed` | the AISLE-style autonomy-certification ladder and harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use evoflow::core::{run_campaign, CampaignConfig, Cell, MaterialsSpace};
+//! use evoflow::sim::SimDuration;
+//!
+//! // A seeded synthetic materials landscape...
+//! let space = MaterialsSpace::generate(3, 8, 42);
+//! // ...explored autonomously at the paper's frontier cell.
+//! let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 7);
+//! cfg.horizon = SimDuration::from_days(2);
+//! let report = run_campaign(&space, &cfg);
+//! assert!(report.experiments > 0);
+//! ```
+
+pub use evoflow_agents as agents;
+pub use evoflow_cogsim as cogsim;
+pub use evoflow_coord as coord;
+pub use evoflow_core as core;
+pub use evoflow_facility as facility;
+pub use evoflow_intent as intent;
+pub use evoflow_knowledge as knowledge;
+pub use evoflow_learn as learn;
+pub use evoflow_protocol as protocol;
+pub use evoflow_sim as sim;
+pub use evoflow_sm as sm;
+pub use evoflow_testbed as testbed;
+pub use evoflow_wms as wms;

@@ -1,0 +1,51 @@
+//! Integration: certification as federation admission control.
+//!
+//! The AISLE roadmap's operational use of a shared testbed: before a
+//! controller is allowed to run *unattended* on federation hardware, its
+//! certificate must clear the facility's admission bar. Certificates are
+//! exchanged as JSON (what a facility gateway consumes) and markdown
+//! (what its review board reads).
+
+use evoflow::sm::{controller_for_level, IntelligenceLevel};
+use evoflow::testbed::{certify, to_markdown, AutonomyCertificate, AutonomyGrade};
+
+/// A facility policy: autonomous (human-on-the-loop) operation demands at
+/// least L3; human-in-the-loop operation accepts L1.
+fn admissible_unattended(cert: &AutonomyCertificate) -> bool {
+    cert.at_least(AutonomyGrade::L3Optimizing)
+}
+
+#[test]
+fn adaptive_controller_admitted_supervised_only() {
+    let factory = |seed: u64| controller_for_level(IntelligenceLevel::Adaptive, seed);
+    let cert = certify("beamline-pid/1.0", &factory, 77);
+    assert!(cert.at_least(AutonomyGrade::L1Adaptive));
+    assert!(
+        !admissible_unattended(&cert),
+        "an adaptive controller must not run unattended"
+    );
+}
+
+#[test]
+fn intelligent_controller_admitted_unattended() {
+    let factory = |seed: u64| controller_for_level(IntelligenceLevel::Intelligent, seed);
+    let cert = certify("lab-omega/0.9", &factory, 77);
+    assert!(admissible_unattended(&cert));
+}
+
+#[test]
+fn certificate_survives_json_exchange_between_facilities() {
+    let factory = |seed: u64| controller_for_level(IntelligenceLevel::Optimizing, seed);
+    let cert = certify("tuner/4.2", &factory, 77);
+    // Facility A issues; facility B parses and re-evaluates the policy on
+    // the *evidence*, not just the headline grade.
+    let json = serde_json::to_string(&cert).unwrap();
+    let received: AutonomyCertificate = serde_json::from_str(&json).unwrap();
+    assert_eq!(received.achieved, cert.achieved);
+    assert!(admissible_unattended(&received));
+    assert!(received.rungs.iter().take(4).all(|r| r.passed));
+    // The human-readable form carries the same verdict.
+    let md = to_markdown(&received);
+    assert!(md.contains("L3 (optimizing)"));
+    assert!(md.contains("tuner/4.2"));
+}

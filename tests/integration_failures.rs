@@ -1,0 +1,136 @@
+//! Failure-injection integration tests: the system must stay safe and
+//! predictable when the world misbehaves — hallucinating models, broken
+//! instruments, revoked credentials, and stalled humans (§4.1's
+//! reliability challenges).
+
+use evoflow::agents::{Candidate, DesignAgent, HypothesisAgent};
+use evoflow::cogsim::{CognitiveModel, ModelProfile};
+use evoflow::coord::{AuthError, Authority};
+use evoflow::core::{Action, GovernanceEngine, Policy, Verdict};
+use evoflow::facility::presets;
+use evoflow::sim::SimRng;
+use evoflow::wms::{execute, FaultPolicy, TaskSpec, Workflow};
+use evoflow_sm::dag::shapes;
+
+#[test]
+fn hallucination_storm_is_fully_contained_by_validation() {
+    // A model that hallucinates on every generation.
+    let mut profile = ModelProfile::fast_llm();
+    profile.hallucination_rate = 1.0;
+    let mut hypo = HypothesisAgent::new(CognitiveModel::new(profile, 13), 3);
+    let mut design = DesignAgent::new(3);
+
+    let candidates = hypo.propose(&[], 50);
+    let accepted: Vec<&Candidate> = candidates
+        .iter()
+        .filter(|c| design.design(c).is_ok())
+        .collect();
+    // Every proposal is flagged; only in-bounds ones may pass the gate,
+    // and none that passed can be out of physical bounds.
+    assert!(candidates.iter().all(|c| c.hallucinated));
+    for c in &accepted {
+        assert!(c.params.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+    assert!(
+        design.rejected() > 0,
+        "a hallucination storm must trip the validation gate"
+    );
+}
+
+#[test]
+fn instrument_failures_extend_but_do_not_corrupt_operations() {
+    let mut broken = presets::synthesis_robot("bot");
+    broken.failure.op_failure_prob = 1.0;
+    let healthy = presets::synthesis_robot("bot2");
+    let mut rng_a = SimRng::from_seed_u64(1);
+    let mut rng_b = SimRng::from_seed_u64(1);
+    let (dur_broken, failed) = broken.draw_op(&mut rng_a);
+    let (dur_ok, _) = healthy.draw_op(&mut rng_b);
+    assert!(failed);
+    assert!(dur_broken > dur_ok, "failure must cost repair time");
+}
+
+#[test]
+fn workflow_survives_any_single_flaky_task_with_retries() {
+    for victim in 0..5 {
+        let dag = shapes::chain(5);
+        let mut specs: Vec<TaskSpec> = (0..5)
+            .map(|i| TaskSpec::reliable(format!("t{i}"), evoflow::sim::SimDuration::from_mins(30)))
+            .collect();
+        specs[victim] = specs[victim].clone().with_fail_prob(0.5);
+        let wf = Workflow::new(dag, specs);
+        let completions = (0..10)
+            .filter(|&s| execute(&wf, 2, FaultPolicy::Retry, s).completed)
+            .count();
+        assert!(
+            completions >= 7,
+            "victim {victim}: only {completions}/10 runs completed"
+        );
+    }
+}
+
+#[test]
+fn revoked_credentials_cascade_through_delegation_chains() {
+    let mut auth = Authority::new("site", 0x5ec);
+    let root = auth.issue("orchestrator", ["submit:hpc".to_string()], 1_000);
+    let worker = auth
+        .delegate(&root, "worker-agent", ["submit:hpc".to_string()], 1_000, 0)
+        .expect("attenuated delegation");
+    assert!(auth.verify(&worker, Some("submit:hpc"), 10).is_ok());
+
+    // Compromise detected: revoke the root credential.
+    auth.revoke(root.id);
+    assert_eq!(auth.verify(&root, None, 10).unwrap_err(), AuthError::Revoked);
+    assert_eq!(
+        auth.verify(&worker, None, 10).unwrap_err(),
+        AuthError::Revoked,
+        "delegated tokens must die with their parent"
+    );
+}
+
+#[test]
+fn governance_stops_a_runaway_agent() {
+    let mut gov = GovernanceEngine::standard(20);
+    let mut allowed = 0;
+    let mut denied = 0;
+    // A runaway agent fires 100 synthesis requests in one burst.
+    for t in 0..100u64 {
+        let v = gov.evaluate(Action {
+            agent: "runaway".into(),
+            kind: "synthesis".into(),
+            samples: 1,
+            cost_hours: 1.0,
+            irreversible: false,
+            at: t, // all within one rate window
+        });
+        match v {
+            Verdict::Allow => allowed += 1,
+            Verdict::Deny(_) => denied += 1,
+            Verdict::Escalate(_) => {}
+        }
+    }
+    // Sample budget (20) and rate limit (60/window) both bind; the budget
+    // binds first.
+    assert_eq!(allowed, 20, "sample budget must cap the runaway agent");
+    assert_eq!(denied, 80);
+    // Every decision is on the audit trail with attribution.
+    assert_eq!(gov.audit_len(), 100);
+    assert_eq!(gov.accountability()["runaway"], (20, 80, 0));
+}
+
+#[test]
+fn forbidden_goal_rewrites_are_denied_even_when_escalatable() {
+    let mut gov = GovernanceEngine::standard(100)
+        .with_policy(Policy::CostCap { max_hours: 10.0 });
+    let v = gov.evaluate(Action {
+        agent: "omega".into(),
+        kind: "rewrite-goals".into(),
+        samples: 0,
+        cost_hours: 0.1,
+        irreversible: true, // would escalate…
+        at: 0,
+    });
+    // …but Forbid denies outright: deny outranks escalate.
+    assert!(matches!(v, Verdict::Deny(_)));
+    assert!(gov.pending_approvals().is_empty());
+}

@@ -1,0 +1,105 @@
+//! Integration: operational federation machinery — DSL-defined workflows
+//! surviving a coordinator crash via checkpoint/resume, with run records
+//! replicated across facility knowledge-graph replicas through partition
+//! and heal, and a hybrid quantum stage feeding the same records.
+
+use evoflow::facility::{AccessMode, CircuitSpec, HybridLoop, Qpu};
+use evoflow::knowledge::sync::{converged, gossip_to_convergence, Replica};
+use evoflow::knowledge::{NodeKind, Relation};
+use evoflow::sim::{SimDuration, SimRng};
+use evoflow::wms::{execute, parse, resume, Checkpoint, FaultPolicy, TaskStatus};
+
+const CAMPAIGN: &str = "\
+workflow oxide-screening
+task synthesize   duration=2h  workers=2 fail_prob=1.0 retries=0
+task characterize duration=30m after synthesize
+task vqe_refine   duration=1h  after characterize
+task publish      duration=10m after vqe_refine if no_failures
+";
+
+#[test]
+fn dsl_workflow_crashes_checkpoints_and_resumes_across_sites() {
+    // Parse the campaign file.
+    let parsed = parse(CAMPAIGN).unwrap();
+    assert_eq!(parsed.name, "oxide-screening");
+
+    // First execution: synthesis robot is broken (fail_prob=1.0, Abort).
+    let crashed = execute(&parsed.workflow, 8, FaultPolicy::Abort, 5);
+    assert!(crashed.aborted && !crashed.completed);
+    let ckpt = Checkpoint::from_report(&crashed);
+
+    // The checkpoint travels to a standby coordinator at another site.
+    let json = serde_json::to_string(&ckpt).unwrap();
+    let restored: Checkpoint = serde_json::from_str(&json).unwrap();
+
+    // Robot repaired: same DAG, fixed spec.
+    let repaired = parse(&CAMPAIGN.replace("fail_prob=1.0 retries=0", "fail_prob=0.0")).unwrap();
+    let report = resume(&repaired.workflow, &restored, 8, FaultPolicy::Retry, 6).unwrap();
+    assert!(report.completed);
+    assert!(report
+        .statuses
+        .iter()
+        .all(|s| matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped)));
+    // Elapsed time accumulates both coordinators' runs.
+    assert!(report.makespan.as_secs_f64() >= crashed.makespan.as_secs_f64());
+}
+
+#[test]
+fn run_records_replicate_through_partition_and_heal() {
+    let mut sites = vec![
+        Replica::new("synthesis-lab"),
+        Replica::new("beamline"),
+        Replica::new("ai-hub"),
+    ];
+
+    // During the partition, each site records its own stage of the run.
+    sites[0].upsert_node("exp/oxide-1", NodeKind::Experiment);
+    sites[0].set_prop("exp/oxide-1", "stage", "synthesized");
+    sites[1].upsert_node("res/xrd-1", NodeKind::Result);
+    sites[1].set_prop("res/xrd-1", "purity", "0.93");
+    sites[2].upsert_node("hyp/gap-1", NodeKind::Hypothesis);
+
+    // Heal: gossip to convergence; then every site can link the record
+    // chain locally.
+    let rounds = gossip_to_convergence(&mut sites, 10).expect("converges");
+    assert!(rounds <= 3);
+    sites[1].link("exp/oxide-1", Relation::Produced, "res/xrd-1");
+    sites[1].link("res/xrd-1", Relation::Supports, "hyp/gap-1");
+    let rounds = gossip_to_convergence(&mut sites, 10).expect("converges");
+    assert!(rounds <= 3);
+    for pair in sites.windows(2) {
+        assert!(converged(&pair[0], &pair[1]));
+    }
+    // The full lineage is now queryable from the hub replica.
+    assert!(sites[2].graph().path_exists("exp/oxide-1", "hyp/gap-1"));
+    assert_eq!(sites[2].graph().support_score("hyp/gap-1"), 1);
+}
+
+#[test]
+fn quantum_refinement_result_lands_in_the_shared_graph() {
+    // The vqe_refine stage of the campaign: an interactive hybrid loop.
+    let hybrid = HybridLoop {
+        qpu: Qpu::nisq("hub-qpu"),
+        circuit: CircuitSpec {
+            qubits: 12,
+            depth: 6,
+            shots: 3000,
+        },
+        mode: AccessMode::Interactive,
+    };
+    let energy = |theta: f64| (0.5 * (theta - 0.9).powi(2) - 0.4).clamp(-1.0, 1.0);
+    let mut rng = SimRng::from_seed_u64(3);
+    let report = hybrid.minimize(energy, (0.0, 2.0), 120_000, &mut rng);
+    assert!((report.best_theta - 0.9).abs() < 0.3);
+    assert!(report.wall_time < SimDuration::from_hours(1));
+
+    // Record it like any other result; replicate to a second site.
+    let mut hub = Replica::new("ai-hub");
+    let mut lab = Replica::new("synthesis-lab");
+    hub.upsert_node("res/vqe-1", NodeKind::Result);
+    hub.set_prop("res/vqe-1", "theta", format!("{:.4}", report.best_theta));
+    hub.set_prop("res/vqe-1", "shots", report.shots_used.to_string());
+    evoflow::knowledge::sync::sync_pair(&mut hub, &mut lab);
+    assert!(converged(&hub, &lab));
+    assert!(lab.graph().node("res/vqe-1").unwrap().get("theta").is_some());
+}

@@ -1,0 +1,155 @@
+//! Integration: scientific intent → capability matching → SLA negotiation
+//! → validated semantic transport. The §5.2 pipeline end to end, across
+//! `evoflow-intent` and `evoflow-protocol`.
+
+use bytes::{Bytes, BytesMut};
+use evoflow::intent::{
+    compile, Comparator, GoalSpec, GoalTree, Hypothesis, NodeKind, ObjectiveSense, Verdict,
+};
+use evoflow::protocol::negotiation::issue;
+use evoflow::protocol::{
+    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer,
+    Conversation, ConversationState, Frame, FrameKind, Negotiator, Performative, Preferences,
+    Requirement, Strategy, ValueRange,
+};
+use std::collections::BTreeMap;
+
+fn goal() -> GoalSpec {
+    GoalSpec::builder("g-oxides", "wide-gap oxide search")
+        .objective("band_gap_eV", ObjectiveSense::Maximize)
+        .target(3.2)
+        .constraint("toxicity", Comparator::Le, 0.05, true)
+        .budget(300, 50_000, 504.0)
+        .success("band_gap_eV", Comparator::Ge, 3.0)
+        .build()
+}
+
+#[test]
+fn goal_gates_guard_a_simulated_campaign() {
+    let compiled = compile(&goal()).unwrap();
+    let mut metrics = BTreeMap::new();
+    metrics.insert("band_gap_eV".to_string(), 2.1);
+    metrics.insert("toxicity".to_string(), 0.01);
+    // Mid-campaign: within budget, no violation.
+    assert!(compiled.violated_gates(&metrics, 120, 9_000, 100.0).is_empty());
+    assert!(!compiled.target_reached(&metrics));
+    // A toxic candidate trips the hard gate even within budget.
+    metrics.insert("toxicity".to_string(), 0.5);
+    assert_eq!(
+        compiled.violated_gates(&metrics, 120, 9_000, 100.0),
+        vec!["g-oxides/bound/toxicity".to_string()]
+    );
+    // Exceeding the sample budget trips its gate.
+    metrics.insert("toxicity".to_string(), 0.01);
+    assert_eq!(
+        compiled.violated_gates(&metrics, 301, 9_000, 100.0),
+        vec!["g-oxides/samples".to_string()]
+    );
+}
+
+#[test]
+fn matched_facility_negotiates_and_transcript_stays_in_protocol() {
+    // Matchmaking.
+    let req = Requirement::new("synthesis")
+        .with_range("temperature", ValueRange::new(900.0, 1300.0, "K"))
+        .with_tag("oxide-capable");
+    let offers = vec![
+        CapabilityOffer::new("synthesis", "lab-a", 2.0)
+            .with_range("temperature", ValueRange::new(300.0, 1500.0, "K"))
+            .with_tag("oxide-capable"),
+        CapabilityOffer::new("synthesis", "lab-b", 1.0)
+            .with_range("temperature", ValueRange::new(300.0, 800.0, "K")) // too cold
+            .with_tag("oxide-capable"),
+    ];
+    let ranked = match_offers(&req, &offers);
+    assert_eq!(ranked.len(), 1);
+    let facility = &ranked[0].0.facility;
+    assert_eq!(facility, "lab-a");
+
+    // Negotiation.
+    let issues = vec![issue("fee", 1.0, 10.0), issue("samples_per_day", 5.0, 50.0)];
+    let fac = Negotiator::new(
+        facility.clone(),
+        Preferences::new(vec![1.0, -0.4], 0.25),
+        Strategy::Boulware { beta: 0.5 },
+    );
+    let planner = Negotiator::new(
+        "planner",
+        Preferences::new(vec![-1.0, 0.9], 0.25),
+        Strategy::Conceder { beta: 2.0 },
+    );
+    let outcome = negotiate(&planner, &fac, &issues, 40);
+    let contract = outcome.agreement.expect("agreement reachable");
+
+    // Replay the negotiation as speech acts and validate the protocol:
+    // alternating Propose/CounterPropose closed by AcceptProposal.
+    let mut convo = Conversation::new(9);
+    for (i, (who, _)) in outcome.transcript.iter().enumerate() {
+        let perf = if i == 0 {
+            Performative::Propose
+        } else {
+            Performative::CounterPropose
+        };
+        let other = if who == "planner" { facility.clone() } else { "planner".into() };
+        convo
+            .accept(AclMessage::new(perf, who, other, 9, "sla/1", "terms"))
+            .unwrap_or_else(|e| panic!("offer {i} out of protocol: {e}"));
+    }
+    let last_speaker = &outcome.transcript.last().unwrap().0;
+    let acceptor = if last_speaker == "planner" { facility.clone() } else { "planner".into() };
+    convo
+        .accept(AclMessage::new(
+            Performative::AcceptProposal,
+            acceptor,
+            last_speaker,
+            9,
+            "sla/1",
+            "done",
+        ))
+        .unwrap();
+    assert_eq!(convo.state(), ConversationState::Closed);
+
+    // Contract survives wire transport inside a checksummed frame.
+    let frame = Frame {
+        version: 2,
+        kind: FrameKind::Acl,
+        flags: 0,
+        conversation: 9,
+        payload: Bytes::from(serde_json::to_vec(&contract).unwrap()),
+    };
+    let mut buf = BytesMut::from(&encode_frame(&frame).unwrap()[..]);
+    let decoded = decode_frame(&mut buf).unwrap();
+    let back: evoflow::protocol::Contract = serde_json::from_slice(&decoded.payload).unwrap();
+    assert_eq!(back, contract);
+}
+
+#[test]
+fn hypothesis_lifecycle_from_goal_decomposition() {
+    // Decompose the campaign, then drive one hypothesis to a verdict with
+    // the kind of evidence the campaign loop produces.
+    let mut tree = GoalTree::new("find wide-gap oxide", NodeKind::And);
+    let hypothesize = tree.add_child(tree.root(), "form hypothesis", NodeKind::Leaf { effort: 1.0 });
+    let test = tree.add_child(tree.root(), "test hypothesis", NodeKind::Leaf { effort: 5.0 });
+    assert_eq!(tree.frontier(tree.root()), vec![hypothesize, test]);
+
+    let mut h = Hypothesis::new(
+        "h-ni-gap",
+        "Ni doping above 10% raises band gap beyond 3 eV",
+        evoflow::intent::hypothesis::Prediction {
+            metric: "band_gap_eV".into(),
+            comparator: Comparator::Ge,
+            value: 3.0,
+        },
+    )
+    .with_variable("ni_fraction", true);
+    assert!(h.is_falsifiable());
+    tree.set_progress(hypothesize, 1.0);
+
+    // Three refuting assays: the hypothesis dies, the goal does not.
+    for observed in [2.1, 2.3, 1.9] {
+        h.observe(observed, 1.0).unwrap();
+    }
+    assert_eq!(h.verdict(), Verdict::Refuted);
+    tree.set_progress(test, 1.0);
+    assert!(tree.complete(tree.root()));
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: the evolution matrix against the real
+//! subsystems — every cell's exemplar machinery exists and the classifier
+//! agrees with the taxonomy; agent compositions match the coordination
+//! layer's channel formulas.
+
+use evoflow::agents::{Agent, AveragingAgent, Ensemble, MapAgent, Pattern};
+use evoflow::coord::consensus::topology;
+use evoflow::core::{all_cells, classify, Cell, SystemDescriptor, TrajectoryPlanner};
+use evoflow::sm::IntelligenceLevel;
+
+#[test]
+fn matrix_is_complete_and_distinct() {
+    let cells = all_cells();
+    assert_eq!(cells.len(), 25);
+    let mut reps: Vec<&str> = cells.iter().map(|c| c.representative()).collect();
+    reps.sort_unstable();
+    reps.dedup();
+    assert_eq!(reps.len(), 25);
+}
+
+#[test]
+fn classifier_round_trips_the_whole_matrix() {
+    for cell in all_cells() {
+        let d = SystemDescriptor {
+            name: cell.representative().into(),
+            uses_feedback: cell.intelligence.rank() >= 1,
+            learns_from_history: cell.intelligence.rank() >= 2,
+            optimizes_cost: cell.intelligence.rank() >= 3,
+            self_modifies: cell.intelligence.rank() >= 4,
+            machine_count: if matches!(cell.composition, Pattern::Single) {
+                1
+            } else {
+                12
+            },
+            has_manager: matches!(cell.composition, Pattern::Hierarchical),
+            peer_communication: matches!(
+                cell.composition,
+                Pattern::Mesh | Pattern::Swarm { .. }
+            ),
+            local_neighborhoods_only: matches!(cell.composition, Pattern::Swarm { .. }),
+            linear_dataflow: matches!(cell.composition, Pattern::Pipeline),
+        };
+        let got = classify(&d);
+        assert_eq!(got.intelligence, cell.intelligence, "at {cell}");
+        assert_eq!(
+            got.composition.rank(),
+            cell.composition.rank(),
+            "at {cell}"
+        );
+    }
+}
+
+#[test]
+fn ensemble_channels_match_topology_formulas_at_scale() {
+    for n in [8usize, 64, 200] {
+        let mk = |pattern| {
+            let agents: Vec<Box<dyn Agent>> = (0..n)
+                .map(|i| {
+                    if matches!(pattern, Pattern::Mesh | Pattern::Swarm { .. }) {
+                        Box::new(AveragingAgent::new(format!("a{i}"), 0.0)) as Box<dyn Agent>
+                    } else {
+                        Box::new(MapAgent::new(format!("m{i}"), 1.0, 0.0)) as Box<dyn Agent>
+                    }
+                })
+                .collect();
+            Ensemble::new(agents, pattern, 0)
+        };
+        assert_eq!(
+            mk(Pattern::Pipeline).channel_count(),
+            topology::pipeline_channels(n as u64)
+        );
+        assert_eq!(
+            mk(Pattern::Hierarchical).channel_count(),
+            topology::hierarchical_channels(n as u64)
+        );
+        assert_eq!(
+            mk(Pattern::Mesh).channel_count(),
+            topology::mesh_channels(n as u64)
+        );
+        assert_eq!(
+            mk(Pattern::Swarm { k: 6 }).channel_count(),
+            topology::swarm_channels(n as u64, 6) / 2
+        );
+    }
+}
+
+#[test]
+fn trajectory_planner_reaches_any_target_cell() {
+    let planner = TrajectoryPlanner;
+    let start = Cell::new(IntelligenceLevel::Static, Pattern::Single);
+    for target in all_cells() {
+        if target.intelligence.rank() < start.intelligence.rank()
+            || target.composition.rank() < start.composition.rank()
+        {
+            continue;
+        }
+        let path = planner.plan(start, target);
+        assert_eq!(*path.first().expect("non-empty"), start);
+        assert_eq!(path.last().expect("non-empty").intelligence, target.intelligence);
+        assert_eq!(
+            path.last().expect("non-empty").composition.rank(),
+            target.composition.rank()
+        );
+        assert_eq!(path.len() - 1, start.distance(&target));
+        // Intelligence-first invariant: no composition step before the
+        // intelligence target is reached.
+        let mut seen_comp_step = false;
+        for w in path.windows(2) {
+            let comp_step = w[1].composition.rank() > w[0].composition.rank();
+            let intel_step = w[1].intelligence.rank() > w[0].intelligence.rank();
+            if comp_step {
+                seen_comp_step = true;
+            }
+            assert!(
+                !(intel_step && seen_comp_step),
+                "intelligence step after composition step in {path:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use evoflow::core::{run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace};
+use evoflow::coord::StateStore;
+use evoflow::sim::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded landscape + any matrix corner yields a well-formed
+    /// campaign report: non-negative counters, discoveries ≤ hits ≤
+    /// experiments, and peaks found never exceed latent peaks.
+    #[test]
+    fn campaign_reports_are_well_formed(
+        seed in 0u64..500,
+        peaks in 3usize..12,
+        frontier in any::<bool>(),
+    ) {
+        let space = MaterialsSpace::generate(3, peaks, seed);
+        let cell = if frontier {
+            Cell::autonomous_science()
+        } else {
+            Cell::traditional_wms()
+        };
+        let mut cfg = CampaignConfig::for_cell(cell, seed);
+        cfg.horizon = SimDuration::from_days(2);
+        cfg.coordination = Some(CoordinationMode::Autonomous);
+        let r = run_campaign(&space, &cfg);
+        prop_assert!(r.total_hits <= r.experiments);
+        prop_assert!(r.distinct_discoveries <= peaks);
+        prop_assert!((r.distinct_discoveries as u64) <= r.total_hits.max(1));
+        prop_assert!(r.decision_wait_hours >= 0.0);
+        prop_assert!(r.execution_hours > 0.0 || r.experiments == 0);
+        if let Some(t) = r.time_to_first_hours {
+            prop_assert!(t >= 0.0 && t <= r.sim_days * 24.0 + 48.0);
+        }
+    }
+
+    /// State stores converge regardless of merge order (associativity up
+    /// to LWW tie-breaking by site name).
+    #[test]
+    fn state_sync_order_independent(
+        writes in prop::collection::vec(("[a-c]{1}", "[a-z]{1,4}"), 1..12)
+    ) {
+        let sites = ["alpha", "beta", "gamma"];
+        let mut stores: Vec<StateStore> =
+            sites.iter().map(|s| StateStore::new(*s)).collect();
+        for (i, (key, value)) in writes.iter().enumerate() {
+            stores[i % 3].set(key.clone(), value.clone());
+        }
+        // Merge in two different orders.
+        let mut forward = stores[0].clone();
+        forward.merge(&stores[1]);
+        forward.merge(&stores[2]);
+        let mut backward = stores[2].clone();
+        backward.merge(&stores[1]);
+        backward.merge(&stores[0]);
+        for (key, _) in &writes {
+            prop_assert_eq!(forward.get(key), backward.get(key));
+        }
+    }
+
+    /// The materials landscape is a pure function of its seed.
+    #[test]
+    fn landscape_is_pure(seed in any::<u64>(), x in 0.0f64..1.0, y in 0.0f64..1.0) {
+        let a = MaterialsSpace::generate(2, 5, seed);
+        let b = MaterialsSpace::generate(2, 5, seed);
+        prop_assert_eq!(a.latent(&[x, y]).to_bits(), b.latent(&[x, y]).to_bits());
+    }
+}

@@ -1,0 +1,100 @@
+//! Serialization round-trips: the paper's reproducibility/provenance story
+//! requires that workflow definitions, campaign configs, and knowledge
+//! artifacts survive persistence byte-for-byte.
+
+use evoflow::core::{CampaignConfig, Cell, MaterialsSpace};
+use evoflow::knowledge::{KnowledgeGraph, NodeKind, Relation};
+use evoflow::sim::SimDuration;
+use evoflow::sm::dag::shapes;
+use evoflow::sm::Fsm;
+use evoflow::wms::TaskSpec;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn fsm_round_trips_and_behaves_identically() {
+    let m = shapes::fork_join(4).to_fsm(10_000).expect("small DAG");
+    let m2: Fsm = round_trip(&m);
+    assert_eq!(m, m2);
+    assert_eq!(m.reachable(), m2.reachable());
+    assert_eq!(m.is_live(), m2.is_live());
+}
+
+#[test]
+fn dag_round_trips() {
+    let d = shapes::layered(3, 3);
+    let d2: evoflow::sm::Dag = round_trip(&d);
+    assert_eq!(d.len(), d2.len());
+    assert_eq!(d.topo_order().unwrap(), d2.topo_order().unwrap());
+    assert_eq!(
+        d.critical_path_len().unwrap(),
+        d2.critical_path_len().unwrap()
+    );
+}
+
+#[test]
+fn task_specs_round_trip() {
+    let spec = TaskSpec::reliable("anneal", SimDuration::from_hours(2))
+        .with_fail_prob(0.1)
+        .with_jitter(0.3)
+        .with_workers(4);
+    let spec2: TaskSpec = round_trip(&spec);
+    assert_eq!(spec.duration, spec2.duration);
+    assert_eq!(spec.fail_prob, spec2.fail_prob);
+    assert_eq!(spec.workers, spec2.workers);
+}
+
+#[test]
+fn campaign_config_round_trips_and_reruns_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 9);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.coordination = Some(evoflow::core::CoordinationMode::Autonomous);
+    let cfg2: CampaignConfig = round_trip(&cfg);
+
+    let a = evoflow::core::run_campaign(&space, &cfg);
+    let b = evoflow::core::run_campaign(&space, &cfg2);
+    assert_eq!(a.experiments, b.experiments);
+    assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+}
+
+#[test]
+fn materials_space_round_trips_exactly() {
+    let s = MaterialsSpace::generate(4, 12, 777);
+    let s2: MaterialsSpace = round_trip(&s);
+    for probe in [[0.1, 0.2, 0.3, 0.4], [0.9, 0.8, 0.7, 0.6]] {
+        assert_eq!(s.latent(&probe).to_bits(), s2.latent(&probe).to_bits());
+    }
+    assert_eq!(s.peak_count(), s2.peak_count());
+}
+
+#[test]
+fn knowledge_graph_round_trips_with_properties() {
+    let mut g = KnowledgeGraph::new();
+    g.upsert_node("hyp/1", NodeKind::Hypothesis);
+    g.upsert_node("res/1", NodeKind::Result);
+    g.set_prop("res/1", "score", "0.93");
+    g.link("res/1", Relation::Supports, "hyp/1");
+    let g2: KnowledgeGraph = round_trip(&g);
+    assert_eq!(g2.node_count(), 2);
+    assert_eq!(g2.node("res/1").unwrap().get("score"), Some("0.93"));
+    assert_eq!(g2.support_score("hyp/1"), 1);
+}
+
+#[test]
+fn campaign_report_is_machine_readable() {
+    let space = MaterialsSpace::generate(3, 6, 3);
+    let mut cfg = CampaignConfig::for_cell(Cell::traditional_wms(), 3);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.coordination = Some(evoflow::core::CoordinationMode::Autonomous);
+    let report = evoflow::core::run_campaign(&space, &cfg);
+    let json = serde_json::to_value(&report).expect("reports serialize");
+    assert!(json.get("experiments").is_some());
+    assert!(json.get("discoveries_per_week").is_some());
+}

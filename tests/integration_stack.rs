@@ -1,0 +1,99 @@
+//! Cross-crate integration: runtime + federation + coordination + data
+//! layers wired together, and WMS baselines interoperating with the
+//! state-machine core.
+
+use evoflow::coord::{Causality, Message, StateStore};
+use evoflow::core::LabRuntime;
+use evoflow::knowledge::{agent_published, assess};
+use evoflow::sim::SimDuration;
+use evoflow::sm::dag::shapes;
+use evoflow::sm::verify_fsm;
+use evoflow::wms::{execute, FaultPolicy, TaskSpec, Workflow};
+
+#[test]
+fn lab_runtime_layers_interoperate() {
+    let mut rt = LabRuntime::standard(77);
+    assert_eq!(rt.smoke_cycle(), 6);
+
+    // Coordination layer serves the other layers.
+    let sub = rt.coordination.bus.subscribe("results");
+    rt.coordination
+        .bus
+        .publish(Message::text("results", "beamline", "peak at 2θ=31.8°"));
+    assert_eq!(sub.drain().len(), 1);
+
+    // Data layer accepts FAIR-gated publication.
+    let meta = agent_published("doi:10.0/evoflow-run", "campaign results", "prov/1");
+    assert!(assess(&meta).is_fair());
+}
+
+#[test]
+fn federation_discovers_negotiates_and_moves_data() {
+    let mut rt = LabRuntime::standard(3);
+    let providers = rt.federation.discover("simulation/dft");
+    assert!(!providers.is_empty());
+
+    let hs = rt
+        .federation
+        .handshake("autonomous-lab", "simulation/dft")
+        .expect("hpc reachable");
+    assert!(hs.authenticated);
+    assert_eq!(hs.to, "hpc-center");
+
+    let plan = rt
+        .federation
+        .transfer("autonomous-lab", "hpc-center", 25.0)
+        .expect("fabric connected");
+    assert!(plan.duration.as_secs_f64() > 0.0);
+    assert!(!plan.route.is_empty());
+}
+
+#[test]
+fn wms_workflows_verify_as_state_machines() {
+    // Every workflow the WMS runs has a formally verifiable machine —
+    // the §3.1 unification, end to end.
+    let dag = shapes::layered(3, 3);
+    let specs: Vec<TaskSpec> = (0..dag.len())
+        .map(|i| TaskSpec::reliable(format!("t{i}"), SimDuration::from_mins(20)))
+        .collect();
+    let wf = Workflow::new(dag.clone(), specs);
+    let run = execute(&wf, 4, FaultPolicy::Retry, 1);
+    assert!(run.completed);
+
+    let machine = dag.to_fsm(1_000_000).expect("frontier fits");
+    let v = verify_fsm(&machine, 1_000_000);
+    assert!(v.complete && v.goal_reachable && v.all_states_can_finish);
+}
+
+#[test]
+fn replicated_state_converges_across_sites() {
+    let mut hpc = StateStore::new("hpc");
+    let mut edge = StateStore::new("edge");
+    let mut hub = StateStore::new("hub");
+
+    hpc.set("campaign/phase", "simulation");
+    edge.set("sample/42", "annealed");
+    hub.set("model/surrogate", "v3");
+
+    // Gossip-style pairwise merges in arbitrary order.
+    edge.merge(&hpc);
+    hub.merge(&edge);
+    hpc.merge(&hub);
+    edge.merge(&hpc);
+
+    for store in [&hpc, &edge] {
+        assert_eq!(store.get("campaign/phase"), Some("simulation"));
+        assert_eq!(store.get("sample/42"), Some("annealed"));
+        assert_eq!(store.get("model/surrogate"), Some("v3"));
+    }
+    assert_ne!(hpc.causality(&edge), Causality::Concurrent);
+}
+
+#[test]
+fn intervention_loop_round_trips() {
+    let mut rt = LabRuntime::standard(5);
+    rt.human.request_intervention("Ω proposed rewriting the goal set");
+    assert_eq!(rt.inventory().iter().filter(|c| !c.healthy).count(), 0);
+    let resolved = rt.human.resolve_intervention().expect("queued");
+    assert!(resolved.contains("Ω"));
+}
