@@ -381,10 +381,7 @@ mod tests {
             let e = Ensemble::new(mappers(n), Pattern::Pipeline, 0);
             assert_eq!(e.channel_count(), topology::pipeline_channels(n as u64));
             let e = Ensemble::new(mappers(n), Pattern::Hierarchical, 0);
-            assert_eq!(
-                e.channel_count(),
-                topology::hierarchical_channels(n as u64)
-            );
+            assert_eq!(e.channel_count(), topology::hierarchical_channels(n as u64));
             let e = Ensemble::new(mappers(n), Pattern::Mesh, 0);
             assert_eq!(e.channel_count(), topology::mesh_channels(n as u64));
             let e = Ensemble::new(mappers(n), Pattern::Single, 0);
@@ -428,9 +425,7 @@ mod tests {
     fn mesh_message_cost_is_quadratic() {
         let n = 10;
         let agents: Vec<Box<dyn Agent>> = (0..n)
-            .map(|i| {
-                Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>
-            })
+            .map(|i| Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>)
             .collect();
         let mut e = Ensemble::new(agents, Pattern::Mesh, 0);
         e.run_round(&AgentMsg {
@@ -448,9 +443,7 @@ mod tests {
     fn swarm_converges_with_local_channels_only() {
         let n = 40;
         let agents: Vec<Box<dyn Agent>> = (0..n)
-            .map(|i| {
-                Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>
-            })
+            .map(|i| Box::new(AveragingAgent::new(format!("a{i}"), i as f64)) as Box<dyn Agent>)
             .collect();
         let mut e = Ensemble::new(agents, Pattern::Swarm { k: 4 }, 0);
         let nudge = AgentMsg {

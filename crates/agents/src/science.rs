@@ -25,7 +25,7 @@ pub struct Candidate {
     pub params: Vec<f64>,
     /// Generated rationale text.
     pub rationale: String,
-    /// Model confidence in [0,1].
+    /// Model confidence in \[0,1\].
     pub confidence: f64,
     /// Ground-truth hallucination flag (simulator-only; real systems
     /// don't get this — which is why the validation gate exists).
@@ -69,17 +69,25 @@ impl HypothesisAgent {
     /// best-known region with probability `1 - explore_ratio`, explore
     /// uniformly otherwise.
     pub fn propose(&mut self, evidence: &[Evidence], n: usize) -> Vec<Candidate> {
-        let anchor: Option<Vec<f64>> = evidence
+        let anchor = evidence
             .iter()
             .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
-            .map(|e| e.params.clone());
+            .map(|e| e.params.as_slice());
+        self.propose_anchored(anchor, n)
+    }
+
+    /// Propose `n` candidates around an already-selected anchor (the
+    /// caller's best visible evidence), without materialising an evidence
+    /// slice. This is the allocation-free path the campaign hot loop uses:
+    /// lanes keep their evidence in place and pass only a borrowed anchor.
+    pub fn propose_anchored(&mut self, anchor: Option<&[f64]>, n: usize) -> Vec<Candidate> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let explore = self.model.rng().chance(self.explore_ratio) || anchor.is_none();
             let (params, hallucinated) = if explore {
                 self.model.propose_point(self.dim, None)
             } else {
-                self.model.propose_point(self.dim, anchor.as_deref())
+                self.model.propose_point(self.dim, anchor)
             };
             let completion = self.model.complete(
                 "generate hypothesis for candidate",
@@ -304,10 +312,12 @@ impl LibrarianAgent {
         let res_key = format!("result/{id}");
 
         self.kg.upsert_node(&hyp_key, NodeKind::Hypothesis);
-        self.kg.set_prop(&hyp_key, "rationale", &candidate.rationale);
+        self.kg
+            .set_prop(&hyp_key, "rationale", &candidate.rationale);
         self.kg.upsert_node(&exp_key, NodeKind::Experiment);
         self.kg.upsert_node(&res_key, NodeKind::Result);
-        self.kg.set_prop(&res_key, "score", format!("{measured_score:.4}"));
+        self.kg
+            .set_prop(&res_key, "score", format!("{measured_score:.4}"));
         self.kg.link(&hyp_key, Relation::TestedBy, &exp_key);
         self.kg.link(&exp_key, Relation::Produced, &res_key);
         let rel = if measured_score >= success_threshold {
@@ -405,8 +415,7 @@ impl MetaOptimizerAgent {
         }
         let half = self.window_cap / 2;
         let early: f64 = self.window[..half].iter().sum::<f64>() / half as f64;
-        let late: f64 =
-            self.window[half..].iter().sum::<f64>() / (self.window.len() - half) as f64;
+        let late: f64 = self.window[half..].iter().sum::<f64>() / (self.window.len() - half) as f64;
 
         // Stall: late yield no better than early. Rewrite: first switch on
         // active learning, then push exploration up, then widen the batch.
@@ -507,12 +516,7 @@ mod tests {
         assert_eq!(cands.len(), 20);
         let mean_d: f64 = cands
             .iter()
-            .map(|c| {
-                c.params
-                    .iter()
-                    .map(|v| (v - 0.8).abs())
-                    .sum::<f64>()
-            })
+            .map(|c| c.params.iter().map(|v| (v - 0.8).abs()).sum::<f64>())
             .sum::<f64>()
             / 20.0;
         assert!(mean_d < 0.6, "mean distance to anchor {mean_d}");
@@ -548,7 +552,10 @@ mod tests {
         };
         assert!(matches!(
             d.design(&wrong_dim).unwrap_err(),
-            ValidationError::WrongDimension { expected: 2, got: 1 }
+            ValidationError::WrongDimension {
+                expected: 2,
+                got: 1
+            }
         ));
         assert_eq!(d.rejected(), 2);
     }
@@ -675,9 +682,6 @@ mod tests {
         };
         a.accept(4.0);
         assert_eq!(a.backlog_hours, 2.0);
-        assert_eq!(
-            a.bid("synthesis/thin-film", 2.0).unwrap().eta_hours,
-            3.0
-        );
+        assert_eq!(a.bid("synthesis/thin-film", 2.0).unwrap().eta_hours, 3.0);
     }
 }

@@ -63,5 +63,10 @@ fn bench_provenance_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_campaign, bench_replay, bench_provenance_overhead);
+criterion_group!(
+    benches,
+    bench_campaign,
+    bench_replay,
+    bench_provenance_overhead
+);
 criterion_main!(benches);

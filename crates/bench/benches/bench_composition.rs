@@ -32,7 +32,11 @@ fn bench_rounds(c: &mut Criterion) {
             BenchmarkId::new("round", format!("{pattern:?}")),
             &pattern,
             |b, &pattern| {
-                let size = if matches!(pattern, Pattern::Single) { 1 } else { n };
+                let size = if matches!(pattern, Pattern::Single) {
+                    1
+                } else {
+                    n
+                };
                 let mut e = Ensemble::new(agents_for(pattern, size), pattern, 1);
                 let input = AgentMsg::task(vec![1.0, 2.0]);
                 b.iter(|| black_box(e.run_round(&input)))

@@ -3,7 +3,9 @@
 //! Table 2 / §5.3 scaling stories.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use evoflow_coord::{elect_leader, gossip_consensus, run_quorum, Message, MessageBus, QuorumConfig};
+use evoflow_coord::{
+    elect_leader, gossip_consensus, run_quorum, Message, MessageBus, QuorumConfig,
+};
 use evoflow_sim::SimRng;
 use std::hint::black_box;
 
@@ -29,15 +31,7 @@ fn bench_consensus(c: &mut Criterion) {
     for n in [50u32, 500] {
         g.bench_with_input(BenchmarkId::new("quorum", n), &n, |b, &n| {
             let mut rng = SimRng::from_seed_u64(1);
-            b.iter(|| {
-                black_box(run_quorum(
-                    n,
-                    0.95,
-                    0.8,
-                    QuorumConfig::default(),
-                    &mut rng,
-                ))
-            })
+            b.iter(|| black_box(run_quorum(n, 0.95, 0.8, QuorumConfig::default(), &mut rng)))
         });
         g.bench_with_input(BenchmarkId::new("gossip_k8", n), &n, |b, &n| {
             let mut rng = SimRng::from_seed_u64(2);

@@ -25,7 +25,12 @@ fn bench_continuous(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = SimRng::from_seed_u64(2);
             let mut f = Rastrigin::new(3);
-            black_box(simulated_annealing(&mut f, 600, AnnealConfig::default(), &mut rng))
+            black_box(simulated_annealing(
+                &mut f,
+                600,
+                AnnealConfig::default(),
+                &mut rng,
+            ))
         })
     });
     g.bench_function("pso_20x30", |b| {

@@ -7,9 +7,8 @@ use bytes::{Bytes, BytesMut};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use evoflow_protocol::negotiation::issue;
 use evoflow_protocol::{
-    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer,
-    Conversation, Frame, FrameKind, Negotiator, Performative, Preferences, Requirement, Strategy,
-    ValueRange,
+    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer, Conversation,
+    Frame, FrameKind, Negotiator, Performative, Preferences, Requirement, Strategy, ValueRange,
 };
 use std::hint::black_box;
 
@@ -56,7 +55,14 @@ fn bench_acl(c: &mut Criterion) {
                 ))
                 .unwrap();
             convo
-                .accept(AclMessage::new(Performative::Agree, "b", "a", 1, "ont", "ok"))
+                .accept(AclMessage::new(
+                    Performative::Agree,
+                    "b",
+                    "a",
+                    1,
+                    "ont",
+                    "ok",
+                ))
                 .unwrap();
             convo
                 .accept(AclMessage::new(

@@ -71,9 +71,11 @@ fn bench_cogsim(c: &mut Criterion) {
     g.sample_size(30);
     g.bench_function("llm_agent_task_with_tool", |b| {
         let mut tools = ToolRegistry::new();
-        tools.register("simulate", "simulate the candidate material bandgap", |_| {
-            ToolOutput::ok_text("1.4eV")
-        });
+        tools.register(
+            "simulate",
+            "simulate the candidate material bandgap",
+            |_| ToolOutput::ok_text("1.4eV"),
+        );
         let mut agent = LlmAgent::new(
             "bench",
             CognitiveModel::new(ModelProfile::fast_llm(), 1),

@@ -73,5 +73,10 @@ fn bench_incremental_vs_cold(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_delta, bench_gossip, bench_incremental_vs_cold);
+criterion_group!(
+    benches,
+    bench_delta,
+    bench_gossip,
+    bench_incremental_vs_cold
+);
 criterion_main!(benches);

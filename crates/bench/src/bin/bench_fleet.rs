@@ -1,0 +1,133 @@
+//! **Fleet executor benchmark — parallel campaign throughput.**
+//!
+//! Runs the same M-campaign fleet at increasing thread counts and
+//! measures wall-clock speedup over the serial baseline, while asserting
+//! that every configuration produces the identical [`FleetReport`](evoflow_core::FleetReport)
+//! (determinism is not allowed to cost correctness, and parallelism is
+//! not allowed to cost determinism).
+//!
+//! Acceptance bar (ISSUE 1): ≥ 1.5× speedup at 8+ campaigns on a
+//! multi-core host.
+
+use evoflow_bench::{fmt, print_table, write_results};
+use evoflow_core::{run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace};
+use evoflow_sim::SimDuration;
+use evoflow_sm::IntelligenceLevel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    campaigns: usize,
+    wall_secs: f64,
+    speedup: f64,
+    experiments: u64,
+}
+
+fn build_fleet(campaigns: usize, threads: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(1234);
+    cfg.horizon = SimDuration::from_days(10);
+    cfg.threads = threads;
+    // Heterogeneous load: alternate light and heavy cells so the
+    // work-stealing queue has real imbalance to absorb.
+    let light = Cell::traditional_wms();
+    let heavy = Cell::autonomous_science();
+    let learn = Cell::new(IntelligenceLevel::Learning, evoflow_agents::Pattern::Mesh);
+    for i in 0..campaigns {
+        cfg.push_cell([light, heavy, learn][i % 3], 1);
+    }
+    cfg
+}
+
+fn main() {
+    let space = MaterialsSpace::generate(3, 8, 555);
+    let campaigns = 12usize;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("fleet benchmark: {campaigns} campaigns, host has {cores} cores");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline_secs = 0.0f64;
+    let mut baseline_json = String::new();
+    let thread_sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= cores.max(2))
+        .collect();
+
+    for &threads in &thread_sweep {
+        let cfg = build_fleet(campaigns, threads);
+        let (report, timing) = run_campaign_fleet_timed(&space, &cfg);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        if threads == 1 {
+            baseline_secs = timing.wall_clock.as_secs_f64();
+            baseline_json = json;
+        } else {
+            assert_eq!(
+                json, baseline_json,
+                "thread count changed the FleetReport — determinism broken"
+            );
+        }
+        rows.push(Row {
+            threads,
+            campaigns,
+            wall_secs: timing.wall_clock.as_secs_f64(),
+            speedup: baseline_secs / timing.wall_clock.as_secs_f64().max(1e-12),
+            experiments: report.total_experiments,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.3}", r.wall_secs),
+                format!("{}×", fmt(r.speedup)),
+                r.experiments.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fleet speedup, {campaigns} campaigns (identical reports asserted)"),
+        &["threads", "wall s", "speedup", "experiments"],
+        &table,
+    );
+
+    let best = rows
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let target_met = best >= 1.5 || cores < 2;
+    println!(
+        "\n  [{}] best speedup {}× (target ≥ 1.5× at 8+ campaigns{})",
+        if target_met { "PASS" } else { "FAIL" },
+        fmt(best),
+        if cores < 2 {
+            "; single-core host, target waived"
+        } else {
+            ""
+        }
+    );
+
+    #[derive(Serialize)]
+    struct Out {
+        cores: usize,
+        rows: Vec<Row>,
+        best_speedup: f64,
+    }
+    write_results(
+        "bench_fleet",
+        &Out {
+            cores,
+            rows,
+            best_speedup: best,
+        },
+    );
+
+    if !target_met {
+        // Non-zero exit so CI fails when the speedup bar regresses.
+        std::process::exit(1);
+    }
+}

@@ -7,12 +7,12 @@
 //! attribute the acceleration (working-hours gating vs decision effort vs
 //! hand-off overhead) — DESIGN.md §6.4.
 
+use evoflow_agents::Pattern;
 use evoflow_bench::{fmt, print_table, write_results};
 use evoflow_core::{run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace};
 use evoflow_facility::HumanModel;
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
-use evoflow_agents::Pattern;
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -40,9 +40,8 @@ fn run(label: &str, cell: Cell, coord: CoordinationMode, space: &MaterialsSpace)
         })
         .collect();
     let n = reports.len() as f64;
-    let mean = |f: &dyn Fn(&evoflow_core::CampaignReport) -> f64| {
-        reports.iter().map(f).sum::<f64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&evoflow_core::CampaignReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
     Config {
         label: label.to_string(),
         cell: cell.to_string(),

@@ -29,13 +29,13 @@ fn main() {
 
     // Human lab: one lane, batches of 2, decisions by an attentive
     // operator during working hours.
-    let mut human_cfg = CampaignConfig::for_cell(
-        Cell::new(IntelligenceLevel::Adaptive, Pattern::Single),
-        17,
-    );
+    let mut human_cfg =
+        CampaignConfig::for_cell(Cell::new(IntelligenceLevel::Adaptive, Pattern::Single), 17);
     human_cfg.horizon = SimDuration::from_days(17);
     human_cfg.batch_per_lane = 2;
-    human_cfg.coordination = Some(CoordinationMode::HumanGated(HumanModel::attentive_operator()));
+    human_cfg.coordination = Some(CoordinationMode::HumanGated(
+        HumanModel::attentive_operator(),
+    ));
     let human = run_campaign(&space, &human_cfg);
 
     // Autonomous lab: robotic swarm lanes, agent decisions, around the clock.

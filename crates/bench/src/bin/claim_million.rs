@@ -42,7 +42,11 @@ fn main() {
             (0..DIM).map(|_| rng.uniform()).collect()
         })
         .collect();
-    println!("candidate pool: {} points in {:.2}s", pool.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "candidate pool: {} points in {:.2}s",
+        pool.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     // Train the screening surrogate on a small seed set of measurements.
     let mut surrogate = RbfSurrogate::new(0.12);
@@ -111,7 +115,9 @@ fn main() {
 
     // Baseline: same expensive budget, uniformly random picks.
     let mut pick_rng = reg.stream("random-picks");
-    let random_idx: Vec<usize> = (0..EXPENSIVE_BUDGET).map(|_| pick_rng.below(TOTAL)).collect();
+    let random_idx: Vec<usize> = (0..EXPENSIVE_BUDGET)
+        .map(|_| pick_rng.below(TOTAL))
+        .collect();
     let (random_hits, random_distinct) = measure_set(&random_idx, "measure-random");
 
     let runs = vec![
@@ -147,7 +153,14 @@ fn main() {
         .collect();
     print_table(
         "Claim C3: one-million-candidate screening",
-        &["strategy", "screened", "measured", "hits", "distinct", "screen wall(s)"],
+        &[
+            "strategy",
+            "screened",
+            "measured",
+            "hits",
+            "distinct",
+            "screen wall(s)",
+        ],
         &rows,
     );
 

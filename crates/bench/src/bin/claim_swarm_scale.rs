@@ -10,7 +10,9 @@
 use evoflow_bench::{fmt, print_table, write_results};
 use evoflow_coord::consensus::topology;
 use evoflow_coord::{gossip_consensus, run_quorum, QuorumConfig};
-use evoflow_sim::SimRng;
+use evoflow_core::{run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace};
+use evoflow_sim::{SimDuration, SimRng};
+use evoflow_sm::IntelligenceLevel;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,6 +31,16 @@ struct KRow {
     channels: u64,
     rounds: u32,
     messages: u64,
+}
+
+#[derive(Serialize)]
+struct FleetRow {
+    k: usize,
+    campaigns: usize,
+    experiments: u64,
+    distinct: u64,
+    samples_per_day_mean: f64,
+    wall_secs: f64,
 }
 
 fn main() {
@@ -116,6 +128,58 @@ fn main() {
         &table,
     );
 
+    // End-to-end via the fleet executor: actual swarm *campaigns* at each
+    // neighborhood size, run in parallel through `run_campaign_fleet` so
+    // the topology claim is tied to delivered discovery throughput.
+    let space = MaterialsSpace::generate(3, 8, 606);
+    let mut fleet_rows = Vec::new();
+    for k in [2usize, 4, 8] {
+        let mut cfg = FleetConfig::new(k as u64 ^ 0xF1EE7);
+        cfg.horizon = SimDuration::from_days(5);
+        cfg.push_cell(
+            Cell::new(
+                IntelligenceLevel::Intelligent,
+                evoflow_agents::Pattern::Swarm { k },
+            ),
+            4,
+        );
+        let (report, timing) = run_campaign_fleet_timed(&space, &cfg);
+        let cell = &report.per_cell[0];
+        fleet_rows.push(FleetRow {
+            k,
+            campaigns: cell.campaigns,
+            experiments: cell.experiments,
+            distinct: cell.distinct_discoveries,
+            samples_per_day_mean: cell.samples_per_day.mean,
+            wall_secs: timing.wall_clock.as_secs_f64(),
+        });
+    }
+    let table: Vec<Vec<String>> = fleet_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.k.to_string(),
+                r.campaigns.to_string(),
+                r.experiments.to_string(),
+                r.distinct.to_string(),
+                fmt(r.samples_per_day_mean),
+                format!("{:.2}", r.wall_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Swarm campaigns through the fleet executor (4 campaigns per k)",
+        &[
+            "k",
+            "campaigns",
+            "experiments",
+            "distinct",
+            "samples/day",
+            "wall s",
+        ],
+        &table,
+    );
+
     let first = &rows[0];
     let last = rows.last().expect("rows");
     let mesh_growth = last.mesh_channels as f64 / first.mesh_channels as f64;
@@ -123,10 +187,20 @@ fn main() {
     let n_growth = last.n as f64 / first.n as f64;
     println!("\nHeadline (n: {} → {}):", first.n, last.n);
     println!("  mesh channels grew {}× (quadratic)", fmt(mesh_growth));
-    println!("  swarm channels grew {}× (linear, = n growth {})", fmt(swarm_growth), fmt(n_growth));
+    println!(
+        "  swarm channels grew {}× (linear, = n growth {})",
+        fmt(swarm_growth),
+        fmt(n_growth)
+    );
     let checks = [
-        ("swarm channel growth is linear in n", (swarm_growth - n_growth).abs() < 1.0),
-        ("mesh channel growth is ~quadratic", mesh_growth > n_growth * n_growth * 0.5),
+        (
+            "swarm channel growth is linear in n",
+            (swarm_growth - n_growth).abs() < 1.0,
+        ),
+        (
+            "mesh channel growth is ~quadratic",
+            mesh_growth > n_growth * n_growth * 0.5,
+        ),
         (
             "gossip rounds stay ~flat to n = 2000",
             rows.iter().map(|r| r.gossip_rounds).max().unwrap() <= 2 * rows[0].gossip_rounds.max(4),
@@ -144,12 +218,14 @@ fn main() {
     struct Out {
         scaling: Vec<ScaleRow>,
         k_ablation: Vec<KRow>,
+        fleet_campaigns: Vec<FleetRow>,
     }
     write_results(
         "claim_swarm_scale",
         &Out {
             scaling: rows,
             k_ablation: krows,
+            fleet_campaigns: fleet_rows,
         },
     );
 }

@@ -85,7 +85,14 @@ fn main() {
         .collect();
     print_table(
         "Claim C4: the §3.4 trajectory, one campaign per cell",
-        &["step", "cell", "disc/week", "samples/day", "best", "transition requirement"],
+        &[
+            "step",
+            "cell",
+            "disc/week",
+            "samples/day",
+            "best",
+            "transition requirement",
+        ],
         &rows,
     );
 
@@ -107,7 +114,11 @@ fn main() {
     let improved = last.discoveries_per_week > first.discoveries_per_week;
     println!(
         "  [{}] the prescribed path ends far above its start (evolution pays)",
-        if improved && monotone_end { "PASS" } else { "FAIL" }
+        if improved && monotone_end {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     write_results("claim_trajectory", &steps);

@@ -62,11 +62,16 @@ fn main() {
         .collect();
     print_table(
         "C5a: frontier state-space growth (fork-join DAGs)",
-        &["parallel width", "workflow tasks", "frontier states", "verify µs"],
+        &[
+            "parallel width",
+            "workflow tasks",
+            "frontier states",
+            "verify µs",
+        ],
         &rows,
     );
-    let ratio = growth.last().expect("rows").frontier_states as f64
-        / growth[0].frontier_states as f64;
+    let ratio =
+        growth.last().expect("rows").frontier_states as f64 / growth[0].frontier_states as f64;
     println!(
         "  tasks grew {}×, verification state space grew {}×",
         fmt(growth.last().unwrap().dag_tasks as f64 / growth[0].dag_tasks as f64),
@@ -105,14 +110,26 @@ fn main() {
         .collect();
     print_table(
         "C5b: behaviour-space verification per intelligence level",
-        &["level", "behaviour space", "budget", "units spent", "verified"],
+        &[
+            "level",
+            "behaviour space",
+            "budget",
+            "units spent",
+            "verified",
+        ],
         &rows,
     );
 
     let checks = [
-        ("Static & Adaptive verify within budget", levels[0].verified && levels[1].verified),
+        (
+            "Static & Adaptive verify within budget",
+            levels[0].verified && levels[1].verified,
+        ),
         ("Learning exceeds a 10M-unit budget", !levels[2].verified),
-        ("Ω is unbounded (undecidable proxy)", levels[4].space == "unbounded" && !levels[4].verified),
+        (
+            "Ω is unbounded (undecidable proxy)",
+            levels[4].space == "unbounded" && !levels[4].verified,
+        ),
         ("frontier growth is super-linear", ratio > 100.0),
     ];
     println!();

@@ -99,12 +99,16 @@ fn main() {
     // (d) LLM agent with tools (routine execution).
     {
         let mut tools = ToolRegistry::new();
-        tools.register("query_status", "query instrument status for the sample", |_| {
-            ToolOutput::ok_text("instrument nominal")
-        });
-        tools.register("submit_scan", "submit characterization scan of the sample", |_| {
-            ToolOutput::ok_text("scan queued")
-        });
+        tools.register(
+            "query_status",
+            "query instrument status for the sample",
+            |_| ToolOutput::ok_text("instrument nominal"),
+        );
+        tools.register(
+            "submit_scan",
+            "submit characterization scan of the sample",
+            |_| ToolOutput::ok_text("scan queued"),
+        );
         let mut agent = LlmAgent::new(
             "routine-agent",
             CognitiveModel::new(ModelProfile::fast_llm(), 7),
@@ -131,17 +135,24 @@ fn main() {
         tools.register("simulate", "simulate candidate material bandgap", |_| {
             ToolOutput::ok_text("1.35 eV")
         });
-        tools.register("characterize", "characterize sample spectrum at beamline", |_| {
-            ToolOutput::ok_text("spectrum captured")
-        });
+        tools.register(
+            "characterize",
+            "characterize sample spectrum at beamline",
+            |_| ToolOutput::ok_text("spectrum captured"),
+        );
         let mut profile = ModelProfile::reasoning_lrm();
         profile.hallucination_rate = 0.0;
         let mut agent = LrmAgent::new("planner", CognitiveModel::new(profile, 9), tools);
-        let report = agent.pursue("simulate the bandgap then characterize the sample spectrum at the beamline");
+        let report = agent
+            .pursue("simulate the bandgap then characterize the sample spectrum at the beamline");
         rows.push(Row {
             machine: "(e) LRM agent + plan".into(),
             formalism: "M' = Ω(M, C, G) with memory + plan + knowledge".into(),
-            states: format!("{} plan steps, {} memories", report.plan.steps.len(), agent.memory.len()),
+            states: format!(
+                "{} plan steps, {} memories",
+                report.plan.steps.len(),
+                agent.memory.len()
+            ),
             steps: agent.model.calls(),
             outcome: format!("plan success={}", report.success),
         });
@@ -161,7 +172,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 1: five autonomy classes behind one state-machine loop",
-        &["machine", "transition function", "state", "loop steps", "outcome"],
+        &[
+            "machine",
+            "transition function",
+            "state",
+            "loop steps",
+            "outcome",
+        ],
         &table_rows,
     );
 

@@ -71,13 +71,16 @@ fn main() {
     );
 
     // Human-on-the-loop demonstration: an agent escalates, a human resolves.
-    rt.human.request_intervention("agent approaching decision boundary: sample budget 5%");
+    rt.human
+        .request_intervention("agent approaching decision boundary: sample budget 5%");
     let resolved = rt.human.resolve_intervention();
     println!("  intervention resolved: {resolved:?}");
 
     let ok = layers_touched == 6 && inventory.iter().all(|c| c.healthy);
-    println!("\n[{}] all six layers assembled, healthy, and interoperating",
-        if ok { "PASS" } else { "FAIL" });
+    println!(
+        "\n[{}] all six layers assembled, healthy, and interoperating",
+        if ok { "PASS" } else { "FAIL" }
+    );
 
     write_results("fig2_layers", &summary);
 }

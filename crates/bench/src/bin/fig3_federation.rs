@@ -82,12 +82,14 @@ fn main() {
     // Data-fabric transfers (Globus-style, §5.2) at multimodal sizes.
     let mut transfers = Vec::new();
     for (from, to, gb) in [
-        ("autonomous-lab", "ai-hub", 2.0),      // edge sensor burst
-        ("lightsource", "hpc-center", 500.0),   // detector frames
-        ("hpc-center", "ai-hub", 1_000.0),      // simulation output to hub
-        ("cloud-east", "autonomous-lab", 0.1),  // steering command
+        ("autonomous-lab", "ai-hub", 2.0),     // edge sensor burst
+        ("lightsource", "hpc-center", 500.0),  // detector frames
+        ("hpc-center", "ai-hub", 1_000.0),     // simulation output to hub
+        ("cloud-east", "autonomous-lab", 0.1), // steering command
     ] {
-        let plan = fed.transfer(from, to, gb).expect("standard fabric connected");
+        let plan = fed
+            .transfer(from, to, gb)
+            .expect("standard fabric connected");
         transfers.push(TransferRow {
             from: from.into(),
             to: to.into(),
@@ -117,10 +119,15 @@ fn main() {
     );
 
     // Shape check: hub line (400 Gbps) beats WAN for bulk movement.
-    let hub = transfers.iter().find(|t| t.to == "ai-hub" && t.from == "hpc-center").expect("row");
+    let hub = transfers
+        .iter()
+        .find(|t| t.to == "ai-hub" && t.from == "hpc-center")
+        .expect("row");
     let ok = all_auth && hub.bottleneck_gbps >= 400.0;
-    println!("\n[{}] federation deployed: discovery + auth + fabric operational",
-        if ok { "PASS" } else { "FAIL" });
+    println!(
+        "\n[{}] federation deployed: discovery + auth + fabric operational",
+        if ok { "PASS" } else { "FAIL" }
+    );
 
     write_results("fig3_federation", &transfers);
 }

@@ -20,14 +20,27 @@ fn main() {
 
     let rows = vec![
         vec!["cell".into(), report.cell_label.clone()],
-        vec!["campaign length".into(), format!("{} simulated days", fmt(report.sim_days))],
-        vec!["experiments executed".into(), report.experiments.to_string()],
+        vec![
+            "campaign length".into(),
+            format!("{} simulated days", fmt(report.sim_days)),
+        ],
+        vec![
+            "experiments executed".into(),
+            report.experiments.to_string(),
+        ],
         vec!["samples / day".into(), fmt(report.samples_per_day)],
         vec![
             "distinct materials discovered".into(),
-            format!("{} (of {} latent peaks)", report.distinct_discoveries, space.peak_count()),
+            format!(
+                "{} (of {} latent peaks)",
+                report.distinct_discoveries,
+                space.peak_count()
+            ),
         ],
-        vec!["total above-threshold hits".into(), report.total_hits.to_string()],
+        vec![
+            "total above-threshold hits".into(),
+            report.total_hits.to_string(),
+        ],
         vec![
             "time to first discovery".into(),
             report
@@ -36,12 +49,27 @@ fn main() {
                 .unwrap_or_else(|| "none".into()),
         ],
         vec!["best measured score".into(), fmt(report.best_score)],
-        vec!["decision wait (all lanes)".into(), format!("{} h", fmt(report.decision_wait_hours))],
-        vec!["execution time (all lanes)".into(), format!("{} h", fmt(report.execution_hours))],
-        vec!["hallucinated proposals rejected".into(), report.rejected_proposals.to_string()],
-        vec!["Ω strategy rewrites".into(), report.omega_rewrites.to_string()],
+        vec![
+            "decision wait (all lanes)".into(),
+            format!("{} h", fmt(report.decision_wait_hours)),
+        ],
+        vec![
+            "execution time (all lanes)".into(),
+            format!("{} h", fmt(report.execution_hours)),
+        ],
+        vec![
+            "hallucinated proposals rejected".into(),
+            report.rejected_proposals.to_string(),
+        ],
+        vec![
+            "Ω strategy rewrites".into(),
+            report.omega_rewrites.to_string(),
+        ],
         vec!["knowledge-graph nodes".into(), report.kg_nodes.to_string()],
-        vec!["provenance activities".into(), report.prov_activities.to_string()],
+        vec![
+            "provenance activities".into(),
+            report.prov_activities.to_string(),
+        ],
         vec!["inference tokens".into(), report.tokens.to_string()],
     ];
     print_table(
@@ -51,11 +79,16 @@ fn main() {
     );
 
     let checks = [
-        ("loop ran autonomously (decision wait ≪ execution)",
-            report.decision_wait_hours < 0.1 * report.execution_hours),
+        (
+            "loop ran autonomously (decision wait ≪ execution)",
+            report.decision_wait_hours < 0.1 * report.execution_hours,
+        ),
         ("discoveries were made", report.distinct_discoveries > 0),
         ("knowledge graph populated", report.kg_nodes > 0),
-        ("provenance captured AI reasoning", report.prov_activities > 0),
+        (
+            "provenance captured AI reasoning",
+            report.prov_activities > 0,
+        ),
         ("validation gate exercised", report.rejected_proposals > 0),
     ];
     println!();

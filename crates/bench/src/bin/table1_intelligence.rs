@@ -57,8 +57,7 @@ fn evaluate(level: IntelligenceLevel, scenario: Scenario) -> CellResult {
         mean_abs_err: runs.iter().map(|r| r.mean_abs_error).sum::<f64>() / n,
         recoveries: runs.iter().map(|r| r.recoveries as f64).sum::<f64>() / n,
         crash_rate: runs.iter().filter(|r| r.crashed).count() as f64 / n,
-        cost_per_step: runs.iter().map(|r| r.cost_units as f64).sum::<f64>()
-            / (n * HORIZON as f64),
+        cost_per_step: runs.iter().map(|r| r.cost_units as f64).sum::<f64>() / (n * HORIZON as f64),
     }
 }
 
@@ -124,16 +123,13 @@ fn main() {
             "Intelligent > Optimizing under regime shift",
             get("Intelligent", "regime").in_band > get("Optimizing", "regime").in_band,
         ),
-        (
-            "decision cost strictly increases with level",
-            {
-                let costs: Vec<f64> = IntelligenceLevel::ALL
-                    .iter()
-                    .map(|l| get(&l.to_string(), "stable").cost_per_step)
-                    .collect();
-                costs.windows(2).all(|w| w[0] < w[1])
-            },
-        ),
+        ("decision cost strictly increases with level", {
+            let costs: Vec<f64> = IntelligenceLevel::ALL
+                .iter()
+                .map(|l| get(&l.to_string(), "stable").cost_per_step)
+                .collect();
+            costs.windows(2).all(|w| w[0] < w[1])
+        }),
     ];
     for (name, ok) in checks {
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });

@@ -93,22 +93,19 @@ fn main() {
         ("pipeline channels = n-1 (O(n))", pipe == n - 1),
         ("hierarchical channels = n-1 (O(n))", hier == n - 1),
         ("mesh channels = n(n-1)/2 (O(n²))", mesh == n * (n - 1) / 2),
-        ("swarm channels = n·k/2 (O(k) per member)", swarm == n * k as u64 / 2),
         (
-            "mesh/swarm channel ratio ≈ (n-1)/k",
-            {
-                let ratio = mesh as f64 / swarm as f64;
-                (ratio - (n as f64 - 1.0) / k as f64).abs() < 1.0
-            },
+            "swarm channels = n·k/2 (O(k) per member)",
+            swarm == n * k as u64 / 2,
         ),
-        (
-            "swarm channels/member constant across n",
-            {
-                let a = at(&format!("{:?}", Pattern::Swarm { k }), 64).channels_per_member;
-                let b = at(&format!("{:?}", Pattern::Swarm { k }), 512).channels_per_member;
-                (a - b).abs() < 1e-9
-            },
-        ),
+        ("mesh/swarm channel ratio ≈ (n-1)/k", {
+            let ratio = mesh as f64 / swarm as f64;
+            (ratio - (n as f64 - 1.0) / k as f64).abs() < 1.0
+        }),
+        ("swarm channels/member constant across n", {
+            let a = at(&format!("{:?}", Pattern::Swarm { k }), 64).channels_per_member;
+            let b = at(&format!("{:?}", Pattern::Swarm { k }), 512).channels_per_member;
+            (a - b).abs() < 1e-9
+        }),
     ];
     for (name, ok) in checks {
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });

@@ -5,10 +5,12 @@
 //! classifier on that description, and verify it lands in the intended
 //! cell. Prints the populated matrix with each exemplar's measured outcome.
 
-use evoflow_agents::{AveragingAgent, Agent, AgentMsg, Ensemble, MapAgent, Pattern};
+use evoflow_agents::{Agent, AgentMsg, AveragingAgent, Ensemble, MapAgent, Pattern};
 use evoflow_bench::{print_table, write_results};
 use evoflow_cogsim::{CognitiveModel, LlmAgent, LrmAgent, ModelProfile, ToolOutput, ToolRegistry};
-use evoflow_core::{classify, run_campaign, CampaignConfig, Cell, MaterialsSpace, SystemDescriptor};
+use evoflow_core::{
+    classify, run_campaign, CampaignConfig, Cell, MaterialsSpace, SystemDescriptor,
+};
 use evoflow_facility::BatchScheduler;
 use evoflow_learn::{
     ant_system, pso, simulated_annealing, successive_halving, AcoConfig, AnnealConfig, Corridor,
@@ -58,17 +60,29 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
             format!("handler recovered {}×", r.recoveries)
         }
         (Pattern::Single, I::Learning) => {
-            let mut q = QLearner::new(8, 2, QConfig { epsilon: 1.0, epsilon_decay: 0.985, epsilon_min: 0.05, ..QConfig::default() });
+            let mut q = QLearner::new(
+                8,
+                2,
+                QConfig {
+                    epsilon: 1.0,
+                    epsilon_decay: 0.985,
+                    epsilon_min: 0.05,
+                    ..QConfig::default()
+                },
+            );
             let steps = evoflow_learn::train_corridor(&mut q, &mut Corridor::new(8), 250, &mut rng);
             format!("ML model: {steps:.1} steps/ep (opt 7)")
         }
         (Pattern::Single, I::Optimizing) => {
-            let r = simulated_annealing(&mut Sphere::new(3), 800, AnnealConfig::default(), &mut rng);
+            let r =
+                simulated_annealing(&mut Sphere::new(3), 800, AnnealConfig::default(), &mut rng);
             format!("optimizer: J={:.4}", r.best_y)
         }
         (Pattern::Single, I::Intelligent) => {
             let mut tools = ToolRegistry::new();
-            tools.register("lookup", "lookup material properties in database", |_| ToolOutput::ok_text("found"));
+            tools.register("lookup", "lookup material properties in database", |_| {
+                ToolOutput::ok_text("found")
+            });
             let mut p = ModelProfile::reasoning_lrm();
             p.hallucination_rate = 0.0;
             let mut a = LrmAgent::new("solo", CognitiveModel::new(p, 3), tools);
@@ -85,7 +99,10 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
             let mut wf = Workflow::pipeline(5, SimDuration::from_hours(1));
             wf.specs[2] = wf.specs[2].clone().with_fail_prob(0.4);
             let r = execute(&wf, 2, FaultPolicy::Retry, 1);
-            format!("conditional DAG done={} ({} attempts)", r.completed, r.attempts)
+            format!(
+                "conditional DAG done={} ({} attempts)",
+                r.completed, r.attempts
+            )
         }
         (Pattern::Pipeline, I::Learning) => {
             // Featurize → fit → predict staged pipeline over a surrogate.
@@ -98,22 +115,29 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
             format!("ML pipeline: pred@opt {pred:.3}")
         }
         (Pattern::Pipeline, I::Optimizing) => {
-            let (winner, evals) = successive_halving(8, 4, |c, f| {
-                (8 - c) as f64 + 2.0 / f as f64
-            });
+            let (winner, evals) = successive_halving(8, 4, |c, f| (8 - c) as f64 + 2.0 / f as f64);
             format!("AutoML: winner #{winner} in {evals} eval-units")
         }
         (Pattern::Pipeline, I::Intelligent) => {
             let mk = |seed| {
                 let mut t = ToolRegistry::new();
-                t.register("stage", "process the staged science request", |_| ToolOutput::ok_text("done"));
-                LlmAgent::new(format!("chain{seed}"), CognitiveModel::new(ModelProfile::fast_llm(), seed), t)
+                t.register("stage", "process the staged science request", |_| {
+                    ToolOutput::ok_text("done")
+                });
+                LlmAgent::new(
+                    format!("chain{seed}"),
+                    CognitiveModel::new(ModelProfile::fast_llm(), seed),
+                    t,
+                )
             };
             let mut a = mk(1);
             let mut b = mk(2);
             let first = a.execute_task("process the staged science request");
             let second = b.execute_task(&first.text);
-            format!("agent chain: {} tool calls", first.tool_calls.len() + second.tool_calls.len())
+            format!(
+                "agent chain: {} tool calls",
+                first.tool_calls.len() + second.tool_calls.len()
+            )
         }
         // ---- Hierarchical --------------------------------------------------
         (Pattern::Hierarchical, I::Static) => {
@@ -130,7 +154,10 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
             s.submit(10, SimDuration::from_hours(2), SimTime::ZERO);
             s.submit(4, SimDuration::from_hours(3), SimTime::ZERO);
             s.advance_to(SimTime::from_secs(1));
-            format!("dynamic allocation: {} running via backfill", s.running_len())
+            format!(
+                "dynamic allocation: {} running via backfill",
+                s.running_len()
+            )
         }
         (Pattern::Hierarchical, I::Learning) => {
             // Ensemble: manager averages 3 learners' value estimates.
@@ -139,9 +166,8 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
             format!("ensemble of 3: mean pred {mean:.2}")
         }
         (Pattern::Hierarchical, I::Optimizing) => {
-            let (w, evals) = successive_halving(16, 2, |c, f| {
-                (c as f64 - 11.0).abs() + 3.0 / f as f64
-            });
+            let (w, evals) =
+                successive_halving(16, 2, |c, f| (c as f64 - 11.0).abs() + 3.0 / f as f64);
             format!("hyper-opt: config #{w} after {evals} units")
         }
         (Pattern::Hierarchical, I::Intelligent) => {
@@ -150,7 +176,11 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
                 .collect();
             let mut e = Ensemble::new(agents, Pattern::Hierarchical, 5);
             let out = e.run_round(&AgentMsg::task(vec![1.0]));
-            format!("hier multi-agent: {} outputs, {} msgs", out.len(), e.stats().messages)
+            format!(
+                "hier multi-agent: {} outputs, {} msgs",
+                out.len(),
+                e.stats().messages
+            )
         }
         // ---- Mesh ----------------------------------------------------------
         (Pattern::Mesh, I::Static) => {
@@ -162,10 +192,19 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
         }
         (Pattern::Mesh, I::Adaptive) => {
             let agents: Vec<Box<dyn Agent>> = (0..8)
-                .map(|i| Box::new(AveragingAgent::new(format!("lb{i}"), (i * 10) as f64)) as Box<dyn Agent>)
+                .map(|i| {
+                    Box::new(AveragingAgent::new(format!("lb{i}"), (i * 10) as f64))
+                        as Box<dyn Agent>
+                })
                 .collect();
             let mut e = Ensemble::new(agents, Pattern::Mesh, 2);
-            let probe = AgentMsg { from: "env".into(), to: evoflow_agents::Route::Neighbors, kind: "noop".into(), values: vec![], text: String::new() };
+            let probe = AgentMsg {
+                from: "env".into(),
+                to: evoflow_agents::Route::Neighbors,
+                kind: "noop".into(),
+                values: vec![],
+                text: String::new(),
+            };
             for _ in 0..10 {
                 e.run_round(&probe);
             }
@@ -198,18 +237,31 @@ fn run_exemplar(level: IntelligenceLevel, pattern: Pattern) -> String {
         (Pattern::Swarm { .. }, I::Static) => {
             let grid = ParameterGrid::new().axis("T", vec![1.0, 2.0, 3.0, 4.0]);
             let rep = run_sweep(&grid, SimDuration::from_hours(1), 1, 9);
-            format!("parameter sweep: {} runs, {:.0}% done", rep.runs.len(), rep.completion_rate() * 100.0)
+            format!(
+                "parameter sweep: {} runs, {:.0}% done",
+                rep.runs.len(),
+                rep.completion_rate() * 100.0
+            )
         }
         (Pattern::Swarm { .. }, I::Adaptive) => {
             let space = MaterialsSpace::generate(3, 8, 6);
-            let mut cfg = CampaignConfig::for_cell(Cell::new(I::Adaptive, Pattern::Swarm { k: 4 }), 6);
+            let mut cfg =
+                CampaignConfig::for_cell(Cell::new(I::Adaptive, Pattern::Swarm { k: 4 }), 6);
             cfg.horizon = SimDuration::from_days(2);
             cfg.coordination = Some(evoflow_core::CoordinationMode::Autonomous);
             let r = run_campaign(&space, &cfg);
             format!("adaptive sampling: {} hits", r.total_hits)
         }
         (Pattern::Swarm { .. }, I::Learning) => {
-            let (r, _) = pso(&mut Sphere::new(3), 40, PsoConfig { topology: Topology::Ring { k: 4 }, ..PsoConfig::default() }, &mut rng);
+            let (r, _) = pso(
+                &mut Sphere::new(3),
+                40,
+                PsoConfig {
+                    topology: Topology::Ring { k: 4 },
+                    ..PsoConfig::default()
+                },
+                &mut rng,
+            );
             format!("PSO: J={:.4}", r.best_y)
         }
         (Pattern::Swarm { .. }, I::Optimizing) => {

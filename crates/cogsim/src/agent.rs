@@ -166,11 +166,7 @@ impl LlmAgent {
         let text = if tool_calls.is_empty() {
             answer.text.clone()
         } else {
-            format!(
-                "[{} tools consulted] {}",
-                tool_calls.len(),
-                answer.text
-            )
+            format!("[{} tools consulted] {}", tool_calls.len(), answer.text)
         };
         self.history.push(Turn {
             role: Role::Assistant,
@@ -251,11 +247,7 @@ mod tests {
         tools.register("broken", "run the broken simulation bandgap", |_| {
             ToolOutput::error("instrument offline")
         });
-        let mut a = LlmAgent::new(
-            "x",
-            CognitiveModel::new(ModelProfile::fast_llm(), 0),
-            tools,
-        );
+        let mut a = LlmAgent::new("x", CognitiveModel::new(ModelProfile::fast_llm(), 0), tools);
         let resp = a.execute_task("run the broken simulation bandgap");
         assert!(!resp.ok);
     }

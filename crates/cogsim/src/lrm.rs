@@ -55,9 +55,7 @@ pub struct Plan {
 impl Plan {
     /// Whether every step is resolved (done, failed, or skipped).
     pub fn is_complete(&self) -> bool {
-        self.steps
-            .iter()
-            .all(|s| s.status != StepStatus::Pending)
+        self.steps.iter().all(|s| s.status != StepStatus::Pending)
     }
 
     /// Count of steps with the given status.
@@ -191,29 +189,28 @@ impl LrmAgent {
         let mut idx = 0;
         while idx < plan.steps.len() {
             // A reasoning generation accompanies every step (LRMs "think").
-            let thought = self
-                .model
-                .complete(&plan.steps[idx].description, 64, crate::agent::SCIENCE_LEXICON);
+            let thought = self.model.complete(
+                &plan.steps[idx].description,
+                64,
+                crate::agent::SCIENCE_LEXICON,
+            );
             usage.add(thought.usage);
             latency += thought.latency;
 
             let step = &mut plan.steps[idx];
             step.attempts += 1;
             let succeeded = match &step.tool {
-                Some(tool) => {
-                    
-                    self
-                        .tools
-                        .invoke(
-                            tool,
-                            &ToolInput {
-                                query: plan.goal.clone(),
-                                args: vec![],
-                            },
-                        )
-                        .map(|o| o.ok)
-                        .unwrap_or(false)
-                }
+                Some(tool) => self
+                    .tools
+                    .invoke(
+                        tool,
+                        &ToolInput {
+                            query: plan.goal.clone(),
+                            args: vec![],
+                        },
+                    )
+                    .map(|o| o.ok)
+                    .unwrap_or(false),
                 // Reasoning-only steps succeed unless the generation
                 // hallucinated (the validation gate catches it).
                 None => !thought.hallucinated,
@@ -242,10 +239,8 @@ impl LrmAgent {
                     .filter(|s| s.status == StepStatus::Done || s.status == StepStatus::Failed)
                     .cloned()
                     .collect();
-                let done_tools: Vec<String> = merged
-                    .iter()
-                    .filter_map(|s| s.tool.clone())
-                    .collect();
+                let done_tools: Vec<String> =
+                    merged.iter().filter_map(|s| s.tool.clone()).collect();
                 for s in fresh.steps {
                     let duplicate = s
                         .tool
@@ -295,9 +290,11 @@ mod tests {
         t.register("simulate", "simulate candidate material bandgap", |_| {
             ToolOutput::ok_text("1.4eV")
         });
-        t.register("characterize", "characterize sample at the beamline", |_| {
-            ToolOutput::ok_text("spectrum ok")
-        });
+        t.register(
+            "characterize",
+            "characterize sample at the beamline",
+            |_| ToolOutput::ok_text("spectrum ok"),
+        );
         t
     }
 
@@ -332,14 +329,18 @@ mod tests {
     fn flaky_tool_triggers_retries_then_success() {
         let mut t = ToolRegistry::new();
         let mut failures = 2; // fail twice, then succeed
-        t.register("simulate", "simulate candidate material bandgap", move |_| {
-            if failures > 0 {
-                failures -= 1;
-                ToolOutput::error("transient")
-            } else {
-                ToolOutput::ok_text("ok")
-            }
-        });
+        t.register(
+            "simulate",
+            "simulate candidate material bandgap",
+            move |_| {
+                if failures > 0 {
+                    failures -= 1;
+                    ToolOutput::error("transient")
+                } else {
+                    ToolOutput::ok_text("ok")
+                }
+            },
+        );
         let mut a = LrmAgent::new("retry", no_hallucination_model(3), t);
         let report = a.pursue("simulate the candidate bandgap");
         assert!(report.success);
@@ -370,7 +371,10 @@ mod tests {
         let mut m = Memory::default();
         m.store("material:42", "bandgap 1.4eV stable perovskite");
         m.store("material:43", "unstable");
-        assert_eq!(m.recall("material:42").unwrap(), "bandgap 1.4eV stable perovskite");
+        assert_eq!(
+            m.recall("material:42").unwrap(),
+            "bandgap 1.4eV stable perovskite"
+        );
         assert_eq!(m.search("perovskite"), vec!["material:42"]);
         assert_eq!(m.len(), 2);
     }

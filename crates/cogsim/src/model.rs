@@ -311,7 +311,10 @@ mod tests {
         let mut m = CognitiveModel::new(profile, 4);
         let (p, h) = m.propose_point(3, None);
         assert!(h);
-        assert!(p.iter().any(|v| *v > 1.0), "hallucination stayed in bounds: {p:?}");
+        assert!(
+            p.iter().any(|v| *v > 1.0),
+            "hallucination stayed in bounds: {p:?}"
+        );
 
         let mut clean = ModelProfile::fast_llm();
         clean.hallucination_rate = 0.0;

@@ -186,11 +186,7 @@ impl ToolRegistry {
             .tools
             .values()
             .map(|t| {
-                let score = t
-                    .keywords
-                    .iter()
-                    .filter(|k| task_words.contains(k))
-                    .count();
+                let score = t.keywords.iter().filter(|k| task_words.contains(k)).count();
                 (t.name.as_str(), score)
             })
             .filter(|(_, s)| *s > 0)

@@ -1,9 +1,7 @@
 //! Property tests for the cognitive simulator: determinism, calibration,
 //! and accounting invariants that keep the LLM substitution honest.
 
-use evoflow_cogsim::{
-    CognitiveModel, LlmAgent, LrmAgent, ModelProfile, ToolOutput, ToolRegistry,
-};
+use evoflow_cogsim::{CognitiveModel, LlmAgent, LrmAgent, ModelProfile, ToolOutput, ToolRegistry};
 use proptest::prelude::*;
 
 fn profile(accuracy: f64, hallucination: f64) -> ModelProfile {

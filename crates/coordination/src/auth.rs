@@ -223,7 +223,10 @@ mod tests {
         let mut auth = Authority::new("a", 1);
         let mut t = auth.issue("x", scopes(&["s"]), 10);
         t.scopes.insert("admin".into());
-        assert_eq!(auth.verify(&t, None, 0).unwrap_err(), AuthError::BadSignature);
+        assert_eq!(
+            auth.verify(&t, None, 0).unwrap_err(),
+            AuthError::BadSignature
+        );
     }
 
     #[test]
@@ -256,9 +259,17 @@ mod tests {
     fn revocation_cascades_to_children() {
         let mut auth = Authority::new("a", 7);
         let parent = auth.issue("planner", scopes(&["s"]), 100);
-        let child = auth.delegate(&parent, "worker", scopes(&["s"]), 100, 0).unwrap();
+        let child = auth
+            .delegate(&parent, "worker", scopes(&["s"]), 100, 0)
+            .unwrap();
         auth.revoke(parent.id);
-        assert_eq!(auth.verify(&parent, None, 0).unwrap_err(), AuthError::Revoked);
-        assert_eq!(auth.verify(&child, None, 0).unwrap_err(), AuthError::Revoked);
+        assert_eq!(
+            auth.verify(&parent, None, 0).unwrap_err(),
+            AuthError::Revoked
+        );
+        assert_eq!(
+            auth.verify(&child, None, 0).unwrap_err(),
+            AuthError::Revoked
+        );
     }
 }

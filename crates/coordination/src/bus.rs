@@ -116,7 +116,8 @@ impl MessageBus {
                 }
             });
         }
-        self.delivered.fetch_add(delivered as u64, Ordering::Relaxed);
+        self.delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
         delivered
     }
 

@@ -127,7 +127,11 @@ impl ServiceRegistry {
                 } else {
                     d.capabilities.iter().any(|c| c == &q.capability)
                 };
-                let fac_ok = q.facility.as_deref().map(|f| d.facility == f).unwrap_or(true);
+                let fac_ok = q
+                    .facility
+                    .as_deref()
+                    .map(|f| d.facility == f)
+                    .unwrap_or(true);
                 let attr_ok = q
                     .attributes
                     .iter()
@@ -177,7 +181,10 @@ mod tests {
         ServiceDescriptor {
             name: "beamline-2".into(),
             facility: "lightsource".into(),
-            capabilities: vec!["characterization/xrd".into(), "characterization/saxs".into()],
+            capabilities: vec![
+                "characterization/xrd".into(),
+                "characterization/saxs".into(),
+            ],
             attributes: BTreeMap::from([("resolution".to_string(), "0.1nm".to_string())]),
             endpoint: "fed://lightsource/beamline-2".into(),
         }
@@ -201,7 +208,9 @@ mod tests {
         let hits = r.discover(&Query::capability("characterization/xrd"), 1);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].name, "beamline-2");
-        assert!(r.discover(&Query::capability("quantum/annealing"), 1).is_empty());
+        assert!(r
+            .discover(&Query::capability("quantum/annealing"), 1)
+            .is_empty());
     }
 
     #[test]

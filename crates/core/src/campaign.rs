@@ -28,7 +28,7 @@ use evoflow_facility::HumanModel;
 use evoflow_sim::{RngRegistry, SimDuration, SimTime};
 use evoflow_sm::IntelligenceLevel;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Who closes the decision loop.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -102,7 +102,7 @@ impl CampaignConfig {
 }
 
 /// Outcome of one campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Cell the campaign ran at.
     pub cell_label: String,
@@ -140,11 +140,7 @@ pub struct CampaignReport {
 
 /// Per-candidate execution time: synthesis + characterization, with
 /// pipeline overlap when the composition is a pipeline (stages stream).
-fn execution_time(
-    pattern: Pattern,
-    batch: usize,
-    rng: &mut evoflow_sim::SimRng,
-) -> SimDuration {
+fn execution_time(pattern: Pattern, batch: usize, rng: &mut evoflow_sim::SimRng) -> SimDuration {
     let synth_h = 0.5;
     let char_h = 0.17;
     let jitter = |rng: &mut evoflow_sim::SimRng| 0.85 + 0.3 * rng.uniform();
@@ -167,9 +163,55 @@ fn execution_time(
 
 struct Lane {
     clock: SimTime,
-    evidence: Vec<Evidence>,
+    evidence: VecDeque<Evidence>,
     grid_cursor: usize,
     last_hit_region: Option<Vec<f64>>,
+}
+
+/// The best evidence visible to lane `li` under the composition's sharing
+/// pattern, borrowed straight out of the lanes — the decision phase only
+/// ever needs the argmax, so nothing is copied on the hot path.
+fn best_visible<'a>(
+    lanes: &'a [Lane],
+    li: usize,
+    composition: Pattern,
+    shares_globally: bool,
+    global_best: Option<&'a Evidence>,
+) -> Option<&'a Evidence> {
+    fn better<'a>(best: Option<&'a Evidence>, e: &'a Evidence) -> Option<&'a Evidence> {
+        match best {
+            Some(cur) if cur.score >= e.score => Some(cur),
+            _ => Some(e),
+        }
+    }
+    let mut best = global_best;
+    if shares_globally {
+        for lane in lanes {
+            for e in &lane.evidence {
+                best = better(best, e);
+            }
+        }
+    } else if let Pattern::Swarm { k } = composition {
+        // k-local ring sharing.
+        let n = lanes.len();
+        let half = (k / 2).max(1);
+        for e in &lanes[li].evidence {
+            best = better(best, e);
+        }
+        for d in 1..=half {
+            for e in &lanes[(li + d) % n].evidence {
+                best = better(best, e);
+            }
+            for e in &lanes[(li + n - d % n) % n].evidence {
+                best = better(best, e);
+            }
+        }
+    } else {
+        for e in &lanes[li].evidence {
+            best = better(best, e);
+        }
+    }
+    best
 }
 
 /// Evidence retained per lane. Bounding the window keeps per-iteration
@@ -250,7 +292,7 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
     let mut lanes: Vec<Lane> = (0..n_lanes)
         .map(|_| Lane {
             clock: SimTime::ZERO,
-            evidence: Vec::new(),
+            evidence: VecDeque::with_capacity(EVIDENCE_WINDOW + 1),
             grid_cursor: 0,
             last_hit_region: None,
         })
@@ -297,25 +339,6 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         };
         decision_wait_hours += decision_done.saturating_since(now).as_hours();
 
-        // Visible evidence for this lane under the composition's sharing.
-        let mut visible: Vec<Evidence> = if shares_globally {
-            lanes.iter().flat_map(|l| l.evidence.iter().cloned()).collect()
-        } else if let Pattern::Swarm { k } = cfg.cell.composition {
-            // k-local ring sharing.
-            let half = (k / 2).max(1);
-            let mut v = lanes[li].evidence.clone();
-            for d in 1..=half {
-                v.extend(lanes[(li + d) % n_lanes].evidence.iter().cloned());
-                v.extend(lanes[(li + n_lanes - d % n_lanes) % n_lanes].evidence.iter().cloned());
-            }
-            v
-        } else {
-            lanes[li].evidence.clone()
-        };
-        if let Some(best) = &best_evidence {
-            visible.push(best.clone());
-        }
-
         let batch = strategy.batch_size.max(1);
         let mut chosen: Vec<Candidate> = Vec::with_capacity(batch);
         match cfg.cell.intelligence {
@@ -360,13 +383,18 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
                 }
             }
             IntelligenceLevel::Learning => {
-                // Exploit best visible evidence with Gaussian proposals.
-                let anchor = visible
-                    .iter()
-                    .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
-                    .map(|e| e.params.clone());
+                // Exploit best visible evidence with Gaussian proposals
+                // (borrowed from the lanes — no evidence is copied).
+                let anchor = best_visible(
+                    &lanes,
+                    li,
+                    cfg.cell.composition,
+                    shares_globally,
+                    best_evidence.as_ref(),
+                )
+                .map(|e| e.params.as_slice());
                 for _ in 0..batch {
-                    let params: Vec<f64> = match &anchor {
+                    let params: Vec<f64> = match anchor {
                         Some(a) if decide_rng.chance(0.65) => a
                             .iter()
                             .map(|v| (v + decide_rng.normal_with(0.0, 0.1)).clamp(0.0, 1.0))
@@ -397,7 +425,15 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
                 // Full stack: hypothesis agent + validation gate + active
                 // learning splice, under the meta-optimizer's strategy.
                 hypothesis.explore_ratio = strategy.explore_ratio;
-                let mut proposals = hypothesis.propose(&visible, batch);
+                let anchor = best_visible(
+                    &lanes,
+                    li,
+                    cfg.cell.composition,
+                    shares_globally,
+                    best_evidence.as_ref(),
+                )
+                .map(|e| e.params.as_slice());
+                let mut proposals = hypothesis.propose_anchored(anchor, batch);
                 if strategy.use_recommendations && !proposals.is_empty() {
                     let rec = analysis.recommend(dim, 48, &mut decide_rng);
                     proposals[0] = Candidate {
@@ -434,8 +470,7 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             if matches!(
                 cfg.cell.intelligence,
                 IntelligenceLevel::Optimizing | IntelligenceLevel::Intelligent
-            ) && (analysis.observations() < SURROGATE_CAP
-                || score >= 0.8 * space.threshold)
+            ) && (analysis.observations() < SURROGATE_CAP || score >= 0.8 * space.threshold)
             {
                 analysis.assimilate(&c.params, score);
             }
@@ -454,9 +489,9 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             {
                 best_evidence = Some(ev.clone());
             }
-            lanes[li].evidence.push(ev);
+            lanes[li].evidence.push_back(ev);
             if lanes[li].evidence.len() > EVIDENCE_WINDOW {
-                lanes[li].evidence.remove(0);
+                lanes[li].evidence.pop_front();
             }
             if space.is_discovery(score) {
                 total_hits += 1;
@@ -493,7 +528,11 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         discoveries_per_week: peaks_found.len() as f64 / weeks.max(1e-9),
         samples_per_day: experiments as f64 / sim_days.max(1e-9),
         time_to_first_hours: time_to_first.map(|t| t.as_hours()),
-        best_score: if best_score.is_finite() { best_score } else { 0.0 },
+        best_score: if best_score.is_finite() {
+            best_score
+        } else {
+            0.0
+        },
         decision_wait_hours,
         execution_hours,
         rejected_proposals: design.rejected(),
@@ -567,8 +606,10 @@ mod tests {
             auto.distinct_discoveries,
             manual.distinct_discoveries
         );
-        assert!(auto.time_to_first_hours.unwrap_or(f64::INFINITY)
-            < manual.time_to_first_hours.unwrap_or(f64::INFINITY));
+        assert!(
+            auto.time_to_first_hours.unwrap_or(f64::INFINITY)
+                < manual.time_to_first_hours.unwrap_or(f64::INFINITY)
+        );
     }
 
     #[test]
@@ -634,10 +675,7 @@ mod tests {
 
     #[test]
     fn lanes_derived_from_composition() {
-        let c = CampaignConfig::for_cell(
-            Cell::new(IntelligenceLevel::Static, Pattern::Single),
-            0,
-        );
+        let c = CampaignConfig::for_cell(Cell::new(IntelligenceLevel::Static, Pattern::Single), 0);
         assert_eq!(c.effective_lanes(), 1);
         let c = CampaignConfig::for_cell(
             Cell::new(IntelligenceLevel::Static, Pattern::Swarm { k: 4 }),

@@ -76,11 +76,7 @@ impl MaterialsSpace {
             .peaks
             .iter()
             .map(|p| {
-                let d2: f64 = x
-                    .iter()
-                    .zip(&p.center)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum();
+                let d2: f64 = x.iter().zip(&p.center).map(|(a, b)| (a - b).powi(2)).sum();
                 p.height * (-d2 / (2.0 * p.width * p.width)).exp()
             })
             .fold(0.0, f64::max);
@@ -104,11 +100,7 @@ impl MaterialsSpace {
             .iter()
             .enumerate()
             .filter(|(_, p)| {
-                let d2: f64 = x
-                    .iter()
-                    .zip(&p.center)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum();
+                let d2: f64 = x.iter().zip(&p.center).map(|(a, b)| (a - b).powi(2)).sum();
                 d2.sqrt() < 2.0 * p.width
             })
             .min_by(|(_, a), (_, b)| {
@@ -177,8 +169,7 @@ mod tests {
         let mut rng = SimRng::from_seed_u64(9);
         let x = [0.5, 0.5];
         let latent = s.latent(&x);
-        let mean: f64 =
-            (0..500).map(|_| s.measure(&x, &mut rng)).sum::<f64>() / 500.0;
+        let mean: f64 = (0..500).map(|_| s.measure(&x, &mut rng)).sum::<f64>() / 500.0;
         assert!((mean - latent).abs() < 0.01);
     }
 

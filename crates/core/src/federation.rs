@@ -232,7 +232,8 @@ mod tests {
     fn handshake_errors() {
         let mut fed = Federation::standard();
         assert_eq!(
-            fed.handshake("ghost-lab", "characterization/xrd").unwrap_err(),
+            fed.handshake("ghost-lab", "characterization/xrd")
+                .unwrap_err(),
             FederationError::UnknownFacility("ghost-lab".into())
         );
         assert_eq!(

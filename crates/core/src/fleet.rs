@@ -1,0 +1,478 @@
+//! The fleet executor: many campaigns, one machine, every core busy.
+//!
+//! The paper's end-state is facility-scale autonomous science — swarms of
+//! concurrent discovery campaigns sharing infrastructure (§5.3, §6). This
+//! module runs M independent [`run_campaign`] instances across N OS
+//! threads with three guarantees:
+//!
+//! 1. **Bit-reproducibility at any parallelism.** Every campaign's seed is
+//!    derived from the fleet master seed via
+//!    [`evoflow_sim::RngRegistry::shard_seed`], a pure function of
+//!    `(master_seed, index)`. Which thread runs a campaign — or how many
+//!    threads exist — cannot change any result, so
+//!    [`run_campaign_fleet`] returns an identical [`FleetReport`] at
+//!    `threads = 1` and `threads = 64`.
+//! 2. **Load balancing over heterogeneous cells.** A `[Static × Single]`
+//!    campaign finishes orders of magnitude sooner than
+//!    `[Intelligent × Swarm]`. Workers pull from a lock-free claim queue
+//!    (each task is an atomic flag): a worker drains its own stripe, then
+//!    steals any unclaimed task, so no thread idles while work remains.
+//! 3. **Deterministic aggregation.** Workers buffer results locally;
+//!    the coordinator folds them in task order using
+//!    [`evoflow_sim::SampleStats::merge`], so the per-cell distributions
+//!    are independent of completion order.
+//!
+//! Wall-clock timing deliberately lives *outside* [`FleetReport`] (see
+//! [`run_campaign_fleet_timed`]): a report that embedded its own elapsed
+//! time could never be byte-identical across thread counts.
+//!
+//! ```
+//! use evoflow_core::{run_campaign_fleet, Cell, FleetConfig, MaterialsSpace};
+//! use evoflow_sim::SimDuration;
+//!
+//! let space = MaterialsSpace::generate(3, 8, 42);
+//! let mut cfg = FleetConfig::new(7);
+//! cfg.horizon = SimDuration::from_days(1);
+//! cfg.push_cell(Cell::autonomous_science(), 2);
+//! cfg.push_cell(Cell::traditional_wms(), 2);
+//!
+//! cfg.threads = 1;
+//! let serial = run_campaign_fleet(&space, &cfg);
+//! cfg.threads = 4;
+//! let parallel = run_campaign_fleet(&space, &cfg);
+//!
+//! // Same master seed ⇒ identical results, regardless of thread count.
+//! assert_eq!(serial.total_experiments, parallel.total_experiments);
+//! assert_eq!(serial.reports.len(), 4);
+//! assert_eq!(serial.per_cell.len(), 2);
+//! ```
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use crate::domain::MaterialsSpace;
+use crate::matrix::Cell;
+use evoflow_sim::{RngRegistry, SampleStats, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Stream label under which fleet campaign seeds are derived from the
+/// master seed (`RngRegistry::shard_seed(FLEET_SHARD_LABEL, index)`).
+pub const FLEET_SHARD_LABEL: &str = "fleet-campaign";
+
+/// Configuration for a campaign fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Master seed; every campaign's seed is derived from it by index.
+    pub master_seed: u64,
+    /// Worker threads (0 ⇒ one per available core).
+    pub threads: usize,
+    /// Per-campaign configs, in shard order. Their `seed` fields are
+    /// overwritten with derived shard seeds at run time.
+    pub campaigns: Vec<CampaignConfig>,
+    /// Horizon applied by [`FleetConfig::push_cell`] to new campaigns.
+    pub horizon: SimDuration,
+    /// Experiment cap applied by [`FleetConfig::push_cell`].
+    pub max_experiments: u64,
+}
+
+impl FleetConfig {
+    /// An empty fleet with the given master seed (30-day horizon,
+    /// effectively unbounded experiment budget).
+    pub fn new(master_seed: u64) -> Self {
+        FleetConfig {
+            master_seed,
+            threads: 0,
+            campaigns: Vec::new(),
+            horizon: SimDuration::from_days(30),
+            max_experiments: 1_000_000,
+        }
+    }
+
+    /// Append `replications` campaigns at `cell`, inheriting the fleet's
+    /// horizon and budget. Returns `&mut self` for chaining.
+    pub fn push_cell(&mut self, cell: Cell, replications: usize) -> &mut Self {
+        for _ in 0..replications {
+            // Placeholder seed: overwritten with the derived shard seed.
+            let mut c = CampaignConfig::for_cell(cell, 0);
+            c.horizon = self.horizon;
+            c.max_experiments = self.max_experiments;
+            self.campaigns.push(c);
+        }
+        self
+    }
+
+    /// Append one fully customised campaign config.
+    pub fn push_campaign(&mut self, cfg: CampaignConfig) -> &mut Self {
+        self.campaigns.push(cfg);
+        self
+    }
+
+    /// Worker threads that will actually be used.
+    pub fn effective_threads(&self) -> usize {
+        let n = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        n.max(1).min(self.campaigns.len().max(1))
+    }
+
+    /// The campaign configs with their derived shard seeds filled in —
+    /// the exact inputs the fleet will execute, in shard order.
+    pub fn sharded_campaigns(&self) -> Vec<CampaignConfig> {
+        let reg = RngRegistry::new(self.master_seed);
+        self.campaigns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut c = c.clone();
+                c.seed = reg.shard_seed(FLEET_SHARD_LABEL, i as u64);
+                c
+            })
+            .collect()
+    }
+}
+
+/// Five-number-free summary of a per-campaign metric across one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistSummary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl From<&SampleStats> for DistSummary {
+    fn from(s: &SampleStats) -> Self {
+        DistSummary {
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            min: s.min(),
+            max: s.max(),
+        }
+    }
+}
+
+/// Aggregated outcomes for every campaign that ran at one matrix cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Cell label (e.g. `"Intelligent × Swarm(k=4)"`).
+    pub cell_label: String,
+    /// Campaigns that ran at this cell.
+    pub campaigns: usize,
+    /// Total experiments across those campaigns.
+    pub experiments: u64,
+    /// Total distinct discoveries (summed; campaigns are independent).
+    pub distinct_discoveries: u64,
+    /// Distribution of per-campaign discoveries per simulated week.
+    pub discoveries_per_week: DistSummary,
+    /// Distribution of per-campaign samples per simulated day.
+    pub samples_per_day: DistSummary,
+    /// Best score any campaign at this cell measured.
+    pub best_score: f64,
+}
+
+/// Outcome of a fleet run. Pure function of `(space, FleetConfig minus
+/// threads)`: thread count never changes any field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Master seed the shard seeds were derived from.
+    pub master_seed: u64,
+    /// Per-campaign reports, in shard (task) order.
+    pub reports: Vec<CampaignReport>,
+    /// Per-cell aggregates, in first-appearance order of the cell label.
+    pub per_cell: Vec<CellSummary>,
+    /// Total experiments across the fleet.
+    pub total_experiments: u64,
+    /// Total above-threshold measurements across the fleet.
+    pub total_hits: u64,
+    /// Summed distinct discoveries across the fleet.
+    pub total_distinct_discoveries: u64,
+    /// Best score measured anywhere in the fleet.
+    pub best_score: f64,
+    /// Total simulated inference tokens consumed.
+    pub tokens: u64,
+}
+
+impl FleetReport {
+    /// Fold per-campaign reports (in shard order) into a fleet report.
+    ///
+    /// Public so property tests can verify that the parallel executor's
+    /// aggregation equals the merge of independent serial runs.
+    pub fn from_reports(master_seed: u64, reports: Vec<CampaignReport>) -> Self {
+        // Group by cell label, preserving first-appearance order.
+        struct CellAcc {
+            label: String,
+            campaigns: usize,
+            experiments: u64,
+            distinct: u64,
+            dpw: SampleStats,
+            spd: SampleStats,
+            best: f64,
+        }
+        let mut cells: Vec<CellAcc> = Vec::new();
+        let mut total_experiments = 0u64;
+        let mut total_hits = 0u64;
+        let mut total_distinct = 0u64;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut tokens = 0u64;
+        for r in &reports {
+            total_experiments += r.experiments;
+            total_hits += r.total_hits;
+            total_distinct += r.distinct_discoveries as u64;
+            best_score = best_score.max(r.best_score);
+            tokens += r.tokens;
+            let acc = match cells.iter_mut().find(|c| c.label == r.cell_label) {
+                Some(acc) => acc,
+                None => {
+                    cells.push(CellAcc {
+                        label: r.cell_label.clone(),
+                        campaigns: 0,
+                        experiments: 0,
+                        distinct: 0,
+                        dpw: SampleStats::new(),
+                        spd: SampleStats::new(),
+                        best: f64::NEG_INFINITY,
+                    });
+                    cells.last_mut().expect("just pushed")
+                }
+            };
+            acc.campaigns += 1;
+            acc.experiments += r.experiments;
+            acc.distinct += r.distinct_discoveries as u64;
+            acc.dpw.record(r.discoveries_per_week);
+            acc.spd.record(r.samples_per_day);
+            acc.best = acc.best.max(r.best_score);
+        }
+        let per_cell = cells
+            .into_iter()
+            .map(|c| CellSummary {
+                cell_label: c.label,
+                campaigns: c.campaigns,
+                experiments: c.experiments,
+                distinct_discoveries: c.distinct,
+                discoveries_per_week: DistSummary::from(&c.dpw),
+                samples_per_day: DistSummary::from(&c.spd),
+                best_score: c.best,
+            })
+            .collect();
+        FleetReport {
+            master_seed,
+            per_cell,
+            total_experiments,
+            total_hits,
+            total_distinct_discoveries: total_distinct,
+            best_score: if best_score.is_finite() {
+                best_score
+            } else {
+                0.0
+            },
+            tokens,
+            reports,
+        }
+    }
+}
+
+/// Wall-clock measurements of a fleet run — kept out of [`FleetReport`]
+/// so reports stay byte-identical across thread counts.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTiming {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Elapsed wall-clock time for the whole fleet.
+    pub wall_clock: Duration,
+}
+
+/// A lock-free claim queue over task indices.
+///
+/// Each worker owns a stripe of the task list; [`TaskQueue::claim`] scans
+/// from the worker's stripe offset and wraps, so a worker that exhausts
+/// its own stripe transparently steals any still-unclaimed task. Claims
+/// are single atomic swaps — no locks, no contention beyond the CAS.
+struct TaskQueue {
+    claimed: Vec<AtomicBool>,
+}
+
+impl TaskQueue {
+    fn new(tasks: usize) -> Self {
+        TaskQueue {
+            claimed: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Claim the next unclaimed task at or after `start` (wrapping).
+    fn claim(&self, start: usize) -> Option<usize> {
+        let n = self.claimed.len();
+        for off in 0..n {
+            let i = (start + off) % n;
+            if !self.claimed[i].swap(true, Ordering::AcqRel) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Run a fleet of campaigns and report aggregate outcomes plus timing.
+pub fn run_campaign_fleet_timed(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+) -> (FleetReport, FleetTiming) {
+    let shards = cfg.sharded_campaigns();
+    let threads = cfg.effective_threads();
+    let started = Instant::now();
+
+    let mut reports: Vec<Option<CampaignReport>> = Vec::new();
+    if shards.is_empty() {
+        // Nothing to do.
+    } else if threads == 1 {
+        // Serial fast path: no thread machinery at all.
+        reports = shards
+            .iter()
+            .map(|c| Some(run_campaign(space, c)))
+            .collect();
+    } else {
+        let queue = TaskQueue::new(shards.len());
+        let shards_ref = &shards;
+        let queue_ref = &queue;
+        // Stripe offsets spread workers across the task list so stealing
+        // only happens once a worker's own region is exhausted.
+        let stripe = shards.len().div_ceil(threads);
+        let mut collected: Vec<Vec<(usize, CampaignReport)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        while let Some(i) = queue_ref.claim(w * stripe) {
+                            local.push((i, run_campaign(space, &shards_ref[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+        reports = (0..shards.len()).map(|_| None).collect();
+        for (i, r) in collected.drain(..).flatten() {
+            reports[i] = Some(r);
+        }
+    }
+
+    let ordered: Vec<CampaignReport> = reports
+        .into_iter()
+        .map(|r| r.expect("every task claimed exactly once"))
+        .collect();
+    let report = FleetReport::from_reports(cfg.master_seed, ordered);
+    let timing = FleetTiming {
+        threads,
+        wall_clock: started.elapsed(),
+    };
+    (report, timing)
+}
+
+/// Run a fleet of campaigns: M campaigns sharded across N worker threads,
+/// deterministic regardless of N. See the module docs for the design.
+pub fn run_campaign_fleet(space: &MaterialsSpace, cfg: &FleetConfig) -> FleetReport {
+    run_campaign_fleet_timed(space, cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Cell;
+    use evoflow_agents::Pattern;
+    use evoflow_sm::IntelligenceLevel;
+
+    fn space() -> MaterialsSpace {
+        MaterialsSpace::generate(3, 8, 20260610)
+    }
+
+    fn small_fleet(threads: usize) -> FleetConfig {
+        let mut cfg = FleetConfig::new(99);
+        cfg.horizon = SimDuration::from_days(1);
+        cfg.threads = threads;
+        cfg.push_cell(Cell::new(IntelligenceLevel::Static, Pattern::Single), 2);
+        cfg.push_cell(
+            Cell::new(IntelligenceLevel::Intelligent, Pattern::Swarm { k: 4 }),
+            2,
+        );
+        cfg
+    }
+
+    #[test]
+    fn fleet_is_thread_count_invariant() {
+        let space = space();
+        let serial = run_campaign_fleet(&space, &small_fleet(1));
+        let two = run_campaign_fleet(&space, &small_fleet(2));
+        let four = run_campaign_fleet(&space, &small_fleet(4));
+        assert_eq!(serial, two);
+        assert_eq!(serial, four);
+    }
+
+    #[test]
+    fn shard_seeds_differ_between_campaigns() {
+        let cfg = small_fleet(1);
+        let seeds: std::collections::BTreeSet<u64> =
+            cfg.sharded_campaigns().iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 4, "all four campaigns get distinct seeds");
+    }
+
+    #[test]
+    fn aggregation_totals_match_reports() {
+        let space = space();
+        let report = run_campaign_fleet(&space, &small_fleet(2));
+        let sum: u64 = report.reports.iter().map(|r| r.experiments).sum();
+        assert_eq!(report.total_experiments, sum);
+        assert_eq!(report.per_cell.len(), 2);
+        assert_eq!(
+            report.per_cell.iter().map(|c| c.campaigns).sum::<usize>(),
+            4
+        );
+        let cell_sum: u64 = report.per_cell.iter().map(|c| c.experiments).sum();
+        assert_eq!(report.total_experiments, cell_sum);
+    }
+
+    #[test]
+    fn empty_fleet_is_empty_report() {
+        let report = run_campaign_fleet(&space(), &FleetConfig::new(1));
+        assert_eq!(report.reports.len(), 0);
+        assert_eq!(report.total_experiments, 0);
+        assert_eq!(report.best_score, 0.0);
+    }
+
+    #[test]
+    fn timing_reports_requested_threads() {
+        let space = space();
+        let (_, timing) = run_campaign_fleet_timed(&space, &small_fleet(3));
+        assert_eq!(timing.threads, 3);
+        assert!(timing.wall_clock.as_nanos() > 0);
+    }
+
+    #[test]
+    fn task_queue_claims_each_task_once() {
+        let q = TaskQueue::new(17);
+        let mut seen = std::collections::BTreeSet::new();
+        for w in 0..5 {
+            while let Some(i) = q.claim(w * 4) {
+                assert!(seen.insert(i), "task {i} claimed twice");
+                if seen.len() % 3 == 0 {
+                    break; // interleave workers
+                }
+            }
+        }
+        // Drain the rest.
+        while let Some(i) = q.claim(0) {
+            assert!(seen.insert(i));
+        }
+        assert_eq!(seen.len(), 17);
+    }
+}

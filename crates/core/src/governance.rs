@@ -436,9 +436,7 @@ mod tests {
     fn denied_actions_do_not_consume_budget() {
         let mut g = GovernanceEngine::new()
             .with_policy(Policy::SampleBudget { remaining: 5 })
-            .with_policy(Policy::Forbid {
-                kind: "bad".into(),
-            });
+            .with_policy(Policy::Forbid { kind: "bad".into() });
         let mut a = action("a", "bad");
         a.samples = 5;
         assert!(matches!(g.evaluate(a), Verdict::Deny(_)));

@@ -24,7 +24,10 @@ pub fn panel(title: &str, lines: &[String]) -> String {
         .unwrap_or(0)
         .max(20);
     let mut out = String::new();
-    out.push_str(&format!("┌─ {title} {}┐\n", "─".repeat(width.saturating_sub(title.chars().count() + 1))));
+    out.push_str(&format!(
+        "┌─ {title} {}┐\n",
+        "─".repeat(width.saturating_sub(title.chars().count() + 1))
+    ));
     for l in lines {
         let pad = width.saturating_sub(l.chars().count());
         out.push_str(&format!("│ {l}{} │\n", " ".repeat(pad)));
@@ -47,11 +50,14 @@ pub fn render_plane(cell: Cell) -> String {
     ));
     for pattern in Pattern::all() {
         let row_label = format!("{pattern:?}");
-        let row_label = row_label.split(' ').next().unwrap_or(&row_label).to_string();
+        let row_label = row_label
+            .split(' ')
+            .next()
+            .unwrap_or(&row_label)
+            .to_string();
         let mut row = format!("{row_label:<14}");
         for level in IntelligenceLevel::ALL {
-            let here = level == cell.intelligence
-                && pattern.rank() == cell.composition.rank();
+            let here = level == cell.intelligence && pattern.rank() == cell.composition.rank();
             row.push_str(&format!("{:<12}", if here { "  [★]" } else { "  [ ]" }));
         }
         lines.push(row);
@@ -187,6 +193,9 @@ mod tests {
     fn panels_are_rectangular() {
         let s = panel("t", &["short".into(), "a much longer line here".into()]);
         let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged panel: {widths:?}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged panel: {widths:?}"
+        );
     }
 }

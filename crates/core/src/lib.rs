@@ -18,6 +18,10 @@
 //! * [`campaign`] — the Figure 4 discovery loop, runnable at *any* matrix
 //!   cell under human-gated or autonomous coordination — the engine behind
 //!   the 10–100× acceleration measurement.
+//! * [`fleet`] — the fleet executor: M campaigns sharded across N worker
+//!   threads with derived per-shard seeds, work-stealing over
+//!   heterogeneous cells, and deterministic aggregation — byte-identical
+//!   results at any thread count.
 //! * [`governance`] — §4's policy enforcement, guardrails, and
 //!   accountability: sample budgets, human approval for irreversible
 //!   actions, rate limits, audit trails.
@@ -28,6 +32,7 @@
 pub mod campaign;
 pub mod domain;
 pub mod federation;
+pub mod fleet;
 pub mod governance;
 pub mod ide;
 pub mod matrix;
@@ -36,6 +41,10 @@ pub mod runtime;
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoordinationMode};
 pub use domain::MaterialsSpace;
 pub use federation::{Federation, FederationError, Handshake};
+pub use fleet::{
+    run_campaign_fleet, run_campaign_fleet_timed, CellSummary, DistSummary, FleetConfig,
+    FleetReport, FleetTiming,
+};
 pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
 pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};
 pub use matrix::{

@@ -171,9 +171,7 @@ pub fn transition_requirement(from: &Cell, to: &Cell) -> String {
         && to.composition.rank() == from.composition.rank()
     {
         let req = match to.intelligence {
-            IntelligenceLevel::Adaptive => {
-                "observation/feedback plumbing (sensors, status events)"
-            }
+            IntelligenceLevel::Adaptive => "observation/feedback plumbing (sensors, status events)",
             IntelligenceLevel::Learning => {
                 "data infrastructure to maintain history H (requires data infrastructure)"
             }
@@ -185,7 +183,10 @@ pub fn transition_requirement(from: &Cell, to: &Cell) -> String {
             }
             IntelligenceLevel::Static => unreachable!("no transition to Static"),
         };
-        return format!("intelligence {} → {}: {req}", from.intelligence, to.intelligence);
+        return format!(
+            "intelligence {} → {}: {req}",
+            from.intelligence, to.intelligence
+        );
     }
     if to.composition.rank() == from.composition.rank() + 1
         && to.intelligence.rank() == from.intelligence.rank()

@@ -180,7 +180,11 @@ impl LabRuntime {
         );
         push("Intelligence Service", "Meta-Optimizer", true);
         push("Workflow Orchestration", "Task Scheduler", true);
-        push("Workflow Orchestration", "State Manager", !self.orchestration.phase.is_empty());
+        push(
+            "Workflow Orchestration",
+            "State Manager",
+            !self.orchestration.phase.is_empty(),
+        );
         push("Workflow Orchestration", "Resource Optimizer", true);
         push("Workflow Orchestration", "Facility Agents", true);
         push("Coordination & Communication", "Message Bus", true);
@@ -189,7 +193,11 @@ impl LabRuntime {
             "Service Discovery",
             !self.federation.registry().is_empty(),
         );
-        push("Coordination & Communication", "State Synchronization", true);
+        push(
+            "Coordination & Communication",
+            "State Synchronization",
+            true,
+        );
         push("Coordination & Communication", "Security & Auth", true);
         push("Resource & Data Management", "Data Fabric", true);
         push("Resource & Data Management", "Resource Alloc.", true);
@@ -253,14 +261,18 @@ impl LabRuntime {
         layers += 1;
 
         // 5 (data): record provenance of the decision.
-        self.data.provenance.register_agent("hypothesis-agent", true);
+        self.data
+            .provenance
+            .register_agent("hypothesis-agent", true);
         let act = self.data.provenance.record_activity(
             "smoke decision",
             evoflow_knowledge::ActivityKind::Reasoning,
             "hypothesis-agent",
             vec![],
         );
-        self.data.provenance.record_entity("smoke-candidate", Some(act));
+        self.data
+            .provenance
+            .record_entity("smoke-candidate", Some(act));
         layers += 1;
 
         // 1: dashboard + (possibly) intervention.
@@ -285,8 +297,7 @@ mod tests {
     fn inventory_covers_all_six_layers() {
         let rt = LabRuntime::standard(1);
         let inv = rt.inventory();
-        let layers: std::collections::BTreeSet<&str> =
-            inv.iter().map(|c| c.layer).collect();
+        let layers: std::collections::BTreeSet<&str> = inv.iter().map(|c| c.layer).collect();
         assert_eq!(layers.len(), 6);
         assert!(inv.len() >= 21 + 5); // 21 named components + 5 facility interfaces
         assert!(inv.iter().all(|c| c.healthy));

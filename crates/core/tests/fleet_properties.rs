@@ -1,0 +1,86 @@
+//! Property tests for the fleet executor's two core contracts:
+//!
+//! 1. **Aggregation correctness** — `run_campaign_fleet` equals
+//!    [`FleetReport::from_reports`] over independent *serial*
+//!    `run_campaign` runs executed with the same derived shard seeds.
+//! 2. **Thread-count invariance** — the report is identical at 1, 2, and
+//!    3 workers for arbitrary fleet shapes.
+
+use evoflow_core::fleet::FLEET_SHARD_LABEL;
+use evoflow_core::{
+    run_campaign, run_campaign_fleet, Cell, FleetConfig, FleetReport, MaterialsSpace,
+};
+use evoflow_sim::{RngRegistry, SimDuration};
+use proptest::prelude::*;
+
+/// A strategy over small heterogeneous fleets (1..=5 campaigns drawn from
+/// the corner cells of the evolution matrix).
+fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
+    (
+        any::<u64>(),
+        prop::collection::vec(0usize..4, 1..5),
+        1u64..3,
+    )
+        .prop_map(|(master_seed, cell_picks, days)| {
+            let cells = [
+                Cell::traditional_wms(),
+                Cell::autonomous_science(),
+                Cell::new(
+                    evoflow_sm::IntelligenceLevel::Adaptive,
+                    evoflow_agents::Pattern::Pipeline,
+                ),
+                Cell::new(
+                    evoflow_sm::IntelligenceLevel::Learning,
+                    evoflow_agents::Pattern::Mesh,
+                ),
+            ];
+            let mut cfg = FleetConfig::new(master_seed);
+            cfg.horizon = SimDuration::from_days(days);
+            cfg.max_experiments = 2_000;
+            for pick in cell_picks {
+                cfg.push_cell(cells[pick], 1);
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The parallel fleet aggregation equals the fold of independent
+    /// serial runs over the same derived seeds.
+    #[test]
+    fn fleet_equals_merged_serial_runs(mut cfg in arb_fleet()) {
+        let space = MaterialsSpace::generate(3, 6, 77);
+
+        // Serial reference: run each shard independently with the seed the
+        // fleet derives, then fold with the public aggregation function.
+        let reg = RngRegistry::new(cfg.master_seed);
+        let serial_reports: Vec<_> = cfg
+            .campaigns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut c = c.clone();
+                c.seed = reg.shard_seed(FLEET_SHARD_LABEL, i as u64);
+                run_campaign(&space, &c)
+            })
+            .collect();
+        let reference = FleetReport::from_reports(cfg.master_seed, serial_reports);
+
+        cfg.threads = 2;
+        let fleet = run_campaign_fleet(&space, &cfg);
+        prop_assert_eq!(&fleet, &reference);
+    }
+
+    /// Thread count never changes the report.
+    #[test]
+    fn fleet_report_is_thread_invariant(mut cfg in arb_fleet()) {
+        let space = MaterialsSpace::generate(3, 6, 77);
+        cfg.threads = 1;
+        let one = run_campaign_fleet(&space, &cfg);
+        cfg.threads = 3;
+        let three = run_campaign_fleet(&space, &cfg);
+        prop_assert_eq!(one, three);
+    }
+}

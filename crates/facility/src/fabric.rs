@@ -218,7 +218,14 @@ mod tests {
         let mut f = DataFabric::new();
         let a = f.site("a");
         let b = f.site("b");
-        f.link(a, b, Link { gbps: 100.0, latency_ms: 10.0 });
+        f.link(
+            a,
+            b,
+            Link {
+                gbps: 100.0,
+                latency_ms: 10.0,
+            },
+        );
         let plan = f.transfer("a", "b", 125.0).unwrap(); // 125 GB = 1000 Gb
         assert_eq!(plan.route, vec!["a", "b"]);
         assert!((plan.duration.as_secs_f64() - 10.01).abs() < 1e-6);
@@ -231,9 +238,30 @@ mod tests {
         let a = f.site("a");
         let b = f.site("b");
         let c = f.site("c");
-        f.link(a, b, Link { gbps: 1.0, latency_ms: 1.0 }); // slow direct
-        f.link(a, c, Link { gbps: 100.0, latency_ms: 1.0 });
-        f.link(c, b, Link { gbps: 100.0, latency_ms: 1.0 });
+        f.link(
+            a,
+            b,
+            Link {
+                gbps: 1.0,
+                latency_ms: 1.0,
+            },
+        ); // slow direct
+        f.link(
+            a,
+            c,
+            Link {
+                gbps: 100.0,
+                latency_ms: 1.0,
+            },
+        );
+        f.link(
+            c,
+            b,
+            Link {
+                gbps: 100.0,
+                latency_ms: 1.0,
+            },
+        );
         let plan = f.transfer("a", "b", 10.0).unwrap();
         assert_eq!(plan.route, vec!["a", "c", "b"]);
     }
@@ -245,9 +273,30 @@ mod tests {
         let b = f.site("b");
         let c = f.site("c");
         // Direct: low latency, slow. Via c: fast but 2 hops of latency.
-        f.link(a, b, Link { gbps: 1.0, latency_ms: 1.0 });
-        f.link(a, c, Link { gbps: 100.0, latency_ms: 500.0 });
-        f.link(c, b, Link { gbps: 100.0, latency_ms: 500.0 });
+        f.link(
+            a,
+            b,
+            Link {
+                gbps: 1.0,
+                latency_ms: 1.0,
+            },
+        );
+        f.link(
+            a,
+            c,
+            Link {
+                gbps: 100.0,
+                latency_ms: 500.0,
+            },
+        );
+        f.link(
+            c,
+            b,
+            Link {
+                gbps: 100.0,
+                latency_ms: 500.0,
+            },
+        );
         let tiny = f.transfer("a", "b", 0.001).unwrap();
         assert_eq!(tiny.route, vec!["a", "b"]);
     }

@@ -271,11 +271,12 @@ mod tests {
 
     #[test]
     fn advertisements_cover_instruments_and_defaults() {
-        let f = Facility::new("lab", FacilityKind::Edge)
-            .with_instrument(synthesis_robot("bot"));
+        let f = Facility::new("lab", FacilityKind::Edge).with_instrument(synthesis_robot("bot"));
         let ads = f.advertisements();
         assert_eq!(ads.len(), 2);
-        assert!(ads[0].capabilities.contains(&"synthesis/thin-film".to_string()));
+        assert!(ads[0]
+            .capabilities
+            .contains(&"synthesis/thin-film".to_string()));
         assert!(ads[1]
             .capabilities
             .contains(&"edge-inference/fast".to_string()));
@@ -293,8 +294,7 @@ mod tests {
 
     #[test]
     fn instrument_lookup_by_capability() {
-        let f = Facility::new("ls", FacilityKind::Instrument)
-            .with_instrument(xrd_beamline("b2"));
+        let f = Facility::new("ls", FacilityKind::Instrument).with_instrument(xrd_beamline("b2"));
         assert!(f.instrument_for("characterization/xrd").is_some());
         assert!(f.instrument_for("synthesis/thin-film").is_none());
     }
@@ -319,8 +319,7 @@ mod tests {
     fn standard_federation_has_five_kinds() {
         let fed = standard_federation();
         assert_eq!(fed.len(), 5);
-        let kinds: std::collections::BTreeSet<FacilityKind> =
-            fed.iter().map(|f| f.kind).collect();
+        let kinds: std::collections::BTreeSet<FacilityKind> = fed.iter().map(|f| f.kind).collect();
         assert_eq!(kinds.len(), 5);
     }
 }

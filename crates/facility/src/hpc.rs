@@ -142,10 +142,8 @@ impl BatchScheduler {
                 Some(end) if end <= t => {
                     self.now = end;
                     let done: Vec<Running> = {
-                        let (done, keep): (Vec<Running>, Vec<Running>) = self
-                            .running
-                            .drain(..)
-                            .partition(|r| r.ends <= end);
+                        let (done, keep): (Vec<Running>, Vec<Running>) =
+                            self.running.drain(..).partition(|r| r.ends <= end);
                         self.running = keep;
                         done
                     };
@@ -238,11 +236,8 @@ impl BatchScheduler {
     /// Earliest time at which `nodes` will be free, assuming running jobs
     /// complete at their walltime.
     fn reservation_time(&self, nodes: u64) -> SimTime {
-        let mut ends: Vec<(SimTime, u64)> = self
-            .running
-            .iter()
-            .map(|r| (r.ends, r.job.nodes))
-            .collect();
+        let mut ends: Vec<(SimTime, u64)> =
+            self.running.iter().map(|r| (r.ends, r.job.nodes)).collect();
         ends.sort();
         let mut free = self.nodes_free();
         for (t, n) in ends {

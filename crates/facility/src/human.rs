@@ -75,8 +75,12 @@ impl HumanModel {
         cross_facility: bool,
         rng: &mut SimRng,
     ) -> SimTime {
-        let mut effort_hours =
-            self.draw_decision_hours(rng) + if cross_facility { self.handoff_overhead_hours } else { 0.0 };
+        let mut effort_hours = self.draw_decision_hours(rng)
+            + if cross_facility {
+                self.handoff_overhead_hours
+            } else {
+                0.0
+            };
         if !self.working_hours_only {
             return now + SimDuration::from_hours_f64(effort_hours);
         }
@@ -209,7 +213,11 @@ mod tests {
         let ready = m.decision_ready_at(mon_9, false, &mut rng);
         // 20h of effort at 8h/day: Mon 8h, Tue 8h, Wed 4h → Wednesday 13:00.
         assert_eq!(day_index(ready), 2);
-        assert!((hour_of_day(ready) - 13.0).abs() < 0.1, "hour {}", hour_of_day(ready));
+        assert!(
+            (hour_of_day(ready) - 13.0).abs() < 0.1,
+            "hour {}",
+            hour_of_day(ready)
+        );
     }
 
     #[test]
@@ -221,7 +229,9 @@ mod tests {
             working_hours_only: false,
         };
         let mut rng = SimRng::from_seed_u64(5);
-        let mut draws: Vec<f64> = (0..2_000).map(|_| m.draw_decision_hours(&mut rng)).collect();
+        let mut draws: Vec<f64> = (0..2_000)
+            .map(|_| m.draw_decision_hours(&mut rng))
+            .collect();
         draws.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = draws[1_000];
         assert!((median - 4.0).abs() < 0.5, "median {median}");

@@ -1,7 +1,7 @@
 //! Quantum processing units and hybrid classical-quantum workflows.
 //!
 //! Figure 2's Infrastructure Abstraction layer names a Quantum Interface,
-//! and §5.2 requires "new abstractions [supporting] … quantum devices with
+//! and §5.2 requires "new abstractions \[supporting\] … quantum devices with
 //! both interactive and batch usage models" plus "hybrid classical-quantum
 //! workflows". This module models the two properties that actually shape
 //! such workflows:
@@ -98,7 +98,10 @@ impl std::fmt::Display for QpuError {
             QpuError::TooWide {
                 requested,
                 available,
-            } => write!(f, "circuit needs {requested} qubits, device has {available}"),
+            } => write!(
+                f,
+                "circuit needs {requested} qubits, device has {available}"
+            ),
             QpuError::NoShots => write!(f, "shots must be > 0"),
         }
     }
@@ -316,8 +319,7 @@ mod tests {
                 })
                 .collect();
             let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-            (estimates.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / estimates.len() as f64)
+            (estimates.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / estimates.len() as f64)
                 .sqrt()
         };
         let coarse = spread(100);

@@ -145,8 +145,7 @@ impl EdgeDetector {
         let flagged = if self.window.len() >= self.capacity / 2 {
             let n = self.window.len() as f64;
             let mean: f64 = self.window.iter().sum::<f64>() / n;
-            let var: f64 =
-                self.window.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n.max(1.0);
+            let var: f64 = self.window.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n.max(1.0);
             let sd = var.sqrt().max(1e-9);
             ((sample.value - mean) / sd).abs() > self.z_threshold
         } else {
@@ -202,7 +201,11 @@ impl DetectionReport {
 }
 
 /// Run a detector over `n` samples of a stream.
-pub fn monitor(stream: &mut SensorStream, detector: &mut EdgeDetector, n: usize) -> DetectionReport {
+pub fn monitor(
+    stream: &mut SensorStream,
+    detector: &mut EdgeDetector,
+    n: usize,
+) -> DetectionReport {
     let mut report = DetectionReport {
         samples: n as u64,
         true_positives: 0,
@@ -296,7 +299,13 @@ mod tests {
             anomaly_len: 200,
             ..StreamConfig::default()
         };
-        let mut warm = SensorStream::new(StreamConfig { anomaly_rate: 0.0, ..cfg }, 3);
+        let mut warm = SensorStream::new(
+            StreamConfig {
+                anomaly_rate: 0.0,
+                ..cfg
+            },
+            3,
+        );
         let mut det = EdgeDetector::new(64, 3.5);
         // Warm up on clean data, then hit the burst.
         for _ in 0..200 {

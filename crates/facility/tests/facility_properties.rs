@@ -1,7 +1,9 @@
 //! Property tests for facility substrates: batch-scheduler safety and
 //! fairness, human-latency sanity, and fabric routing laws.
 
-use evoflow_facility::{is_working, next_working_instant, BatchScheduler, DataFabric, HumanModel, Link};
+use evoflow_facility::{
+    is_working, next_working_instant, BatchScheduler, DataFabric, HumanModel, Link,
+};
 use evoflow_sim::{SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 

@@ -116,9 +116,8 @@ impl BanditPolicy for Ucb1 {
         let t = self.total as f64;
         (0..self.stats.len())
             .max_by(|&a, &b| {
-                let ucb = |i: usize| {
-                    self.mean(i) + self.c * (t.ln() / self.stats[i].pulls as f64).sqrt()
-                };
+                let ucb =
+                    |i: usize| self.mean(i) + self.c * (t.ln() / self.stats[i].pulls as f64).sqrt();
                 ucb(a).partial_cmp(&ucb(b)).expect("finite ucb")
             })
             .expect("at least one arm")
@@ -142,7 +141,7 @@ impl BanditPolicy for Ucb1 {
 }
 
 /// Thompson sampling with Beta posteriors over Bernoulli rewards.
-/// Non-Bernoulli rewards are clamped to [0,1] and treated as success
+/// Non-Bernoulli rewards are clamped to \[0,1\] and treated as success
 /// probabilities.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThompsonBeta {

@@ -9,7 +9,7 @@
 //! * [`qlearn`] — tabular Q-learning (`δ_{t+1} = L(δ_t, H)`).
 //! * [`surrogate`] — RBF surrogate + Bayesian optimization (automated
 //!   tuning platforms, §3.2).
-//! * [`pso`] — particle swarm optimization (Kennedy–Eberhart), the
+//! * [`pso`](mod@pso) — particle swarm optimization (Kennedy–Eberhart), the
 //!   [Learning × Swarm] exemplar with global vs ring (O(k)) topologies.
 //! * [`aco`] — Ant System (Dorigo et al.), the [Optimizing × Swarm]
 //!   stigmergy exemplar.

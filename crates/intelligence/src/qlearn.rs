@@ -153,7 +153,12 @@ impl Corridor {
 
 /// Train a learner on the corridor for `episodes`; returns the mean steps
 /// per episode over the last 10 episodes (optimal = n−1).
-pub fn train_corridor(learner: &mut QLearner, env: &mut Corridor, episodes: u32, rng: &mut SimRng) -> f64 {
+pub fn train_corridor(
+    learner: &mut QLearner,
+    env: &mut Corridor,
+    episodes: u32,
+    rng: &mut SimRng,
+) -> f64 {
     let mut recent = Vec::new();
     for _ in 0..episodes {
         env.reset();
@@ -197,7 +202,7 @@ mod tests {
         let mut rng = SimRng::from_seed_u64(1);
         let mean_steps = train_corridor(&mut q, &mut env, 300, &mut rng);
         assert!(mean_steps < 10.0, "mean steps {mean_steps}"); // optimal 7
-        // Greedy policy goes right everywhere along the corridor.
+                                                               // Greedy policy goes right everywhere along the corridor.
         for s in 0..7 {
             assert_eq!(q.greedy(s), 1, "state {s} prefers left");
         }
@@ -205,12 +210,16 @@ mod tests {
 
     #[test]
     fn epsilon_decays_to_floor() {
-        let mut q = QLearner::new(2, 2, QConfig {
-            epsilon: 0.5,
-            epsilon_decay: 0.5,
-            epsilon_min: 0.05,
-            ..QConfig::default()
-        });
+        let mut q = QLearner::new(
+            2,
+            2,
+            QConfig {
+                epsilon: 0.5,
+                epsilon_decay: 0.5,
+                epsilon_min: 0.05,
+                ..QConfig::default()
+            },
+        );
         for _ in 0..20 {
             q.update(0, 0, 0.0, 1, false);
             q.decay_epsilon();
@@ -221,11 +230,15 @@ mod tests {
 
     #[test]
     fn terminal_updates_do_not_bootstrap() {
-        let mut q = QLearner::new(2, 1, QConfig {
-            alpha: 1.0,
-            gamma: 0.9,
-            ..QConfig::default()
-        });
+        let mut q = QLearner::new(
+            2,
+            1,
+            QConfig {
+                alpha: 1.0,
+                gamma: 0.9,
+                ..QConfig::default()
+            },
+        );
         // Give state 1 a large value; a terminal transition into it must
         // ignore that value.
         q.update(1, 0, 10.0, 0, true);

@@ -64,7 +64,7 @@ impl RbfSurrogate {
     }
 
     /// Predict `(mean, uncertainty)` at `x`. Uncertainty is a distance-to-
-    /// data proxy in [0,1]: 0 on top of data, →1 far from all data.
+    /// data proxy in \[0,1\]: 0 on top of data, →1 far from all data.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
         if self.points.is_empty() {
             return (0.0, 1.0);
@@ -150,7 +150,10 @@ pub fn bayes_opt<O: Objective>(
             (0..dim).map(|_| rng.uniform()).collect()
         } else {
             // Score random candidates (half global, half near incumbent).
-            let incumbent = surrogate.best().map(|(p, _)| p.to_vec()).expect("non-empty");
+            let incumbent = surrogate
+                .best()
+                .map(|(p, _)| p.to_vec())
+                .expect("non-empty");
             let mut best_cand: Option<(Vec<f64>, f64)> = None;
             for c in 0..cfg.candidates_per_iter {
                 let cand: Vec<f64> = if c % 2 == 0 {

@@ -1,12 +1,12 @@
 //! Property tests for the optimization machinery: budget discipline,
 //! trace monotonicity, and bandit sanity across random configurations.
 
+use evoflow_learn::objective::Objective;
 use evoflow_learn::{
     ant_system, bayes_opt, pso, random_search, simulated_annealing, AcoConfig, AnnealConfig,
     BanditPolicy, BoConfig, Budgeted, EpsilonGreedy, PsoConfig, Rastrigin, Sphere, ThompsonBeta,
     Tsp, Ucb1,
 };
-use evoflow_learn::objective::Objective;
 use evoflow_sim::SimRng;
 use proptest::prelude::*;
 

@@ -122,7 +122,10 @@ impl CompiledGoal {
 
     /// Whether the goal's aspiration target has been reached.
     pub fn target_reached(&self, metrics: &BTreeMap<String, f64>) -> bool {
-        match (self.spec.objective.target, metrics.get(&self.spec.objective.metric)) {
+        match (
+            self.spec.objective.target,
+            metrics.get(&self.spec.objective.metric),
+        ) {
             (Some(t), Some(&v)) => match self.spec.objective.sense {
                 ObjectiveSense::Maximize => v >= t,
                 ObjectiveSense::Minimize => v <= t,

@@ -18,7 +18,7 @@
 //! * [`decompose`] — AND/OR goal trees: divide a campaign goal into
 //!   facility-sized subgoals with progress and remaining-effort rollup
 //!   (the hierarchical composition pattern's planning artifact).
-//! * [`compile`] — [`compile::compile`]: GoalSpec → executable scorer
+//! * [`compile`](mod@compile) — [`compile::compile`](fn@compile::compile): GoalSpec → executable scorer
 //!   (the `J` in `argmin J`) + governance gate specs, the bridge from
 //!   intent to the optimizing/intelligent machinery.
 

@@ -7,7 +7,10 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn arb_sense() -> impl Strategy<Value = ObjectiveSense> {
-    prop_oneof![Just(ObjectiveSense::Maximize), Just(ObjectiveSense::Minimize)]
+    prop_oneof![
+        Just(ObjectiveSense::Maximize),
+        Just(ObjectiveSense::Minimize)
+    ]
 }
 
 proptest! {

@@ -86,12 +86,7 @@ impl ModelRegistry {
     }
 
     /// Register a new version of `name`; returns the version number.
-    pub fn register(
-        &mut self,
-        name: impl Into<String>,
-        kind: ArtifactKind,
-        digest: u64,
-    ) -> u32 {
+    pub fn register(&mut self, name: impl Into<String>, kind: ArtifactKind, digest: u64) -> u32 {
         let name = name.into();
         let versions = self.versions.entry(name.clone()).or_default();
         let version = versions.len() as u32 + 1;
@@ -122,12 +117,7 @@ impl ModelRegistry {
     /// Move a version through the lifecycle. Legal transitions:
     /// Staging→Production, Staging→Archived, Production→Archived.
     /// Promoting to Production archives any previously-serving version.
-    pub fn transition(
-        &mut self,
-        name: &str,
-        version: u32,
-        to: Stage,
-    ) -> Result<(), RegistryError> {
+    pub fn transition(&mut self, name: &str, version: u32, to: Stage) -> Result<(), RegistryError> {
         let from = self.get(name, version)?.stage;
         let legal = matches!(
             (from, to),
@@ -172,11 +162,7 @@ impl ModelRegistry {
             .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))
     }
 
-    fn get_mut(
-        &mut self,
-        name: &str,
-        version: u32,
-    ) -> Result<&mut ArtifactVersion, RegistryError> {
+    fn get_mut(&mut self, name: &str, version: u32) -> Result<&mut ArtifactVersion, RegistryError> {
         self.versions
             .get_mut(name)
             .ok_or_else(|| RegistryError::UnknownArtifact(name.to_string()))?
@@ -204,7 +190,10 @@ mod tests {
         let mut r = ModelRegistry::new();
         assert_eq!(r.register("surrogate", ArtifactKind::Model, 0xa), 1);
         assert_eq!(r.register("surrogate", ArtifactKind::Model, 0xb), 2);
-        assert_eq!(r.register("anneal-protocol", ArtifactKind::Protocol, 0xc), 1);
+        assert_eq!(
+            r.register("anneal-protocol", ArtifactKind::Protocol, 0xc),
+            1
+        );
         assert_eq!(r.latest("surrogate").unwrap().version, 2);
         assert_eq!(r.total_versions(), 3);
     }

@@ -254,9 +254,7 @@ impl Replica {
             .iter()
             .filter(|op| op.seq > self.vv.get(&op.site).copied().unwrap_or(0))
             .collect();
-        fresh.sort_by(|a, b| {
-            (a.lamport, &a.site, a.seq).cmp(&(b.lamport, &b.site, b.seq))
-        });
+        fresh.sort_by(|a, b| (a.lamport, &a.site, a.seq).cmp(&(b.lamport, &b.site, b.seq)));
         let count = fresh.len();
         for op in fresh {
             self.apply(op);
@@ -319,9 +317,7 @@ pub fn gossip_to_convergence(replicas: &mut [Replica], max_rounds: usize) -> Opt
             };
             sync_pair(left, right);
         }
-        let all_equal = replicas
-            .windows(2)
-            .all(|w| converged(&w[0], &w[1]));
+        let all_equal = replicas.windows(2).all(|w| converged(&w[0], &w[1]));
         if all_equal {
             return Some(round);
         }

@@ -56,9 +56,12 @@ impl Performative {
         match self {
             Request => &[Agree, Refuse, NotUnderstood],
             Agree => &[Inform, Failure],
-            Propose | CounterPropose => {
-                &[AcceptProposal, RejectProposal, CounterPropose, NotUnderstood]
-            }
+            Propose | CounterPropose => &[
+                AcceptProposal,
+                RejectProposal,
+                CounterPropose,
+                NotUnderstood,
+            ],
             QueryRef => &[InformRef, Refuse, NotUnderstood],
             Subscribe => &[Agree, Refuse, NotUnderstood],
             Cancel => &[Inform, NotUnderstood],
@@ -71,7 +74,10 @@ impl Performative {
     /// Whether a conversation may *start* with this performative.
     pub fn can_initiate(self) -> bool {
         use Performative::*;
-        matches!(self, Request | Propose | QueryRef | Subscribe | Inform | Cancel)
+        matches!(
+            self,
+            Request | Propose | QueryRef | Subscribe | Inform | Cancel
+        )
     }
 
     /// Whether this performative ends its conversation.

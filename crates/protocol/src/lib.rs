@@ -1,7 +1,7 @@
 //! # evoflow-protocol — standardized agent communication
 //!
 //! The paper's roadmap (§5.5, §7 *Workflows Research*) calls for
-//! "communication protocols between agents [to] be standardized to enable
+//! "communication protocols between agents \[to\] be standardized to enable
 //! transitions from pipeline-based systems to fully emergent swarms" and for
 //! "authentication and transfer services [to be augmented] with capability
 //! negotiation protocols assuming non-human access scenarios". This crate is

@@ -416,20 +416,24 @@ mod tests {
     #[test]
     fn conceder_settles_faster_than_boulware_pair() {
         let issues = vec![issue("price", 0.0, 1.0), issue("volume", 0.0, 100.0)];
-        let seller = |s| {
-            Negotiator::new(
-                "s",
-                Preferences::new(vec![1.0, -0.2], 0.2),
-                s,
-            )
-        };
+        let seller = |s| Negotiator::new("s", Preferences::new(vec![1.0, -0.2], 0.2), s);
         let buyer = Negotiator::new(
             "b",
             Preferences::new(vec![-1.0, 0.5], 0.2),
             Strategy::Conceder { beta: 3.0 },
         );
-        let fast = negotiate(&seller(Strategy::Conceder { beta: 3.0 }), &buyer, &issues, 60);
-        let slow = negotiate(&seller(Strategy::Boulware { beta: 0.2 }), &buyer, &issues, 60);
+        let fast = negotiate(
+            &seller(Strategy::Conceder { beta: 3.0 }),
+            &buyer,
+            &issues,
+            60,
+        );
+        let slow = negotiate(
+            &seller(Strategy::Boulware { beta: 0.2 }),
+            &buyer,
+            &issues,
+            60,
+        );
         assert!(fast.agreement.is_some() && slow.agreement.is_some());
         assert!(
             fast.rounds <= slow.rounds,
@@ -443,8 +447,18 @@ mod tests {
     fn boulware_seller_extracts_more_utility_than_conceder_seller() {
         let (_, planner, issues) = hpc_vs_planner();
         let seller = |s| Negotiator::new("hpc", Preferences::new(vec![1.0, -0.4, 0.6], 0.2), s);
-        let tough = negotiate(&seller(Strategy::Boulware { beta: 0.15 }), &planner, &issues, 80);
-        let soft = negotiate(&seller(Strategy::Conceder { beta: 4.0 }), &planner, &issues, 80);
+        let tough = negotiate(
+            &seller(Strategy::Boulware { beta: 0.15 }),
+            &planner,
+            &issues,
+            80,
+        );
+        let soft = negotiate(
+            &seller(Strategy::Conceder { beta: 4.0 }),
+            &planner,
+            &issues,
+            80,
+        );
         assert!(tough.agreement.is_some() && soft.agreement.is_some());
         assert!(
             tough.utility_a >= soft.utility_a,

@@ -121,7 +121,10 @@ impl std::fmt::Display for WireError {
             WireError::Oversize(n) => write!(f, "payload of {n} bytes exceeds MAX_PAYLOAD"),
             WireError::Truncated(n) => write!(f, "truncated frame: {n} more bytes needed"),
             WireError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: frame {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: frame {expected:#x}, computed {actual:#x}"
+                )
             }
             WireError::VersionDisjoint { ours, theirs } => write!(
                 f,
@@ -328,7 +331,10 @@ mod tests {
         let mut bytes = enc.to_vec();
         bytes[0] = b'X';
         let mut buf = BytesMut::from(&bytes[..]);
-        assert!(matches!(decode_frame(&mut buf), Err(WireError::BadMagic(_))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(WireError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -380,7 +386,10 @@ mod tests {
         let len_off = 4 + 2 + 1 + 1 + 8;
         bytes[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut buf = BytesMut::from(&bytes[..]);
-        assert!(matches!(decode_frame(&mut buf), Err(WireError::Oversize(_))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(WireError::Oversize(_))
+        ));
     }
 
     #[test]

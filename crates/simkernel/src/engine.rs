@@ -51,7 +51,8 @@ impl<'a, E> Ctx<'a, E> {
 
     /// Schedule an event at the current instant (fires before any later event).
     pub fn schedule_now(&mut self, event: E) {
-        self.queue.schedule_with_priority(self.now, PRIORITY_NORMAL, event);
+        self.queue
+            .schedule_with_priority(self.now, PRIORITY_NORMAL, event);
     }
 
     /// Request that the engine stop after this handler returns.
@@ -95,11 +96,18 @@ pub struct Engine<W: World> {
 impl<W: World> Engine<W> {
     /// Create an engine with the given master seed.
     pub fn new(world: W, master_seed: u64) -> Self {
+        Self::with_event_capacity(world, master_seed, 0)
+    }
+
+    /// Create an engine whose event queue is preallocated for `capacity`
+    /// pending events — worthwhile for long runs with deep queues, where
+    /// `BinaryHeap` regrowth would otherwise interleave with the hot loop.
+    pub fn with_event_capacity(world: W, master_seed: u64, capacity: usize) -> Self {
         let registry = RngRegistry::new(master_seed);
         Engine {
             world,
             metrics: MetricsRegistry::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             rng: registry.stream("world"),
             rng_registry: registry,

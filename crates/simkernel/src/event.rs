@@ -72,6 +72,23 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Create an empty queue with room for `capacity` pending events.
+    ///
+    /// Hot simulation loops that know their steady-state queue depth can
+    /// preallocate once and avoid heap regrowth mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `payload` to fire at absolute time `at` with normal priority.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         self.schedule_with_priority(at, PRIORITY_NORMAL, payload);
@@ -145,7 +162,10 @@ mod tests {
         q.schedule(t, "second-normal");
         q.schedule_with_priority(t, 1, "lazy");
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["urgent", "first-normal", "second-normal", "lazy"]);
+        assert_eq!(
+            order,
+            vec!["urgent", "first-normal", "second-normal", "lazy"]
+        );
     }
 
     #[test]

@@ -91,6 +91,33 @@ impl SampleStats {
         self.mean() * self.count as f64
     }
 
+    /// Merge another statistic into this one (parallel Welford / Chan et
+    /// al.), as if every observation of `other` had been recorded here.
+    ///
+    /// This is the aggregation primitive fleet executors use to combine
+    /// per-shard distributions without sharing mutable state across
+    /// threads: each worker accumulates locally, then the coordinator
+    /// folds the shards in deterministic order.
+    pub fn merge(&mut self, other: &SampleStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Quantile in `[0,1]` by nearest-rank on a sorted copy (`NaN` when empty).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
@@ -254,6 +281,34 @@ mod tests {
     }
 
     #[test]
+    fn merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.73).sin() * 10.0).collect();
+        let mut whole = SampleStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        // Record the same stream in three shards and merge.
+        let mut merged = SampleStats::new();
+        for chunk in xs.chunks(13) {
+            let mut shard = SampleStats::new();
+            for &x in chunk {
+                shard.record(x);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        assert!((merged.std_dev() - whole.std_dev()).abs() < 1e-12);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        assert_eq!(merged.median(), whole.median());
+        // Merging an empty statistic is a no-op.
+        let before = merged.mean();
+        merged.merge(&SampleStats::new());
+        assert_eq!(merged.mean(), before);
+    }
+
+    #[test]
     fn empty_stats_are_safe() {
         let s = SampleStats::new();
         assert_eq!(s.mean(), 0.0);
@@ -267,7 +322,7 @@ mod tests {
         let mut w = TimeWeighted::new(SimTime::ZERO, 0.0);
         w.set(SimTime::from_secs(10), 4.0); // 0 for 10s
         w.set(SimTime::from_secs(20), 2.0); // 4 for 10s
-        // now at t=30: 2 for 10s. avg = (0*10 + 4*10 + 2*10)/30 = 2.0
+                                            // now at t=30: 2 for 10s. avg = (0*10 + 4*10 + 2*10)/30 = 2.0
         assert_eq!(w.average(SimTime::from_secs(30)), 2.0);
         assert_eq!(w.current(), 2.0);
     }

@@ -55,6 +55,31 @@ impl RngRegistry {
     pub fn stream_indexed(&self, name: &str, index: u64) -> SimRng {
         SimRng::from_seed_u64(self.stream_seed(name) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
+
+    /// Derive the master seed for shard `(label, index)` of a partitioned
+    /// workload (e.g. one campaign in a fleet).
+    ///
+    /// The result depends only on `(master_seed, label, index)` — never on
+    /// thread count or execution order — so a fleet sharded this way is
+    /// bit-reproducible at any parallelism. A SplitMix64 finalizer gives
+    /// avalanche over consecutive indices, so shards `i` and `i+1` get
+    /// statistically independent streams.
+    pub fn shard_seed(&self, label: &str, index: u64) -> u64 {
+        let mut z = self
+            .master_seed
+            .rotate_left(23)
+            .wrapping_add(fnv1a(label.as_bytes()))
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A child registry rooted at [`RngRegistry::shard_seed`], giving the
+    /// shard its own full namespace of named streams.
+    pub fn derive(&self, label: &str, index: u64) -> RngRegistry {
+        RngRegistry::new(self.shard_seed(label, index))
+    }
 }
 
 /// A deterministic random stream (ChaCha8 — fast, portable, reproducible).
@@ -180,8 +205,14 @@ mod tests {
     #[test]
     fn same_seed_same_stream() {
         let reg = RngRegistry::new(42);
-        let a: Vec<f64> = { let mut r = reg.stream("x"); (0..16).map(|_| r.uniform()).collect() };
-        let b: Vec<f64> = { let mut r = reg.stream("x"); (0..16).map(|_| r.uniform()).collect() };
+        let a: Vec<f64> = {
+            let mut r = reg.stream("x");
+            (0..16).map(|_| r.uniform()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = reg.stream("x");
+            (0..16).map(|_| r.uniform()).collect()
+        };
         assert_eq!(a, b);
     }
 
@@ -193,6 +224,31 @@ mod tests {
         let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_and_distinct() {
+        let reg = RngRegistry::new(123);
+        // Stable across calls and registry clones.
+        assert_eq!(
+            reg.shard_seed("fleet", 5),
+            reg.clone().shard_seed("fleet", 5)
+        );
+        // Distinct across indices and labels.
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..100).map(|i| reg.shard_seed("fleet", i)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_ne!(reg.shard_seed("fleet", 0), reg.shard_seed("other", 0));
+        // Derived registries reproduce their shard's streams.
+        let a: Vec<u64> = {
+            let mut r = reg.derive("fleet", 3).stream("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = reg.derive("fleet", 3).stream("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -13,9 +13,7 @@
 //! * `regime`   — mid-episode sensor-polarity flip + drift reversal: only
 //!   Intelligent (Ω rewrite of the controller machine) recovers.
 
-use crate::machine::{
-    History, IntelligenceLevel, Machine, Transition, VerificationSpace,
-};
+use crate::machine::{History, IntelligenceLevel, Machine, Transition, VerificationSpace};
 use evoflow_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -532,7 +530,12 @@ impl IntelligentController {
             .map(|(a, d)| (a - ma) * (d - md))
             .sum::<f64>()
             / n;
-        let var = self.window.iter().map(|(a, _)| (a - ma).powi(2)).sum::<f64>() / n;
+        let var = self
+            .window
+            .iter()
+            .map(|(a, _)| (a - ma).powi(2))
+            .sum::<f64>()
+            / n;
         if var < 1e-6 {
             None
         } else {

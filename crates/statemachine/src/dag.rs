@@ -140,7 +140,9 @@ impl Dag {
     pub fn ready(&self, done: &BTreeSet<TaskId>) -> Vec<TaskId> {
         (0..self.labels.len() as u32)
             .map(TaskId)
-            .filter(|t| !done.contains(t) && self.preds[t.0 as usize].iter().all(|p| done.contains(p)))
+            .filter(|t| {
+                !done.contains(t) && self.preds[t.0 as usize].iter().all(|p| done.contains(p))
+            })
             .collect()
     }
 
@@ -319,7 +321,10 @@ mod tests {
     fn unknown_task_edge_rejected() {
         let mut d = Dag::new();
         let a = d.task("a");
-        assert_eq!(d.edge(a, TaskId(9)).unwrap_err(), DagError::UnknownTask(TaskId(9)));
+        assert_eq!(
+            d.edge(a, TaskId(9)).unwrap_err(),
+            DagError::UnknownTask(TaskId(9))
+        );
     }
 
     #[test]

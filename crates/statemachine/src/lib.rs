@@ -32,11 +32,9 @@ pub use control::{
 };
 pub use dag::{Dag, DagError, TaskId};
 pub use fsm::{Fsm, FsmBuilder, FsmError, StateId, SymbolId, Trace};
-pub use machine::{
-    Experience, History, IntelligenceLevel, Machine, Transition, VerificationSpace,
-};
+pub use machine::{Experience, History, IntelligenceLevel, Machine, Transition, VerificationSpace};
 pub use meta::{
-    apply_guarded, apply_rewrite, Context, Goals, Guardrails, MetaOperator, RecoveryOmega,
-    Rewrite, RewriteRejection,
+    apply_guarded, apply_rewrite, Context, Goals, Guardrails, MetaOperator, RecoveryOmega, Rewrite,
+    RewriteRejection,
 };
 pub use verify::{verify_behaviour_space, verify_fsm, VerificationReport};

@@ -363,12 +363,8 @@ mod tests {
         };
         let guard = Guardrails::default();
         let rewrites = vec![
-            Rewrite::AddState {
-                label: "a".into(),
-            },
-            Rewrite::AddState {
-                label: "b".into(),
-            },
+            Rewrite::AddState { label: "a".into() },
+            Rewrite::AddState { label: "b".into() },
         ];
         let err = apply_guarded(&m, &rewrites, &mut goals, &guard).unwrap_err();
         assert_eq!(err, RewriteRejection::BudgetExhausted);

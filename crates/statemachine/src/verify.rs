@@ -64,7 +64,8 @@ pub fn verify_fsm(m: &Fsm, state_budget: usize) -> VerificationReport {
         .collect();
 
     // Backward co-reachability: which explored states can reach a final?
-    let mut can_finish: BTreeSet<StateId> = seen.iter().copied().filter(|&s| m.is_final(s)).collect();
+    let mut can_finish: BTreeSet<StateId> =
+        seen.iter().copied().filter(|&s| m.is_final(s)).collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -72,10 +73,11 @@ pub fn verify_fsm(m: &Fsm, state_budget: usize) -> VerificationReport {
             if can_finish.contains(&s) {
                 continue;
             }
-            let reaches = m
-                .enabled(s)
-                .into_iter()
-                .any(|a| m.try_step(s, a).map(|t| can_finish.contains(&t)).unwrap_or(false));
+            let reaches = m.enabled(s).into_iter().any(|a| {
+                m.try_step(s, a)
+                    .map(|t| can_finish.contains(&t))
+                    .unwrap_or(false)
+            });
             if reaches {
                 can_finish.insert(s);
                 changed = true;

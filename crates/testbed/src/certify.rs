@@ -78,8 +78,8 @@ fn run_rung(factory: &CandidateFactory<'_>, rung: &Rung, master_seed: u64) -> Ru
     let n = outcomes.len() as f64;
     let mean_in_band = outcomes.iter().map(|o| o.in_band_fraction).sum::<f64>() / n;
     let crash_rate = outcomes.iter().filter(|o| o.crashed).count() as f64 / n;
-    let mean_cost_per_step = outcomes.iter().map(|o| o.cost_units as f64).sum::<f64>()
-        / (n * rung.horizon as f64);
+    let mean_cost_per_step =
+        outcomes.iter().map(|o| o.cost_units as f64).sum::<f64>() / (n * rung.horizon as f64);
     RungResult {
         grade: rung.grade,
         name: rung.name.clone(),

@@ -13,7 +13,7 @@
 //!   intelligence level, each a disturbance class that defeats every level
 //!   below it (noise defeats Static, bias defeats Adaptive, tight bias
 //!   tolerances defeat Learning, regime shifts defeat Optimizing).
-//! * [`certify`] — the harness: run any candidate controller up the
+//! * [`certify`](mod@certify) — the harness: run any candidate controller up the
 //!   ladder across seeded replications and issue an [`certify::AutonomyCertificate`]
 //!   recording the highest *contiguously* passed rung — a system that
 //!   handles regime shifts but crashes under plain noise is not L4.
@@ -30,8 +30,7 @@ pub mod report;
 pub mod scenario;
 
 pub use certify::{
-    certify, certify_with_ladder, expected_grade, reference_matrix, AutonomyCertificate,
-    RungResult,
+    certify, certify_with_ladder, expected_grade, reference_matrix, AutonomyCertificate, RungResult,
 };
 pub use report::to_markdown;
 pub use scenario::{standard_ladder, AutonomyGrade, Rung};

@@ -69,7 +69,10 @@ mod tests {
         let cert = certify("static-ref", &factory, 3);
         let json = serde_json::to_string_pretty(&cert).unwrap();
         let back: AutonomyCertificate = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.achieved, Some(expected_grade(IntelligenceLevel::Static)));
+        assert_eq!(
+            back.achieved,
+            Some(expected_grade(IntelligenceLevel::Static))
+        );
         assert_eq!(back.rungs.len(), cert.rungs.len());
     }
 

@@ -41,8 +41,7 @@ impl Checkpoint {
     /// Tasks already satisfied (succeeded or skipped).
     pub fn satisfied(&self) -> impl Iterator<Item = TaskId> + '_ {
         self.statuses.iter().enumerate().filter_map(|(i, s)| {
-            matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped)
-                .then_some(TaskId(i as u32))
+            matches!(s, TaskStatus::Succeeded | TaskStatus::Skipped).then_some(TaskId(i as u32))
         })
     }
 
@@ -166,7 +165,9 @@ pub fn resume(
         sub_specs.push(wf.specs[i].clone());
     }
     for i in 0..wf.len() {
-        let Some(new_to) = old_to_new[i] else { continue };
+        let Some(new_to) = old_to_new[i] else {
+            continue;
+        };
         for pred in wf.dag.preds(TaskId(i as u32)) {
             if let Some(new_from) = old_to_new[pred.0 as usize] {
                 sub_dag

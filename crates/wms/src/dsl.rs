@@ -149,8 +149,7 @@ pub fn parse(source: &str) -> Result<ParsedWorkflow, ParseError> {
                         // written in either order.
                         (Mode::Deps, attr) if attr.contains('=') => {
                             mode = Mode::Attrs;
-                            let (key, value) =
-                                attr.split_once('=').expect("contains '=' checked");
+                            let (key, value) = attr.split_once('=').expect("contains '=' checked");
                             apply_attr(&mut spec, key, value).map_err(&err)?;
                         }
                         (Mode::Deps, dep) => deps.push(dep.to_string()),
@@ -162,8 +161,7 @@ pub fn parse(source: &str) -> Result<ParsedWorkflow, ParseError> {
                             let (key, value) = attr
                                 .split_once('=')
                                 .ok_or_else(|| err(ParseErrorKind::BadAttribute(attr.into())))?;
-                            apply_attr(&mut spec, key, value)
-                                .map_err(&err)?;
+                            apply_attr(&mut spec, key, value).map_err(&err)?;
                         }
                     }
                 }
@@ -436,7 +434,10 @@ task analyze      duration=15m  after characterize simulate if no_failures
                 again.workflow.dag.preds(id).count(),
                 parsed.workflow.dag.preds(id).count()
             );
-            assert_eq!(again.workflow.specs[i].condition, parsed.workflow.specs[i].condition);
+            assert_eq!(
+                again.workflow.specs[i].condition,
+                parsed.workflow.specs[i].condition
+            );
             assert!(
                 (again.workflow.specs[i].duration.as_secs_f64()
                     - parsed.workflow.specs[i].duration.as_secs_f64())

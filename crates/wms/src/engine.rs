@@ -257,10 +257,7 @@ impl World for WmsWorld {
                                 ctx.metrics.incr("retries", 1);
                                 // Hold the workers; retry in place after a
                                 // short backoff.
-                                ctx.schedule_in(
-                                    SimDuration::from_secs(30),
-                                    Ev::Start(t),
-                                );
+                                ctx.schedule_in(SimDuration::from_secs(30), Ev::Start(t));
                                 // Undo the attempt's worker hold double-count:
                                 // Start re-requests nothing; workers stay held.
                                 self.attempts_total -= 0;
@@ -297,7 +294,9 @@ pub fn execute(wf: &Workflow, workers: u64, policy: FaultPolicy, seed: u64) -> R
         aborted: false,
         last_event: SimTime::ZERO,
     };
-    let mut engine = Engine::new(world, seed);
+    // Queue depth is bounded by one pending event per task plus one per
+    // worker slot (completions), so preallocate and never regrow mid-run.
+    let mut engine = Engine::with_event_capacity(world, seed, n + workers as usize + 1);
     engine.schedule_at(SimTime::ZERO, Ev::Dispatch);
     let outcome = engine.run_to_completion(10_000_000);
     debug_assert!(
@@ -406,12 +405,9 @@ mod tests {
                 dag.clone(),
                 vec![
                     TaskSpec::reliable("a", hour()),
-                    TaskSpec::reliable("b", hour())
-                        .with_fail_prob(wf_fail),
-                    TaskSpec::reliable("recover", hour())
-                        .with_condition(Condition::IfAnyFailure),
-                    TaskSpec::reliable("cleanup", hour())
-                        .with_condition(Condition::IfNoFailures),
+                    TaskSpec::reliable("b", hour()).with_fail_prob(wf_fail),
+                    TaskSpec::reliable("recover", hour()).with_condition(Condition::IfAnyFailure),
+                    TaskSpec::reliable("cleanup", hour()).with_condition(Condition::IfNoFailures),
                 ],
             )
         };

@@ -29,9 +29,5 @@ pub mod meta;
 
 pub use checkpoint::{resume, Checkpoint, ResumeError};
 pub use dsl::{parse, render, ParseError, ParseErrorKind, ParsedWorkflow};
-pub use engine::{
-    execute, Condition, FaultPolicy, RunReport, TaskSpec, TaskStatus, Workflow,
-};
-pub use meta::{
-    execute_meta, run_sweep, MetaReport, MetaWorkflow, ParameterGrid, SweepReport,
-};
+pub use engine::{execute, Condition, FaultPolicy, RunReport, TaskSpec, TaskStatus, Workflow};
+pub use meta::{execute_meta, run_sweep, MetaReport, MetaWorkflow, ParameterGrid, SweepReport};

@@ -98,7 +98,10 @@ pub fn run_sweep(
         let scale = 1.0 + p.first().copied().unwrap_or(0.0).abs() * 0.1;
         let wf = Workflow::new(
             dag,
-            vec![TaskSpec::reliable(format!("point{i}"), task_duration.mul_f64(scale))],
+            vec![TaskSpec::reliable(
+                format!("point{i}"),
+                task_duration.mul_f64(scale),
+            )],
         );
         runs.push(execute(
             &wf,

@@ -8,8 +8,12 @@ use proptest::prelude::*;
 
 /// Random forward-edge DAG + aligned reliable specs.
 fn arb_workflow() -> impl Strategy<Value = Workflow> {
-    (2usize..12, prop::collection::vec(any::<u32>(), 0..30), 1u64..5).prop_map(
-        |(n, picks, hours)| {
+    (
+        2usize..12,
+        prop::collection::vec(any::<u32>(), 0..30),
+        1u64..5,
+    )
+        .prop_map(|(n, picks, hours)| {
             let mut d = Dag::new();
             let ts: Vec<TaskId> = (0..n).map(|i| d.task(format!("t{i}"))).collect();
             for (k, pick) in picks.iter().enumerate() {
@@ -23,8 +27,7 @@ fn arb_workflow() -> impl Strategy<Value = Workflow> {
                 .map(|i| TaskSpec::reliable(format!("t{i}"), SimDuration::from_hours(hours)))
                 .collect();
             Workflow::new(d, specs)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -11,14 +11,13 @@
 //! Run with: `cargo run --release --example capability_negotiation`
 
 use bytes::Bytes;
+use bytes::BytesMut;
 use evoflow::intent::{compile, Comparator, GoalSpec, ObjectiveSense};
 use evoflow::protocol::negotiation::issue;
 use evoflow::protocol::{
-    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer,
-    Conversation, Frame, FrameKind, Negotiator, Performative, Preferences, Requirement, Strategy,
-    ValueRange,
+    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer, Conversation,
+    Frame, FrameKind, Negotiator, Performative, Preferences, Requirement, Strategy, ValueRange,
 };
-use bytes::BytesMut;
 
 fn main() {
     // ── 1. Scientific intent, validated before anything is spent ────────
@@ -31,7 +30,11 @@ fn main() {
         .success("band_gap_eV", Comparator::Ge, 3.0)
         .build();
     let compiled = compile(&goal).expect("goal validates");
-    println!("goal '{}' compiles to {} governance gates:", goal.id, compiled.gates().len());
+    println!(
+        "goal '{}' compiles to {} governance gates:",
+        goal.id,
+        compiled.gates().len()
+    );
     for gate in compiled.gates() {
         println!("  - {}", gate.name);
     }
@@ -101,9 +104,30 @@ fn main() {
     // ── 4. The speech acts that carried it, validated + framed ───────────
     let mut conversation = Conversation::new(801);
     let msgs = [
-        AclMessage::new(Performative::Propose, "campaign-planner", &chosen.facility, 801, "sla/1", "opening terms"),
-        AclMessage::new(Performative::CounterPropose, &chosen.facility, "campaign-planner", 801, "sla/1", "counter"),
-        AclMessage::new(Performative::AcceptProposal, "campaign-planner", &chosen.facility, 801, "sla/1", "accepted"),
+        AclMessage::new(
+            Performative::Propose,
+            "campaign-planner",
+            &chosen.facility,
+            801,
+            "sla/1",
+            "opening terms",
+        ),
+        AclMessage::new(
+            Performative::CounterPropose,
+            &chosen.facility,
+            "campaign-planner",
+            801,
+            "sla/1",
+            "counter",
+        ),
+        AclMessage::new(
+            Performative::AcceptProposal,
+            "campaign-planner",
+            &chosen.facility,
+            801,
+            "sla/1",
+            "accepted",
+        ),
     ];
     let mut wire_bytes = 0usize;
     for msg in msgs {

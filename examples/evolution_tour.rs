@@ -15,7 +15,12 @@ fn main() {
     // --- Table 1 -----------------------------------------------------------
     println!("Table 1 — the intelligence dimension");
     for level in IntelligenceLevel::ALL {
-        println!("  {:<12} {:<24} e.g. {}", level.to_string(), level.formalism(), level.exemplar());
+        println!(
+            "  {:<12} {:<24} e.g. {}",
+            level.to_string(),
+            level.formalism(),
+            level.exemplar()
+        );
     }
 
     // --- Table 2 -----------------------------------------------------------
@@ -102,5 +107,8 @@ fn main() {
         );
     }
 
-    println!("\nAll {} cells enumerate distinct representatives — the plane is fully charted.", all_cells().len());
+    println!(
+        "\nAll {} cells enumerate distinct representatives — the plane is fully charted.",
+        all_cells().len()
+    );
 }

@@ -21,7 +21,11 @@ fn main() {
             println!("  [{}]", c.layer);
             last_layer = c.layer;
         }
-        println!("     - {} ({})", c.component, if c.healthy { "healthy" } else { "DOWN" });
+        println!(
+            "     - {} ({})",
+            c.component,
+            if c.healthy { "healthy" } else { "DOWN" }
+        );
     }
 
     // --- federation operations (Figure 3) -----------------------------------
@@ -33,7 +37,10 @@ fn main() {
         .federation
         .handshake("ai-hub", "characterization/xrd")
         .expect("lightsource online");
-    println!("  handshake ai-hub -> {} authenticated={}", hs.to, hs.authenticated);
+    println!(
+        "  handshake ai-hub -> {} authenticated={}",
+        hs.to, hs.authenticated
+    );
     let plan = rt
         .federation
         .transfer("lightsource", "ai-hub", 120.0)
@@ -51,7 +58,9 @@ fn main() {
         "beamline-2",
         "scan 881 complete: 240 frames",
     ));
-    rt.coordination.state.set("campaign/phase", "characterization");
+    rt.coordination
+        .state
+        .set("campaign/phase", "characterization");
     println!(
         "\ncoordination: bus delivered {:?}; replicated state phase={:?}",
         telemetry.drain().len(),

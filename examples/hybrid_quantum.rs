@@ -50,7 +50,10 @@ fn main() {
         let mut rng = SimRng::from_seed_u64(7);
         let report = hybrid.minimize(energy, (0.0, 2.5), 400_000, &mut rng);
         println!("== {mode:?} access ==");
-        println!("  best θ          : {:.3} (true optimum 1.100)", report.best_theta);
+        println!(
+            "  best θ          : {:.3} (true optimum 1.100)",
+            report.best_theta
+        );
         println!("  best energy     : {:.3}", report.best_value);
         println!("  iterations      : {}", report.iterations);
         println!("  shots consumed  : {}", report.shots_used);

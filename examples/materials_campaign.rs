@@ -15,7 +15,9 @@ use evoflow::agents::{
     negotiate, AnalysisAgent, DesignAgent, FacilityAgent, HypothesisAgent, LibrarianAgent,
 };
 use evoflow::cogsim::{CognitiveModel, ModelProfile};
-use evoflow::core::{run_campaign, CampaignConfig, Cell, CoordinationMode, Federation, MaterialsSpace};
+use evoflow::core::{
+    run_campaign, CampaignConfig, Cell, CoordinationMode, Federation, MaterialsSpace,
+};
 use evoflow::sim::{RngRegistry, SimDuration};
 
 fn main() {
@@ -63,7 +65,10 @@ fn main() {
         },
     ];
     let bid = negotiate(&facility_agents, "synthesis/thin-film", 2.0).expect("bids exist");
-    println!("negotiation: {} wins at eta {:.1}h", bid.facility, bid.eta_hours);
+    println!(
+        "negotiation: {} wins at eta {:.1}h",
+        bid.facility, bid.eta_hours
+    );
 
     // Execute: measure each validated plan; analysis + librarian record.
     let mut analysis = AnalysisAgent::new(0.12);
@@ -78,7 +83,10 @@ fn main() {
         let key = librarian.record_iteration(cand, score, hypothesis.usage(), space.threshold);
         println!(
             "  measured {:?} -> score {score:.3} recorded as {key}",
-            plan.params.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            plan.params
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
     println!(

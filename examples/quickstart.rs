@@ -67,7 +67,10 @@ fn main() {
         ..SystemDescriptor::default()
     };
     let cell = classify(&descriptor);
-    println!("3. Evolution-matrix cell: {cell} (representative: {})", cell.representative());
+    println!(
+        "3. Evolution-matrix cell: {cell} (representative: {})",
+        cell.representative()
+    );
     print!("{}", render_plane(cell));
 
     // --- 4. The prescribed path to autonomous science ----------------------

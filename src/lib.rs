@@ -39,6 +39,25 @@
 //! let report = run_campaign(&space, &cfg);
 //! assert!(report.experiments > 0);
 //! ```
+//!
+//! ## Fleet execution
+//!
+//! Many campaigns, every core, bit-reproducible at any thread count
+//! (see [`core::fleet`] for the design):
+//!
+//! ```
+//! use evoflow::core::{run_campaign_fleet, Cell, FleetConfig, MaterialsSpace};
+//! use evoflow::sim::SimDuration;
+//!
+//! let space = MaterialsSpace::generate(3, 8, 42);
+//! let mut fleet = FleetConfig::new(7);
+//! fleet.horizon = SimDuration::from_days(1);
+//! fleet.push_cell(Cell::traditional_wms(), 2);
+//! fleet.push_cell(Cell::autonomous_science(), 2);
+//! let report = run_campaign_fleet(&space, &fleet);
+//! assert_eq!(report.reports.len(), 4);
+//! assert_eq!(report.per_cell.len(), 2);
+//! ```
 
 pub use evoflow_agents as agents;
 pub use evoflow_cogsim as cogsim;

@@ -3,9 +3,7 @@
 //! facility + core together.
 
 use evoflow::agents::Pattern;
-use evoflow::core::{
-    run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace,
-};
+use evoflow::core::{run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace};
 use evoflow::facility::HumanModel;
 use evoflow::sim::SimDuration;
 use evoflow::sm::IntelligenceLevel;
@@ -21,7 +19,11 @@ fn full_autonomous_campaign_produces_all_artifacts() {
     cfg.coordination = Some(CoordinationMode::Autonomous);
     let r = run_campaign(&space(), &cfg);
 
-    assert!(r.experiments > 100, "too few experiments: {}", r.experiments);
+    assert!(
+        r.experiments > 100,
+        "too few experiments: {}",
+        r.experiments
+    );
     assert!(r.kg_nodes > 0, "knowledge graph empty");
     assert!(r.prov_activities > 0, "no provenance captured");
     assert!(r.tokens > 0, "no inference accounted");

@@ -80,7 +80,10 @@ fn revoked_credentials_cascade_through_delegation_chains() {
 
     // Compromise detected: revoke the root credential.
     auth.revoke(root.id);
-    assert_eq!(auth.verify(&root, None, 10).unwrap_err(), AuthError::Revoked);
+    assert_eq!(
+        auth.verify(&root, None, 10).unwrap_err(),
+        AuthError::Revoked
+    );
     assert_eq!(
         auth.verify(&worker, None, 10).unwrap_err(),
         AuthError::Revoked,
@@ -120,8 +123,7 @@ fn governance_stops_a_runaway_agent() {
 
 #[test]
 fn forbidden_goal_rewrites_are_denied_even_when_escalatable() {
-    let mut gov = GovernanceEngine::standard(100)
-        .with_policy(Policy::CostCap { max_hours: 10.0 });
+    let mut gov = GovernanceEngine::standard(100).with_policy(Policy::CostCap { max_hours: 10.0 });
     let v = gov.evaluate(Action {
         agent: "omega".into(),
         kind: "rewrite-goals".into(),

@@ -101,5 +101,10 @@ fn quantum_refinement_result_lands_in_the_shared_graph() {
     hub.set_prop("res/vqe-1", "shots", report.shots_used.to_string());
     evoflow::knowledge::sync::sync_pair(&mut hub, &mut lab);
     assert!(converged(&hub, &lab));
-    assert!(lab.graph().node("res/vqe-1").unwrap().get("theta").is_some());
+    assert!(lab
+        .graph()
+        .node("res/vqe-1")
+        .unwrap()
+        .get("theta")
+        .is_some());
 }

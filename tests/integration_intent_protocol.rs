@@ -8,9 +8,9 @@ use evoflow::intent::{
 };
 use evoflow::protocol::negotiation::issue;
 use evoflow::protocol::{
-    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer,
-    Conversation, ConversationState, Frame, FrameKind, Negotiator, Performative, Preferences,
-    Requirement, Strategy, ValueRange,
+    decode_frame, encode_frame, match_offers, negotiate, AclMessage, CapabilityOffer, Conversation,
+    ConversationState, Frame, FrameKind, Negotiator, Performative, Preferences, Requirement,
+    Strategy, ValueRange,
 };
 use std::collections::BTreeMap;
 
@@ -31,7 +31,9 @@ fn goal_gates_guard_a_simulated_campaign() {
     metrics.insert("band_gap_eV".to_string(), 2.1);
     metrics.insert("toxicity".to_string(), 0.01);
     // Mid-campaign: within budget, no violation.
-    assert!(compiled.violated_gates(&metrics, 120, 9_000, 100.0).is_empty());
+    assert!(compiled
+        .violated_gates(&metrics, 120, 9_000, 100.0)
+        .is_empty());
     assert!(!compiled.target_reached(&metrics));
     // A toxic candidate trips the hard gate even within budget.
     metrics.insert("toxicity".to_string(), 0.5);
@@ -90,13 +92,21 @@ fn matched_facility_negotiates_and_transcript_stays_in_protocol() {
         } else {
             Performative::CounterPropose
         };
-        let other = if who == "planner" { facility.clone() } else { "planner".into() };
+        let other = if who == "planner" {
+            facility.clone()
+        } else {
+            "planner".into()
+        };
         convo
             .accept(AclMessage::new(perf, who, other, 9, "sla/1", "terms"))
             .unwrap_or_else(|e| panic!("offer {i} out of protocol: {e}"));
     }
     let last_speaker = &outcome.transcript.last().unwrap().0;
-    let acceptor = if last_speaker == "planner" { facility.clone() } else { "planner".into() };
+    let acceptor = if last_speaker == "planner" {
+        facility.clone()
+    } else {
+        "planner".into()
+    };
     convo
         .accept(AclMessage::new(
             Performative::AcceptProposal,
@@ -128,8 +138,16 @@ fn hypothesis_lifecycle_from_goal_decomposition() {
     // Decompose the campaign, then drive one hypothesis to a verdict with
     // the kind of evidence the campaign loop produces.
     let mut tree = GoalTree::new("find wide-gap oxide", NodeKind::And);
-    let hypothesize = tree.add_child(tree.root(), "form hypothesis", NodeKind::Leaf { effort: 1.0 });
-    let test = tree.add_child(tree.root(), "test hypothesis", NodeKind::Leaf { effort: 5.0 });
+    let hypothesize = tree.add_child(
+        tree.root(),
+        "form hypothesis",
+        NodeKind::Leaf { effort: 1.0 },
+    );
+    let test = tree.add_child(
+        tree.root(),
+        "test hypothesis",
+        NodeKind::Leaf { effort: 5.0 },
+    );
     assert_eq!(tree.frontier(tree.root()), vec![hypothesize, test]);
 
     let mut h = Hypothesis::new(

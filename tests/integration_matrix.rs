@@ -33,20 +33,13 @@ fn classifier_round_trips_the_whole_matrix() {
                 12
             },
             has_manager: matches!(cell.composition, Pattern::Hierarchical),
-            peer_communication: matches!(
-                cell.composition,
-                Pattern::Mesh | Pattern::Swarm { .. }
-            ),
+            peer_communication: matches!(cell.composition, Pattern::Mesh | Pattern::Swarm { .. }),
             local_neighborhoods_only: matches!(cell.composition, Pattern::Swarm { .. }),
             linear_dataflow: matches!(cell.composition, Pattern::Pipeline),
         };
         let got = classify(&d);
         assert_eq!(got.intelligence, cell.intelligence, "at {cell}");
-        assert_eq!(
-            got.composition.rank(),
-            cell.composition.rank(),
-            "at {cell}"
-        );
+        assert_eq!(got.composition.rank(), cell.composition.rank(), "at {cell}");
     }
 }
 
@@ -96,7 +89,10 @@ fn trajectory_planner_reaches_any_target_cell() {
         }
         let path = planner.plan(start, target);
         assert_eq!(*path.first().expect("non-empty"), start);
-        assert_eq!(path.last().expect("non-empty").intelligence, target.intelligence);
+        assert_eq!(
+            path.last().expect("non-empty").intelligence,
+            target.intelligence
+        );
         assert_eq!(
             path.last().expect("non-empty").composition.rank(),
             target.composition.rank()

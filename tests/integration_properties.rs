@@ -1,7 +1,7 @@
 //! Workspace-level property tests: invariants that span crates.
 
-use evoflow::core::{run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace};
 use evoflow::coord::StateStore;
+use evoflow::core::{run_campaign, CampaignConfig, Cell, CoordinationMode, MaterialsSpace};
 use evoflow::sim::SimDuration;
 use proptest::prelude::*;
 

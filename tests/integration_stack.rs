@@ -92,7 +92,8 @@ fn replicated_state_converges_across_sites() {
 #[test]
 fn intervention_loop_round_trips() {
     let mut rt = LabRuntime::standard(5);
-    rt.human.request_intervention("Ω proposed rewriting the goal set");
+    rt.human
+        .request_intervention("Ω proposed rewriting the goal set");
     assert_eq!(rt.inventory().iter().filter(|c| !c.healthy).count(), 0);
     let resolved = rt.human.resolve_intervention().expect("queued");
     assert!(resolved.contains("Ω"));

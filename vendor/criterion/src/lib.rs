@@ -1,0 +1,295 @@
+//! Offline stub of `criterion`: same macro/builder surface, simple
+//! wall-clock measurement (median of a few timed batches) printed to
+//! stdout as `<group>/<bench> … <time per iter>`.
+//!
+//! No statistics, plots, or saved baselines — just honest timings so the
+//! workspace's `cargo bench` targets run and report without the network.
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! benchmark targets), each benchmark body runs exactly once, unmeasured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched iteration's setup output is sized (ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per batch of iterations.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(function: impl ToString, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.to_string(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkLabel {
+    /// Render the label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// Measured nanoseconds per iteration (filled by `iter*`).
+    ns_per_iter: Option<f64>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, storing ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        // Calibrate: grow the batch until it takes >= 5ms, then time 5 batches.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                let mut samples = vec![elapsed.as_secs_f64() / batch as f64];
+                for _ in 0..4 {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    samples.push(t.elapsed().as_secs_f64() / batch as f64);
+                }
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                self.ns_per_iter = Some(samples[samples.len() / 2] * 1e9);
+                return;
+            }
+            batch *= 2;
+        }
+    }
+
+    /// Time `routine` over values produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.ns_per_iter = Some(samples[samples.len() / 2] * 1e9);
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(group: Option<&str>, label: &str, test_mode: bool, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: None,
+        test_mode,
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    match b.ns_per_iter {
+        Some(ns) => println!("{full:<48} {:>12}/iter", format_time(ns)),
+        None if test_mode => println!("{full:<48} ok (test mode)"),
+        None => println!("{full:<48} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declared sample size (ignored: this stub self-calibrates).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declared throughput, echoed for context.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(n) => println!("{}: throughput {n} bytes/iter", self.name),
+            Throughput::Elements(n) => println!("{}: throughput {n} elems/iter", self.name),
+        }
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<L: IntoBenchmarkLabel>(
+        &mut self,
+        id: L,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.label(), self.criterion.test_mode, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<L: IntoBenchmarkLabel, I>(
+        &mut self,
+        id: L,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.label(),
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(None, name, self.test_mode, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("\n-- {name} --");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: None,
+            test_mode: false,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.ns_per_iter.expect("measured") > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_timing() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            ns_per_iter: None,
+            test_mode: true,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.ns_per_iter.is_none());
+    }
+}

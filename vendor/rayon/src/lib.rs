@@ -1,0 +1,61 @@
+//! Offline shim of the `rayon` parallel-iterator API.
+//!
+//! `par_iter`/`into_par_iter` return **ordinary sequential iterators**, so
+//! every adapter (`map`, `filter`, `enumerate`, `collect`, `sum`, …) is
+//! just the `std::iter` method of the same name. Results are identical to
+//! rayon's (rayon guarantees deterministic collect order); only the
+//! speedup is absent. Code that needs real parallelism in this workspace
+//! uses `std::thread::scope` directly (see `evoflow-core::fleet`).
+
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// "Parallel" iterator — sequential in this shim.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element iterator type.
+        type Iter: Iterator;
+
+        /// "Parallel" shared-reference iterator — sequential here.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let squares: Vec<u64> = (0u64..10).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, (0u64..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_vec() {
+        let v = vec![1u64, 2, 3];
+        let sum: u64 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,30 @@
+//! Deserialization half: [`Deserialize`], [`Deserializer`], [`Error`].
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Error constraint for deserializers (upstream `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source yielding a decoded [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Surrender the decoded value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from a [`Value`] via any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Lift a value from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned-deserialization alias used in trait bounds (upstream
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

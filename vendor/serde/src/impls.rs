@@ -1,0 +1,496 @@
+//! [`Serialize`]/[`Deserialize`] impls for std types.
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{Serialize, Serializer};
+use crate::value::Value;
+use crate::{from_value, to_value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+// ---- scalars ---------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"), v.kind())))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let n = *self as i64;
+                if n >= 0 {
+                    s.serialize_value(Value::U64(n as u64))
+                } else {
+                    s.serialize_value(Value::I64(n))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"), v.kind())))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+/// `u128` stores values above `u64::MAX` as their decimal string (JSON
+/// numbers cap at 64-bit in this stub); smaller values stay numeric.
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match u64::try_from(*self) {
+            Ok(n) => s.serialize_value(Value::U64(n)),
+            Err(_) => s.serialize_value(Value::Str(self.to_string())),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        if let Some(n) = v.as_u64() {
+            return Ok(n as u128);
+        }
+        v.as_str()
+            .and_then(|s| s.parse::<u128>().ok())
+            .ok_or_else(|| de::Error::custom(format!("expected u128, found {}", v.kind())))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                match &v {
+                    Value::Null => Ok(<$t>::NAN), // JSON has no NaN/inf; encoded as null
+                    _ => v.as_f64().map(|n| n as $t).ok_or_else(|| de::Error::custom(
+                        format!(concat!("expected ", stringify!($t), ", found {}"), v.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_bool()
+            .ok_or_else(|| de::Error::custom(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_str()
+            .and_then(|s| {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| de::Error::custom("expected single-char string"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+/// `&'static str` deserializes by leaking the decoded string. Real serde
+/// borrows from the input instead; this stub owns its value tree, so a
+/// leak is the only way to honour the lifetime. Fine for the short labels
+/// this workspace round-trips.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        String::deserialize(d).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_none()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let _ = d.take_value()?;
+        Ok(())
+    }
+}
+
+// ---- references / smart pointers ------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+// ---- Option ----------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+// ---- sequences -------------------------------------------------------------
+
+fn seq_to_value<'a, T: Serialize + 'a, S: Serializer>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, S::Error> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(item).map_err(crate::ser::Error::custom)?);
+    }
+    Ok(Value::Seq(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::new();
+        for item in self {
+            out.push(to_value(item).map_err(crate::ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Seq(out))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+// ---- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(crate::ser::Error::custom)?,)+
+                ];
+                s.serialize_value(Value::Seq(items))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                const ARITY: usize = [$($idx,)+].len();
+                match d.take_value()? {
+                    Value::Seq(items) if items.len() == ARITY => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                from_value::<$name>(it.next().expect("arity checked"))
+                                    .map_err(de::Error::custom)?
+                            },
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected {}-tuple, found {}", ARITY, other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (T0 0)
+    (T0 0, T1 1)
+    (T0 0, T1 1, T2 2)
+    (T0 0, T1 1, T2 2, T3 3)
+    (T0 0, T1 1, T2 2, T3 3, T4 4)
+    (T0 0, T1 1, T2 2, T3 3, T4 4, T5 5)
+}
+
+// ---- maps ------------------------------------------------------------------
+
+/// Maps with string-shaped keys become objects; any other key type becomes
+/// a `[key, value]` pair list. Both encodings are accepted on the way in.
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a, E: crate::ser::Error>(
+    iter: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Value, E> {
+    let mut pairs: Vec<(Value, Value)> = Vec::new();
+    for (k, v) in iter {
+        pairs.push((
+            to_value(k).map_err(E::custom)?,
+            to_value(v).map_err(E::custom)?,
+        ));
+    }
+    if pairs.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+        Ok(Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::Str(s) => (s, v),
+                    _ => unreachable!("checked all keys are strings"),
+                })
+                .collect(),
+        ))
+    } else {
+        Ok(Value::Seq(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k, v]))
+                .collect(),
+        ))
+    }
+}
+
+fn map_from_value<'de, K: Deserialize<'de>, V: Deserialize<'de>, E: de::Error>(
+    value: Value,
+) -> Result<Vec<(K, V)>, E> {
+    match value {
+        Value::Object(fields) => fields
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_value::<K>(Value::Str(k)).map_err(E::custom)?,
+                    from_value::<V>(v).map_err(E::custom)?,
+                ))
+            })
+            .collect(),
+        Value::Seq(items) => items
+            .into_iter()
+            .map(|pair| {
+                let (k, v) = from_value::<(K, V)>(pair).map_err(E::custom)?;
+                Ok((k, v))
+            })
+            .collect(),
+        other => Err(E::custom(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, S::Error>(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let pairs = map_from_value::<K, V, D::Error>(d.take_value()?)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sort by encoded key for deterministic output.
+        let mut pairs: Vec<(Value, Value)> = Vec::new();
+        for (k, v) in self {
+            pairs.push((
+                to_value(k).map_err(crate::ser::Error::custom)?,
+                to_value(v).map_err(crate::ser::Error::custom)?,
+            ));
+        }
+        pairs.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+        if pairs.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+            s.serialize_value(Value::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::Str(key) => (key, v),
+                        _ => unreachable!("checked all keys are strings"),
+                    })
+                    .collect(),
+            ))
+        } else {
+            s.serialize_value(Value::Seq(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| Value::Seq(vec![k, v]))
+                    .collect(),
+            ))
+        }
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let pairs = map_from_value::<K, V, D::Error>(d.take_value()?)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+// ---- Value itself ----------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+// ---- misc std --------------------------------------------------------------
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let secs = v
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| de::Error::custom("expected duration object"))?;
+        let nanos = v.get("nanos").and_then(Value::as_u64).unwrap_or(0);
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}

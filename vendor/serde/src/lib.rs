@@ -1,0 +1,119 @@
+//! Offline stub of `serde`: a value-tree serialization framework exposing
+//! the slice of the real serde API this workspace uses.
+//!
+//! Design: instead of serde's visitor architecture, every [`Serialize`]
+//! impl lowers `self` to a [`Value`] tree and every [`Deserialize`] impl
+//! lifts from one. The [`Serializer`]/[`Deserializer`] traits keep the
+//! upstream *shapes* (`S::Ok`, `S::Error`, `D::Error`, `ser.serialize_str`,
+//! `serde::de::Error::custom`) so hand-written `#[serde(with = …)]`
+//! modules compile unchanged; they just funnel through the value tree.
+//!
+//! The derive macros live in the sibling `serde_derive` stub and emit
+//! impls against this API (field names only — field types are inferred).
+
+mod impls;
+mod value;
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value, ValueError};
+
+/// Lower any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, ValueError> {
+    v.serialize(ValueSerializer)
+}
+
+/// Lift a [`Value`] tree into any deserializable type.
+pub fn from_value<'de, T: Deserialize<'de>>(v: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+/// The canonical [`Serializer`]: identity into the value tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// The canonical [`Deserializer`]: hands out the owned value tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Derive-macro support; not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::*;
+
+    /// Serialize one struct field to a value.
+    pub fn ser_field<T: Serialize + ?Sized, E: ser::Error>(v: &T) -> Result<Value, E> {
+        to_value(v).map_err(E::custom)
+    }
+
+    /// Remove and deserialize field `name` from a decoded object.
+    pub fn de_field<'de, T: Deserialize<'de>, E: de::Error>(
+        obj: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, E> {
+        let v = take_field(obj, name)?;
+        from_value(v).map_err(E::custom)
+    }
+
+    /// Remove field `name` from a decoded object, erroring when missing.
+    /// `Option` fields treat a missing key as `null` in `de_field` via
+    /// `Deserialize for Option`, so absence is only an error for
+    /// non-optional fields — the derive calls this directly for
+    /// `#[serde(with)]` fields, which are always present in our encodings.
+    pub fn take_field<E: de::Error>(
+        obj: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<Value, E> {
+        match obj.iter().position(|(k, _)| k == name) {
+            Some(i) => Ok(obj.remove(i).1),
+            None => Err(E::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Like [`take_field`] but yields `Value::Null` when the key is absent
+    /// (used for every derive field so `Option<T>` tolerates omission).
+    pub fn take_field_or_null(obj: &mut Vec<(String, Value)>, name: &str) -> Value {
+        match obj.iter().position(|(k, _)| k == name) {
+            Some(i) => obj.remove(i).1,
+            None => Value::Null,
+        }
+    }
+
+    /// Expect an object payload (derive struct/enum-struct bodies).
+    pub fn expect_object<E: de::Error>(v: Value) -> Result<Vec<(String, Value)>, E> {
+        match v {
+            Value::Object(m) => Ok(m),
+            other => Err(E::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Expect a sequence payload (derive tuple bodies).
+    pub fn expect_seq<E: de::Error>(v: Value) -> Result<Vec<Value>, E> {
+        match v {
+            Value::Seq(items) => Ok(items),
+            other => Err(E::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}

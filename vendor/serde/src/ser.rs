@@ -1,0 +1,62 @@
+//! Serialization half: [`Serialize`], [`Serializer`], [`Error`].
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Error constraint for serializers (upstream `serde::ser::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A sink accepting a lowered [`Value`] tree.
+///
+/// Upstream serde drives a visitor; here every data type lowers itself to
+/// a [`Value`] and hands it over in one call. The convenience methods let
+/// hand-written `with`-modules call e.g. `ser.serialize_str(..)` exactly
+/// as they would with real serde.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Accept the fully lowered value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string scalar.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_string()))
+    }
+
+    /// Serialize a u64 scalar.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v))
+    }
+
+    /// Serialize an i64 scalar.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v))
+    }
+
+    /// Serialize an f64 scalar.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+
+    /// Serialize a bool scalar.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serialize a unit/None.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A type that can lower itself into a [`Value`] via any [`Serializer`].
+pub trait Serialize {
+    /// Lower `self` into the serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}

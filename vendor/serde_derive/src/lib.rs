@@ -1,0 +1,622 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! `syn`/`quote` are unavailable offline, so this parses the item's token
+//! stream directly. Only the shapes present in this workspace are
+//! supported: structs with named fields, tuple/unit structs, enums whose
+//! variants are unit / tuple / struct-like, simple type generics, and the
+//! `#[serde(with = "module")]` field attribute. Everything else produces
+//! a `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ------------------------------------------------------------
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct { fields: Vec<Field> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    item: Item,
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+// ---- token helpers ---------------------------------------------------------
+
+/// Extract `with = "path"` from the tokens inside `#[serde(...)]`.
+fn parse_serde_attr(group: TokenStream) -> Option<String> {
+    // Tokens look like: serde ( with = "module::path" )
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.len() != 2 {
+        return None;
+    }
+    match (&tokens[0], &tokens[1]) {
+        (TokenTree::Ident(kw), TokenTree::Group(inner)) if kw.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            if inner.len() == 3
+                && matches!(&inner[0], TokenTree::Ident(i) if i.to_string() == "with")
+                && matches!(&inner[1], TokenTree::Punct(p) if p.as_char() == '=')
+            {
+                if let TokenTree::Literal(lit) = &inner[2] {
+                    let s = lit.to_string();
+                    return Some(s.trim_matches('"').to_string());
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Consume leading attributes from `pos`, returning any `serde(with)` path.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut with = None;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let Some(w) = parse_serde_attr(g.stream()) {
+                    with = Some(w);
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    with
+}
+
+/// Skip an optional `pub` / `pub(crate)` visibility.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(&tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parse `<A, B: Bound, 'x>` starting at the `<`; returns type-param names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    if !matches!(&tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok(params);
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expecting_name = true;
+    let mut lifetime = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_name = true;
+                lifetime = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => lifetime = true,
+            TokenTree::Ident(i) if expecting_name && depth == 1 => {
+                if !lifetime && i.to_string() != "const" {
+                    params.push(i.to_string());
+                }
+                expecting_name = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    Err("unbalanced generics".to_string())
+}
+
+/// Parse named fields from the tokens inside `{ ... }`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let with = skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        pos += 1;
+        if !matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        pos += 1;
+        // Skip the type: consume until a top-level comma (angle depth 0).
+        let mut angle = 0isize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple body `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0isize;
+    let mut count = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parse the variants of an enum body `{ ... }`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len()
+                && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                pos += 1;
+            }
+        }
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    pos += 1;
+    let generics = parse_generics(&tokens, &mut pos)?;
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        return Err(format!("`where` clauses are not supported (on `{name}`)"));
+    }
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                fields: parse_named_fields(g.stream())?,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct,
+            other => return Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                variants: parse_variants(g.stream())?,
+            },
+            other => return Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Parsed {
+        name,
+        generics,
+        item,
+    })
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn ty_generics(p: &Parsed) -> String {
+    if p.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", p.generics.join(", "))
+    }
+}
+
+fn ser_impl_generics(p: &Parsed) -> String {
+    if p.generics.is_empty() {
+        String::new()
+    } else {
+        let bounded: Vec<String> = p
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::Serialize"))
+            .collect();
+        format!("<{}>", bounded.join(", "))
+    }
+}
+
+fn de_impl_generics(p: &Parsed) -> String {
+    let mut parts = vec!["'de".to_string()];
+    for g in &p.generics {
+        parts.push(format!("{g}: serde::Deserialize<'de>"));
+    }
+    format!("<{}>", parts.join(", "))
+}
+
+/// Expression lowering `&(expr)` to a `serde::Value`, honouring `with`.
+fn ser_field_expr(access: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "match {path}::serialize(&{access}, serde::ValueSerializer) {{ \
+               ::std::result::Result::Ok(v) => v, \
+               ::std::result::Result::Err(e) => \
+                 return ::std::result::Result::Err(<__S::Error as serde::ser::Error>::custom(e)) }}"
+        ),
+        None => format!("serde::__private::ser_field::<_, __S::Error>(&{access})?"),
+    }
+}
+
+/// Expression lifting a `serde::Value` binding `__v`, honouring `with`.
+fn de_field_expr(field: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "match {path}::deserialize(serde::ValueDeserializer(__v)) {{ \
+               ::std::result::Result::Ok(x) => x, \
+               ::std::result::Result::Err(e) => \
+                 return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                   ::std::format!(\"field `{field}`: {{}}\", e))) }}"
+        ),
+        None => format!(
+            "match serde::from_value(__v) {{ \
+               ::std::result::Result::Ok(x) => x, \
+               ::std::result::Result::Err(e) => \
+                 return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                   ::std::format!(\"field `{field}`: {{}}\", e))) }}"
+        ),
+    }
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.item {
+        Item::NamedStruct { fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let expr = ser_field_expr(&format!("self.{}", f.name), &f.with);
+                pushes.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), {expr}));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                   ::std::vec::Vec::new();\n{pushes}\
+                 __s.serialize_value(serde::Value::Object(__fields))"
+            )
+        }
+        Item::TupleStruct { arity } => {
+            if *arity == 1 {
+                // Newtype: transparent over the inner value.
+                "__s.serialize_value(serde::__private::ser_field::<_, __S::Error>(&self.0)?)"
+                    .to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::__private::ser_field::<_, __S::Error>(&self.{i})?"))
+                    .collect();
+                format!(
+                    "__s.serialize_value(serde::Value::Seq(::std::vec![{}]))",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct => "__s.serialize_value(serde::Value::Null)".to_string(),
+        Item::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => __s.serialize_value(serde::Value::Str(\"{vn}\".to_string())),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "serde::__private::ser_field::<_, __S::Error>(__f0)?".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| {
+                                    format!("serde::__private::ser_field::<_, __S::Error>({b})?")
+                                })
+                                .collect();
+                            format!("serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binders}) => {{ let __payload = {payload}; \
+                               __s.serialize_value(serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), __payload)])) }},\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let expr = ser_field_expr(&f.name, &f.with);
+                            pushes.push_str(&format!(
+                                "__inner.push((\"{n}\".to_string(), {expr}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => {{ \
+                               let mut __inner: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                                 ::std::vec::Vec::new();\n{pushes}\
+                               __s.serialize_value(serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), serde::Value::Object(__inner))])) }},\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl {ig} serde::Serialize for {name} {tg} {{\n\
+           fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+             -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n",
+        ig = ser_impl_generics(p),
+        tg = ty_generics(p),
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.item {
+        Item::NamedStruct { fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let expr = de_field_expr(&f.name, &f.with);
+                inits.push_str(&format!(
+                    "{n}: {{ let __v = serde::__private::take_field_or_null(&mut __obj, \"{n}\"); {expr} }},\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __obj = serde::__private::expect_object::<__D::Error>(__value)?;\n\
+                 let _ = &mut __obj;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Item::TupleStruct { arity } => {
+            if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                       match serde::from_value(__value) {{ \
+                         ::std::result::Result::Ok(x) => x, \
+                         ::std::result::Result::Err(e) => return ::std::result::Result::Err(\
+                           <__D::Error as serde::de::Error>::custom(e)) }}))"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "match serde::from_value(__items[{i}].clone()) {{ \
+                               ::std::result::Result::Ok(x) => x, \
+                               ::std::result::Result::Err(e) => return ::std::result::Result::Err(\
+                                 <__D::Error as serde::de::Error>::custom(e)) }}"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __items = serde::__private::expect_seq::<__D::Error>(__value)?;\n\
+                     if __items.len() != {arity} {{ \
+                       return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                         \"wrong tuple arity\")); }}\n\
+                     ::std::result::Result::Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Item::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                   match serde::from_value(__payload) {{ \
+                                     ::std::result::Result::Ok(x) => x, \
+                                     ::std::result::Result::Err(e) => return ::std::result::Result::Err(\
+                                       <__D::Error as serde::de::Error>::custom(e)) }})),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "match serde::from_value(__items[{i}].clone()) {{ \
+                                           ::std::result::Result::Ok(x) => x, \
+                                           ::std::result::Result::Err(e) => \
+                                             return ::std::result::Result::Err(\
+                                               <__D::Error as serde::de::Error>::custom(e)) }}"
+                                    )
+                                })
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => {{ \
+                                   let __items = serde::__private::expect_seq::<__D::Error>(__payload)?;\n\
+                                   if __items.len() != {arity} {{ \
+                                     return ::std::result::Result::Err(\
+                                       <__D::Error as serde::de::Error>::custom(\"wrong variant arity\")); }}\n\
+                                   ::std::result::Result::Ok({name}::{vn}({items})) }},\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let expr = de_field_expr(&f.name, &f.with);
+                            inits.push_str(&format!(
+                                "{n}: {{ let __v = serde::__private::take_field_or_null(&mut __obj, \"{n}\"); {expr} }},\n",
+                                n = f.name
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let mut __obj = serde::__private::expect_object::<__D::Error>(__payload)?;\n\
+                               let _ = &mut __obj;\n\
+                               ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                   serde::Value::Str(__tag) => match __tag.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                       ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}},\n\
+                   serde::Value::Object(mut __map) if __map.len() == 1 => {{\n\
+                     let (__tag, __payload) = __map.remove(0);\n\
+                     match __tag.as_str() {{\n{tagged_arms}\
+                       __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                         ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}\n}},\n\
+                   __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                     ::std::format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl {ig} serde::Deserialize<'de> for {name} {tg} {{\n\
+           fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+             -> ::std::result::Result<Self, __D::Error> {{\n\
+             let __value = serde::Deserializer::take_value(__d)?;\n\
+             let _ = &__value;\n{body}\n}}\n}}\n",
+        ig = de_impl_generics(p),
+        tg = ty_generics(p),
+    )
+}
+
+// ---- entry points ----------------------------------------------------------
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| err(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => err(&format!("serde_derive(Serialize): {e}")),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| err(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => err(&format!("serde_derive(Deserialize): {e}")),
+    }
+}
