@@ -50,9 +50,9 @@
 use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use crate::domain::MaterialsSpace;
 use crate::matrix::Cell;
-use evoflow_sim::{RngRegistry, SampleStats, SimDuration};
+use evoflow_sim::{ChaosSchedule, ChaosSpec, RngRegistry, SampleStats, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Stream label under which fleet campaign seeds are derived from the
@@ -319,6 +319,70 @@ impl TaskQueue {
     }
 }
 
+/// Execute the fleet tasks `tasks` (pairs of shard index + config) across
+/// `threads` workers, committing at most `commit_cap` results.
+///
+/// The cap models a coordinator crash: workers stop claiming once the
+/// fleet-wide commit counter reaches the cap, and a campaign that
+/// finishes after the counter is exhausted is *discarded* — exactly the
+/// in-flight work a real crash loses. `None` commits everything.
+///
+/// Every returned pair carries the original shard index, so callers can
+/// splice results positionally regardless of which worker ran what.
+fn execute_fleet_tasks(
+    space: &MaterialsSpace,
+    tasks: &[(usize, CampaignConfig)],
+    threads: usize,
+    commit_cap: Option<usize>,
+) -> Vec<(usize, CampaignReport)> {
+    let cap = commit_cap.unwrap_or(usize::MAX);
+    if tasks.is_empty() || cap == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        // Serial fast path: no thread machinery at all.
+        return tasks
+            .iter()
+            .take(cap)
+            .map(|(i, c)| (*i, run_campaign(space, c)))
+            .collect();
+    }
+    let queue = TaskQueue::new(tasks.len());
+    let commits = AtomicUsize::new(0);
+    let queue_ref = &queue;
+    let commits_ref = &commits;
+    // Stripe offsets spread workers across the task list so stealing
+    // only happens once a worker's own region is exhausted.
+    let stripe = tasks.len().div_ceil(threads);
+    let collected: Vec<Vec<(usize, CampaignReport)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while commits_ref.load(Ordering::Acquire) < cap {
+                        let Some(i) = queue_ref.claim(w * stripe) else {
+                            break;
+                        };
+                        let report = run_campaign(space, &tasks[i].1);
+                        // Commit-or-discard: the crash point is a total
+                        // order on completions, so work finishing after
+                        // it is lost, like a real kill -9.
+                        if commits_ref.fetch_add(1, Ordering::AcqRel) < cap {
+                            local.push((tasks[i].0, report));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    });
+    collected.into_iter().flatten().collect()
+}
+
 /// Run a fleet of campaigns and report aggregate outcomes plus timing.
 pub fn run_campaign_fleet_timed(
     space: &MaterialsSpace,
@@ -328,45 +392,11 @@ pub fn run_campaign_fleet_timed(
     let threads = cfg.effective_threads();
     let started = Instant::now();
 
-    let mut reports: Vec<Option<CampaignReport>> = Vec::new();
-    if shards.is_empty() {
-        // Nothing to do.
-    } else if threads == 1 {
-        // Serial fast path: no thread machinery at all.
-        reports = shards
-            .iter()
-            .map(|c| Some(run_campaign(space, c)))
-            .collect();
-    } else {
-        let queue = TaskQueue::new(shards.len());
-        let shards_ref = &shards;
-        let queue_ref = &queue;
-        // Stripe offsets spread workers across the task list so stealing
-        // only happens once a worker's own region is exhausted.
-        let stripe = shards.len().div_ceil(threads);
-        let mut collected: Vec<Vec<(usize, CampaignReport)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        while let Some(i) = queue_ref.claim(w * stripe) {
-                            local.push((i, run_campaign(space, &shards_ref[i])));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fleet worker panicked"))
-                .collect()
-        });
-        reports = (0..shards.len()).map(|_| None).collect();
-        for (i, r) in collected.drain(..).flatten() {
-            reports[i] = Some(r);
-        }
+    let tasks: Vec<(usize, CampaignConfig)> = shards.into_iter().enumerate().collect();
+    let mut reports: Vec<Option<CampaignReport>> = (0..tasks.len()).map(|_| None).collect();
+    for (i, r) in execute_fleet_tasks(space, &tasks, threads, None) {
+        reports[i] = Some(r);
     }
-
     let ordered: Vec<CampaignReport> = reports
         .into_iter()
         .map(|r| r.expect("every task claimed exactly once"))
@@ -383,6 +413,186 @@ pub fn run_campaign_fleet_timed(
 /// deterministic regardless of N. See the module docs for the design.
 pub fn run_campaign_fleet(space: &MaterialsSpace, cfg: &FleetConfig) -> FleetReport {
     run_campaign_fleet_timed(space, cfg).0
+}
+
+/// A durable record of a partially executed fleet: which campaigns
+/// committed their reports before the coordinator died, and the derived
+/// shard seeds that make re-running the rest exact.
+///
+/// The unit of fleet checkpointing is the *campaign*: each campaign is a
+/// pure function of `(space, config, shard seed)`, so a resume re-derives
+/// the missing results bit-for-bit no matter which subset happened to
+/// commit, which workers ran what, or how many threads either run used.
+/// That is why [`resume_campaign_fleet`] produces a [`FleetReport`]
+/// byte-identical to the uninterrupted run's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCheckpoint {
+    /// Master seed of the interrupted fleet.
+    pub master_seed: u64,
+    /// Derived shard seed per campaign, in shard order — the resume
+    /// handshake: a checkpoint only resumes against a config that derives
+    /// the same seeds.
+    pub shard_seeds: Vec<u64>,
+    /// Committed per-campaign reports, in shard order (`None` = lost or
+    /// never run; re-executed on resume).
+    pub completed: Vec<Option<CampaignReport>>,
+}
+
+impl FleetCheckpoint {
+    /// An empty checkpoint for `cfg` (nothing committed yet).
+    pub fn empty(cfg: &FleetConfig) -> Self {
+        Self::from_shards(cfg.master_seed, &cfg.sharded_campaigns())
+    }
+
+    /// An empty checkpoint over already-derived shards (avoids a second
+    /// seed-derivation pass when the caller holds them).
+    fn from_shards(master_seed: u64, shards: &[CampaignConfig]) -> Self {
+        FleetCheckpoint {
+            master_seed,
+            shard_seeds: shards.iter().map(|c| c.seed).collect(),
+            completed: (0..shards.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// Record a committed campaign report.
+    pub fn record(&mut self, index: usize, report: CampaignReport) {
+        self.completed[index] = Some(report);
+    }
+
+    /// Campaigns whose reports committed.
+    pub fn completed_count(&self) -> usize {
+        self.completed.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Campaigns still to run (lost in flight or never claimed).
+    pub fn remaining_count(&self) -> usize {
+        self.completed.len() - self.completed_count()
+    }
+
+    /// Whether every campaign committed.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_count() == 0
+    }
+}
+
+/// Why a fleet resume was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetResumeError {
+    /// Checkpoint campaign count does not match the fleet config.
+    ShapeMismatch {
+        /// Campaigns in the checkpoint.
+        checkpoint: usize,
+        /// Campaigns in the fleet config.
+        fleet: usize,
+    },
+    /// A derived shard seed differs from the checkpoint's — the
+    /// checkpoint belongs to a different fleet (or the config drifted),
+    /// so splicing its reports would fabricate results.
+    SeedMismatch {
+        /// First shard whose seed disagrees.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FleetResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetResumeError::ShapeMismatch { checkpoint, fleet } => write!(
+                f,
+                "checkpoint has {checkpoint} campaigns, fleet config has {fleet}"
+            ),
+            FleetResumeError::SeedMismatch { index } => write!(
+                f,
+                "shard {index}'s derived seed differs from the checkpoint — \
+                 checkpoint does not belong to this fleet config"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetResumeError {}
+
+/// Derive the seeded crash point for a fleet of `campaigns` campaigns:
+/// the number of commits after which the coordinator dies. Pure function
+/// of `(chaos_seed, campaigns)`, drawn through the
+/// [`evoflow_sim::chaos`] machinery so fleet kills and task-level chaos
+/// share one schedule vocabulary.
+pub fn fleet_death_point(chaos_seed: u64, campaigns: usize) -> usize {
+    ChaosSchedule::derive(
+        &RngRegistry::new(chaos_seed),
+        &ChaosSpec::fatal(),
+        campaigns,
+    )
+    .death
+    .map(|d| d.after_commits as usize)
+    .unwrap_or(0)
+}
+
+/// Run a fleet until `max_completions` campaigns have committed, then
+/// die — the chaos-engineering entry point for fleet crash tests.
+///
+/// Work in flight at the crash point is lost (a finished campaign whose
+/// commit lost the race is discarded), exactly like a coordinator
+/// `kill -9`. Which campaigns committed depends on scheduling and is
+/// *not* deterministic across thread counts — that is the point: the
+/// resume invariant must hold from any crash state, and
+/// [`resume_campaign_fleet`] reconstructs the identical [`FleetReport`]
+/// from every one of them.
+pub fn run_campaign_fleet_until(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+    max_completions: usize,
+) -> FleetCheckpoint {
+    let shards = cfg.sharded_campaigns();
+    let threads = cfg.effective_threads();
+    let mut ckpt = FleetCheckpoint::from_shards(cfg.master_seed, &shards);
+    let tasks: Vec<(usize, CampaignConfig)> = shards.into_iter().enumerate().collect();
+    for (i, r) in execute_fleet_tasks(space, &tasks, threads, Some(max_completions)) {
+        ckpt.record(i, r);
+    }
+    ckpt
+}
+
+/// Resume an interrupted fleet from a [`FleetCheckpoint`]: re-run only
+/// the campaigns that never committed, splice the reports in shard
+/// order, and aggregate.
+///
+/// Because shard seeds are pure functions of `(master seed, index)` and
+/// campaigns never observe each other, the result is **byte-identical**
+/// to the report of an uninterrupted [`run_campaign_fleet`] — at any
+/// thread count on either side of the crash.
+pub fn resume_campaign_fleet(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+    checkpoint: &FleetCheckpoint,
+) -> Result<FleetReport, FleetResumeError> {
+    let shards = cfg.sharded_campaigns();
+    if checkpoint.completed.len() != shards.len() || checkpoint.shard_seeds.len() != shards.len() {
+        return Err(FleetResumeError::ShapeMismatch {
+            checkpoint: checkpoint.completed.len().max(checkpoint.shard_seeds.len()),
+            fleet: shards.len(),
+        });
+    }
+    for (i, shard) in shards.iter().enumerate() {
+        if shard.seed != checkpoint.shard_seeds[i] {
+            return Err(FleetResumeError::SeedMismatch { index: i });
+        }
+    }
+    let threads = cfg.effective_threads();
+    let missing: Vec<(usize, CampaignConfig)> = shards
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| checkpoint.completed[*i].is_none())
+        .collect();
+    let mut reports: Vec<Option<CampaignReport>> = checkpoint.completed.clone();
+    for (i, r) in execute_fleet_tasks(space, &missing, threads, None) {
+        reports[i] = Some(r);
+    }
+    let ordered: Vec<CampaignReport> = reports
+        .into_iter()
+        .map(|r| r.expect("checkpointed or just re-run"))
+        .collect();
+    Ok(FleetReport::from_reports(cfg.master_seed, ordered))
 }
 
 #[cfg(test)]
@@ -455,6 +665,88 @@ mod tests {
         let (_, timing) = run_campaign_fleet_timed(&space, &small_fleet(3));
         assert_eq!(timing.threads, 3);
         assert!(timing.wall_clock.as_nanos() > 0);
+    }
+
+    #[test]
+    fn killed_fleet_resumes_to_identical_report() {
+        let space = space();
+        let cfg = small_fleet(2);
+        let uninterrupted = run_campaign_fleet(&space, &cfg);
+        for kill_after in 0..=4usize {
+            let ckpt = run_campaign_fleet_until(&space, &cfg, kill_after);
+            assert!(ckpt.completed_count() <= kill_after);
+            let resumed = resume_campaign_fleet(&space, &cfg, &ckpt).unwrap();
+            assert_eq!(resumed, uninterrupted, "kill_after={kill_after}");
+        }
+    }
+
+    #[test]
+    fn resume_reruns_only_missing_campaigns() {
+        let space = space();
+        let mut cfg = small_fleet(1);
+        cfg.threads = 1;
+        let ckpt = run_campaign_fleet_until(&space, &cfg, 2);
+        // Serial kill is deterministic: the first two shards committed.
+        assert_eq!(ckpt.completed_count(), 2);
+        assert!(ckpt.completed[0].is_some() && ckpt.completed[1].is_some());
+        assert_eq!(ckpt.remaining_count(), 2);
+        assert!(!ckpt.is_complete());
+        let resumed = resume_campaign_fleet(&space, &cfg, &ckpt).unwrap();
+        // The checkpointed reports are spliced, not recomputed: the
+        // resumed report's first shards are the very ones checkpointed.
+        assert_eq!(&resumed.reports[0], ckpt.completed[0].as_ref().unwrap());
+        assert_eq!(&resumed.reports[1], ckpt.completed[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_refuses_a_different_fleet() {
+        let space = space();
+        let cfg = small_fleet(1);
+        let ckpt = run_campaign_fleet_until(&space, &cfg, 1);
+
+        let mut other_seed = small_fleet(1);
+        other_seed.master_seed = 100;
+        assert_eq!(
+            resume_campaign_fleet(&space, &other_seed, &ckpt),
+            Err(FleetResumeError::SeedMismatch { index: 0 })
+        );
+
+        let mut bigger = small_fleet(1);
+        bigger.push_cell(Cell::traditional_wms(), 1);
+        assert!(matches!(
+            resume_campaign_fleet(&space, &bigger, &ckpt),
+            Err(FleetResumeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_checkpoint_resume_equals_full_run() {
+        let space = space();
+        let cfg = small_fleet(2);
+        let resumed = resume_campaign_fleet(&space, &cfg, &FleetCheckpoint::empty(&cfg)).unwrap();
+        assert_eq!(resumed, run_campaign_fleet(&space, &cfg));
+    }
+
+    #[test]
+    fn complete_checkpoint_resume_recomputes_nothing() {
+        let space = space();
+        let cfg = small_fleet(1);
+        let ckpt = run_campaign_fleet_until(&space, &cfg, cfg.campaigns.len());
+        assert!(ckpt.is_complete());
+        let resumed = resume_campaign_fleet(&space, &cfg, &ckpt).unwrap();
+        assert_eq!(resumed, run_campaign_fleet(&space, &cfg));
+    }
+
+    #[test]
+    fn fleet_death_point_is_seeded_and_in_range() {
+        for seed in 0..30u64 {
+            assert_eq!(fleet_death_point(seed, 8), fleet_death_point(seed, 8));
+            assert!((1..=8).contains(&fleet_death_point(seed, 8)));
+        }
+        assert_eq!(fleet_death_point(1, 0), 0);
+        let distinct: std::collections::BTreeSet<usize> =
+            (0..30).map(|s| fleet_death_point(s, 8)).collect();
+        assert!(distinct.len() > 1, "death points must vary with the seed");
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! * [`fleet`] — the fleet executor: M campaigns sharded across N worker
 //!   threads with derived per-shard seeds, work-stealing over
 //!   heterogeneous cells, and deterministic aggregation — byte-identical
-//!   results at any thread count.
+//!   results at any thread count, including across a coordinator crash
+//!   ([`fleet::FleetCheckpoint`] / [`fleet::resume_campaign_fleet`]).
 //! * [`governance`] — §4's policy enforcement, guardrails, and
 //!   accountability: sample budgets, human approval for irreversible
 //!   actions, rate limits, audit trails.
@@ -42,8 +43,9 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoordinationMod
 pub use domain::MaterialsSpace;
 pub use federation::{Federation, FederationError, Handshake};
 pub use fleet::{
-    run_campaign_fleet, run_campaign_fleet_timed, CellSummary, DistSummary, FleetConfig,
-    FleetReport, FleetTiming,
+    fleet_death_point, resume_campaign_fleet, run_campaign_fleet, run_campaign_fleet_timed,
+    run_campaign_fleet_until, CellSummary, DistSummary, FleetCheckpoint, FleetConfig, FleetReport,
+    FleetResumeError, FleetTiming,
 };
 pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
 pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};

@@ -1,14 +1,19 @@
-//! Property tests for the fleet executor's two core contracts:
+//! Property tests for the fleet executor's three core contracts:
 //!
 //! 1. **Aggregation correctness** — `run_campaign_fleet` equals
 //!    [`FleetReport::from_reports`] over independent *serial*
 //!    `run_campaign` runs executed with the same derived shard seeds.
 //! 2. **Thread-count invariance** — the report is identical at 1, 2, and
 //!    3 workers for arbitrary fleet shapes.
+//! 3. **Crash transparency** — a fleet killed after any number of
+//!    commits and resumed from its [`FleetCheckpoint`] reproduces the
+//!    uninterrupted report exactly, at 1, 2, and 4 threads on both sides
+//!    of the crash.
 
 use evoflow_core::fleet::FLEET_SHARD_LABEL;
 use evoflow_core::{
-    run_campaign, run_campaign_fleet, Cell, FleetConfig, FleetReport, MaterialsSpace,
+    resume_campaign_fleet, run_campaign, run_campaign_fleet, run_campaign_fleet_until, Cell,
+    FleetConfig, FleetReport, MaterialsSpace,
 };
 use evoflow_sim::{RngRegistry, SimDuration};
 use proptest::prelude::*;
@@ -82,5 +87,28 @@ proptest! {
         cfg.threads = 3;
         let three = run_campaign_fleet(&space, &cfg);
         prop_assert_eq!(one, three);
+    }
+
+    /// Crash transparency: for any fleet shape, any kill point, and any
+    /// thread count on either side of the crash, kill + checkpoint +
+    /// resume reproduces the uninterrupted report exactly.
+    #[test]
+    fn killed_and_resumed_fleet_is_indistinguishable(
+        mut cfg in arb_fleet(),
+        kill_pick in any::<u32>(),
+    ) {
+        let space = MaterialsSpace::generate(3, 6, 77);
+        cfg.threads = 1;
+        let uninterrupted = run_campaign_fleet(&space, &cfg);
+        // Kill after 0..=M commits (both extremes are legal crash states).
+        let kill_after = kill_pick as usize % (cfg.campaigns.len() + 1);
+        for (kill_threads, resume_threads) in [(1, 2), (2, 4), (4, 1)] {
+            cfg.threads = kill_threads;
+            let ckpt = run_campaign_fleet_until(&space, &cfg, kill_after);
+            prop_assert!(ckpt.completed_count() <= kill_after);
+            cfg.threads = resume_threads;
+            let resumed = resume_campaign_fleet(&space, &cfg, &ckpt).expect("seeds match");
+            prop_assert_eq!(&resumed, &uninterrupted);
+        }
     }
 }

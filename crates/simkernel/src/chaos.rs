@@ -1,0 +1,340 @@
+//! Deterministic fault injection ("chaos") schedules.
+//!
+//! §2.1 names failure handling as a core WMS capability, and the autonomy
+//! ladder demands controllers that *survive* disturbances rather than
+//! merely run clean schedules. Testing that requires faults that are
+//! **reproducible**: a crash that appears on one run and not the next
+//! cannot anchor a regression test or a certificate.
+//!
+//! This module derives complete fault schedules — task crashes, slowdowns,
+//! transient I/O errors, and coordinator ("worker") death — as a pure
+//! function of an [`RngRegistry`] seed and a
+//! [`ChaosSpec`]. The schedule is materialised *before* execution and is
+//! serializable, so the exact same disturbance sequence can be replayed,
+//! shipped in a bug report, or pinned in CI. Injections are drawn from the
+//! dedicated `"chaos"` stream: deriving a schedule can never perturb any
+//! other subsystem's randomness.
+//!
+//! The contract consumers rely on (and the resilience test battery
+//! verifies): **chaos perturbs time, never outcome**. Injected faults may
+//! delay tasks, force infrastructure-level retries, or kill the
+//! coordinator mid-run — but a fault-tolerant engine must converge to the
+//! same final statuses the undisturbed run would have produced.
+
+use crate::rng::RngRegistry;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Name of the random stream schedules are drawn from.
+pub const CHAOS_STREAM: &str = "chaos";
+
+/// One kind of injected infrastructure fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The worker executing the attempt crashes at completion: the
+    /// attempt's work is lost and the task must be re-executed after
+    /// `recovery` (node reboot / reschedule latency).
+    TaskCrash {
+        /// Time before the task can be re-executed.
+        recovery: SimDuration,
+    },
+    /// Infrastructure slowdown: the attempt takes `extra` longer than its
+    /// nominal duration (congested filesystem, thermal throttling).
+    Delay {
+        /// Extra duration added to the attempt.
+        extra: SimDuration,
+    },
+    /// Transient I/O error when committing the attempt's result: the
+    /// result is lost and re-read after `retry_after`. Transparent to the
+    /// fault policy — production stacks retry these below the scheduler.
+    TransientIo {
+        /// Back-off before the re-read.
+        retry_after: SimDuration,
+    },
+}
+
+/// One scheduled injection: fault `kind` strikes attempt `attempt`
+/// (0-based, counting every execution of the task) of task `task`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Injection {
+    /// Task index in the target workload.
+    pub task: u32,
+    /// Which attempt of that task the fault strikes.
+    pub attempt: u32,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// Scheduled death of the coordinator process itself: the whole run is
+/// killed once `after_commits` units of work have committed. Everything
+/// in flight at that instant is lost; only a checkpoint survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerDeath {
+    /// Commits after which the coordinator dies.
+    pub after_commits: u32,
+}
+
+/// Fault *rates* from which concrete schedules are derived — the knob a
+/// resilience ladder grades upward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// Per fault slot: probability of an injected task crash.
+    pub crash_prob: f64,
+    /// Per fault slot: probability of an injected slowdown.
+    pub delay_prob: f64,
+    /// Per fault slot: probability of a transient I/O error.
+    pub io_error_prob: f64,
+    /// Fault slots drawn per task (bounds injections per task).
+    pub fault_slots_per_task: u32,
+    /// Recovery latency after an injected crash.
+    pub crash_recovery: SimDuration,
+    /// Extra duration of an injected slowdown.
+    pub delay_extra: SimDuration,
+    /// Back-off after a transient I/O error.
+    pub io_retry_after: SimDuration,
+    /// Whether to schedule a coordinator death.
+    pub worker_death: bool,
+}
+
+impl ChaosSpec {
+    /// No faults at all (the control arm).
+    pub fn quiet() -> Self {
+        ChaosSpec {
+            crash_prob: 0.0,
+            delay_prob: 0.0,
+            io_error_prob: 0.0,
+            fault_slots_per_task: 0,
+            crash_recovery: SimDuration::from_mins(5),
+            delay_extra: SimDuration::from_mins(10),
+            io_retry_after: SimDuration::from_secs(10),
+            worker_death: false,
+        }
+    }
+
+    /// Transient I/O errors only — the mundane disturbance every
+    /// production stack must absorb.
+    pub fn transient() -> Self {
+        ChaosSpec {
+            io_error_prob: 0.35,
+            fault_slots_per_task: 2,
+            ..ChaosSpec::quiet()
+        }
+    }
+
+    /// Degraded infrastructure: crashes and slowdowns on top of I/O
+    /// errors.
+    pub fn degraded() -> Self {
+        ChaosSpec {
+            crash_prob: 0.3,
+            delay_prob: 0.3,
+            io_error_prob: 0.2,
+            fault_slots_per_task: 2,
+            ..ChaosSpec::quiet()
+        }
+    }
+
+    /// Hostile conditions: everything in [`ChaosSpec::degraded`] plus a
+    /// coordinator death — survivable only with checkpoint/resume.
+    pub fn hostile() -> Self {
+        ChaosSpec {
+            worker_death: true,
+            ..ChaosSpec::degraded()
+        }
+    }
+
+    /// Coordinator death only — the minimal crash-survivability probe
+    /// (used to kill fleets mid-run at a seeded point).
+    pub fn fatal() -> Self {
+        ChaosSpec {
+            worker_death: true,
+            ..ChaosSpec::quiet()
+        }
+    }
+}
+
+/// A fully materialised, replayable fault schedule for one workload of
+/// `tasks` units. Pure function of `(registry seed, spec, tasks)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSchedule {
+    /// Number of tasks the schedule was derived for.
+    pub tasks: u32,
+    /// Scheduled injections, in (task, attempt) order. At most one
+    /// injection per (task, attempt) pair.
+    pub injections: Vec<Injection>,
+    /// Scheduled coordinator death, if any.
+    pub death: Option<WorkerDeath>,
+}
+
+impl ChaosSchedule {
+    /// The empty schedule (no faults).
+    pub fn quiet(tasks: usize) -> Self {
+        ChaosSchedule {
+            tasks: tasks as u32,
+            injections: Vec::new(),
+            death: None,
+        }
+    }
+
+    /// Derive the schedule for a workload of `tasks` units from the
+    /// registry's `"chaos"` stream. Deterministic: the same
+    /// `(registry, spec, tasks)` triple always yields an identical
+    /// schedule, and derivation never perturbs any other named stream.
+    pub fn derive(reg: &RngRegistry, spec: &ChaosSpec, tasks: usize) -> Self {
+        let mut rng = reg.stream(CHAOS_STREAM);
+        let mut injections = Vec::new();
+        for task in 0..tasks as u32 {
+            // Each fault slot lands on the next attempt of the task, so a
+            // task with two scheduled crashes is struck on attempts 0 and
+            // 1 and its third execution commits.
+            let mut attempt = 0u32;
+            for _ in 0..spec.fault_slots_per_task {
+                let kind = if rng.chance(spec.crash_prob) {
+                    Some(FaultKind::TaskCrash {
+                        recovery: spec.crash_recovery,
+                    })
+                } else if rng.chance(spec.delay_prob) {
+                    Some(FaultKind::Delay {
+                        extra: spec.delay_extra,
+                    })
+                } else if rng.chance(spec.io_error_prob) {
+                    Some(FaultKind::TransientIo {
+                        retry_after: spec.io_retry_after,
+                    })
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    injections.push(Injection {
+                        task,
+                        attempt,
+                        kind,
+                    });
+                    attempt += 1;
+                }
+            }
+        }
+        let death = (spec.worker_death && tasks > 0).then(|| WorkerDeath {
+            // Die after 1..=tasks commits: always mid-run or at the very
+            // last commit, both of which a resume path must handle.
+            after_commits: 1 + rng.below(tasks) as u32,
+        });
+        ChaosSchedule {
+            tasks: tasks as u32,
+            injections,
+            death,
+        }
+    }
+
+    /// The same schedule with the coordinator death removed — the
+    /// uninterrupted reference arm a killed-and-resumed run is compared
+    /// against.
+    pub fn without_death(&self) -> Self {
+        ChaosSchedule {
+            death: None,
+            ..self.clone()
+        }
+    }
+
+    /// Whether the schedule injects nothing at all.
+    pub fn is_quiet(&self) -> bool {
+        self.injections.is_empty() && self.death.is_none()
+    }
+
+    /// The injection striking `(task, attempt)`, if one is scheduled.
+    pub fn injection_for(&self, task: u32, attempt: u32) -> Option<FaultKind> {
+        self.injections
+            .iter()
+            .find(|i| i.task == task && i.attempt == attempt)
+            .map(|i| i.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let reg = RngRegistry::new(42);
+        let a = ChaosSchedule::derive(&reg, &ChaosSpec::hostile(), 20);
+        let b = ChaosSchedule::derive(&reg, &ChaosSpec::hostile(), 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosSchedule::derive(&RngRegistry::new(1), &ChaosSpec::degraded(), 30);
+        let b = ChaosSchedule::derive(&RngRegistry::new(2), &ChaosSpec::degraded(), 30);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn quiet_spec_derives_quiet_schedule() {
+        let s = ChaosSchedule::derive(&RngRegistry::new(7), &ChaosSpec::quiet(), 50);
+        assert!(s.is_quiet());
+        assert!(ChaosSchedule::quiet(5).is_quiet());
+    }
+
+    #[test]
+    fn injections_are_unique_per_task_attempt() {
+        let s = ChaosSchedule::derive(&RngRegistry::new(9), &ChaosSpec::degraded(), 40);
+        let mut keys: Vec<(u32, u32)> = s.injections.iter().map(|i| (i.task, i.attempt)).collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate (task, attempt) injection");
+    }
+
+    #[test]
+    fn fatal_spec_schedules_death_in_range() {
+        for seed in 0..50 {
+            let s = ChaosSchedule::derive(&RngRegistry::new(seed), &ChaosSpec::fatal(), 8);
+            let d = s.death.expect("fatal schedules a death");
+            assert!((1..=8).contains(&d.after_commits), "{}", d.after_commits);
+            assert!(s.injections.is_empty());
+        }
+    }
+
+    #[test]
+    fn without_death_strips_only_the_death() {
+        let s = ChaosSchedule::derive(&RngRegistry::new(3), &ChaosSpec::hostile(), 12);
+        assert!(s.death.is_some());
+        let calm = s.without_death();
+        assert!(calm.death.is_none());
+        assert_eq!(calm.injections, s.injections);
+    }
+
+    #[test]
+    fn injection_lookup_matches_list() {
+        let s = ChaosSchedule::derive(&RngRegistry::new(11), &ChaosSpec::degraded(), 25);
+        for i in &s.injections {
+            assert_eq!(s.injection_for(i.task, i.attempt), Some(i.kind));
+        }
+        assert_eq!(s.injection_for(9999, 0), None);
+    }
+
+    #[test]
+    fn derivation_does_not_perturb_other_streams() {
+        use rand::RngCore;
+        let reg = RngRegistry::new(5);
+        let mut before = reg.stream("measurement");
+        let expected = before.next_u64();
+        let _ = ChaosSchedule::derive(&reg, &ChaosSpec::hostile(), 100);
+        let mut after = reg.stream("measurement");
+        assert_eq!(after.next_u64(), expected);
+    }
+
+    #[test]
+    fn empty_workload_never_schedules_death() {
+        let s = ChaosSchedule::derive(&RngRegistry::new(1), &ChaosSpec::fatal(), 0);
+        assert!(s.death.is_none());
+    }
+
+    #[test]
+    fn schedule_serde_round_trips() {
+        let s = ChaosSchedule::derive(&RngRegistry::new(13), &ChaosSpec::hostile(), 10);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ChaosSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -19,6 +19,7 @@
 //! coordination structure and latency, which a discrete-event simulation
 //! reproduces exactly.
 
+pub mod chaos;
 pub mod engine;
 pub mod event;
 pub mod metrics;
@@ -26,6 +27,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
+pub use chaos::{ChaosSchedule, ChaosSpec, FaultKind, Injection, WorkerDeath};
 pub use engine::{Ctx, Engine, RunOutcome, World};
 pub use event::{EventQueue, Priority, PRIORITY_NORMAL};
 pub use metrics::{MetricsRegistry, SampleStats, TimeWeighted};

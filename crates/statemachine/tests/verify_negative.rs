@@ -1,0 +1,151 @@
+//! Negative-case coverage for workflow verification: the error paths a
+//! production engine must refuse loudly rather than execute quietly.
+//! Cycle detection, orphaned-dependency (unknown-task) rejection, budget
+//! exhaustion, and the unreachable/deadlocked-goal verdicts of
+//! `verify_fsm` previously had no dedicated tests.
+
+use evoflow_sm::dag::{Dag, DagError, TaskId};
+use evoflow_sm::machine::VerificationSpace;
+use evoflow_sm::verify::{verify_behaviour_space, verify_fsm};
+use evoflow_sm::Fsm;
+
+#[test]
+fn two_node_cycle_is_rejected_everywhere() {
+    let mut d = Dag::new();
+    let a = d.task("a");
+    let b = d.task("b");
+    d.edge(a, b).unwrap();
+    d.edge(b, a).unwrap(); // edge insertion is cheap; detection is global
+    assert_eq!(d.validate(), Err(DagError::CycleDetected));
+    assert_eq!(d.topo_order(), Err(DagError::CycleDetected));
+    assert_eq!(d.critical_path_len(), Err(DagError::CycleDetected));
+    assert!(matches!(d.to_fsm(100), Err(DagError::CycleDetected)));
+    assert!(matches!(
+        d.to_sequential_fsm(),
+        Err(DagError::CycleDetected)
+    ));
+}
+
+#[test]
+fn self_loop_is_a_cycle() {
+    let mut d = Dag::new();
+    let a = d.task("a");
+    d.edge(a, a).unwrap();
+    assert_eq!(d.validate(), Err(DagError::CycleDetected));
+}
+
+#[test]
+fn long_cycle_through_valid_prefix_is_detected() {
+    // a -> b -> c -> d -> b: the cycle sits behind an acyclic prefix.
+    let mut d = Dag::new();
+    let a = d.task("a");
+    let b = d.task("b");
+    let c = d.task("c");
+    let e = d.task("d");
+    d.edge(a, b).unwrap();
+    d.edge(b, c).unwrap();
+    d.edge(c, e).unwrap();
+    d.edge(e, b).unwrap();
+    assert_eq!(d.validate(), Err(DagError::CycleDetected));
+    // The acyclic part is still reported as unreachable work, not run.
+    assert!(matches!(d.to_fsm(1000), Err(DagError::CycleDetected)));
+}
+
+#[test]
+fn orphaned_dependency_is_rejected_with_the_offending_task() {
+    let mut d = Dag::new();
+    let a = d.task("a");
+    let ghost = TaskId(7);
+    assert_eq!(d.edge(a, ghost), Err(DagError::UnknownTask(ghost)));
+    assert_eq!(d.edge(ghost, a), Err(DagError::UnknownTask(ghost)));
+    // A rejected edge must leave the DAG untouched.
+    assert_eq!(d.len(), 1);
+    assert!(d.validate().is_ok());
+    assert_eq!(d.preds(a).count(), 0);
+    assert_eq!(d.succs(a).count(), 0);
+}
+
+#[test]
+fn error_messages_name_the_failure() {
+    assert_eq!(
+        DagError::CycleDetected.to_string(),
+        "graph contains a cycle"
+    );
+    assert_eq!(
+        DagError::UnknownTask(TaskId(7)).to_string(),
+        "unknown task t7"
+    );
+    assert!(DagError::StateBudgetExceeded { budget: 10 }
+        .to_string()
+        .contains("10"));
+}
+
+#[test]
+fn frontier_budget_exhaustion_is_reported_not_truncated() {
+    // fork_join(8) needs 259 frontier states; a budget of 10 must refuse,
+    // not return a partial machine.
+    let d = evoflow_sm::dag::shapes::fork_join(8);
+    assert_eq!(
+        d.to_fsm(10).err(),
+        Some(DagError::StateBudgetExceeded { budget: 10 })
+    );
+    // The same DAG verifies fine with room.
+    assert!(d.to_fsm(1_000).is_ok());
+}
+
+#[test]
+fn verify_fsm_flags_a_machine_with_no_reachable_goal() {
+    let mut b = Fsm::builder();
+    let s0 = b.state("start");
+    let s1 = b.state("work");
+    let s2 = b.state("island-goal"); // final, but unreachable
+    let go = b.symbol("go");
+    b.transition(s0, go, s1);
+    b.initial(s0);
+    b.final_state(s2);
+    let m = b.build().unwrap();
+    let r = verify_fsm(&m, 100);
+    assert!(r.complete);
+    assert!(!r.goal_reachable, "goal is disconnected");
+    assert!(!r.all_states_can_finish);
+    assert_eq!(r.deadlocks, vec![s1], "work wedges with no way out");
+}
+
+#[test]
+fn verify_fsm_budget_truncation_never_claims_completeness() {
+    let m = evoflow_sm::dag::shapes::fork_join(8)
+        .to_fsm(10_000)
+        .unwrap();
+    let r = verify_fsm(&m, 20);
+    assert!(!r.complete);
+    // An incomplete exploration must not certify liveness.
+    assert!(!r.all_states_can_finish);
+    assert!(r.states_explored <= 20);
+}
+
+#[test]
+fn behaviour_space_probe_edge_cases() {
+    // Zero budget: nothing verifies, not even the empty space's claim.
+    assert_eq!(
+        verify_behaviour_space(VerificationSpace::Finite(1), 0),
+        (0, false)
+    );
+    assert_eq!(
+        verify_behaviour_space(VerificationSpace::Finite(0), 0),
+        (0, true)
+    );
+    // Exact fit verifies; one over does not.
+    assert_eq!(
+        verify_behaviour_space(VerificationSpace::Finite(100), 100),
+        (100, true)
+    );
+    assert_eq!(
+        verify_behaviour_space(VerificationSpace::Finite(101), 100),
+        (100, false)
+    );
+    // Unbounded spaces exhaust any budget — the undecidability proxy.
+    assert_eq!(
+        verify_behaviour_space(VerificationSpace::Unbounded, u64::MAX),
+        (u64::MAX, false)
+    );
+}

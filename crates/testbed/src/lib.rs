@@ -27,10 +27,15 @@
 
 pub mod certify;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 
 pub use certify::{
     certify, certify_with_ladder, expected_grade, reference_matrix, AutonomyCertificate, RungResult,
 };
 pub use report::to_markdown;
+pub use resilience::{
+    certify_resilience, certify_resilience_with_ladder, resilience_ladder, ResilienceCertificate,
+    ResilienceGrade, ResilienceRung, ResilienceRungResult,
+};
 pub use scenario::{standard_ladder, AutonomyGrade, Rung};

@@ -1,0 +1,352 @@
+//! The resilience certification rung: graded chaos ladders for workflow
+//! execution stacks.
+//!
+//! The autonomy ladder ([`crate::scenario`]) grades what a controller can
+//! *decide*; this module grades what an execution stack can *survive*.
+//! §2.1 names failure handling as a core WMS capability, and a controller
+//! certified on clean schedules but untested under crashes is not
+//! production-grade — "Agentic Discovery" and the Bohrium/SciMaster line
+//! both tie agentic infrastructure maturity to tolerating mid-run
+//! failures at scale.
+//!
+//! Each rung derives a seeded [`ChaosSchedule`] battery from the rung's
+//! [`ChaosSpec`] and requires the subject — a workflow plus a fault
+//! policy — to reach the *same outcome* the undisturbed run reaches
+//! ([`evoflow_wms::RunReport::same_outcome`]). When the schedule kills
+//! the coordinator, the harness checkpoints the partial report and
+//! resumes, so the top rung certifies the full crash-survivability path:
+//! execute → die → checkpoint → resume → identical outcome.
+//!
+//! Like the autonomy ladder, the grade is the highest *contiguously*
+//! passed rung: surviving coordinator death while flaking on transient
+//! I/O errors is luck, not resilience.
+
+use evoflow_sim::{ChaosSchedule, ChaosSpec, RngRegistry};
+use evoflow_wms::{execute, execute_under_chaos, resume, Checkpoint, FaultPolicy, Workflow};
+use serde::{Deserialize, Serialize};
+
+/// The resilience grade a certificate can award.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResilienceGrade {
+    /// Completes undisturbed schedules (the control arm).
+    R0Nominal,
+    /// Absorbs transient I/O errors.
+    R1Transient,
+    /// Absorbs worker crashes and infrastructure slowdowns.
+    R2Degraded,
+    /// Survives coordinator death via checkpoint/resume.
+    R3CrashSurvivor,
+}
+
+impl ResilienceGrade {
+    /// All grades, lowest first.
+    pub const ALL: [ResilienceGrade; 4] = [
+        ResilienceGrade::R0Nominal,
+        ResilienceGrade::R1Transient,
+        ResilienceGrade::R2Degraded,
+        ResilienceGrade::R3CrashSurvivor,
+    ];
+}
+
+impl std::fmt::Display for ResilienceGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResilienceGrade::R0Nominal => "R0 (nominal)",
+            ResilienceGrade::R1Transient => "R1 (transient-fault tolerant)",
+            ResilienceGrade::R2Degraded => "R2 (degraded-infrastructure tolerant)",
+            ResilienceGrade::R3CrashSurvivor => "R3 (crash survivor)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rung of the resilience ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceRung {
+    /// Grade this rung certifies.
+    pub grade: ResilienceGrade,
+    /// Human-readable description of the disturbance class.
+    pub name: String,
+    /// Fault rates the rung's schedules are derived from.
+    pub spec: ChaosSpec,
+    /// Independent seeded chaos schedules the subject must survive.
+    pub replications: u64,
+    /// Minimum fraction of replications that must reach the undisturbed
+    /// outcome.
+    pub min_survival: f64,
+}
+
+/// Measured outcome of one rung.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceRungResult {
+    /// Grade the rung certifies.
+    pub grade: ResilienceGrade,
+    /// Rung description.
+    pub name: String,
+    /// Fraction of replications that reached the undisturbed outcome.
+    pub survival: f64,
+    /// Coordinator deaths recovered via checkpoint/resume.
+    pub resumes: u64,
+    /// Total injected faults absorbed across replications.
+    pub injected_faults: u64,
+    /// Whether the survival threshold was met.
+    pub passed: bool,
+}
+
+/// The issued certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCertificate {
+    /// Name of the certified stack.
+    pub subject: String,
+    /// Highest contiguously passed grade (`None`: failed the first rung).
+    pub achieved: Option<ResilienceGrade>,
+    /// Per-rung evidence, in ladder order. Rungs above the first failure
+    /// are still run and recorded — *how* a stack fails upward is part of
+    /// the certificate.
+    pub rungs: Vec<ResilienceRungResult>,
+    /// Master seed the verdict derives from (replay key).
+    pub master_seed: u64,
+}
+
+impl ResilienceCertificate {
+    /// Whether the certificate awards at least `grade`.
+    pub fn at_least(&self, grade: ResilienceGrade) -> bool {
+        self.achieved.is_some_and(|a| a >= grade)
+    }
+}
+
+/// The standard four-rung resilience ladder.
+///
+/// Calibrated against the two reference policies the same way the
+/// autonomy ladder is calibrated against Table 1's controllers:
+/// [`FaultPolicy::Abort`] (the static baseline) certifies at R1 — it
+/// rides out transient I/O errors, which are absorbed below the
+/// scheduler, but aborts on the first injected crash — while
+/// [`FaultPolicy::Retry`] with checkpoint/resume certifies at R3.
+pub fn resilience_ladder() -> Vec<ResilienceRung> {
+    vec![
+        ResilienceRung {
+            grade: ResilienceGrade::R0Nominal,
+            name: "undisturbed execution (control arm)".into(),
+            spec: ChaosSpec::quiet(),
+            replications: 4,
+            min_survival: 1.0,
+        },
+        ResilienceRung {
+            grade: ResilienceGrade::R1Transient,
+            name: "transient I/O errors on task commit".into(),
+            spec: ChaosSpec::transient(),
+            replications: 8,
+            min_survival: 1.0,
+        },
+        ResilienceRung {
+            grade: ResilienceGrade::R2Degraded,
+            name: "worker crashes and infrastructure slowdowns".into(),
+            spec: ChaosSpec::degraded(),
+            replications: 8,
+            min_survival: 1.0,
+        },
+        ResilienceRung {
+            grade: ResilienceGrade::R3CrashSurvivor,
+            name: "coordinator death mid-run (checkpoint/resume required)".into(),
+            spec: ChaosSpec::hostile(),
+            replications: 8,
+            min_survival: 1.0,
+        },
+    ]
+}
+
+/// Run one rung: derive `replications` seeded schedules and count how
+/// many chaos runs (with checkpoint/resume on coordinator death) reach
+/// the undisturbed outcome.
+fn run_resilience_rung(
+    wf: &Workflow,
+    workers: u64,
+    policy: FaultPolicy,
+    rung: &ResilienceRung,
+    master_seed: u64,
+) -> ResilienceRungResult {
+    let reg = RngRegistry::new(master_seed);
+    let mut survived = 0u64;
+    let mut resumes = 0u64;
+    let mut injected = 0u64;
+    for rep in 0..rung.replications {
+        // Chaos seeds and the engine seed come from independent derived
+        // registries so the subject cannot overfit the fault draw.
+        let chaos_reg = reg.derive(&rung.name, rep);
+        let schedule = ChaosSchedule::derive(&chaos_reg, &rung.spec, wf.len());
+        let exec_seed = reg.shard_seed("resilience-exec", rep);
+        let baseline = execute(wf, workers, policy, exec_seed);
+
+        let chaotic = execute_under_chaos(wf, workers, policy, exec_seed, &schedule);
+        injected += (chaotic.injected_crashes
+            + chaotic.injected_delays
+            + chaotic.injected_io_errors) as u64;
+        let final_report = if chaotic.died {
+            resumes += 1;
+            let ckpt = Checkpoint::from_report(&chaotic.report);
+            match resume(
+                wf,
+                &ckpt,
+                workers,
+                policy,
+                reg.shard_seed("resilience-resume", rep),
+            ) {
+                Ok(r) => r,
+                Err(_) => chaotic.report, // unresumable checkpoint: counts as a loss
+            }
+        } else {
+            chaotic.report
+        };
+        if final_report.same_outcome(&baseline) {
+            survived += 1;
+        }
+    }
+    let survival = survived as f64 / rung.replications.max(1) as f64;
+    ResilienceRungResult {
+        grade: rung.grade,
+        name: rung.name.clone(),
+        survival,
+        resumes,
+        injected_faults: injected,
+        passed: survival >= rung.min_survival,
+    }
+}
+
+/// Certify an execution stack — a workflow running on `workers` slots
+/// under `policy` — against a ladder. `master_seed` makes the verdict
+/// replayable.
+pub fn certify_resilience_with_ladder(
+    subject: impl Into<String>,
+    wf: &Workflow,
+    workers: u64,
+    policy: FaultPolicy,
+    ladder: &[ResilienceRung],
+    master_seed: u64,
+) -> ResilienceCertificate {
+    let rungs: Vec<ResilienceRungResult> = ladder
+        .iter()
+        .map(|rung| run_resilience_rung(wf, workers, policy, rung, master_seed))
+        .collect();
+    let achieved = rungs
+        .iter()
+        .take_while(|r| r.passed)
+        .last()
+        .map(|r| r.grade);
+    ResilienceCertificate {
+        subject: subject.into(),
+        achieved,
+        rungs,
+        master_seed,
+    }
+}
+
+/// Certify against the [`resilience_ladder`].
+pub fn certify_resilience(
+    subject: impl Into<String>,
+    wf: &Workflow,
+    workers: u64,
+    policy: FaultPolicy,
+    master_seed: u64,
+) -> ResilienceCertificate {
+    certify_resilience_with_ladder(
+        subject,
+        wf,
+        workers,
+        policy,
+        &resilience_ladder(),
+        master_seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoflow_sim::SimDuration;
+    use evoflow_wms::TaskSpec;
+
+    /// The reference subject: a reliable 12-task layered workflow.
+    fn reference_workflow() -> Workflow {
+        let dag = evoflow_sm::dag::shapes::layered(4, 3);
+        let specs = (0..dag.len())
+            .map(|i| TaskSpec::reliable(format!("t{i}"), SimDuration::from_hours(1)))
+            .collect();
+        Workflow::new(dag, specs)
+    }
+
+    #[test]
+    fn retry_with_resume_certifies_at_r3() {
+        let wf = reference_workflow();
+        let cert = certify_resilience("retry-stack", &wf, 3, FaultPolicy::Retry, 11);
+        assert_eq!(cert.achieved, Some(ResilienceGrade::R3CrashSurvivor));
+        assert!(cert.at_least(ResilienceGrade::R2Degraded));
+        let top = &cert.rungs[3];
+        assert!(top.resumes > 0, "the R3 rung must exercise resume");
+    }
+
+    #[test]
+    fn abort_certifies_at_r1_only() {
+        let wf = reference_workflow();
+        let cert = certify_resilience("abort-stack", &wf, 3, FaultPolicy::Abort, 11);
+        assert_eq!(cert.achieved, Some(ResilienceGrade::R1Transient));
+        assert!(cert.rungs[0].passed);
+        assert!(cert.rungs[1].passed, "I/O errors are absorbed below policy");
+        assert!(
+            !cert.rungs[2].passed,
+            "static stacks die on injected crashes"
+        );
+    }
+
+    #[test]
+    fn certificates_replay_bit_identically() {
+        let wf = reference_workflow();
+        let a = certify_resilience("x", &wf, 3, FaultPolicy::Retry, 42);
+        let b = certify_resilience("x", &wf, 3, FaultPolicy::Retry, 42);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn grade_is_seed_stable() {
+        let wf = reference_workflow();
+        let a = certify_resilience("x", &wf, 3, FaultPolicy::Retry, 1);
+        let b = certify_resilience("x", &wf, 3, FaultPolicy::Retry, 2);
+        assert_eq!(a.achieved, b.achieved, "grading must be seed-stable");
+    }
+
+    #[test]
+    fn contiguity_rule_caps_the_grade() {
+        // A ladder whose first rung is impossible: nothing certifies,
+        // even though the upper rungs pass and are recorded as evidence.
+        let mut ladder = resilience_ladder();
+        ladder[0].min_survival = 2.0;
+        let wf = reference_workflow();
+        let cert = certify_resilience_with_ladder("gappy", &wf, 3, FaultPolicy::Retry, &ladder, 11);
+        assert_eq!(cert.achieved, None);
+        assert_eq!(cert.rungs.len(), 4);
+        assert!(cert.rungs[3].passed);
+    }
+
+    #[test]
+    fn ladder_has_one_rung_per_grade_in_order() {
+        let ladder = resilience_ladder();
+        assert_eq!(ladder.len(), ResilienceGrade::ALL.len());
+        for (rung, grade) in ladder.iter().zip(ResilienceGrade::ALL) {
+            assert_eq!(rung.grade, grade);
+        }
+        for w in ResilienceGrade::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn certificate_serde_round_trips() {
+        let wf = reference_workflow();
+        let cert = certify_resilience("rt", &wf, 2, FaultPolicy::Retry, 7);
+        let json = serde_json::to_string(&cert).unwrap();
+        let back: ResilienceCertificate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cert);
+    }
+}

@@ -12,7 +12,7 @@
 //! only runs once every predecessor is satisfied — so dropping satisfied
 //! tasks can never orphan a dependency.
 
-use crate::engine::{execute, FaultPolicy, RunReport, TaskStatus, Workflow};
+use crate::engine::{execute, FaultPolicy, RunReport, TaskSpec, TaskStatus, Workflow};
 use evoflow_sim::SimDuration;
 use evoflow_sm::dag::{Dag, TaskId};
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,17 @@ pub struct Checkpoint {
     pub elapsed: SimDuration,
     /// Attempts already consumed.
     pub attempts: u32,
+    /// Retries already consumed per task (index-aligned with the DAG).
+    ///
+    /// Carried explicitly so retry-backoff state survives the crash: a
+    /// task that burned part of its budget before the interruption
+    /// resumes with only the remainder, instead of a silently refreshed
+    /// budget. Absent in checkpoints written before this field existed —
+    /// [`serde` default] decodes those as "nothing consumed".
+    ///
+    /// [`serde` default]: https://serde.rs/field-attrs.html#default
+    #[serde(default)]
+    pub retries_used: Vec<u32>,
 }
 
 impl Checkpoint {
@@ -35,7 +46,14 @@ impl Checkpoint {
             statuses: report.statuses.clone(),
             elapsed: report.makespan,
             attempts: report.attempts,
+            retries_used: report.retries_used.clone(),
         }
+    }
+
+    /// Retries already consumed by task `i` (0 for legacy checkpoints
+    /// that predate the `retries_used` field).
+    pub fn retries_used_by(&self, i: usize) -> u32 {
+        self.retries_used.get(i).copied().unwrap_or(0)
     }
 
     /// Tasks already satisfied (succeeded or skipped).
@@ -144,6 +162,9 @@ pub fn resume(
             makespan: checkpoint.elapsed,
             statuses: checkpoint.statuses.clone(),
             attempts: checkpoint.attempts,
+            retries_used: (0..wf.len())
+                .map(|i| checkpoint.retries_used_by(i))
+                .collect(),
             completed: true,
             aborted: false,
             utilization: 0.0,
@@ -151,10 +172,11 @@ pub fn resume(
     }
     // Project the remaining sub-workflow. Edges from satisfied tasks are
     // dropped (their obligation is met); edges among remaining tasks are
-    // kept with remapped ids.
+    // kept with remapped ids. Retry budgets shrink by what the checkpoint
+    // already consumed, so back-off state survives the restart.
     let mut sub_dag = Dag::new();
     let mut old_to_new: Vec<Option<TaskId>> = vec![None; wf.len()];
-    let mut sub_specs = Vec::new();
+    let mut sub_specs: Vec<TaskSpec> = Vec::new();
     for i in 0..wf.len() {
         if satisfied[i] {
             continue;
@@ -162,7 +184,11 @@ pub fn resume(
         let old = TaskId(i as u32);
         let new_id = sub_dag.task(wf.dag.label(old).to_string());
         old_to_new[i] = Some(new_id);
-        sub_specs.push(wf.specs[i].clone());
+        let mut spec = wf.specs[i].clone();
+        spec.max_retries = spec
+            .max_retries
+            .saturating_sub(checkpoint.retries_used_by(i));
+        sub_specs.push(spec);
     }
     for i in 0..wf.len() {
         let Some(new_to) = old_to_new[i] else {
@@ -178,12 +204,16 @@ pub fn resume(
     }
     let sub_wf = Workflow::new(sub_dag, sub_specs);
     let sub_report = execute(&sub_wf, workers, policy, seed);
-    // Splice statuses back into original indexing.
+    // Splice statuses and retry consumption back into original indexing.
     let mut statuses = checkpoint.statuses.clone();
+    let mut retries_used: Vec<u32> = (0..wf.len())
+        .map(|i| checkpoint.retries_used_by(i))
+        .collect();
     let mut sub_idx = 0;
     for (i, slot) in old_to_new.iter().enumerate() {
         if slot.is_some() {
             statuses[i] = sub_report.statuses[sub_idx];
+            retries_used[i] += sub_report.retries_used[sub_idx];
             sub_idx += 1;
         }
     }
@@ -194,6 +224,7 @@ pub fn resume(
         makespan: checkpoint.elapsed + sub_report.makespan,
         statuses,
         attempts: checkpoint.attempts + sub_report.attempts,
+        retries_used,
         completed,
         aborted: sub_report.aborted,
         utilization: sub_report.utilization,
@@ -277,6 +308,7 @@ mod tests {
             statuses: vec![TaskStatus::Succeeded; 2],
             elapsed: SimDuration::from_secs(0),
             attempts: 0,
+            retries_used: Vec::new(),
         };
         assert!(matches!(
             resume(&wf, &ckpt, 4, FaultPolicy::Retry, 1),
@@ -297,6 +329,7 @@ mod tests {
             ],
             elapsed: SimDuration::from_secs(0),
             attempts: 0,
+            retries_used: Vec::new(),
         };
         let err = resume(&wf, &ckpt, 4, FaultPolicy::Retry, 1).unwrap_err();
         assert!(matches!(err, ResumeError::NotDownwardClosed { .. }));
@@ -309,6 +342,7 @@ mod tests {
             statuses: vec![TaskStatus::NotRun; 4],
             elapsed: SimDuration::from_secs(0),
             attempts: 0,
+            retries_used: Vec::new(),
         };
         let resumed = resume(&wf, &ckpt, 4, FaultPolicy::Retry, 3).unwrap();
         let full = execute(&wf, 4, FaultPolicy::Retry, 3);
@@ -341,6 +375,7 @@ mod tests {
             ],
             elapsed: SimDuration::from_secs(150),
             attempts: 3,
+            retries_used: vec![0; 6],
         };
         let report = resume(&wf, &ckpt, 1, FaultPolicy::Retry, 5).unwrap();
         assert!(report.completed);

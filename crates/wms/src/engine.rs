@@ -10,10 +10,12 @@
 //! first failure (static δ) versus retry with backoff (δ extended with
 //! feedback `O`).
 
-use evoflow_sim::{Ctx, Engine, Grant, Resource, RunOutcome, SimDuration, SimTime, World};
+use evoflow_sim::{
+    ChaosSchedule, Ctx, Engine, FaultKind, Grant, Resource, RunOutcome, SimDuration, SimTime, World,
+};
 use evoflow_sm::dag::{Dag, TaskId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-task execution specification.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -146,14 +148,22 @@ pub enum TaskStatus {
 }
 
 /// Report of one workflow execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Total simulated time from start to last completion.
     pub makespan: SimDuration,
     /// Final status per task.
     pub statuses: Vec<TaskStatus>,
-    /// Total attempts across all tasks.
+    /// Completed task attempts across the run. Counts every *finished*
+    /// execution charged to the workflow itself; attempts lost to injected
+    /// infrastructure faults (chaos crashes, transient I/O errors,
+    /// coordinator death) are excluded — they belong to the environment.
     pub attempts: u32,
+    /// Retries consumed per task (index-aligned with the DAG). Carried so
+    /// a checkpoint preserves back-off state: a task that burned 2 of its
+    /// 3 retries before a crash resumes with 1, not a fresh budget.
+    #[serde(default)]
+    pub retries_used: Vec<u32>,
     /// Whether the whole workflow completed (every task succeeded/skipped).
     pub completed: bool,
     /// Whether the run aborted under [`FaultPolicy::Abort`].
@@ -162,11 +172,76 @@ pub struct RunReport {
     pub utilization: f64,
 }
 
+impl RunReport {
+    /// Whether two runs reached the same *outcome*: identical statuses,
+    /// completion, abort flag, attempt count, and retry consumption.
+    ///
+    /// This is the resilience invariant — *chaos perturbs time, never
+    /// outcome* — so the time-dependent fields (`makespan`,
+    /// `utilization`) are deliberately excluded: injected faults shift
+    /// the clock, and a checkpoint splice adds the two runs' spans.
+    pub fn same_outcome(&self, other: &RunReport) -> bool {
+        self.statuses == other.statuses
+            && self.completed == other.completed
+            && self.aborted == other.aborted
+            && self.attempts == other.attempts
+            && self.retries_used == other.retries_used
+    }
+}
+
+/// Report of a workflow execution under an injected fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosRunReport {
+    /// The run report. Partial when `died` is set — feed it to
+    /// [`crate::checkpoint::Checkpoint::from_report`] and resume.
+    pub report: RunReport,
+    /// Whether the scheduled coordinator death fired (the run is
+    /// incomplete and everything in flight was lost).
+    pub died: bool,
+    /// Injected task crashes absorbed.
+    pub injected_crashes: u32,
+    /// Injected slowdowns absorbed.
+    pub injected_delays: u32,
+    /// Injected transient I/O errors absorbed.
+    pub injected_io_errors: u32,
+}
+
 #[derive(Debug)]
 enum Ev {
     Dispatch,
     Start(TaskId),
     Finish(TaskId),
+}
+
+/// Fault-injection state threaded through one execution. Injections are
+/// looked up by `(task, attempt)`; commits drive the scheduled
+/// coordinator death.
+#[derive(Default)]
+struct ChaosState {
+    injections: BTreeMap<(u32, u32), FaultKind>,
+    /// Attempts of each task so far (every execution, injected or not).
+    attempt_no: Vec<u32>,
+    death_after: Option<u32>,
+    commits: u32,
+    died: bool,
+    injected_crashes: u32,
+    injected_delays: u32,
+    injected_io: u32,
+}
+
+impl ChaosState {
+    fn from_schedule(schedule: &ChaosSchedule, tasks: usize) -> Self {
+        ChaosState {
+            injections: schedule
+                .injections
+                .iter()
+                .map(|i| ((i.task, i.attempt), i.kind))
+                .collect(),
+            attempt_no: vec![0; tasks],
+            death_after: schedule.death.map(|d| d.after_commits),
+            ..ChaosState::default()
+        }
+    }
 }
 
 struct WmsWorld {
@@ -180,11 +255,24 @@ struct WmsWorld {
     launched: BTreeSet<TaskId>,
     aborted: bool,
     last_event: SimTime,
+    chaos: ChaosState,
 }
 
 impl WmsWorld {
     fn any_failure(&self) -> bool {
         self.statuses.contains(&TaskStatus::Failed)
+    }
+
+    /// Record one committed task (terminal status reached). Returns `true`
+    /// when the scheduled coordinator death fires on this commit.
+    fn commit(&mut self) -> bool {
+        self.chaos.commits += 1;
+        if let Some(after) = self.chaos.death_after {
+            if self.chaos.commits >= after {
+                self.chaos.died = true;
+            }
+        }
+        self.chaos.died
     }
 }
 
@@ -215,6 +303,10 @@ impl World for WmsWorld {
                     if !run {
                         self.statuses[t.0 as usize] = TaskStatus::Skipped;
                         self.satisfied.insert(t);
+                        if self.commit() {
+                            ctx.request_stop();
+                            return;
+                        }
                         ctx.schedule_now(Ev::Dispatch);
                         continue;
                     }
@@ -228,18 +320,64 @@ impl World for WmsWorld {
             }
             Ev::Start(t) => {
                 let spec = &self.wf.specs[t.0 as usize];
-                self.attempts_total += 1;
-                let dur = if spec.jitter > 0.0 {
+                let mut dur = if spec.jitter > 0.0 {
                     spec.duration.mul_f64(ctx.rng.lognormal(0.0, spec.jitter))
                 } else {
                     spec.duration
                 };
+                // Injected slowdown: the attempt takes longer, nothing else.
+                let attempt = self.chaos.attempt_no[t.0 as usize];
+                if let Some(FaultKind::Delay { extra }) =
+                    self.chaos.injections.get(&(t.0, attempt)).copied()
+                {
+                    self.chaos.injected_delays += 1;
+                    ctx.metrics.incr("chaos_delays", 1);
+                    dur = dur + extra;
+                }
                 ctx.metrics
                     .track("pool_in_use", ctx.now, self.pool.in_use() as f64);
                 ctx.schedule_in(dur, Ev::Finish(t));
             }
             Ev::Finish(t) => {
                 let spec = self.wf.specs[t.0 as usize].clone();
+                let attempt = self.chaos.attempt_no[t.0 as usize];
+                self.chaos.attempt_no[t.0 as usize] = attempt + 1;
+                match self.chaos.injections.get(&(t.0, attempt)).copied() {
+                    // Injected worker crash: the attempt's work is lost.
+                    // An adaptive engine re-executes after recovery (the
+                    // environment's fault, so neither the task's retry
+                    // budget nor its attempt count is charged); a static
+                    // engine aborts the whole run. The task's status stays
+                    // `NotRun` — infrastructure died, the task never
+                    // failed — so a checkpoint resume re-runs it.
+                    Some(FaultKind::TaskCrash { recovery }) => {
+                        self.chaos.injected_crashes += 1;
+                        ctx.metrics.incr("chaos_crashes", 1);
+                        match self.policy {
+                            FaultPolicy::Abort => {
+                                self.aborted = true;
+                                self.pool.release(spec.workers, ctx.now);
+                                ctx.request_stop();
+                            }
+                            FaultPolicy::Retry => {
+                                ctx.schedule_in(recovery, Ev::Start(t));
+                            }
+                        }
+                        return;
+                    }
+                    // Transient I/O error committing the result: re-read
+                    // after back-off. Handled below the fault policy, as
+                    // production stacks do.
+                    Some(FaultKind::TransientIo { retry_after }) => {
+                        self.chaos.injected_io += 1;
+                        ctx.metrics.incr("chaos_io_errors", 1);
+                        ctx.schedule_in(retry_after, Ev::Start(t));
+                        return;
+                    }
+                    Some(FaultKind::Delay { .. }) | None => {}
+                }
+                // The attempt finished and is charged to the workflow.
+                self.attempts_total += 1;
                 let failed = ctx.rng.chance(spec.fail_prob);
                 if failed {
                     match self.policy {
@@ -258,9 +396,6 @@ impl World for WmsWorld {
                                 // Hold the workers; retry in place after a
                                 // short backoff.
                                 ctx.schedule_in(SimDuration::from_secs(30), Ev::Start(t));
-                                // Undo the attempt's worker hold double-count:
-                                // Start re-requests nothing; workers stay held.
-                                self.attempts_total -= 0;
                                 return;
                             }
                             self.statuses[t.0 as usize] = TaskStatus::Failed;
@@ -269,6 +404,13 @@ impl World for WmsWorld {
                 } else {
                     self.statuses[t.0 as usize] = TaskStatus::Succeeded;
                     self.satisfied.insert(t);
+                }
+                // A terminal status was recorded: one commit. The
+                // scheduled coordinator death fires *between* commits, so
+                // committed work survives and in-flight work is lost.
+                if self.commit() {
+                    ctx.request_stop();
+                    return;
                 }
                 for waiter in self.pool.release(spec.workers, ctx.now) {
                     ctx.schedule_now(Ev::Start(waiter.token));
@@ -281,6 +423,38 @@ impl World for WmsWorld {
 
 /// Execute a workflow on `workers` worker slots with the given policy.
 pub fn execute(wf: &Workflow, workers: u64, policy: FaultPolicy, seed: u64) -> RunReport {
+    execute_under_chaos(wf, workers, policy, seed, &ChaosSchedule::quiet(wf.len())).report
+}
+
+/// Execute a workflow while injecting the faults of `schedule` — the
+/// chaos-engineering front door.
+///
+/// How each [`FaultKind`] lands depends on the [`FaultPolicy`] — this is
+/// the Static→Adaptive axis under disturbance rather than under a clean
+/// schedule:
+///
+/// * **Task crash** — [`FaultPolicy::Retry`] re-executes after the
+///   recovery latency without charging the task's retry budget (the fault
+///   belongs to the environment); [`FaultPolicy::Abort`] aborts the run,
+///   because a static workflow has no feedback channel to absorb it.
+/// * **Delay** — the struck attempt takes longer; pure time perturbation.
+/// * **Transient I/O error** — retried after back-off under *both*
+///   policies (production stacks handle these below the scheduler).
+/// * **Worker death** — the coordinator dies after the scheduled number
+///   of commits: the returned report is partial (`died = true`), and the
+///   caller recovers via [`crate::checkpoint::Checkpoint::from_report`] +
+///   [`crate::checkpoint::resume`].
+///
+/// The invariant the resilience battery pins: for a fault-tolerant
+/// policy, chaos changes *when* things happen, never *what* the final
+/// outcome is ([`RunReport::same_outcome`]).
+pub fn execute_under_chaos(
+    wf: &Workflow,
+    workers: u64,
+    policy: FaultPolicy,
+    seed: u64,
+    schedule: &ChaosSchedule,
+) -> ChaosRunReport {
     let n = wf.len();
     let world = WmsWorld {
         attempts_left: wf.specs.iter().map(|s| s.max_retries).collect(),
@@ -293,6 +467,7 @@ pub fn execute(wf: &Workflow, workers: u64, policy: FaultPolicy, seed: u64) -> R
         launched: BTreeSet::new(),
         aborted: false,
         last_event: SimTime::ZERO,
+        chaos: ChaosState::from_schedule(schedule, n),
     };
     // Queue depth is bounded by one pending event per task plus one per
     // worker slot (completions), so preallocate and never regrow mid-run.
@@ -314,13 +489,26 @@ pub fn execute(wf: &Workflow, workers: u64, policy: FaultPolicy, seed: u64) -> R
         .weighted("pool_in_use")
         .map(|w| w.average(end) / workers as f64)
         .unwrap_or(0.0);
-    RunReport {
-        makespan: end.saturating_since(SimTime::ZERO),
-        statuses: engine.world.statuses,
-        attempts: engine.world.attempts_total,
-        completed,
-        aborted: engine.world.aborted,
-        utilization,
+    let retries_used = wf
+        .specs
+        .iter()
+        .zip(&engine.world.attempts_left)
+        .map(|(s, left)| s.max_retries - left)
+        .collect();
+    ChaosRunReport {
+        report: RunReport {
+            makespan: end.saturating_since(SimTime::ZERO),
+            statuses: engine.world.statuses,
+            attempts: engine.world.attempts_total,
+            retries_used,
+            completed,
+            aborted: engine.world.aborted,
+            utilization,
+        },
+        died: engine.world.chaos.died,
+        injected_crashes: engine.world.chaos.injected_crashes,
+        injected_delays: engine.world.chaos.injected_delays,
+        injected_io_errors: engine.world.chaos.injected_io,
     }
 }
 
@@ -451,6 +639,126 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_ne!(a.makespan, c.makespan);
         assert!(a.makespan.as_hours() != 3.0);
+    }
+
+    #[test]
+    fn injected_crash_is_absorbed_by_retry_without_charging_the_task() {
+        use evoflow_sim::{chaos::Injection, FaultKind};
+        let wf = Workflow::pipeline(4, hour());
+        let clean = execute(&wf, 2, FaultPolicy::Retry, 9);
+        let mut schedule = ChaosSchedule::quiet(wf.len());
+        schedule.injections.push(Injection {
+            task: 1,
+            attempt: 0,
+            kind: FaultKind::TaskCrash {
+                recovery: SimDuration::from_mins(5),
+            },
+        });
+        let chaotic = execute_under_chaos(&wf, 2, FaultPolicy::Retry, 9, &schedule);
+        assert_eq!(chaotic.injected_crashes, 1);
+        assert!(!chaotic.died);
+        assert!(chaotic.report.same_outcome(&clean), "outcome changed");
+        assert_eq!(chaotic.report.retries_used, vec![0; 4], "budget charged");
+        assert!(
+            chaotic.report.makespan > clean.makespan,
+            "recovery is free?"
+        );
+    }
+
+    #[test]
+    fn injected_crash_aborts_a_static_workflow() {
+        use evoflow_sim::{chaos::Injection, FaultKind};
+        let wf = Workflow::pipeline(3, hour());
+        let mut schedule = ChaosSchedule::quiet(wf.len());
+        schedule.injections.push(Injection {
+            task: 1,
+            attempt: 0,
+            kind: FaultKind::TaskCrash {
+                recovery: SimDuration::from_mins(5),
+            },
+        });
+        let r = execute_under_chaos(&wf, 1, FaultPolicy::Abort, 9, &schedule);
+        assert!(r.report.aborted);
+        assert!(!r.report.completed);
+        // Infrastructure died, the task never failed — it stays NotRun so
+        // a checkpoint resume re-runs it.
+        assert_eq!(r.report.statuses[1], TaskStatus::NotRun);
+    }
+
+    #[test]
+    fn transient_io_errors_are_transparent_to_both_policies() {
+        use evoflow_sim::{chaos::Injection, FaultKind};
+        let wf = Workflow::pipeline(3, hour());
+        let mut schedule = ChaosSchedule::quiet(wf.len());
+        schedule.injections.push(Injection {
+            task: 2,
+            attempt: 0,
+            kind: FaultKind::TransientIo {
+                retry_after: SimDuration::from_secs(10),
+            },
+        });
+        for policy in [FaultPolicy::Abort, FaultPolicy::Retry] {
+            let clean = execute(&wf, 1, policy, 4);
+            let chaotic = execute_under_chaos(&wf, 1, policy, 4, &schedule);
+            assert_eq!(chaotic.injected_io_errors, 1);
+            assert!(chaotic.report.same_outcome(&clean), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn injected_delay_shifts_time_only() {
+        use evoflow_sim::{chaos::Injection, FaultKind};
+        let wf = Workflow::pipeline(2, hour());
+        let mut schedule = ChaosSchedule::quiet(wf.len());
+        schedule.injections.push(Injection {
+            task: 0,
+            attempt: 0,
+            kind: FaultKind::Delay {
+                extra: SimDuration::from_hours(1),
+            },
+        });
+        let clean = execute(&wf, 1, FaultPolicy::Retry, 2);
+        let chaotic = execute_under_chaos(&wf, 1, FaultPolicy::Retry, 2, &schedule);
+        assert_eq!(chaotic.injected_delays, 1);
+        assert!(chaotic.report.same_outcome(&clean));
+        assert_eq!(chaotic.report.makespan.as_hours(), 3.0);
+    }
+
+    #[test]
+    fn worker_death_yields_a_partial_resumable_report() {
+        use evoflow_sim::WorkerDeath;
+        let wf = Workflow::pipeline(5, hour());
+        let mut schedule = ChaosSchedule::quiet(wf.len());
+        schedule.death = Some(WorkerDeath { after_commits: 2 });
+        let r = execute_under_chaos(&wf, 1, FaultPolicy::Retry, 3, &schedule);
+        assert!(r.died);
+        assert!(!r.report.completed);
+        assert_eq!(r.report.statuses[..2], [TaskStatus::Succeeded; 2]);
+        assert_eq!(r.report.statuses[2..], [TaskStatus::NotRun; 3]);
+        // Only committed attempts are charged — the in-flight one is lost.
+        assert_eq!(r.report.attempts, 2);
+    }
+
+    #[test]
+    fn chaos_execution_is_deterministic() {
+        use evoflow_sim::RngRegistry;
+        let dag = shapes::layered(3, 3);
+        let specs = (0..dag.len())
+            .map(|i| {
+                TaskSpec::reliable(format!("t{i}"), hour())
+                    .with_jitter(0.2)
+                    .with_fail_prob(0.1)
+            })
+            .collect();
+        let wf = Workflow::new(dag, specs);
+        let schedule = ChaosSchedule::derive(
+            &RngRegistry::new(77),
+            &evoflow_sim::ChaosSpec::hostile(),
+            wf.len(),
+        );
+        let a = execute_under_chaos(&wf, 3, FaultPolicy::Retry, 5, &schedule);
+        let b = execute_under_chaos(&wf, 3, FaultPolicy::Retry, 5, &schedule);
+        assert_eq!(a, b);
     }
 
     #[test]

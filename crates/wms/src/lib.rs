@@ -21,6 +21,10 @@
 //! * [`dsl`] — the text workflow-description language (parse / render).
 //! * [`checkpoint`] — restart files: checkpoint an interrupted run,
 //!   repair, and [`checkpoint::resume`] only the remaining tasks.
+//! * [`engine::execute_under_chaos`] — the same engine under a seeded
+//!   fault schedule ([`evoflow_sim::chaos`]): injected crashes, delays,
+//!   transient I/O errors, and coordinator death, for resilience tests
+//!   and certification.
 
 pub mod checkpoint;
 pub mod dsl;
@@ -29,5 +33,8 @@ pub mod meta;
 
 pub use checkpoint::{resume, Checkpoint, ResumeError};
 pub use dsl::{parse, render, ParseError, ParseErrorKind, ParsedWorkflow};
-pub use engine::{execute, Condition, FaultPolicy, RunReport, TaskSpec, TaskStatus, Workflow};
+pub use engine::{
+    execute, execute_under_chaos, ChaosRunReport, Condition, FaultPolicy, RunReport, TaskSpec,
+    TaskStatus, Workflow,
+};
 pub use meta::{execute_meta, run_sweep, MetaReport, MetaWorkflow, ParameterGrid, SweepReport};

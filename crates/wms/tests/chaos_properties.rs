@@ -1,0 +1,169 @@
+//! Property battery for the chaos engine and the checkpoint/resume path.
+//!
+//! The invariant under test — *chaos perturbs time, never outcome* — in
+//! three strengthening steps, for arbitrary DAGs and arbitrary seeded
+//! fault schedules:
+//!
+//! 1. Chaos execution is a pure function of `(workflow, schedule, seed)`.
+//! 2. A fault-tolerant run under injected crashes/delays/I/O errors
+//!    reaches the same outcome as the undisturbed run.
+//! 3. A run killed by a scheduled coordinator death, checkpointed with
+//!    [`Checkpoint::from_report`], and resumed, reaches the same outcome
+//!    as the run that was never killed.
+
+use evoflow_sim::{ChaosSchedule, ChaosSpec, RngRegistry, SimDuration};
+use evoflow_wms::{
+    execute, execute_under_chaos, resume, Checkpoint, FaultPolicy, TaskSpec, TaskStatus, Workflow,
+};
+use proptest::prelude::*;
+
+/// Random forward-edge DAG + aligned reliable specs (mirrors
+/// `wms_properties::arb_workflow`).
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (
+        2usize..12,
+        prop::collection::vec(any::<u32>(), 0..30),
+        1u64..5,
+    )
+        .prop_map(|(n, picks, hours)| {
+            let mut d = evoflow_sm::dag::Dag::new();
+            let ts: Vec<evoflow_sm::dag::TaskId> =
+                (0..n).map(|i| d.task(format!("t{i}"))).collect();
+            for (k, pick) in picks.iter().enumerate() {
+                let i = (k + *pick as usize) % (n - 1);
+                let j = i + 1 + (*pick as usize % (n - i - 1)).min(n - i - 2);
+                if i < j && j < n {
+                    d.edge(ts[i], ts[j]).expect("forward edge");
+                }
+            }
+            let specs = (0..n)
+                .map(|i| TaskSpec::reliable(format!("t{i}"), SimDuration::from_hours(hours)))
+                .collect();
+            Workflow::new(d, specs)
+        })
+}
+
+proptest! {
+    /// Chaos execution is deterministic: same inputs, byte-identical
+    /// report (including all injection counters).
+    #[test]
+    fn chaos_execution_is_pure(wf in arb_workflow(), chaos_seed in any::<u64>()) {
+        let schedule =
+            ChaosSchedule::derive(&RngRegistry::new(chaos_seed), &ChaosSpec::hostile(), wf.len());
+        let a = execute_under_chaos(&wf, 3, FaultPolicy::Retry, 7, &schedule);
+        let b = execute_under_chaos(&wf, 3, FaultPolicy::Retry, 7, &schedule);
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// Injected crashes, delays, and I/O errors never change the outcome
+    /// of a fault-tolerant run — only its timing.
+    #[test]
+    fn chaos_without_death_preserves_outcome(
+        wf in arb_workflow(),
+        chaos_seed in any::<u64>(),
+        workers in 1u64..5,
+    ) {
+        let schedule =
+            ChaosSchedule::derive(&RngRegistry::new(chaos_seed), &ChaosSpec::degraded(), wf.len());
+        let clean = execute(&wf, workers, FaultPolicy::Retry, 11);
+        let chaotic = execute_under_chaos(&wf, workers, FaultPolicy::Retry, 11, &schedule);
+        prop_assert!(!chaotic.died);
+        prop_assert!(
+            chaotic.report.same_outcome(&clean),
+            "chaos changed the outcome: {:?} vs {:?}",
+            chaotic.report.statuses,
+            clean.statuses
+        );
+        prop_assert!(clean.completed);
+    }
+
+    /// The crash-survivability invariant: kill the coordinator at the
+    /// scheduled death point, checkpoint the partial report, resume — the
+    /// spliced report reaches the same outcome as the run that was never
+    /// killed, under the same transient-fault schedule.
+    #[test]
+    fn death_checkpoint_resume_preserves_outcome(
+        wf in arb_workflow(),
+        chaos_seed in any::<u64>(),
+        workers in 1u64..5,
+    ) {
+        let schedule =
+            ChaosSchedule::derive(&RngRegistry::new(chaos_seed), &ChaosSpec::hostile(), wf.len());
+        let uninterrupted =
+            execute_under_chaos(&wf, workers, FaultPolicy::Retry, 13, &schedule.without_death());
+        let killed = execute_under_chaos(&wf, workers, FaultPolicy::Retry, 13, &schedule);
+
+        let final_report = if killed.died {
+            let ckpt = Checkpoint::from_report(&killed.report);
+            resume(&wf, &ckpt, workers, FaultPolicy::Retry, 17).expect("engine checkpoints resume")
+        } else {
+            // Death scheduled at the very last commit: nothing to resume.
+            killed.report
+        };
+        prop_assert!(
+            final_report.same_outcome(&uninterrupted.report),
+            "resume diverged: {:?} vs {:?}",
+            final_report.statuses,
+            uninterrupted.report.statuses
+        );
+        prop_assert!(final_report.completed);
+    }
+
+    /// Any engine-produced partial report passes the downward-closure
+    /// audit: checkpoints from real crashes always resume (never
+    /// `NotDownwardClosed`), because the engine only satisfies a task
+    /// after all of its predecessors.
+    #[test]
+    fn engine_checkpoints_are_always_downward_closed(
+        wf in arb_workflow(),
+        chaos_seed in any::<u64>(),
+    ) {
+        let schedule =
+            ChaosSchedule::derive(&RngRegistry::new(chaos_seed), &ChaosSpec::fatal(), wf.len());
+        let killed = execute_under_chaos(&wf, 2, FaultPolicy::Retry, 19, &schedule);
+        let ckpt = Checkpoint::from_report(&killed.report);
+        prop_assert!(resume(&wf, &ckpt, 2, FaultPolicy::Retry, 23).is_ok());
+    }
+}
+
+/// Flaky tasks still converge: chaos on top of *real* task failures keeps
+/// the engine deterministic and the killed-and-resumed run completes.
+#[test]
+fn flaky_workflow_survives_hostile_chaos() {
+    let dag = evoflow_sm::dag::shapes::layered(3, 2);
+    let specs = (0..dag.len())
+        .map(|i| {
+            TaskSpec::reliable(format!("t{i}"), SimDuration::from_hours(1))
+                .with_fail_prob(0.3)
+                .with_jitter(0.1)
+        })
+        .collect();
+    let wf = Workflow::new(dag, specs);
+    for chaos_seed in 0..20u64 {
+        let schedule = ChaosSchedule::derive(
+            &RngRegistry::new(chaos_seed),
+            &ChaosSpec::hostile(),
+            wf.len(),
+        );
+        let killed = execute_under_chaos(&wf, 2, FaultPolicy::Retry, 31, &schedule);
+        let final_report = if killed.died {
+            let ckpt = Checkpoint::from_report(&killed.report);
+            resume(&wf, &ckpt, 2, FaultPolicy::Retry, 37).expect("resumable")
+        } else {
+            killed.report
+        };
+        // Flaky tasks may legitimately exhaust retries; the resilience
+        // requirement is that every task reached a terminal state and the
+        // run never wedged.
+        assert!(
+            final_report
+                .statuses
+                .iter()
+                .all(|s| !matches!(s, TaskStatus::NotRun))
+                || !final_report.completed
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Regression: `Checkpoint::from_report` used to drop retry-backoff
+//! state. A task that exhausted (or partially consumed) its retry budget
+//! before the interruption came back with a silently refreshed budget on
+//! resume — saturating `attempts` told you *how many* executions had
+//! happened, but not *whose* budget they burned. The checkpoint now
+//! carries `retries_used` per task and `resume` shrinks the budgets.
+
+use evoflow_sim::{ChaosSchedule, SimDuration, WorkerDeath};
+use evoflow_wms::{
+    execute, execute_under_chaos, resume, Checkpoint, FaultPolicy, TaskSpec, TaskStatus, Workflow,
+};
+
+/// a → b(always fails, 3 retries) → c.
+fn poisoned_chain() -> Workflow {
+    let dag = evoflow_sm::dag::shapes::chain(3);
+    let specs = vec![
+        TaskSpec::reliable("a", SimDuration::from_hours(1)),
+        TaskSpec::reliable("b", SimDuration::from_hours(1)).with_fail_prob(1.0),
+        TaskSpec::reliable("c", SimDuration::from_hours(1)),
+    ];
+    Workflow::new(dag, specs)
+}
+
+#[test]
+fn resume_does_not_refresh_an_exhausted_retry_budget() {
+    let wf = poisoned_chain();
+    let crashed = execute(&wf, 1, FaultPolicy::Retry, 5);
+    assert_eq!(crashed.statuses[1], TaskStatus::Failed);
+    assert_eq!(crashed.attempts, 5, "a + b's 1+3 attempts");
+    assert_eq!(crashed.retries_used, vec![0, 3, 0]);
+
+    let ckpt = Checkpoint::from_report(&crashed);
+    assert_eq!(ckpt.retries_used, vec![0, 3, 0], "backoff state carried");
+
+    // Resume the same (unrepaired) workflow: b's budget is spent, so it
+    // gets exactly one more attempt — not a fresh 1 + 3.
+    let resumed = resume(&wf, &ckpt, 1, FaultPolicy::Retry, 7).unwrap();
+    assert_eq!(resumed.statuses[1], TaskStatus::Failed);
+    assert_eq!(
+        resumed.attempts,
+        crashed.attempts + 1,
+        "exhausted task must not retry again after resume"
+    );
+    assert_eq!(resumed.retries_used, vec![0, 3, 0]);
+}
+
+#[test]
+fn partially_consumed_budget_survives_a_coordinator_death() {
+    // a (slow, reliable) ∥ b (fast, always fails): b burns its whole
+    // budget and commits `Failed` first, which triggers the scheduled
+    // death while a is still in flight.
+    let mut dag = evoflow_sm::dag::Dag::new();
+    let _a = dag.task("a");
+    let _b = dag.task("b");
+    let wf = Workflow::new(
+        dag,
+        vec![
+            TaskSpec::reliable("a", SimDuration::from_hours(2)),
+            TaskSpec::reliable("b", SimDuration::from_mins(10)).with_fail_prob(1.0),
+        ],
+    );
+    let mut schedule = ChaosSchedule::quiet(wf.len());
+    schedule.death = Some(WorkerDeath { after_commits: 1 });
+    let killed = execute_under_chaos(&wf, 2, FaultPolicy::Retry, 3, &schedule);
+    assert!(killed.died);
+    assert_eq!(
+        killed.report.statuses,
+        vec![TaskStatus::NotRun, TaskStatus::Failed]
+    );
+    assert_eq!(killed.report.retries_used, vec![0, 3]);
+
+    let ckpt = Checkpoint::from_report(&killed.report);
+    let resumed = resume(&wf, &ckpt, 2, FaultPolicy::Retry, 11).unwrap();
+    // b re-runs with zero retries left: one attempt. a runs once.
+    assert_eq!(resumed.attempts, killed.report.attempts + 2);
+    assert_eq!(
+        resumed.statuses,
+        vec![TaskStatus::Succeeded, TaskStatus::Failed]
+    );
+}
+
+#[test]
+fn legacy_checkpoints_without_the_field_still_resume_with_full_budgets() {
+    let wf = poisoned_chain();
+    let crashed = execute(&wf, 1, FaultPolicy::Retry, 5);
+    // A checkpoint serialized before `retries_used` existed: strip the
+    // (final) field from the JSON to reconstruct the old on-disk format.
+    let json = serde_json::to_string(&Checkpoint::from_report(&crashed)).unwrap();
+    let cut = json.find(",\"retries_used\"").expect("field is serialized");
+    let legacy = format!("{}}}", &json[..cut]);
+    let ckpt: Checkpoint = serde_json::from_str(&legacy).unwrap();
+    assert!(ckpt.retries_used.is_empty());
+
+    // Documented legacy behaviour: no carried state means fresh budgets.
+    let resumed = resume(&wf, &ckpt, 1, FaultPolicy::Retry, 7).unwrap();
+    assert_eq!(
+        resumed.attempts,
+        crashed.attempts + 4,
+        "b retries 1 + 3 again"
+    );
+}

@@ -23,7 +23,7 @@
 //! | [`core`] | `evoflow-core` | the 5×5 matrix + classifier + trajectory planner, LabRuntime, Federation, Campaign |
 //! | [`protocol`] | `evoflow-protocol` | wire framing, semantic performatives, capability matching, SLA negotiation |
 //! | [`intent`] | `evoflow-intent` | goal specs, falsifiable hypotheses, goal trees, objective compilation |
-//! | [`testbed`] | `evoflow-testbed` | the AISLE-style autonomy-certification ladder and harness |
+//! | [`testbed`] | `evoflow-testbed` | the AISLE-style autonomy- and resilience-certification ladders |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +57,31 @@
 //! let report = run_campaign_fleet(&space, &fleet);
 //! assert_eq!(report.reports.len(), 4);
 //! assert_eq!(report.per_cell.len(), 2);
+//! ```
+//!
+//! ## Crash survivability
+//!
+//! Faults are seeded, replayable data ([`sim::chaos`]), and both
+//! execution layers checkpoint: workflows resume from
+//! [`wms::Checkpoint`] (retry budgets carried), fleets from
+//! [`core::FleetCheckpoint`] — to a byte-identical [`core::FleetReport`]:
+//!
+//! ```
+//! use evoflow::core::{fleet_death_point, resume_campaign_fleet, run_campaign_fleet,
+//!                     run_campaign_fleet_until, Cell, FleetConfig, MaterialsSpace};
+//! use evoflow::sim::SimDuration;
+//!
+//! let space = MaterialsSpace::generate(3, 8, 42);
+//! let mut fleet = FleetConfig::new(7);
+//! fleet.horizon = SimDuration::from_days(1);
+//! fleet.push_cell(Cell::traditional_wms(), 3);
+//!
+//! // Kill the coordinator at a seeded crash point, then resume: the
+//! // spliced report is indistinguishable from never having crashed.
+//! let kill_after = fleet_death_point(99, fleet.campaigns.len());
+//! let ckpt = run_campaign_fleet_until(&space, &fleet, kill_after);
+//! let resumed = resume_campaign_fleet(&space, &fleet, &ckpt).unwrap();
+//! assert_eq!(resumed, run_campaign_fleet(&space, &fleet));
 //! ```
 
 pub use evoflow_agents as agents;

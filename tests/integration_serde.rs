@@ -98,3 +98,87 @@ fn campaign_report_is_machine_readable() {
     assert!(json.get("experiments").is_some());
     assert!(json.get("discoveries_per_week").is_some());
 }
+
+// ---- resilience artifacts (ISSUE 2) ----------------------------------------
+//
+// Checkpoints and chaos schedules are *restart files*: they outlive the
+// process that wrote them, so their on-disk format must round-trip and
+// must not drift silently. The snapshot tests pin the exact bytes; if a
+// change here is intentional, it is a format migration and needs a
+// compatibility story (cf. `Checkpoint::retries_used`, which decodes as
+// empty when absent from pre-migration checkpoints).
+
+use evoflow::core::{resume_campaign_fleet, FleetCheckpoint, FleetConfig};
+use evoflow::sim::{ChaosSchedule, ChaosSpec, RngRegistry};
+use evoflow::wms::{execute, execute_under_chaos, resume, Checkpoint, FaultPolicy, Workflow};
+
+#[test]
+fn wms_checkpoint_round_trips_and_resumes_identically() {
+    let wf = Workflow::pipeline(4, SimDuration::from_hours(1));
+    let mut broken = wf.clone();
+    broken.specs[2] = broken.specs[2].clone().with_fail_prob(1.0);
+    let crashed = execute(&broken, 2, FaultPolicy::Abort, 3);
+    let ckpt = Checkpoint::from_report(&crashed);
+    let ckpt2: Checkpoint = round_trip(&ckpt);
+    assert_eq!(ckpt, ckpt2);
+    let a = resume(&wf, &ckpt, 2, FaultPolicy::Retry, 9).unwrap();
+    let b = resume(&wf, &ckpt2, 2, FaultPolicy::Retry, 9).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+#[test]
+fn fleet_checkpoint_round_trips_and_resumes_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let mut cfg = FleetConfig::new(5);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.threads = 1;
+    cfg.push_cell(Cell::traditional_wms(), 3);
+    let ckpt = evoflow::core::run_campaign_fleet_until(&space, &cfg, 1);
+    let ckpt2: FleetCheckpoint = round_trip(&ckpt);
+    assert_eq!(ckpt, ckpt2);
+    let a = resume_campaign_fleet(&space, &cfg, &ckpt).unwrap();
+    let b = resume_campaign_fleet(&space, &cfg, &ckpt2).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn chaos_schedule_round_trips_and_replays_identically() {
+    let sched = ChaosSchedule::derive(&RngRegistry::new(7), &ChaosSpec::hostile(), 8);
+    let sched2: ChaosSchedule = round_trip(&sched);
+    assert_eq!(sched, sched2);
+    let wf = Workflow::pipeline(8, SimDuration::from_hours(1));
+    let a = execute_under_chaos(&wf, 2, FaultPolicy::Retry, 4, &sched);
+    let b = execute_under_chaos(&wf, 2, FaultPolicy::Retry, 4, &sched2);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+/// Format-stability snapshots: the serialized bytes of each restart-file
+/// type, pinned. A failure here means the on-disk format changed.
+#[test]
+fn restart_file_formats_are_stable() {
+    let wf = Workflow::pipeline(3, SimDuration::from_hours(1));
+    let ckpt = Checkpoint::from_report(&execute(&wf, 1, FaultPolicy::Retry, 1));
+    assert_eq!(
+        serde_json::to_string(&ckpt).unwrap(),
+        r#"{"statuses":["Succeeded","Succeeded","Succeeded"],"elapsed":10800000000000,"attempts":3,"retries_used":[0,0,0]}"#
+    );
+
+    let sched = ChaosSchedule::derive(&RngRegistry::new(7), &ChaosSpec::hostile(), 2);
+    assert_eq!(
+        serde_json::to_string(&sched).unwrap(),
+        r#"{"tasks":2,"injections":[{"task":0,"attempt":0,"kind":{"TransientIo":{"retry_after":10000000000}}},{"task":0,"attempt":1,"kind":{"Delay":{"extra":600000000000}}},{"task":1,"attempt":0,"kind":{"Delay":{"extra":600000000000}}}],"death":{"after_commits":2}}"#
+    );
+
+    let mut cfg = FleetConfig::new(5);
+    cfg.push_cell(Cell::traditional_wms(), 2);
+    assert_eq!(
+        serde_json::to_string(&FleetCheckpoint::empty(&cfg)).unwrap(),
+        r#"{"master_seed":5,"shard_seeds":[2654648237662476944,7415722410050746708],"completed":[null,null]}"#
+    );
+}

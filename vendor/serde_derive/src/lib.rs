@@ -4,8 +4,10 @@
 //! stream directly. Only the shapes present in this workspace are
 //! supported: structs with named fields, tuple/unit structs, enums whose
 //! variants are unit / tuple / struct-like, simple type generics, and the
-//! `#[serde(with = "module")]` field attribute. Everything else produces
-//! a `compile_error!` naming the unsupported construct.
+//! `#[serde(with = "module")]` and `#[serde(default)]` field attributes
+//! (the stub's `default` also treats an explicit `null` as missing).
+//! Everything else produces a `compile_error!` naming the unsupported
+//! construct.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +16,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    /// `#[serde(default)]`: a missing (or null) field deserializes to
+    /// `Default::default()` instead of erroring — the forward-compatible
+    /// schema-evolution knob checkpoint formats rely on.
+    default: bool,
 }
 
 enum VariantShape {
@@ -48,15 +54,27 @@ fn err(msg: &str) -> TokenStream {
 
 // ---- token helpers ---------------------------------------------------------
 
-/// Extract `with = "path"` from the tokens inside `#[serde(...)]`.
-fn parse_serde_attr(group: TokenStream) -> Option<String> {
-    // Tokens look like: serde ( with = "module::path" )
+/// Field-level `#[serde(...)]` attributes the stub understands.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Extract `with = "path"` / `default` from the tokens inside
+/// `#[serde(...)]`, merging into `attrs`. Any *other* `serde(...)`
+/// payload — including the combined one-line `with = "m", default` form
+/// — is an error, so unsupported attributes fail the build loudly
+/// instead of silently changing the serialized format.
+fn parse_serde_attr(group: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    // Tokens look like: serde ( with = "module::path" ) or serde ( default )
     let tokens: Vec<TokenTree> = group.into_iter().collect();
     if tokens.len() != 2 {
-        return None;
+        return Ok(());
     }
     match (&tokens[0], &tokens[1]) {
         (TokenTree::Ident(kw), TokenTree::Group(inner)) if kw.to_string() == "serde" => {
+            let payload = inner.stream().to_string();
             let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
             if inner.len() == 3
                 && matches!(&inner[0], TokenTree::Ident(i) if i.to_string() == "with")
@@ -64,32 +82,42 @@ fn parse_serde_attr(group: TokenStream) -> Option<String> {
             {
                 if let TokenTree::Literal(lit) = &inner[2] {
                     let s = lit.to_string();
-                    return Some(s.trim_matches('"').to_string());
+                    attrs.with = Some(s.trim_matches('"').to_string());
+                    return Ok(());
                 }
             }
-            None
+            if inner.len() == 1
+                && matches!(&inner[0], TokenTree::Ident(i) if i.to_string() == "default")
+            {
+                attrs.default = true;
+                return Ok(());
+            }
+            Err(format!(
+                "unsupported #[serde({payload})] — this stub supports only \
+                 #[serde(with = \"module\")] and #[serde(default)], as \
+                 separate attributes"
+            ))
         }
-        _ => None,
+        _ => Ok(()),
     }
 }
 
-/// Consume leading attributes from `pos`, returning any `serde(with)` path.
-fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
-    let mut with = None;
+/// Consume leading attributes from `pos`, returning the recognised
+/// `serde(...)` field attributes (or an error for unsupported ones).
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs::default();
     while *pos + 1 < tokens.len() {
         match (&tokens[*pos], &tokens[*pos + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                if let Some(w) = parse_serde_attr(g.stream()) {
-                    with = Some(w);
-                }
+                parse_serde_attr(g.stream(), &mut attrs)?;
                 *pos += 2;
             }
             _ => break,
         }
     }
-    with
+    Ok(attrs)
 }
 
 /// Skip an optional `pub` / `pub(crate)` visibility.
@@ -147,7 +175,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut pos = 0usize;
     while pos < tokens.len() {
-        let with = skip_attrs(&tokens, &mut pos);
+        let attrs = skip_attrs(&tokens, &mut pos)?;
         if pos >= tokens.len() {
             break;
         }
@@ -175,7 +203,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             }
             pos += 1;
         }
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with: attrs.with,
+            default: attrs.default,
+        });
     }
     Ok(fields)
 }
@@ -214,7 +246,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     let mut pos = 0usize;
     while pos < tokens.len() {
-        skip_attrs(&tokens, &mut pos);
+        skip_attrs(&tokens, &mut pos)?;
         if pos >= tokens.len() {
             break;
         }
@@ -256,7 +288,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
 fn parse_item(input: TokenStream) -> Result<Parsed, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut pos = 0usize;
-    skip_attrs(&tokens, &mut pos);
+    skip_attrs(&tokens, &mut pos)?;
     skip_vis(&tokens, &mut pos);
     let kind = match &tokens.get(pos) {
         Some(TokenTree::Ident(i)) => i.to_string(),
@@ -344,8 +376,20 @@ fn ser_field_expr(access: &str, with: &Option<String>) -> String {
     }
 }
 
-/// Expression lifting a `serde::Value` binding `__v`, honouring `with`.
-fn de_field_expr(field: &str, with: &Option<String>) -> String {
+/// Expression lifting a `serde::Value` binding `__v`, honouring `with`
+/// and `default` (a missing/null field yields `Default::default()`).
+fn de_field_expr(field: &str, with: &Option<String>, default: bool) -> String {
+    let base = de_field_base_expr(field, with);
+    if default {
+        format!(
+            "if ::std::matches!(__v, serde::Value::Null) {{                ::std::default::Default::default()              }} else {{ {base} }}"
+        )
+    } else {
+        base
+    }
+}
+
+fn de_field_base_expr(field: &str, with: &Option<String>) -> String {
     match with {
         Some(path) => format!(
             "match {path}::deserialize(serde::ValueDeserializer(__v)) {{ \
@@ -467,7 +511,7 @@ fn gen_deserialize(p: &Parsed) -> String {
         Item::NamedStruct { fields } => {
             let mut inits = String::new();
             for f in fields {
-                let expr = de_field_expr(&f.name, &f.with);
+                let expr = de_field_expr(&f.name, &f.with, f.default);
                 inits.push_str(&format!(
                     "{n}: {{ let __v = serde::__private::take_field_or_null(&mut __obj, \"{n}\"); {expr} }},\n",
                     n = f.name
@@ -556,7 +600,7 @@ fn gen_deserialize(p: &Parsed) -> String {
                     VariantShape::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            let expr = de_field_expr(&f.name, &f.with);
+                            let expr = de_field_expr(&f.name, &f.with, f.default);
                             inits.push_str(&format!(
                                 "{n}: {{ let __v = serde::__private::take_field_or_null(&mut __obj, \"{n}\"); {expr} }},\n",
                                 n = f.name
