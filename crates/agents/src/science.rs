@@ -16,6 +16,7 @@ use evoflow_knowledge::{
 use evoflow_learn::{acquisition, RbfSurrogate};
 use evoflow_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A proposed design point with its provenance-relevant metadata.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,8 +24,11 @@ pub struct Candidate {
     /// Design-space coordinates (should be in `[0,1]^d`; hallucinated
     /// proposals may leave the cube and must be caught by validation).
     pub params: Vec<f64>,
-    /// Generated rationale text.
-    pub rationale: String,
+    /// Generated rationale text. A `Cow` so the fixed-policy planners
+    /// (grid, adaptive, …) can label every candidate with a `'static`
+    /// string instead of allocating per proposal on the hot loop;
+    /// generated text still arrives as `Cow::Owned`.
+    pub rationale: Cow<'static, str>,
     /// Model confidence in \[0,1\].
     pub confidence: f64,
     /// Ground-truth hallucination flag (simulator-only; real systems
@@ -97,7 +101,7 @@ impl HypothesisAgent {
             let confidence = if explore { 0.4 } else { 0.7 };
             out.push(Candidate {
                 params,
-                rationale: completion.text,
+                rationale: completion.text.into(),
                 confidence,
                 hallucinated: hallucinated || completion.hallucinated,
             });
@@ -313,7 +317,7 @@ impl LibrarianAgent {
 
         self.kg.upsert_node(&hyp_key, NodeKind::Hypothesis);
         self.kg
-            .set_prop(&hyp_key, "rationale", &candidate.rationale);
+            .set_prop(&hyp_key, "rationale", candidate.rationale.as_ref());
         self.kg.upsert_node(&exp_key, NodeKind::Experiment);
         self.kg.upsert_node(&res_key, NodeKind::Result);
         self.kg
@@ -546,7 +550,7 @@ mod tests {
         );
         let wrong_dim = Candidate {
             params: vec![0.5],
-            rationale: String::new(),
+            rationale: "".into(),
             confidence: 0.5,
             hallucinated: false,
         };
@@ -565,7 +569,7 @@ mod tests {
         let mut d = DesignAgent::new(1);
         let unsure = Candidate {
             params: vec![0.5],
-            rationale: String::new(),
+            rationale: "".into(),
             confidence: 0.3,
             hallucinated: false,
         };

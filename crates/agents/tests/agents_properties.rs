@@ -72,7 +72,7 @@ proptest! {
         let mut d = DesignAgent::new(dim);
         let c = Candidate {
             params: params.clone(),
-            rationale: String::new(),
+            rationale: "".into(),
             confidence: 0.5,
             hallucinated: false,
         };

@@ -1,0 +1,166 @@
+//! **Planner arena — every decision policy on one landscape.**
+//!
+//! Runs each [`PlannerKind`] (the five Table 1 defaults plus the
+//! `evoflow-learn`-backed bandit/swarm/meta policies) over the *same*
+//! materials landscape with the *same* seed and composition, and reports
+//! time-to-first-hit, distinct discoveries, and sample efficiency.
+//!
+//! Acceptance bar (ISSUE 3):
+//!
+//! 1. **Determinism** — a full rerun of the arena produces byte-identical
+//!    serialized reports for every planner.
+//! 2. **Intelligence pays** — at least the surrogate and one bandit
+//!    planner must beat the Static grid baseline on time-to-first-hit
+//!    (the paper's axis: smarter decide steps find materials sooner).
+
+use evoflow_agents::Pattern;
+use evoflow_bench::{print_table, write_results};
+use evoflow_core::{
+    run_campaign, CampaignConfig, CampaignReport, Cell, CoordinationMode, MaterialsSpace,
+    PlannerKind,
+};
+use evoflow_sim::SimDuration;
+use evoflow_sm::IntelligenceLevel;
+use serde::Serialize;
+
+const SEED: u64 = 4242;
+
+fn arena_planners() -> Vec<PlannerKind> {
+    let mut kinds = PlannerKind::all_concrete();
+    kinds.push(PlannerKind::meta());
+    kinds
+}
+
+fn arena_config(planner: PlannerKind) -> CampaignConfig {
+    // One lane, autonomous coordination, modest horizon: differences in
+    // time-to-first-hit are then purely the decision policy's doing.
+    let mut cfg = CampaignConfig::for_cell(
+        Cell::new(IntelligenceLevel::Learning, Pattern::Single),
+        SEED,
+    )
+    .with_planner(planner);
+    cfg.horizon = SimDuration::from_days(10);
+    cfg.coordination = Some(CoordinationMode::Autonomous);
+    cfg.max_experiments = 30_000;
+    cfg
+}
+
+fn run_arena(space: &MaterialsSpace) -> Vec<(String, CampaignReport)> {
+    arena_planners()
+        .into_iter()
+        .map(|kind| {
+            let label = kind.label().to_string();
+            (label, run_campaign(space, &arena_config(kind)))
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Row {
+    planner: String,
+    time_to_first_hours: Option<f64>,
+    distinct_discoveries: usize,
+    experiments: u64,
+    best_score: f64,
+}
+
+fn main() {
+    let space = MaterialsSpace::generate(3, 8, 555);
+
+    let first = run_arena(&space);
+    let rerun = run_arena(&space);
+
+    // Gate 1: byte-identical reruns, planner by planner.
+    for ((label, a), (_, b)) in first.iter().zip(&rerun) {
+        let ja = serde_json::to_string(a).expect("report serializes");
+        let jb = serde_json::to_string(b).expect("report serializes");
+        assert_eq!(ja, jb, "planner {label} diverged between identical runs");
+    }
+    println!(
+        "determinism: all {} planners byte-identical on rerun",
+        first.len()
+    );
+
+    let rows: Vec<Row> = first
+        .iter()
+        .map(|(label, r)| Row {
+            planner: label.clone(),
+            time_to_first_hours: r.time_to_first_hours,
+            distinct_discoveries: r.distinct_discoveries,
+            experiments: r.experiments,
+            best_score: r.best_score,
+        })
+        .collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.planner.clone(),
+                r.time_to_first_hours
+                    .map(|h| format!("{h:.1}"))
+                    .unwrap_or_else(|| "—".into()),
+                r.distinct_discoveries.to_string(),
+                r.experiments.to_string(),
+                format!("{:.3}", r.best_score),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Planner arena (same landscape, seed {SEED})"),
+        &[
+            "planner",
+            "first hit (h)",
+            "discoveries",
+            "experiments",
+            "best",
+        ],
+        &table,
+    );
+
+    // Gate 2: surrogate and a bandit beat the Static grid on
+    // time-to-first-hit.
+    let ttf = |label: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.planner == label)
+            .and_then(|r| r.time_to_first_hours)
+            .unwrap_or(f64::INFINITY)
+    };
+    let grid = ttf("grid");
+    let surrogate = ttf("surrogate");
+    let bandit = ttf("bandit-ucb1").min(ttf("bandit-thompson"));
+    let surrogate_wins = surrogate < grid;
+    let bandit_wins = bandit < grid;
+    println!(
+        "\n  [{}] surrogate first hit {surrogate:.1}h vs grid {grid:.1}h",
+        if surrogate_wins { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  [{}] best bandit first hit {bandit:.1}h vs grid {grid:.1}h",
+        if bandit_wins { "PASS" } else { "FAIL" }
+    );
+
+    #[derive(Serialize)]
+    struct Out {
+        seed: u64,
+        rows: Vec<Row>,
+        grid_first_hit_hours: f64,
+        surrogate_beats_grid: bool,
+        bandit_beats_grid: bool,
+    }
+    write_results(
+        "bench_planner_arena",
+        &Out {
+            seed: SEED,
+            rows,
+            grid_first_hit_hours: grid,
+            surrogate_beats_grid: surrogate_wins,
+            bandit_beats_grid: bandit_wins,
+        },
+    );
+
+    if !(surrogate_wins && bandit_wins) {
+        // Non-zero exit so CI fails when learning stops paying.
+        std::process::exit(1);
+    }
+}

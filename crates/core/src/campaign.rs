@@ -6,7 +6,10 @@
 //!
 //! 1. **Intelligence level** (how candidates are chosen): static grid,
 //!    adaptive sampling, learning from evidence, surrogate optimization, or
-//!    the full agent stack with meta-optimization Ω.
+//!    the full agent stack with meta-optimization Ω. Each level is a
+//!    [`Planner`](crate::planner::Planner) behind the
+//!    [`planner`](crate::planner) layer, and any cell may override its
+//!    default via [`CampaignConfig::planner`].
 //! 2. **Composition pattern** (how many lanes run and how they share
 //!    evidence): one lane, overlapped pipeline stages, manager-shared
 //!    pools, mesh-shared pools, or k-local swarm sharing.
@@ -19,11 +22,8 @@
 
 use crate::domain::MaterialsSpace;
 use crate::matrix::Cell;
-use evoflow_agents::{
-    AnalysisAgent, Candidate, DesignAgent, Evidence, HypothesisAgent, LibrarianAgent,
-    MetaOptimizerAgent, Pattern, Strategy,
-};
-use evoflow_cogsim::{CognitiveModel, ModelProfile};
+use crate::planner::{Observation, PlanCtx, PlannerBuild, PlannerKind};
+use evoflow_agents::{Candidate, Evidence, LibrarianAgent, Pattern};
 use evoflow_facility::HumanModel;
 use evoflow_sim::{RngRegistry, SimDuration, SimTime};
 use evoflow_sm::IntelligenceLevel;
@@ -61,6 +61,12 @@ pub struct CampaignConfig {
     /// for every experiment (Intelligent level only). Disable to measure
     /// the §4.2 traceability overhead (DESIGN.md §6.5 ablation).
     pub record_knowledge: bool,
+    /// Decision policy override. `None` runs the cell's intelligence
+    /// level at its Table 1 default ([`PlannerKind::for_level`]); any
+    /// cell may instead name an explicit planner (bandit, swarm, meta,
+    /// …). Absent from pre-planner configs, which decode as `None`.
+    #[serde(default)]
+    pub planner: Option<PlannerKind>,
 }
 
 impl CampaignConfig {
@@ -76,7 +82,22 @@ impl CampaignConfig {
             coordination: None,
             max_experiments: 1_000_000,
             record_knowledge: true,
+            planner: None,
         }
+    }
+
+    /// The same config with an explicit planner override.
+    pub fn with_planner(mut self, planner: PlannerKind) -> Self {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// The planner this campaign will run: the explicit override, or the
+    /// cell's intelligence-level default.
+    pub fn effective_planner(&self) -> PlannerKind {
+        self.planner
+            .clone()
+            .unwrap_or_else(|| PlannerKind::for_level(self.cell.intelligence))
     }
 
     /// Lanes implied by the composition pattern.
@@ -164,8 +185,6 @@ fn execution_time(pattern: Pattern, batch: usize, rng: &mut evoflow_sim::SimRng)
 struct Lane {
     clock: SimTime,
     evidence: VecDeque<Evidence>,
-    grid_cursor: usize,
-    last_hit_region: Option<Vec<f64>>,
 }
 
 /// The best evidence visible to lane `li` under the composition's sharing
@@ -220,9 +239,6 @@ fn best_visible<'a>(
 /// tracked separately and always visible.
 const EVIDENCE_WINDOW: usize = 96;
 
-/// Observations kept in the shared surrogate (recent + every hit).
-const SURROGATE_CAP: usize = 800;
-
 /// Run a discovery campaign on `space` under `cfg`.
 pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignReport {
     let dim = space.dim();
@@ -235,69 +251,33 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
     let coordination = cfg.effective_coordination();
     let horizon = SimTime::ZERO + cfg.horizon;
 
-    // Intelligence-level machinery (constructed once, shared across lanes —
-    // the Intelligence Service layer is a shared service, Fig 2).
-    let mut hypothesis = HypothesisAgent::new(
-        CognitiveModel::new(ModelProfile::reasoning_lrm(), reg.stream_seed("hypothesis")),
-        dim,
+    let shares_globally = matches!(
+        cfg.cell.composition,
+        Pattern::Pipeline | Pattern::Hierarchical | Pattern::Mesh
     );
-    let mut design = DesignAgent::new(dim);
-    let mut analysis = AnalysisAgent::new(0.12);
+
+    // The decide step is a pluggable Planner (constructed once, shared
+    // across lanes — the Intelligence Service layer is a shared service,
+    // Fig 2). The librarian stays campaign-side: recording is part of
+    // the loop's *record* phase, not the decision policy.
+    let planner_kind = cfg.effective_planner();
+    let mut planner = planner_kind.build(&PlannerBuild {
+        space,
+        reg: &reg,
+        seed: cfg.seed,
+        dim,
+        batch_per_lane: cfg.batch_per_lane,
+        n_lanes,
+        shares_globally,
+    });
     let mut librarian = LibrarianAgent::new();
-    let mut meta = MetaOptimizerAgent::new(6);
-    let mut strategy = Strategy {
-        batch_size: cfg.batch_per_lane,
-        ..Strategy::default()
-    };
-
-    // Literature bootstrap for the intelligent level.
-    if cfg.cell.intelligence == IntelligenceLevel::Intelligent {
-        let corpus = space.literature_corpus(50, cfg.seed ^ 0xBEEF);
-        let mut lit = evoflow_agents::LiteratureAgent::new(
-            CognitiveModel::new(ModelProfile::fast_llm(), reg.stream_seed("literature")),
-            corpus,
-        );
-        for hint in lit.survey(5) {
-            analysis.assimilate(&hint.params, hint.score);
-        }
-    }
-
-    // Static grid schedule (shared cursor across lanes).
-    let grid_pts = {
-        let per_dim = 6usize;
-        let mut pts = Vec::new();
-        let mut idx = vec![0usize; dim];
-        'outer: loop {
-            pts.push(
-                idx.iter()
-                    .map(|&i| i as f64 / (per_dim - 1) as f64)
-                    .collect::<Vec<f64>>(),
-            );
-            let mut d = 0;
-            loop {
-                idx[d] += 1;
-                if idx[d] < per_dim {
-                    break;
-                }
-                idx[d] = 0;
-                d += 1;
-                if d == dim {
-                    break 'outer;
-                }
-            }
-        }
-        pts
-    };
 
     let mut lanes: Vec<Lane> = (0..n_lanes)
         .map(|_| Lane {
             clock: SimTime::ZERO,
             evidence: VecDeque::with_capacity(EVIDENCE_WINDOW + 1),
-            grid_cursor: 0,
-            last_hit_region: None,
         })
         .collect();
-    let mut shared_cursor = 0usize;
 
     let mut experiments = 0u64;
     let mut total_hits = 0u64;
@@ -307,11 +287,6 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
     let mut decision_wait_hours = 0.0;
     let mut execution_hours = 0.0;
     let mut best_evidence: Option<Evidence> = None;
-
-    let shares_globally = matches!(
-        cfg.cell.composition,
-        Pattern::Pipeline | Pattern::Hierarchical | Pattern::Mesh
-    );
 
     'campaign: loop {
         // Pick the lane with the earliest clock (they run concurrently).
@@ -339,117 +314,30 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         };
         decision_wait_hours += decision_done.saturating_since(now).as_hours();
 
-        let batch = strategy.batch_size.max(1);
+        // Every intelligence level routes through the Planner layer: the
+        // anchor (best visible evidence) is computed only for planners
+        // that consult it, borrowed straight out of the lanes.
+        let batch = planner.batch_size().unwrap_or(cfg.batch_per_lane).max(1);
         let mut chosen: Vec<Candidate> = Vec::with_capacity(batch);
-        match cfg.cell.intelligence {
-            IntelligenceLevel::Static => {
-                // Predetermined grid, blind to results.
-                for _ in 0..batch {
-                    let idx = if shares_globally || n_lanes == 1 {
-                        let i = shared_cursor;
-                        shared_cursor += 1;
-                        i
-                    } else {
-                        let i = lanes[li].grid_cursor * n_lanes + li;
-                        lanes[li].grid_cursor += 1;
-                        i
-                    };
-                    let params = grid_pts[idx % grid_pts.len()].clone();
-                    chosen.push(Candidate {
-                        params,
-                        rationale: "grid schedule".into(),
-                        confidence: 0.5,
-                        hallucinated: false,
-                    });
-                }
-            }
-            IntelligenceLevel::Adaptive => {
-                // Random sampling, but re-sample near the last hit (simple
-                // feedback rule).
-                for _ in 0..batch {
-                    let params: Vec<f64> = match &lanes[li].last_hit_region {
-                        Some(anchor) if decide_rng.chance(0.5) => anchor
-                            .iter()
-                            .map(|v| (v + decide_rng.normal_with(0.0, 0.08)).clamp(0.0, 1.0))
-                            .collect(),
-                        _ => (0..dim).map(|_| decide_rng.uniform()).collect(),
-                    };
-                    chosen.push(Candidate {
-                        params,
-                        rationale: "adaptive sampling".into(),
-                        confidence: 0.5,
-                        hallucinated: false,
-                    });
-                }
-            }
-            IntelligenceLevel::Learning => {
-                // Exploit best visible evidence with Gaussian proposals
-                // (borrowed from the lanes — no evidence is copied).
-                let anchor = best_visible(
+        {
+            let anchor = if planner.wants_anchor() {
+                best_visible(
                     &lanes,
                     li,
                     cfg.cell.composition,
                     shares_globally,
                     best_evidence.as_ref(),
                 )
-                .map(|e| e.params.as_slice());
-                for _ in 0..batch {
-                    let params: Vec<f64> = match anchor {
-                        Some(a) if decide_rng.chance(0.65) => a
-                            .iter()
-                            .map(|v| (v + decide_rng.normal_with(0.0, 0.1)).clamp(0.0, 1.0))
-                            .collect(),
-                        _ => (0..dim).map(|_| decide_rng.uniform()).collect(),
-                    };
-                    chosen.push(Candidate {
-                        params,
-                        rationale: "evidence-anchored".into(),
-                        confidence: 0.6,
-                        hallucinated: false,
-                    });
-                }
-            }
-            IntelligenceLevel::Optimizing => {
-                // Surrogate acquisition drives selection.
-                for _ in 0..batch {
-                    let params = analysis.recommend(dim, 48, &mut decide_rng);
-                    chosen.push(Candidate {
-                        params,
-                        rationale: "acquisition argmin J".into(),
-                        confidence: 0.7,
-                        hallucinated: false,
-                    });
-                }
-            }
-            IntelligenceLevel::Intelligent => {
-                // Full stack: hypothesis agent + validation gate + active
-                // learning splice, under the meta-optimizer's strategy.
-                hypothesis.explore_ratio = strategy.explore_ratio;
-                let anchor = best_visible(
-                    &lanes,
-                    li,
-                    cfg.cell.composition,
-                    shares_globally,
-                    best_evidence.as_ref(),
-                )
-                .map(|e| e.params.as_slice());
-                let mut proposals = hypothesis.propose_anchored(anchor, batch);
-                if strategy.use_recommendations && !proposals.is_empty() {
-                    let rec = analysis.recommend(dim, 48, &mut decide_rng);
-                    proposals[0] = Candidate {
-                        params: rec,
-                        rationale: "analysis-agent recommendation".into(),
-                        confidence: 0.8,
-                        hallucinated: false,
-                    };
-                }
-                for c in proposals {
-                    if design.design(&c).is_ok() {
-                        chosen.push(c);
-                    }
-                    // Rejected candidates cost only decision time.
-                }
-            }
+            } else {
+                None
+            };
+            let mut pctx = PlanCtx {
+                dim,
+                lane: li,
+                rng: &mut decide_rng,
+                anchor,
+            };
+            planner.propose(&mut pctx, batch, &mut chosen);
         }
 
         // ---- Execution phase --------------------------------------------
@@ -465,17 +353,18 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             experiments += 1;
             let score = space.measure(&c.params, &mut meas_rng);
             best_score = best_score.max(score);
+            let hit = space.is_discovery(score);
 
-            // Smarter levels assimilate everything into the surrogate.
-            if matches!(
-                cfg.cell.intelligence,
-                IntelligenceLevel::Optimizing | IntelligenceLevel::Intelligent
-            ) && (analysis.observations() < SURROGATE_CAP || score >= 0.8 * space.threshold)
-            {
-                analysis.assimilate(&c.params, score);
-            }
-            if cfg.cell.intelligence == IntelligenceLevel::Intelligent && cfg.record_knowledge {
-                librarian.record_iteration(c, score, hypothesis.usage(), space.threshold);
+            // Feed the outcome back into the decision policy (surrogate
+            // assimilation, bandit rewards, swarm bests, …).
+            planner.observe(&Observation {
+                lane: li,
+                params: &c.params,
+                score,
+                hit,
+            });
+            if cfg.record_knowledge && planner.records_knowledge() {
+                librarian.record_iteration(c, score, planner.token_usage(), space.threshold);
             }
 
             let ev = Evidence {
@@ -493,10 +382,9 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             if lanes[li].evidence.len() > EVIDENCE_WINDOW {
                 lanes[li].evidence.pop_front();
             }
-            if space.is_discovery(score) {
+            if hit {
                 total_hits += 1;
                 iter_hits += 1;
-                lanes[li].last_hit_region = Some(c.params.clone());
                 if let Some(p) = space.peak_of(&c.params) {
                     peaks_found.insert(p);
                     if time_to_first.is_none() {
@@ -507,20 +395,23 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         }
 
         // ---- Meta-optimization (Ω) --------------------------------------
-        if cfg.cell.intelligence == IntelligenceLevel::Intelligent {
-            let iter_yield = iter_hits as f64 / chosen.len().max(1) as f64;
-            if let Some(next) = meta.review(iter_yield, strategy) {
-                strategy = next;
-            }
-        }
+        planner.end_iteration(chosen.len(), iter_hits);
 
         lanes[li].clock = done_at;
     }
 
     let sim_days = cfg.horizon.as_hours() / 24.0;
     let weeks = sim_days / 7.0;
+    let telemetry = planner.telemetry();
+    // Planner overrides are visible in the label — including their
+    // parameters — so fleet aggregation never folds differently-planned
+    // campaigns into one cell summary.
+    let cell_label = match &cfg.planner {
+        Some(kind) => format!("{} · {}", cfg.cell, kind.descriptor()),
+        None => cfg.cell.to_string(),
+    };
     CampaignReport {
-        cell_label: cfg.cell.to_string(),
+        cell_label,
         experiments,
         distinct_discoveries: peaks_found.len(),
         total_hits,
@@ -535,11 +426,11 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         },
         decision_wait_hours,
         execution_hours,
-        rejected_proposals: design.rejected(),
-        omega_rewrites: meta.rewrites,
+        rejected_proposals: telemetry.rejected_proposals,
+        omega_rewrites: telemetry.omega_rewrites,
         kg_nodes: librarian.kg.node_count(),
         prov_activities: librarian.prov.activity_count(),
-        tokens: hypothesis.usage().total(),
+        tokens: planner.token_usage().total(),
     }
 }
 

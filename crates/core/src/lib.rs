@@ -18,6 +18,9 @@
 //! * [`campaign`] — the Figure 4 discovery loop, runnable at *any* matrix
 //!   cell under human-gated or autonomous coordination — the engine behind
 //!   the 10–100× acceleration measurement.
+//! * [`planner`] — the pluggable decide step: every Table 1 intelligence
+//!   level as a swappable [`planner::Planner`], plus `evoflow-learn`-backed
+//!   bandit/swarm/meta policies any cell can opt into.
 //! * [`fleet`] — the fleet executor: M campaigns sharded across N worker
 //!   threads with derived per-shard seeds, work-stealing over
 //!   heterogeneous cells, and deterministic aggregation — byte-identical
@@ -37,6 +40,7 @@ pub mod fleet;
 pub mod governance;
 pub mod ide;
 pub mod matrix;
+pub mod planner;
 pub mod runtime;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoordinationMode};
@@ -51,5 +55,8 @@ pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
 pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};
 pub use matrix::{
     all_cells, classify, transition_requirement, Cell, SystemDescriptor, TrajectoryPlanner,
+};
+pub use planner::{
+    BanditKind, Observation, PlanCtx, Planner, PlannerBuild, PlannerKind, PlannerTelemetry,
 };
 pub use runtime::{ComponentStatus, LabRuntime};

@@ -332,7 +332,7 @@ impl World for WmsWorld {
                 {
                     self.chaos.injected_delays += 1;
                     ctx.metrics.incr("chaos_delays", 1);
-                    dur = dur + extra;
+                    dur += extra;
                 }
                 ctx.metrics
                     .track("pool_in_use", ctx.now, self.pool.in_use() as f64);

@@ -64,6 +64,33 @@ fn campaign_config_round_trips_and_reruns_identically() {
     assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
 }
 
+/// A pre-planner-layer `CampaignConfig` (no `planner` field) must keep
+/// decoding — `planner` defaults to `None`, i.e. the cell's Table 1
+/// default policy — and a planner override must survive a round trip.
+#[test]
+fn campaign_config_without_planner_field_still_decodes() {
+    let legacy = r#"{
+        "cell": {"intelligence": "Learning", "composition": "Mesh"},
+        "seed": 9,
+        "horizon": 86400000000000,
+        "batch_per_lane": 4,
+        "lanes": null,
+        "coordination": null,
+        "max_experiments": 1000,
+        "record_knowledge": true
+    }"#;
+    let cfg: CampaignConfig = serde_json::from_str(legacy).expect("legacy config decodes");
+    assert!(cfg.planner.is_none());
+    assert_eq!(
+        cfg.effective_planner(),
+        evoflow::core::PlannerKind::Evidence
+    );
+
+    let overridden = cfg.with_planner(evoflow::core::PlannerKind::meta());
+    let back: CampaignConfig = round_trip(&overridden);
+    assert_eq!(back.planner, overridden.planner);
+}
+
 #[test]
 fn materials_space_round_trips_exactly() {
     let s = MaterialsSpace::generate(4, 12, 777);

@@ -58,14 +58,9 @@ impl Bytes {
         }
     }
 
-    /// The view as a plain slice.
-    pub fn as_ref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
-    }
-
     /// Copy the view into a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.as_ref().to_vec()
+        self[..].to_vec()
     }
 }
 
@@ -78,13 +73,13 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        self.as_ref()
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        Bytes::as_ref(self)
+        self
     }
 }
 

@@ -4,6 +4,7 @@ use crate::de::{self, Deserialize, Deserializer};
 use crate::ser::{Serialize, Serializer};
 use crate::value::Value;
 use crate::{from_value, to_value};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 // ---- scalars ---------------------------------------------------------------
@@ -166,6 +167,25 @@ impl Serialize for str {
 impl<'de> Deserialize<'de> for &'static str {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         String::deserialize(d).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+/// `Cow` serializes through its target (a borrowed `Cow<str>` writes the
+/// same bytes a `String` would) and deserializes to the owned form —
+/// matching real serde's default (non-borrowing) behaviour, which is all
+/// an owned value tree can offer.
+impl<T: ?Sized + ToOwned + Serialize> Serialize for Cow<'_, T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: ?Sized + ToOwned> Deserialize<'de> for Cow<'_, T>
+where
+    T::Owned: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::Owned::deserialize(d).map(Cow::Owned)
     }
 }
 
