@@ -1,0 +1,239 @@
+//! **Federation placement race — every policy, one federation.**
+//!
+//! Runs the same campaign fleet through the same heterogeneous
+//! federation under each [`PlacementPolicyKind`] and gates the federated
+//! scheduling layer (ISSUE 4):
+//!
+//! 1. **Determinism** — every policy's [`FederatedReport`] is
+//!    byte-identical on rerun and at 1/2/4 worker threads, and an
+//!    outage + coordinator-kill + resume reproduces the uninterrupted
+//!    report exactly. CI runs this binary twice and byte-diffs the
+//!    emitted artifacts on top.
+//! 2. **Queue-awareness pays** — the least-wait policy's makespan must
+//!    not exceed round-robin's on the contended reference federation.
+//!
+//! Artifacts: every report is written to `FEDERATION_DETERMINISM_DIR`
+//! (when set) for CI's byte-diff, and a machine-readable
+//! `BENCH_federation.json` summary lands in `results/` (or
+//! `BENCH_SUMMARY_DIR`).
+
+use evoflow_bench::{fmt, print_table, write_bench_summary};
+use evoflow_core::{
+    resume_campaign_fleet_federated, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_until, Cell, FederatedConfig, FederatedReport, FleetConfig,
+    MaterialsSpace, PlacementPolicyKind, SiteSpec,
+};
+use evoflow_facility::FacilityKind;
+use evoflow_sim::SimDuration;
+use evoflow_sm::IntelligenceLevel;
+use serde::Serialize;
+use std::path::PathBuf;
+
+const SEED: u64 = 20260726;
+const OUTAGE_SEED: u64 = 1;
+const KILL_AFTER: usize = 4;
+
+/// A contended reference federation: one large site and two small ones,
+/// so placement quality actually moves the makespan.
+fn federation_config(policy: PlacementPolicyKind) -> FederatedConfig {
+    let mut fleet = FleetConfig::new(SEED);
+    fleet.horizon = SimDuration::from_days(1);
+    fleet.threads = 1;
+    fleet.push_cell(
+        Cell::new(IntelligenceLevel::Static, evoflow_agents::Pattern::Mesh),
+        12,
+    );
+    let sites = vec![
+        SiteSpec::new("fed-hpc", FacilityKind::Hpc).with_nodes(96),
+        SiteSpec::new("fed-mid", FacilityKind::Cloud).with_nodes(24),
+        SiteSpec::new("fed-edge", FacilityKind::Instrument).with_nodes(24),
+    ];
+    let mut cfg = FederatedConfig::new(fleet, policy, sites);
+    cfg.inter_arrival = SimDuration::ZERO;
+    cfg
+}
+
+fn report_bytes(report: &FederatedReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+fn emit_artifact(dir: &Option<PathBuf>, name: &str, bytes: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create determinism dir");
+        std::fs::write(dir.join(name), bytes).expect("write determinism artifact");
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    makespan_hours: f64,
+    mean_wait_hours: f64,
+    transfers: u64,
+    bytes_moved: u128,
+    rerouted: usize,
+}
+
+fn main() {
+    let space = MaterialsSpace::generate(3, 8, 555);
+    let artifact_dir = std::env::var_os("FEDERATION_DETERMINISM_DIR").map(PathBuf::from);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut makespans: Vec<(PlacementPolicyKind, f64)> = Vec::new();
+
+    for policy in PlacementPolicyKind::all() {
+        let cfg = federation_config(policy);
+        let baseline = run_campaign_fleet_federated(&space, &cfg).expect("capacity exists");
+        let baseline_bytes = report_bytes(&baseline);
+        emit_artifact(
+            &artifact_dir,
+            &format!("report_{}.json", policy.label()),
+            &baseline_bytes,
+        );
+
+        // Gate 1a: byte-identical rerun.
+        let rerun = run_campaign_fleet_federated(&space, &cfg).expect("capacity exists");
+        if report_bytes(&rerun) != baseline_bytes {
+            failures.push(format!("{}: rerun diverged", policy.label()));
+        }
+
+        // Gate 1b: byte-identical at 2 and 4 worker threads.
+        for threads in [2usize, 4] {
+            let mut c = cfg.clone();
+            c.fleet.threads = threads;
+            let r = run_campaign_fleet_federated(&space, &c).expect("capacity exists");
+            if report_bytes(&r) != baseline_bytes {
+                failures.push(format!(
+                    "{}: {threads}-thread report diverged from serial",
+                    policy.label()
+                ));
+            }
+        }
+
+        // Gate 1c: outage + kill + resume reproduces the uninterrupted
+        // outage run byte-for-byte.
+        let chaotic = cfg.clone().with_outage_seed(OUTAGE_SEED);
+        let uninterrupted =
+            run_campaign_fleet_federated(&space, &chaotic).expect("capacity exists");
+        let uninterrupted_bytes = report_bytes(&uninterrupted);
+        emit_artifact(
+            &artifact_dir,
+            &format!("report_{}_outage.json", policy.label()),
+            &uninterrupted_bytes,
+        );
+        let ckpt = run_campaign_fleet_federated_until(&space, &chaotic, KILL_AFTER)
+            .expect("capacity exists");
+        let resumed =
+            resume_campaign_fleet_federated(&space, &chaotic, &ckpt).expect("checkpoint matches");
+        if report_bytes(&resumed) != uninterrupted_bytes {
+            failures.push(format!("{}: outage resume diverged", policy.label()));
+        }
+
+        makespans.push((policy, baseline.makespan_hours));
+        rows.push(Row {
+            policy: policy.label().to_string(),
+            makespan_hours: baseline.makespan_hours,
+            mean_wait_hours: baseline.mean_wait_hours,
+            transfers: baseline.transfers,
+            bytes_moved: baseline.bytes_moved,
+            rerouted: uninterrupted
+                .placements
+                .iter()
+                .filter(|p| p.rerouted)
+                .count(),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                fmt(r.makespan_hours),
+                fmt(r.mean_wait_hours),
+                r.transfers.to_string(),
+                format!("{:.1} GB", r.bytes_moved as f64 / 1e9),
+                r.rerouted.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Placement policy race (12 campaigns, 3 heterogeneous sites)",
+        &[
+            "policy",
+            "makespan h",
+            "mean wait h",
+            "transfers",
+            "moved",
+            "rerouted",
+        ],
+        &table,
+    );
+
+    // The outage arm must have teeth: at least one policy's run must
+    // actually re-route queued work, or the resume gate is vacuous.
+    if rows.iter().all(|r| r.rerouted == 0) {
+        failures.push("outage re-routed nothing under any policy".to_string());
+    }
+
+    // Gate 2: queue-awareness must not lose to blind rotation.
+    let makespan_of = |kind: PlacementPolicyKind| -> f64 {
+        makespans
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| *m)
+            .expect("policy ran")
+    };
+    let rr = makespan_of(PlacementPolicyKind::RoundRobin);
+    let lw = makespan_of(PlacementPolicyKind::LeastWait);
+    let lw_wins = lw <= rr;
+    if !lw_wins {
+        failures.push(format!(
+            "least-wait makespan {lw:.2}h exceeds round-robin {rr:.2}h"
+        ));
+    }
+    println!(
+        "\n  [{}] least-wait makespan {}h vs round-robin {}h",
+        if lw_wins { "PASS" } else { "FAIL" },
+        fmt(lw),
+        fmt(rr)
+    );
+    println!(
+        "  [{}] determinism: rerun, 1/2/4 threads, outage kill+resume",
+        if failures.is_empty() { "PASS" } else { "FAIL" }
+    );
+    for f in &failures {
+        println!("    FAIL: {f}");
+    }
+
+    // Deterministic summary only (no wall-clock): CI byte-diffs it.
+    #[derive(Serialize)]
+    struct Out {
+        seed: u64,
+        outage_seed: u64,
+        kill_after: usize,
+        rows: Vec<Row>,
+        least_wait_beats_round_robin: bool,
+        determinism_failures: Vec<String>,
+        pass: bool,
+    }
+    let out = Out {
+        seed: SEED,
+        outage_seed: OUTAGE_SEED,
+        kill_after: KILL_AFTER,
+        least_wait_beats_round_robin: lw_wins,
+        pass: failures.is_empty(),
+        determinism_failures: failures.clone(),
+        rows,
+    };
+    // CI points BENCH_SUMMARY_DIR at the determinism directory, so the
+    // summary participates in the byte-diff with no second writer.
+    write_bench_summary("federation", &out);
+
+    if !out.pass {
+        // Non-zero exit so CI fails on any determinism or policy-gate
+        // regression.
+        std::process::exit(1);
+    }
+}

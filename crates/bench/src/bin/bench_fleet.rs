@@ -9,7 +9,7 @@
 //! Acceptance bar (ISSUE 1): ≥ 1.5× speedup at 8+ campaigns on a
 //! multi-core host.
 
-use evoflow_bench::{fmt, print_table, write_results};
+use evoflow_bench::{fmt, print_table, write_bench_summary, write_results};
 use evoflow_core::{run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace};
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
@@ -116,15 +116,17 @@ fn main() {
         cores: usize,
         rows: Vec<Row>,
         best_speedup: f64,
+        target_met: bool,
     }
-    write_results(
-        "bench_fleet",
-        &Out {
-            cores,
-            rows,
-            best_speedup: best,
-        },
-    );
+    let out = Out {
+        cores,
+        rows,
+        best_speedup: best,
+        target_met,
+    };
+    write_results("bench_fleet", &out);
+    // Machine-readable per-PR summary: the perf trajectory CI tracks.
+    write_bench_summary("fleet", &out);
 
     if !target_met {
         // Non-zero exit so CI fails when the speedup bar regresses.

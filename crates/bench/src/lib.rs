@@ -60,6 +60,24 @@ pub fn write_results<T: Serialize>(id: &str, value: &T) {
     println!("\n[results written to {}]", path.display());
 }
 
+/// Write the machine-readable per-PR bench summary `BENCH_<id>.json`.
+///
+/// Summaries are the CI-tracked perf trajectory: every bench binary emits
+/// one, CI uploads them as artifacts, and determinism-gating jobs byte-diff
+/// them between reruns. They land in `results/` by default; set
+/// `BENCH_SUMMARY_DIR` to redirect them (the federation-smoke job points
+/// two runs at two directories and diffs).
+pub fn write_bench_summary<T: Serialize>(id: &str, value: &T) {
+    let dir = std::env::var_os("BENCH_SUMMARY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(results_dir);
+    std::fs::create_dir_all(&dir).expect("create bench summary dir");
+    let path = dir.join(format!("BENCH_{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable summary");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("[bench summary written to {}]", path.display());
+}
+
 /// Format a float compactly for table cells.
 pub fn fmt(x: f64) -> String {
     if x == 0.0 {
@@ -90,6 +108,17 @@ mod tests {
         let d = results_dir();
         assert!(d.ends_with("results"));
         assert!(d.exists());
+    }
+
+    #[test]
+    fn write_bench_summary_lands_in_results() {
+        #[derive(Serialize)]
+        struct T {
+            pass: bool,
+        }
+        write_bench_summary("selftest", &T { pass: true });
+        let text = std::fs::read_to_string(results_dir().join("BENCH_selftest.json")).unwrap();
+        assert!(text.contains("\"pass\": true"));
     }
 
     #[test]

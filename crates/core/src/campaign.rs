@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Who closes the decision loop.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CoordinationMode {
     /// A human approves every iteration (latency model applies).
     HumanGated(HumanModel),
@@ -40,7 +40,7 @@ pub enum CoordinationMode {
 }
 
 /// Campaign configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Evolution-matrix cell to run at.
     pub cell: Cell,

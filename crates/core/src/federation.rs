@@ -189,6 +189,25 @@ impl Federation {
         })
     }
 
+    /// The federation's data fabric (read-only: transfer accounting).
+    pub fn fabric(&self) -> &DataFabric {
+        &self.fabric
+    }
+
+    /// Estimate a transfer of `gb` gigabytes between facilities without
+    /// accounting it — the pure half of [`Federation::transfer`], used by
+    /// data-locality placement to compare candidate destinations.
+    pub fn estimate_transfer(
+        &self,
+        from: &str,
+        to: &str,
+        gb: f64,
+    ) -> Result<TransferPlan, FederationError> {
+        self.fabric
+            .plan(from, to, gb)
+            .map_err(|e| FederationError::UnknownFacility(e.to_string()))
+    }
+
     /// Move `gb` gigabytes between facilities over the fabric.
     pub fn transfer(
         &mut self,

@@ -60,7 +60,7 @@ use std::time::{Duration, Instant};
 pub const FLEET_SHARD_LABEL: &str = "fleet-campaign";
 
 /// Configuration for a campaign fleet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Master seed; every campaign's seed is derived from it by index.
     pub master_seed: u64,

@@ -26,6 +26,12 @@
 //!   heterogeneous cells, and deterministic aggregation — byte-identical
 //!   results at any thread count, including across a coordinator crash
 //!   ([`fleet::FleetCheckpoint`] / [`fleet::resume_campaign_fleet`]).
+//! * [`federated`] — facility-aware fleet scheduling: a pluggable
+//!   [`federated::PlacementPolicy`] (round-robin, queue-aware least-wait,
+//!   data-locality) places each campaign onto a federation facility,
+//!   charging simulated batch-queue wait and fabric data movement, with a
+//!   seeded facility-outage drain + deterministic re-routing, aggregated
+//!   into a thread-count-invariant [`federated::FederatedReport`].
 //! * [`governance`] — §4's policy enforcement, guardrails, and
 //!   accountability: sample budgets, human approval for irreversible
 //!   actions, rate limits, audit trails.
@@ -35,6 +41,7 @@
 
 pub mod campaign;
 pub mod domain;
+pub mod federated;
 pub mod federation;
 pub mod fleet;
 pub mod governance;
@@ -45,6 +52,12 @@ pub mod runtime;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoordinationMode};
 pub use domain::MaterialsSpace;
+pub use federated::{
+    campaign_demand, resume_campaign_fleet_federated, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_until, CampaignDemand, FacilityUsage, FederatedCheckpoint,
+    FederatedConfig, FederatedError, FederatedReport, FederatedResumeError, PlacementPolicy,
+    PlacementPolicyKind, PlacementRecord, PlacementRequest, SiteSpec,
+};
 pub use federation::{Federation, FederationError, Handshake};
 pub use fleet::{
     fleet_death_point, resume_campaign_fleet, run_campaign_fleet, run_campaign_fleet_timed,

@@ -114,9 +114,17 @@ impl DataFabric {
         link.latency_ms / 1_000.0 + gb * 8.0 / link.gbps
     }
 
-    /// Plan (and account) a transfer of `gb` gigabytes from `from` to `to`,
-    /// routing over the minimum-time path.
-    pub fn transfer(&mut self, from: &str, to: &str, gb: f64) -> Result<TransferPlan, FabricError> {
+    /// Plan a transfer of `gb` gigabytes from `from` to `to` over the
+    /// minimum-time path **without** accounting it — the pure estimation
+    /// half of [`DataFabric::transfer`], usable for comparing candidate
+    /// destinations (data-locality placement) without inflating the
+    /// fabric's transfer counters.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::UnknownSite`] when either endpoint is not a site;
+    /// [`FabricError::NoRoute`] when no link path connects them.
+    pub fn plan(&self, from: &str, to: &str, gb: f64) -> Result<TransferPlan, FabricError> {
         let src = self.index_of(from)?;
         let dst = self.index_of(to)?;
         if src == dst {
@@ -167,13 +175,29 @@ impl DataFabric {
             .map(|w| self.links[&(w[0], w[1])].gbps)
             .fold(f64::INFINITY, f64::min);
 
-        self.transfers += 1;
-        self.bytes_moved += (gb * 1e9) as u128;
         Ok(TransferPlan {
             route: route_idx.iter().map(|&i| self.sites[i].clone()).collect(),
             duration: SimDuration::from_secs_f64(dist[dst]),
             bottleneck_gbps: bottleneck,
         })
+    }
+
+    /// Plan (and account) a transfer of `gb` gigabytes from `from` to `to`,
+    /// routing over the minimum-time path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DataFabric::plan`]; a failed transfer is
+    /// never accounted.
+    pub fn transfer(&mut self, from: &str, to: &str, gb: f64) -> Result<TransferPlan, FabricError> {
+        let plan = self.plan(from, to, gb)?;
+        // Self-transfers are free: nothing crosses a link, nothing is
+        // accounted.
+        if plan.route.len() > 1 {
+            self.transfers += 1;
+            self.bytes_moved += (gb * 1e9) as u128;
+        }
+        Ok(plan)
     }
 
     /// The standard five-site federation fabric of Figure 3 with §5.3's
@@ -331,6 +355,18 @@ mod tests {
         assert!(hub.duration < wan.duration);
         assert_eq!(f.transfers(), 2);
         assert_eq!(f.bytes_moved(), 200 * 1_000_000_000);
+    }
+
+    #[test]
+    fn plan_estimates_without_accounting() {
+        let mut f = DataFabric::standard();
+        let planned = f.plan("hpc-center", "ai-hub", 100.0).unwrap();
+        assert_eq!(f.transfers(), 0, "plan must not account");
+        assert_eq!(f.bytes_moved(), 0);
+        let moved = f.transfer("hpc-center", "ai-hub", 100.0).unwrap();
+        assert_eq!(planned.route, moved.route);
+        assert_eq!(planned.duration, moved.duration);
+        assert_eq!(f.transfers(), 1);
     }
 
     #[test]

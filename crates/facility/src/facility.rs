@@ -27,6 +27,22 @@ pub enum FacilityKind {
 }
 
 impl FacilityKind {
+    /// Nominal batch-schedulable compute nodes a facility of this kind
+    /// brings to a federation (§5.3's infrastructure sizing, coarsened):
+    /// HPC centers dwarf clouds, AI hubs are mid-sized and
+    /// inference-specialised, instruments and edge labs contribute small
+    /// analysis clusters.
+    #[must_use]
+    pub fn default_nodes(self) -> u64 {
+        match self {
+            FacilityKind::Edge => 8,
+            FacilityKind::Instrument => 32,
+            FacilityKind::Hpc => 512,
+            FacilityKind::Cloud => 256,
+            FacilityKind::AiHub => 128,
+        }
+    }
+
     /// Default capability prefixes this kind of facility advertises.
     pub fn default_capabilities(self) -> &'static [&'static str] {
         match self {

@@ -16,7 +16,7 @@ use evoflow_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the human-latency model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HumanModel {
     /// Median decision effort, in hours (log-normal median).
     pub decision_median_hours: f64,

@@ -74,6 +74,45 @@ pub struct WorkerDeath {
     pub after_commits: u32,
 }
 
+/// Scheduled drain of one facility in a federated fleet: after
+/// `after_placements` campaigns have been placed, facility `site` stops
+/// accepting work. Running jobs complete (an HPC "drain"), queued work
+/// must be re-routed to surviving facilities. Like every chaos artifact,
+/// an outage is derived — a pure function of the seed — so the exact
+/// disturbance replays in CI and in resumed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FacilityOutage {
+    /// Index of the facility that goes down.
+    pub site: u32,
+    /// Placements completed before the outage strikes (the outage hits
+    /// while placing campaign `after_placements`, 0-based).
+    pub after_placements: u32,
+}
+
+impl FacilityOutage {
+    /// Derive the outage for a federation of `sites` facilities placing
+    /// `placements` campaigns, from the registry's `"chaos"` stream.
+    /// Deterministic, and — like [`ChaosSchedule::derive`] — never
+    /// perturbs any other named stream. Returns `None` for degenerate
+    /// shapes (no sites, or fewer than two placements), where an outage
+    /// could not strike mid-run — `Some` always means the drain actually
+    /// fires.
+    pub fn derive(reg: &RngRegistry, sites: usize, placements: usize) -> Option<Self> {
+        if sites == 0 || placements < 2 {
+            return None;
+        }
+        let mut rng = reg.stream(CHAOS_STREAM);
+        let site = rng.below(sites) as u32;
+        // Strike strictly mid-run: after at least one placement and
+        // before the last, so the drain always interrupts live work.
+        let after = 1 + rng.below(placements - 1) as u32;
+        Some(FacilityOutage {
+            site,
+            after_placements: after,
+        })
+    }
+}
+
 /// Fault *rates* from which concrete schedules are derived — the knob a
 /// resilience ladder grades upward.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -328,6 +367,48 @@ mod tests {
     fn empty_workload_never_schedules_death() {
         let s = ChaosSchedule::derive(&RngRegistry::new(1), &ChaosSpec::fatal(), 0);
         assert!(s.death.is_none());
+    }
+
+    #[test]
+    fn facility_outage_is_seeded_and_in_range() {
+        for seed in 0..50 {
+            let reg = RngRegistry::new(seed);
+            let a = FacilityOutage::derive(&reg, 5, 12).expect("outage derives");
+            let b = FacilityOutage::derive(&reg, 5, 12).expect("outage derives");
+            assert_eq!(a, b, "derivation must be deterministic");
+            assert!(a.site < 5);
+            assert!(
+                (1..12).contains(&a.after_placements),
+                "{}",
+                a.after_placements
+            );
+        }
+        let sites: std::collections::BTreeSet<u32> = (0..50)
+            .filter_map(|s| FacilityOutage::derive(&RngRegistry::new(s), 5, 12))
+            .map(|o| o.site)
+            .collect();
+        assert!(sites.len() > 1, "outage site must vary with the seed");
+    }
+
+    #[test]
+    fn facility_outage_degenerate_shapes_yield_none() {
+        let reg = RngRegistry::new(1);
+        assert_eq!(FacilityOutage::derive(&reg, 0, 10), None);
+        assert_eq!(FacilityOutage::derive(&reg, 3, 0), None);
+        // A one-campaign fleet has no mid-run to strike: Some must always
+        // mean the drain fires, so this derives None.
+        assert_eq!(FacilityOutage::derive(&reg, 3, 1), None);
+        // Two placements leave exactly one valid strike point.
+        let o = FacilityOutage::derive(&reg, 3, 2).expect("derives");
+        assert_eq!(o.after_placements, 1);
+    }
+
+    #[test]
+    fn facility_outage_serde_round_trips() {
+        let o = FacilityOutage::derive(&RngRegistry::new(9), 5, 8).unwrap();
+        let json = serde_json::to_string(&o).unwrap();
+        let back: FacilityOutage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
     }
 
     #[test]

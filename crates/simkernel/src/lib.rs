@@ -27,7 +27,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
-pub use chaos::{ChaosSchedule, ChaosSpec, FaultKind, Injection, WorkerDeath};
+pub use chaos::{ChaosSchedule, ChaosSpec, FacilityOutage, FaultKind, Injection, WorkerDeath};
 pub use engine::{Ctx, Engine, RunOutcome, World};
 pub use event::{EventQueue, Priority, PRIORITY_NORMAL};
 pub use metrics::{MetricsRegistry, SampleStats, TimeWeighted};

@@ -1,0 +1,175 @@
+//! Federated-determinism certification: grading the cross-facility loop.
+//!
+//! The autonomy ladder grades what a controller *decides*, the resilience
+//! ladder grades what an execution stack *survives* — this rung grades
+//! what a **federation** can *prove*: that placing a campaign fleet
+//! across facilities stays bit-reproducible under parallelism and under
+//! disturbance. The ladder is cumulative, like the others:
+//!
+//! * **F1 (replayable)** — the same [`FederatedConfig`] produces a
+//!   byte-identical [`FederatedReport`](evoflow_core::FederatedReport) on
+//!   rerun.
+//! * **F2 (parallelism-invariant)** — the report is byte-identical at 1,
+//!   2, and 4 worker threads.
+//! * **F3 (crash-survivor)** — with a seeded facility outage injected,
+//!   killing the coordinator mid-fleet and resuming from the
+//!   [`FederatedCheckpoint`](evoflow_core::FederatedCheckpoint)
+//!   reproduces the uninterrupted report byte-for-byte.
+//!
+//! A configuration that cannot even replay (or cannot place at all)
+//! grades **F0 (unstable)**.
+//!
+//! The grade is the highest *contiguously* passed rung.
+
+use evoflow_core::{
+    resume_campaign_fleet_federated, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_until, FederatedConfig, MaterialsSpace,
+};
+use serde::{Deserialize, Serialize};
+
+/// The federated-determinism grade a certificate can award.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FederationGrade {
+    /// Failed even the rerun check (or placement itself failed).
+    F0Unstable,
+    /// Byte-identical on rerun.
+    F1Replayable,
+    /// Byte-identical at any thread count.
+    F2ParallelismInvariant,
+    /// Byte-identical across an outage + coordinator kill + resume.
+    F3CrashSurvivor,
+}
+
+impl std::fmt::Display for FederationGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FederationGrade::F0Unstable => "F0 (unstable)",
+            FederationGrade::F1Replayable => "F1 (replayable)",
+            FederationGrade::F2ParallelismInvariant => "F2 (parallelism-invariant)",
+            FederationGrade::F3CrashSurvivor => "F3 (crash survivor)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of certifying one federated configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationCertificate {
+    /// Placement policy under test.
+    pub policy: String,
+    /// Rerun produced identical bytes.
+    pub replayable: bool,
+    /// 1/2/4-thread runs produced identical bytes.
+    pub parallelism_invariant: bool,
+    /// Outage + kill + resume produced identical bytes.
+    pub crash_survivor: bool,
+    /// Highest contiguously passed rung.
+    pub grade: FederationGrade,
+}
+
+/// Certify a federated configuration up the determinism ladder.
+///
+/// `kill_after` is the commit count at which the F3 rung's coordinator
+/// dies; the outage seed is taken from the config (or `7` if the config
+/// runs outage-free, so the crash rung always exercises re-routing).
+pub fn certify_federation(
+    space: &MaterialsSpace,
+    cfg: &FederatedConfig,
+    kill_after: usize,
+) -> FederationCertificate {
+    let bytes = |c: &FederatedConfig| -> Option<String> {
+        run_campaign_fleet_federated(space, c)
+            .ok()
+            .map(|r| serde_json::to_string(&r).expect("report serializes"))
+    };
+
+    let baseline = bytes(cfg);
+    let replayable = baseline.is_some() && bytes(cfg) == baseline;
+
+    let parallelism_invariant = replayable && {
+        [2usize, 4].iter().all(|&t| {
+            let mut c = cfg.clone();
+            c.fleet.threads = t;
+            bytes(&c) == baseline
+        })
+    };
+
+    let crash_survivor = parallelism_invariant && {
+        let chaotic = if cfg.outage_seed.is_some() {
+            cfg.clone()
+        } else {
+            cfg.clone().with_outage_seed(7)
+        };
+        let uninterrupted = bytes(&chaotic);
+        uninterrupted.is_some()
+            && run_campaign_fleet_federated_until(space, &chaotic, kill_after)
+                .ok()
+                .and_then(|ckpt| resume_campaign_fleet_federated(space, &chaotic, &ckpt).ok())
+                .map(|r| serde_json::to_string(&r).expect("report serializes"))
+                == uninterrupted
+    };
+
+    let grade = match (replayable, parallelism_invariant, crash_survivor) {
+        (true, true, true) => FederationGrade::F3CrashSurvivor,
+        (true, true, false) => FederationGrade::F2ParallelismInvariant,
+        (true, false, _) => FederationGrade::F1Replayable,
+        (false, ..) => FederationGrade::F0Unstable,
+    };
+
+    FederationCertificate {
+        policy: cfg.policy.label().to_string(),
+        replayable,
+        parallelism_invariant,
+        crash_survivor,
+        grade,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoflow_core::{Cell, FleetConfig, PlacementPolicyKind};
+    use evoflow_sim::SimDuration;
+
+    fn config(policy: PlacementPolicyKind) -> FederatedConfig {
+        let mut fleet = FleetConfig::new(21);
+        fleet.horizon = SimDuration::from_days(1);
+        fleet.push_cell(Cell::traditional_wms(), 2);
+        fleet.push_cell(Cell::autonomous_science(), 2);
+        FederatedConfig::standard(fleet, policy)
+    }
+
+    #[test]
+    fn every_policy_certifies_as_crash_survivor() {
+        let space = MaterialsSpace::generate(3, 8, 20260726);
+        for policy in PlacementPolicyKind::all() {
+            let cert = certify_federation(&space, &config(policy), 2);
+            assert_eq!(
+                cert.grade,
+                FederationGrade::F3CrashSurvivor,
+                "policy {policy:?} lost determinism: {cert:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_federation_grades_unstable() {
+        let space = MaterialsSpace::generate(3, 8, 1);
+        let mut cfg = config(PlacementPolicyKind::RoundRobin);
+        for site in &mut cfg.sites {
+            site.nodes = 0;
+        }
+        let cert = certify_federation(&space, &cfg, 1);
+        assert_eq!(cert.grade, FederationGrade::F0Unstable);
+        assert!(!cert.replayable);
+    }
+
+    #[test]
+    fn grades_order_and_render() {
+        assert!(FederationGrade::F0Unstable < FederationGrade::F3CrashSurvivor);
+        assert_eq!(
+            FederationGrade::F3CrashSurvivor.to_string(),
+            "F3 (crash survivor)"
+        );
+    }
+}

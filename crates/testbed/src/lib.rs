@@ -19,6 +19,9 @@
 //!   handles regime shifts but crashes under plain noise is not L4.
 //! * [`report`] — render certificates as markdown / JSON for the
 //!   cross-institution exchange the AISLE roadmap envisions.
+//! * [`federation`] — the federated-determinism rung: certifies that a
+//!   cross-facility fleet placement replays byte-identically under
+//!   parallelism, outage, and coordinator crash + resume.
 //!
 //! The five reference controllers from Table 1 double as the testbed's
 //! calibration standard: [`certify::reference_matrix`] must grade each at
@@ -26,6 +29,7 @@
 //! references is miscalibrated.
 
 pub mod certify;
+pub mod federation;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
@@ -33,6 +37,7 @@ pub mod scenario;
 pub use certify::{
     certify, certify_with_ladder, expected_grade, reference_matrix, AutonomyCertificate, RungResult,
 };
+pub use federation::{certify_federation, FederationCertificate, FederationGrade};
 pub use report::to_markdown;
 pub use resilience::{
     certify_resilience, certify_resilience_with_ladder, resilience_ladder, ResilienceCertificate,

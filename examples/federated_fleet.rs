@@ -1,0 +1,117 @@
+//! Federated fleet scheduling: one campaign fleet, five facilities,
+//! three placement policies, one outage.
+//!
+//! Places the same heterogeneous fleet across the standard Figure 3
+//! federation under each placement policy, prints per-facility
+//! utilization and queue waits, then injects a seeded facility outage
+//! and shows (1) queued campaigns re-routing off the drained site and
+//! (2) a coordinator kill + resume reproducing the uninterrupted report
+//! byte-for-byte.
+//!
+//! ```sh
+//! cargo run --release --example federated_fleet
+//! ```
+
+use evoflow::core::{
+    resume_campaign_fleet_federated, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_until, Cell, FederatedConfig, FleetConfig, MaterialsSpace,
+    PlacementPolicyKind,
+};
+use evoflow::sim::SimDuration;
+
+fn build_fleet() -> FleetConfig {
+    let mut cfg = FleetConfig::new(2026);
+    cfg.horizon = SimDuration::from_days(2);
+    cfg.threads = 0; // all cores — placement is invariant to this
+    cfg.push_cell(Cell::traditional_wms(), 3);
+    cfg.push_cell(Cell::autonomous_science(), 3);
+    cfg.push_cell(
+        Cell::new(
+            evoflow::sm::IntelligenceLevel::Learning,
+            evoflow::agents::Pattern::Mesh,
+        ),
+        3,
+    );
+    cfg
+}
+
+fn main() {
+    let space = MaterialsSpace::generate(3, 8, 42);
+
+    println!("=== placement policies on the standard federation ===\n");
+    for policy in PlacementPolicyKind::all() {
+        let cfg = FederatedConfig::standard(build_fleet(), policy);
+        let report = run_campaign_fleet_federated(&space, &cfg).expect("capacity exists");
+        println!(
+            "{:<14} makespan {:>5.1} h, mean wait {:>4.2} h, {:>5.1} GB moved",
+            report.policy,
+            report.makespan_hours,
+            report.mean_wait_hours,
+            report.bytes_moved as f64 / 1e9,
+        );
+        for f in report.facilities.iter().filter(|f| f.jobs > 0) {
+            println!(
+                "    {:<16} {:>2} jobs  {:>5.1}% util  {:>4.2} h mean wait",
+                f.name,
+                f.jobs,
+                100.0 * f.utilization,
+                f.mean_wait_hours
+            );
+        }
+    }
+
+    println!("\n=== seeded facility outage + kill + resume ===\n");
+    // A contended two-site federation, every campaign arriving at once:
+    // batch queues actually form, so draining a site strands real work.
+    let mut contended = FleetConfig::new(2026);
+    contended.horizon = SimDuration::from_days(1);
+    contended.push_cell(
+        Cell::new(
+            evoflow::sm::IntelligenceLevel::Static,
+            evoflow::agents::Pattern::Mesh,
+        ),
+        8,
+    );
+    let sites = vec![
+        evoflow::core::SiteSpec::new("west-hpc", evoflow::facility::FacilityKind::Hpc)
+            .with_nodes(24),
+        evoflow::core::SiteSpec::new("east-hpc", evoflow::facility::FacilityKind::Hpc)
+            .with_nodes(24),
+    ];
+    let mut cfg =
+        FederatedConfig::new(contended, PlacementPolicyKind::RoundRobin, sites).with_outage_seed(9);
+    cfg.inter_arrival = SimDuration::ZERO;
+    let outage = cfg.outage().expect("outage derives");
+    println!(
+        "outage: facility #{} drains after {} placements",
+        outage.site, outage.after_placements
+    );
+
+    let uninterrupted = run_campaign_fleet_federated(&space, &cfg).expect("capacity exists");
+    let drained = &uninterrupted.facilities[outage.site as usize];
+    println!(
+        "drained {}: {} queued campaigns re-routed to surviving sites",
+        drained.name, drained.rerouted_away
+    );
+    for p in uninterrupted.placements.iter().filter(|p| p.rerouted) {
+        println!(
+            "    campaign {} evacuated to {} ({:.1}s of fabric transfer)",
+            p.campaign, p.facility, p.transfer_secs
+        );
+    }
+
+    // Kill the coordinator after 3 commits, then resume: the report is
+    // indistinguishable from never having crashed.
+    let ckpt = run_campaign_fleet_federated_until(&space, &cfg, 3).expect("capacity exists");
+    println!(
+        "\nkilled after {} of {} campaigns committed; resuming…",
+        ckpt.fleet.completed_count(),
+        cfg.fleet.campaigns.len()
+    );
+    let resumed = resume_campaign_fleet_federated(&space, &cfg, &ckpt).expect("signature matches");
+    assert_eq!(
+        serde_json::to_string(&resumed).unwrap(),
+        serde_json::to_string(&uninterrupted).unwrap()
+    );
+    println!("resumed report is byte-identical to the uninterrupted run ✓");
+}

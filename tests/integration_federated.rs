@@ -1,0 +1,136 @@
+//! End-to-end federated scheduling: a campaign fleet placed across the
+//! standard five-facility federation, disturbed by a seeded facility
+//! outage, killed mid-run, and resumed — with every arm required to
+//! reproduce identical bytes (the acceptance gate of ISSUE 4).
+
+use evoflow::core::{
+    resume_campaign_fleet_federated, run_campaign_fleet, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_until, Cell, FederatedConfig, FederatedError, FleetConfig,
+    PlacementPolicyKind, SiteSpec,
+};
+use evoflow::facility::FacilityKind;
+use evoflow::sim::SimDuration;
+use evoflow::testbed::{certify_federation, FederationGrade};
+
+fn space() -> evoflow::core::MaterialsSpace {
+    evoflow::core::MaterialsSpace::generate(3, 8, 20260704)
+}
+
+fn fleet(threads: usize) -> FleetConfig {
+    let mut f = FleetConfig::new(31);
+    f.horizon = SimDuration::from_days(1);
+    f.threads = threads;
+    f.push_cell(Cell::traditional_wms(), 2);
+    f.push_cell(Cell::autonomous_science(), 2);
+    f.push_cell(
+        Cell::new(
+            evoflow::sm::IntelligenceLevel::Learning,
+            evoflow::agents::Pattern::Mesh,
+        ),
+        2,
+    );
+    f
+}
+
+#[test]
+fn standard_federation_hosts_every_policy() {
+    let space = space();
+    let plain = run_campaign_fleet(&space, &fleet(1));
+    for policy in PlacementPolicyKind::all() {
+        let cfg = FederatedConfig::standard(fleet(1), policy);
+        let report = run_campaign_fleet_federated(&space, &cfg).unwrap();
+        assert_eq!(report.policy, policy.label());
+        assert_eq!(report.placements.len(), 6);
+        assert_eq!(report.facilities.len(), 5);
+        assert!(report.makespan_hours > 0.0);
+        assert!(report.facilities.iter().all(|f| f.utilization >= 0.0));
+        // Placement charges time and movement; the science is untouched.
+        assert_eq!(report.fleet, plain);
+    }
+}
+
+#[test]
+fn federated_report_identical_at_1_2_4_threads() {
+    let space = space();
+    for policy in PlacementPolicyKind::all() {
+        let one =
+            run_campaign_fleet_federated(&space, &FederatedConfig::standard(fleet(1), policy))
+                .unwrap();
+        let two =
+            run_campaign_fleet_federated(&space, &FederatedConfig::standard(fleet(2), policy))
+                .unwrap();
+        let four =
+            run_campaign_fleet_federated(&space, &FederatedConfig::standard(fleet(4), policy))
+                .unwrap();
+        let bytes = serde_json::to_string(&one).unwrap();
+        assert_eq!(bytes, serde_json::to_string(&two).unwrap(), "{policy:?}");
+        assert_eq!(bytes, serde_json::to_string(&four).unwrap(), "{policy:?}");
+    }
+}
+
+#[test]
+fn outage_kill_resume_reproduces_identical_bytes_across_thread_counts() {
+    let space = space();
+    let reference = {
+        let cfg =
+            FederatedConfig::standard(fleet(1), PlacementPolicyKind::LeastWait).with_outage_seed(9);
+        serde_json::to_string(&run_campaign_fleet_federated(&space, &cfg).unwrap()).unwrap()
+    };
+    // Kill at 2 commits under one thread count, resume under another:
+    // every combination must reproduce the reference bytes.
+    for (kill_threads, resume_threads) in [(1usize, 4usize), (2, 1), (4, 2)] {
+        let kill_cfg =
+            FederatedConfig::standard(fleet(kill_threads), PlacementPolicyKind::LeastWait)
+                .with_outage_seed(9);
+        let ckpt = run_campaign_fleet_federated_until(&space, &kill_cfg, 2).unwrap();
+        let resume_cfg =
+            FederatedConfig::standard(fleet(resume_threads), PlacementPolicyKind::LeastWait)
+                .with_outage_seed(9);
+        let resumed = resume_campaign_fleet_federated(&space, &resume_cfg, &ckpt).unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            reference,
+            "kill at {kill_threads} threads, resume at {resume_threads}"
+        );
+    }
+}
+
+#[test]
+fn every_policy_certifies_f3_on_the_testbed() {
+    let space = space();
+    for policy in PlacementPolicyKind::all() {
+        let cert = certify_federation(&space, &FederatedConfig::standard(fleet(1), policy), 2);
+        assert_eq!(cert.grade, FederationGrade::F3CrashSurvivor, "{policy:?}");
+    }
+}
+
+#[test]
+fn zero_capacity_federation_refuses_placement() {
+    let sites = vec![
+        SiteSpec::new("dead-a", FacilityKind::Hpc).with_nodes(0),
+        SiteSpec::new("dead-b", FacilityKind::Cloud).with_nodes(0),
+    ];
+    let cfg = FederatedConfig::new(fleet(1), PlacementPolicyKind::LeastWait, sites);
+    match run_campaign_fleet_federated(&space(), &cfg) {
+        Err(FederatedError::NoCapacity { campaign: 0, .. }) => {}
+        other => panic!("expected NoCapacity, got {other:?}"),
+    }
+    // And the kill/checkpoint entry point refuses identically, so a
+    // checkpoint can never exist for an unplaceable federation.
+    assert!(matches!(
+        run_campaign_fleet_federated_until(&space(), &cfg, 1),
+        Err(FederatedError::NoCapacity { .. })
+    ));
+}
+
+#[test]
+fn drifted_federation_cannot_consume_a_checkpoint() {
+    let space = space();
+    let cfg = FederatedConfig::standard(fleet(1), PlacementPolicyKind::DataLocality);
+    let ckpt = run_campaign_fleet_federated_until(&space, &cfg, 1).unwrap();
+    let mut drifted = cfg.clone();
+    drifted.inter_arrival = SimDuration::from_hours(1);
+    assert!(resume_campaign_fleet_federated(&space, &drifted, &ckpt).is_err());
+    // The unmodified config resumes fine.
+    assert!(resume_campaign_fleet_federated(&space, &cfg, &ckpt).is_ok());
+}

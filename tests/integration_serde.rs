@@ -185,6 +185,80 @@ fn chaos_schedule_round_trips_and_replays_identically() {
     );
 }
 
+// ---- federated artifacts (ISSUE 4) -----------------------------------------
+
+use evoflow::core::{
+    resume_campaign_fleet_federated, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_until, FederatedCheckpoint, FederatedConfig, FederatedReport,
+    PlacementPolicyKind,
+};
+
+fn small_federated_config() -> FederatedConfig {
+    let mut fleet = FleetConfig::new(5);
+    fleet.horizon = SimDuration::from_days(1);
+    fleet.threads = 1;
+    fleet.push_cell(Cell::traditional_wms(), 2);
+    FederatedConfig::standard(fleet, PlacementPolicyKind::LeastWait).with_outage_seed(9)
+}
+
+#[test]
+fn federated_report_round_trips_exactly() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let report = run_campaign_fleet_federated(&space, &small_federated_config()).unwrap();
+    let back: FederatedReport = round_trip(&report);
+    assert_eq!(back, report);
+    assert_eq!(
+        serde_json::to_string(&back).unwrap(),
+        serde_json::to_string(&report).unwrap()
+    );
+}
+
+#[test]
+fn federated_checkpoint_round_trips_and_resumes_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let cfg = small_federated_config();
+    let ckpt = run_campaign_fleet_federated_until(&space, &cfg, 1).unwrap();
+    let ckpt2: FederatedCheckpoint = round_trip(&ckpt);
+    assert_eq!(ckpt, ckpt2);
+    let a = resume_campaign_fleet_federated(&space, &cfg, &ckpt).unwrap();
+    let b = resume_campaign_fleet_federated(&space, &cfg, &ckpt2).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Format-stability snapshots for the federated restart files: a
+/// [`FederatedCheckpoint`]'s exact bytes, and the exact bytes of a
+/// zero-campaign [`FederatedReport`] (which pins the field layout of the
+/// report, the per-facility usage rows, and the embedded fleet report
+/// without pinning campaign content).
+#[test]
+fn federated_file_formats_are_stable() {
+    let space = MaterialsSpace::generate(2, 4, 1);
+    let mut fleet = FleetConfig::new(5);
+    fleet.push_cell(Cell::traditional_wms(), 2);
+    let cfg = FederatedConfig::standard(fleet, PlacementPolicyKind::LeastWait).with_outage_seed(9);
+    let ckpt = run_campaign_fleet_federated_until(&space, &cfg, 0).unwrap();
+    assert_eq!(
+        serde_json::to_string(&ckpt).unwrap(),
+        r#"{"placement_signature":1749152393238840823,"fleet":{"master_seed":5,"shard_seeds":[2654648237662476944,7415722410050746708],"completed":[null,null]}}"#
+    );
+
+    let empty = FederatedConfig::standard(FleetConfig::new(5), PlacementPolicyKind::RoundRobin);
+    let report = run_campaign_fleet_federated(&space, &empty).unwrap();
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        concat!(
+            r#"{"master_seed":5,"policy":"round-robin","facilities":["#,
+            r#"{"name":"autonomous-lab","nodes":8,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0},"#,
+            r#"{"name":"lightsource","nodes":32,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0},"#,
+            r#"{"name":"hpc-center","nodes":512,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0},"#,
+            r#"{"name":"cloud-east","nodes":256,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0},"#,
+            r#"{"name":"ai-hub","nodes":128,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0}],"#,
+            r#""placements":[],"outage":null,"transfers":0,"bytes_moved":0,"mean_wait_hours":0.0,"makespan_hours":0.0,"#,
+            r#""fleet":{"master_seed":5,"reports":[],"per_cell":[],"total_experiments":0,"total_hits":0,"total_distinct_discoveries":0,"best_score":0.0,"tokens":0}}"#
+        )
+    );
+}
+
 /// Format-stability snapshots: the serialized bytes of each restart-file
 /// type, pinned. A failure here means the on-disk format changed.
 #[test]
