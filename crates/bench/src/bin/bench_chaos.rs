@@ -17,7 +17,7 @@
 //! overhead stays below 2× — a crash costs at most re-running what was
 //! in flight, never the committed work.
 
-use evoflow_bench::{fmt, print_table, write_results};
+use evoflow_bench::{fmt, print_table, write_bench_summary, write_results};
 use evoflow_core::{
     fleet_death_point, resume_campaign_fleet, run_campaign_fleet_timed, run_campaign_fleet_until,
     Cell, FleetConfig, MaterialsSpace,
@@ -240,6 +240,26 @@ fn main() {
             wms: wms_rows,
             fleet: fleet_rows,
             worst_overhead,
+        },
+    );
+
+    // Machine-readable per-PR summary, like every other bench bin: only
+    // stable pass/fail gates (wall-clock numbers stay in write_results,
+    // where nothing byte-diffs them between runs).
+    #[derive(Serialize)]
+    struct Summary {
+        outcomes_equal: bool,
+        fleet_reports_byte_identical: bool,
+        overhead_within_gate: bool,
+        pass: bool,
+    }
+    write_bench_summary(
+        "chaos",
+        &Summary {
+            outcomes_equal: outcomes_ok,
+            fleet_reports_byte_identical: reports_ok,
+            overhead_within_gate: overhead_ok,
+            pass: outcomes_ok && reports_ok && overhead_ok,
         },
     );
 

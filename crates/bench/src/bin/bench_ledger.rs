@@ -1,0 +1,257 @@
+//! **Ledger-replay smoke — is the event stream a faithful audit record?**
+//!
+//! Gates (ISSUE 5), each fatal on regression:
+//!
+//! 1. **Per-planner replay** — for every planner kind, a recorded
+//!    campaign's serialized ledger is byte-identical on rerun, and
+//!    `replay_ledger` rebuilds the live `CampaignReport` byte-for-byte
+//!    with identical provenance/knowledge counts.
+//! 2. **Fleet merge invariance** — the merged `FleetLedger` is
+//!    byte-identical at 1, 2, and 4 worker threads, and
+//!    `replay_fleet_ledger` rebuilds the live `FleetReport`.
+//! 3. **Crash accountability** — killing the coordinator at the seeded
+//!    death point and resuming reproduces both the report and the merged
+//!    ledger byte-for-byte (the testbed's A3 rung).
+//!
+//! Artifacts: every serialized ledger/report is written to
+//! `LEDGER_DETERMINISM_DIR` when set, so the CI job can byte-diff two
+//! independent process runs (catching nondeterminism that hides inside a
+//! single process).
+
+use evoflow_bench::{print_table, write_bench_summary, write_results};
+use evoflow_core::{
+    fleet_death_point, replay_fleet_ledger, replay_ledger, resume_campaign_fleet_recorded,
+    run_campaign_fleet_recorded, run_campaign_fleet_recorded_until, run_campaign_recorded,
+    CampaignConfig, Cell, FleetConfig, MaterialsSpace, PlannerKind,
+};
+use evoflow_sim::SimDuration;
+use evoflow_sm::IntelligenceLevel;
+use serde::Serialize;
+use std::path::PathBuf;
+
+const CHAOS_SEED: u64 = 404;
+
+fn emit_artifact(dir: &Option<PathBuf>, name: &str, bytes: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create determinism dir");
+        std::fs::write(dir.join(name), bytes).expect("write determinism artifact");
+    }
+}
+
+#[derive(Serialize)]
+struct PlannerRow {
+    planner: String,
+    events: usize,
+    ledger_bytes: usize,
+    rerun_identical: bool,
+    replay_identical: bool,
+    prov_match: bool,
+}
+
+fn planner_battery(
+    space: &MaterialsSpace,
+    artifact_dir: &Option<PathBuf>,
+    failures: &mut Vec<String>,
+) -> Vec<PlannerRow> {
+    let mut kinds = PlannerKind::all_concrete();
+    kinds.push(PlannerKind::meta());
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let mut cfg = CampaignConfig::for_cell(
+            Cell::new(IntelligenceLevel::Learning, evoflow_agents::Pattern::Mesh),
+            17,
+        )
+        .with_planner(kind.clone());
+        cfg.horizon = SimDuration::from_days(1);
+        cfg.coordination = Some(evoflow_core::CoordinationMode::Autonomous);
+        cfg.max_experiments = 2_000;
+
+        let (live, ledger) = run_campaign_recorded(space, &cfg);
+        let ledger_bytes = serde_json::to_string(&ledger).expect("ledger serializes");
+        emit_artifact(
+            artifact_dir,
+            &format!("ledger_{}.json", kind.label()),
+            &ledger_bytes,
+        );
+
+        let (_, rerun) = run_campaign_recorded(space, &cfg);
+        let rerun_identical =
+            serde_json::to_string(&rerun).expect("ledger serializes") == ledger_bytes;
+        if !rerun_identical {
+            failures.push(format!("{}: ledger rerun diverged", kind.label()));
+        }
+
+        let (replay_identical, prov_match) = match replay_ledger(&ledger) {
+            Ok(outcome) => (
+                serde_json::to_string(&outcome.report).expect("report serializes")
+                    == serde_json::to_string(&live).expect("report serializes"),
+                outcome.provenance.activity_count() == live.prov_activities
+                    && outcome.knowledge.node_count() == live.kg_nodes,
+            ),
+            Err(e) => {
+                failures.push(format!("{}: replay refused: {e}", kind.label()));
+                (false, false)
+            }
+        };
+        if !replay_identical {
+            failures.push(format!("{}: replayed report diverged", kind.label()));
+        }
+        if !prov_match {
+            failures.push(format!("{}: provenance counts diverged", kind.label()));
+        }
+
+        rows.push(PlannerRow {
+            planner: kind.descriptor(),
+            events: ledger.len(),
+            ledger_bytes: ledger_bytes.len(),
+            rerun_identical,
+            replay_identical,
+            prov_match,
+        });
+    }
+    rows
+}
+
+#[derive(Serialize)]
+struct FleetGates {
+    campaigns: usize,
+    kill_after: usize,
+    total_events: usize,
+    thread_invariant: bool,
+    replay_identical: bool,
+    resume_identical: bool,
+}
+
+fn fleet_battery(
+    space: &MaterialsSpace,
+    artifact_dir: &Option<PathBuf>,
+    failures: &mut Vec<String>,
+) -> FleetGates {
+    let mut cfg = FleetConfig::new(1234);
+    cfg.horizon = SimDuration::from_days(2);
+    cfg.threads = 1;
+    cfg.push_cell(Cell::traditional_wms(), 3);
+    cfg.push_cell(Cell::autonomous_science(), 3);
+    cfg.push_cell(
+        Cell::new(IntelligenceLevel::Learning, evoflow_agents::Pattern::Mesh),
+        3,
+    );
+
+    let (report, ledger) = run_campaign_fleet_recorded(space, &cfg);
+    let report_bytes = serde_json::to_string(&report).expect("report serializes");
+    let ledger_bytes = serde_json::to_string(&ledger).expect("ledger serializes");
+    emit_artifact(artifact_dir, "fleet_report.json", &report_bytes);
+    emit_artifact(artifact_dir, "fleet_ledger.json", &ledger_bytes);
+
+    let mut thread_invariant = true;
+    for threads in [2usize, 4] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let (r, l) = run_campaign_fleet_recorded(space, &c);
+        if serde_json::to_string(&r).expect("serialize") != report_bytes
+            || serde_json::to_string(&l).expect("serialize") != ledger_bytes
+        {
+            thread_invariant = false;
+            failures.push(format!(
+                "fleet: {threads}-thread ledger diverged from serial"
+            ));
+        }
+    }
+
+    let replay_identical = replay_fleet_ledger(&ledger)
+        .map(|r| serde_json::to_string(&r).expect("serialize") == report_bytes)
+        .unwrap_or(false);
+    if !replay_identical {
+        failures.push("fleet: replayed report diverged".to_string());
+    }
+
+    let kill_after = fleet_death_point(CHAOS_SEED, cfg.campaigns.len());
+    let ckpt = run_campaign_fleet_recorded_until(space, &cfg, kill_after);
+    let resume_identical = resume_campaign_fleet_recorded(space, &cfg, &ckpt)
+        .map(|(r, l)| {
+            serde_json::to_string(&r).expect("serialize") == report_bytes
+                && serde_json::to_string(&l).expect("serialize") == ledger_bytes
+        })
+        .unwrap_or(false);
+    if !resume_identical {
+        failures.push(format!("fleet: kill@{kill_after} + resume left a seam"));
+    }
+
+    FleetGates {
+        campaigns: cfg.campaigns.len(),
+        kill_after,
+        total_events: ledger.total_events(),
+        thread_invariant,
+        replay_identical,
+        resume_identical,
+    }
+}
+
+fn main() {
+    println!("ledger-replay smoke: event streams as the audit substrate");
+    let space = MaterialsSpace::generate(3, 8, 555);
+    let artifact_dir = std::env::var_os("LEDGER_DETERMINISM_DIR").map(PathBuf::from);
+    let mut failures: Vec<String> = Vec::new();
+
+    let rows = planner_battery(&space, &artifact_dir, &mut failures);
+    print_table(
+        "Per-planner recorded campaign: rerun bytes + replay audit",
+        &["planner", "events", "bytes", "rerun", "replay", "prov"],
+        &rows
+            .iter()
+            .map(|r| {
+                let flag = |ok: bool| if ok { "ok" } else { "FAIL" }.to_string();
+                vec![
+                    r.planner.clone(),
+                    r.events.to_string(),
+                    r.ledger_bytes.to_string(),
+                    flag(r.rerun_identical),
+                    flag(r.replay_identical),
+                    flag(r.prov_match),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let fleet = fleet_battery(&space, &artifact_dir, &mut failures);
+    println!(
+        "\n  fleet: {} campaigns, {} events, kill@{} — thread-invariant {}, replay {}, resume {}",
+        fleet.campaigns,
+        fleet.total_events,
+        fleet.kill_after,
+        fleet.thread_invariant,
+        fleet.replay_identical,
+        fleet.resume_identical,
+    );
+
+    let pass = failures.is_empty();
+    println!(
+        "\n  [{}] {}",
+        if pass { "PASS" } else { "FAIL" },
+        if pass {
+            "every ledger replayed byte-identically".to_string()
+        } else {
+            failures.join("; ")
+        }
+    );
+
+    #[derive(Serialize)]
+    struct Out {
+        planners: Vec<PlannerRow>,
+        fleet: FleetGates,
+        failures: Vec<String>,
+        pass: bool,
+    }
+    let out = Out {
+        planners: rows,
+        fleet,
+        failures,
+        pass,
+    };
+    write_results("bench_ledger", &out);
+    write_bench_summary("ledger", &out);
+
+    if !pass {
+        std::process::exit(1);
+    }
+}

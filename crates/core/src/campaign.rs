@@ -21,9 +21,10 @@
 //! [Intelligent × Swarm] + autonomous coordination.
 
 use crate::domain::MaterialsSpace;
+use crate::ledger::{CampaignEvent, CampaignLedger, KnowledgeSink, LedgerObserver};
 use crate::matrix::Cell;
-use crate::planner::{Observation, PlanCtx, PlannerBuild, PlannerKind};
-use evoflow_agents::{Candidate, Evidence, LibrarianAgent, Pattern};
+use crate::planner::{Observation, PlanCtx, PlannerBuild, PlannerKind, PlannerTelemetry};
+use evoflow_agents::{Candidate, Evidence, Pattern};
 use evoflow_facility::HumanModel;
 use evoflow_sim::{RngRegistry, SimDuration, SimTime};
 use evoflow_sm::IntelligenceLevel;
@@ -239,8 +240,52 @@ fn best_visible<'a>(
 /// tracked separately and always visible.
 const EVIDENCE_WINDOW: usize = 96;
 
+/// Push one event to the campaign's own knowledge sink and every
+/// caller-supplied observer, in that order.
+fn emit(
+    knowledge: &mut KnowledgeSink,
+    observers: &mut [&mut dyn LedgerObserver],
+    event: CampaignEvent,
+) {
+    knowledge.on_event(&event);
+    for o in observers.iter_mut() {
+        o.on_event(&event);
+    }
+}
+
 /// Run a discovery campaign on `space` under `cfg`.
 pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_observed(space, cfg, &mut [])
+}
+
+/// Run a discovery campaign and return its full event ledger alongside
+/// the report — the recording entry point of the event-sourced substrate
+/// (see [`crate::ledger`]). The report is identical to
+/// [`run_campaign`]'s: recording never consumes randomness or perturbs
+/// the loop.
+pub fn run_campaign_recorded(
+    space: &MaterialsSpace,
+    cfg: &CampaignConfig,
+) -> (CampaignReport, CampaignLedger) {
+    let mut ledger = CampaignLedger::new();
+    let report = run_campaign_observed(space, cfg, &mut [&mut ledger]);
+    (report, ledger)
+}
+
+/// Run a discovery campaign, streaming every [`CampaignEvent`] to the
+/// given observers as it happens (live dashboards, metrics bridges,
+/// durable ledgers — see [`crate::ledger`] for the shipped sinks).
+///
+/// Knowledge-graph + provenance ingestion is itself an observer now: the
+/// campaign installs a [`KnowledgeSink`] and reads its counts into the
+/// report, replacing the old in-line librarian branch. Events are only
+/// materialised when someone is listening (the sink is enabled, or
+/// `observers` is non-empty), so an unobserved run pays nothing.
+pub fn run_campaign_observed(
+    space: &MaterialsSpace,
+    cfg: &CampaignConfig,
+    observers: &mut [&mut dyn LedgerObserver],
+) -> CampaignReport {
     let dim = space.dim();
     let reg = RngRegistry::new(cfg.seed);
     let mut meas_rng = reg.stream("measurement");
@@ -258,8 +303,9 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
 
     // The decide step is a pluggable Planner (constructed once, shared
     // across lanes — the Intelligence Service layer is a shared service,
-    // Fig 2). The librarian stays campaign-side: recording is part of
-    // the loop's *record* phase, not the decision policy.
+    // Fig 2). Recording is part of the loop's *record* phase, not the
+    // decision policy: the knowledge sink (and any caller observers)
+    // consume the event stream the loop emits.
     let planner_kind = cfg.effective_planner();
     let mut planner = planner_kind.build(&PlannerBuild {
         space,
@@ -270,7 +316,39 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         n_lanes,
         shares_globally,
     });
-    let mut librarian = LibrarianAgent::new();
+    // Planner overrides are visible in the label — including their
+    // parameters — so fleet aggregation never folds differently-planned
+    // campaigns into one cell summary.
+    let cell_label = match &cfg.planner {
+        Some(kind) => format!("{} · {}", cfg.cell, kind.descriptor()),
+        None => cfg.cell.to_string(),
+    };
+    let records_knowledge = cfg.record_knowledge && planner.records_knowledge();
+    let mut knowledge = KnowledgeSink::new();
+    // Two emission tiers keep the unobserved hot path lean: `recording`
+    // gates the proposal/result events the knowledge sink consumes;
+    // `full_stream` additionally gates the iteration/telemetry events
+    // only external observers care about, so a knowledge-recording run
+    // with no observers never materialises them.
+    let recording = records_knowledge || !observers.is_empty();
+    let full_stream = !observers.is_empty();
+    if recording {
+        emit(
+            &mut knowledge,
+            observers,
+            CampaignEvent::CampaignStarted {
+                cell_label: cell_label.clone(),
+                seed: cfg.seed,
+                planner: planner_kind.descriptor(),
+                lanes: n_lanes,
+                horizon: cfg.horizon,
+                threshold: space.threshold,
+                max_experiments: cfg.max_experiments,
+                records_knowledge,
+            },
+        );
+    }
+    let mut last_telemetry = PlannerTelemetry::default();
 
     let mut lanes: Vec<Lane> = (0..n_lanes)
         .map(|_| Lane {
@@ -313,6 +391,17 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             }
         };
         decision_wait_hours += decision_done.saturating_since(now).as_hours();
+        if full_stream {
+            emit(
+                &mut knowledge,
+                observers,
+                CampaignEvent::IterationStarted {
+                    lane: li,
+                    at: now,
+                    decision_ready: decision_done,
+                },
+            );
+        }
 
         // Every intelligence level routes through the Planner layer: the
         // anchor (best visible evidence) is computed only for planners
@@ -339,11 +428,38 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             };
             planner.propose(&mut pctx, batch, &mut chosen);
         }
+        if recording {
+            for c in &chosen {
+                emit(
+                    &mut knowledge,
+                    observers,
+                    CampaignEvent::CandidateProposed {
+                        lane: li,
+                        params: c.params.clone(),
+                        rationale: c.rationale.clone().into_owned(),
+                        confidence: c.confidence,
+                        hallucinated: c.hallucinated,
+                    },
+                );
+            }
+        }
 
         // ---- Execution phase --------------------------------------------
         let exec = execution_time(cfg.cell.composition, chosen.len().max(1), &mut exec_rng);
         execution_hours += exec.as_hours();
         let done_at = decision_done + exec;
+        if full_stream {
+            emit(
+                &mut knowledge,
+                observers,
+                CampaignEvent::ExecutionScheduled {
+                    lane: li,
+                    batch: chosen.len(),
+                    duration: exec,
+                    done_at,
+                },
+            );
+        }
 
         let mut iter_hits = 0u64;
         for c in &chosen {
@@ -363,8 +479,25 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
                 score,
                 hit,
             });
-            if cfg.record_knowledge && planner.records_knowledge() {
-                librarian.record_iteration(c, score, planner.token_usage(), space.threshold);
+            let peak = if hit { space.peak_of(&c.params) } else { None };
+            if recording {
+                // The knowledge sink pairs this with its buffered
+                // proposal — the *record* phase of the loop, now driven
+                // by the same stream every other sink sees.
+                let usage = planner.token_usage();
+                emit(
+                    &mut knowledge,
+                    observers,
+                    CampaignEvent::ResultObserved {
+                        lane: li,
+                        experiment: experiments,
+                        score,
+                        hit,
+                        peak,
+                        tokens_in: usage.input_tokens,
+                        tokens_out: usage.output_tokens,
+                    },
+                );
             }
 
             let ev = Evidence {
@@ -385,7 +518,7 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
             if hit {
                 total_hits += 1;
                 iter_hits += 1;
-                if let Some(p) = space.peak_of(&c.params) {
+                if let Some(p) = peak {
                     peaks_found.insert(p);
                     if time_to_first.is_none() {
                         time_to_first = Some(done_at);
@@ -396,6 +529,46 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
 
         // ---- Meta-optimization (Ω) --------------------------------------
         planner.end_iteration(chosen.len(), iter_hits);
+        if full_stream {
+            // Surface planner-internal decisions (gate rejections, Ω
+            // rewrites) as events the moment their counters move.
+            let t = planner.telemetry();
+            if t.rejected_proposals != last_telemetry.rejected_proposals {
+                emit(
+                    &mut knowledge,
+                    observers,
+                    CampaignEvent::GateDecision {
+                        lane: li,
+                        rejected_total: t.rejected_proposals,
+                    },
+                );
+            }
+            if t.omega_rewrites != last_telemetry.omega_rewrites {
+                emit(
+                    &mut knowledge,
+                    observers,
+                    CampaignEvent::OmegaRewrite {
+                        lane: li,
+                        rewrites_total: t.omega_rewrites,
+                    },
+                );
+            }
+            last_telemetry = t;
+        }
+        if recording {
+            // The knowledge sink needs the iteration boundary too: it
+            // drops buffered proposals the budget cap kept from running.
+            emit(
+                &mut knowledge,
+                observers,
+                CampaignEvent::IterationEnded {
+                    lane: li,
+                    proposed: chosen.len(),
+                    hits: iter_hits,
+                    tokens_total: planner.token_usage().total(),
+                },
+            );
+        }
 
         lanes[li].clock = done_at;
     }
@@ -403,13 +576,35 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
     let sim_days = cfg.horizon.as_hours() / 24.0;
     let weeks = sim_days / 7.0;
     let telemetry = planner.telemetry();
-    // Planner overrides are visible in the label — including their
-    // parameters — so fleet aggregation never folds differently-planned
-    // campaigns into one cell summary.
-    let cell_label = match &cfg.planner {
-        Some(kind) => format!("{} · {}", cfg.cell, kind.descriptor()),
-        None => cfg.cell.to_string(),
+    let best_score = if best_score.is_finite() {
+        best_score
+    } else {
+        0.0
     };
+    let time_to_first_hours = time_to_first.map(|t| t.as_hours());
+    if full_stream {
+        // Every stream-derived report total, recorded for the replay
+        // audit's integrity cross-check.
+        let (kg_nodes, prov_activities) = (knowledge.node_count(), knowledge.activity_count());
+        emit(
+            &mut knowledge,
+            observers,
+            CampaignEvent::CampaignFinished {
+                experiments,
+                total_hits,
+                distinct_discoveries: peaks_found.len(),
+                best_score,
+                time_to_first_hours,
+                decision_wait_hours,
+                execution_hours,
+                rejected_proposals: telemetry.rejected_proposals,
+                omega_rewrites: telemetry.omega_rewrites,
+                kg_nodes,
+                prov_activities,
+                tokens: planner.token_usage().total(),
+            },
+        );
+    }
     CampaignReport {
         cell_label,
         experiments,
@@ -418,18 +613,14 @@ pub fn run_campaign(space: &MaterialsSpace, cfg: &CampaignConfig) -> CampaignRep
         sim_days,
         discoveries_per_week: peaks_found.len() as f64 / weeks.max(1e-9),
         samples_per_day: experiments as f64 / sim_days.max(1e-9),
-        time_to_first_hours: time_to_first.map(|t| t.as_hours()),
-        best_score: if best_score.is_finite() {
-            best_score
-        } else {
-            0.0
-        },
+        time_to_first_hours,
+        best_score,
         decision_wait_hours,
         execution_hours,
         rejected_proposals: telemetry.rejected_proposals,
         omega_rewrites: telemetry.omega_rewrites,
-        kg_nodes: librarian.kg.node_count(),
-        prov_activities: librarian.prov.activity_count(),
+        kg_nodes: knowledge.node_count(),
+        prov_activities: knowledge.activity_count(),
         tokens: planner.token_usage().total(),
     }
 }

@@ -64,9 +64,10 @@ use crate::campaign::CampaignConfig;
 use crate::domain::MaterialsSpace;
 use crate::federation::Federation;
 use crate::fleet::{
-    resume_campaign_fleet, run_campaign_fleet, run_campaign_fleet_until, FleetCheckpoint,
-    FleetConfig, FleetReport, FleetResumeError,
+    resume_campaign_fleet, run_campaign_fleet, run_campaign_fleet_recorded,
+    run_campaign_fleet_until, FleetCheckpoint, FleetConfig, FleetReport, FleetResumeError,
 };
+use crate::ledger::{CampaignEvent, FleetLedger};
 use evoflow_agents::Pattern;
 use evoflow_facility::{presets, BatchScheduler, Facility, FacilityKind, JobId};
 use evoflow_sim::{fnv1a, FacilityOutage, RngRegistry, SimDuration, SimTime};
@@ -484,6 +485,13 @@ pub struct FederatedReport {
     /// The fleet's scientific outcome (unchanged by placement: placement
     /// charges time and movement, never rewrites results).
     pub fleet: FleetReport,
+    /// The federation-level event stream, in placement order: every
+    /// placement, fabric transfer, and outage drain as
+    /// [`CampaignEvent`]s — the same vocabulary campaign ledgers use, so
+    /// one audit pipeline reads all three layers. Absent from
+    /// pre-ledger reports, which decode as empty.
+    #[serde(default)]
+    pub events: Vec<CampaignEvent>,
 }
 
 /// Why a federated run could not place its campaigns.
@@ -579,6 +587,7 @@ struct PlacementOutcome {
     bytes_moved: u128,
     mean_wait_hours: f64,
     makespan_hours: f64,
+    events: Vec<CampaignEvent>,
 }
 
 /// Mutable state of the placement pass: live sites, the federation
@@ -590,19 +599,22 @@ struct PlacementState {
     placed_site: Vec<usize>,
     transfer_secs: Vec<f64>,
     rerouted: Vec<bool>,
+    events: Vec<CampaignEvent>,
 }
 
 impl PlacementState {
     /// Place one campaign: pick among live, capacity-feasible sites,
     /// submit the batch job, stage the input data over the fabric from
     /// `data_from` (the campaign's home site, or the drained facility on
-    /// an evacuation re-route).
+    /// an evacuation re-route). Emits the placement (and any transfer)
+    /// into the federation's event stream.
     fn place_one(
         &mut self,
         campaign: usize,
         arrival: SimTime,
         data_from: &str,
         policy: &mut dyn PlacementPolicy,
+        evacuation: bool,
     ) -> Result<(), FederatedError> {
         let demand = self.demands[campaign];
         let candidates: Vec<usize> = (0..self.sites.len())
@@ -628,6 +640,13 @@ impl PlacementState {
             .submit(demand.nodes, demand.walltime, arrival);
         site.job_owner.insert(id, campaign);
         let dest = site.spec.name.clone();
+        self.events.push(CampaignEvent::CampaignPlaced {
+            campaign,
+            facility: dest.clone(),
+            nodes: demand.nodes,
+            arrival,
+            evacuation,
+        });
         if dest != data_from {
             let plan = self
                 .federation
@@ -635,6 +654,14 @@ impl PlacementState {
                 .expect("federation fabric is connected");
             self.transfer_secs[campaign] += plan.duration.as_secs_f64();
             self.sites[chosen].bytes_in += (demand.input_gb * 1e9) as u128;
+            self.events.push(CampaignEvent::DataTransferred {
+                campaign,
+                from: data_from.to_string(),
+                to: dest,
+                gigabytes: demand.input_gb,
+                duration: plan.duration,
+                evacuation,
+            });
         }
         self.placed_site[campaign] = chosen;
         Ok(())
@@ -657,13 +684,18 @@ impl PlacementState {
         let orphans = self.sites[s].scheduler.drain_queued();
         self.sites[s].rerouted_away = orphans.len();
         let from = self.sites[s].spec.name.clone();
+        self.events.push(CampaignEvent::OutageStruck {
+            site: from.clone(),
+            at,
+            rerouted: orphans.len(),
+        });
         for job in orphans {
             let campaign = *self.sites[s]
                 .job_owner
                 .get(&job.id)
                 .expect("queued job was placed by us");
             self.rerouted[campaign] = true;
-            self.place_one(campaign, at, &from, policy)?;
+            self.place_one(campaign, at, &from, policy, true)?;
         }
         Ok(())
     }
@@ -724,6 +756,7 @@ fn place_fleet(cfg: &FederatedConfig) -> Result<PlacementOutcome, FederatedError
         placed_site: vec![0; n],
         transfer_secs: vec![0.0; n],
         rerouted: vec![false; n],
+        events: Vec::new(),
     };
     let mut policy = cfg.policy.build();
     let outage = cfg.outage();
@@ -740,7 +773,7 @@ fn place_fleet(cfg: &FederatedConfig) -> Result<PlacementOutcome, FederatedError
         }
         let home = state.demands[i].data_home.min(cfg.sites.len() - 1);
         let home_name = cfg.sites[home].name.clone();
-        state.place_one(i, arrival, &home_name, policy.as_mut())?;
+        state.place_one(i, arrival, &home_name, policy.as_mut(), false)?;
     }
 
     // Drain every scheduler and fold the finished records.
@@ -836,6 +869,7 @@ fn place_fleet(cfg: &FederatedConfig) -> Result<PlacementOutcome, FederatedError
         bytes_moved: state.federation.fabric().bytes_moved(),
         mean_wait_hours,
         makespan_hours,
+        events: state.events,
     })
 }
 
@@ -855,6 +889,7 @@ fn assemble_report(
         mean_wait_hours: outcome.mean_wait_hours,
         makespan_hours: outcome.makespan_hours,
         fleet,
+        events: outcome.events,
     }
 }
 
@@ -870,6 +905,20 @@ pub fn run_campaign_fleet_federated(
     let outcome = place_fleet(cfg)?;
     let fleet = run_campaign_fleet(space, &cfg.fleet);
     Ok(assemble_report(cfg, outcome, fleet))
+}
+
+/// Run a federated fleet with full event recording: the report embeds
+/// the federation-level event stream as usual, and every campaign's own
+/// ledger comes back merged in shard order — the complete audit picture
+/// across all three layers (campaign decisions, fleet aggregation,
+/// federation placement).
+pub fn run_campaign_fleet_federated_recorded(
+    space: &MaterialsSpace,
+    cfg: &FederatedConfig,
+) -> Result<(FederatedReport, FleetLedger), FederatedError> {
+    let outcome = place_fleet(cfg)?;
+    let (fleet, ledger) = run_campaign_fleet_recorded(space, &cfg.fleet);
+    Ok((assemble_report(cfg, outcome, fleet), ledger))
 }
 
 /// Run a federated fleet until `max_completions` campaigns have

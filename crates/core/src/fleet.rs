@@ -47,8 +47,9 @@
 //! assert_eq!(serial.per_cell.len(), 2);
 //! ```
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use crate::campaign::{run_campaign, run_campaign_recorded, CampaignConfig, CampaignReport};
 use crate::domain::MaterialsSpace;
+use crate::ledger::{CampaignEvent, CampaignLedger, FleetLedger};
 use crate::matrix::Cell;
 use evoflow_sim::{ChaosSchedule, ChaosSpec, RngRegistry, SampleStats, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -320,7 +321,8 @@ impl TaskQueue {
 }
 
 /// Execute the fleet tasks `tasks` (pairs of shard index + config) across
-/// `threads` workers, committing at most `commit_cap` results.
+/// `threads` workers with the task runner `run`, committing at most
+/// `commit_cap` results.
 ///
 /// The cap models a coordinator crash: workers stop claiming once the
 /// fleet-wide commit counter reaches the cap, and a campaign that
@@ -328,33 +330,37 @@ impl TaskQueue {
 /// in-flight work a real crash loses. `None` commits everything.
 ///
 /// Every returned pair carries the original shard index, so callers can
-/// splice results positionally regardless of which worker ran what.
-fn execute_fleet_tasks(
-    space: &MaterialsSpace,
+/// splice results positionally regardless of which worker ran what. The
+/// runner is generic so the same claim/steal/commit machinery serves both
+/// plain execution ([`run_campaign`]) and ledger-recording execution
+/// ([`run_campaign_recorded`]).
+fn execute_fleet_tasks_with<R, F>(
     tasks: &[(usize, CampaignConfig)],
     threads: usize,
     commit_cap: Option<usize>,
-) -> Vec<(usize, CampaignReport)> {
+    run: F,
+) -> Vec<(usize, R)>
+where
+    R: Send,
+    F: Fn(&CampaignConfig) -> R + Sync,
+{
     let cap = commit_cap.unwrap_or(usize::MAX);
     if tasks.is_empty() || cap == 0 {
         return Vec::new();
     }
     if threads <= 1 {
         // Serial fast path: no thread machinery at all.
-        return tasks
-            .iter()
-            .take(cap)
-            .map(|(i, c)| (*i, run_campaign(space, c)))
-            .collect();
+        return tasks.iter().take(cap).map(|(i, c)| (*i, run(c))).collect();
     }
     let queue = TaskQueue::new(tasks.len());
     let commits = AtomicUsize::new(0);
     let queue_ref = &queue;
     let commits_ref = &commits;
+    let run_ref = &run;
     // Stripe offsets spread workers across the task list so stealing
     // only happens once a worker's own region is exhausted.
     let stripe = tasks.len().div_ceil(threads);
-    let collected: Vec<Vec<(usize, CampaignReport)>> = std::thread::scope(|scope| {
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
@@ -363,12 +369,12 @@ fn execute_fleet_tasks(
                         let Some(i) = queue_ref.claim(w * stripe) else {
                             break;
                         };
-                        let report = run_campaign(space, &tasks[i].1);
+                        let result = run_ref(&tasks[i].1);
                         // Commit-or-discard: the crash point is a total
                         // order on completions, so work finishing after
                         // it is lost, like a real kill -9.
                         if commits_ref.fetch_add(1, Ordering::AcqRel) < cap {
-                            local.push((tasks[i].0, report));
+                            local.push((tasks[i].0, result));
                         }
                     }
                     local
@@ -381,6 +387,16 @@ fn execute_fleet_tasks(
             .collect()
     });
     collected.into_iter().flatten().collect()
+}
+
+/// The plain-report runner over [`execute_fleet_tasks_with`].
+fn execute_fleet_tasks(
+    space: &MaterialsSpace,
+    tasks: &[(usize, CampaignConfig)],
+    threads: usize,
+    commit_cap: Option<usize>,
+) -> Vec<(usize, CampaignReport)> {
+    execute_fleet_tasks_with(tasks, threads, commit_cap, |c| run_campaign(space, c))
 }
 
 /// Run a fleet of campaigns and report aggregate outcomes plus timing.
@@ -492,6 +508,14 @@ pub enum FleetResumeError {
         /// First shard whose seed disagrees.
         index: usize,
     },
+    /// A [`FleetLedgerCheckpoint`] shard has a committed report without
+    /// its ledger (or a ledger without its report) — the checkpoint was
+    /// assembled inconsistently, so splicing it would desynchronise the
+    /// report from the audit trail.
+    LedgerMismatch {
+        /// First shard whose report/ledger presence disagrees.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for FleetResumeError {
@@ -505,6 +529,11 @@ impl std::fmt::Display for FleetResumeError {
                 f,
                 "shard {index}'s derived seed differs from the checkpoint — \
                  checkpoint does not belong to this fleet config"
+            ),
+            FleetResumeError::LedgerMismatch { index } => write!(
+                f,
+                "shard {index} has a committed report and ledger that disagree \
+                 on presence — the ledger checkpoint is inconsistent"
             ),
         }
     }
@@ -567,17 +596,7 @@ pub fn resume_campaign_fleet(
     checkpoint: &FleetCheckpoint,
 ) -> Result<FleetReport, FleetResumeError> {
     let shards = cfg.sharded_campaigns();
-    if checkpoint.completed.len() != shards.len() || checkpoint.shard_seeds.len() != shards.len() {
-        return Err(FleetResumeError::ShapeMismatch {
-            checkpoint: checkpoint.completed.len().max(checkpoint.shard_seeds.len()),
-            fleet: shards.len(),
-        });
-    }
-    for (i, shard) in shards.iter().enumerate() {
-        if shard.seed != checkpoint.shard_seeds[i] {
-            return Err(FleetResumeError::SeedMismatch { index: i });
-        }
-    }
+    validate_fleet_checkpoint(&shards, checkpoint)?;
     let threads = cfg.effective_threads();
     let missing: Vec<(usize, CampaignConfig)> = shards
         .into_iter()
@@ -593,6 +612,198 @@ pub fn resume_campaign_fleet(
         .map(|r| r.expect("checkpointed or just re-run"))
         .collect();
     Ok(FleetReport::from_reports(cfg.master_seed, ordered))
+}
+
+/// The resume handshake shared by plain and recorded resumes: the
+/// checkpoint must match the fleet's shape and derive the same shard
+/// seeds, or splicing its reports would fabricate results.
+fn validate_fleet_checkpoint(
+    shards: &[CampaignConfig],
+    checkpoint: &FleetCheckpoint,
+) -> Result<(), FleetResumeError> {
+    if checkpoint.completed.len() != shards.len() || checkpoint.shard_seeds.len() != shards.len() {
+        return Err(FleetResumeError::ShapeMismatch {
+            checkpoint: checkpoint.completed.len().max(checkpoint.shard_seeds.len()),
+            fleet: shards.len(),
+        });
+    }
+    for (i, shard) in shards.iter().enumerate() {
+        if shard.seed != checkpoint.shard_seeds[i] {
+            return Err(FleetResumeError::SeedMismatch { index: i });
+        }
+    }
+    Ok(())
+}
+
+// ---- ledger-recording execution ---------------------------------------------
+
+/// Run a fleet with full event recording: every campaign emits its ledger
+/// alongside its report, and the per-campaign ledgers are merged in
+/// deterministic shard order into one [`FleetLedger`].
+///
+/// The report equals [`run_campaign_fleet`]'s exactly (recording never
+/// perturbs a campaign), and both the report *and the merged ledger* are
+/// byte-identical at any thread count.
+pub fn run_campaign_fleet_recorded(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+) -> (FleetReport, FleetLedger) {
+    let shards = cfg.sharded_campaigns();
+    let threads = cfg.effective_threads();
+    let tasks: Vec<(usize, CampaignConfig)> = shards.into_iter().enumerate().collect();
+    let mut slots: Vec<Option<(CampaignReport, CampaignLedger)>> =
+        (0..tasks.len()).map(|_| None).collect();
+    for (i, pair) in
+        execute_fleet_tasks_with(&tasks, threads, None, |c| run_campaign_recorded(space, c))
+    {
+        slots[i] = Some(pair);
+    }
+    let mut reports = Vec::with_capacity(slots.len());
+    let mut campaigns = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let (report, ledger) = slot.expect("every task claimed exactly once");
+        reports.push(report);
+        campaigns.push(ledger);
+    }
+    (
+        FleetReport::from_reports(cfg.master_seed, reports),
+        FleetLedger {
+            master_seed: cfg.master_seed,
+            campaigns,
+        },
+    )
+}
+
+/// A durable record of a partially executed *recording* fleet: the plain
+/// [`FleetCheckpoint`] plus the committed campaigns' event ledgers and a
+/// fleet-level audit trail of the crash itself.
+///
+/// The audit `events` (checkpoint taken, coordinator killed) are
+/// deliberately *not* part of the merged [`FleetLedger`]: the merged
+/// ledger must stay byte-identical to the uninterrupted run's, and the
+/// uninterrupted run never crashed. The crash's own history lives here,
+/// with the checkpoint it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetLedgerCheckpoint {
+    /// The underlying fleet checkpoint (reports + seed handshake).
+    pub fleet: FleetCheckpoint,
+    /// Committed per-campaign ledgers, in shard order (`None` = lost or
+    /// never run; re-recorded on resume).
+    pub ledgers: Vec<Option<CampaignLedger>>,
+    /// Fleet-level audit trail of the interrupted run.
+    pub events: Vec<CampaignEvent>,
+}
+
+/// The recorded-resume handshake: the plain [`FleetCheckpoint`] checks,
+/// plus every shard's report and ledger must agree on presence.
+fn validate_ledger_checkpoint(
+    shards: &[CampaignConfig],
+    checkpoint: &FleetLedgerCheckpoint,
+) -> Result<(), FleetResumeError> {
+    validate_fleet_checkpoint(shards, &checkpoint.fleet)?;
+    if checkpoint.ledgers.len() != shards.len() {
+        return Err(FleetResumeError::ShapeMismatch {
+            checkpoint: checkpoint.ledgers.len(),
+            fleet: shards.len(),
+        });
+    }
+    if let Some(index) = checkpoint
+        .ledgers
+        .iter()
+        .zip(&checkpoint.fleet.completed)
+        .position(|(l, r)| l.is_some() != r.is_some())
+    {
+        return Err(FleetResumeError::LedgerMismatch { index });
+    }
+    Ok(())
+}
+
+/// Run a recording fleet until `max_completions` campaigns have
+/// committed, then die — the ledger-carrying analogue of
+/// [`run_campaign_fleet_until`]. Each committed campaign's report *and*
+/// ledger survive in the checkpoint; in-flight work loses both.
+pub fn run_campaign_fleet_recorded_until(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+    max_completions: usize,
+) -> FleetLedgerCheckpoint {
+    let shards = cfg.sharded_campaigns();
+    let threads = cfg.effective_threads();
+    let mut fleet = FleetCheckpoint::from_shards(cfg.master_seed, &shards);
+    let mut ledgers: Vec<Option<CampaignLedger>> = (0..shards.len()).map(|_| None).collect();
+    let tasks: Vec<(usize, CampaignConfig)> = shards.into_iter().enumerate().collect();
+    for (i, (report, ledger)) in
+        execute_fleet_tasks_with(&tasks, threads, Some(max_completions), |c| {
+            run_campaign_recorded(space, c)
+        })
+    {
+        fleet.record(i, report);
+        ledgers[i] = Some(ledger);
+    }
+    // The audit trail records what actually happened: the coordinator
+    // died after the commits it truly absorbed (a cap larger than the
+    // fleet never fires mid-run).
+    let events = vec![
+        CampaignEvent::CoordinatorKilled {
+            after_commits: fleet.completed_count(),
+        },
+        CampaignEvent::CheckpointTaken {
+            committed: fleet.completed_count(),
+            total: fleet.completed.len(),
+        },
+    ];
+    FleetLedgerCheckpoint {
+        fleet,
+        ledgers,
+        events,
+    }
+}
+
+/// Resume an interrupted recording fleet: re-record only the campaigns
+/// that never committed, splice reports *and ledgers* in shard order,
+/// and aggregate.
+///
+/// Both the [`FleetReport`] and the merged [`FleetLedger`] are
+/// **byte-identical** to the uninterrupted
+/// [`run_campaign_fleet_recorded`] outputs — at any thread count on
+/// either side of the crash. The kill+resume boundary is therefore
+/// invisible to any downstream audit that replays the ledger.
+pub fn resume_campaign_fleet_recorded(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+    checkpoint: &FleetLedgerCheckpoint,
+) -> Result<(FleetReport, FleetLedger), FleetResumeError> {
+    let shards = cfg.sharded_campaigns();
+    validate_ledger_checkpoint(&shards, checkpoint)?;
+    let threads = cfg.effective_threads();
+    let missing: Vec<(usize, CampaignConfig)> = shards
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| checkpoint.fleet.completed[*i].is_none())
+        .collect();
+    let mut reports: Vec<Option<CampaignReport>> = checkpoint.fleet.completed.clone();
+    let mut ledgers: Vec<Option<CampaignLedger>> = checkpoint.ledgers.clone();
+    for (i, (report, ledger)) in
+        execute_fleet_tasks_with(&missing, threads, None, |c| run_campaign_recorded(space, c))
+    {
+        reports[i] = Some(report);
+        ledgers[i] = Some(ledger);
+    }
+    let ordered: Vec<CampaignReport> = reports
+        .into_iter()
+        .map(|r| r.expect("checkpointed or just re-run"))
+        .collect();
+    let campaigns: Vec<CampaignLedger> = ledgers
+        .into_iter()
+        .map(|l| l.expect("checkpointed or just re-run"))
+        .collect();
+    Ok((
+        FleetReport::from_reports(cfg.master_seed, ordered),
+        FleetLedger {
+            master_seed: cfg.master_seed,
+            campaigns,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -735,6 +946,32 @@ mod tests {
         assert!(ckpt.is_complete());
         let resumed = resume_campaign_fleet(&space, &cfg, &ckpt).unwrap();
         assert_eq!(resumed, run_campaign_fleet(&space, &cfg));
+    }
+
+    #[test]
+    fn inconsistent_ledger_checkpoint_is_refused() {
+        let space = space();
+        let cfg = small_fleet(1);
+        let mut ckpt = run_campaign_fleet_recorded_until(&space, &cfg, 2);
+        assert!(ckpt.fleet.completed[0].is_some());
+        ckpt.ledgers[0] = None; // committed report, ledger lost
+        assert_eq!(
+            resume_campaign_fleet_recorded(&space, &cfg, &ckpt).unwrap_err(),
+            FleetResumeError::LedgerMismatch { index: 0 }
+        );
+    }
+
+    #[test]
+    fn recorded_kill_audit_trail_reflects_actual_commits() {
+        let space = space();
+        let cfg = small_fleet(1);
+        // Cap beyond the fleet: everything commits, and the audit trail
+        // must say so rather than echoing the configured cap.
+        let ckpt = run_campaign_fleet_recorded_until(&space, &cfg, 100);
+        assert!(ckpt.fleet.is_complete());
+        assert!(ckpt.events.contains(&CampaignEvent::CoordinatorKilled {
+            after_commits: cfg.campaigns.len()
+        }));
     }
 
     #[test]

@@ -1,0 +1,1056 @@
+//! The event-sourced campaign ledger: one deterministic event stream
+//! through campaign → fleet → federated execution.
+//!
+//! The paper's autonomous-science vision stands on end-to-end provenance
+//! of agentic decisions (§4.2): every hypothesis, proposal, observation,
+//! and placement must be reconstructable after the fact. Before this
+//! module, each layer kept private bookkeeping — the campaign loop
+//! in-lined its librarian calls, the fleet buffered reports, the
+//! federation folded placements straight into its report. The ledger
+//! replaces those silos with **one append-only event stream**:
+//!
+//! * [`CampaignEvent`] — the serializable, seed-deterministic event
+//!   vocabulary, covering the discovery loop (iteration started,
+//!   candidate proposed with its rationale, result observed, gate and Ω
+//!   decisions), the fleet lifecycle (checkpoint taken, coordinator
+//!   killed), and the federation (placement, transfer, outage).
+//! * [`LedgerObserver`] — the pluggable sink trait. Every event is
+//!   pushed to every observer as it happens; sinks never feed anything
+//!   back into the run, so observation cannot perturb determinism.
+//! * Shipped sinks: [`CampaignLedger`] (the durable stream itself),
+//!   [`KnowledgeSink`] (rebuilds the knowledge graph + PROV store from
+//!   events — the librarian's old in-line duty), [`MetricsSink`]
+//!   (bridges events into an [`evoflow_sim`] [`MetricsRegistry`]), and
+//!   [`RingTelemetry`] (a bounded live-tail buffer for dashboards).
+//! * [`replay_ledger`] — the payoff: reconstructs a
+//!   [`CampaignReport`] *and* the provenance/knowledge stores purely
+//!   from the event stream, byte-identical to the live run's. The
+//!   ledger is therefore sufficient evidence for everything the report
+//!   claims — the audit + debugging substrate §4.2 calls for.
+//!
+//! **Determinism contract.** Events are emitted at fixed points in the
+//! campaign loop and carry exact simulated times ([`SimTime`] /
+//! [`SimDuration`] are integer nanoseconds) and exact measured values.
+//! Two runs with the same config produce byte-identical serialized
+//! ledgers; a fleet's merged ledger ([`FleetLedger`]) is byte-identical
+//! at any thread count and across a coordinator kill + resume.
+//!
+//! ```
+//! use evoflow_core::{replay_ledger, run_campaign_recorded, CampaignConfig, Cell, MaterialsSpace};
+//! use evoflow_sim::SimDuration;
+//!
+//! let space = MaterialsSpace::generate(3, 8, 42);
+//! let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 7);
+//! cfg.horizon = SimDuration::from_days(1);
+//!
+//! let (live, ledger) = run_campaign_recorded(&space, &cfg);
+//! let replayed = replay_ledger(&ledger).expect("well-formed ledger");
+//! assert_eq!(replayed.report, live);
+//! assert_eq!(replayed.provenance.activity_count(), live.prov_activities);
+//! ```
+
+use crate::campaign::CampaignReport;
+use crate::fleet::FleetReport;
+use evoflow_agents::Candidate;
+use evoflow_cogsim::TokenUsage;
+use evoflow_knowledge::{KnowledgeGraph, ProvenanceStore};
+use evoflow_sim::{MetricsRegistry, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One entry in the campaign ledger.
+///
+/// Variants cover all three execution layers; a *campaign* ledger (the
+/// stream [`run_campaign_recorded`](crate::run_campaign_recorded) emits)
+/// contains only the discovery-loop variants, bracketed by
+/// [`CampaignStarted`](CampaignEvent::CampaignStarted) and
+/// [`CampaignFinished`](CampaignEvent::CampaignFinished). Fleet and
+/// federation variants appear in checkpoint audit trails and in
+/// [`FederatedReport::events`](crate::FederatedReport::events).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// The campaign began: everything replay needs that is config-derived.
+    CampaignStarted {
+        /// Cell label (including any planner override descriptor).
+        cell_label: String,
+        /// Campaign master seed.
+        seed: u64,
+        /// Planner descriptor actually running the decide step.
+        planner: String,
+        /// Parallel lanes.
+        lanes: usize,
+        /// Simulated campaign length.
+        horizon: SimDuration,
+        /// Discovery threshold of the landscape.
+        threshold: f64,
+        /// Sample budget.
+        max_experiments: u64,
+        /// Whether knowledge-graph + provenance ingestion is on for this
+        /// run (the config flag AND the planner's duty).
+        records_knowledge: bool,
+    },
+    /// A lane entered its decision phase.
+    IterationStarted {
+        /// Lane index.
+        lane: usize,
+        /// Lane clock when the decision was requested.
+        at: SimTime,
+        /// When the decision (human or inference) completed.
+        decision_ready: SimTime,
+    },
+    /// The planner proposed one candidate, with its full rationale.
+    CandidateProposed {
+        /// Lane index.
+        lane: usize,
+        /// Design-space coordinates.
+        params: Vec<f64>,
+        /// Generated rationale text.
+        rationale: String,
+        /// Model confidence in \[0,1\].
+        confidence: f64,
+        /// Ground-truth hallucination flag (simulator-only).
+        hallucinated: bool,
+    },
+    /// The batch was scheduled onto the lane's instruments.
+    ExecutionScheduled {
+        /// Lane index.
+        lane: usize,
+        /// Candidates in the batch.
+        batch: usize,
+        /// Execution time charged to the lane.
+        duration: SimDuration,
+        /// When the batch completes.
+        done_at: SimTime,
+    },
+    /// One experiment executed and was measured.
+    ResultObserved {
+        /// Lane index.
+        lane: usize,
+        /// 1-based experiment ordinal campaign-wide.
+        experiment: u64,
+        /// Measured figure of merit.
+        score: f64,
+        /// Whether the measurement crossed the discovery threshold.
+        hit: bool,
+        /// Latent peak attributed to the measurement, if it was a hit.
+        peak: Option<usize>,
+        /// Cumulative planner input tokens at observation time.
+        tokens_in: u64,
+        /// Cumulative planner output tokens at observation time.
+        tokens_out: u64,
+    },
+    /// The validation gate's running rejection count changed.
+    GateDecision {
+        /// Lane whose iteration surfaced the change.
+        lane: usize,
+        /// Cumulative proposals rejected by the gate.
+        rejected_total: u64,
+    },
+    /// The meta-optimizer Ω issued a strategy rewrite.
+    OmegaRewrite {
+        /// Lane whose iteration surfaced the rewrite.
+        lane: usize,
+        /// Cumulative rewrites issued.
+        rewrites_total: u32,
+    },
+    /// A lane's iteration completed.
+    IterationEnded {
+        /// Lane index.
+        lane: usize,
+        /// Candidates the planner proposed this iteration (the tail may
+        /// not have executed if the sample budget ran out mid-batch —
+        /// count `ResultObserved` events for executions).
+        proposed: usize,
+        /// Hits among the candidates actually run.
+        hits: u64,
+        /// Cumulative simulated inference tokens after this iteration.
+        tokens_total: u64,
+    },
+    /// The campaign ended. Carries every total the final report derives
+    /// from the stream, so replay can cross-check its entire
+    /// reconstruction — any event edit that shifts any report field is
+    /// detected as an [`ReplayError::IntegrityMismatch`].
+    CampaignFinished {
+        /// Experiments executed.
+        experiments: u64,
+        /// Above-threshold measurements.
+        total_hits: u64,
+        /// Distinct latent peaks discovered.
+        distinct_discoveries: usize,
+        /// Best measured score (0 when no experiment ran).
+        best_score: f64,
+        /// Hours until the first discovery, if any.
+        time_to_first_hours: Option<f64>,
+        /// Total hours lanes spent waiting on decisions.
+        decision_wait_hours: f64,
+        /// Total hours lanes spent executing experiments.
+        execution_hours: f64,
+        /// Proposals rejected by the validation gate.
+        rejected_proposals: u64,
+        /// Ω strategy rewrites issued.
+        omega_rewrites: u32,
+        /// Knowledge-graph nodes recorded.
+        kg_nodes: usize,
+        /// Provenance activities recorded.
+        prov_activities: usize,
+        /// Total simulated inference tokens consumed.
+        tokens: u64,
+    },
+
+    // ---- fleet layer --------------------------------------------------------
+    /// A fleet checkpoint was written.
+    CheckpointTaken {
+        /// Campaigns whose reports committed.
+        committed: usize,
+        /// Campaigns in the fleet.
+        total: usize,
+    },
+    /// The fleet coordinator was killed (seeded chaos injection).
+    CoordinatorKilled {
+        /// Commits after which the coordinator died.
+        after_commits: usize,
+    },
+
+    // ---- federated layer ----------------------------------------------------
+    /// A campaign was placed onto a facility.
+    CampaignPlaced {
+        /// Campaign (shard) index.
+        campaign: usize,
+        /// Facility chosen by the placement policy.
+        facility: String,
+        /// Nodes requested.
+        nodes: u64,
+        /// Submission time at the facility.
+        arrival: SimTime,
+        /// Whether this placement re-routed work off a drained facility.
+        evacuation: bool,
+    },
+    /// Input data moved across the federation's fabric.
+    DataTransferred {
+        /// Campaign whose data moved.
+        campaign: usize,
+        /// Source site.
+        from: String,
+        /// Destination site.
+        to: String,
+        /// Gigabytes moved.
+        gigabytes: f64,
+        /// Fabric transfer time.
+        duration: SimDuration,
+        /// Whether this was an outage evacuation.
+        evacuation: bool,
+    },
+    /// A facility outage drained a site.
+    OutageStruck {
+        /// Name of the drained facility.
+        site: String,
+        /// When the drain fired.
+        at: SimTime,
+        /// Queued campaigns re-routed to survivors.
+        rerouted: usize,
+    },
+}
+
+impl CampaignEvent {
+    /// Short stable tag for this event's variant (metrics keys, errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignEvent::CampaignStarted { .. } => "campaign-started",
+            CampaignEvent::IterationStarted { .. } => "iteration-started",
+            CampaignEvent::CandidateProposed { .. } => "candidate-proposed",
+            CampaignEvent::ExecutionScheduled { .. } => "execution-scheduled",
+            CampaignEvent::ResultObserved { .. } => "result-observed",
+            CampaignEvent::GateDecision { .. } => "gate-decision",
+            CampaignEvent::OmegaRewrite { .. } => "omega-rewrite",
+            CampaignEvent::IterationEnded { .. } => "iteration-ended",
+            CampaignEvent::CampaignFinished { .. } => "campaign-finished",
+            CampaignEvent::CheckpointTaken { .. } => "checkpoint-taken",
+            CampaignEvent::CoordinatorKilled { .. } => "coordinator-killed",
+            CampaignEvent::CampaignPlaced { .. } => "campaign-placed",
+            CampaignEvent::DataTransferred { .. } => "data-transferred",
+            CampaignEvent::OutageStruck { .. } => "outage-struck",
+        }
+    }
+
+    /// Whether the variant belongs to the campaign discovery loop (the
+    /// only variants allowed inside a [`CampaignLedger`] being replayed).
+    pub fn is_campaign_scoped(&self) -> bool {
+        !matches!(
+            self,
+            CampaignEvent::CheckpointTaken { .. }
+                | CampaignEvent::CoordinatorKilled { .. }
+                | CampaignEvent::CampaignPlaced { .. }
+                | CampaignEvent::DataTransferred { .. }
+                | CampaignEvent::OutageStruck { .. }
+        )
+    }
+}
+
+/// A pluggable event sink. Observers are fed every event in emission
+/// order; they must never feed anything back into the run (the stream is
+/// strictly one-way, so observation cannot perturb determinism).
+pub trait LedgerObserver {
+    /// Ingest one event.
+    fn on_event(&mut self, event: &CampaignEvent);
+}
+
+/// The durable event stream of one campaign — itself an observer, so a
+/// recording run simply registers the ledger as a sink.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignLedger {
+    /// Events in emission order.
+    pub events: Vec<CampaignEvent>,
+}
+
+impl CampaignLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ledger holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl LedgerObserver for CampaignLedger {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// The merged event streams of a fleet: one [`CampaignLedger`] per
+/// campaign, in shard (task) order. A pure function of `(space,
+/// FleetConfig minus threads)`: byte-identical at any thread count and
+/// across a coordinator kill + resume (see
+/// [`resume_campaign_fleet_recorded`](crate::resume_campaign_fleet_recorded)).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetLedger {
+    /// Master seed of the fleet the ledgers were recorded under.
+    pub master_seed: u64,
+    /// Per-campaign ledgers, in shard order.
+    pub campaigns: Vec<CampaignLedger>,
+}
+
+impl FleetLedger {
+    /// Total events across every campaign ledger.
+    pub fn total_events(&self) -> usize {
+        self.campaigns.iter().map(CampaignLedger::len).sum()
+    }
+}
+
+/// Rebuilds the knowledge graph and PROV provenance store from the event
+/// stream — the librarian's old in-line duty in `run_campaign`, now a
+/// sink like any other. Configures itself from
+/// [`CampaignEvent::CampaignStarted`] (threshold + whether recording is
+/// on), buffers proposals, and records one hypothesis → experiment →
+/// result chain per observed result.
+#[derive(Debug, Default)]
+pub struct KnowledgeSink {
+    librarian: evoflow_agents::LibrarianAgent,
+    pending: VecDeque<Candidate>,
+    threshold: f64,
+    enabled: bool,
+}
+
+impl KnowledgeSink {
+    /// A sink that waits for a `CampaignStarted` event to configure
+    /// itself (disabled until then).
+    pub fn new() -> Self {
+        KnowledgeSink {
+            librarian: evoflow_agents::LibrarianAgent::new(),
+            pending: VecDeque::new(),
+            threshold: 0.0,
+            enabled: false,
+        }
+    }
+
+    /// Knowledge-graph nodes recorded.
+    pub fn node_count(&self) -> usize {
+        self.librarian.kg.node_count()
+    }
+
+    /// Provenance activities recorded.
+    pub fn activity_count(&self) -> usize {
+        self.librarian.prov.activity_count()
+    }
+
+    /// Provenance entities recorded.
+    pub fn entity_count(&self) -> usize {
+        self.librarian.prov.entity_count()
+    }
+
+    /// Consume the sink, yielding the rebuilt stores.
+    pub fn into_stores(self) -> (KnowledgeGraph, ProvenanceStore) {
+        (self.librarian.kg, self.librarian.prov)
+    }
+}
+
+impl LedgerObserver for KnowledgeSink {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::CampaignStarted {
+                threshold,
+                records_knowledge,
+                ..
+            } => {
+                self.threshold = *threshold;
+                self.enabled = *records_knowledge;
+            }
+            CampaignEvent::CandidateProposed {
+                params,
+                rationale,
+                confidence,
+                hallucinated,
+                ..
+            } if self.enabled => {
+                self.pending.push_back(Candidate {
+                    params: params.clone(),
+                    rationale: rationale.clone().into(),
+                    confidence: *confidence,
+                    hallucinated: *hallucinated,
+                });
+            }
+            CampaignEvent::ResultObserved {
+                score,
+                tokens_in,
+                tokens_out,
+                ..
+            } if self.enabled => {
+                // Proposals observe in FIFO order within an iteration;
+                // budget-capped tails never observe and are dropped at
+                // IterationEnded.
+                if let Some(c) = self.pending.pop_front() {
+                    self.librarian.record_iteration(
+                        &c,
+                        *score,
+                        TokenUsage {
+                            input_tokens: *tokens_in,
+                            output_tokens: *tokens_out,
+                        },
+                        self.threshold,
+                    );
+                }
+            }
+            CampaignEvent::IterationEnded { .. } => self.pending.clear(),
+            _ => {}
+        }
+    }
+}
+
+/// Bridges ledger events into the simulation kernel's
+/// [`MetricsRegistry`] — counters per event kind plus score / wait /
+/// execution-time distributions, all under the `ledger.` prefix.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    /// The registry being fed. Read it live or [`MetricsSink::into_registry`].
+    pub registry: MetricsRegistry,
+}
+
+impl MetricsSink {
+    /// A sink over a fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the sink, yielding the registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+}
+
+impl LedgerObserver for MetricsSink {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.registry.incr(&format!("ledger.{}", event.kind()), 1);
+        match event {
+            CampaignEvent::IterationStarted {
+                at, decision_ready, ..
+            } => {
+                self.registry.observe(
+                    "ledger.decision_wait_hours",
+                    decision_ready.saturating_since(*at).as_hours(),
+                );
+            }
+            CampaignEvent::ExecutionScheduled { duration, .. } => {
+                self.registry
+                    .observe("ledger.execution_hours", duration.as_hours());
+            }
+            CampaignEvent::ResultObserved { score, hit, .. } => {
+                self.registry.observe("ledger.score", *score);
+                if *hit {
+                    self.registry.incr("ledger.hits", 1);
+                }
+            }
+            CampaignEvent::DataTransferred { gigabytes, .. } => {
+                self.registry.observe("ledger.transfer_gb", *gigabytes);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A bounded live-telemetry tail: keeps the most recent `capacity`
+/// events (dashboard feeds, §5.2's Science-IDE panels) while counting
+/// everything it ever saw.
+#[derive(Debug, Clone)]
+pub struct RingTelemetry {
+    capacity: usize,
+    buf: VecDeque<CampaignEvent>,
+    seen: u64,
+}
+
+impl RingTelemetry {
+    /// A ring holding at most `capacity` events (capacity 0 keeps none).
+    pub fn new(capacity: usize) -> Self {
+        RingTelemetry {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            seen: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &CampaignEvent> {
+        self.buf.iter()
+    }
+
+    /// Most recent event, if any.
+    pub fn latest(&self) -> Option<&CampaignEvent> {
+        self.buf.back()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever observed (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl LedgerObserver for RingTelemetry {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Why a ledger could not be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The ledger holds no events at all.
+    Empty,
+    /// The first event is not `CampaignStarted`.
+    MissingStart,
+    /// A fleet- or federation-scoped event (or a second `CampaignStarted`,
+    /// or anything after `CampaignFinished`) appeared inside a campaign
+    /// stream.
+    UnexpectedEvent {
+        /// Index of the offending event.
+        index: usize,
+        /// Its variant tag.
+        kind: &'static str,
+    },
+    /// The stream ended without a `CampaignFinished` event.
+    Truncated,
+    /// A `CampaignFinished` total disagrees with the replayed stream —
+    /// the ledger was tampered with or corrupted.
+    IntegrityMismatch {
+        /// Which total disagreed.
+        field: &'static str,
+        /// Value recorded in `CampaignFinished`.
+        recorded: String,
+        /// Value reconstructed from the stream.
+        replayed: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Empty => write!(f, "ledger is empty"),
+            ReplayError::MissingStart => {
+                write!(f, "ledger does not begin with CampaignStarted")
+            }
+            ReplayError::UnexpectedEvent { index, kind } => {
+                write!(f, "unexpected {kind} event at index {index}")
+            }
+            ReplayError::Truncated => {
+                write!(f, "ledger ends without CampaignFinished")
+            }
+            ReplayError::IntegrityMismatch {
+                field,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "integrity mismatch on {field}: ledger records {recorded}, replay derived {replayed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Everything a ledger replay reconstructs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The campaign report, rebuilt purely from events — byte-identical
+    /// to the live run's.
+    pub report: CampaignReport,
+    /// The knowledge graph, rebuilt from proposal/result events.
+    pub knowledge: KnowledgeGraph,
+    /// The PROV provenance store, rebuilt from the same events.
+    pub provenance: ProvenanceStore,
+}
+
+/// Reconstruct a [`CampaignReport`] (and the provenance + knowledge
+/// stores) purely from a campaign's event stream.
+///
+/// The replay performs exactly the aggregation the live loop performs, in
+/// the same order — floating-point accumulations included — so the
+/// rebuilt report is **byte-identical** to the live one. The terminal
+/// [`CampaignFinished`](CampaignEvent::CampaignFinished) event carries
+/// every stream-derived report total, and each one is cross-checked
+/// (floats bit-exactly) against the replayed stream; any disagreement is
+/// a [`ReplayError::IntegrityMismatch`]. That is what makes the ledger
+/// an audit substrate rather than a log: truncation, or an edit to any
+/// event that shifts *any* report field (scores, times, tokens, gate
+/// counts, store sizes), cannot silently replay. The one class of edit
+/// this does not catch is content-only forgery that leaves every total
+/// unchanged — e.g. rewording a rationale string — which alters the
+/// rebuilt knowledge stores' contents but not their sizes.
+pub fn replay_ledger(ledger: &CampaignLedger) -> Result<ReplayOutcome, ReplayError> {
+    if ledger.events.is_empty() {
+        return Err(ReplayError::Empty);
+    }
+    let (cell_label, horizon) = match &ledger.events[0] {
+        CampaignEvent::CampaignStarted {
+            cell_label,
+            horizon,
+            ..
+        } => (cell_label.clone(), *horizon),
+        _ => return Err(ReplayError::MissingStart),
+    };
+
+    let mut sink = KnowledgeSink::new();
+    let mut experiments = 0u64;
+    let mut total_hits = 0u64;
+    let mut peaks: BTreeSet<usize> = BTreeSet::new();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut time_to_first: Option<SimTime> = None;
+    let mut decision_wait_hours = 0.0;
+    let mut execution_hours = 0.0;
+    let mut rejected_proposals = 0u64;
+    let mut omega_rewrites = 0u32;
+    let mut tokens = 0u64;
+    let mut current_done_at = SimTime::ZERO;
+    let mut finished: Option<CampaignEvent> = None;
+
+    for (index, event) in ledger.events.iter().enumerate() {
+        if finished.is_some() {
+            return Err(ReplayError::UnexpectedEvent {
+                index,
+                kind: event.kind(),
+            });
+        }
+        sink.on_event(event);
+        match event {
+            CampaignEvent::CampaignStarted { .. } => {
+                if index != 0 {
+                    return Err(ReplayError::UnexpectedEvent {
+                        index,
+                        kind: event.kind(),
+                    });
+                }
+            }
+            CampaignEvent::IterationStarted {
+                at, decision_ready, ..
+            } => {
+                decision_wait_hours += decision_ready.saturating_since(*at).as_hours();
+            }
+            CampaignEvent::CandidateProposed { .. } => {}
+            CampaignEvent::ExecutionScheduled {
+                duration, done_at, ..
+            } => {
+                execution_hours += duration.as_hours();
+                current_done_at = *done_at;
+            }
+            CampaignEvent::ResultObserved {
+                score, hit, peak, ..
+            } => {
+                experiments += 1;
+                best_score = best_score.max(*score);
+                if *hit {
+                    total_hits += 1;
+                    if let Some(p) = peak {
+                        peaks.insert(*p);
+                        if time_to_first.is_none() {
+                            time_to_first = Some(current_done_at);
+                        }
+                    }
+                }
+            }
+            CampaignEvent::GateDecision { rejected_total, .. } => {
+                rejected_proposals = *rejected_total;
+            }
+            CampaignEvent::OmegaRewrite { rewrites_total, .. } => {
+                omega_rewrites = *rewrites_total;
+            }
+            CampaignEvent::IterationEnded { tokens_total, .. } => {
+                tokens = *tokens_total;
+            }
+            CampaignEvent::CampaignFinished { .. } => {
+                finished = Some(event.clone());
+            }
+            _ => {
+                return Err(ReplayError::UnexpectedEvent {
+                    index,
+                    kind: event.kind(),
+                });
+            }
+        }
+    }
+
+    let Some(CampaignEvent::CampaignFinished {
+        experiments: fin_experiments,
+        total_hits: fin_hits,
+        distinct_discoveries: fin_distinct,
+        best_score: fin_best,
+        time_to_first_hours: fin_ttf,
+        decision_wait_hours: fin_wait,
+        execution_hours: fin_exec,
+        rejected_proposals: fin_rejected,
+        omega_rewrites: fin_omega,
+        kg_nodes: fin_kg,
+        prov_activities: fin_prov,
+        tokens: fin_tokens,
+    }) = finished
+    else {
+        return Err(ReplayError::Truncated);
+    };
+    let best_score = if best_score.is_finite() {
+        best_score
+    } else {
+        0.0
+    };
+    let time_to_first_hours = time_to_first.map(|t| t.as_hours());
+    // Cross-check every reconstructed total against the recorded ones —
+    // floats bit-exactly. An edit anywhere in the stream that shifts any
+    // report field (times, tokens, gate counts, store sizes, scores)
+    // surfaces here as a typed refusal.
+    let bits = |x: f64| x.to_bits().to_string();
+    let opt_bits = |x: Option<f64>| match x {
+        Some(v) => format!("Some({})", v.to_bits()),
+        None => "None".to_string(),
+    };
+    let checks: [(&'static str, String, String); 12] = [
+        (
+            "experiments",
+            fin_experiments.to_string(),
+            experiments.to_string(),
+        ),
+        ("total_hits", fin_hits.to_string(), total_hits.to_string()),
+        (
+            "distinct_discoveries",
+            fin_distinct.to_string(),
+            peaks.len().to_string(),
+        ),
+        ("best_score", bits(fin_best), bits(best_score)),
+        (
+            "time_to_first_hours",
+            opt_bits(fin_ttf),
+            opt_bits(time_to_first_hours),
+        ),
+        (
+            "decision_wait_hours",
+            bits(fin_wait),
+            bits(decision_wait_hours),
+        ),
+        ("execution_hours", bits(fin_exec), bits(execution_hours)),
+        (
+            "rejected_proposals",
+            fin_rejected.to_string(),
+            rejected_proposals.to_string(),
+        ),
+        (
+            "omega_rewrites",
+            fin_omega.to_string(),
+            omega_rewrites.to_string(),
+        ),
+        (
+            "kg_nodes",
+            fin_kg.to_string(),
+            sink.node_count().to_string(),
+        ),
+        (
+            "prov_activities",
+            fin_prov.to_string(),
+            sink.activity_count().to_string(),
+        ),
+        ("tokens", fin_tokens.to_string(), tokens.to_string()),
+    ];
+    for (field, recorded, replayed) in checks {
+        if recorded != replayed {
+            return Err(ReplayError::IntegrityMismatch {
+                field,
+                recorded,
+                replayed,
+            });
+        }
+    }
+
+    let sim_days = horizon.as_hours() / 24.0;
+    let weeks = sim_days / 7.0;
+    let report = CampaignReport {
+        cell_label,
+        experiments,
+        distinct_discoveries: peaks.len(),
+        total_hits,
+        sim_days,
+        discoveries_per_week: peaks.len() as f64 / weeks.max(1e-9),
+        samples_per_day: experiments as f64 / sim_days.max(1e-9),
+        time_to_first_hours,
+        best_score,
+        decision_wait_hours,
+        execution_hours,
+        rejected_proposals,
+        omega_rewrites,
+        kg_nodes: sink.node_count(),
+        prov_activities: sink.activity_count(),
+        tokens,
+    };
+    let (knowledge, provenance) = sink.into_stores();
+    Ok(ReplayOutcome {
+        report,
+        knowledge,
+        provenance,
+    })
+}
+
+/// Reconstruct a whole [`FleetReport`] from a fleet's merged ledger:
+/// replay every campaign stream in shard order and fold the reports with
+/// the same deterministic aggregation the live executor uses.
+pub fn replay_fleet_ledger(ledger: &FleetLedger) -> Result<FleetReport, ReplayError> {
+    let mut reports = Vec::with_capacity(ledger.campaigns.len());
+    for campaign in &ledger.campaigns {
+        reports.push(replay_ledger(campaign)?.report);
+    }
+    Ok(FleetReport::from_reports(ledger.master_seed, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(records_knowledge: bool) -> CampaignEvent {
+        CampaignEvent::CampaignStarted {
+            cell_label: "test".into(),
+            seed: 1,
+            planner: "grid".into(),
+            lanes: 1,
+            horizon: SimDuration::from_days(1),
+            threshold: 0.5,
+            max_experiments: 10,
+            records_knowledge,
+        }
+    }
+
+    fn proposed() -> CampaignEvent {
+        CampaignEvent::CandidateProposed {
+            lane: 0,
+            params: vec![0.5, 0.5],
+            rationale: "test rationale".into(),
+            confidence: 0.7,
+            hallucinated: false,
+        }
+    }
+
+    fn observed(experiment: u64, score: f64) -> CampaignEvent {
+        CampaignEvent::ResultObserved {
+            lane: 0,
+            experiment,
+            score,
+            hit: score >= 0.5,
+            peak: if score >= 0.5 { Some(0) } else { None },
+            tokens_in: 10,
+            tokens_out: 5,
+        }
+    }
+
+    #[test]
+    fn ring_telemetry_bounds_and_counts() {
+        let mut ring = RingTelemetry::new(3);
+        for i in 0..10u64 {
+            ring.on_event(&observed(i, 0.1));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 10);
+        match ring.latest() {
+            Some(CampaignEvent::ResultObserved { experiment, .. }) => assert_eq!(*experiment, 9),
+            other => panic!("unexpected tail {other:?}"),
+        }
+        let mut empty = RingTelemetry::new(0);
+        empty.on_event(&proposed());
+        assert!(empty.is_empty());
+        assert_eq!(empty.seen(), 1);
+    }
+
+    #[test]
+    fn metrics_sink_counts_kinds() {
+        let mut m = MetricsSink::new();
+        m.on_event(&started(false));
+        m.on_event(&proposed());
+        m.on_event(&observed(1, 0.9));
+        m.on_event(&observed(2, 0.1));
+        let reg = m.into_registry();
+        assert_eq!(reg.counter("ledger.campaign-started"), 1);
+        assert_eq!(reg.counter("ledger.candidate-proposed"), 1);
+        assert_eq!(reg.counter("ledger.result-observed"), 2);
+        assert_eq!(reg.counter("ledger.hits"), 1);
+        assert_eq!(reg.stat("ledger.score").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn knowledge_sink_pairs_proposals_with_results() {
+        let mut sink = KnowledgeSink::new();
+        sink.on_event(&started(true));
+        sink.on_event(&proposed());
+        sink.on_event(&observed(1, 0.9));
+        // hypothesis + experiment + result nodes; reasoning + experiment
+        // activities.
+        assert_eq!(sink.node_count(), 3);
+        assert_eq!(sink.activity_count(), 2);
+        // An unexecuted proposal is dropped at iteration end.
+        sink.on_event(&proposed());
+        sink.on_event(&CampaignEvent::IterationEnded {
+            lane: 0,
+            proposed: 1,
+            hits: 0,
+            tokens_total: 15,
+        });
+        sink.on_event(&observed(2, 0.2));
+        assert_eq!(sink.node_count(), 3, "orphan result records nothing");
+    }
+
+    #[test]
+    fn knowledge_sink_stays_dark_when_disabled() {
+        let mut sink = KnowledgeSink::new();
+        sink.on_event(&started(false));
+        sink.on_event(&proposed());
+        sink.on_event(&observed(1, 0.9));
+        assert_eq!(sink.node_count(), 0);
+        assert_eq!(sink.activity_count(), 0);
+    }
+
+    #[test]
+    fn replay_rejects_malformed_streams() {
+        assert_eq!(
+            replay_ledger(&CampaignLedger::new()),
+            Err(ReplayError::Empty)
+        );
+        let headless = CampaignLedger {
+            events: vec![proposed()],
+        };
+        assert_eq!(replay_ledger(&headless), Err(ReplayError::MissingStart));
+        let truncated = CampaignLedger {
+            events: vec![started(false), proposed()],
+        };
+        assert_eq!(replay_ledger(&truncated), Err(ReplayError::Truncated));
+        let foreign = CampaignLedger {
+            events: vec![
+                started(false),
+                CampaignEvent::CoordinatorKilled { after_commits: 1 },
+            ],
+        };
+        assert_eq!(
+            replay_ledger(&foreign),
+            Err(ReplayError::UnexpectedEvent {
+                index: 1,
+                kind: "coordinator-killed"
+            })
+        );
+    }
+
+    fn finished(experiments: u64, best_score: f64) -> CampaignEvent {
+        CampaignEvent::CampaignFinished {
+            experiments,
+            total_hits: 1,
+            distinct_discoveries: 1,
+            best_score,
+            time_to_first_hours: Some(0.0),
+            decision_wait_hours: 0.0,
+            execution_hours: 0.0,
+            rejected_proposals: 0,
+            omega_rewrites: 0,
+            kg_nodes: 0,
+            prov_activities: 0,
+            tokens: 0,
+        }
+    }
+
+    #[test]
+    fn replay_detects_tampered_totals() {
+        // stream only shows 1 experiment
+        let ledger = CampaignLedger {
+            events: vec![started(false), observed(1, 0.9), finished(2, 0.9)],
+        };
+        assert!(matches!(
+            replay_ledger(&ledger),
+            Err(ReplayError::IntegrityMismatch {
+                field: "experiments",
+                ..
+            })
+        ));
+        // An edited score is caught even when the counts all agree.
+        let ledger = CampaignLedger {
+            events: vec![started(false), observed(1, 0.95), finished(1, 0.9)],
+        };
+        assert!(matches!(
+            replay_ledger(&ledger),
+            Err(ReplayError::IntegrityMismatch {
+                field: "best_score",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn event_kind_tags_are_stable() {
+        assert_eq!(started(false).kind(), "campaign-started");
+        assert_eq!(
+            CampaignEvent::OutageStruck {
+                site: "hpc".into(),
+                at: SimTime::ZERO,
+                rerouted: 0
+            }
+            .kind(),
+            "outage-struck"
+        );
+        assert!(started(false).is_campaign_scoped());
+        assert!(!CampaignEvent::CheckpointTaken {
+            committed: 0,
+            total: 1
+        }
+        .is_campaign_scoped());
+    }
+}

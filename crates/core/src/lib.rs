@@ -32,6 +32,13 @@
 //!   charging simulated batch-queue wait and fabric data movement, with a
 //!   seeded facility-outage drain + deterministic re-routing, aggregated
 //!   into a thread-count-invariant [`federated::FederatedReport`].
+//! * [`ledger`] — the event-sourced audit substrate: one deterministic
+//!   [`ledger::CampaignEvent`] stream through campaign → fleet →
+//!   federated, pluggable [`ledger::LedgerObserver`] sinks (knowledge
+//!   ingestion, metrics bridge, bounded live telemetry), and
+//!   [`ledger::replay_ledger`], which reconstructs a byte-identical
+//!   [`campaign::CampaignReport`] (plus the provenance and knowledge
+//!   stores) purely from the serialized events.
 //! * [`governance`] — §4's policy enforcement, guardrails, and
 //!   accountability: sample budgets, human approval for irreversible
 //!   actions, rate limits, audit trails.
@@ -46,26 +53,36 @@ pub mod federation;
 pub mod fleet;
 pub mod governance;
 pub mod ide;
+pub mod ledger;
 pub mod matrix;
 pub mod planner;
 pub mod runtime;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoordinationMode};
+pub use campaign::{
+    run_campaign, run_campaign_observed, run_campaign_recorded, CampaignConfig, CampaignReport,
+    CoordinationMode,
+};
 pub use domain::MaterialsSpace;
 pub use federated::{
     campaign_demand, resume_campaign_fleet_federated, run_campaign_fleet_federated,
-    run_campaign_fleet_federated_until, CampaignDemand, FacilityUsage, FederatedCheckpoint,
-    FederatedConfig, FederatedError, FederatedReport, FederatedResumeError, PlacementPolicy,
-    PlacementPolicyKind, PlacementRecord, PlacementRequest, SiteSpec,
+    run_campaign_fleet_federated_recorded, run_campaign_fleet_federated_until, CampaignDemand,
+    FacilityUsage, FederatedCheckpoint, FederatedConfig, FederatedError, FederatedReport,
+    FederatedResumeError, PlacementPolicy, PlacementPolicyKind, PlacementRecord, PlacementRequest,
+    SiteSpec,
 };
 pub use federation::{Federation, FederationError, Handshake};
 pub use fleet::{
-    fleet_death_point, resume_campaign_fleet, run_campaign_fleet, run_campaign_fleet_timed,
-    run_campaign_fleet_until, CellSummary, DistSummary, FleetCheckpoint, FleetConfig, FleetReport,
-    FleetResumeError, FleetTiming,
+    fleet_death_point, resume_campaign_fleet, resume_campaign_fleet_recorded, run_campaign_fleet,
+    run_campaign_fleet_recorded, run_campaign_fleet_recorded_until, run_campaign_fleet_timed,
+    run_campaign_fleet_until, CellSummary, DistSummary, FleetCheckpoint, FleetConfig,
+    FleetLedgerCheckpoint, FleetReport, FleetResumeError, FleetTiming,
 };
 pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
 pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};
+pub use ledger::{
+    replay_fleet_ledger, replay_ledger, CampaignEvent, CampaignLedger, FleetLedger, KnowledgeSink,
+    LedgerObserver, MetricsSink, ReplayError, ReplayOutcome, RingTelemetry,
+};
 pub use matrix::{
     all_cells, classify, transition_requirement, Cell, SystemDescriptor, TrajectoryPlanner,
 };

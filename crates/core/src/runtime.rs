@@ -204,6 +204,7 @@ impl LabRuntime {
         push("Resource & Data Management", "Provenance Tracker", true);
         push("Resource & Data Management", "Knowledge Graph", true);
         push("Resource & Data Management", "Model Registry", true);
+        push("Resource & Data Management", "Event Ledger", true);
         for f in self.federation.facilities() {
             push(
                 "Infrastructure Abstraction",
@@ -287,6 +288,30 @@ impl LabRuntime {
 
         layers
     }
+
+    /// Exercise the event-ledger path end to end: run a small recorded
+    /// campaign, replay its ledger, audit the reconstruction against the
+    /// live report, and fold the replayed knowledge graph into the
+    /// runtime's data layer (a CRDT merge, like any other replica).
+    ///
+    /// Returns the number of ledger events witnessed, or `None` if the
+    /// replay audit failed — which would mean the ledger is not a
+    /// faithful record and must not be merged.
+    pub fn ledger_smoke(&mut self, seed: u64) -> Option<usize> {
+        let space = crate::domain::MaterialsSpace::generate(2, 4, seed);
+        let mut cfg = crate::campaign::CampaignConfig::for_cell(
+            crate::matrix::Cell::autonomous_science(),
+            seed,
+        );
+        cfg.horizon = evoflow_sim::SimDuration::from_hours(12);
+        let (live, ledger) = crate::campaign::run_campaign_recorded(&space, &cfg);
+        let replay = crate::ledger::replay_ledger(&ledger).ok()?;
+        if replay.report != live {
+            return None;
+        }
+        self.data.knowledge_graph.merge(&replay.knowledge);
+        Some(ledger.len())
+    }
 }
 
 #[cfg(test)]
@@ -331,5 +356,17 @@ mod tests {
     fn model_registry_seeded_with_policy() {
         let rt = LabRuntime::standard(3);
         assert!(rt.data.model_registry.latest("hypothesis-policy").is_some());
+    }
+
+    #[test]
+    fn ledger_smoke_audits_and_merges_knowledge() {
+        let mut rt = LabRuntime::standard(4);
+        let before = rt.data.knowledge_graph.node_count();
+        let events = rt.ledger_smoke(4).expect("replay audit passes");
+        assert!(events > 0);
+        assert!(
+            rt.data.knowledge_graph.node_count() > before,
+            "replayed knowledge must land in the data layer"
+        );
     }
 }

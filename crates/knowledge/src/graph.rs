@@ -77,7 +77,7 @@ pub struct Edge {
 }
 
 /// A replicable scientific knowledge graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KnowledgeGraph {
     nodes: BTreeMap<String, Node>,
     edges: BTreeSet<Edge>,

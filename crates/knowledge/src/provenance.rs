@@ -84,7 +84,7 @@ pub struct ReasoningTrace {
 }
 
 /// An append-only provenance store for one site.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProvenanceStore {
     agents: BTreeMap<String, ProvAgent>,
     entities: BTreeMap<ProvId, Entity>,
@@ -258,7 +258,7 @@ impl ProvenanceStore {
 }
 
 /// Result of a lineage query.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Lineage {
     /// All upstream entities (including the root).
     pub entities: BTreeSet<ProvId>,
@@ -271,7 +271,7 @@ pub struct Lineage {
 }
 
 /// Accountability summary (§4.2 auditability).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AuditReport {
     /// Activities per responsible agent.
     pub per_agent: BTreeMap<String, usize>,

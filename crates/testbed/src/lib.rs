@@ -22,18 +22,24 @@
 //! * [`federation`] — the federated-determinism rung: certifies that a
 //!   cross-facility fleet placement replays byte-identically under
 //!   parallelism, outage, and coordinator crash + resume.
+//! * [`audit`] — the accountability rung (§4.2): certifies that a
+//!   fleet's event-sourced ledger replays byte-identically, reconstructs
+//!   the live report from events alone, and survives a coordinator
+//!   crash + resume without leaving a seam in the audit trail.
 //!
 //! The five reference controllers from Table 1 double as the testbed's
 //! calibration standard: [`certify::reference_matrix`] must grade each at
 //! its own level, which is tested — a ladder that misgrades its own
 //! references is miscalibrated.
 
+pub mod audit;
 pub mod certify;
 pub mod federation;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
 
+pub use audit::{certify_audit, AuditCertificate, AuditGrade};
 pub use certify::{
     certify, certify_with_ladder, expected_grade, reference_matrix, AutonomyCertificate, RungResult,
 };

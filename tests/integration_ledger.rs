@@ -1,0 +1,201 @@
+//! End-to-end coverage of the event-sourced ledger: one deterministic
+//! event stream through campaign → fleet → federated, with pluggable
+//! observers and a replay audit that reconstructs reports from events
+//! alone.
+
+use evoflow::core::{
+    replay_fleet_ledger, replay_ledger, run_campaign, run_campaign_fleet_federated,
+    run_campaign_fleet_federated_recorded, run_campaign_fleet_recorded, run_campaign_observed,
+    run_campaign_recorded, CampaignConfig, CampaignEvent, Cell, FederatedConfig, FleetConfig,
+    MaterialsSpace, MetricsSink, PlacementPolicyKind, RingTelemetry,
+};
+use evoflow::sim::SimDuration;
+
+fn space() -> MaterialsSpace {
+    MaterialsSpace::generate(3, 8, 20260726)
+}
+
+fn campaign_config(seed: u64) -> CampaignConfig {
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), seed);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg
+}
+
+#[test]
+fn ledger_replay_reconstructs_live_campaign_byte_for_byte() {
+    let space = space();
+    let cfg = campaign_config(7);
+    let (live, ledger) = run_campaign_recorded(&space, &cfg);
+    assert!(live.kg_nodes > 0 && live.prov_activities > 0);
+
+    // The audit path: serialize, ship, decode, replay.
+    let wire = serde_json::to_string(&ledger).expect("ledger serializes");
+    let decoded = serde_json::from_str(&wire).expect("ledger decodes");
+    let replayed = replay_ledger(&decoded).expect("well-formed ledger");
+
+    assert_eq!(replayed.report, live);
+    assert_eq!(
+        serde_json::to_string(&replayed.report).expect("serialize"),
+        serde_json::to_string(&live).expect("serialize"),
+        "replayed report must match the live one byte-for-byte"
+    );
+    assert_eq!(replayed.knowledge.node_count(), live.kg_nodes);
+    assert_eq!(replayed.provenance.activity_count(), live.prov_activities);
+}
+
+#[test]
+fn recorded_ledgers_are_byte_identical_on_rerun() {
+    let space = space();
+    let cfg = campaign_config(11);
+    let (_, a) = run_campaign_recorded(&space, &cfg);
+    let (_, b) = run_campaign_recorded(&space, &cfg);
+    assert_eq!(
+        serde_json::to_string(&a).expect("serialize"),
+        serde_json::to_string(&b).expect("serialize")
+    );
+}
+
+#[test]
+fn observers_see_the_stream_without_perturbing_it() {
+    let space = space();
+    let cfg = campaign_config(3);
+    let plain = run_campaign(&space, &cfg);
+
+    let mut metrics = MetricsSink::new();
+    let mut ring = RingTelemetry::new(16);
+    let observed = run_campaign_observed(&space, &cfg, &mut [&mut metrics, &mut ring]);
+    assert_eq!(observed, plain, "observation must not change the report");
+
+    let reg = metrics.into_registry();
+    assert_eq!(reg.counter("ledger.campaign-started"), 1);
+    assert_eq!(reg.counter("ledger.campaign-finished"), 1);
+    assert_eq!(reg.counter("ledger.result-observed"), plain.experiments);
+    assert_eq!(reg.counter("ledger.hits"), plain.total_hits);
+    assert_eq!(
+        reg.stat("ledger.score").map(|s| s.count()),
+        Some(plain.experiments)
+    );
+
+    assert_eq!(ring.len(), 16, "ring stays bounded");
+    assert!(ring.seen() > 16, "ring saw the whole stream");
+    assert!(matches!(
+        ring.latest(),
+        Some(CampaignEvent::CampaignFinished { .. })
+    ));
+}
+
+#[test]
+fn static_campaign_stream_records_no_knowledge() {
+    let space = space();
+    let mut cfg = CampaignConfig::for_cell(Cell::traditional_wms(), 5);
+    cfg.horizon = SimDuration::from_days(1);
+    let (live, ledger) = run_campaign_recorded(&space, &cfg);
+    assert_eq!(live.kg_nodes, 0);
+    let replayed = replay_ledger(&ledger).expect("replays");
+    assert_eq!(replayed.report, live);
+    assert_eq!(replayed.knowledge.node_count(), 0);
+    assert_eq!(replayed.provenance.activity_count(), 0);
+}
+
+fn fleet_config(threads: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(99);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.threads = threads;
+    cfg.push_cell(Cell::traditional_wms(), 2);
+    cfg.push_cell(Cell::autonomous_science(), 2);
+    cfg
+}
+
+#[test]
+fn fleet_ledger_merges_in_shard_order_at_any_thread_count() {
+    let space = space();
+    let (report_1, ledger_1) = run_campaign_fleet_recorded(&space, &fleet_config(1));
+    let (report_4, ledger_4) = run_campaign_fleet_recorded(&space, &fleet_config(4));
+    assert_eq!(report_1, report_4);
+    assert_eq!(
+        serde_json::to_string(&ledger_1).expect("serialize"),
+        serde_json::to_string(&ledger_4).expect("serialize")
+    );
+    assert_eq!(ledger_1.campaigns.len(), 4);
+    // Each campaign stream is bracketed start → finished.
+    for campaign in &ledger_1.campaigns {
+        assert!(matches!(
+            campaign.events.first(),
+            Some(CampaignEvent::CampaignStarted { .. })
+        ));
+        assert!(matches!(
+            campaign.events.last(),
+            Some(CampaignEvent::CampaignFinished { .. })
+        ));
+    }
+    let replayed = replay_fleet_ledger(&ledger_1).expect("fleet ledger replays");
+    assert_eq!(replayed, report_1);
+}
+
+#[test]
+fn federated_report_embeds_placement_and_outage_events() {
+    let space = space();
+    let mut fleet = FleetConfig::new(77);
+    fleet.horizon = SimDuration::from_days(1);
+    fleet.threads = 2;
+    fleet.push_cell(Cell::traditional_wms(), 3);
+    fleet.push_cell(Cell::autonomous_science(), 3);
+    let cfg = FederatedConfig::standard(fleet, PlacementPolicyKind::LeastWait).with_outage_seed(5);
+
+    let report = run_campaign_fleet_federated(&space, &cfg).unwrap();
+    let placed = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::CampaignPlaced { .. }))
+        .count();
+    // Initial placements plus any evacuation re-placements.
+    assert!(placed >= report.placements.len());
+    assert_eq!(
+        report
+            .events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::OutageStruck { .. }))
+            .count(),
+        1,
+        "the seeded outage must appear exactly once in the stream"
+    );
+    let transfers = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::DataTransferred { .. }))
+        .count() as u64;
+    assert_eq!(transfers, report.transfers, "every fabric move is an event");
+    // Evacuation placements are flagged and match the re-route count.
+    let evacuations = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::CampaignPlaced { evacuation, .. } if *evacuation))
+        .count();
+    assert_eq!(
+        evacuations,
+        report.placements.iter().filter(|p| p.rerouted).count()
+    );
+
+    // The recorded variant returns the campaign ledgers too, and the
+    // embedded fleet report replays from them.
+    let (recorded, ledger) = run_campaign_fleet_federated_recorded(&space, &cfg).unwrap();
+    assert_eq!(recorded, report);
+    let replayed = replay_fleet_ledger(&ledger).expect("fleet ledger replays");
+    assert_eq!(replayed, report.fleet);
+}
+
+#[test]
+fn federated_events_are_deterministic() {
+    let space = space();
+    let mut fleet = FleetConfig::new(13);
+    fleet.horizon = SimDuration::from_days(1);
+    fleet.push_cell(Cell::traditional_wms(), 4);
+    let cfg =
+        FederatedConfig::standard(fleet, PlacementPolicyKind::DataLocality).with_outage_seed(9);
+    let a = run_campaign_fleet_federated(&space, &cfg).unwrap();
+    let b = run_campaign_fleet_federated(&space, &cfg).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.events).expect("serialize"),
+        serde_json::to_string(&b.events).expect("serialize")
+    );
+}

@@ -254,9 +254,164 @@ fn federated_file_formats_are_stable() {
             r#"{"name":"cloud-east","nodes":256,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0},"#,
             r#"{"name":"ai-hub","nodes":128,"jobs":0,"node_hours":0.0,"utilization":0.0,"mean_wait_hours":0.0,"bytes_in":0,"down":false,"rerouted_away":0}],"#,
             r#""placements":[],"outage":null,"transfers":0,"bytes_moved":0,"mean_wait_hours":0.0,"makespan_hours":0.0,"#,
-            r#""fleet":{"master_seed":5,"reports":[],"per_cell":[],"total_experiments":0,"total_hits":0,"total_distinct_discoveries":0,"best_score":0.0,"tokens":0}}"#
+            r#""fleet":{"master_seed":5,"reports":[],"per_cell":[],"total_experiments":0,"total_hits":0,"total_distinct_discoveries":0,"best_score":0.0,"tokens":0},"#,
+            r#""events":[]}"#
         )
     );
+}
+
+/// A pre-ledger `FederatedReport` (no `events` field) must keep
+/// decoding — `events` defaults to the empty stream.
+#[test]
+fn federated_report_without_events_field_still_decodes() {
+    let space = MaterialsSpace::generate(2, 4, 1);
+    let empty = FederatedConfig::standard(FleetConfig::new(5), PlacementPolicyKind::RoundRobin);
+    let report = run_campaign_fleet_federated(&space, &empty).unwrap();
+    let mut json = serde_json::to_value(&report).expect("serialize");
+    match &mut json {
+        serde_json::Value::Object(fields) => {
+            let before = fields.len();
+            fields.retain(|(k, _)| k != "events");
+            assert_eq!(fields.len(), before - 1, "events field present");
+        }
+        other => panic!("report serialized as {other:?}"),
+    }
+    let legacy: FederatedReport =
+        serde_json::from_str(&serde_json::to_string(&json).expect("re-serialize"))
+            .expect("legacy report decodes");
+    assert!(legacy.events.is_empty());
+    assert_eq!(legacy.fleet, report.fleet);
+}
+
+// ---- ledger artifacts (ISSUE 5) ---------------------------------------------
+
+use evoflow::core::{
+    replay_ledger, resume_campaign_fleet_recorded, run_campaign_fleet_recorded_until,
+    run_campaign_recorded, CampaignEvent, CampaignLedger, FleetLedgerCheckpoint,
+};
+
+#[test]
+fn campaign_ledger_round_trips_and_replays_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 9);
+    cfg.horizon = SimDuration::from_days(1);
+    let (live, ledger) = run_campaign_recorded(&space, &cfg);
+    let ledger2: CampaignLedger = round_trip(&ledger);
+    assert_eq!(ledger, ledger2);
+    let a = replay_ledger(&ledger).unwrap();
+    let b = replay_ledger(&ledger2).unwrap();
+    assert_eq!(a.report, live);
+    assert_eq!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap()
+    );
+}
+
+#[test]
+fn fleet_ledger_checkpoint_round_trips_and_resumes_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let mut cfg = FleetConfig::new(5);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.threads = 1;
+    cfg.push_cell(Cell::traditional_wms(), 3);
+    let ckpt = run_campaign_fleet_recorded_until(&space, &cfg, 1);
+    let ckpt2: FleetLedgerCheckpoint = round_trip(&ckpt);
+    assert_eq!(ckpt, ckpt2);
+    let (a_report, a_ledger) = resume_campaign_fleet_recorded(&space, &cfg, &ckpt).unwrap();
+    let (b_report, b_ledger) = resume_campaign_fleet_recorded(&space, &cfg, &ckpt2).unwrap();
+    assert_eq!(a_report, b_report);
+    assert_eq!(
+        serde_json::to_string(&a_ledger).unwrap(),
+        serde_json::to_string(&b_ledger).unwrap()
+    );
+}
+
+/// Format-stability snapshot for the ledger wire format: a tiny
+/// hand-built stream, pinned byte-for-byte. The ledger is an audit
+/// artifact that outlives the process that wrote it — silent drift here
+/// would orphan every archived stream.
+#[test]
+fn ledger_file_format_is_stable() {
+    use evoflow::sim::{SimDuration as D, SimTime as T};
+    let ledger = CampaignLedger {
+        events: vec![
+            CampaignEvent::CampaignStarted {
+                cell_label: "Static × Single".into(),
+                seed: 7,
+                planner: "grid".into(),
+                lanes: 1,
+                horizon: D::from_hours(1),
+                threshold: 0.6,
+                max_experiments: 10,
+                records_knowledge: false,
+            },
+            CampaignEvent::IterationStarted {
+                lane: 0,
+                at: T::ZERO,
+                decision_ready: T::from_secs(3),
+            },
+            CampaignEvent::CandidateProposed {
+                lane: 0,
+                params: vec![0.5],
+                rationale: "grid".into(),
+                confidence: 1.0,
+                hallucinated: false,
+            },
+            CampaignEvent::ExecutionScheduled {
+                lane: 0,
+                batch: 1,
+                duration: D::from_secs(60),
+                done_at: T::from_secs(63),
+            },
+            CampaignEvent::ResultObserved {
+                lane: 0,
+                experiment: 1,
+                score: 0.25,
+                hit: false,
+                peak: None,
+                tokens_in: 0,
+                tokens_out: 0,
+            },
+            CampaignEvent::IterationEnded {
+                lane: 0,
+                proposed: 1,
+                hits: 0,
+                tokens_total: 0,
+            },
+            CampaignEvent::CampaignFinished {
+                experiments: 1,
+                total_hits: 0,
+                distinct_discoveries: 0,
+                best_score: 0.25,
+                time_to_first_hours: None,
+                decision_wait_hours: 0.0008333333333333334,
+                execution_hours: 0.016666666666666666,
+                rejected_proposals: 0,
+                omega_rewrites: 0,
+                kg_nodes: 0,
+                prov_activities: 0,
+                tokens: 0,
+            },
+        ],
+    };
+    assert_eq!(
+        serde_json::to_string(&ledger).unwrap(),
+        concat!(
+            r#"{"events":[{"CampaignStarted":{"cell_label":"Static × Single","seed":7,"planner":"grid","lanes":1,"horizon":3600000000000,"threshold":0.6,"max_experiments":10,"records_knowledge":false}},"#,
+            r#"{"IterationStarted":{"lane":0,"at":0,"decision_ready":3000000000}},"#,
+            r#"{"CandidateProposed":{"lane":0,"params":[0.5],"rationale":"grid","confidence":1.0,"hallucinated":false}},"#,
+            r#"{"ExecutionScheduled":{"lane":0,"batch":1,"duration":60000000000,"done_at":63000000000}},"#,
+            r#"{"ResultObserved":{"lane":0,"experiment":1,"score":0.25,"hit":false,"peak":null,"tokens_in":0,"tokens_out":0}},"#,
+            r#"{"IterationEnded":{"lane":0,"proposed":1,"hits":0,"tokens_total":0}},"#,
+            r#"{"CampaignFinished":{"experiments":1,"total_hits":0,"distinct_discoveries":0,"best_score":0.25,"#,
+            r#""time_to_first_hours":null,"decision_wait_hours":0.0008333333333333334,"execution_hours":0.016666666666666666,"#,
+            r#""rejected_proposals":0,"omega_rewrites":0,"kg_nodes":0,"prov_activities":0,"tokens":0}}]}"#
+        )
+    );
+    // And it replays: one experiment, no hits, best 0.25.
+    let outcome = replay_ledger(&ledger).unwrap();
+    assert_eq!(outcome.report.experiments, 1);
+    assert_eq!(outcome.report.best_score, 0.25);
 }
 
 /// Format-stability snapshots: the serialized bytes of each restart-file
