@@ -7,13 +7,27 @@
 //! not allowed to cost determinism).
 //!
 //! Acceptance bar (ISSUE 1): ≥ 1.5× speedup at 8+ campaigns on a
-//! multi-core host.
+//! multi-core host. On a single-core host wall-clock speedup is
+//! physically impossible, so the scaling machinery is gated there by
+//! *work-stealing overhead per task* instead (ISSUE 6): the 2-thread
+//! work-stealing path may cost at most [`OVERHEAD_BUDGET_MS`] more than
+//! the serial fast path, per campaign. Both measurements land in
+//! `BENCH_fleet.json`, so 1-core CI still tracks the executor's cost
+//! instead of waiving the gate outright.
 
 use evoflow_bench::{fmt, print_table, write_bench_summary, write_results};
 use evoflow_core::{run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace};
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
 use serde::Serialize;
+
+/// Per-campaign budget for the work-stealing machinery itself (queue
+/// atomics, thread spawn/join), measured as the 2-thread path's excess
+/// wall time over the serial fast path on a host where parallelism
+/// cannot pay (generous: real overhead is microseconds, but a 1-core
+/// shared CI runner adds context-switch noise on the order of
+/// milliseconds).
+const OVERHEAD_BUDGET_MS: f64 = 10.0;
 
 #[derive(Serialize)]
 struct Row {
@@ -99,16 +113,40 @@ fn main() {
         .iter()
         .map(|r| r.speedup)
         .fold(f64::NEG_INFINITY, f64::max);
-    let target_met = best >= 1.5 || cores < 2;
+
+    // Work-stealing overhead per task: how much the 2-thread path (queue
+    // atomics + thread spawn/join) costs over the serial fast path,
+    // amortized per campaign. Negative excess (parallelism paid off) is
+    // clamped to 0 — the gate measures machinery cost, not scheduling
+    // luck.
+    let two_thread_secs = rows
+        .iter()
+        .find(|r| r.threads == 2)
+        .map(|r| r.wall_secs)
+        .unwrap_or(baseline_secs);
+    let overhead_ms_per_task =
+        ((two_thread_secs - baseline_secs).max(0.0) * 1e3) / campaigns as f64;
+    let overhead_ok = overhead_ms_per_task <= OVERHEAD_BUDGET_MS;
+
+    // On a multi-core host, wall-clock speedup is the bar; on a
+    // single-core host only the overhead gate applies (speedup is
+    // physically impossible there, but the machinery must still be
+    // near-free).
+    let speedup_ok = best >= 1.5 || cores < 2;
+    let target_met = speedup_ok && overhead_ok;
+    if cores >= 2 {
+        println!(
+            "\n  [{}] best speedup {}× (target ≥ 1.5× at 8+ campaigns)",
+            if speedup_ok { "PASS" } else { "FAIL" },
+            fmt(best),
+        );
+    } else {
+        println!("\n  [----] single-core host: speedup unmeasurable, gating overhead instead");
+    }
     println!(
-        "\n  [{}] best speedup {}× (target ≥ 1.5× at 8+ campaigns{})",
-        if target_met { "PASS" } else { "FAIL" },
-        fmt(best),
-        if cores < 2 {
-            "; single-core host, target waived"
-        } else {
-            ""
-        }
+        "  [{}] work-stealing overhead {}ms/task (budget ≤ {OVERHEAD_BUDGET_MS}ms)",
+        if overhead_ok { "PASS" } else { "FAIL" },
+        fmt(overhead_ms_per_task),
     );
 
     #[derive(Serialize)]
@@ -116,12 +154,20 @@ fn main() {
         cores: usize,
         rows: Vec<Row>,
         best_speedup: f64,
+        overhead_ms_per_task: f64,
+        overhead_budget_ms: f64,
+        overhead_ok: bool,
+        speedup_ok: bool,
         target_met: bool,
     }
     let out = Out {
         cores,
         rows,
         best_speedup: best,
+        overhead_ms_per_task,
+        overhead_budget_ms: OVERHEAD_BUDGET_MS,
+        overhead_ok,
+        speedup_ok,
         target_met,
     };
     write_results("bench_fleet", &out);

@@ -333,8 +333,9 @@ impl TaskQueue {
 /// splice results positionally regardless of which worker ran what. The
 /// runner is generic so the same claim/steal/commit machinery serves both
 /// plain execution ([`run_campaign`]) and ledger-recording execution
-/// ([`run_campaign_recorded`]).
-fn execute_fleet_tasks_with<R, F>(
+/// ([`run_campaign_recorded`]) — and the multi-tenant service layer
+/// ([`crate::service`]) multiplexes its admitted campaigns through it too.
+pub(crate) fn execute_fleet_tasks_with<R, F>(
     tasks: &[(usize, CampaignConfig)],
     threads: usize,
     commit_cap: Option<usize>,

@@ -249,6 +249,40 @@ pub enum CampaignEvent {
         /// Queued campaigns re-routed to survivors.
         rerouted: usize,
     },
+
+    // ---- service layer ------------------------------------------------------
+    /// The multi-tenant service admitted a submission into its queue.
+    SubmissionAdmitted {
+        /// Tenant that submitted the campaign.
+        tenant: String,
+        /// Admission index (derives the campaign's seed).
+        admission_index: usize,
+        /// Scheduling round in which admission happened.
+        round: usize,
+    },
+    /// The multi-tenant service refused a submission at the door.
+    SubmissionRejected {
+        /// Tenant that submitted the campaign.
+        tenant: String,
+        /// Index of the submission in the arrival trace.
+        submission_index: usize,
+        /// Scheduling round in which the refusal happened.
+        round: usize,
+        /// Stable refusal-reason label (see
+        /// [`RejectReason::label`](crate::service::RejectReason::label)).
+        reason: String,
+    },
+    /// A queued campaign was handed to the fleet executor.
+    CampaignDispatched {
+        /// Tenant that owns the campaign.
+        tenant: String,
+        /// Admission index of the dispatched campaign.
+        admission_index: usize,
+        /// Scheduling round of the dispatch.
+        round: usize,
+        /// Global dispatch slot (total order over all dispatches).
+        slot: usize,
+    },
 }
 
 impl CampaignEvent {
@@ -269,6 +303,9 @@ impl CampaignEvent {
             CampaignEvent::CampaignPlaced { .. } => "campaign-placed",
             CampaignEvent::DataTransferred { .. } => "data-transferred",
             CampaignEvent::OutageStruck { .. } => "outage-struck",
+            CampaignEvent::SubmissionAdmitted { .. } => "submission-admitted",
+            CampaignEvent::SubmissionRejected { .. } => "submission-rejected",
+            CampaignEvent::CampaignDispatched { .. } => "campaign-dispatched",
         }
     }
 
@@ -282,6 +319,9 @@ impl CampaignEvent {
                 | CampaignEvent::CampaignPlaced { .. }
                 | CampaignEvent::DataTransferred { .. }
                 | CampaignEvent::OutageStruck { .. }
+                | CampaignEvent::SubmissionAdmitted { .. }
+                | CampaignEvent::SubmissionRejected { .. }
+                | CampaignEvent::CampaignDispatched { .. }
         )
     }
 }
@@ -538,6 +578,12 @@ impl RingTelemetry {
     /// Events ever observed (retained or evicted).
     pub fn seen(&self) -> u64 {
         self.seen
+    }
+
+    /// Events evicted from the tail (observed but no longer retained).
+    /// Always exactly `seen() - len()`.
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.buf.len() as u64
     }
 }
 

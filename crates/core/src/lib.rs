@@ -39,6 +39,14 @@
 //!   [`ledger::replay_ledger`], which reconstructs a byte-identical
 //!   [`campaign::CampaignReport`] (plus the provenance and knowledge
 //!   stores) purely from the serialized events.
+//! * [`service`] — the multi-tenant front door: a long-lived scheduler
+//!   that admits campaign submissions under per-tenant quotas
+//!   ([`service::TenantSpec`]), dispatches by stride fair-share, and
+//!   multiplexes admitted campaigns onto the fleet executor — with the
+//!   whole schedule planned as a pure function of the config
+//!   ([`service::plan_service`]), so sessions are byte-identical across
+//!   thread counts and kill/resume
+//!   ([`service::ServiceCheckpoint`] / [`service::resume_service`]).
 //! * [`governance`] — §4's policy enforcement, guardrails, and
 //!   accountability: sample budgets, human approval for irreversible
 //!   actions, rate limits, audit trails.
@@ -57,6 +65,7 @@ pub mod ledger;
 pub mod matrix;
 pub mod planner;
 pub mod runtime;
+pub mod service;
 
 pub use campaign::{
     run_campaign, run_campaign_observed, run_campaign_recorded, CampaignConfig, CampaignReport,
@@ -90,3 +99,10 @@ pub use planner::{
     BanditKind, Observation, PlanCtx, Planner, PlannerBuild, PlannerKind, PlannerTelemetry,
 };
 pub use runtime::{ComponentStatus, LabRuntime};
+pub use service::{
+    plan_service, resume_service, run_service, run_service_observed, run_service_until,
+    AdmittedCampaign, RejectReason, RejectedSubmission, ServiceCheckpoint, ServiceConfig,
+    ServiceError, ServicePlan, ServiceReport, ServiceResumeError, Submission, TenantReport,
+    TenantSchedule, TenantSpec, DEFAULT_DISPATCH_PER_ROUND, DEFAULT_INGEST_PER_ROUND,
+    SERVICE_SHARD_LABEL,
+};

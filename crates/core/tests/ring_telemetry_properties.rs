@@ -1,0 +1,124 @@
+//! Property tests for [`RingTelemetry`], the bounded live-telemetry
+//! tail (ISSUE 6 satellite — it previously had no dedicated test file).
+//!
+//! The contract under test, for any capacity and any event stream:
+//!
+//! * the tail never exceeds its capacity;
+//! * the tail is always exactly the *suffix* of the full event stream;
+//! * the drop count is exact: `dropped() == seen() - len()`, and equals
+//!   `max(0, stream_len - capacity)` once the stream is longer than the
+//!   ring.
+
+use evoflow_core::{
+    run_campaign_observed, CampaignConfig, CampaignEvent, CampaignLedger, Cell, LedgerObserver,
+    MaterialsSpace, RingTelemetry,
+};
+use evoflow_sim::SimDuration;
+use proptest::prelude::*;
+
+/// One recorded campaign stream to replay into rings of arbitrary
+/// capacity (recorded once; the properties vary the ring, not the run).
+fn recorded_stream() -> Vec<CampaignEvent> {
+    let space = MaterialsSpace::generate(3, 8, 777);
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 5);
+    cfg.horizon = SimDuration::from_days(1);
+    let mut ledger = CampaignLedger::new();
+    run_campaign_observed(&space, &cfg, &mut [&mut ledger]);
+    assert!(ledger.len() > 8, "stream too short to exercise eviction");
+    ledger.events
+}
+
+fn feed(ring: &mut RingTelemetry, stream: &[CampaignEvent]) {
+    for e in stream {
+        ring.on_event(e);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tail is bounded by capacity at every step, not just at the
+    /// end — and `seen` counts every event regardless.
+    #[test]
+    fn tail_is_bounded_at_every_step(capacity in 0usize..48, take in 0usize..200) {
+        let stream = recorded_stream();
+        let take = take.min(stream.len());
+        let mut ring = RingTelemetry::new(capacity);
+        for (i, e) in stream[..take].iter().enumerate() {
+            ring.on_event(e);
+            prop_assert!(ring.len() <= capacity);
+            prop_assert_eq!(ring.seen(), i as u64 + 1);
+        }
+        prop_assert_eq!(ring.len(), take.min(capacity));
+        prop_assert_eq!(ring.is_empty(), take.min(capacity) == 0);
+    }
+
+    /// The retained events are exactly the suffix of the full stream.
+    #[test]
+    fn tail_is_a_suffix_of_the_stream(capacity in 0usize..48) {
+        let stream = recorded_stream();
+        let mut ring = RingTelemetry::new(capacity);
+        feed(&mut ring, &stream);
+        let retained: Vec<&CampaignEvent> = ring.events().collect();
+        let suffix_start = stream.len() - stream.len().min(capacity);
+        let expected: Vec<&CampaignEvent> = stream[suffix_start..].iter().collect();
+        prop_assert_eq!(retained, expected);
+        prop_assert_eq!(ring.latest(), stream.last());
+    }
+
+    /// The drop count is exact at every step.
+    #[test]
+    fn drop_count_is_exact(capacity in 0usize..48) {
+        let stream = recorded_stream();
+        let mut ring = RingTelemetry::new(capacity);
+        for (i, e) in stream.iter().enumerate() {
+            ring.on_event(e);
+            let seen = i as u64 + 1;
+            prop_assert_eq!(ring.dropped(), seen - ring.len() as u64);
+            prop_assert_eq!(ring.dropped(), seen.saturating_sub(capacity as u64));
+        }
+        prop_assert_eq!(ring.seen(), stream.len() as u64);
+        prop_assert_eq!(
+            ring.dropped(),
+            (stream.len() as u64).saturating_sub(capacity as u64)
+        );
+    }
+}
+
+/// A live ring attached beside a full ledger sees the same stream: the
+/// ring's tail is the ledger's suffix, with an exact drop count — the
+/// dashboard never lies about how much history it is missing.
+#[test]
+fn live_ring_matches_full_ledger_suffix() {
+    let space = MaterialsSpace::generate(3, 8, 777);
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 5);
+    cfg.horizon = SimDuration::from_days(1);
+    for capacity in [0usize, 1, 7, 64, 100_000] {
+        let mut ledger = CampaignLedger::new();
+        let mut ring = RingTelemetry::new(capacity);
+        run_campaign_observed(&space, &cfg, &mut [&mut ledger, &mut ring]);
+        assert_eq!(ring.seen() as usize, ledger.len());
+        assert_eq!(ring.len(), ledger.len().min(capacity));
+        assert_eq!(
+            ring.dropped() as usize,
+            ledger.len().saturating_sub(capacity)
+        );
+        let suffix_start = ledger.len() - ring.len();
+        let tail: Vec<&CampaignEvent> = ring.events().collect();
+        let suffix: Vec<&CampaignEvent> = ledger.events[suffix_start..].iter().collect();
+        assert_eq!(tail, suffix, "capacity {capacity}");
+    }
+}
+
+/// A zero-capacity ring retains nothing but still counts and drops
+/// everything.
+#[test]
+fn zero_capacity_ring_counts_but_keeps_nothing() {
+    let stream = recorded_stream();
+    let mut ring = RingTelemetry::new(0);
+    feed(&mut ring, &stream);
+    assert!(ring.is_empty());
+    assert_eq!(ring.latest(), None);
+    assert_eq!(ring.seen(), stream.len() as u64);
+    assert_eq!(ring.dropped(), stream.len() as u64);
+}

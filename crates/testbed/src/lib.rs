@@ -26,6 +26,11 @@
 //!   fleet's event-sourced ledger replays byte-identically, reconstructs
 //!   the live report from events alone, and survives a coordinator
 //!   crash + resume without leaving a seam in the audit trail.
+//! * [`service`] — the multi-tenancy rung (§5.3, §6): certifies the
+//!   long-lived campaign service up the S0–S3 ladder — admits and
+//!   completes, enforces quotas under oversubmission, holds fair share
+//!   against a hostile flood, and survives a mid-stream kill + resume
+//!   with byte-identical outputs.
 //!
 //! The five reference controllers from Table 1 double as the testbed's
 //! calibration standard: [`certify::reference_matrix`] must grade each at
@@ -38,6 +43,7 @@ pub mod federation;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
+pub mod service;
 
 pub use audit::{certify_audit, AuditCertificate, AuditGrade};
 pub use certify::{
@@ -50,3 +56,6 @@ pub use resilience::{
     ResilienceGrade, ResilienceRung, ResilienceRungResult,
 };
 pub use scenario::{standard_ladder, AutonomyGrade, Rung};
+pub use service::{
+    certify_service, service_ladder, ServiceCertificate, ServiceGrade, ServiceLadderSpec,
+};

@@ -1,0 +1,341 @@
+//! Service certification: grading the multi-tenant front door.
+//!
+//! The audit ladder grades what a fleet can prove about its history;
+//! this ladder grades what the *service* in front of the fleet can
+//! promise its tenants (§5.3, §6 — shared infrastructure for agentic
+//! science). Each rung is a scenario that defeats a weaker scheduler:
+//!
+//! * **S0 (admits-and-completes)** — a well-formed multi-tenant session
+//!   admits every submission, runs every admitted campaign to
+//!   completion, and reruns byte-identically (serialized report *and*
+//!   merged ledger).
+//! * **S1 (quota-enforced)** — under oversubmission, every refusal is
+//!   typed, nothing vanishes (admitted + rejected = submitted), the
+//!   queue quota is never exceeded at any round, and everything admitted
+//!   still completes.
+//! * **S2 (fair-share)** — a hostile tenant flooding the queue at many
+//!   times the well-behaved rate cannot push any well-behaved tenant's
+//!   share of contended dispatch slots below its weighted fair-share
+//!   floor, and every well-behaved campaign still completes.
+//! * **S3 (restart-survivable)** — killing the service mid-stream and
+//!   resuming from its [`ServiceCheckpoint`](evoflow_core::ServiceCheckpoint)
+//!   reproduces the uninterrupted per-campaign reports and merged
+//!   ledger byte-for-byte, at 1, 2, and 4 worker threads.
+//!
+//! A service that cannot even finish the S0 session grades
+//! **unserviceable**. The grade is the highest *contiguously* passed
+//! rung.
+
+use evoflow_core::{
+    plan_service, resume_service, run_service, run_service_until, CampaignConfig, Cell,
+    MaterialsSpace, RejectReason, ServiceConfig, TenantSpec,
+};
+use evoflow_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The service grade a certificate can award.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ServiceGrade {
+    /// The service failed even the well-formed session.
+    Unserviceable,
+    /// Admits, completes, and reruns byte-identically.
+    S0AdmitsAndCompletes,
+    /// Quotas hold under oversubmission; refusals are typed and exact.
+    S1QuotaEnforced,
+    /// Fair share holds against a hostile tenant flooding the queue.
+    S2FairShare,
+    /// Kill + resume reproduces report and ledger byte-for-byte at
+    /// 1/2/4 threads.
+    S3RestartSurvivable,
+}
+
+impl std::fmt::Display for ServiceGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ServiceGrade::Unserviceable => "S- (unserviceable)",
+            ServiceGrade::S0AdmitsAndCompletes => "S0 (admits-and-completes)",
+            ServiceGrade::S1QuotaEnforced => "S1 (quota-enforced)",
+            ServiceGrade::S2FairShare => "S2 (fair-share)",
+            ServiceGrade::S3RestartSurvivable => "S3 (restart-survivable)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters of the certification scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceLadderSpec {
+    /// Master seed for every scenario session.
+    pub master_seed: u64,
+    /// Well-behaved tenants in each scenario.
+    pub well_behaved_tenants: usize,
+    /// Submissions per well-behaved tenant.
+    pub submissions_per_tenant: usize,
+    /// How many times the well-behaved rate the hostile tenant submits
+    /// at in the S2 scenario.
+    pub hostile_multiplier: usize,
+    /// The S2 floor: every well-behaved tenant's fairness ratio (share
+    /// of contended dispatch slots / weighted fair share) must stay at
+    /// or above it.
+    pub fairness_floor: f64,
+    /// Queue quota imposed in the S1 oversubmission scenario.
+    pub quota: usize,
+    /// Commit count at which the S3 rung kills the service.
+    pub kill_after: usize,
+    /// Horizon of every submitted campaign.
+    pub horizon: SimDuration,
+}
+
+/// The default ladder: 3 well-behaved tenants × 4 submissions, a 10×
+/// hostile flood, a 0.9 fairness floor, quota 2 under oversubmission,
+/// and a mid-stream kill after 3 commits.
+pub fn service_ladder() -> ServiceLadderSpec {
+    ServiceLadderSpec {
+        master_seed: 727,
+        well_behaved_tenants: 3,
+        submissions_per_tenant: 4,
+        hostile_multiplier: 10,
+        fairness_floor: 0.9,
+        quota: 2,
+        kill_after: 3,
+        horizon: SimDuration::from_days(1),
+    }
+}
+
+/// Outcome of certifying a service implementation up the ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCertificate {
+    /// Campaigns admitted in the S0 session.
+    pub campaigns: usize,
+    /// S0: admitted everything, completed everything, rerun identical.
+    pub admits_and_completes: bool,
+    /// S1: quota held exactly under oversubmission.
+    pub quota_enforced: bool,
+    /// S2: fair share held against the hostile flood.
+    pub fair_share: bool,
+    /// S3: kill + resume byte-identical at 1/2/4 threads.
+    pub restart_survivable: bool,
+    /// Worst well-behaved fairness ratio observed in the S2 scenario.
+    pub min_fairness_ratio: f64,
+    /// Typed refusals observed in the S1 scenario.
+    pub rejections_observed: usize,
+    /// Events in the (uninterrupted) S3 merged ledger.
+    pub total_events: usize,
+    /// Highest contiguously passed rung.
+    pub grade: ServiceGrade,
+}
+
+fn campaign(horizon: SimDuration) -> CampaignConfig {
+    let mut c = CampaignConfig::for_cell(Cell::traditional_wms(), 0);
+    c.horizon = horizon;
+    c
+}
+
+fn well_behaved_session(spec: &ServiceLadderSpec) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(spec.master_seed);
+    cfg.threads = 1;
+    for t in 0..spec.well_behaved_tenants {
+        cfg.push_tenant(TenantSpec::new(format!("tenant-{t}")));
+    }
+    // Interleaved arrivals, round-robin across tenants.
+    for s in 0..spec.submissions_per_tenant {
+        for t in 0..spec.well_behaved_tenants {
+            let _ = s;
+            cfg.submit(format!("tenant-{t}"), campaign(spec.horizon));
+        }
+    }
+    cfg
+}
+
+/// Certify a service configuration family up the multi-tenancy ladder.
+pub fn certify_service(space: &MaterialsSpace, spec: &ServiceLadderSpec) -> ServiceCertificate {
+    // ---- S0: a well-formed session admits, completes, and reruns ----
+    let cfg = well_behaved_session(spec);
+    let expected = spec.well_behaved_tenants * spec.submissions_per_tenant;
+    let s0 = run_service(space, &cfg);
+    let (admits_and_completes, campaigns) = match &s0 {
+        Err(_) => (false, 0),
+        Ok((report, ledger)) => {
+            let report_json = serde_json::to_string(report).expect("report serializes");
+            let ledger_json = serde_json::to_string(ledger).expect("ledger serializes");
+            let rerun_identical = run_service(space, &cfg)
+                .map(|(r, l)| {
+                    serde_json::to_string(&r).expect("report serializes") == report_json
+                        && serde_json::to_string(&l).expect("ledger serializes") == ledger_json
+                })
+                .unwrap_or(false);
+            let all_admitted = report.tenants.iter().map(|t| t.admitted).sum::<usize>();
+            let all_completed = report.tenants.iter().map(|t| t.completed).sum::<usize>();
+            (
+                all_admitted == expected
+                    && all_completed == expected
+                    && report.rejected.is_empty()
+                    && ledger.campaigns.len() == expected
+                    && rerun_identical,
+                all_admitted,
+            )
+        }
+    };
+
+    // ---- S1: oversubmission hits typed quotas, exactly --------------
+    let mut oversub = well_behaved_session(spec);
+    for t in oversub.tenants.iter_mut() {
+        *t = t.clone().with_max_queued(spec.quota);
+    }
+    // Burst the whole trace in one round so quotas actually bind.
+    oversub.ingest_per_round = oversub.submissions.len();
+    oversub.dispatch_per_round = 1;
+    let mut rejections_observed = 0usize;
+    let quota_enforced = admits_and_completes
+        && match run_service(space, &oversub) {
+            Err(_) => false,
+            Ok((report, _)) => {
+                rejections_observed = report.rejected.len();
+                let submitted: usize = report.tenants.iter().map(|t| t.submitted).sum();
+                let admitted: usize = report.tenants.iter().map(|t| t.admitted).sum();
+                let completed: usize = report.tenants.iter().map(|t| t.completed).sum();
+                let typed = report
+                    .rejected
+                    .iter()
+                    .all(|r| r.reason == RejectReason::QueueFull);
+                let quota_bound = plan_service(&oversub)
+                    .map(|plan| {
+                        (0..plan.rounds).all(|round| {
+                            oversub.tenants.iter().all(|tenant| {
+                                plan.admitted
+                                    .iter()
+                                    .filter(|a| {
+                                        a.tenant == tenant.name
+                                            && a.admitted_round <= round
+                                            && a.dispatched_round > round
+                                    })
+                                    .count()
+                                    <= spec.quota
+                            })
+                        })
+                    })
+                    .unwrap_or(false);
+                rejections_observed > 0
+                    && typed
+                    && admitted + rejections_observed == submitted
+                    && completed == admitted
+                    && quota_bound
+            }
+        };
+
+    // ---- S2: hostile flood cannot starve the well-behaved -----------
+    let mut flood = ServiceConfig::new(spec.master_seed);
+    flood.threads = 1;
+    for t in 0..spec.well_behaved_tenants {
+        flood.push_tenant(TenantSpec::new(format!("tenant-{t}")));
+    }
+    flood.push_tenant(TenantSpec::new("hostile"));
+    for s in 0..spec.submissions_per_tenant {
+        let _ = s;
+        for t in 0..spec.well_behaved_tenants {
+            flood.submit(format!("tenant-{t}"), campaign(spec.horizon));
+        }
+        for _ in 0..spec.hostile_multiplier {
+            flood.submit("hostile", campaign(spec.horizon));
+        }
+    }
+    let mut min_fairness_ratio = f64::INFINITY;
+    let fair_share = quota_enforced
+        && match run_service(space, &flood) {
+            Err(_) => false,
+            Ok((report, _)) => {
+                let well_behaved_ok =
+                    report
+                        .tenants
+                        .iter()
+                        .filter(|t| t.name != "hostile")
+                        .all(|t| {
+                            min_fairness_ratio = min_fairness_ratio.min(t.fairness_ratio);
+                            t.fairness_ratio >= spec.fairness_floor && t.completed == t.admitted
+                        });
+                well_behaved_ok
+            }
+        };
+    if !min_fairness_ratio.is_finite() {
+        min_fairness_ratio = 0.0;
+    }
+
+    // ---- S3: kill mid-stream, resume, byte-identity at 1/2/4 --------
+    let mut total_events = 0usize;
+    let restart_survivable = fair_share
+        && match run_service(space, &cfg) {
+            Err(_) => false,
+            Ok((report, ledger)) => {
+                let report_json = serde_json::to_string(&report).expect("report serializes");
+                let ledger_json = serde_json::to_string(&ledger).expect("ledger serializes");
+                total_events = ledger.total_events();
+                [1usize, 2, 4].iter().all(|&threads| {
+                    let mut c = cfg.clone();
+                    c.threads = threads;
+                    run_service_until(space, &c, spec.kill_after)
+                        .ok()
+                        .and_then(|ckpt| resume_service(space, &c, &ckpt).ok())
+                        .map(|(r, l)| {
+                            serde_json::to_string(&r).expect("report serializes") == report_json
+                                && serde_json::to_string(&l).expect("ledger serializes")
+                                    == ledger_json
+                        })
+                        .unwrap_or(false)
+                })
+            }
+        };
+
+    let grade = match (
+        admits_and_completes,
+        quota_enforced,
+        fair_share,
+        restart_survivable,
+    ) {
+        (true, true, true, true) => ServiceGrade::S3RestartSurvivable,
+        (true, true, true, false) => ServiceGrade::S2FairShare,
+        (true, true, false, _) => ServiceGrade::S1QuotaEnforced,
+        (true, false, ..) => ServiceGrade::S0AdmitsAndCompletes,
+        (false, ..) => ServiceGrade::Unserviceable,
+    };
+
+    ServiceCertificate {
+        campaigns,
+        admits_and_completes,
+        quota_enforced,
+        fair_share,
+        restart_survivable,
+        min_fairness_ratio,
+        rejections_observed,
+        total_events,
+        grade,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_service_certifies_restart_survivable() {
+        let space = MaterialsSpace::generate(3, 8, 20260808);
+        let cert = certify_service(&space, &service_ladder());
+        assert_eq!(
+            cert.grade,
+            ServiceGrade::S3RestartSurvivable,
+            "service lost a rung: {cert:?}"
+        );
+        assert!(cert.min_fairness_ratio >= 0.9);
+        assert!(cert.rejections_observed > 0);
+        assert!(cert.total_events > 0);
+    }
+
+    #[test]
+    fn grades_order_and_render() {
+        assert!(ServiceGrade::Unserviceable < ServiceGrade::S3RestartSurvivable);
+        assert!(ServiceGrade::S1QuotaEnforced < ServiceGrade::S2FairShare);
+        assert_eq!(
+            ServiceGrade::S3RestartSurvivable.to_string(),
+            "S3 (restart-survivable)"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The multi-tenant campaign service end to end: tenants submit, the
+//! service admits under quota, dispatches by fair share, runs the
+//! admitted campaigns on the fleet executor, streams the whole session
+//! through live telemetry — then gets killed mid-stream and resumes
+//! without a seam.
+//!
+//! Four acts:
+//! 1. Three tenants (one weighted 2×, one quota-capped) submit a mixed
+//!    trace; inspect the pure plan before anything runs.
+//! 2. Run the session observed: a full tape plus a bounded telemetry
+//!    ring, then read the per-tenant report.
+//! 3. A hostile tenant floods the queue at 10×; fair-share keeps every
+//!    well-behaved tenant at its entitlement.
+//! 4. Kill the service after 3 commits, resume from the checkpoint, and
+//!    show report + merged ledger are byte-identical to the
+//!    uninterrupted run.
+//!
+//! ```sh
+//! cargo run --release --example service_session
+//! ```
+
+use evoflow::core::{
+    plan_service, resume_service, run_service, run_service_observed, run_service_until,
+    CampaignConfig, CampaignLedger, Cell, MaterialsSpace, RingTelemetry, ServiceConfig, TenantSpec,
+};
+use evoflow::sim::SimDuration;
+
+fn campaign(seed_hint: u64) -> CampaignConfig {
+    let mut c = CampaignConfig::for_cell(Cell::autonomous_science(), seed_hint);
+    c.horizon = SimDuration::from_days(1);
+    c
+}
+
+fn main() {
+    let space = MaterialsSpace::generate(3, 8, 42);
+
+    // ---- 1. tenants submit; the schedule is planned before anything runs ----
+    let mut cfg = ServiceConfig::new(7);
+    cfg.push_tenant(TenantSpec::new("astro").with_weight(2));
+    cfg.push_tenant(TenantSpec::new("bio"));
+    cfg.push_tenant(TenantSpec::new("chem").with_max_queued(2));
+    for i in 0..3 {
+        cfg.submit("astro", campaign(i));
+        cfg.submit("bio", campaign(i));
+        cfg.submit("chem", campaign(i));
+    }
+    cfg.submit("nobody", campaign(9)); // no such tenant: refused at the door
+
+    let plan = plan_service(&cfg).expect("unique tenants");
+    println!("=== planned session (pure function of the config) ===\n");
+    println!(
+        "{} admitted, {} refused, {} scheduling rounds",
+        plan.admitted.len(),
+        plan.rejected.len(),
+        plan.rounds
+    );
+    for r in &plan.rejected {
+        println!(
+            "  refused: submission #{} from {:?} in round {} ({})",
+            r.submission_index, r.tenant, r.round, r.reason
+        );
+    }
+
+    // ---- 2. run it observed: full tape + bounded live telemetry ------------
+    let mut tape = CampaignLedger::new();
+    let mut ring = RingTelemetry::new(12);
+    let (report, merged) =
+        run_service_observed(&space, &cfg, &mut [&mut tape, &mut ring]).expect("session runs");
+    println!("\n=== live session (observed) ===\n");
+    for t in &report.tenants {
+        println!(
+            "{:>6}: weight {}, {}/{} admitted, {} completed, {} experiments, mean wait {:.1} rounds, fairness {:.2}",
+            t.name, t.weight, t.admitted, t.submitted, t.completed, t.experiments,
+            t.mean_wait_rounds, t.fairness_ratio,
+        );
+    }
+    println!(
+        "stream: {} events on the tape; ring retained {} of {} (dropped {}), tail = {}",
+        tape.len(),
+        ring.len(),
+        ring.seen(),
+        ring.dropped(),
+        ring.latest().map(|e| e.kind()).unwrap_or("-"),
+    );
+    println!(
+        "p99 wait {} rounds, merged ledger carries {} campaigns / {} events",
+        report.p99_wait_rounds,
+        merged.campaigns.len(),
+        merged.total_events(),
+    );
+
+    // ---- 3. a hostile tenant floods the queue at 10x ------------------------
+    let mut flood = ServiceConfig::new(7);
+    flood.push_tenant(TenantSpec::new("good"));
+    flood.push_tenant(TenantSpec::new("hostile"));
+    for i in 0..4 {
+        flood.submit("good", campaign(i));
+        for _ in 0..10 {
+            flood.submit("hostile", campaign(i));
+        }
+    }
+    let (flood_report, _) = run_service(&space, &flood).expect("flood runs");
+    println!("\n=== hostile flood (10x) ===\n");
+    for t in &flood_report.tenants {
+        println!(
+            "{:>7}: submitted {:>2}, completed {:>2}, fairness ratio {:.2}",
+            t.name, t.submitted, t.completed, t.fairness_ratio,
+        );
+    }
+    let good = &flood_report.tenants[0];
+    println!(
+        "fair-share holds: good tenant kept {:.0}% of its entitlement under the flood",
+        good.fairness_ratio * 100.0
+    );
+
+    // ---- 4. kill mid-stream, resume, no seam --------------------------------
+    println!("\n=== restart survival ===\n");
+    let ckpt = run_service_until(&space, &cfg, 3).expect("session plans");
+    println!(
+        "killed after {} of {} campaigns committed ({} to re-run)",
+        ckpt.completed_count(),
+        ckpt.completed.len(),
+        ckpt.remaining_count(),
+    );
+    let (resumed_report, resumed_ledger) =
+        resume_service(&space, &cfg, &ckpt).expect("same config, same seeds");
+    println!(
+        "resumed report byte-identical: {}",
+        serde_json::to_string(&resumed_report).unwrap() == serde_json::to_string(&report).unwrap()
+    );
+    println!(
+        "resumed merged ledger byte-identical: {} ({} events)",
+        serde_json::to_string(&resumed_ledger).unwrap() == serde_json::to_string(&merged).unwrap(),
+        resumed_ledger.total_events(),
+    );
+}

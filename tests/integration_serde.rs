@@ -438,3 +438,152 @@ fn restart_file_formats_are_stable() {
         r#"{"master_seed":5,"shard_seeds":[2654648237662476944,7415722410050746708],"completed":[null,null]}"#
     );
 }
+
+// ---- service artifacts (ISSUE 6) --------------------------------------------
+//
+// The multi-tenant service's submissions and checkpoints are durable
+// artifacts too: submissions arrive over the wire, and a checkpoint must
+// decode in a process that did not write it.
+
+use evoflow::core::{
+    resume_service, run_service, run_service_until, ServiceCheckpoint, ServiceConfig, Submission,
+    TenantSpec,
+};
+
+fn small_service_config() -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(5);
+    cfg.threads = 1;
+    cfg.push_tenant(TenantSpec::new("alice").with_weight(2).with_max_queued(4));
+    cfg.push_tenant(TenantSpec::new("bob"));
+    let mut campaign = CampaignConfig::for_cell(Cell::traditional_wms(), 0);
+    campaign.horizon = SimDuration::from_days(1);
+    for _ in 0..2 {
+        cfg.submit("alice", campaign.clone());
+        cfg.submit("bob", campaign.clone());
+    }
+    cfg
+}
+
+#[test]
+fn service_config_round_trips_and_reruns_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let cfg = small_service_config();
+    let cfg2: ServiceConfig = round_trip(&cfg);
+    assert_eq!(cfg, cfg2);
+    let (a_report, a_ledger) = run_service(&space, &cfg).unwrap();
+    let (b_report, b_ledger) = run_service(&space, &cfg2).unwrap();
+    assert_eq!(a_report, b_report);
+    assert_eq!(
+        serde_json::to_string(&a_ledger).unwrap(),
+        serde_json::to_string(&b_ledger).unwrap()
+    );
+}
+
+#[test]
+fn service_checkpoint_round_trips_and_resumes_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let cfg = small_service_config();
+    let ckpt = run_service_until(&space, &cfg, 1).unwrap();
+    let ckpt2: ServiceCheckpoint = round_trip(&ckpt);
+    assert_eq!(ckpt, ckpt2);
+    let (a_report, a_ledger) = resume_service(&space, &cfg, &ckpt).unwrap();
+    let (b_report, b_ledger) = resume_service(&space, &cfg, &ckpt2).unwrap();
+    assert_eq!(a_report, b_report);
+    assert_eq!(
+        serde_json::to_string(&a_ledger).unwrap(),
+        serde_json::to_string(&b_ledger).unwrap()
+    );
+}
+
+/// Format-stability snapshots for the service wire types: a
+/// [`Submission`] (what a tenant actually sends), a [`TenantSpec`], and
+/// a zero-commit [`ServiceCheckpoint`] (which pins the seed handshake,
+/// the per-admission report/ledger slots, and the kill audit trail
+/// without pinning campaign content).
+#[test]
+fn service_file_formats_are_stable() {
+    let mut campaign = CampaignConfig::for_cell(Cell::traditional_wms(), 0);
+    campaign.horizon = SimDuration::from_days(1);
+    let submission = Submission {
+        tenant: "alice".into(),
+        campaign,
+    };
+    assert_eq!(
+        serde_json::to_string(&submission).unwrap(),
+        concat!(
+            r#"{"tenant":"alice","campaign":{"cell":{"intelligence":"Static","composition":"Pipeline"},"#,
+            r#""seed":0,"horizon":86400000000000,"batch_per_lane":4,"lanes":null,"coordination":null,"#,
+            r#""max_experiments":1000000,"record_knowledge":true,"planner":null}}"#
+        )
+    );
+
+    assert_eq!(
+        serde_json::to_string(&TenantSpec::new("alice").with_weight(2).with_max_queued(4)).unwrap(),
+        r#"{"name":"alice","weight":2,"max_queued":4,"max_admitted":0}"#
+    );
+
+    let space = MaterialsSpace::generate(2, 4, 1);
+    let mut cfg = ServiceConfig::new(5);
+    cfg.threads = 1;
+    cfg.push_tenant(TenantSpec::new("alice"));
+    let mut c = CampaignConfig::for_cell(Cell::traditional_wms(), 0);
+    c.horizon = SimDuration::from_days(1);
+    cfg.submit("alice", c);
+    let ckpt = run_service_until(&space, &cfg, 0).unwrap();
+    assert_eq!(
+        serde_json::to_string(&ckpt).unwrap(),
+        concat!(
+            r#"{"master_seed":5,"seeds":[9602481341964324287],"completed":[null],"ledgers":[null],"#,
+            r#""events":[{"CoordinatorKilled":{"after_commits":0}},{"CheckpointTaken":{"committed":0,"total":1}}]}"#
+        )
+    );
+}
+
+/// A pre-service-layer record (tenant with only a name, config without
+/// pacing fields) must keep decoding: absent knobs default to 0, which
+/// the scheduler normalises to "weight 1, no quotas, default pacing" —
+/// so a legacy config plans exactly like one that spells the defaults
+/// out.
+#[test]
+fn service_config_without_service_fields_still_decodes() {
+    let legacy = r#"{
+        "master_seed": 5,
+        "threads": 1,
+        "tenants": [{"name": "alice"}],
+        "submissions": []
+    }"#;
+    let cfg: ServiceConfig = serde_json::from_str(legacy).expect("legacy config decodes");
+    assert_eq!(cfg.ingest_per_round, 0);
+    assert_eq!(cfg.dispatch_per_round, 0);
+    assert_eq!(
+        cfg.effective_ingest_per_round(),
+        evoflow::core::DEFAULT_INGEST_PER_ROUND
+    );
+    assert_eq!(
+        cfg.effective_dispatch_per_round(),
+        evoflow::core::DEFAULT_DISPATCH_PER_ROUND
+    );
+    let tenant = &cfg.tenants[0];
+    assert_eq!(tenant.weight, 0);
+    assert_eq!(tenant.effective_weight(), 1);
+    assert_eq!(tenant.effective_max_queued(), usize::MAX);
+    assert_eq!(tenant.effective_max_admitted(), usize::MAX);
+
+    // A legacy config with real submissions plans identically to the
+    // spelled-out defaults.
+    let mut legacy_cfg = cfg.clone();
+    let mut explicit = cfg.clone();
+    explicit.ingest_per_round = evoflow::core::DEFAULT_INGEST_PER_ROUND;
+    explicit.dispatch_per_round = evoflow::core::DEFAULT_DISPATCH_PER_ROUND;
+    explicit.tenants[0].weight = 1;
+    let mut campaign = CampaignConfig::for_cell(Cell::traditional_wms(), 0);
+    campaign.horizon = SimDuration::from_days(1);
+    for _ in 0..3 {
+        legacy_cfg.submit("alice", campaign.clone());
+        explicit.submit("alice", campaign.clone());
+    }
+    assert_eq!(
+        evoflow::core::plan_service(&legacy_cfg).unwrap(),
+        evoflow::core::plan_service(&explicit).unwrap()
+    );
+}

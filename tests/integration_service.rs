@@ -1,0 +1,196 @@
+//! End-to-end multi-tenant service integration (ISSUE 6): admission →
+//! fair-share dispatch → fleet execution → ledger streaming, plus the
+//! acceptance criteria verified directly:
+//!
+//! * **S3**: killing the service mid-stream and resuming from its
+//!   checkpoint yields byte-identical per-campaign reports and merged
+//!   ledgers at 1, 2, and 4 threads.
+//! * **S2 / fairness**: a hostile tenant submitting 10× the others
+//!   cannot push any well-behaved tenant below its fair-share floor.
+//! * The `testbed` ladder certifies the stack **S3 (restart-survivable)**.
+
+use evoflow::core::{
+    plan_service, replay_ledger, resume_service, run_service, run_service_observed,
+    run_service_until, CampaignConfig, CampaignEvent, Cell, MaterialsSpace, RejectReason,
+    RingTelemetry, ServiceConfig, TenantSpec,
+};
+use evoflow::sim::SimDuration;
+use evoflow::testbed::{certify_service, service_ladder, ServiceGrade};
+
+fn space() -> MaterialsSpace {
+    MaterialsSpace::generate(3, 8, 20260808)
+}
+
+fn campaign(seed_hint: u64) -> CampaignConfig {
+    let mut c = CampaignConfig::for_cell(Cell::autonomous_science(), seed_hint);
+    c.horizon = SimDuration::from_days(1);
+    c
+}
+
+fn session() -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(606);
+    cfg.threads = 1;
+    cfg.push_tenant(TenantSpec::new("astro").with_weight(2));
+    cfg.push_tenant(TenantSpec::new("bio"));
+    cfg.push_tenant(TenantSpec::new("chem").with_max_queued(3));
+    for i in 0..3 {
+        cfg.submit("astro", campaign(i));
+        cfg.submit("bio", campaign(i));
+        cfg.submit("chem", campaign(i));
+    }
+    cfg
+}
+
+/// The headline S3 acceptance criterion: kill mid-stream, resume,
+/// byte-identical report and merged ledger — at 1, 2, and 4 threads on
+/// both sides of the kill.
+#[test]
+fn kill_and_resume_is_byte_identical_at_all_thread_counts() {
+    let space = space();
+    let cfg = session();
+    let (report, ledger) = run_service(&space, &cfg).unwrap();
+    let report_bytes = serde_json::to_string(&report).unwrap();
+    let ledger_bytes = serde_json::to_string(&ledger).unwrap();
+    for threads in [1usize, 2, 4] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let ckpt = run_service_until(&space, &c, 4).unwrap();
+        assert!(!ckpt.is_complete(), "kill@4 must interrupt 9 campaigns");
+        let (r, l) = resume_service(&space, &c, &ckpt).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            report_bytes,
+            "threads={threads}: resumed report diverged"
+        );
+        assert_eq!(
+            serde_json::to_string(&l).unwrap(),
+            ledger_bytes,
+            "threads={threads}: resumed merged ledger diverged"
+        );
+    }
+}
+
+/// The fairness acceptance criterion, end to end: hostile tenant at
+/// 10×, every well-behaved tenant keeps at least 90% of its weighted
+/// fair share of contended dispatch slots, and all of its campaigns
+/// complete.
+#[test]
+fn hostile_flood_cannot_starve_well_behaved_tenants() {
+    let space = space();
+    let mut cfg = ServiceConfig::new(17);
+    cfg.threads = 2;
+    cfg.push_tenant(TenantSpec::new("good-a"));
+    cfg.push_tenant(TenantSpec::new("good-b"));
+    cfg.push_tenant(TenantSpec::new("hostile"));
+    for i in 0..4 {
+        cfg.submit("good-a", campaign(i));
+        cfg.submit("good-b", campaign(i));
+        for _ in 0..10 {
+            cfg.submit("hostile", campaign(i));
+        }
+    }
+    let (report, _) = run_service(&space, &cfg).unwrap();
+    for t in report.tenants.iter().filter(|t| t.name != "hostile") {
+        assert!(
+            t.fairness_ratio >= 0.9,
+            "{} got only {:.3} of its fair share: {report:?}",
+            t.name,
+            t.fairness_ratio
+        );
+        assert_eq!(t.completed, t.admitted, "{} lost campaigns", t.name);
+        assert_eq!(t.admitted, t.submitted, "{} was refused admission", t.name);
+    }
+    // The flood was real: hostile submitted 10x and still completed —
+    // fairness shapes ordering, it does not censor work.
+    let hostile = report.tenants.iter().find(|t| t.name == "hostile").unwrap();
+    assert_eq!(hostile.submitted, 40);
+    assert_eq!(hostile.completed, hostile.admitted);
+}
+
+/// Quota refusals at the door are typed, exact, and conserved.
+#[test]
+fn oversubmission_is_refused_with_typed_reasons() {
+    let space = space();
+    let mut cfg = ServiceConfig::new(23);
+    cfg.threads = 1;
+    cfg.ingest_per_round = 8;
+    cfg.dispatch_per_round = 1;
+    cfg.push_tenant(
+        TenantSpec::new("greedy")
+            .with_max_queued(2)
+            .with_max_admitted(5),
+    );
+    for i in 0..8 {
+        cfg.submit("greedy", campaign(i));
+    }
+    cfg.submit("nobody", campaign(0));
+    let (report, ledger) = run_service(&space, &cfg).unwrap();
+    let admitted: usize = report.tenants.iter().map(|t| t.admitted).sum();
+    assert_eq!(admitted + report.rejected.len(), 9, "a submission vanished");
+    assert!(report
+        .rejected
+        .iter()
+        .any(|r| r.reason == RejectReason::QueueFull));
+    assert!(report
+        .rejected
+        .iter()
+        .any(|r| r.reason == RejectReason::UnknownTenant && r.tenant == "nobody"));
+    assert_eq!(ledger.campaigns.len(), admitted);
+    // The admission cap binds across the whole session.
+    assert!(admitted <= 5);
+}
+
+/// The observed session streams the full schedule: service-level events
+/// (admissions, refusals, dispatches) interleaved with every campaign's
+/// event stream, in deterministic order — and a bounded ring sees a
+/// suffix of exactly that stream.
+#[test]
+fn service_session_streams_through_ring_telemetry() {
+    let space = space();
+    let mut cfg = session();
+    cfg.submit("nobody", campaign(9)); // one refusal in the stream
+    let mut full = evoflow::core::CampaignLedger::new();
+    let mut ring = RingTelemetry::new(16);
+    let (report, merged) = run_service_observed(&space, &cfg, &mut [&mut full, &mut ring]).unwrap();
+
+    let plan = plan_service(&cfg).unwrap();
+    let scheduling_events = plan.admitted.len() * 2 + plan.rejected.len();
+    assert_eq!(full.len(), scheduling_events + merged.total_events());
+    assert_eq!(ring.seen() as usize, full.len());
+    assert_eq!(ring.len(), 16);
+    assert_eq!(ring.dropped(), ring.seen() - 16);
+    let tail: Vec<&CampaignEvent> = ring.events().collect();
+    let suffix: Vec<&CampaignEvent> = full.events[full.len() - 16..].iter().collect();
+    assert_eq!(tail, suffix, "ring is not a suffix of the stream");
+
+    // Every per-campaign slice of the merged ledger still replays into
+    // the byte-identical campaign report the fleet aggregated.
+    for (i, campaign_ledger) in merged.campaigns.iter().enumerate() {
+        let outcome = replay_ledger(campaign_ledger).expect("campaign slice replays");
+        assert_eq!(
+            serde_json::to_string(&outcome.report).unwrap(),
+            serde_json::to_string(&report.fleet.reports[i]).unwrap(),
+            "campaign {i} replay diverged"
+        );
+    }
+
+    // Observation is one-way: the observed run's outputs equal the
+    // unobserved run's.
+    let (plain_report, plain_ledger) = run_service(&space, &cfg).unwrap();
+    assert_eq!(plain_report, report);
+    assert_eq!(
+        serde_json::to_string(&plain_ledger).unwrap(),
+        serde_json::to_string(&merged).unwrap()
+    );
+}
+
+/// The testbed ladder certifies the whole stack at its top rung.
+#[test]
+fn service_stack_certifies_s3() {
+    let cert = certify_service(&space(), &service_ladder());
+    assert_eq!(
+        cert.grade,
+        ServiceGrade::S3RestartSurvivable,
+        "service lost a rung: {cert:?}"
+    );
+}
