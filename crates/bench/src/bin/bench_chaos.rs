@@ -17,7 +17,7 @@
 //! overhead stays below 2× — a crash costs at most re-running what was
 //! in flight, never the committed work.
 
-use evoflow_bench::{fmt, print_table, write_bench_summary, write_results};
+use evoflow_bench::{fmt, print_table, write_bench_summary};
 use evoflow_core::{
     fleet_death_point, resume_campaign_fleet, run_campaign_fleet_timed, run_campaign_fleet_until,
     Cell, FleetConfig, MaterialsSpace,
@@ -224,28 +224,14 @@ fn main() {
         fmt(worst_overhead),
     );
 
-    #[derive(Serialize)]
-    struct Out {
-        threads: usize,
-        clean_wall_s: f64,
-        wms: Vec<WmsRow>,
-        fleet: Vec<FleetRow>,
-        worst_overhead: f64,
-    }
-    write_results(
-        "bench_chaos",
-        &Out {
-            threads,
-            clean_wall_s: clean_wall,
-            wms: wms_rows,
-            fleet: fleet_rows,
-            worst_overhead,
-        },
+    println!(
+        "\n  wall: clean {clean_wall:.3}s at {threads} threads, worst chaos overhead {:.2}x",
+        worst_overhead
     );
 
     // Machine-readable per-PR summary, like every other bench bin: only
-    // stable pass/fail gates (wall-clock numbers stay in write_results,
-    // where nothing byte-diffs them between runs).
+    // stable pass/fail gates. Wall-clock numbers are printed above and
+    // never serialized, so CI can byte-diff BENCH_chaos.json between runs.
     #[derive(Serialize)]
     struct Summary {
         outcomes_equal: bool,

@@ -15,7 +15,7 @@
 //! `BENCH_fleet.json`, so 1-core CI still tracks the executor's cost
 //! instead of waiving the gate outright.
 
-use evoflow_bench::{fmt, print_table, write_bench_summary, write_results};
+use evoflow_bench::{fmt, print_table, write_bench_summary};
 use evoflow_core::{run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace};
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
@@ -170,8 +170,10 @@ fn main() {
         speedup_ok,
         target_met,
     };
-    write_results("bench_fleet", &out);
     // Machine-readable per-PR summary: the perf trajectory CI tracks.
+    // `BENCH_fleet.json` is the one artifact this bin emits; the lowercase
+    // `bench_fleet.json` twin is gone for good (write_results refuses the
+    // bench_ namespace).
     write_bench_summary("fleet", &out);
 
     if !target_met {

@@ -1,37 +1,58 @@
 //! **Ledger-replay smoke — is the event stream a faithful audit record?**
 //!
-//! Gates (ISSUE 5), each fatal on regression:
+//! Gates (ISSUE 5 + ISSUE 7), each fatal on regression:
 //!
 //! 1. **Per-planner replay** — for every planner kind, a recorded
 //!    campaign's serialized ledger is byte-identical on rerun, and
 //!    `replay_ledger` rebuilds the live `CampaignReport` byte-for-byte
-//!    with identical provenance/knowledge counts.
-//! 2. **Fleet merge invariance** — the merged `FleetLedger` is
-//!    byte-identical at 1, 2, and 4 worker threads, and
-//!    `replay_fleet_ledger` rebuilds the live `FleetReport`.
-//! 3. **Crash accountability** — killing the coordinator at the seeded
+//!    with identical provenance/knowledge counts. The same ledger encoded
+//!    as `EVWL` binary must stream-replay (`replay_ledger_bytes`) to the
+//!    identical report and decode back to the identical JSON bytes.
+//! 2. **Compression** — summed across all planner ledgers, the binary
+//!    encoding is at least 5× smaller than the JSON encoding.
+//! 3. **Tamper refusal** — flipping a single bit at sampled offsets of a
+//!    binary ledger, or truncating it at sampled lengths, is always
+//!    refused by the checksummed decoder (never a silently-wrong replay).
+//! 4. **Streaming replay throughput** — binary replay sustains a floor
+//!    events/second rate (raw numbers are printed, never serialized, so
+//!    the summary stays byte-diffable).
+//! 5. **Fleet merge invariance** — the merged `FleetLedger` is
+//!    byte-identical at 1, 2, and 4 worker threads; `replay_fleet_ledger`
+//!    and the streaming `replay_fleet_ledger_bytes` both rebuild the live
+//!    `FleetReport`.
+//! 6. **Crash accountability** — killing the coordinator at the seeded
 //!    death point and resuming reproduces both the report and the merged
 //!    ledger byte-for-byte (the testbed's A3 rung).
 //!
-//! Artifacts: every serialized ledger/report is written to
-//! `LEDGER_DETERMINISM_DIR` when set, so the CI job can byte-diff two
-//! independent process runs (catching nondeterminism that hides inside a
-//! single process).
+//! Artifacts: every serialized ledger/report — including the `.evwl`
+//! binary forms — is written to `LEDGER_DETERMINISM_DIR` when set, so the
+//! CI job can byte-diff two independent process runs (catching
+//! nondeterminism that hides inside a single process).
 
-use evoflow_bench::{print_table, write_bench_summary, write_results};
+use evoflow_bench::{print_table, write_bench_summary};
 use evoflow_core::{
-    fleet_death_point, replay_fleet_ledger, replay_ledger, resume_campaign_fleet_recorded,
-    run_campaign_fleet_recorded, run_campaign_fleet_recorded_until, run_campaign_recorded,
-    CampaignConfig, Cell, FleetConfig, MaterialsSpace, PlannerKind,
+    fleet_death_point, replay_fleet_ledger, replay_fleet_ledger_bytes, replay_ledger,
+    replay_ledger_bytes, resume_campaign_fleet_recorded, run_campaign_fleet_recorded,
+    run_campaign_fleet_recorded_until, run_campaign_recorded, CampaignConfig, Cell, FleetConfig,
+    LedgerEncoding, MaterialsSpace, PlannerKind,
 };
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
 use serde::Serialize;
 use std::path::PathBuf;
+use std::time::Instant;
 
 const CHAOS_SEED: u64 = 404;
+/// Compression gate: binary must be at least this many times smaller.
+const SIZE_RATIO_FLOOR: f64 = 5.0;
+/// Throughput gate floor, in replayed events per second. Deliberately far
+/// below what the streaming decoder sustains (millions/s) so the boolean
+/// stays stable on the slowest CI runner.
+const REPLAY_EVENTS_PER_SEC_FLOOR: f64 = 10_000.0;
+/// Tamper battery samples roughly this many offsets per ledger.
+const TAMPER_SAMPLES: usize = 512;
 
-fn emit_artifact(dir: &Option<PathBuf>, name: &str, bytes: &str) {
+fn emit_artifact(dir: &Option<PathBuf>, name: &str, bytes: &[u8]) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create determinism dir");
         std::fs::write(dir.join(name), bytes).expect("write determinism artifact");
@@ -42,20 +63,36 @@ fn emit_artifact(dir: &Option<PathBuf>, name: &str, bytes: &str) {
 struct PlannerRow {
     planner: String,
     events: usize,
-    ledger_bytes: usize,
+    json_bytes: usize,
+    bin_bytes: usize,
     rerun_identical: bool,
     replay_identical: bool,
+    bin_replay_identical: bool,
+    bin_round_trip: bool,
     prov_match: bool,
+}
+
+struct PlannerBattery {
+    rows: Vec<PlannerRow>,
+    json_total: usize,
+    bin_total: usize,
+    /// The last (meta-planner) binary ledger, reused by the tamper and
+    /// throughput batteries.
+    sample_bin: Vec<u8>,
+    sample_events: usize,
 }
 
 fn planner_battery(
     space: &MaterialsSpace,
     artifact_dir: &Option<PathBuf>,
     failures: &mut Vec<String>,
-) -> Vec<PlannerRow> {
+) -> PlannerBattery {
     let mut kinds = PlannerKind::all_concrete();
     kinds.push(PlannerKind::meta());
     let mut rows = Vec::new();
+    let (mut json_total, mut bin_total) = (0usize, 0usize);
+    let mut sample_bin = Vec::new();
+    let mut sample_events = 0;
     for kind in kinds {
         let mut cfg = CampaignConfig::for_cell(
             Cell::new(IntelligenceLevel::Learning, evoflow_agents::Pattern::Mesh),
@@ -68,11 +105,13 @@ fn planner_battery(
 
         let (live, ledger) = run_campaign_recorded(space, &cfg);
         let ledger_bytes = serde_json::to_string(&ledger).expect("ledger serializes");
+        let bin = ledger.to_bytes(LedgerEncoding::Binary);
         emit_artifact(
             artifact_dir,
             &format!("ledger_{}.json", kind.label()),
-            &ledger_bytes,
+            ledger_bytes.as_bytes(),
         );
+        emit_artifact(artifact_dir, &format!("ledger_{}.evwl", kind.label()), &bin);
 
         let (_, rerun) = run_campaign_recorded(space, &cfg);
         let rerun_identical =
@@ -81,10 +120,10 @@ fn planner_battery(
             failures.push(format!("{}: ledger rerun diverged", kind.label()));
         }
 
+        let live_report = serde_json::to_string(&live).expect("report serializes");
         let (replay_identical, prov_match) = match replay_ledger(&ledger) {
             Ok(outcome) => (
-                serde_json::to_string(&outcome.report).expect("report serializes")
-                    == serde_json::to_string(&live).expect("report serializes"),
+                serde_json::to_string(&outcome.report).expect("report serializes") == live_report,
                 outcome.provenance.activity_count() == live.prov_activities
                     && outcome.knowledge.node_count() == live.kg_nodes,
             ),
@@ -100,16 +139,132 @@ fn planner_battery(
             failures.push(format!("{}: provenance counts diverged", kind.label()));
         }
 
+        // The binary form must stream-replay to the same report and decode
+        // back to the exact legacy JSON bytes (lossless round-trip).
+        let bin_replay_identical = replay_ledger_bytes(&bin)
+            .map(|o| serde_json::to_string(&o.report).expect("serialize") == live_report)
+            .unwrap_or(false);
+        if !bin_replay_identical {
+            failures.push(format!("{}: binary stream replay diverged", kind.label()));
+        }
+        let bin_round_trip = evoflow_core::CampaignLedger::from_bytes(&bin)
+            .map(|l| serde_json::to_string(&l).expect("serialize") == ledger_bytes)
+            .unwrap_or(false);
+        if !bin_round_trip {
+            failures.push(format!("{}: binary decode lost information", kind.label()));
+        }
+
+        json_total += ledger_bytes.len();
+        bin_total += bin.len();
+        sample_events = ledger.len();
         rows.push(PlannerRow {
             planner: kind.descriptor(),
             events: ledger.len(),
-            ledger_bytes: ledger_bytes.len(),
+            json_bytes: ledger_bytes.len(),
+            bin_bytes: bin.len(),
             rerun_identical,
             replay_identical,
+            bin_replay_identical,
+            bin_round_trip,
             prov_match,
         });
+        sample_bin = bin;
     }
-    rows
+    PlannerBattery {
+        rows,
+        json_total,
+        bin_total,
+        sample_bin,
+        sample_events,
+    }
+}
+
+#[derive(Serialize)]
+struct WireGates {
+    json_bytes_total: usize,
+    bin_bytes_total: usize,
+    size_ratio: f64,
+    size_ratio_floor: f64,
+    size_gate: bool,
+    bit_flips_tested: usize,
+    bit_flips_all_refused: bool,
+    truncations_tested: usize,
+    truncations_all_refused: bool,
+    replay_throughput_ok: bool,
+}
+
+/// Compression + tamper + throughput gates over the meta-planner's binary
+/// ledger (wall-clock numbers are printed here, never serialized).
+fn wire_battery(battery: &PlannerBattery, failures: &mut Vec<String>) -> WireGates {
+    let size_ratio = battery.json_total as f64 / battery.bin_total.max(1) as f64;
+    let size_gate = size_ratio >= SIZE_RATIO_FLOOR;
+    if !size_gate {
+        failures.push(format!(
+            "wire: binary only {size_ratio:.2}x smaller than JSON (floor {SIZE_RATIO_FLOOR}x)"
+        ));
+    }
+
+    // Single-bit flips at sampled offsets: every one must be refused.
+    let bin = &battery.sample_bin;
+    let stride = (bin.len() / TAMPER_SAMPLES).max(1);
+    let mut flips = 0usize;
+    let mut flips_refused = true;
+    for offset in (0..bin.len()).step_by(stride) {
+        let mut tampered = bin.clone();
+        tampered[offset] ^= 0x01;
+        flips += 1;
+        if replay_ledger_bytes(&tampered).is_ok() {
+            flips_refused = false;
+            failures.push(format!("wire: bit flip at byte {offset} replayed cleanly"));
+        }
+    }
+
+    // Truncation at sampled lengths (including the empty prefix): every
+    // one must be refused — a cut-off ledger is never a valid shorter one.
+    let mut cuts = 0usize;
+    let mut cuts_refused = true;
+    for cut in (0..bin.len()).step_by(stride) {
+        cuts += 1;
+        if replay_ledger_bytes(&bin[..cut]).is_ok() {
+            cuts_refused = false;
+            failures.push(format!("wire: truncation to {cut} bytes replayed cleanly"));
+        }
+    }
+
+    // Streaming replay throughput: best of a few repeats, gated against a
+    // floor far below the decoder's real rate so the boolean never flaps.
+    let mut best_events_per_sec = 0f64;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        replay_ledger_bytes(bin).expect("untampered binary replays");
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        best_events_per_sec = best_events_per_sec.max(battery.sample_events as f64 / secs);
+    }
+    let replay_throughput_ok = best_events_per_sec >= REPLAY_EVENTS_PER_SEC_FLOOR;
+    if !replay_throughput_ok {
+        failures.push(format!(
+            "wire: streaming replay at {best_events_per_sec:.0} events/s \
+             (floor {REPLAY_EVENTS_PER_SEC_FLOOR})"
+        ));
+    }
+    println!(
+        "\n  wire: {} -> {} bytes ({size_ratio:.2}x), {flips} bit flips + {cuts} truncations \
+         refused, streaming replay {best_events_per_sec:.0} events/s",
+        battery.json_total, battery.bin_total,
+    );
+
+    WireGates {
+        json_bytes_total: battery.json_total,
+        bin_bytes_total: battery.bin_total,
+        size_ratio,
+        size_ratio_floor: SIZE_RATIO_FLOOR,
+        size_gate,
+        bit_flips_tested: flips,
+        bit_flips_all_refused: flips_refused,
+        truncations_tested: cuts,
+        truncations_all_refused: cuts_refused,
+        replay_throughput_ok,
+    }
 }
 
 #[derive(Serialize)]
@@ -117,8 +272,11 @@ struct FleetGates {
     campaigns: usize,
     kill_after: usize,
     total_events: usize,
+    fleet_json_bytes: usize,
+    fleet_bin_bytes: usize,
     thread_invariant: bool,
     replay_identical: bool,
+    bin_replay_identical: bool,
     resume_identical: bool,
 }
 
@@ -140,8 +298,10 @@ fn fleet_battery(
     let (report, ledger) = run_campaign_fleet_recorded(space, &cfg);
     let report_bytes = serde_json::to_string(&report).expect("report serializes");
     let ledger_bytes = serde_json::to_string(&ledger).expect("ledger serializes");
-    emit_artifact(artifact_dir, "fleet_report.json", &report_bytes);
-    emit_artifact(artifact_dir, "fleet_ledger.json", &ledger_bytes);
+    let fleet_bin = ledger.to_bytes(LedgerEncoding::Binary);
+    emit_artifact(artifact_dir, "fleet_report.json", report_bytes.as_bytes());
+    emit_artifact(artifact_dir, "fleet_ledger.json", ledger_bytes.as_bytes());
+    emit_artifact(artifact_dir, "fleet_ledger.evwl", &fleet_bin);
 
     let mut thread_invariant = true;
     for threads in [2usize, 4] {
@@ -165,6 +325,15 @@ fn fleet_battery(
         failures.push("fleet: replayed report diverged".to_string());
     }
 
+    // The binary fleet ledger must stream-replay (shard by shard, bounded
+    // memory) to the same report the live run produced.
+    let bin_replay_identical = replay_fleet_ledger_bytes(&fleet_bin)
+        .map(|r| serde_json::to_string(&r).expect("serialize") == report_bytes)
+        .unwrap_or(false);
+    if !bin_replay_identical {
+        failures.push("fleet: binary stream replay diverged".to_string());
+    }
+
     let kill_after = fleet_death_point(CHAOS_SEED, cfg.campaigns.len());
     let ckpt = run_campaign_fleet_recorded_until(space, &cfg, kill_after);
     let resume_identical = resume_campaign_fleet_recorded(space, &cfg, &ckpt)
@@ -181,8 +350,11 @@ fn fleet_battery(
         campaigns: cfg.campaigns.len(),
         kill_after,
         total_events: ledger.total_events(),
+        fleet_json_bytes: ledger_bytes.len(),
+        fleet_bin_bytes: fleet_bin.len(),
         thread_invariant,
         replay_identical,
+        bin_replay_identical,
         resume_identical,
     }
 }
@@ -193,34 +365,45 @@ fn main() {
     let artifact_dir = std::env::var_os("LEDGER_DETERMINISM_DIR").map(PathBuf::from);
     let mut failures: Vec<String> = Vec::new();
 
-    let rows = planner_battery(&space, &artifact_dir, &mut failures);
+    let battery = planner_battery(&space, &artifact_dir, &mut failures);
     print_table(
         "Per-planner recorded campaign: rerun bytes + replay audit",
-        &["planner", "events", "bytes", "rerun", "replay", "prov"],
-        &rows
+        &[
+            "planner", "events", "json", "evwl", "rerun", "replay", "stream", "decode", "prov",
+        ],
+        &battery
+            .rows
             .iter()
             .map(|r| {
                 let flag = |ok: bool| if ok { "ok" } else { "FAIL" }.to_string();
                 vec![
                     r.planner.clone(),
                     r.events.to_string(),
-                    r.ledger_bytes.to_string(),
+                    r.json_bytes.to_string(),
+                    r.bin_bytes.to_string(),
                     flag(r.rerun_identical),
                     flag(r.replay_identical),
+                    flag(r.bin_replay_identical),
+                    flag(r.bin_round_trip),
                     flag(r.prov_match),
                 ]
             })
             .collect::<Vec<_>>(),
     );
 
+    let wire = wire_battery(&battery, &mut failures);
     let fleet = fleet_battery(&space, &artifact_dir, &mut failures);
     println!(
-        "\n  fleet: {} campaigns, {} events, kill@{} — thread-invariant {}, replay {}, resume {}",
+        "\n  fleet: {} campaigns, {} events ({} json / {} evwl bytes), kill@{} — \
+         thread-invariant {}, replay {}, stream {}, resume {}",
         fleet.campaigns,
         fleet.total_events,
+        fleet.fleet_json_bytes,
+        fleet.fleet_bin_bytes,
         fleet.kill_after,
         fleet.thread_invariant,
         fleet.replay_identical,
+        fleet.bin_replay_identical,
         fleet.resume_identical,
     );
 
@@ -229,7 +412,7 @@ fn main() {
         "\n  [{}] {}",
         if pass { "PASS" } else { "FAIL" },
         if pass {
-            "every ledger replayed byte-identically".to_string()
+            "every ledger replayed byte-identically; binary gates held".to_string()
         } else {
             failures.join("; ")
         }
@@ -238,17 +421,18 @@ fn main() {
     #[derive(Serialize)]
     struct Out {
         planners: Vec<PlannerRow>,
+        wire: WireGates,
         fleet: FleetGates,
         failures: Vec<String>,
         pass: bool,
     }
     let out = Out {
-        planners: rows,
+        planners: battery.rows,
+        wire,
         fleet,
         failures,
         pass,
     };
-    write_results("bench_ledger", &out);
     write_bench_summary("ledger", &out);
 
     if !pass {

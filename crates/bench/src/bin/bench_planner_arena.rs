@@ -14,7 +14,7 @@
 //!    (the paper's axis: smarter decide steps find materials sooner).
 
 use evoflow_agents::Pattern;
-use evoflow_bench::{print_table, write_bench_summary, write_results};
+use evoflow_bench::{print_table, write_bench_summary};
 use evoflow_core::{
     run_campaign, CampaignConfig, CampaignReport, Cell, CoordinationMode, MaterialsSpace,
     PlannerKind,
@@ -155,7 +155,6 @@ fn main() {
         surrogate_beats_grid: surrogate_wins,
         bandit_beats_grid: bandit_wins,
     };
-    write_results("bench_planner_arena", &out);
     // Machine-readable per-PR summary: the perf trajectory CI tracks.
     write_bench_summary("planner_arena", &out);
 

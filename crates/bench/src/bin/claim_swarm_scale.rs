@@ -136,6 +136,10 @@ fn main() {
     for k in [2usize, 4, 8] {
         let mut cfg = FleetConfig::new(k as u64 ^ 0xF1EE7);
         cfg.horizon = SimDuration::from_days(5);
+        // Pinned so the run shape never depends on the host's core count
+        // (threads = 0 would mean "one per host core"); results are
+        // thread-invariant either way.
+        cfg.threads = 4;
         cfg.push_cell(
             Cell::new(
                 IntelligenceLevel::Intelligent,

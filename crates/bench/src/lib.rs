@@ -52,7 +52,18 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write a JSON result artifact for experiment `id`.
+///
+/// This is for paper table/figure/claim artifacts (`fig1_abstraction`,
+/// `table4_throughput`, ...). Bench binaries must emit their CI-tracked
+/// summary through [`write_bench_summary`] instead — `id`s that collide
+/// with that namespace are refused so the historical
+/// `results/bench_X.json` / `results/BENCH_X.json` split cannot recur.
 pub fn write_results<T: Serialize>(id: &str, value: &T) {
+    assert!(
+        !id.starts_with("bench_") && !id.starts_with("BENCH_") && id != "selftest",
+        "write_results({id:?}): bench summaries are written by write_bench_summary \
+         as BENCH_<id>.json; write_results is for paper table/figure artifacts only"
+    );
     let path = results_dir().join(format!("{id}.json"));
     let json = serde_json::to_string_pretty(value).expect("serializable results");
     let mut f = std::fs::File::create(&path).expect("create results file");
@@ -111,24 +122,30 @@ mod tests {
     }
 
     #[test]
-    fn write_bench_summary_lands_in_results() {
+    fn write_bench_summary_honors_redirect() {
+        // Redirect into a scratch dir so test runs never touch the
+        // committed results/ directory (the old in-place selftest writes
+        // were exactly the artifact drift this guards against).
+        let dir = std::env::temp_dir().join("evoflow_bench_summary_selftest");
+        std::env::set_var("BENCH_SUMMARY_DIR", &dir);
         #[derive(Serialize)]
         struct T {
             pass: bool,
         }
         write_bench_summary("selftest", &T { pass: true });
-        let text = std::fs::read_to_string(results_dir().join("BENCH_selftest.json")).unwrap();
+        std::env::remove_var("BENCH_SUMMARY_DIR");
+        let text = std::fs::read_to_string(dir.join("BENCH_selftest.json")).unwrap();
         assert!(text.contains("\"pass\": true"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn write_results_round_trips() {
+    #[should_panic(expected = "write_bench_summary")]
+    fn write_results_refuses_bench_namespace() {
         #[derive(Serialize)]
         struct T {
             x: u32,
         }
-        write_results("selftest", &T { x: 7 });
-        let text = std::fs::read_to_string(results_dir().join("selftest.json")).unwrap();
-        assert!(text.contains("\"x\": 7"));
+        write_results("bench_selftest", &T { x: 7 });
     }
 }

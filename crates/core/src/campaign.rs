@@ -337,9 +337,9 @@ pub fn run_campaign_observed(
             &mut knowledge,
             observers,
             CampaignEvent::CampaignStarted {
-                cell_label: cell_label.clone(),
+                cell_label: cell_label.clone().into(),
                 seed: cfg.seed,
-                planner: planner_kind.descriptor(),
+                planner: planner_kind.descriptor().into(),
                 lanes: n_lanes,
                 horizon: cfg.horizon,
                 threshold: space.threshold,
@@ -436,7 +436,7 @@ pub fn run_campaign_observed(
                     CampaignEvent::CandidateProposed {
                         lane: li,
                         params: c.params.clone(),
-                        rationale: c.rationale.clone().into_owned(),
+                        rationale: c.rationale.clone(),
                         confidence: c.confidence,
                         hallucinated: c.hallucinated,
                     },

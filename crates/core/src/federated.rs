@@ -642,7 +642,7 @@ impl PlacementState {
         let dest = site.spec.name.clone();
         self.events.push(CampaignEvent::CampaignPlaced {
             campaign,
-            facility: dest.clone(),
+            facility: dest.clone().into(),
             nodes: demand.nodes,
             arrival,
             evacuation,
@@ -656,8 +656,8 @@ impl PlacementState {
             self.sites[chosen].bytes_in += (demand.input_gb * 1e9) as u128;
             self.events.push(CampaignEvent::DataTransferred {
                 campaign,
-                from: data_from.to_string(),
-                to: dest,
+                from: data_from.to_string().into(),
+                to: dest.into(),
                 gigabytes: demand.input_gb,
                 duration: plan.duration,
                 evacuation,
@@ -685,7 +685,7 @@ impl PlacementState {
         self.sites[s].rerouted_away = orphans.len();
         let from = self.sites[s].spec.name.clone();
         self.events.push(CampaignEvent::OutageStruck {
-            site: from.clone(),
+            site: from.clone().into(),
             at,
             rerouted: orphans.len(),
         });

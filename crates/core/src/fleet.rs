@@ -65,7 +65,11 @@ pub const FLEET_SHARD_LABEL: &str = "fleet-campaign";
 pub struct FleetConfig {
     /// Master seed; every campaign's seed is derived from it by index.
     pub master_seed: u64,
-    /// Worker threads (0 ⇒ one per available core).
+    /// Worker threads. **0 means "one per host core"**
+    /// (`available_parallelism()`) — the one host-dependent knob in the
+    /// config: results never change with it, but anything that
+    /// *records* the thread count must pin an explicit value to stay
+    /// byte-identical across machines.
     pub threads: usize,
     /// Per-campaign configs, in shard order. Their `seed` fields are
     /// overwritten with derived shard seeds at run time.
@@ -109,6 +113,11 @@ impl FleetConfig {
     }
 
     /// Worker threads that will actually be used.
+    ///
+    /// When [`threads`](FleetConfig::threads) is 0 this consults
+    /// `available_parallelism()` and therefore **varies across hosts**;
+    /// pin an explicit thread count wherever the value ends up in a
+    /// host-independent artifact.
     pub fn effective_threads(&self) -> usize {
         let n = if self.threads == 0 {
             std::thread::available_parallelism()
@@ -517,6 +526,11 @@ pub enum FleetResumeError {
         /// First shard whose report/ledger presence disagrees.
         index: usize,
     },
+    /// Serialized checkpoint bytes were refused at the wire level
+    /// (checksum, truncation, or structural corruption) before any
+    /// resume handshake could run. See
+    /// [`resume_campaign_fleet_recorded_bytes`](crate::ledger::wire::resume_campaign_fleet_recorded_bytes).
+    Corrupt(crate::ledger::WireError),
 }
 
 impl std::fmt::Display for FleetResumeError {
@@ -536,6 +550,7 @@ impl std::fmt::Display for FleetResumeError {
                 "shard {index} has a committed report and ledger that disagree \
                  on presence — the ledger checkpoint is inconsistent"
             ),
+            FleetResumeError::Corrupt(e) => write!(f, "corrupt checkpoint bytes: {e}"),
         }
     }
 }

@@ -51,12 +51,18 @@
 
 use crate::campaign::CampaignReport;
 use crate::fleet::FleetReport;
+use crate::service::RejectReason;
 use evoflow_agents::Candidate;
 use evoflow_cogsim::TokenUsage;
 use evoflow_knowledge::{KnowledgeGraph, ProvenanceStore};
 use evoflow_sim::{MetricsRegistry, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{BTreeSet, VecDeque};
+
+pub mod wire;
+
+pub use wire::{LedgerEncoding, WireError};
 
 /// One entry in the campaign ledger.
 ///
@@ -72,11 +78,11 @@ pub enum CampaignEvent {
     /// The campaign began: everything replay needs that is config-derived.
     CampaignStarted {
         /// Cell label (including any planner override descriptor).
-        cell_label: String,
+        cell_label: Cow<'static, str>,
         /// Campaign master seed.
         seed: u64,
         /// Planner descriptor actually running the decide step.
-        planner: String,
+        planner: Cow<'static, str>,
         /// Parallel lanes.
         lanes: usize,
         /// Simulated campaign length.
@@ -104,8 +110,11 @@ pub enum CampaignEvent {
         lane: usize,
         /// Design-space coordinates.
         params: Vec<f64>,
-        /// Generated rationale text.
-        rationale: String,
+        /// Generated rationale text. A `Cow` end to end: fixed-policy
+        /// planners hand the loop `&'static str` rationales, and the
+        /// event clones the `Cow` — no per-candidate allocation anywhere
+        /// between the planner and the sinks.
+        rationale: Cow<'static, str>,
         /// Model confidence in \[0,1\].
         confidence: f64,
         /// Ground-truth hallucination flag (simulator-only).
@@ -217,7 +226,7 @@ pub enum CampaignEvent {
         /// Campaign (shard) index.
         campaign: usize,
         /// Facility chosen by the placement policy.
-        facility: String,
+        facility: Cow<'static, str>,
         /// Nodes requested.
         nodes: u64,
         /// Submission time at the facility.
@@ -230,9 +239,9 @@ pub enum CampaignEvent {
         /// Campaign whose data moved.
         campaign: usize,
         /// Source site.
-        from: String,
+        from: Cow<'static, str>,
         /// Destination site.
-        to: String,
+        to: Cow<'static, str>,
         /// Gigabytes moved.
         gigabytes: f64,
         /// Fabric transfer time.
@@ -243,7 +252,7 @@ pub enum CampaignEvent {
     /// A facility outage drained a site.
     OutageStruck {
         /// Name of the drained facility.
-        site: String,
+        site: Cow<'static, str>,
         /// When the drain fired.
         at: SimTime,
         /// Queued campaigns re-routed to survivors.
@@ -254,7 +263,7 @@ pub enum CampaignEvent {
     /// The multi-tenant service admitted a submission into its queue.
     SubmissionAdmitted {
         /// Tenant that submitted the campaign.
-        tenant: String,
+        tenant: Cow<'static, str>,
         /// Admission index (derives the campaign's seed).
         admission_index: usize,
         /// Scheduling round in which admission happened.
@@ -263,19 +272,21 @@ pub enum CampaignEvent {
     /// The multi-tenant service refused a submission at the door.
     SubmissionRejected {
         /// Tenant that submitted the campaign.
-        tenant: String,
+        tenant: Cow<'static, str>,
         /// Index of the submission in the arrival trace.
         submission_index: usize,
         /// Scheduling round in which the refusal happened.
         round: usize,
-        /// Stable refusal-reason label (see
-        /// [`RejectReason::label`](crate::service::RejectReason::label)).
-        reason: String,
+        /// Typed refusal reason. Serialized as its stable kebab-case
+        /// [`RejectReason::label`] (never the Rust variant name), so a
+        /// rename in source cannot silently re-key archived audits —
+        /// and an audit can never be broken by a message-text edit.
+        reason: RejectReason,
     },
     /// A queued campaign was handed to the fleet executor.
     CampaignDispatched {
         /// Tenant that owns the campaign.
-        tenant: String,
+        tenant: Cow<'static, str>,
         /// Admission index of the dispatched campaign.
         admission_index: usize,
         /// Scheduling round of the dispatch.
@@ -452,7 +463,7 @@ impl LedgerObserver for KnowledgeSink {
             } if self.enabled => {
                 self.pending.push_back(Candidate {
                     params: params.clone(),
-                    rationale: rationale.clone().into(),
+                    rationale: rationale.clone(),
                     confidence: *confidence,
                     hallucinated: *hallucinated,
                 });
@@ -628,6 +639,10 @@ pub enum ReplayError {
         /// Value reconstructed from the stream.
         replayed: String,
     },
+    /// The serialized ledger bytes failed wire-level validation (bad
+    /// magic, checksum mismatch, truncated segment, trailing garbage)
+    /// before any event could be decoded. See [`WireError`].
+    Corrupt(WireError),
 }
 
 impl std::fmt::Display for ReplayError {
@@ -651,11 +666,18 @@ impl std::fmt::Display for ReplayError {
                 f,
                 "integrity mismatch on {field}: ledger records {recorded}, replay derived {replayed}"
             ),
+            ReplayError::Corrupt(e) => write!(f, "corrupt ledger bytes: {e}"),
         }
     }
 }
 
 impl std::error::Error for ReplayError {}
+
+impl From<WireError> for ReplayError {
+    fn from(e: WireError) -> Self {
+        ReplayError::Corrupt(e)
+    }
+}
 
 /// Everything a ledger replay reconstructs.
 #[derive(Debug, Clone, PartialEq)]
@@ -686,40 +708,86 @@ pub struct ReplayOutcome {
 /// unchanged — e.g. rewording a rationale string — which alters the
 /// rebuilt knowledge stores' contents but not their sizes.
 pub fn replay_ledger(ledger: &CampaignLedger) -> Result<ReplayOutcome, ReplayError> {
-    if ledger.events.is_empty() {
-        return Err(ReplayError::Empty);
+    let mut fold = ReplayFold::new();
+    for event in &ledger.events {
+        fold.push(event)?;
     }
-    let (cell_label, horizon) = match &ledger.events[0] {
-        CampaignEvent::CampaignStarted {
-            cell_label,
-            horizon,
-            ..
-        } => (cell_label.clone(), *horizon),
-        _ => return Err(ReplayError::MissingStart),
-    };
+    fold.finish()
+}
 
-    let mut sink = KnowledgeSink::new();
-    let mut experiments = 0u64;
-    let mut total_hits = 0u64;
-    let mut peaks: BTreeSet<usize> = BTreeSet::new();
-    let mut best_score = f64::NEG_INFINITY;
-    let mut time_to_first: Option<SimTime> = None;
-    let mut decision_wait_hours = 0.0;
-    let mut execution_hours = 0.0;
-    let mut rejected_proposals = 0u64;
-    let mut omega_rewrites = 0u32;
-    let mut tokens = 0u64;
-    let mut current_done_at = SimTime::ZERO;
-    let mut finished: Option<CampaignEvent> = None;
+/// The incremental state of an in-flight replay: exactly the
+/// aggregation [`replay_ledger`] performs, exposed event-at-a-time so
+/// the binary [wire](crate::ledger::wire) reader can replay a stream
+/// without ever materialising a `Vec<CampaignEvent>` — memory stays
+/// bounded by one decoded event plus the knowledge stores, however long
+/// the ledger. Float accumulation order is identical to the live loop's,
+/// so the finished report stays byte-identical either way.
+#[derive(Debug)]
+pub(crate) struct ReplayFold {
+    sink: KnowledgeSink,
+    index: usize,
+    cell_label: Cow<'static, str>,
+    horizon: SimDuration,
+    experiments: u64,
+    total_hits: u64,
+    peaks: BTreeSet<usize>,
+    best_score: f64,
+    time_to_first: Option<SimTime>,
+    decision_wait_hours: f64,
+    execution_hours: f64,
+    rejected_proposals: u64,
+    omega_rewrites: u32,
+    tokens: u64,
+    current_done_at: SimTime,
+    finished: Option<CampaignEvent>,
+}
 
-    for (index, event) in ledger.events.iter().enumerate() {
-        if finished.is_some() {
+impl ReplayFold {
+    pub(crate) fn new() -> Self {
+        ReplayFold {
+            sink: KnowledgeSink::new(),
+            index: 0,
+            cell_label: Cow::Borrowed(""),
+            horizon: SimDuration::ZERO,
+            experiments: 0,
+            total_hits: 0,
+            peaks: BTreeSet::new(),
+            best_score: f64::NEG_INFINITY,
+            time_to_first: None,
+            decision_wait_hours: 0.0,
+            execution_hours: 0.0,
+            rejected_proposals: 0,
+            omega_rewrites: 0,
+            tokens: 0,
+            current_done_at: SimTime::ZERO,
+            finished: None,
+        }
+    }
+
+    /// Fold one event into the replay state.
+    pub(crate) fn push(&mut self, event: &CampaignEvent) -> Result<(), ReplayError> {
+        let index = self.index;
+        self.index += 1;
+        if self.finished.is_some() {
             return Err(ReplayError::UnexpectedEvent {
                 index,
                 kind: event.kind(),
             });
         }
-        sink.on_event(event);
+        if index == 0 {
+            match event {
+                CampaignEvent::CampaignStarted {
+                    cell_label,
+                    horizon,
+                    ..
+                } => {
+                    self.cell_label = cell_label.clone();
+                    self.horizon = *horizon;
+                }
+                _ => return Err(ReplayError::MissingStart),
+            }
+        }
+        self.sink.on_event(event);
         match event {
             CampaignEvent::CampaignStarted { .. } => {
                 if index != 0 {
@@ -732,41 +800,41 @@ pub fn replay_ledger(ledger: &CampaignLedger) -> Result<ReplayOutcome, ReplayErr
             CampaignEvent::IterationStarted {
                 at, decision_ready, ..
             } => {
-                decision_wait_hours += decision_ready.saturating_since(*at).as_hours();
+                self.decision_wait_hours += decision_ready.saturating_since(*at).as_hours();
             }
             CampaignEvent::CandidateProposed { .. } => {}
             CampaignEvent::ExecutionScheduled {
                 duration, done_at, ..
             } => {
-                execution_hours += duration.as_hours();
-                current_done_at = *done_at;
+                self.execution_hours += duration.as_hours();
+                self.current_done_at = *done_at;
             }
             CampaignEvent::ResultObserved {
                 score, hit, peak, ..
             } => {
-                experiments += 1;
-                best_score = best_score.max(*score);
+                self.experiments += 1;
+                self.best_score = self.best_score.max(*score);
                 if *hit {
-                    total_hits += 1;
+                    self.total_hits += 1;
                     if let Some(p) = peak {
-                        peaks.insert(*p);
-                        if time_to_first.is_none() {
-                            time_to_first = Some(current_done_at);
+                        self.peaks.insert(*p);
+                        if self.time_to_first.is_none() {
+                            self.time_to_first = Some(self.current_done_at);
                         }
                     }
                 }
             }
             CampaignEvent::GateDecision { rejected_total, .. } => {
-                rejected_proposals = *rejected_total;
+                self.rejected_proposals = *rejected_total;
             }
             CampaignEvent::OmegaRewrite { rewrites_total, .. } => {
-                omega_rewrites = *rewrites_total;
+                self.omega_rewrites = *rewrites_total;
             }
             CampaignEvent::IterationEnded { tokens_total, .. } => {
-                tokens = *tokens_total;
+                self.tokens = *tokens_total;
             }
             CampaignEvent::CampaignFinished { .. } => {
-                finished = Some(event.clone());
+                self.finished = Some(event.clone());
             }
             _ => {
                 return Err(ReplayError::UnexpectedEvent {
@@ -775,122 +843,137 @@ pub fn replay_ledger(ledger: &CampaignLedger) -> Result<ReplayOutcome, ReplayErr
                 });
             }
         }
+        Ok(())
     }
 
-    let Some(CampaignEvent::CampaignFinished {
-        experiments: fin_experiments,
-        total_hits: fin_hits,
-        distinct_discoveries: fin_distinct,
-        best_score: fin_best,
-        time_to_first_hours: fin_ttf,
-        decision_wait_hours: fin_wait,
-        execution_hours: fin_exec,
-        rejected_proposals: fin_rejected,
-        omega_rewrites: fin_omega,
-        kg_nodes: fin_kg,
-        prov_activities: fin_prov,
-        tokens: fin_tokens,
-    }) = finished
-    else {
-        return Err(ReplayError::Truncated);
-    };
-    let best_score = if best_score.is_finite() {
-        best_score
-    } else {
-        0.0
-    };
-    let time_to_first_hours = time_to_first.map(|t| t.as_hours());
-    // Cross-check every reconstructed total against the recorded ones —
-    // floats bit-exactly. An edit anywhere in the stream that shifts any
-    // report field (times, tokens, gate counts, store sizes, scores)
-    // surfaces here as a typed refusal.
-    let bits = |x: f64| x.to_bits().to_string();
-    let opt_bits = |x: Option<f64>| match x {
-        Some(v) => format!("Some({})", v.to_bits()),
-        None => "None".to_string(),
-    };
-    let checks: [(&'static str, String, String); 12] = [
-        (
-            "experiments",
-            fin_experiments.to_string(),
-            experiments.to_string(),
-        ),
-        ("total_hits", fin_hits.to_string(), total_hits.to_string()),
-        (
-            "distinct_discoveries",
-            fin_distinct.to_string(),
-            peaks.len().to_string(),
-        ),
-        ("best_score", bits(fin_best), bits(best_score)),
-        (
-            "time_to_first_hours",
-            opt_bits(fin_ttf),
-            opt_bits(time_to_first_hours),
-        ),
-        (
-            "decision_wait_hours",
-            bits(fin_wait),
-            bits(decision_wait_hours),
-        ),
-        ("execution_hours", bits(fin_exec), bits(execution_hours)),
-        (
-            "rejected_proposals",
-            fin_rejected.to_string(),
-            rejected_proposals.to_string(),
-        ),
-        (
-            "omega_rewrites",
-            fin_omega.to_string(),
-            omega_rewrites.to_string(),
-        ),
-        (
-            "kg_nodes",
-            fin_kg.to_string(),
-            sink.node_count().to_string(),
-        ),
-        (
-            "prov_activities",
-            fin_prov.to_string(),
-            sink.activity_count().to_string(),
-        ),
-        ("tokens", fin_tokens.to_string(), tokens.to_string()),
-    ];
-    for (field, recorded, replayed) in checks {
-        if recorded != replayed {
-            return Err(ReplayError::IntegrityMismatch {
-                field,
-                recorded,
-                replayed,
-            });
+    /// Cross-check the recorded totals and yield the reconstruction.
+    pub(crate) fn finish(self) -> Result<ReplayOutcome, ReplayError> {
+        if self.index == 0 {
+            return Err(ReplayError::Empty);
         }
-    }
+        let Some(CampaignEvent::CampaignFinished {
+            experiments: fin_experiments,
+            total_hits: fin_hits,
+            distinct_discoveries: fin_distinct,
+            best_score: fin_best,
+            time_to_first_hours: fin_ttf,
+            decision_wait_hours: fin_wait,
+            execution_hours: fin_exec,
+            rejected_proposals: fin_rejected,
+            omega_rewrites: fin_omega,
+            kg_nodes: fin_kg,
+            prov_activities: fin_prov,
+            tokens: fin_tokens,
+        }) = self.finished
+        else {
+            return Err(ReplayError::Truncated);
+        };
+        let best_score = if self.best_score.is_finite() {
+            self.best_score
+        } else {
+            0.0
+        };
+        let time_to_first_hours = self.time_to_first.map(|t| t.as_hours());
+        // Cross-check every reconstructed total against the recorded ones —
+        // floats bit-exactly. An edit anywhere in the stream that shifts any
+        // report field (times, tokens, gate counts, store sizes, scores)
+        // surfaces here as a typed refusal.
+        let bits = |x: f64| x.to_bits().to_string();
+        let opt_bits = |x: Option<f64>| match x {
+            Some(v) => format!("Some({})", v.to_bits()),
+            None => "None".to_string(),
+        };
+        let checks: [(&'static str, String, String); 12] = [
+            (
+                "experiments",
+                fin_experiments.to_string(),
+                self.experiments.to_string(),
+            ),
+            (
+                "total_hits",
+                fin_hits.to_string(),
+                self.total_hits.to_string(),
+            ),
+            (
+                "distinct_discoveries",
+                fin_distinct.to_string(),
+                self.peaks.len().to_string(),
+            ),
+            ("best_score", bits(fin_best), bits(best_score)),
+            (
+                "time_to_first_hours",
+                opt_bits(fin_ttf),
+                opt_bits(time_to_first_hours),
+            ),
+            (
+                "decision_wait_hours",
+                bits(fin_wait),
+                bits(self.decision_wait_hours),
+            ),
+            (
+                "execution_hours",
+                bits(fin_exec),
+                bits(self.execution_hours),
+            ),
+            (
+                "rejected_proposals",
+                fin_rejected.to_string(),
+                self.rejected_proposals.to_string(),
+            ),
+            (
+                "omega_rewrites",
+                fin_omega.to_string(),
+                self.omega_rewrites.to_string(),
+            ),
+            (
+                "kg_nodes",
+                fin_kg.to_string(),
+                self.sink.node_count().to_string(),
+            ),
+            (
+                "prov_activities",
+                fin_prov.to_string(),
+                self.sink.activity_count().to_string(),
+            ),
+            ("tokens", fin_tokens.to_string(), self.tokens.to_string()),
+        ];
+        for (field, recorded, replayed) in checks {
+            if recorded != replayed {
+                return Err(ReplayError::IntegrityMismatch {
+                    field,
+                    recorded,
+                    replayed,
+                });
+            }
+        }
 
-    let sim_days = horizon.as_hours() / 24.0;
-    let weeks = sim_days / 7.0;
-    let report = CampaignReport {
-        cell_label,
-        experiments,
-        distinct_discoveries: peaks.len(),
-        total_hits,
-        sim_days,
-        discoveries_per_week: peaks.len() as f64 / weeks.max(1e-9),
-        samples_per_day: experiments as f64 / sim_days.max(1e-9),
-        time_to_first_hours,
-        best_score,
-        decision_wait_hours,
-        execution_hours,
-        rejected_proposals,
-        omega_rewrites,
-        kg_nodes: sink.node_count(),
-        prov_activities: sink.activity_count(),
-        tokens,
-    };
-    let (knowledge, provenance) = sink.into_stores();
-    Ok(ReplayOutcome {
-        report,
-        knowledge,
-        provenance,
-    })
+        let sim_days = self.horizon.as_hours() / 24.0;
+        let weeks = sim_days / 7.0;
+        let report = CampaignReport {
+            cell_label: self.cell_label.into_owned(),
+            experiments: self.experiments,
+            distinct_discoveries: self.peaks.len(),
+            total_hits: self.total_hits,
+            sim_days,
+            discoveries_per_week: self.peaks.len() as f64 / weeks.max(1e-9),
+            samples_per_day: self.experiments as f64 / sim_days.max(1e-9),
+            time_to_first_hours,
+            best_score,
+            decision_wait_hours: self.decision_wait_hours,
+            execution_hours: self.execution_hours,
+            rejected_proposals: self.rejected_proposals,
+            omega_rewrites: self.omega_rewrites,
+            kg_nodes: self.sink.node_count(),
+            prov_activities: self.sink.activity_count(),
+            tokens: self.tokens,
+        };
+        let (knowledge, provenance) = self.sink.into_stores();
+        Ok(ReplayOutcome {
+            report,
+            knowledge,
+            provenance,
+        })
+    }
 }
 
 /// Reconstruct a whole [`FleetReport`] from a fleet's merged ledger:

@@ -1,0 +1,1902 @@
+//! The compact binary ledger wire format (`EVWL`), and the encoding
+//! enum that keeps legacy JSON ledgers decodable forever.
+//!
+//! The ROADMAP names ledger serialization as the bottleneck for
+//! million-campaign fleets: a ~420-event campaign stream costs ~50 KB
+//! as JSON. This module replaces those bytes — without touching the
+//! event vocabulary or the replay semantics — with a length-prefixed
+//! binary encoding that is **≥5× smaller** (gated in `bench_ledger`)
+//! and **streamable**, so [`replay_ledger_bytes`] folds a ledger of any
+//! length in bounded memory: one decoded event at a time, never a
+//! materialized `Vec<CampaignEvent>`.
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic  b"EVWL"            4 bytes
+//! version u8 = 1
+//! kind    u8                0 campaign · 1 fleet · 2 fleet checkpoint · 3 service checkpoint
+//! body                      kind-specific, see below
+//! ```
+//!
+//! A **campaign body** (kind 0, also embedded inside every other kind):
+//!
+//! ```text
+//! header   varint segment_count · varint total_events · crc32(header)
+//! segment* varint seg_index · varint event_count
+//!          varint snap_experiments · varint snap_hits · varint snap_tokens
+//!          varint payload_len · payload · crc32(segment)
+//! ```
+//!
+//! Segments hold at most [`SEGMENT_EVENTS`] records. Each opens with a
+//! **snapshot** of the replay counters *before* its first event
+//! (experiments run, hits, tokens), so the reader cross-checks
+//! cumulative progress at every segment boundary — a tampered or
+//! spliced segment is refused at segment granularity
+//! ([`WireError::SnapshotMismatch`] / [`WireError::SegmentChecksum`])
+//! without decoding past it. Within a segment, each record is:
+//!
+//! ```text
+//! varint body_len · body (tag u8 + fields) · u16 fnv-fold
+//! ```
+//!
+//! The fold is the low 16 bits of an xor-folded FNV-1a64 state that
+//! **chains across records** — record *n*'s fold commits to every byte
+//! of records `0..=n`, so an edit anywhere poisons all later folds too.
+//! The segment CRC32 (IEEE, reflected) independently covers the whole
+//! segment span; CRC32 detects every single-bit error outright.
+//!
+//! Repeated strings (`cell_label`, `planner`, `facility`, `tenant`,
+//! fixed-policy `rationale`s) are **interned**: the first occurrence is
+//! written literally and assigned the next table id; every repeat costs
+//! one varint. Long free-text `rationale`s that are exact single-space
+//! word joins are **tokenized** — each word interned individually — so
+//! generated prose drawn from a small lexicon costs about a byte per
+//! word. Scalars are LEB128 varints, floats are 8-byte LE bit
+//! patterns (bit-exact round-trip, replay stays byte-identical), and
+//! sim clocks are varint nanoseconds.
+//!
+//! Container kinds (1–3) put every scalar field — seeds, committed
+//! reports, presence flags, embedded-body lengths — in one CRC32-guarded
+//! *section*, followed by the embedded campaign bodies (each
+//! self-validating). Every byte of every kind is therefore under a
+//! checksum: a single flipped bit or a truncated segment anywhere is
+//! refused with a typed [`WireError`].
+//!
+//! ## Migration story
+//!
+//! [`LedgerEncoding::detect`] sniffs the 4-byte magic: anything else is
+//! treated as legacy JSON and decoded through the unchanged serde path,
+//! pinned byte-for-byte by the snapshot tests in
+//! `tests/integration_serde.rs`. Writers choose per call —
+//! `ledger.to_bytes(LedgerEncoding::Binary)` — so archives mix freely.
+
+use super::{CampaignEvent, CampaignLedger, FleetLedger, ReplayError, ReplayFold, ReplayOutcome};
+use crate::campaign::CampaignReport;
+use crate::fleet::{
+    resume_campaign_fleet_recorded, FleetCheckpoint, FleetConfig, FleetLedgerCheckpoint,
+    FleetReport, FleetResumeError,
+};
+use crate::service::{
+    resume_service, RejectReason, ServiceCheckpoint, ServiceConfig, ServiceReport,
+    ServiceResumeError,
+};
+use crate::MaterialsSpace;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// File magic for all binary ledger artifacts.
+pub const MAGIC: [u8; 4] = *b"EVWL";
+/// Current wire version.
+pub const VERSION: u8 = 1;
+/// Maximum records per segment — the compaction granularity: replay
+/// validates counters this often, and corruption is localized to one
+/// segment's span.
+pub const SEGMENT_EVENTS: usize = 128;
+
+const KIND_CAMPAIGN: u8 = 0;
+const KIND_FLEET: u8 = 1;
+const KIND_FLEET_CHECKPOINT: u8 = 2;
+const KIND_SERVICE_CHECKPOINT: u8 = 3;
+
+/// How a ledger artifact is serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LedgerEncoding {
+    /// The legacy human-readable serde/JSON encoding. Never removed:
+    /// every ledger ever archived stays decodable.
+    Json,
+    /// The compact `EVWL` binary encoding defined by this module.
+    Binary,
+}
+
+impl LedgerEncoding {
+    /// Sniff the encoding of serialized ledger bytes. Binary artifacts
+    /// always start with the 4-byte [`MAGIC`]; anything else (including
+    /// truncated fragments) is treated as legacy JSON.
+    pub fn detect(bytes: &[u8]) -> LedgerEncoding {
+        if bytes.len() >= 4 && bytes[..4] == MAGIC {
+            LedgerEncoding::Binary
+        } else {
+            LedgerEncoding::Json
+        }
+    }
+}
+
+/// Why serialized ledger bytes were refused before (or while) decoding.
+///
+/// Every variant is a *refusal*: the bytes are never partially trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer does not start with the `EVWL` magic (and was asked
+    /// to decode as binary).
+    BadMagic,
+    /// The version byte is newer than this reader understands.
+    UnsupportedVersion(u8),
+    /// The artifact is a different kind than the caller asked for
+    /// (e.g. a fleet file handed to the campaign decoder).
+    WrongKind {
+        /// Kind byte the decoder expected.
+        expected: u8,
+        /// Kind byte found in the file.
+        found: u8,
+    },
+    /// The body header's CRC32 does not match its bytes.
+    HeaderChecksum,
+    /// A container section's CRC32 does not match its bytes.
+    SectionChecksum,
+    /// The buffer ended mid-structure.
+    UnexpectedEnd {
+        /// Byte offset at which input ran out.
+        at: usize,
+    },
+    /// A varint ran past 10 bytes (no valid u64 does).
+    VarintOverflow {
+        /// Byte offset of the offending varint.
+        at: usize,
+    },
+    /// A segment's declared index disagrees with its position.
+    SegmentOutOfOrder {
+        /// Segment ordinal expected next.
+        segment: u64,
+        /// Index the segment declared.
+        declared: u64,
+    },
+    /// A segment declares zero events (the writer never emits one).
+    EmptySegment {
+        /// Offending segment ordinal.
+        segment: u64,
+    },
+    /// A segment's CRC32 does not match its bytes.
+    SegmentChecksum {
+        /// Offending segment ordinal.
+        segment: u64,
+    },
+    /// A segment's opening counter snapshot disagrees with the replayed
+    /// stream so far — the segment was spliced from another ledger.
+    SnapshotMismatch {
+        /// Offending segment ordinal.
+        segment: u64,
+        /// Which counter disagreed.
+        field: &'static str,
+    },
+    /// A record's chained FNV fold does not match the stream.
+    RecordChecksum {
+        /// Segment holding the record.
+        segment: u64,
+        /// Record ordinal within the segment.
+        record: u64,
+    },
+    /// A record's declared length disagrees with its decoded fields, or
+    /// records overran the segment payload.
+    RecordOverrun {
+        /// Segment holding the record.
+        segment: u64,
+        /// Record ordinal within the segment.
+        record: u64,
+    },
+    /// An unknown event tag.
+    BadTag {
+        /// The tag byte.
+        tag: u8,
+    },
+    /// An interned-string id pointing outside the table built so far.
+    BadInternId {
+        /// The offending 1-based id.
+        id: u64,
+    },
+    /// A string payload is not valid UTF-8.
+    BadUtf8,
+    /// An unknown free-text encoding flag (not literal/tokenized).
+    BadTextFlag {
+        /// The flag byte.
+        flag: u8,
+    },
+    /// An unknown [`RejectReason`] code.
+    BadReason {
+        /// The code byte.
+        code: u8,
+    },
+    /// The body decoded a different number of events than its header
+    /// declared.
+    EventCountMismatch {
+        /// Count the header declared.
+        declared: u64,
+        /// Events actually decoded.
+        decoded: u64,
+    },
+    /// Bytes remained after the last declared structure.
+    TrailingBytes {
+        /// Offset of the first surplus byte.
+        at: usize,
+    },
+    /// Legacy-JSON decode failure (the bytes carried no binary magic).
+    Json(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "missing EVWL magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::WrongKind { expected, found } => {
+                write!(f, "wrong artifact kind: expected {expected}, found {found}")
+            }
+            WireError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            WireError::SectionChecksum => write!(f, "section checksum mismatch"),
+            WireError::UnexpectedEnd { at } => write!(f, "input truncated at byte {at}"),
+            WireError::VarintOverflow { at } => write!(f, "varint overflow at byte {at}"),
+            WireError::SegmentOutOfOrder { segment, declared } => {
+                write!(f, "segment {segment} declares index {declared}")
+            }
+            WireError::EmptySegment { segment } => write!(f, "segment {segment} declares 0 events"),
+            WireError::SegmentChecksum { segment } => {
+                write!(f, "segment {segment} checksum mismatch")
+            }
+            WireError::SnapshotMismatch { segment, field } => {
+                write!(f, "segment {segment} snapshot disagrees on {field}")
+            }
+            WireError::RecordChecksum { segment, record } => {
+                write!(f, "record {record} of segment {segment} checksum mismatch")
+            }
+            WireError::RecordOverrun { segment, record } => {
+                write!(f, "record {record} of segment {segment} length mismatch")
+            }
+            WireError::BadTag { tag } => write!(f, "unknown event tag {tag}"),
+            WireError::BadInternId { id } => write!(f, "interned string id {id} out of range"),
+            WireError::BadUtf8 => write!(f, "string payload is not UTF-8"),
+            WireError::BadTextFlag { flag } => {
+                write!(f, "unknown free-text encoding flag {flag}")
+            }
+            WireError::BadReason { code } => write!(f, "unknown reject-reason code {code}"),
+            WireError::EventCountMismatch { declared, decoded } => {
+                write!(f, "header declared {declared} events, decoded {decoded}")
+            }
+            WireError::TrailingBytes { at } => write!(f, "trailing bytes at offset {at}"),
+            WireError::Json(msg) => write!(f, "legacy JSON decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---- primitives -------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, reflected). Detects every single-bit error.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_absorb(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+fn fnv_fold16(state: u64) -> u16 {
+    let mut h = state;
+    h ^= h >> 32;
+    h ^= h >> 16;
+    (h & 0xFFFF) as u16
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_f64(out, x);
+        }
+    }
+}
+
+/// Byte cursor over a slice; every read is bounds-checked into a typed
+/// refusal.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEnd { at: self.buf.len() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let at = self.pos;
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(WireError::VarintOverflow { at });
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow { at });
+            }
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        if self.u8()? == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(self.f64()?))
+        }
+    }
+
+    fn u32_le(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+// ---- string interning -------------------------------------------------------
+
+/// Encode-side intern table: first occurrence writes `0 · len · bytes`
+/// and claims the next 1-based id; repeats write just the id. Ids are
+/// assigned in order of first use, so the byte stream is a pure
+/// function of the event sequence.
+#[derive(Default)]
+struct InternWriter {
+    ids: HashMap<String, u64>,
+}
+
+impl InternWriter {
+    fn put(&mut self, out: &mut Vec<u8>, s: &str) {
+        if let Some(&id) = self.ids.get(s) {
+            put_varint(out, id);
+        } else {
+            let id = self.ids.len() as u64 + 1;
+            self.ids.insert(s.to_string(), id);
+            put_varint(out, 0);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+
+    /// Free-text encoding for fields like generated `rationale`s: long
+    /// single-space-joined strings are split and each word interned
+    /// (flag 1 · varint word count · one intern ref per word), which
+    /// collapses simulated-LLM prose drawn from a small lexicon to about
+    /// a byte per word. Anything short, already whole-interned, or not
+    /// exactly word-join shaped stays a whole-string intern (flag 0),
+    /// so the round trip is lossless either way.
+    fn put_text(&mut self, out: &mut Vec<u8>, s: &str) {
+        if !self.ids.contains_key(s) && s.len() > 24 && s.contains(' ') {
+            let words: Vec<&str> = s.split(' ').collect();
+            if words.iter().all(|w| !w.is_empty()) {
+                out.push(1);
+                put_varint(out, words.len() as u64);
+                for w in words {
+                    self.put(out, w);
+                }
+                return;
+            }
+        }
+        out.push(0);
+        self.put(out, s);
+    }
+}
+
+/// Decode-side intern table, rebuilt in stream order.
+#[derive(Default)]
+struct InternReader {
+    table: Vec<String>,
+}
+
+impl InternReader {
+    fn get(&mut self, cur: &mut Cursor<'_>) -> Result<String, WireError> {
+        let id = cur.varint()?;
+        if id == 0 {
+            let len = cur.varint()? as usize;
+            let bytes = cur.take(len)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+            self.table.push(s.to_string());
+            Ok(s.to_string())
+        } else {
+            self.table
+                .get(id as usize - 1)
+                .cloned()
+                .ok_or(WireError::BadInternId { id })
+        }
+    }
+
+    /// Decode a [`InternWriter::put_text`] field: flag 0 is a whole-string
+    /// intern ref, flag 1 a word count followed by interned words to
+    /// rejoin with single spaces.
+    fn get_text(&mut self, cur: &mut Cursor<'_>) -> Result<String, WireError> {
+        match cur.u8()? {
+            0 => self.get(cur),
+            1 => {
+                let count = cur.varint()? as usize;
+                let mut words = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    words.push(self.get(cur)?);
+                }
+                Ok(words.join(" "))
+            }
+            flag => Err(WireError::BadTextFlag { flag }),
+        }
+    }
+}
+
+// ---- event codec ------------------------------------------------------------
+
+fn reason_code(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::UnknownTenant => 0,
+        RejectReason::QueueFull => 1,
+        RejectReason::AdmissionCapExhausted => 2,
+    }
+}
+
+fn reason_from_code(code: u8) -> Result<RejectReason, WireError> {
+    match code {
+        0 => Ok(RejectReason::UnknownTenant),
+        1 => Ok(RejectReason::QueueFull),
+        2 => Ok(RejectReason::AdmissionCapExhausted),
+        _ => Err(WireError::BadReason { code }),
+    }
+}
+
+/// Tags are the declaration order of [`CampaignEvent`]'s variants and
+/// are frozen: new variants append, existing tags never renumber.
+fn encode_event(out: &mut Vec<u8>, strings: &mut InternWriter, event: &CampaignEvent) {
+    match event {
+        CampaignEvent::CampaignStarted {
+            cell_label,
+            seed,
+            planner,
+            lanes,
+            horizon,
+            threshold,
+            max_experiments,
+            records_knowledge,
+        } => {
+            out.push(0);
+            strings.put(out, cell_label);
+            put_varint(out, *seed);
+            strings.put(out, planner);
+            put_varint(out, *lanes as u64);
+            put_varint(out, horizon.as_nanos());
+            put_f64(out, *threshold);
+            put_varint(out, *max_experiments);
+            put_bool(out, *records_knowledge);
+        }
+        CampaignEvent::IterationStarted {
+            lane,
+            at,
+            decision_ready,
+        } => {
+            out.push(1);
+            put_varint(out, *lane as u64);
+            put_varint(out, at.as_nanos());
+            put_varint(out, decision_ready.as_nanos());
+        }
+        CampaignEvent::CandidateProposed {
+            lane,
+            params,
+            rationale,
+            confidence,
+            hallucinated,
+        } => {
+            out.push(2);
+            put_varint(out, *lane as u64);
+            put_varint(out, params.len() as u64);
+            for p in params {
+                put_f64(out, *p);
+            }
+            strings.put_text(out, rationale);
+            put_f64(out, *confidence);
+            put_bool(out, *hallucinated);
+        }
+        CampaignEvent::ExecutionScheduled {
+            lane,
+            batch,
+            duration,
+            done_at,
+        } => {
+            out.push(3);
+            put_varint(out, *lane as u64);
+            put_varint(out, *batch as u64);
+            put_varint(out, duration.as_nanos());
+            put_varint(out, done_at.as_nanos());
+        }
+        CampaignEvent::ResultObserved {
+            lane,
+            experiment,
+            score,
+            hit,
+            peak,
+            tokens_in,
+            tokens_out,
+        } => {
+            out.push(4);
+            put_varint(out, *lane as u64);
+            put_varint(out, *experiment);
+            put_f64(out, *score);
+            put_bool(out, *hit);
+            put_varint(out, peak.map_or(0, |p| p as u64 + 1));
+            put_varint(out, *tokens_in);
+            put_varint(out, *tokens_out);
+        }
+        CampaignEvent::GateDecision {
+            lane,
+            rejected_total,
+        } => {
+            out.push(5);
+            put_varint(out, *lane as u64);
+            put_varint(out, *rejected_total);
+        }
+        CampaignEvent::OmegaRewrite {
+            lane,
+            rewrites_total,
+        } => {
+            out.push(6);
+            put_varint(out, *lane as u64);
+            put_varint(out, u64::from(*rewrites_total));
+        }
+        CampaignEvent::IterationEnded {
+            lane,
+            proposed,
+            hits,
+            tokens_total,
+        } => {
+            out.push(7);
+            put_varint(out, *lane as u64);
+            put_varint(out, *proposed as u64);
+            put_varint(out, *hits);
+            put_varint(out, *tokens_total);
+        }
+        CampaignEvent::CampaignFinished {
+            experiments,
+            total_hits,
+            distinct_discoveries,
+            best_score,
+            time_to_first_hours,
+            decision_wait_hours,
+            execution_hours,
+            rejected_proposals,
+            omega_rewrites,
+            kg_nodes,
+            prov_activities,
+            tokens,
+        } => {
+            out.push(8);
+            put_varint(out, *experiments);
+            put_varint(out, *total_hits);
+            put_varint(out, *distinct_discoveries as u64);
+            put_f64(out, *best_score);
+            put_opt_f64(out, *time_to_first_hours);
+            put_f64(out, *decision_wait_hours);
+            put_f64(out, *execution_hours);
+            put_varint(out, *rejected_proposals);
+            put_varint(out, u64::from(*omega_rewrites));
+            put_varint(out, *kg_nodes as u64);
+            put_varint(out, *prov_activities as u64);
+            put_varint(out, *tokens);
+        }
+        CampaignEvent::CheckpointTaken { committed, total } => {
+            out.push(9);
+            put_varint(out, *committed as u64);
+            put_varint(out, *total as u64);
+        }
+        CampaignEvent::CoordinatorKilled { after_commits } => {
+            out.push(10);
+            put_varint(out, *after_commits as u64);
+        }
+        CampaignEvent::CampaignPlaced {
+            campaign,
+            facility,
+            nodes,
+            arrival,
+            evacuation,
+        } => {
+            out.push(11);
+            put_varint(out, *campaign as u64);
+            strings.put(out, facility);
+            put_varint(out, *nodes);
+            put_varint(out, arrival.as_nanos());
+            put_bool(out, *evacuation);
+        }
+        CampaignEvent::DataTransferred {
+            campaign,
+            from,
+            to,
+            gigabytes,
+            duration,
+            evacuation,
+        } => {
+            out.push(12);
+            put_varint(out, *campaign as u64);
+            strings.put(out, from);
+            strings.put(out, to);
+            put_f64(out, *gigabytes);
+            put_varint(out, duration.as_nanos());
+            put_bool(out, *evacuation);
+        }
+        CampaignEvent::OutageStruck { site, at, rerouted } => {
+            out.push(13);
+            strings.put(out, site);
+            put_varint(out, at.as_nanos());
+            put_varint(out, *rerouted as u64);
+        }
+        CampaignEvent::SubmissionAdmitted {
+            tenant,
+            admission_index,
+            round,
+        } => {
+            out.push(14);
+            strings.put(out, tenant);
+            put_varint(out, *admission_index as u64);
+            put_varint(out, *round as u64);
+        }
+        CampaignEvent::SubmissionRejected {
+            tenant,
+            submission_index,
+            round,
+            reason,
+        } => {
+            out.push(15);
+            strings.put(out, tenant);
+            put_varint(out, *submission_index as u64);
+            put_varint(out, *round as u64);
+            out.push(reason_code(*reason));
+        }
+        CampaignEvent::CampaignDispatched {
+            tenant,
+            admission_index,
+            round,
+            slot,
+        } => {
+            out.push(16);
+            strings.put(out, tenant);
+            put_varint(out, *admission_index as u64);
+            put_varint(out, *round as u64);
+            put_varint(out, *slot as u64);
+        }
+    }
+}
+
+fn decode_event(
+    cur: &mut Cursor<'_>,
+    strings: &mut InternReader,
+) -> Result<CampaignEvent, WireError> {
+    let tag = cur.u8()?;
+    let owned = |s: String| -> Cow<'static, str> { Cow::Owned(s) };
+    Ok(match tag {
+        0 => CampaignEvent::CampaignStarted {
+            cell_label: owned(strings.get(cur)?),
+            seed: cur.varint()?,
+            planner: owned(strings.get(cur)?),
+            lanes: cur.varint()? as usize,
+            horizon: evoflow_sim::SimDuration::from_nanos(cur.varint()?),
+            threshold: cur.f64()?,
+            max_experiments: cur.varint()?,
+            records_knowledge: cur.bool()?,
+        },
+        1 => CampaignEvent::IterationStarted {
+            lane: cur.varint()? as usize,
+            at: evoflow_sim::SimTime::from_nanos(cur.varint()?),
+            decision_ready: evoflow_sim::SimTime::from_nanos(cur.varint()?),
+        },
+        2 => {
+            let lane = cur.varint()? as usize;
+            let n = cur.varint()? as usize;
+            let mut params = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                params.push(cur.f64()?);
+            }
+            CampaignEvent::CandidateProposed {
+                lane,
+                params,
+                rationale: owned(strings.get_text(cur)?),
+                confidence: cur.f64()?,
+                hallucinated: cur.bool()?,
+            }
+        }
+        3 => CampaignEvent::ExecutionScheduled {
+            lane: cur.varint()? as usize,
+            batch: cur.varint()? as usize,
+            duration: evoflow_sim::SimDuration::from_nanos(cur.varint()?),
+            done_at: evoflow_sim::SimTime::from_nanos(cur.varint()?),
+        },
+        4 => CampaignEvent::ResultObserved {
+            lane: cur.varint()? as usize,
+            experiment: cur.varint()?,
+            score: cur.f64()?,
+            hit: cur.bool()?,
+            peak: match cur.varint()? {
+                0 => None,
+                p => Some(p as usize - 1),
+            },
+            tokens_in: cur.varint()?,
+            tokens_out: cur.varint()?,
+        },
+        5 => CampaignEvent::GateDecision {
+            lane: cur.varint()? as usize,
+            rejected_total: cur.varint()?,
+        },
+        6 => CampaignEvent::OmegaRewrite {
+            lane: cur.varint()? as usize,
+            rewrites_total: cur.varint()? as u32,
+        },
+        7 => CampaignEvent::IterationEnded {
+            lane: cur.varint()? as usize,
+            proposed: cur.varint()? as usize,
+            hits: cur.varint()?,
+            tokens_total: cur.varint()?,
+        },
+        8 => CampaignEvent::CampaignFinished {
+            experiments: cur.varint()?,
+            total_hits: cur.varint()?,
+            distinct_discoveries: cur.varint()? as usize,
+            best_score: cur.f64()?,
+            time_to_first_hours: cur.opt_f64()?,
+            decision_wait_hours: cur.f64()?,
+            execution_hours: cur.f64()?,
+            rejected_proposals: cur.varint()?,
+            omega_rewrites: cur.varint()? as u32,
+            kg_nodes: cur.varint()? as usize,
+            prov_activities: cur.varint()? as usize,
+            tokens: cur.varint()?,
+        },
+        9 => CampaignEvent::CheckpointTaken {
+            committed: cur.varint()? as usize,
+            total: cur.varint()? as usize,
+        },
+        10 => CampaignEvent::CoordinatorKilled {
+            after_commits: cur.varint()? as usize,
+        },
+        11 => CampaignEvent::CampaignPlaced {
+            campaign: cur.varint()? as usize,
+            facility: owned(strings.get(cur)?),
+            nodes: cur.varint()?,
+            arrival: evoflow_sim::SimTime::from_nanos(cur.varint()?),
+            evacuation: cur.bool()?,
+        },
+        12 => CampaignEvent::DataTransferred {
+            campaign: cur.varint()? as usize,
+            from: owned(strings.get(cur)?),
+            to: owned(strings.get(cur)?),
+            gigabytes: cur.f64()?,
+            duration: evoflow_sim::SimDuration::from_nanos(cur.varint()?),
+            evacuation: cur.bool()?,
+        },
+        13 => CampaignEvent::OutageStruck {
+            site: owned(strings.get(cur)?),
+            at: evoflow_sim::SimTime::from_nanos(cur.varint()?),
+            rerouted: cur.varint()? as usize,
+        },
+        14 => CampaignEvent::SubmissionAdmitted {
+            tenant: owned(strings.get(cur)?),
+            admission_index: cur.varint()? as usize,
+            round: cur.varint()? as usize,
+        },
+        15 => CampaignEvent::SubmissionRejected {
+            tenant: owned(strings.get(cur)?),
+            submission_index: cur.varint()? as usize,
+            round: cur.varint()? as usize,
+            reason: reason_from_code(cur.u8()?)?,
+        },
+        16 => CampaignEvent::CampaignDispatched {
+            tenant: owned(strings.get(cur)?),
+            admission_index: cur.varint()? as usize,
+            round: cur.varint()? as usize,
+            slot: cur.varint()? as usize,
+        },
+        tag => return Err(WireError::BadTag { tag }),
+    })
+}
+
+// ---- body writer ------------------------------------------------------------
+
+/// Incremental encoder for one event stream: batches records into
+/// ≤[`SEGMENT_EVENTS`]-event segments, each prefixed with the replay
+/// counter snapshot and sealed with a CRC32.
+struct BodyWriter {
+    segments: Vec<u8>,
+    seg: Vec<u8>,
+    seg_index: u64,
+    seg_events: u64,
+    total_events: u64,
+    fnv: u64,
+    strings: InternWriter,
+    experiments: u64,
+    hits: u64,
+    tokens: u64,
+    snap_experiments: u64,
+    snap_hits: u64,
+    snap_tokens: u64,
+}
+
+impl BodyWriter {
+    fn new() -> Self {
+        BodyWriter {
+            segments: Vec::new(),
+            seg: Vec::new(),
+            seg_index: 0,
+            seg_events: 0,
+            total_events: 0,
+            fnv: FNV_OFFSET,
+            strings: InternWriter::default(),
+            experiments: 0,
+            hits: 0,
+            tokens: 0,
+            snap_experiments: 0,
+            snap_hits: 0,
+            snap_tokens: 0,
+        }
+    }
+
+    fn push(&mut self, event: &CampaignEvent) {
+        let mut body = Vec::with_capacity(32);
+        encode_event(&mut body, &mut self.strings, event);
+        put_varint(&mut self.seg, body.len() as u64);
+        self.seg.extend_from_slice(&body);
+        self.fnv = fnv_absorb(self.fnv, &body);
+        self.seg
+            .extend_from_slice(&fnv_fold16(self.fnv).to_le_bytes());
+        self.seg_events += 1;
+        self.total_events += 1;
+        match event {
+            CampaignEvent::ResultObserved { hit, .. } => {
+                self.experiments += 1;
+                if *hit {
+                    self.hits += 1;
+                }
+            }
+            CampaignEvent::IterationEnded { tokens_total, .. } => self.tokens = *tokens_total,
+            _ => {}
+        }
+        if self.seg_events as usize == SEGMENT_EVENTS {
+            self.flush_segment();
+        }
+    }
+
+    fn flush_segment(&mut self) {
+        if self.seg_events == 0 {
+            return;
+        }
+        let start = self.segments.len();
+        put_varint(&mut self.segments, self.seg_index);
+        put_varint(&mut self.segments, self.seg_events);
+        put_varint(&mut self.segments, self.snap_experiments);
+        put_varint(&mut self.segments, self.snap_hits);
+        put_varint(&mut self.segments, self.snap_tokens);
+        put_varint(&mut self.segments, self.seg.len() as u64);
+        self.segments.extend_from_slice(&self.seg);
+        let crc = crc32(&self.segments[start..]);
+        self.segments.extend_from_slice(&crc.to_le_bytes());
+        self.seg.clear();
+        self.seg_events = 0;
+        self.seg_index += 1;
+        self.snap_experiments = self.experiments;
+        self.snap_hits = self.hits;
+        self.snap_tokens = self.tokens;
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        self.flush_segment();
+        let mut out = Vec::with_capacity(self.segments.len() + 16);
+        put_varint(&mut out, self.seg_index);
+        put_varint(&mut out, self.total_events);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&self.segments);
+        out
+    }
+}
+
+fn encode_body<'a>(events: impl IntoIterator<Item = &'a CampaignEvent>) -> Vec<u8> {
+    let mut w = BodyWriter::new();
+    for e in events {
+        w.push(e);
+    }
+    w.finish()
+}
+
+// ---- body reader ------------------------------------------------------------
+
+/// Streaming decoder for one event stream body: yields events one at a
+/// time, validating the header CRC up front, every segment CRC before
+/// touching its records, every record's chained fold, and every
+/// segment's counter snapshot against the stream replayed so far.
+/// Memory stays bounded by one record plus the intern table.
+struct BodyReader<'a> {
+    cur: Cursor<'a>,
+    segment_count: u64,
+    total_events: u64,
+    seg: u64,
+    seg_events_left: u64,
+    seg_end: usize,
+    record: u64,
+    events_read: u64,
+    fnv: u64,
+    strings: InternReader,
+    experiments: u64,
+    hits: u64,
+    tokens: u64,
+    done: bool,
+}
+
+impl<'a> BodyReader<'a> {
+    fn new(buf: &'a [u8]) -> Result<Self, WireError> {
+        let mut cur = Cursor::new(buf);
+        let segment_count = cur.varint()?;
+        let total_events = cur.varint()?;
+        let expect = crc32(&buf[..cur.pos]);
+        if cur.u32_le()? != expect {
+            return Err(WireError::HeaderChecksum);
+        }
+        Ok(BodyReader {
+            cur,
+            segment_count,
+            total_events,
+            seg: 0,
+            seg_events_left: 0,
+            seg_end: 0,
+            record: 0,
+            events_read: 0,
+            fnv: FNV_OFFSET,
+            strings: InternReader::default(),
+            experiments: 0,
+            hits: 0,
+            tokens: 0,
+            done: false,
+        })
+    }
+
+    fn open_segment(&mut self) -> Result<(), WireError> {
+        let seg_start = self.cur.pos;
+        let declared = self.cur.varint()?;
+        if declared != self.seg {
+            return Err(WireError::SegmentOutOfOrder {
+                segment: self.seg,
+                declared,
+            });
+        }
+        let event_count = self.cur.varint()?;
+        if event_count == 0 {
+            return Err(WireError::EmptySegment { segment: self.seg });
+        }
+        let snaps = [
+            ("experiments", self.cur.varint()?, self.experiments),
+            ("hits", self.cur.varint()?, self.hits),
+            ("tokens", self.cur.varint()?, self.tokens),
+        ];
+        for (field, declared, replayed) in snaps {
+            if declared != replayed {
+                return Err(WireError::SnapshotMismatch {
+                    segment: self.seg,
+                    field,
+                });
+            }
+        }
+        let payload_len = self.cur.varint()? as usize;
+        let end_of_input = WireError::UnexpectedEnd {
+            at: self.cur.buf.len(),
+        };
+        let payload_end = self
+            .cur
+            .pos
+            .checked_add(payload_len)
+            .filter(|e| e.checked_add(4).is_some_and(|e| e <= self.cur.buf.len()))
+            .ok_or(end_of_input)?;
+        let expect = crc32(&self.cur.buf[seg_start..payload_end]);
+        let stored = u32::from_le_bytes(
+            self.cur.buf[payload_end..payload_end + 4]
+                .try_into()
+                .unwrap(),
+        );
+        if stored != expect {
+            return Err(WireError::SegmentChecksum { segment: self.seg });
+        }
+        self.seg_end = payload_end;
+        self.seg_events_left = event_count;
+        self.record = 0;
+        Ok(())
+    }
+
+    fn next_event(&mut self) -> Result<Option<CampaignEvent>, WireError> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.seg_events_left == 0 {
+            if self.seg == self.segment_count {
+                if self.events_read != self.total_events {
+                    return Err(WireError::EventCountMismatch {
+                        declared: self.total_events,
+                        decoded: self.events_read,
+                    });
+                }
+                if self.cur.remaining() != 0 {
+                    return Err(WireError::TrailingBytes { at: self.cur.pos });
+                }
+                self.done = true;
+                return Ok(None);
+            }
+            self.open_segment()?;
+        }
+        let body_len = self.cur.varint()? as usize;
+        let overrun = WireError::RecordOverrun {
+            segment: self.seg,
+            record: self.record,
+        };
+        let body_end = match self.cur.pos.checked_add(body_len) {
+            Some(e) if e.checked_add(2).is_some_and(|e| e <= self.seg_end) => e,
+            _ => return Err(overrun),
+        };
+        let body = &self.cur.buf[self.cur.pos..body_end];
+        self.fnv = fnv_absorb(self.fnv, body);
+        let stored = u16::from_le_bytes(self.cur.buf[body_end..body_end + 2].try_into().unwrap());
+        if stored != fnv_fold16(self.fnv) {
+            return Err(WireError::RecordChecksum {
+                segment: self.seg,
+                record: self.record,
+            });
+        }
+        let mut bcur = Cursor::new(body);
+        let event = decode_event(&mut bcur, &mut self.strings)?;
+        if bcur.remaining() != 0 {
+            return Err(overrun);
+        }
+        self.cur.pos = body_end + 2;
+        self.record += 1;
+        self.seg_events_left -= 1;
+        self.events_read += 1;
+        match &event {
+            CampaignEvent::ResultObserved { hit, .. } => {
+                self.experiments += 1;
+                if *hit {
+                    self.hits += 1;
+                }
+            }
+            CampaignEvent::IterationEnded { tokens_total, .. } => self.tokens = *tokens_total,
+            _ => {}
+        }
+        if self.seg_events_left == 0 {
+            if self.cur.pos != self.seg_end {
+                return Err(WireError::TrailingBytes { at: self.cur.pos });
+            }
+            // Skip the already-verified segment CRC.
+            self.cur.pos = self.seg_end + 4;
+            self.seg += 1;
+        }
+        Ok(Some(event))
+    }
+
+    fn collect(mut self) -> Result<Vec<CampaignEvent>, WireError> {
+        let mut events = Vec::with_capacity(self.total_events.min(1 << 20) as usize);
+        while let Some(e) = self.next_event()? {
+            events.push(e);
+        }
+        Ok(events)
+    }
+}
+
+// ---- envelope + containers --------------------------------------------------
+
+fn envelope(kind: u8, body_capacity: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + body_capacity);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out
+}
+
+fn check_envelope(bytes: &[u8], kind: u8) -> Result<&[u8], WireError> {
+    if bytes.len() < 6 {
+        return Err(WireError::UnexpectedEnd { at: bytes.len() });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[4]));
+    }
+    if bytes[5] != kind {
+        return Err(WireError::WrongKind {
+            expected: kind,
+            found: bytes[5],
+        });
+    }
+    Ok(&bytes[6..])
+}
+
+fn put_report(out: &mut Vec<u8>, strings: &mut InternWriter, r: &CampaignReport) {
+    strings.put(out, &r.cell_label);
+    put_varint(out, r.experiments);
+    put_varint(out, r.distinct_discoveries as u64);
+    put_varint(out, r.total_hits);
+    put_f64(out, r.sim_days);
+    put_f64(out, r.discoveries_per_week);
+    put_f64(out, r.samples_per_day);
+    put_opt_f64(out, r.time_to_first_hours);
+    put_f64(out, r.best_score);
+    put_f64(out, r.decision_wait_hours);
+    put_f64(out, r.execution_hours);
+    put_varint(out, r.rejected_proposals);
+    put_varint(out, u64::from(r.omega_rewrites));
+    put_varint(out, r.kg_nodes as u64);
+    put_varint(out, r.prov_activities as u64);
+    put_varint(out, r.tokens);
+}
+
+fn get_report(
+    cur: &mut Cursor<'_>,
+    strings: &mut InternReader,
+) -> Result<CampaignReport, WireError> {
+    Ok(CampaignReport {
+        cell_label: strings.get(cur)?,
+        experiments: cur.varint()?,
+        distinct_discoveries: cur.varint()? as usize,
+        total_hits: cur.varint()?,
+        sim_days: cur.f64()?,
+        discoveries_per_week: cur.f64()?,
+        samples_per_day: cur.f64()?,
+        time_to_first_hours: cur.opt_f64()?,
+        best_score: cur.f64()?,
+        decision_wait_hours: cur.f64()?,
+        execution_hours: cur.f64()?,
+        rejected_proposals: cur.varint()?,
+        omega_rewrites: cur.varint()? as u32,
+        kg_nodes: cur.varint()? as usize,
+        prov_activities: cur.varint()? as usize,
+        tokens: cur.varint()?,
+    })
+}
+
+/// Shared shape of both checkpoint kinds: per-slot seeds, optional
+/// committed reports, optional committed ledgers, plus a trailing
+/// fleet-scoped event stream.
+struct CheckpointParts {
+    master_seed: u64,
+    seeds: Vec<u64>,
+    completed: Vec<Option<CampaignReport>>,
+    ledgers: Vec<Option<CampaignLedger>>,
+    events: Vec<CampaignEvent>,
+}
+
+/// Encode a container: one CRC32-sealed scalar *section* holding every
+/// seed, report, presence flag, and embedded-body length — then the
+/// self-validating campaign bodies back to back. Every byte of the file
+/// sits under exactly one checksum.
+fn encode_checkpoint(kind: u8, parts: &CheckpointParts) -> Vec<u8> {
+    let bodies: Vec<Option<Vec<u8>>> = parts
+        .ledgers
+        .iter()
+        .map(|l| l.as_ref().map(|l| encode_body(&l.events)))
+        .collect();
+    let events_body = encode_body(&parts.events);
+
+    let mut section = Vec::new();
+    let mut strings = InternWriter::default();
+    put_varint(&mut section, parts.master_seed);
+    put_varint(&mut section, parts.seeds.len() as u64);
+    for &s in &parts.seeds {
+        put_varint(&mut section, s);
+    }
+    for r in &parts.completed {
+        match r {
+            None => section.push(0),
+            Some(r) => {
+                section.push(1);
+                put_report(&mut section, &mut strings, r);
+            }
+        }
+    }
+    for b in &bodies {
+        match b {
+            None => put_varint(&mut section, 0),
+            Some(b) => put_varint(&mut section, b.len() as u64 + 1),
+        }
+    }
+    put_varint(&mut section, events_body.len() as u64);
+
+    let mut out = envelope(kind, section.len() + events_body.len() + 64);
+    put_varint(&mut out, section.len() as u64);
+    out.extend_from_slice(&section);
+    out.extend_from_slice(&crc32(&section).to_le_bytes());
+    for b in bodies.into_iter().flatten() {
+        out.extend_from_slice(&b);
+    }
+    out.extend_from_slice(&events_body);
+    out
+}
+
+fn decode_checkpoint(bytes: &[u8], kind: u8) -> Result<CheckpointParts, WireError> {
+    let body = check_envelope(bytes, kind)?;
+    let mut cur = Cursor::new(body);
+    let section_len = cur.varint()? as usize;
+    let section = cur.take(section_len)?;
+    let stored = cur.u32_le()?;
+    if stored != crc32(section) {
+        return Err(WireError::SectionChecksum);
+    }
+    let mut scur = Cursor::new(section);
+    let mut strings = InternReader::default();
+    let master_seed = scur.varint()?;
+    let n = scur.varint()? as usize;
+    let mut seeds = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        seeds.push(scur.varint()?);
+    }
+    let mut completed = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        completed.push(match scur.u8()? {
+            0 => None,
+            _ => Some(get_report(&mut scur, &mut strings)?),
+        });
+    }
+    let mut body_lens: Vec<Option<usize>> = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        body_lens.push(match scur.varint()? {
+            0 => None,
+            l => Some(l as usize - 1),
+        });
+    }
+    let events_len = scur.varint()? as usize;
+    if scur.remaining() != 0 {
+        return Err(WireError::TrailingBytes { at: scur.pos });
+    }
+    let mut ledgers = Vec::with_capacity(n.min(1 << 16));
+    for len in body_lens {
+        ledgers.push(match len {
+            None => None,
+            Some(len) => {
+                let slice = cur.take(len)?;
+                Some(CampaignLedger {
+                    events: BodyReader::new(slice)?.collect()?,
+                })
+            }
+        });
+    }
+    let events_slice = cur.take(events_len)?;
+    let events = BodyReader::new(events_slice)?.collect()?;
+    if cur.remaining() != 0 {
+        return Err(WireError::TrailingBytes { at: cur.pos });
+    }
+    Ok(CheckpointParts {
+        master_seed,
+        seeds,
+        completed,
+        ledgers,
+        events,
+    })
+}
+
+// ---- public codecs ----------------------------------------------------------
+
+fn json_bytes<T: Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_string(value)
+        .expect("ledger JSON serialization cannot fail")
+        .into_bytes()
+}
+
+fn from_json_bytes<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, WireError> {
+    let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+    serde_json::from_str(s).map_err(|e| WireError::Json(e.to_string()))
+}
+
+impl CampaignLedger {
+    /// Serialize under the chosen encoding. Binary is the `EVWL` format
+    /// documented at [module level](self); JSON is the legacy serde
+    /// encoding, byte-for-byte what the repo always produced.
+    pub fn to_bytes(&self, encoding: LedgerEncoding) -> Vec<u8> {
+        match encoding {
+            LedgerEncoding::Json => json_bytes(self),
+            LedgerEncoding::Binary => {
+                let body = encode_body(&self.events);
+                let mut out = envelope(KIND_CAMPAIGN, body.len());
+                out.extend_from_slice(&body);
+                out
+            }
+        }
+    }
+
+    /// Decode from either encoding, sniffed via [`LedgerEncoding::detect`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<CampaignLedger, WireError> {
+        match LedgerEncoding::detect(bytes) {
+            LedgerEncoding::Json => from_json_bytes(bytes),
+            LedgerEncoding::Binary => {
+                let body = check_envelope(bytes, KIND_CAMPAIGN)?;
+                Ok(CampaignLedger {
+                    events: BodyReader::new(body)?.collect()?,
+                })
+            }
+        }
+    }
+}
+
+impl FleetLedger {
+    /// Serialize under the chosen encoding (binary: kind-1 `EVWL`, one
+    /// embedded campaign body per shard).
+    pub fn to_bytes(&self, encoding: LedgerEncoding) -> Vec<u8> {
+        match encoding {
+            LedgerEncoding::Json => json_bytes(self),
+            LedgerEncoding::Binary => {
+                let bodies: Vec<Vec<u8>> = self
+                    .campaigns
+                    .iter()
+                    .map(|c| encode_body(&c.events))
+                    .collect();
+                let mut section = Vec::new();
+                put_varint(&mut section, self.master_seed);
+                put_varint(&mut section, bodies.len() as u64);
+                for b in &bodies {
+                    put_varint(&mut section, b.len() as u64);
+                }
+                let mut out = envelope(
+                    KIND_FLEET,
+                    section.len() + bodies.iter().map(Vec::len).sum::<usize>(),
+                );
+                put_varint(&mut out, section.len() as u64);
+                out.extend_from_slice(&section);
+                out.extend_from_slice(&crc32(&section).to_le_bytes());
+                for b in &bodies {
+                    out.extend_from_slice(b);
+                }
+                out
+            }
+        }
+    }
+
+    /// Decode from either encoding, sniffed via [`LedgerEncoding::detect`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<FleetLedger, WireError> {
+        match LedgerEncoding::detect(bytes) {
+            LedgerEncoding::Json => from_json_bytes(bytes),
+            LedgerEncoding::Binary => {
+                let (master_seed, slices) = fleet_body_slices(bytes)?;
+                let mut campaigns = Vec::with_capacity(slices.len());
+                for slice in slices {
+                    campaigns.push(CampaignLedger {
+                        events: BodyReader::new(slice)?.collect()?,
+                    });
+                }
+                Ok(FleetLedger {
+                    master_seed,
+                    campaigns,
+                })
+            }
+        }
+    }
+}
+
+/// Parse a kind-1 file down to its per-campaign body slices without
+/// decoding any events.
+fn fleet_body_slices(bytes: &[u8]) -> Result<(u64, Vec<&[u8]>), WireError> {
+    let body = check_envelope(bytes, KIND_FLEET)?;
+    let mut cur = Cursor::new(body);
+    let section_len = cur.varint()? as usize;
+    let section = cur.take(section_len)?;
+    let stored = cur.u32_le()?;
+    if stored != crc32(section) {
+        return Err(WireError::SectionChecksum);
+    }
+    let mut scur = Cursor::new(section);
+    let master_seed = scur.varint()?;
+    let n = scur.varint()? as usize;
+    let mut lens = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        lens.push(scur.varint()? as usize);
+    }
+    if scur.remaining() != 0 {
+        return Err(WireError::TrailingBytes { at: scur.pos });
+    }
+    let mut slices = Vec::with_capacity(n.min(1 << 16));
+    for len in lens {
+        slices.push(cur.take(len)?);
+    }
+    if cur.remaining() != 0 {
+        return Err(WireError::TrailingBytes { at: cur.pos });
+    }
+    Ok((master_seed, slices))
+}
+
+impl FleetLedgerCheckpoint {
+    /// Serialize under the chosen encoding (binary: kind-2 `EVWL`).
+    pub fn to_bytes(&self, encoding: LedgerEncoding) -> Vec<u8> {
+        match encoding {
+            LedgerEncoding::Json => json_bytes(self),
+            LedgerEncoding::Binary => encode_checkpoint(
+                KIND_FLEET_CHECKPOINT,
+                &CheckpointParts {
+                    master_seed: self.fleet.master_seed,
+                    seeds: self.fleet.shard_seeds.clone(),
+                    completed: self.fleet.completed.clone(),
+                    ledgers: self.ledgers.clone(),
+                    events: self.events.clone(),
+                },
+            ),
+        }
+    }
+
+    /// Decode from either encoding, sniffed via [`LedgerEncoding::detect`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<FleetLedgerCheckpoint, WireError> {
+        match LedgerEncoding::detect(bytes) {
+            LedgerEncoding::Json => from_json_bytes(bytes),
+            LedgerEncoding::Binary => {
+                let parts = decode_checkpoint(bytes, KIND_FLEET_CHECKPOINT)?;
+                Ok(FleetLedgerCheckpoint {
+                    fleet: FleetCheckpoint {
+                        master_seed: parts.master_seed,
+                        shard_seeds: parts.seeds,
+                        completed: parts.completed,
+                    },
+                    ledgers: parts.ledgers,
+                    events: parts.events,
+                })
+            }
+        }
+    }
+}
+
+impl ServiceCheckpoint {
+    /// Serialize under the chosen encoding (binary: kind-3 `EVWL`).
+    pub fn to_bytes(&self, encoding: LedgerEncoding) -> Vec<u8> {
+        match encoding {
+            LedgerEncoding::Json => json_bytes(self),
+            LedgerEncoding::Binary => encode_checkpoint(
+                KIND_SERVICE_CHECKPOINT,
+                &CheckpointParts {
+                    master_seed: self.master_seed,
+                    seeds: self.seeds.clone(),
+                    completed: self.completed.clone(),
+                    ledgers: self.ledgers.clone(),
+                    events: self.events.clone(),
+                },
+            ),
+        }
+    }
+
+    /// Decode from either encoding, sniffed via [`LedgerEncoding::detect`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<ServiceCheckpoint, WireError> {
+        match LedgerEncoding::detect(bytes) {
+            LedgerEncoding::Json => from_json_bytes(bytes),
+            LedgerEncoding::Binary => {
+                let parts = decode_checkpoint(bytes, KIND_SERVICE_CHECKPOINT)?;
+                Ok(ServiceCheckpoint {
+                    master_seed: parts.master_seed,
+                    seeds: parts.seeds,
+                    completed: parts.completed,
+                    ledgers: parts.ledgers,
+                    events: parts.events,
+                })
+            }
+        }
+    }
+}
+
+// ---- streaming replay -------------------------------------------------------
+
+/// Replay serialized campaign-ledger bytes directly.
+///
+/// For binary artifacts this **streams**: each record is decoded,
+/// validated (segment CRC, chained fold, snapshot counters), folded
+/// into the replay, and dropped — memory stays bounded however long the
+/// ledger, which is the point of segment-based compaction. Legacy JSON
+/// bytes take the classic decode-then-[`replay_ledger`](super::replay_ledger)
+/// path and produce byte-identical reports.
+pub fn replay_ledger_bytes(bytes: &[u8]) -> Result<ReplayOutcome, ReplayError> {
+    match LedgerEncoding::detect(bytes) {
+        LedgerEncoding::Json => {
+            let ledger = CampaignLedger::from_bytes(bytes)?;
+            super::replay_ledger(&ledger)
+        }
+        LedgerEncoding::Binary => {
+            let body = check_envelope(bytes, KIND_CAMPAIGN)?;
+            let mut reader = BodyReader::new(body)?;
+            let mut fold = ReplayFold::new();
+            while let Some(event) = reader.next_event()? {
+                fold.push(&event)?;
+            }
+            fold.finish()
+        }
+    }
+}
+
+/// Replay serialized fleet-ledger bytes directly: every campaign body
+/// streams through its own fold (never materialized), and the reports
+/// aggregate exactly as
+/// [`replay_fleet_ledger`](super::replay_fleet_ledger) does.
+pub fn replay_fleet_ledger_bytes(bytes: &[u8]) -> Result<FleetReport, ReplayError> {
+    match LedgerEncoding::detect(bytes) {
+        LedgerEncoding::Json => {
+            let ledger = FleetLedger::from_bytes(bytes)?;
+            super::replay_fleet_ledger(&ledger)
+        }
+        LedgerEncoding::Binary => {
+            let (master_seed, slices) = fleet_body_slices(bytes).map_err(ReplayError::Corrupt)?;
+            let mut reports = Vec::with_capacity(slices.len());
+            for slice in slices {
+                let mut reader = BodyReader::new(slice).map_err(ReplayError::Corrupt)?;
+                let mut fold = ReplayFold::new();
+                while let Some(event) = reader.next_event().map_err(ReplayError::Corrupt)? {
+                    fold.push(&event)?;
+                }
+                reports.push(fold.finish()?.report);
+            }
+            Ok(FleetReport::from_reports(master_seed, reports))
+        }
+    }
+}
+
+// ---- serialized-checkpoint resume -------------------------------------------
+
+/// Resume a recorded fleet from serialized checkpoint bytes (either
+/// encoding). Wire-level refusal surfaces as
+/// [`FleetResumeError::Corrupt`]; all resume handshakes are unchanged.
+pub fn resume_campaign_fleet_recorded_bytes(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+    bytes: &[u8],
+) -> Result<(FleetReport, FleetLedger), FleetResumeError> {
+    let checkpoint = FleetLedgerCheckpoint::from_bytes(bytes).map_err(FleetResumeError::Corrupt)?;
+    resume_campaign_fleet_recorded(space, cfg, &checkpoint)
+}
+
+/// Resume an interrupted service session from serialized checkpoint
+/// bytes (either encoding). Wire-level refusal surfaces as
+/// [`ServiceResumeError::Corrupt`]; all resume handshakes are unchanged.
+pub fn resume_service_bytes(
+    space: &MaterialsSpace,
+    cfg: &ServiceConfig,
+    bytes: &[u8],
+) -> Result<(ServiceReport, FleetLedger), ServiceResumeError> {
+    let checkpoint = ServiceCheckpoint::from_bytes(bytes).map_err(ServiceResumeError::Corrupt)?;
+    resume_service(space, cfg, &checkpoint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoflow_sim::{SimDuration, SimTime};
+
+    fn sample_events() -> Vec<CampaignEvent> {
+        vec![
+            CampaignEvent::CampaignStarted {
+                cell_label: "wire-test".into(),
+                seed: 9,
+                planner: "grid".into(),
+                lanes: 2,
+                horizon: SimDuration::from_days(1),
+                threshold: 0.8,
+                max_experiments: 64,
+                records_knowledge: true,
+            },
+            CampaignEvent::IterationStarted {
+                lane: 0,
+                at: SimTime::from_nanos(5),
+                decision_ready: SimTime::from_nanos(105),
+            },
+            CampaignEvent::CandidateProposed {
+                lane: 0,
+                params: vec![0.25, 0.75],
+                rationale: "grid scan".into(),
+                confidence: 0.5,
+                hallucinated: false,
+            },
+            CampaignEvent::ResultObserved {
+                lane: 0,
+                experiment: 1,
+                score: 0.91,
+                hit: true,
+                peak: Some(3),
+                tokens_in: 120,
+                tokens_out: 40,
+            },
+            CampaignEvent::SubmissionRejected {
+                tenant: "acme".into(),
+                submission_index: 4,
+                round: 2,
+                reason: RejectReason::QueueFull,
+            },
+            CampaignEvent::IterationEnded {
+                lane: 0,
+                proposed: 1,
+                hits: 1,
+                tokens_total: 160,
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn varint_round_trips_at_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut cur = Cursor::new(&out);
+            assert_eq!(cur.varint().unwrap(), v);
+            assert_eq!(cur.remaining(), 0);
+        }
+        let eleven = [0x80u8; 11];
+        assert!(matches!(
+            Cursor::new(&eleven).varint(),
+            Err(WireError::VarintOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn events_round_trip_through_binary() {
+        let ledger = CampaignLedger {
+            events: sample_events(),
+        };
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        assert_eq!(LedgerEncoding::detect(&bytes), LedgerEncoding::Binary);
+        assert_eq!(CampaignLedger::from_bytes(&bytes).unwrap(), ledger);
+    }
+
+    #[test]
+    fn interning_pays_off_for_repeated_strings() {
+        let mut events = vec![sample_events()[0].clone()];
+        for i in 0..200u64 {
+            events.push(CampaignEvent::SubmissionAdmitted {
+                tenant: "a-rather-long-tenant-name".into(),
+                admission_index: i as usize,
+                round: 0,
+            });
+        }
+        let ledger = CampaignLedger { events };
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        // 200 repeats of a 25-byte string cost one varint each, not 25+.
+        assert!(bytes.len() < 200 * 12, "interning failed: {}", bytes.len());
+        assert_eq!(CampaignLedger::from_bytes(&bytes).unwrap(), ledger);
+    }
+
+    #[test]
+    fn multi_segment_streams_round_trip() {
+        let mut events = vec![sample_events()[0].clone()];
+        for i in 1..=(SEGMENT_EVENTS as u64 * 3) {
+            events.push(CampaignEvent::ResultObserved {
+                lane: 0,
+                experiment: i,
+                score: 0.1 * (i % 7) as f64,
+                hit: i % 5 == 0,
+                peak: if i % 5 == 0 {
+                    Some(i as usize % 3)
+                } else {
+                    None
+                },
+                tokens_in: i * 3,
+                tokens_out: i,
+            });
+        }
+        let ledger = CampaignLedger { events };
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        assert_eq!(CampaignLedger::from_bytes(&bytes).unwrap(), ledger);
+    }
+
+    #[test]
+    fn empty_ledger_round_trips() {
+        let ledger = CampaignLedger::new();
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        assert_eq!(CampaignLedger::from_bytes(&bytes).unwrap(), ledger);
+    }
+
+    #[test]
+    fn json_fallback_decodes_legacy_bytes() {
+        let ledger = CampaignLedger {
+            events: sample_events(),
+        };
+        let json = ledger.to_bytes(LedgerEncoding::Json);
+        assert_eq!(LedgerEncoding::detect(&json), LedgerEncoding::Json);
+        assert_eq!(CampaignLedger::from_bytes(&json).unwrap(), ledger);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_refused() {
+        let ledger = CampaignLedger {
+            events: sample_events(),
+        };
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        for i in 0..bytes.len() {
+            let mut tampered = bytes.clone();
+            tampered[i] ^= 0x01;
+            assert!(
+                CampaignLedger::from_bytes(&tampered).is_err(),
+                "flip at byte {i} was not refused"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_refused() {
+        let ledger = CampaignLedger {
+            events: sample_events(),
+        };
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        for len in 0..bytes.len() {
+            assert!(
+                CampaignLedger::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes was not refused"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_refused() {
+        let ledger = CampaignLedger {
+            events: sample_events(),
+        };
+        let mut bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        bytes.push(0);
+        assert!(matches!(
+            CampaignLedger::from_bytes(&bytes),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn spliced_segment_fails_snapshot_or_checksum() {
+        // Two ledgers with different hit patterns; graft a segment from
+        // one into the other.
+        let mk = |hit_every: u64| {
+            let mut events = vec![sample_events()[0].clone()];
+            for i in 1..=(SEGMENT_EVENTS as u64 * 2) {
+                events.push(CampaignEvent::ResultObserved {
+                    lane: 0,
+                    experiment: i,
+                    score: 0.2,
+                    hit: i % hit_every == 0,
+                    peak: None,
+                    tokens_in: 1,
+                    tokens_out: 1,
+                });
+            }
+            CampaignLedger { events }.to_bytes(LedgerEncoding::Binary)
+        };
+        let a = mk(3);
+        let b = mk(4);
+        assert_eq!(a.len(), b.len(), "test setup: same shape expected");
+        // Swap the back half (second segment onward) of a with b's.
+        let mid = a.len() / 2;
+        let mut spliced = a[..mid].to_vec();
+        spliced.extend_from_slice(&b[mid..]);
+        assert!(CampaignLedger::from_bytes(&spliced).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_refused() {
+        let fleet = FleetLedger {
+            master_seed: 7,
+            campaigns: vec![CampaignLedger {
+                events: sample_events(),
+            }],
+        };
+        let bytes = fleet.to_bytes(LedgerEncoding::Binary);
+        assert!(matches!(
+            CampaignLedger::from_bytes(&bytes),
+            Err(WireError::WrongKind {
+                expected: 0,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn fleet_ledger_round_trips_both_encodings() {
+        let fleet = FleetLedger {
+            master_seed: 77,
+            campaigns: vec![
+                CampaignLedger {
+                    events: sample_events(),
+                },
+                CampaignLedger::new(),
+            ],
+        };
+        for enc in [LedgerEncoding::Binary, LedgerEncoding::Json] {
+            let bytes = fleet.to_bytes(enc);
+            assert_eq!(FleetLedger::from_bytes(&bytes).unwrap(), fleet);
+        }
+    }
+}

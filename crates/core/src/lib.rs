@@ -38,7 +38,12 @@
 //!   ingestion, metrics bridge, bounded live telemetry), and
 //!   [`ledger::replay_ledger`], which reconstructs a byte-identical
 //!   [`campaign::CampaignReport`] (plus the provenance and knowledge
-//!   stores) purely from the serialized events.
+//!   stores) purely from the serialized events. [`ledger::wire`] adds
+//!   the compact checksummed binary encoding (≥5× smaller than JSON,
+//!   segment-granular tamper refusal, streaming bounded-memory replay
+//!   via [`ledger::wire::replay_ledger_bytes`]) behind
+//!   [`ledger::LedgerEncoding`], with legacy JSON decoding pinned
+//!   forever.
 //! * [`service`] — the multi-tenant front door: a long-lived scheduler
 //!   that admits campaign submissions under per-tenant quotas
 //!   ([`service::TenantSpec`]), dispatches by stride fair-share, and
@@ -88,9 +93,14 @@ pub use fleet::{
 };
 pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
 pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};
+pub use ledger::wire::{
+    replay_fleet_ledger_bytes, replay_ledger_bytes, resume_campaign_fleet_recorded_bytes,
+    resume_service_bytes,
+};
 pub use ledger::{
     replay_fleet_ledger, replay_ledger, CampaignEvent, CampaignLedger, FleetLedger, KnowledgeSink,
-    LedgerObserver, MetricsSink, ReplayError, ReplayOutcome, RingTelemetry,
+    LedgerEncoding, LedgerObserver, MetricsSink, ReplayError, ReplayOutcome, RingTelemetry,
+    WireError,
 };
 pub use matrix::{
     all_cells, classify, transition_requirement, Cell, SystemDescriptor, TrajectoryPlanner,

@@ -194,8 +194,12 @@ pub struct ServiceConfig {
     /// Master seed; every admitted campaign's seed is derived from it by
     /// admission index.
     pub master_seed: u64,
-    /// Worker threads for campaign execution (0 ⇒ one per core). Never
-    /// changes any result.
+    /// Worker threads for campaign execution. **0 means
+    /// "one per host core"** (`available_parallelism()`), which is the
+    /// one host-dependent knob in an otherwise pure-function config:
+    /// results never change with it, but anything that *records* the
+    /// thread count (bench summaries, testbed certificates) must pin an
+    /// explicit value to stay byte-identical across machines.
     pub threads: usize,
     /// The tenants allowed through the door, in declaration order
     /// (declaration order breaks fair-share ties).
@@ -241,6 +245,12 @@ impl ServiceConfig {
     }
 
     /// Worker threads that will actually be used.
+    ///
+    /// When [`threads`](ServiceConfig::threads) is 0 this consults
+    /// `available_parallelism()` and therefore **varies across hosts**
+    /// — fine for throughput, but never record its result in an
+    /// artifact that is expected to be host-independent; pin an
+    /// explicit thread count instead.
     pub fn effective_threads(&self) -> usize {
         let n = if self.threads == 0 {
             std::thread::available_parallelism()
@@ -274,7 +284,12 @@ impl ServiceConfig {
 }
 
 /// Why a submission was refused at the door.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serializes as its stable kebab-case [`label`](RejectReason::label)
+/// — not the Rust variant name — so the on-disk vocabulary is frozen
+/// independently of source-level renames. Deserialization also accepts
+/// the PascalCase variant names that pre-typed archives recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// The submission names no registered [`TenantSpec`].
     UnknownTenant,
@@ -299,6 +314,28 @@ impl RejectReason {
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl Serialize for RejectReason {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.label())
+    }
+}
+
+impl<'de> Deserialize<'de> for RejectReason {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        match s.as_str() {
+            "unknown-tenant" | "UnknownTenant" => Ok(RejectReason::UnknownTenant),
+            "queue-full" | "QueueFull" => Ok(RejectReason::QueueFull),
+            "admission-cap-exhausted" | "AdmissionCapExhausted" => {
+                Ok(RejectReason::AdmissionCapExhausted)
+            }
+            other => Err(serde::de::Error::custom(format!(
+                "unknown reject reason {other:?}"
+            ))),
+        }
     }
 }
 
@@ -814,17 +851,17 @@ fn stream_session(
     for round in 0..plan.rounds {
         for a in plan.admitted.iter().filter(|a| a.admitted_round == round) {
             emit(&CampaignEvent::SubmissionAdmitted {
-                tenant: a.tenant.clone(),
+                tenant: a.tenant.clone().into(),
                 admission_index: a.admission_index,
                 round,
             });
         }
         for r in plan.rejected.iter().filter(|r| r.round == round) {
             emit(&CampaignEvent::SubmissionRejected {
-                tenant: r.tenant.clone(),
+                tenant: r.tenant.clone().into(),
                 submission_index: r.submission_index,
                 round,
-                reason: r.reason.label().to_string(),
+                reason: r.reason,
             });
         }
         for &ai in plan.dispatch_order.iter() {
@@ -833,7 +870,7 @@ fn stream_session(
                 continue;
             }
             emit(&CampaignEvent::CampaignDispatched {
-                tenant: a.tenant.clone(),
+                tenant: a.tenant.clone().into(),
                 admission_index: ai,
                 round,
                 slot: a.dispatch_slot,
@@ -922,6 +959,11 @@ pub enum ServiceResumeError {
         /// First admission whose report/ledger presence disagrees.
         index: usize,
     },
+    /// Serialized checkpoint bytes were refused at the wire level
+    /// (checksum, truncation, or structural corruption) before any
+    /// resume handshake could run. See
+    /// [`resume_service_bytes`](crate::ledger::wire::resume_service_bytes).
+    Corrupt(crate::ledger::WireError),
 }
 
 impl std::fmt::Display for ServiceResumeError {
@@ -945,6 +987,7 @@ impl std::fmt::Display for ServiceResumeError {
                 "admission {index} has a committed report and ledger that \
                  disagree on presence — the checkpoint is inconsistent"
             ),
+            ServiceResumeError::Corrupt(e) => write!(f, "corrupt checkpoint bytes: {e}"),
         }
     }
 }

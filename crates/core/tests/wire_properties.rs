@@ -1,0 +1,333 @@
+//! Property tests for the `EVWL` binary ledger wire format (ISSUE 7).
+//!
+//! Two families of properties:
+//!
+//! * **Round trip** — for *arbitrary* event streams (every variant, every
+//!   field drawn from a strategy that covers empty/unicode/word-salad
+//!   strings and sign/magnitude-extreme floats), encode → decode is the
+//!   identity under both encodings, and [`LedgerEncoding::detect`] sniffs
+//!   the encoding correctly.
+//! * **Tamper refusal** — on a *real* recorded campaign's binary ledger,
+//!   any single flipped bit and any truncation is refused by the decoder;
+//!   corruption never replays as silently different history.
+
+use evoflow_core::{
+    run_campaign_recorded, CampaignConfig, CampaignEvent, CampaignLedger, Cell, LedgerEncoding,
+    MaterialsSpace, RejectReason,
+};
+use evoflow_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Floats that are JSON-safe (finite) but cover zero, both signs, huge
+/// and tiny magnitudes — bit-exactness is asserted via `PartialEq`.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        any::<i64>().prop_map(|v| v as f64 * 1e-6),
+    ]
+}
+
+/// Strings exercising every text path: empty, spaced soup (double
+/// spaces, leading/trailing spaces — the literal fallback), unicode,
+/// and long single-space word joins (the tokenized path).
+fn arb_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[a-z ]{0,40}",
+        " [a-z]{4,30} ",
+        "[αβγ語x-z]{0,12}",
+        collection::vec("[a-z]{1,8}", 2..24).prop_map(|words| words.join(" ")),
+    ]
+}
+
+fn arb_opt_usize() -> impl Strategy<Value = Option<usize>> {
+    (any::<bool>(), any::<usize>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    (any::<bool>(), arb_f64()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_reason() -> impl Strategy<Value = RejectReason> {
+    prop_oneof![
+        Just(RejectReason::UnknownTenant),
+        Just(RejectReason::QueueFull),
+        Just(RejectReason::AdmissionCapExhausted),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = CampaignEvent> {
+    prop_oneof![
+        (
+            (arb_text(), any::<u64>(), arb_text(), 0usize..64),
+            (any::<u64>(), arb_f64(), any::<u64>(), any::<bool>()),
+        )
+            .prop_map(
+                |(
+                    (cell_label, seed, planner, lanes),
+                    (horizon, threshold, max_experiments, records_knowledge),
+                )| {
+                    CampaignEvent::CampaignStarted {
+                        cell_label: cell_label.into(),
+                        seed,
+                        planner: planner.into(),
+                        lanes,
+                        horizon: SimDuration::from_nanos(horizon),
+                        threshold,
+                        max_experiments,
+                        records_knowledge,
+                    }
+                }
+            ),
+        (any::<usize>(), any::<u64>(), any::<u64>()).prop_map(|(lane, at, ready)| {
+            CampaignEvent::IterationStarted {
+                lane,
+                at: SimTime::from_nanos(at),
+                decision_ready: SimTime::from_nanos(ready),
+            }
+        }),
+        (
+            any::<usize>(),
+            collection::vec(arb_f64(), 0..8),
+            arb_text(),
+            arb_f64(),
+            any::<bool>(),
+        )
+            .prop_map(|(lane, params, rationale, confidence, hallucinated)| {
+                CampaignEvent::CandidateProposed {
+                    lane,
+                    params,
+                    rationale: rationale.into(),
+                    confidence,
+                    hallucinated,
+                }
+            }),
+        (any::<usize>(), any::<usize>(), any::<u64>(), any::<u64>()).prop_map(
+            |(lane, batch, duration, done_at)| CampaignEvent::ExecutionScheduled {
+                lane,
+                batch,
+                duration: SimDuration::from_nanos(duration),
+                done_at: SimTime::from_nanos(done_at),
+            }
+        ),
+        (
+            (any::<usize>(), any::<u64>(), arb_f64(), any::<bool>()),
+            (arb_opt_usize(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |((lane, experiment, score, hit), (peak, tokens_in, tokens_out))| {
+                    CampaignEvent::ResultObserved {
+                        lane,
+                        experiment,
+                        score,
+                        hit,
+                        peak,
+                        tokens_in,
+                        tokens_out,
+                    }
+                }
+            ),
+        (any::<usize>(), any::<u64>()).prop_map(|(lane, rejected_total)| {
+            CampaignEvent::GateDecision {
+                lane,
+                rejected_total,
+            }
+        }),
+        (any::<usize>(), any::<u32>()).prop_map(|(lane, rewrites_total)| {
+            CampaignEvent::OmegaRewrite {
+                lane,
+                rewrites_total,
+            }
+        }),
+        (any::<usize>(), any::<usize>(), any::<u64>(), any::<u64>()).prop_map(
+            |(lane, proposed, hits, tokens_total)| CampaignEvent::IterationEnded {
+                lane,
+                proposed,
+                hits,
+                tokens_total,
+            }
+        ),
+        (
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<usize>(),
+                arb_f64(),
+                arb_opt_f64(),
+                arb_f64(),
+            ),
+            (
+                arb_f64(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<usize>(),
+                any::<usize>(),
+                any::<u64>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (experiments, total_hits, distinct, best_score, ttf, wait),
+                    (exec, rejected, omega, kg, prov, tokens),
+                )| {
+                    CampaignEvent::CampaignFinished {
+                        experiments,
+                        total_hits,
+                        distinct_discoveries: distinct,
+                        best_score,
+                        time_to_first_hours: ttf,
+                        decision_wait_hours: wait,
+                        execution_hours: exec,
+                        rejected_proposals: rejected,
+                        omega_rewrites: omega,
+                        kg_nodes: kg,
+                        prov_activities: prov,
+                        tokens,
+                    }
+                }
+            ),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(committed, total)| { CampaignEvent::CheckpointTaken { committed, total } }),
+        any::<usize>().prop_map(|after_commits| CampaignEvent::CoordinatorKilled { after_commits }),
+        (
+            any::<usize>(),
+            arb_text(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+        )
+            .prop_map(|(campaign, facility, nodes, arrival, evacuation)| {
+                CampaignEvent::CampaignPlaced {
+                    campaign,
+                    facility: facility.into(),
+                    nodes,
+                    arrival: SimTime::from_nanos(arrival),
+                    evacuation,
+                }
+            }),
+        (
+            any::<usize>(),
+            arb_text(),
+            arb_text(),
+            arb_f64(),
+            any::<u64>(),
+            any::<bool>(),
+        )
+            .prop_map(|(campaign, from, to, gigabytes, duration, evacuation)| {
+                CampaignEvent::DataTransferred {
+                    campaign,
+                    from: from.into(),
+                    to: to.into(),
+                    gigabytes,
+                    duration: SimDuration::from_nanos(duration),
+                    evacuation,
+                }
+            }),
+        (arb_text(), any::<u64>(), any::<usize>()).prop_map(|(site, at, rerouted)| {
+            CampaignEvent::OutageStruck {
+                site: site.into(),
+                at: SimTime::from_nanos(at),
+                rerouted,
+            }
+        }),
+        (arb_text(), any::<usize>(), any::<usize>()).prop_map(
+            |(tenant, admission_index, round)| CampaignEvent::SubmissionAdmitted {
+                tenant: tenant.into(),
+                admission_index,
+                round,
+            }
+        ),
+        (arb_text(), any::<usize>(), any::<usize>(), arb_reason()).prop_map(
+            |(tenant, submission_index, round, reason)| CampaignEvent::SubmissionRejected {
+                tenant: tenant.into(),
+                submission_index,
+                round,
+                reason,
+            }
+        ),
+        (arb_text(), any::<usize>(), any::<usize>(), any::<usize>()).prop_map(
+            |(tenant, admission_index, round, slot)| CampaignEvent::CampaignDispatched {
+                tenant: tenant.into(),
+                admission_index,
+                round,
+                slot,
+            }
+        ),
+    ]
+}
+
+/// One real recorded campaign's binary ledger (recorded once; the tamper
+/// properties vary the corruption, not the run).
+fn recorded_binary() -> &'static Vec<u8> {
+    static BIN: OnceLock<Vec<u8>> = OnceLock::new();
+    BIN.get_or_init(|| {
+        let space = MaterialsSpace::generate(3, 8, 777);
+        let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 5);
+        cfg.horizon = SimDuration::from_days(1);
+        let (_, ledger) = run_campaign_recorded(&space, &cfg);
+        assert!(ledger.len() > 8, "stream too short to exercise segments");
+        ledger.to_bytes(LedgerEncoding::Binary)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Binary encode → decode is the identity on arbitrary event
+    /// streams, and the encoding sniffs as binary.
+    #[test]
+    fn binary_round_trips_arbitrary_streams(
+        events in collection::vec(arb_event(), 0..300)
+    ) {
+        let mut ledger = CampaignLedger::new();
+        ledger.events = events;
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        prop_assert_eq!(LedgerEncoding::detect(&bytes), LedgerEncoding::Binary);
+        let decoded = CampaignLedger::from_bytes(&bytes).expect("own bytes decode");
+        prop_assert_eq!(decoded.events, ledger.events);
+    }
+
+    /// The legacy JSON path round-trips the same arbitrary streams and
+    /// sniffs as JSON — the encodings never shadow each other.
+    #[test]
+    fn json_round_trips_arbitrary_streams(
+        events in collection::vec(arb_event(), 0..60)
+    ) {
+        let mut ledger = CampaignLedger::new();
+        ledger.events = events;
+        let bytes = ledger.to_bytes(LedgerEncoding::Json);
+        prop_assert_eq!(LedgerEncoding::detect(&bytes), LedgerEncoding::Json);
+        let decoded = CampaignLedger::from_bytes(&bytes).expect("own bytes decode");
+        prop_assert_eq!(decoded.events, ledger.events);
+    }
+
+    /// Any single flipped bit anywhere in a real recorded binary ledger
+    /// is refused by the decoder.
+    #[test]
+    fn any_flipped_bit_is_refused(offset in any::<sample::Index>(), bit in 0u8..8) {
+        let bin = recorded_binary();
+        let offset = offset.index(bin.len());
+        let mut tampered = bin.clone();
+        tampered[offset] ^= 1 << bit;
+        prop_assert!(
+            CampaignLedger::from_bytes(&tampered).is_err(),
+            "bit {} flipped at byte {} decoded cleanly", bit, offset
+        );
+    }
+
+    /// Any strict truncation of a real recorded binary ledger is
+    /// refused — a cut-off ledger is never a valid shorter one.
+    #[test]
+    fn any_truncation_is_refused(cut in any::<sample::Index>()) {
+        let bin = recorded_binary();
+        let cut = cut.index(bin.len());
+        prop_assert!(
+            CampaignLedger::from_bytes(&bin[..cut]).is_err(),
+            "truncation to {} bytes decoded cleanly", cut
+        );
+    }
+}

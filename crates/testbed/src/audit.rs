@@ -8,8 +8,7 @@
 //! everything that happened. The ladder is cumulative:
 //!
 //! * **A1 (ledger-replayable)** — the same [`FleetConfig`] emits a
-//!   byte-identical serialized [`FleetLedger`](evoflow_core::FleetLedger)
-//!   on rerun.
+//!   byte-identical serialized [`FleetLedger`] on rerun.
 //! * **A2 (report-reconstructible)** — [`replay_fleet_ledger`] rebuilds
 //!   the live [`FleetReport`](evoflow_core::FleetReport) byte-for-byte
 //!   from the events alone, and the merged ledger is byte-identical at
@@ -20,14 +19,20 @@
 //!   reproduces both the uninterrupted report *and* the uninterrupted
 //!   merged ledger byte-for-byte — the crash leaves no seam in the
 //!   audit trail.
+//! * **A4 (wire-durable)** — the compact checksummed `EVWL` binary
+//!   encoding of the merged ledger decodes back to byte-identical JSON,
+//!   stream-replays ([`replay_fleet_ledger_bytes`]) to the identical
+//!   report, and refuses a flipped bit or a truncated tail instead of
+//!   replaying silently wrong history.
 //!
 //! A configuration whose ledger cannot even replay grades **A0
 //! (unaccountable)**. The grade is the highest *contiguously* passed
 //! rung.
 
 use evoflow_core::{
-    replay_fleet_ledger, resume_campaign_fleet_recorded, run_campaign_fleet_recorded,
-    run_campaign_fleet_recorded_until, FleetConfig, MaterialsSpace,
+    replay_fleet_ledger, replay_fleet_ledger_bytes, resume_campaign_fleet_recorded,
+    run_campaign_fleet_recorded, run_campaign_fleet_recorded_until, FleetConfig, FleetLedger,
+    LedgerEncoding, MaterialsSpace,
 };
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +47,9 @@ pub enum AuditGrade {
     A2ReportReconstructible,
     /// Report and ledger survive a coordinator kill + resume unchanged.
     A3CrashAccountable,
+    /// The binary wire encoding is lossless, stream-replayable, and
+    /// tamper-refusing.
+    A4WireDurable,
 }
 
 impl std::fmt::Display for AuditGrade {
@@ -51,6 +59,7 @@ impl std::fmt::Display for AuditGrade {
             AuditGrade::A1LedgerReplayable => "A1 (ledger-replayable)",
             AuditGrade::A2ReportReconstructible => "A2 (report-reconstructible)",
             AuditGrade::A3CrashAccountable => "A3 (crash-accountable)",
+            AuditGrade::A4WireDurable => "A4 (wire-durable)",
         };
         f.write_str(s)
     }
@@ -67,6 +76,13 @@ pub struct AuditCertificate {
     pub report_reconstructible: bool,
     /// Kill + resume reproduced report and ledger byte-for-byte.
     pub crash_accountable: bool,
+    /// Binary wire encoding round-tripped losslessly, stream-replayed
+    /// to the identical report, and refused tampered/truncated bytes.
+    pub wire_durable: bool,
+    /// Size of the merged ledger as legacy JSON bytes.
+    pub json_bytes: usize,
+    /// Size of the merged ledger as `EVWL` binary bytes.
+    pub wire_bytes: usize,
     /// Events in the (uninterrupted) merged ledger.
     pub total_events: usize,
     /// Highest contiguously passed rung.
@@ -115,10 +131,34 @@ pub fn certify_audit(
             .unwrap_or(false)
     };
 
-    let grade = match (ledger_replayable, report_reconstructible, crash_accountable) {
-        (true, true, true) => AuditGrade::A3CrashAccountable,
-        (true, true, false) => AuditGrade::A2ReportReconstructible,
-        (true, false, _) => AuditGrade::A1LedgerReplayable,
+    let wire = ledger.to_bytes(LedgerEncoding::Binary);
+    let wire_durable = crash_accountable && {
+        let lossless = FleetLedger::from_bytes(&wire)
+            .map(|l| serde_json::to_string(&l).expect("ledger serializes") == ledger_json)
+            .unwrap_or(false);
+        let streamed = replay_fleet_ledger_bytes(&wire)
+            .map(|r| serde_json::to_string(&r).expect("report serializes") == report_json)
+            .unwrap_or(false);
+        let tamper_refused = {
+            let mut flipped = wire.clone();
+            let mid = flipped.len() / 2;
+            flipped[mid] ^= 0x01;
+            replay_fleet_ledger_bytes(&flipped).is_err()
+                && replay_fleet_ledger_bytes(&wire[..wire.len() - 1]).is_err()
+        };
+        lossless && streamed && tamper_refused
+    };
+
+    let grade = match (
+        ledger_replayable,
+        report_reconstructible,
+        crash_accountable,
+        wire_durable,
+    ) {
+        (true, true, true, true) => AuditGrade::A4WireDurable,
+        (true, true, true, false) => AuditGrade::A3CrashAccountable,
+        (true, true, false, _) => AuditGrade::A2ReportReconstructible,
+        (true, false, ..) => AuditGrade::A1LedgerReplayable,
         (false, ..) => AuditGrade::A0Unaccountable,
     };
 
@@ -127,6 +167,9 @@ pub fn certify_audit(
         ledger_replayable,
         report_reconstructible,
         crash_accountable,
+        wire_durable,
+        json_bytes: ledger_json.len(),
+        wire_bytes: wire.len(),
         total_events,
         grade,
     }
@@ -141,29 +184,38 @@ mod tests {
     fn config() -> FleetConfig {
         let mut fleet = FleetConfig::new(31);
         fleet.horizon = SimDuration::from_days(1);
+        // Pinned: threads = 0 would mean "one per host core", and a
+        // certificate must not depend on the machine grading it.
+        fleet.threads = 2;
         fleet.push_cell(Cell::traditional_wms(), 2);
         fleet.push_cell(Cell::autonomous_science(), 2);
         fleet
     }
 
     #[test]
-    fn event_sourced_fleet_certifies_crash_accountable() {
+    fn event_sourced_fleet_certifies_wire_durable() {
         let space = MaterialsSpace::generate(3, 8, 20260726);
         let cert = certify_audit(&space, &config(), 2);
         assert_eq!(
             cert.grade,
-            AuditGrade::A3CrashAccountable,
+            AuditGrade::A4WireDurable,
             "audit trail lost fidelity: {cert:?}"
         );
         assert!(cert.total_events > 0);
+        assert!(
+            cert.wire_bytes < cert.json_bytes,
+            "binary wider than JSON: {cert:?}"
+        );
     }
 
     #[test]
     fn grades_order_and_render() {
         assert!(AuditGrade::A0Unaccountable < AuditGrade::A3CrashAccountable);
+        assert!(AuditGrade::A3CrashAccountable < AuditGrade::A4WireDurable);
         assert_eq!(
             AuditGrade::A3CrashAccountable.to_string(),
             "A3 (crash-accountable)"
         );
+        assert_eq!(AuditGrade::A4WireDurable.to_string(), "A4 (wire-durable)");
     }
 }

@@ -134,6 +134,9 @@ mod tests {
     fn config(policy: PlacementPolicyKind) -> FederatedConfig {
         let mut fleet = FleetConfig::new(21);
         fleet.horizon = SimDuration::from_days(1);
+        // Pinned: threads = 0 would mean "one per host core", and a
+        // certificate must not depend on the machine grading it.
+        fleet.threads = 1;
         fleet.push_cell(Cell::traditional_wms(), 2);
         fleet.push_cell(Cell::autonomous_science(), 2);
         FederatedConfig::standard(fleet, policy)

@@ -326,14 +326,11 @@ fn fleet_ledger_checkpoint_round_trips_and_resumes_identically() {
     );
 }
 
-/// Format-stability snapshot for the ledger wire format: a tiny
-/// hand-built stream, pinned byte-for-byte. The ledger is an audit
-/// artifact that outlives the process that wrote it — silent drift here
-/// would orphan every archived stream.
-#[test]
-fn ledger_file_format_is_stable() {
+/// The tiny hand-built stream that pins both ledger wire formats (JSON
+/// and `EVWL` binary) byte-for-byte.
+fn tiny_pinned_ledger() -> CampaignLedger {
     use evoflow::sim::{SimDuration as D, SimTime as T};
-    let ledger = CampaignLedger {
+    CampaignLedger {
         events: vec![
             CampaignEvent::CampaignStarted {
                 cell_label: "Static × Single".into(),
@@ -393,7 +390,16 @@ fn ledger_file_format_is_stable() {
                 tokens: 0,
             },
         ],
-    };
+    }
+}
+
+/// Format-stability snapshot for the ledger wire format: a tiny
+/// hand-built stream, pinned byte-for-byte. The ledger is an audit
+/// artifact that outlives the process that wrote it — silent drift here
+/// would orphan every archived stream.
+#[test]
+fn ledger_file_format_is_stable() {
+    let ledger = tiny_pinned_ledger();
     assert_eq!(
         serde_json::to_string(&ledger).unwrap(),
         concat!(
@@ -412,6 +418,80 @@ fn ledger_file_format_is_stable() {
     let outcome = replay_ledger(&ledger).unwrap();
     assert_eq!(outcome.report.experiments, 1);
     assert_eq!(outcome.report.best_score, 0.25);
+}
+
+// ---- binary ledger wire format (ISSUE 7) ------------------------------------
+//
+// The compact `EVWL` encoding is a second on-disk dialect of the same
+// audit artifact: its bytes are pinned just like the JSON bytes above,
+// and the legacy JSON path must keep replaying byte-identically forever
+// — archived streams never need rewriting.
+
+use evoflow::core::{replay_ledger_bytes, LedgerEncoding};
+
+/// The exact `EVWL` bytes of [`tiny_pinned_ledger`]. A failure here
+/// means the binary wire format changed; that is a format migration and
+/// needs a version bump plus a decode path for the old bytes.
+const TINY_LEDGER_EVWL_HEX: &str = concat!(
+    "4556574c010001071db6a6c60007000000a3012b00001053746174696320c397",
+    "2053696e676c65070004677269640180c0e285e368333333333333e33f0a006c",
+    "3c0801000080bcc1960b2fee16020001000000000000e03f0002000000000000",
+    "f03f0045f50f03000180b09dc2df0180ecded8ea019ca80f0400010000000000",
+    "00d03f00000000d93c0507000100000c832208010000000000000000d03f004f",
+    "1be8b4814e4b3f111111111111913f0000000000168690c242b6",
+);
+
+fn from_hex(hex: &str) -> Vec<u8> {
+    hex.as_bytes()
+        .chunks(2)
+        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn binary_ledger_wire_format_is_stable() {
+    let ledger = tiny_pinned_ledger();
+    let bin = ledger.to_bytes(LedgerEncoding::Binary);
+    let hex: String = bin.iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(hex, TINY_LEDGER_EVWL_HEX);
+
+    // The pinned bytes decode back to the identical stream and replay.
+    let pinned = from_hex(TINY_LEDGER_EVWL_HEX);
+    assert_eq!(LedgerEncoding::detect(&pinned), LedgerEncoding::Binary);
+    let decoded = CampaignLedger::from_bytes(&pinned).expect("pinned bytes decode");
+    assert_eq!(decoded, ledger);
+    let outcome = replay_ledger_bytes(&pinned).expect("pinned bytes replay");
+    assert_eq!(outcome.report.experiments, 1);
+    assert_eq!(outcome.report.best_score, 0.25);
+}
+
+/// A legacy JSON ledger — bytes written before the binary encoding
+/// existed — decodes through the same `from_bytes` entry point and
+/// replays to a byte-identical report. Archives never rot.
+#[test]
+fn legacy_json_ledger_replays_byte_identically() {
+    let space = MaterialsSpace::generate(3, 6, 55);
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 9);
+    cfg.horizon = SimDuration::from_days(1);
+    let (live, ledger) = run_campaign_recorded(&space, &cfg);
+
+    // What an old process archived: plain serde JSON.
+    let legacy_bytes = serde_json::to_vec(&ledger).expect("serialize");
+    assert_eq!(LedgerEncoding::detect(&legacy_bytes), LedgerEncoding::Json);
+    assert_eq!(
+        ledger.to_bytes(LedgerEncoding::Json),
+        legacy_bytes,
+        "Json encoding must stay byte-for-byte the legacy serde output"
+    );
+
+    let decoded = CampaignLedger::from_bytes(&legacy_bytes).expect("legacy bytes decode");
+    assert_eq!(decoded, ledger);
+    let outcome = replay_ledger_bytes(&legacy_bytes).expect("legacy bytes replay");
+    assert_eq!(
+        serde_json::to_string(&outcome.report).unwrap(),
+        serde_json::to_string(&live).unwrap(),
+        "legacy JSON replay must rebuild the live report byte-for-byte"
+    );
 }
 
 /// Format-stability snapshots: the serialized bytes of each restart-file
