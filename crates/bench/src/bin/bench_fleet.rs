@@ -4,30 +4,60 @@
 //! measures wall-clock speedup over the serial baseline, while asserting
 //! that every configuration produces the identical [`FleetReport`](evoflow_core::FleetReport)
 //! (determinism is not allowed to cost correctness, and parallelism is
-//! not allowed to cost determinism).
+//! not allowed to cost determinism). Every timed configuration runs
+//! [`REPS`] times and keeps the minimum — the standard noise filter for
+//! shared runners.
 //!
-//! Acceptance bar (ISSUE 1): ≥ 1.5× speedup at 8+ campaigns on a
-//! multi-core host. On a single-core host wall-clock speedup is
-//! physically impossible, so the scaling machinery is gated there by
-//! *work-stealing overhead per task* instead (ISSUE 6): the 2-thread
-//! work-stealing path may cost at most [`OVERHEAD_BUDGET_MS`] more than
-//! the serial fast path, per campaign. Both measurements land in
-//! `BENCH_fleet.json`, so 1-core CI still tracks the executor's cost
-//! instead of waiving the gate outright.
+//! Three gates (ISSUE 8), each scaled to what the host can actually show:
+//!
+//! 1. **Self-calibrated speedup.** The bench first measures the host's
+//!    *embarrassingly parallel* speedup on synthetic busy-work (no
+//!    queue, no coordination — a pure upper bound). A host that
+//!    parallelizes the calibration ≥ [`CALIBRATION_PARALLEL_MIN`]× must
+//!    show fleet speedup ≥ [`RELATIVE_SPEEDUP_FRACTION`] of that
+//!    calibrated ceiling — so multi-core hosts must demonstrate real
+//!    scaling, while a single-core host (calibration ≈ 1×) falls back to
+//!    the overhead gate instead of a physically impossible bar.
+//! 2. **Overhead per task.** The 2-thread work-stealing path may cost at
+//!    most [`OVERHEAD_BUDGET_MS`] more than the serial fast path, per
+//!    campaign — the chunked claim queue keeps the machinery near-free
+//!    even where parallelism cannot pay.
+//! 3. **Recording tax.** A recorded fleet (every event batched through
+//!    the ledger observers) must keep ≥ [`RECORDED_RATIO_FLOOR`] of the
+//!    unobserved fleet's throughput, and its report must be
+//!    byte-identical to the unobserved one.
 
 use evoflow_bench::{fmt, print_table, write_bench_summary};
-use evoflow_core::{run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace};
+use evoflow_core::{
+    run_campaign_fleet_profiled, run_campaign_fleet_timed, Cell, FleetConfig, MaterialsSpace,
+};
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
 use serde::Serialize;
+use std::time::Instant;
 
-/// Per-campaign budget for the work-stealing machinery itself (queue
-/// atomics, thread spawn/join), measured as the 2-thread path's excess
-/// wall time over the serial fast path on a host where parallelism
-/// cannot pay (generous: real overhead is microseconds, but a 1-core
-/// shared CI runner adds context-switch noise on the order of
-/// milliseconds).
-const OVERHEAD_BUDGET_MS: f64 = 10.0;
+/// Per-campaign budget for the work-stealing machinery itself (chunked
+/// claim cursor, thread spawn/join), measured as the 2-thread path's
+/// excess wall time over the serial fast path on a host where
+/// parallelism cannot pay. Tightened from 10 ms with the batched-claim
+/// executor and min-of-[`REPS`] timing.
+const OVERHEAD_BUDGET_MS: f64 = 1.5;
+
+/// Recorded-fleet throughput must stay within this fraction of the
+/// unobserved fleet's (the cost of full event emission + ledgers).
+const RECORDED_RATIO_FLOOR: f64 = 0.8;
+
+/// Fleet speedup must reach this fraction of the calibrated
+/// embarrassingly-parallel ceiling (the fleet does real, imbalanced
+/// work; the calibration is perfectly balanced spin).
+const RELATIVE_SPEEDUP_FRACTION: f64 = 0.6;
+
+/// Calibration speedup below which the host counts as effectively
+/// serial and only the overhead gate applies.
+const CALIBRATION_PARALLEL_MIN: f64 = 1.2;
+
+/// Timed configurations run this many times; the minimum wall time wins.
+const REPS: usize = 3;
 
 #[derive(Serialize)]
 struct Row {
@@ -36,6 +66,13 @@ struct Row {
     wall_secs: f64,
     speedup: f64,
     experiments: u64,
+}
+
+#[derive(Serialize)]
+struct CalibrationRow {
+    threads: usize,
+    wall_secs: f64,
+    speedup: f64,
 }
 
 fn build_fleet(campaigns: usize, threads: usize) -> FleetConfig {
@@ -53,6 +90,47 @@ fn build_fleet(campaigns: usize, threads: usize) -> FleetConfig {
     cfg
 }
 
+/// Deterministic CPU spin — the calibration workload. Returns a value
+/// the caller black-boxes so the loop cannot be optimized away.
+fn busy_work(iters: u64) -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..iters {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(i | 1);
+    }
+    x
+}
+
+/// Wall seconds to run `tasks` spins of `iters` across `threads` OS
+/// threads with a static even split — no queue, no shared state: the
+/// host's embarrassingly-parallel ceiling for this shape of work.
+fn calibration_secs(tasks: usize, iters: u64, threads: usize) -> f64 {
+    let started = Instant::now();
+    if threads <= 1 {
+        for _ in 0..tasks {
+            std::hint::black_box(busy_work(iters));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let mine = (tasks / threads) + usize::from(w < tasks % threads);
+                scope.spawn(move || {
+                    for _ in 0..mine {
+                        std::hint::black_box(busy_work(iters));
+                    }
+                });
+            }
+        });
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Minimum wall seconds over [`REPS`] runs of `f`.
+fn min_secs(mut f: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
 fn main() {
     let space = MaterialsSpace::generate(3, 8, 555);
     let campaigns = 12usize;
@@ -60,23 +138,61 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
-    println!("fleet benchmark: {campaigns} campaigns, host has {cores} cores");
+    println!("fleet benchmark: {campaigns} campaigns, host has {cores} cores, min of {REPS} runs");
 
-    let mut rows: Vec<Row> = Vec::new();
-    let mut baseline_secs = 0.0f64;
-    let mut baseline_json = String::new();
     let thread_sweep: Vec<usize> = [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&t| t == 1 || t <= cores.max(2))
         .collect();
 
+    // ---- Calibration: the host's embarrassingly-parallel ceiling ----
+    // Size the spin so one task lands near a campaign's run time (~40 ms
+    // on the reference host) without depending on the host's exact speed.
+    let spin_iters = 30_000_000u64;
+    let calib_serial = min_secs(|| calibration_secs(campaigns, spin_iters, 1));
+    let calibration: Vec<CalibrationRow> = thread_sweep
+        .iter()
+        .map(|&threads| {
+            let wall = if threads == 1 {
+                calib_serial
+            } else {
+                min_secs(|| calibration_secs(campaigns, spin_iters, threads))
+            };
+            CalibrationRow {
+                threads,
+                wall_secs: wall,
+                speedup: calib_serial / wall.max(1e-12),
+            }
+        })
+        .collect();
+    let calibration_best = calibration
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "calibration: embarrassingly-parallel busy-work peaks at {}× on this host",
+        fmt(calibration_best)
+    );
+
+    // ---- Fleet sweep (reports asserted identical at every count) ----
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline_secs = 0.0f64;
+    let mut baseline_json = String::new();
+    let mut baseline_experiments = 0u64;
     for &threads in &thread_sweep {
         let cfg = build_fleet(campaigns, threads);
-        let (report, timing) = run_campaign_fleet_timed(&space, &cfg);
-        let json = serde_json::to_string(&report).expect("report serializes");
+        let mut json = String::new();
+        let mut experiments = 0u64;
+        let wall = min_secs(|| {
+            let (report, timing) = run_campaign_fleet_timed(&space, &cfg);
+            json = serde_json::to_string(&report).expect("report serializes");
+            experiments = report.total_experiments;
+            timing.wall_clock.as_secs_f64()
+        });
         if threads == 1 {
-            baseline_secs = timing.wall_clock.as_secs_f64();
+            baseline_secs = wall;
             baseline_json = json;
+            baseline_experiments = experiments;
         } else {
             assert_eq!(
                 json, baseline_json,
@@ -86,9 +202,9 @@ fn main() {
         rows.push(Row {
             threads,
             campaigns,
-            wall_secs: timing.wall_clock.as_secs_f64(),
-            speedup: baseline_secs / timing.wall_clock.as_secs_f64().max(1e-12),
-            experiments: report.total_experiments,
+            wall_secs: wall,
+            speedup: baseline_secs / wall.max(1e-12),
+            experiments,
         });
     }
 
@@ -114,8 +230,29 @@ fn main() {
         .map(|r| r.speedup)
         .fold(f64::NEG_INFINITY, f64::max);
 
-    // Work-stealing overhead per task: how much the 2-thread path (queue
-    // atomics + thread spawn/join) costs over the serial fast path,
+    // ---- Recording tax: recorded vs unobserved throughput -----------
+    let serial_cfg = build_fleet(campaigns, 1);
+    let mut recorded_json = String::new();
+    let mut breakdown = None;
+    let recorded_secs = min_secs(|| {
+        let (report, _ledger, prof, timing) = run_campaign_fleet_profiled(&space, &serial_cfg);
+        recorded_json = serde_json::to_string(&report).expect("report serializes");
+        breakdown = Some(prof);
+        timing.wall_clock.as_secs_f64()
+    });
+    assert_eq!(
+        recorded_json, baseline_json,
+        "recording changed the FleetReport — observation perturbed the run"
+    );
+    let breakdown = breakdown.expect("at least one recorded run");
+    let recorded_ratio = baseline_secs / recorded_secs.max(1e-12);
+    let recorded_ok = recorded_ratio >= RECORDED_RATIO_FLOOR;
+    let events_per_sec = breakdown.events_emitted as f64 / recorded_secs.max(1e-12);
+    let experiments_per_sec_recorded = baseline_experiments as f64 / recorded_secs.max(1e-12);
+
+    // ---- Gates -------------------------------------------------------
+    // Work-stealing overhead per task: how much the 2-thread path (chunk
+    // claims + thread spawn/join) costs over the serial fast path,
     // amortized per campaign. Negative excess (parallelism paid off) is
     // clamped to 0 — the gate measures machinery cost, not scheduling
     // luck.
@@ -128,46 +265,98 @@ fn main() {
         ((two_thread_secs - baseline_secs).max(0.0) * 1e3) / campaigns as f64;
     let overhead_ok = overhead_ms_per_task <= OVERHEAD_BUDGET_MS;
 
-    // On a multi-core host, wall-clock speedup is the bar; on a
-    // single-core host only the overhead gate applies (speedup is
-    // physically impossible there, but the machinery must still be
-    // near-free).
-    let speedup_ok = best >= 1.5 || cores < 2;
-    let target_met = speedup_ok && overhead_ok;
-    if cores >= 2 {
+    // The speedup bar is relative to what this host proved it can do on
+    // perfectly parallel work: a host that cannot parallelize the
+    // calibration is in the serial regime and only the overhead gate
+    // applies.
+    let host_parallel = calibration_best >= CALIBRATION_PARALLEL_MIN;
+    let speedup_floor = RELATIVE_SPEEDUP_FRACTION * calibration_best;
+    let speedup_ok = !host_parallel || best >= speedup_floor;
+    let target_met = speedup_ok && overhead_ok && recorded_ok;
+
+    if host_parallel {
         println!(
-            "\n  [{}] best speedup {}× (target ≥ 1.5× at 8+ campaigns)",
+            "\n  [{}] best fleet speedup {}× (floor {}× = {} of the {}× calibration ceiling)",
             if speedup_ok { "PASS" } else { "FAIL" },
             fmt(best),
+            fmt(speedup_floor),
+            fmt(RELATIVE_SPEEDUP_FRACTION),
+            fmt(calibration_best),
         );
     } else {
-        println!("\n  [----] single-core host: speedup unmeasurable, gating overhead instead");
+        println!(
+            "\n  [----] serial host (calibration {}× < {CALIBRATION_PARALLEL_MIN}×): speedup unmeasurable, gating overhead instead",
+            fmt(calibration_best),
+        );
     }
     println!(
         "  [{}] work-stealing overhead {}ms/task (budget ≤ {OVERHEAD_BUDGET_MS}ms)",
         if overhead_ok { "PASS" } else { "FAIL" },
         fmt(overhead_ms_per_task),
     );
+    println!(
+        "  [{}] recorded fleet keeps {}× of unobserved throughput (floor {RECORDED_RATIO_FLOOR}×): {} events/s, {} experiments/s",
+        if recorded_ok { "PASS" } else { "FAIL" },
+        fmt(recorded_ratio),
+        fmt(events_per_sec),
+        fmt(experiments_per_sec_recorded),
+    );
 
+    #[derive(Serialize)]
+    struct Recorded {
+        wall_secs: f64,
+        unobserved_wall_secs: f64,
+        ratio: f64,
+        ratio_floor: f64,
+        recorded_ok: bool,
+        events_emitted: u64,
+        batches_flushed: u64,
+        events_per_sec: f64,
+        experiments_per_sec: f64,
+    }
     #[derive(Serialize)]
     struct Out {
         cores: usize,
+        reps: usize,
+        calibration: Vec<CalibrationRow>,
+        calibration_best_speedup: f64,
+        host_parallel: bool,
         rows: Vec<Row>,
         best_speedup: f64,
+        speedup_floor: f64,
+        relative_speedup_fraction: f64,
         overhead_ms_per_task: f64,
         overhead_budget_ms: f64,
         overhead_ok: bool,
         speedup_ok: bool,
+        recorded: Recorded,
         target_met: bool,
     }
     let out = Out {
         cores,
+        reps: REPS,
+        calibration,
+        calibration_best_speedup: calibration_best,
+        host_parallel,
         rows,
         best_speedup: best,
+        speedup_floor,
+        relative_speedup_fraction: RELATIVE_SPEEDUP_FRACTION,
         overhead_ms_per_task,
         overhead_budget_ms: OVERHEAD_BUDGET_MS,
         overhead_ok,
         speedup_ok,
+        recorded: Recorded {
+            wall_secs: recorded_secs,
+            unobserved_wall_secs: baseline_secs,
+            ratio: recorded_ratio,
+            ratio_floor: RECORDED_RATIO_FLOOR,
+            recorded_ok,
+            events_emitted: breakdown.events_emitted,
+            batches_flushed: breakdown.batches_flushed,
+            events_per_sec,
+            experiments_per_sec: experiments_per_sec_recorded,
+        },
         target_met,
     };
     // Machine-readable per-PR summary: the perf trajectory CI tracks.
@@ -177,7 +366,7 @@ fn main() {
     write_bench_summary("fleet", &out);
 
     if !target_met {
-        // Non-zero exit so CI fails when the speedup bar regresses.
+        // Non-zero exit so CI fails when any gate regresses.
         std::process::exit(1);
     }
 }

@@ -34,7 +34,7 @@ use evoflow_core::{
     fleet_death_point, replay_fleet_ledger, replay_fleet_ledger_bytes, replay_ledger,
     replay_ledger_bytes, resume_campaign_fleet_recorded, run_campaign_fleet_recorded,
     run_campaign_fleet_recorded_until, run_campaign_recorded, CampaignConfig, Cell, FleetConfig,
-    LedgerEncoding, MaterialsSpace, PlannerKind,
+    LedgerEncoding, MaterialsSpace, PlannerKind, WireEncodeStats,
 };
 use evoflow_sim::SimDuration;
 use evoflow_sm::IntelligenceLevel;
@@ -80,6 +80,12 @@ struct PlannerBattery {
     /// throughput batteries.
     sample_bin: Vec<u8>,
     sample_events: usize,
+    /// Deterministic encode counters summed across every planner ledger
+    /// (the allocation-proxy view of the wire fast path).
+    encode_stats: WireEncodeStats,
+    /// Every ledger encoded through one reused buffer matched the
+    /// fresh-allocation `to_bytes` bytes exactly.
+    reuse_identical: bool,
 }
 
 fn planner_battery(
@@ -93,6 +99,11 @@ fn planner_battery(
     let (mut json_total, mut bin_total) = (0usize, 0usize);
     let mut sample_bin = Vec::new();
     let mut sample_events = 0;
+    let mut encode_stats = WireEncodeStats::default();
+    let mut reuse_identical = true;
+    // One reused output buffer across every planner's encode — the fast
+    // path the campaign service uses; its bytes must match `to_bytes`.
+    let mut reuse_buf = Vec::new();
     for kind in kinds {
         let mut cfg = CampaignConfig::for_cell(
             Cell::new(IntelligenceLevel::Learning, evoflow_agents::Pattern::Mesh),
@@ -106,6 +117,18 @@ fn planner_battery(
         let (live, ledger) = run_campaign_recorded(space, &cfg);
         let ledger_bytes = serde_json::to_string(&ledger).expect("ledger serializes");
         let bin = ledger.to_bytes(LedgerEncoding::Binary);
+        let stats = ledger.encode_binary_into(&mut reuse_buf);
+        if reuse_buf != bin {
+            reuse_identical = false;
+            failures.push(format!(
+                "{}: reused-buffer encode diverged from to_bytes",
+                kind.label()
+            ));
+        }
+        encode_stats.events += stats.events;
+        encode_stats.segments += stats.segments;
+        encode_stats.intern_hits += stats.intern_hits;
+        encode_stats.intern_misses += stats.intern_misses;
         emit_artifact(
             artifact_dir,
             &format!("ledger_{}.json", kind.label()),
@@ -176,6 +199,8 @@ fn planner_battery(
         bin_total,
         sample_bin,
         sample_events,
+        encode_stats,
+        reuse_identical,
     }
 }
 
@@ -191,6 +216,13 @@ struct WireGates {
     truncations_tested: usize,
     truncations_all_refused: bool,
     replay_throughput_ok: bool,
+    /// Deterministic encode counters summed across every planner ledger:
+    /// the allocation-proxy view of the buffer-reuse fast path. A string
+    /// field that hits the intern table costs one varint instead of one
+    /// heap string.
+    encode: WireEncodeStats,
+    /// Reused-buffer encodes were byte-identical to fresh `to_bytes`.
+    buffer_reuse_identical: bool,
 }
 
 /// Compression + tamper + throughput gates over the meta-planner's binary
@@ -252,6 +284,18 @@ fn wire_battery(battery: &PlannerBattery, failures: &mut Vec<String>) -> WireGat
          refused, streaming replay {best_events_per_sec:.0} events/s",
         battery.json_total, battery.bin_total,
     );
+    println!(
+        "  encode: {} events in {} segments, intern {} hits / {} misses, reuse {}",
+        battery.encode_stats.events,
+        battery.encode_stats.segments,
+        battery.encode_stats.intern_hits,
+        battery.encode_stats.intern_misses,
+        if battery.reuse_identical {
+            "ok"
+        } else {
+            "FAIL"
+        },
+    );
 
     WireGates {
         json_bytes_total: battery.json_total,
@@ -264,6 +308,8 @@ fn wire_battery(battery: &PlannerBattery, failures: &mut Vec<String>) -> WireGat
         truncations_tested: cuts,
         truncations_all_refused: cuts_refused,
         replay_throughput_ok,
+        encode: battery.encode_stats,
+        buffer_reuse_identical: battery.reuse_identical,
     }
 }
 

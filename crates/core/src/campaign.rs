@@ -21,9 +21,10 @@
 //! [Intelligent × Swarm] + autonomous coordination.
 
 use crate::domain::MaterialsSpace;
-use crate::ledger::{CampaignEvent, CampaignLedger, KnowledgeSink, LedgerObserver};
+use crate::ledger::{CampaignEvent, CampaignLedger, EventBatch, KnowledgeSink, LedgerObserver};
 use crate::matrix::Cell;
 use crate::planner::{Observation, PlanCtx, PlannerBuild, PlannerKind, PlannerTelemetry};
+use crate::profile::{Phase, PhaseProfiler};
 use evoflow_agents::{Candidate, Evidence, Pattern};
 use evoflow_facility::HumanModel;
 use evoflow_sim::{RngRegistry, SimDuration, SimTime};
@@ -240,17 +241,28 @@ fn best_visible<'a>(
 /// tracked separately and always visible.
 const EVIDENCE_WINDOW: usize = 96;
 
-/// Push one event to the campaign's own knowledge sink and every
-/// caller-supplied observer, in that order.
-fn emit(
+/// Flush the pending event batch: the campaign's own knowledge sink
+/// first, then every caller-supplied observer, each via
+/// [`LedgerObserver::on_batch`] — order within the batch is emission
+/// order, so sinks cannot distinguish this from per-event delivery.
+/// Timed as the *emit* phase; free when the batch is empty.
+fn flush_events(
+    batch: &mut EventBatch,
+    prof: &mut PhaseProfiler,
     knowledge: &mut KnowledgeSink,
     observers: &mut [&mut dyn LedgerObserver],
-    event: CampaignEvent,
 ) {
-    knowledge.on_event(&event);
-    for o in observers.iter_mut() {
-        o.on_event(&event);
+    if batch.pending() == 0 {
+        return;
     }
+    let t = prof.begin();
+    let n = batch.flush_with(|events| {
+        knowledge.on_batch(events);
+        for o in observers.iter_mut() {
+            o.on_batch(events);
+        }
+    });
+    prof.end_n(Phase::Emit, t, n as u64);
 }
 
 /// Run a discovery campaign on `space` under `cfg`.
@@ -285,6 +297,22 @@ pub fn run_campaign_observed(
     space: &MaterialsSpace,
     cfg: &CampaignConfig,
     observers: &mut [&mut dyn LedgerObserver],
+) -> CampaignReport {
+    run_campaign_profiled(space, cfg, observers, &mut PhaseProfiler::disabled())
+}
+
+/// [`run_campaign_observed`] with hot-path phase profiling (see
+/// [`crate::profile`]). The profiler is an out-parameter so callers can
+/// aggregate across campaigns; passing
+/// [`PhaseProfiler::disabled`] reduces every probe to one branch — which
+/// is exactly what `run_campaign_observed` does. Profiling never touches
+/// RNG or the event stream: the report and ledger are byte-identical
+/// with profiling on or off.
+pub fn run_campaign_profiled(
+    space: &MaterialsSpace,
+    cfg: &CampaignConfig,
+    observers: &mut [&mut dyn LedgerObserver],
+    prof: &mut PhaseProfiler,
 ) -> CampaignReport {
     let dim = space.dim();
     let reg = RngRegistry::new(cfg.seed);
@@ -332,21 +360,24 @@ pub fn run_campaign_observed(
     // with no observers never materialises them.
     let recording = records_knowledge || !observers.is_empty();
     let full_stream = !observers.is_empty();
+    // All events accumulate here and fan out in one `on_batch` call per
+    // observer at iteration boundaries. The buffer keeps its capacity
+    // across flushes, so after the first iteration the emission path
+    // performs no batch-bookkeeping allocation. The cell label and
+    // planner descriptor are interned into the stream exactly once, in
+    // `CampaignStarted` — no per-event string cloning.
+    let mut batch = EventBatch::new();
     if recording {
-        emit(
-            &mut knowledge,
-            observers,
-            CampaignEvent::CampaignStarted {
-                cell_label: cell_label.clone().into(),
-                seed: cfg.seed,
-                planner: planner_kind.descriptor().into(),
-                lanes: n_lanes,
-                horizon: cfg.horizon,
-                threshold: space.threshold,
-                max_experiments: cfg.max_experiments,
-                records_knowledge,
-            },
-        );
+        batch.push(CampaignEvent::CampaignStarted {
+            cell_label: cell_label.clone().into(),
+            seed: cfg.seed,
+            planner: planner_kind.descriptor().into(),
+            lanes: n_lanes,
+            horizon: cfg.horizon,
+            threshold: space.threshold,
+            max_experiments: cfg.max_experiments,
+            records_knowledge,
+        });
     }
     let mut last_telemetry = PlannerTelemetry::default();
 
@@ -392,23 +423,20 @@ pub fn run_campaign_observed(
         };
         decision_wait_hours += decision_done.saturating_since(now).as_hours();
         if full_stream {
-            emit(
-                &mut knowledge,
-                observers,
-                CampaignEvent::IterationStarted {
-                    lane: li,
-                    at: now,
-                    decision_ready: decision_done,
-                },
-            );
+            batch.push(CampaignEvent::IterationStarted {
+                lane: li,
+                at: now,
+                decision_ready: decision_done,
+            });
         }
 
         // Every intelligence level routes through the Planner layer: the
         // anchor (best visible evidence) is computed only for planners
         // that consult it, borrowed straight out of the lanes.
-        let batch = planner.batch_size().unwrap_or(cfg.batch_per_lane).max(1);
-        let mut chosen: Vec<Candidate> = Vec::with_capacity(batch);
+        let proposal_budget = planner.batch_size().unwrap_or(cfg.batch_per_lane).max(1);
+        let mut chosen: Vec<Candidate> = Vec::with_capacity(proposal_budget);
         {
+            let t = prof.begin();
             let anchor = if planner.wants_anchor() {
                 best_visible(
                     &lanes,
@@ -426,21 +454,18 @@ pub fn run_campaign_observed(
                 rng: &mut decide_rng,
                 anchor,
             };
-            planner.propose(&mut pctx, batch, &mut chosen);
+            planner.propose(&mut pctx, proposal_budget, &mut chosen);
+            prof.end(Phase::Propose, t);
         }
         if recording {
             for c in &chosen {
-                emit(
-                    &mut knowledge,
-                    observers,
-                    CampaignEvent::CandidateProposed {
-                        lane: li,
-                        params: c.params.clone(),
-                        rationale: c.rationale.clone(),
-                        confidence: c.confidence,
-                        hallucinated: c.hallucinated,
-                    },
-                );
+                batch.push(CampaignEvent::CandidateProposed {
+                    lane: li,
+                    params: c.params.clone(),
+                    rationale: c.rationale.clone(),
+                    confidence: c.confidence,
+                    hallucinated: c.hallucinated,
+                });
             }
         }
 
@@ -449,16 +474,12 @@ pub fn run_campaign_observed(
         execution_hours += exec.as_hours();
         let done_at = decision_done + exec;
         if full_stream {
-            emit(
-                &mut knowledge,
-                observers,
-                CampaignEvent::ExecutionScheduled {
-                    lane: li,
-                    batch: chosen.len(),
-                    duration: exec,
-                    done_at,
-                },
-            );
+            batch.push(CampaignEvent::ExecutionScheduled {
+                lane: li,
+                batch: chosen.len(),
+                duration: exec,
+                done_at,
+            });
         }
 
         let mut iter_hits = 0u64;
@@ -467,37 +488,37 @@ pub fn run_campaign_observed(
                 break;
             }
             experiments += 1;
+            let t = prof.begin();
             let score = space.measure(&c.params, &mut meas_rng);
+            prof.end(Phase::Execute, t);
             best_score = best_score.max(score);
             let hit = space.is_discovery(score);
 
             // Feed the outcome back into the decision policy (surrogate
             // assimilation, bandit rewards, swarm bests, …).
+            let t = prof.begin();
             planner.observe(&Observation {
                 lane: li,
                 params: &c.params,
                 score,
                 hit,
             });
+            prof.end(Phase::Observe, t);
             let peak = if hit { space.peak_of(&c.params) } else { None };
             if recording {
                 // The knowledge sink pairs this with its buffered
                 // proposal — the *record* phase of the loop, now driven
                 // by the same stream every other sink sees.
                 let usage = planner.token_usage();
-                emit(
-                    &mut knowledge,
-                    observers,
-                    CampaignEvent::ResultObserved {
-                        lane: li,
-                        experiment: experiments,
-                        score,
-                        hit,
-                        peak,
-                        tokens_in: usage.input_tokens,
-                        tokens_out: usage.output_tokens,
-                    },
-                );
+                batch.push(CampaignEvent::ResultObserved {
+                    lane: li,
+                    experiment: experiments,
+                    score,
+                    hit,
+                    peak,
+                    tokens_in: usage.input_tokens,
+                    tokens_out: usage.output_tokens,
+                });
             }
 
             let ev = Evidence {
@@ -534,41 +555,32 @@ pub fn run_campaign_observed(
             // rewrites) as events the moment their counters move.
             let t = planner.telemetry();
             if t.rejected_proposals != last_telemetry.rejected_proposals {
-                emit(
-                    &mut knowledge,
-                    observers,
-                    CampaignEvent::GateDecision {
-                        lane: li,
-                        rejected_total: t.rejected_proposals,
-                    },
-                );
+                batch.push(CampaignEvent::GateDecision {
+                    lane: li,
+                    rejected_total: t.rejected_proposals,
+                });
             }
             if t.omega_rewrites != last_telemetry.omega_rewrites {
-                emit(
-                    &mut knowledge,
-                    observers,
-                    CampaignEvent::OmegaRewrite {
-                        lane: li,
-                        rewrites_total: t.omega_rewrites,
-                    },
-                );
+                batch.push(CampaignEvent::OmegaRewrite {
+                    lane: li,
+                    rewrites_total: t.omega_rewrites,
+                });
             }
             last_telemetry = t;
         }
         if recording {
             // The knowledge sink needs the iteration boundary too: it
             // drops buffered proposals the budget cap kept from running.
-            emit(
-                &mut knowledge,
-                observers,
-                CampaignEvent::IterationEnded {
-                    lane: li,
-                    proposed: chosen.len(),
-                    hits: iter_hits,
-                    tokens_total: planner.token_usage().total(),
-                },
-            );
+            batch.push(CampaignEvent::IterationEnded {
+                lane: li,
+                proposed: chosen.len(),
+                hits: iter_hits,
+                tokens_total: planner.token_usage().total(),
+            });
         }
+        // Iteration boundary: one `on_batch` per sink for everything the
+        // iteration produced.
+        flush_events(&mut batch, prof, &mut knowledge, observers);
 
         lanes[li].clock = done_at;
     }
@@ -582,29 +594,32 @@ pub fn run_campaign_observed(
         0.0
     };
     let time_to_first_hours = time_to_first.map(|t| t.as_hours());
+    // The knowledge sink must have consumed every prior event before its
+    // counts are baked into `CampaignFinished` — drain any stragglers
+    // (free when, as usual, the loop exited on a clean iteration
+    // boundary).
+    flush_events(&mut batch, prof, &mut knowledge, observers);
     if full_stream {
         // Every stream-derived report total, recorded for the replay
         // audit's integrity cross-check.
         let (kg_nodes, prov_activities) = (knowledge.node_count(), knowledge.activity_count());
-        emit(
-            &mut knowledge,
-            observers,
-            CampaignEvent::CampaignFinished {
-                experiments,
-                total_hits,
-                distinct_discoveries: peaks_found.len(),
-                best_score,
-                time_to_first_hours,
-                decision_wait_hours,
-                execution_hours,
-                rejected_proposals: telemetry.rejected_proposals,
-                omega_rewrites: telemetry.omega_rewrites,
-                kg_nodes,
-                prov_activities,
-                tokens: planner.token_usage().total(),
-            },
-        );
+        batch.push(CampaignEvent::CampaignFinished {
+            experiments,
+            total_hits,
+            distinct_discoveries: peaks_found.len(),
+            best_score,
+            time_to_first_hours,
+            decision_wait_hours,
+            execution_hours,
+            rejected_proposals: telemetry.rejected_proposals,
+            omega_rewrites: telemetry.omega_rewrites,
+            kg_nodes,
+            prov_activities,
+            tokens: planner.token_usage().total(),
+        });
+        flush_events(&mut batch, prof, &mut knowledge, observers);
     }
+    prof.add_batches(batch.flushes(), batch.emitted());
     CampaignReport {
         cell_label,
         experiments,

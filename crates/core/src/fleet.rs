@@ -47,13 +47,16 @@
 //! assert_eq!(serial.per_cell.len(), 2);
 //! ```
 
-use crate::campaign::{run_campaign, run_campaign_recorded, CampaignConfig, CampaignReport};
+use crate::campaign::{
+    run_campaign, run_campaign_profiled, run_campaign_recorded, CampaignConfig, CampaignReport,
+};
 use crate::domain::MaterialsSpace;
 use crate::ledger::{CampaignEvent, CampaignLedger, FleetLedger};
 use crate::matrix::Cell;
+use crate::profile::{PhaseBreakdown, PhaseProfiler};
 use evoflow_sim::{ChaosSchedule, ChaosSpec, RngRegistry, SampleStats, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Stream label under which fleet campaign seeds are derived from the
@@ -299,34 +302,53 @@ pub struct FleetTiming {
     pub wall_clock: Duration,
 }
 
-/// A lock-free claim queue over task indices.
+/// A lock-free claim queue over task indices, claiming tasks in
+/// *chunks*.
 ///
-/// Each worker owns a stripe of the task list; [`TaskQueue::claim`] scans
-/// from the worker's stripe offset and wraps, so a worker that exhausts
-/// its own stripe transparently steals any still-unclaimed task. Claims
-/// are single atomic swaps — no locks, no contention beyond the CAS.
+/// One shared cursor replaces the old per-task claim flags: a single
+/// `fetch_add` claims the next `chunk` task indices at once, so the
+/// atomic-RMW (and its cache-line ping between workers) is amortized
+/// over K tasks instead of paid per task — and a worker that exhausts
+/// its chunk transparently "steals" the next one, so no worker idles
+/// while tasks remain. The chunk size bounds tail imbalance at
+/// `threads × (chunk − 1)` tasks, so it scales down as
+/// `tasks / (threads × 4)` and never below 1 (the old one-task-per-claim
+/// behaviour is the `chunk == 1` special case).
 struct TaskQueue {
-    claimed: Vec<AtomicBool>,
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
 }
 
 impl TaskQueue {
-    fn new(tasks: usize) -> Self {
+    fn new(tasks: usize, threads: usize) -> Self {
         TaskQueue {
-            claimed: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
+            next: AtomicUsize::new(0),
+            len: tasks,
+            chunk: (tasks / (threads.max(1) * 4)).max(1),
         }
     }
 
-    /// Claim the next unclaimed task at or after `start` (wrapping).
-    fn claim(&self, start: usize) -> Option<usize> {
-        let n = self.claimed.len();
-        for off in 0..n {
-            let i = (start + off) % n;
-            if !self.claimed[i].swap(true, Ordering::AcqRel) {
-                return Some(i);
-            }
+    /// Claim the next chunk of unclaimed task indices (empty ⇒ `None`).
+    /// Exactly `ceil(len / chunk)` claims succeed across all workers,
+    /// regardless of interleaving; each index is handed out exactly once.
+    fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::AcqRel);
+        if start >= self.len {
+            return None;
         }
-        None
+        Some(start..(start + self.chunk).min(self.len))
     }
+}
+
+/// Claim-side counters from one fleet execution — the *steal* phase of
+/// [`crate::profile`]. `claims` counts successful chunk claims (a pure
+/// function of task count and thread count); `nanos` is wall time inside
+/// `claim` and is only measured when profiling is on.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StealStats {
+    pub(crate) claims: u64,
+    pub(crate) nanos: u64,
 }
 
 /// Execute the fleet tasks `tasks` (pairs of shard index + config) across
@@ -354,40 +376,71 @@ where
     R: Send,
     F: Fn(&CampaignConfig) -> R + Sync,
 {
+    execute_fleet_tasks_steal_timed(tasks, threads, commit_cap, run, false).0
+}
+
+/// [`execute_fleet_tasks_with`] plus claim-side counters. With
+/// `time_steals` false the claim path reads no clock (one local counter
+/// increment per chunk); with it true, each `claim` call is wall-timed —
+/// the *steal* phase of a profiled fleet run.
+pub(crate) fn execute_fleet_tasks_steal_timed<R, F>(
+    tasks: &[(usize, CampaignConfig)],
+    threads: usize,
+    commit_cap: Option<usize>,
+    run: F,
+    time_steals: bool,
+) -> (Vec<(usize, R)>, StealStats)
+where
+    R: Send,
+    F: Fn(&CampaignConfig) -> R + Sync,
+{
     let cap = commit_cap.unwrap_or(usize::MAX);
     if tasks.is_empty() || cap == 0 {
-        return Vec::new();
+        return (Vec::new(), StealStats::default());
     }
     if threads <= 1 {
-        // Serial fast path: no thread machinery at all.
-        return tasks.iter().take(cap).map(|(i, c)| (*i, run(c))).collect();
+        // Serial fast path: no thread machinery, no claims.
+        let results = tasks.iter().take(cap).map(|(i, c)| (*i, run(c))).collect();
+        return (results, StealStats::default());
     }
-    let queue = TaskQueue::new(tasks.len());
+    let queue = TaskQueue::new(tasks.len(), threads);
     let commits = AtomicUsize::new(0);
     let queue_ref = &queue;
     let commits_ref = &commits;
     let run_ref = &run;
-    // Stripe offsets spread workers across the task list so stealing
-    // only happens once a worker's own region is exhausted.
-    let stripe = tasks.len().div_ceil(threads);
-    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let collected: Vec<(Vec<(usize, R)>, StealStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|w| {
+            .map(|_| {
                 scope.spawn(move || {
                     let mut local = Vec::new();
-                    while commits_ref.load(Ordering::Acquire) < cap {
-                        let Some(i) = queue_ref.claim(w * stripe) else {
+                    let mut steals = StealStats::default();
+                    'claiming: while commits_ref.load(Ordering::Acquire) < cap {
+                        let started = time_steals.then(Instant::now);
+                        let claimed = queue_ref.claim();
+                        if let Some(t) = started {
+                            steals.nanos += t.elapsed().as_nanos() as u64;
+                        }
+                        let Some(range) = claimed else {
                             break;
                         };
-                        let result = run_ref(&tasks[i].1);
-                        // Commit-or-discard: the crash point is a total
-                        // order on completions, so work finishing after
-                        // it is lost, like a real kill -9.
-                        if commits_ref.fetch_add(1, Ordering::AcqRel) < cap {
-                            local.push((tasks[i].0, result));
+                        steals.claims += 1;
+                        for i in range {
+                            // Commit-or-discard: the crash point is a
+                            // total order on completions, so work
+                            // finishing after it is lost, like a real
+                            // kill -9 — and the rest of a chunk claimed
+                            // past the cap is in-flight work the crash
+                            // never ran.
+                            if commits_ref.load(Ordering::Acquire) >= cap {
+                                break 'claiming;
+                            }
+                            let result = run_ref(&tasks[i].1);
+                            if commits_ref.fetch_add(1, Ordering::AcqRel) < cap {
+                                local.push((tasks[i].0, result));
+                            }
                         }
                     }
-                    local
+                    (local, steals)
                 })
             })
             .collect();
@@ -396,7 +449,14 @@ where
             .map(|h| h.join().expect("fleet worker panicked"))
             .collect()
     });
-    collected.into_iter().flatten().collect()
+    let mut results = Vec::new();
+    let mut steals = StealStats::default();
+    for (local, s) in collected {
+        results.extend(local);
+        steals.claims += s.claims;
+        steals.nanos += s.nanos;
+    }
+    (results, steals)
 }
 
 /// The plain-report runner over [`execute_fleet_tasks_with`].
@@ -687,6 +747,63 @@ pub fn run_campaign_fleet_recorded(
             master_seed: cfg.master_seed,
             campaigns,
         },
+    )
+}
+
+/// Run a *recording* fleet with hot-path phase profiling: every campaign
+/// runs under [`run_campaign_profiled`], the executor's chunk-claim path
+/// is wall-timed as the *steal* phase, and the per-campaign breakdowns
+/// are merged **in shard order** — so every count in the returned
+/// [`PhaseBreakdown`] is byte-identical across reruns and thread counts
+/// (only `nanos` is wall-clock). The report and ledger are identical to
+/// [`run_campaign_fleet_recorded`]'s: profiling observes, never perturbs.
+pub fn run_campaign_fleet_profiled(
+    space: &MaterialsSpace,
+    cfg: &FleetConfig,
+) -> (FleetReport, FleetLedger, PhaseBreakdown, FleetTiming) {
+    let shards = cfg.sharded_campaigns();
+    let threads = cfg.effective_threads();
+    let started = Instant::now();
+    let tasks: Vec<(usize, CampaignConfig)> = shards.into_iter().enumerate().collect();
+    let mut slots: Vec<Option<(CampaignReport, CampaignLedger, PhaseBreakdown)>> =
+        (0..tasks.len()).map(|_| None).collect();
+    let (results, steals) = execute_fleet_tasks_steal_timed(
+        &tasks,
+        threads,
+        None,
+        |c| {
+            let mut ledger = CampaignLedger::new();
+            let mut prof = PhaseProfiler::enabled();
+            let report = run_campaign_profiled(space, c, &mut [&mut ledger], &mut prof);
+            (report, ledger, prof.breakdown())
+        },
+        true,
+    );
+    for (i, triple) in results {
+        slots[i] = Some(triple);
+    }
+    let mut reports = Vec::with_capacity(slots.len());
+    let mut campaigns = Vec::with_capacity(slots.len());
+    let mut merged = PhaseProfiler::enabled();
+    for slot in slots {
+        let (report, ledger, breakdown) = slot.expect("every task claimed exactly once");
+        reports.push(report);
+        campaigns.push(ledger);
+        merged.merge(&breakdown);
+    }
+    merged.add_steals(steals.claims, steals.nanos);
+    let timing = FleetTiming {
+        threads,
+        wall_clock: started.elapsed(),
+    };
+    (
+        FleetReport::from_reports(cfg.master_seed, reports),
+        FleetLedger {
+            master_seed: cfg.master_seed,
+            campaigns,
+        },
+        merged.breakdown(),
+        timing,
     )
 }
 
@@ -1004,20 +1121,29 @@ mod tests {
 
     #[test]
     fn task_queue_claims_each_task_once() {
-        let q = TaskQueue::new(17);
+        // 17 tasks / 2 workers ⇒ chunk = 2: every index handed out
+        // exactly once, in exactly ceil(17/2) = 9 chunk claims, no
+        // matter how claims interleave.
+        let q = TaskQueue::new(17, 2);
+        assert_eq!(q.chunk, 2);
         let mut seen = std::collections::BTreeSet::new();
-        for w in 0..5 {
-            while let Some(i) = q.claim(w * 4) {
+        let mut claims = 0u64;
+        while let Some(range) = q.claim() {
+            claims += 1;
+            for i in range {
                 assert!(seen.insert(i), "task {i} claimed twice");
-                if seen.len() % 3 == 0 {
-                    break; // interleave workers
-                }
             }
         }
-        // Drain the rest.
-        while let Some(i) = q.claim(0) {
-            assert!(seen.insert(i));
-        }
         assert_eq!(seen.len(), 17);
+        assert_eq!(claims, 9);
+        assert!(q.claim().is_none(), "drained queue must stay drained");
+    }
+
+    #[test]
+    fn task_queue_chunk_scales_with_load_and_never_hits_zero() {
+        assert_eq!(TaskQueue::new(12, 2).chunk, 1);
+        assert_eq!(TaskQueue::new(800, 4).chunk, 50);
+        assert_eq!(TaskQueue::new(3, 16).chunk, 1);
+        assert_eq!(TaskQueue::new(0, 2).chunk, 1);
     }
 }

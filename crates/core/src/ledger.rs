@@ -320,6 +320,34 @@ impl CampaignEvent {
         }
     }
 
+    /// Precomputed `ledger.`-prefixed metrics key for this variant.
+    ///
+    /// [`MetricsSink`] bumps one counter per event; building the key with
+    /// `format!("ledger.{}", kind)` allocated a fresh `String` on every
+    /// event in the recording hot loop. These are the same keys, interned
+    /// at compile time.
+    pub fn metric_key(&self) -> &'static str {
+        match self {
+            CampaignEvent::CampaignStarted { .. } => "ledger.campaign-started",
+            CampaignEvent::IterationStarted { .. } => "ledger.iteration-started",
+            CampaignEvent::CandidateProposed { .. } => "ledger.candidate-proposed",
+            CampaignEvent::ExecutionScheduled { .. } => "ledger.execution-scheduled",
+            CampaignEvent::ResultObserved { .. } => "ledger.result-observed",
+            CampaignEvent::GateDecision { .. } => "ledger.gate-decision",
+            CampaignEvent::OmegaRewrite { .. } => "ledger.omega-rewrite",
+            CampaignEvent::IterationEnded { .. } => "ledger.iteration-ended",
+            CampaignEvent::CampaignFinished { .. } => "ledger.campaign-finished",
+            CampaignEvent::CheckpointTaken { .. } => "ledger.checkpoint-taken",
+            CampaignEvent::CoordinatorKilled { .. } => "ledger.coordinator-killed",
+            CampaignEvent::CampaignPlaced { .. } => "ledger.campaign-placed",
+            CampaignEvent::DataTransferred { .. } => "ledger.data-transferred",
+            CampaignEvent::OutageStruck { .. } => "ledger.outage-struck",
+            CampaignEvent::SubmissionAdmitted { .. } => "ledger.submission-admitted",
+            CampaignEvent::SubmissionRejected { .. } => "ledger.submission-rejected",
+            CampaignEvent::CampaignDispatched { .. } => "ledger.campaign-dispatched",
+        }
+    }
+
     /// Whether the variant belongs to the campaign discovery loop (the
     /// only variants allowed inside a [`CampaignLedger`] being replayed).
     pub fn is_campaign_scoped(&self) -> bool {
@@ -343,6 +371,94 @@ impl CampaignEvent {
 pub trait LedgerObserver {
     /// Ingest one event.
     fn on_event(&mut self, event: &CampaignEvent);
+
+    /// Ingest a contiguous run of events in emission order.
+    ///
+    /// The default forwards each event to [`on_event`](Self::on_event),
+    /// so every observer sees the exact same stream whether the producer
+    /// emits one event at a time or flushes an [`EventBatch`]. Sinks
+    /// with a cheaper bulk path (e.g. [`CampaignLedger`] reserving once
+    /// per batch) override this; the override must be observationally
+    /// identical to the per-event loop.
+    fn on_batch(&mut self, events: &[CampaignEvent]) {
+        for event in events {
+            self.on_event(event);
+        }
+    }
+}
+
+/// A reusable buffer of pending events between flushes — the allocation
+/// discipline of the recording hot loop.
+///
+/// `run_campaign_observed` pushes events here instead of fanning each one
+/// out to every observer immediately, then flushes at iteration
+/// boundaries (and before any point that *reads* a sink, e.g. the
+/// knowledge counts baked into `CampaignFinished`). The backing `Vec`
+/// keeps its capacity across flushes, so after the first iteration the
+/// emission path allocates nothing for batch bookkeeping. Flushing
+/// preserves emission order exactly — observers cannot distinguish a
+/// batched producer from a per-event one.
+#[derive(Debug, Default)]
+pub struct EventBatch {
+    buf: Vec<CampaignEvent>,
+    flushes: u64,
+    emitted: u64,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue one event for the next flush.
+    pub fn push(&mut self, event: CampaignEvent) {
+        self.buf.push(event);
+    }
+
+    /// Events currently queued (unflushed).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Deliver all queued events to every observer via
+    /// [`LedgerObserver::on_batch`], in order, then clear the buffer
+    /// (retaining its capacity). Empty flushes are free and uncounted.
+    /// Returns the number of events delivered.
+    pub fn flush(&mut self, observers: &mut [&mut dyn LedgerObserver]) -> usize {
+        self.flush_with(|events| {
+            for obs in observers.iter_mut() {
+                obs.on_batch(events);
+            }
+        })
+    }
+
+    /// Like [`flush`](Self::flush), but hands the pending slice to an
+    /// arbitrary delivery closure — for producers whose fan-out is not a
+    /// plain observer slice (e.g. a campaign delivering to its own
+    /// knowledge sink before the caller's observers). Returns the number
+    /// of events delivered; the closure is not called on an empty batch.
+    pub fn flush_with(&mut self, deliver: impl FnOnce(&[CampaignEvent])) -> usize {
+        if self.buf.is_empty() {
+            return 0;
+        }
+        deliver(&self.buf);
+        let n = self.buf.len();
+        self.flushes += 1;
+        self.emitted += n as u64;
+        self.buf.clear();
+        n
+    }
+
+    /// Batches flushed so far (empty flushes excluded).
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Events delivered across all flushes.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
 }
 
 /// The durable event stream of one campaign — itself an observer, so a
@@ -373,6 +489,12 @@ impl CampaignLedger {
 impl LedgerObserver for CampaignLedger {
     fn on_event(&mut self, event: &CampaignEvent) {
         self.events.push(event.clone());
+    }
+
+    fn on_batch(&mut self, events: &[CampaignEvent]) {
+        // One reservation per batch instead of amortized doubling on
+        // every push — the bulk fast path the recording loop relies on.
+        self.events.extend_from_slice(events);
     }
 }
 
@@ -518,7 +640,7 @@ impl MetricsSink {
 
 impl LedgerObserver for MetricsSink {
     fn on_event(&mut self, event: &CampaignEvent) {
-        self.registry.incr(&format!("ledger.{}", event.kind()), 1);
+        self.registry.incr(event.metric_key(), 1);
         match event {
             CampaignEvent::IterationStarted {
                 at, decision_ready, ..
@@ -608,6 +730,21 @@ impl LedgerObserver for RingTelemetry {
             self.buf.pop_front();
         }
         self.buf.push_back(event.clone());
+    }
+
+    fn on_batch(&mut self, events: &[CampaignEvent]) {
+        self.seen += events.len() as u64;
+        if self.capacity == 0 {
+            return;
+        }
+        // Only the last `capacity` events of the batch can survive; skip
+        // straight to them instead of cloning events doomed to eviction.
+        let keep = &events[events.len().saturating_sub(self.capacity)..];
+        let evict = (self.buf.len() + keep.len()).saturating_sub(self.capacity);
+        for _ in 0..evict {
+            self.buf.pop_front();
+        }
+        self.buf.extend(keep.iter().cloned());
     }
 }
 

@@ -442,13 +442,17 @@ impl<'a> Cursor<'a> {
 #[derive(Default)]
 struct InternWriter {
     ids: HashMap<String, u64>,
+    hits: u64,
+    misses: u64,
 }
 
 impl InternWriter {
     fn put(&mut self, out: &mut Vec<u8>, s: &str) {
         if let Some(&id) = self.ids.get(s) {
+            self.hits += 1;
             put_varint(out, id);
         } else {
+            self.misses += 1;
             let id = self.ids.len() as u64 + 1;
             self.ids.insert(s.to_string(), id);
             put_varint(out, 0);
@@ -900,6 +904,10 @@ fn decode_event(
 struct BodyWriter {
     segments: Vec<u8>,
     seg: Vec<u8>,
+    /// Per-record encode buffer, reused across [`push`](Self::push)
+    /// calls — the record framing needs the encoded length before the
+    /// bytes, but that must not cost one `Vec` allocation per event.
+    scratch: Vec<u8>,
     seg_index: u64,
     seg_events: u64,
     total_events: u64,
@@ -918,6 +926,7 @@ impl BodyWriter {
         BodyWriter {
             segments: Vec::new(),
             seg: Vec::new(),
+            scratch: Vec::with_capacity(64),
             seg_index: 0,
             seg_events: 0,
             total_events: 0,
@@ -933,11 +942,11 @@ impl BodyWriter {
     }
 
     fn push(&mut self, event: &CampaignEvent) {
-        let mut body = Vec::with_capacity(32);
-        encode_event(&mut body, &mut self.strings, event);
-        put_varint(&mut self.seg, body.len() as u64);
-        self.seg.extend_from_slice(&body);
-        self.fnv = fnv_absorb(self.fnv, &body);
+        self.scratch.clear();
+        encode_event(&mut self.scratch, &mut self.strings, event);
+        put_varint(&mut self.seg, self.scratch.len() as u64);
+        self.seg.extend_from_slice(&self.scratch);
+        self.fnv = fnv_absorb(self.fnv, &self.scratch);
         self.seg
             .extend_from_slice(&fnv_fold16(self.fnv).to_le_bytes());
         self.seg_events += 1;
@@ -979,16 +988,49 @@ impl BodyWriter {
         self.snap_tokens = self.tokens;
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    /// Seal the body and append it to `out` (byte-identical to
+    /// [`finish`](Self::finish) — appending into a caller-reused buffer
+    /// is the fast path, so the header CRC covers only the bytes this
+    /// call wrote). Returns the encode's allocation-proxy counters.
+    fn finish_into(mut self, out: &mut Vec<u8>) -> WireEncodeStats {
         self.flush_segment();
-        let mut out = Vec::with_capacity(self.segments.len() + 16);
-        put_varint(&mut out, self.seg_index);
-        put_varint(&mut out, self.total_events);
-        let crc = crc32(&out);
+        out.reserve(self.segments.len() + 16);
+        let header_start = out.len();
+        put_varint(out, self.seg_index);
+        put_varint(out, self.total_events);
+        let crc = crc32(&out[header_start..]);
         out.extend_from_slice(&crc.to_le_bytes());
         out.extend_from_slice(&self.segments);
+        WireEncodeStats {
+            events: self.total_events,
+            segments: self.seg_index,
+            intern_hits: self.strings.hits,
+            intern_misses: self.strings.misses,
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.segments.len() + 16);
+        self.finish_into(&mut out);
         out
     }
+}
+
+/// Deterministic counters from one binary encode — the wire layer's
+/// allocation-proxy telemetry. Every field is a pure function of the
+/// event stream (byte-diff-safe in bench artifacts): `intern_hits`
+/// counts string encodings that collapsed to a table reference instead
+/// of allocating a fresh table entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireEncodeStats {
+    /// Events encoded.
+    pub events: u64,
+    /// CRC-sealed segments emitted.
+    pub segments: u64,
+    /// String fields resolved to an existing intern-table id.
+    pub intern_hits: u64,
+    /// String fields that created a new intern-table entry.
+    pub intern_misses: u64,
 }
 
 fn encode_body<'a>(events: impl IntoIterator<Item = &'a CampaignEvent>) -> Vec<u8> {
@@ -997,6 +1039,19 @@ fn encode_body<'a>(events: impl IntoIterator<Item = &'a CampaignEvent>) -> Vec<u
         w.push(e);
     }
     w.finish()
+}
+
+/// Encode one event stream body, appending to `out` (buffer-reuse fast
+/// path; bytes identical to [`encode_body`]). Returns encode counters.
+fn encode_body_into<'a>(
+    events: impl IntoIterator<Item = &'a CampaignEvent>,
+    out: &mut Vec<u8>,
+) -> WireEncodeStats {
+    let mut w = BodyWriter::new();
+    for e in events {
+        w.push(e);
+    }
+    w.finish_into(out)
 }
 
 // ---- body reader ------------------------------------------------------------
@@ -1390,12 +1445,26 @@ impl CampaignLedger {
         match encoding {
             LedgerEncoding::Json => json_bytes(self),
             LedgerEncoding::Binary => {
-                let body = encode_body(&self.events);
-                let mut out = envelope(KIND_CAMPAIGN, body.len());
-                out.extend_from_slice(&body);
+                let mut out = Vec::new();
+                self.encode_binary_into(&mut out);
                 out
             }
         }
+    }
+
+    /// The binary-encode fast path: clear `out` and write the `EVWL`
+    /// bytes into it, retaining its capacity across calls — encoding N
+    /// ledgers through one reused buffer performs no output allocation
+    /// after the largest ledger has been seen. Byte-identical to
+    /// [`to_bytes`](Self::to_bytes) with [`LedgerEncoding::Binary`].
+    /// Returns the encode's deterministic counters.
+    pub fn encode_binary_into(&self, out: &mut Vec<u8>) -> WireEncodeStats {
+        out.clear();
+        out.reserve(6);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(KIND_CAMPAIGN);
+        encode_body_into(&self.events, out)
     }
 
     /// Decode from either encoding, sniffed via [`LedgerEncoding::detect`].
@@ -1419,27 +1488,27 @@ impl FleetLedger {
         match encoding {
             LedgerEncoding::Json => json_bytes(self),
             LedgerEncoding::Binary => {
-                let bodies: Vec<Vec<u8>> = self
-                    .campaigns
-                    .iter()
-                    .map(|c| encode_body(&c.events))
-                    .collect();
+                // One contiguous buffer for every campaign body (plus
+                // its length table) instead of a `Vec<Vec<u8>>` — same
+                // bytes, one allocation curve.
+                let mut bodies = Vec::new();
+                let mut lens: Vec<usize> = Vec::with_capacity(self.campaigns.len());
+                for c in &self.campaigns {
+                    let start = bodies.len();
+                    encode_body_into(&c.events, &mut bodies);
+                    lens.push(bodies.len() - start);
+                }
                 let mut section = Vec::new();
                 put_varint(&mut section, self.master_seed);
-                put_varint(&mut section, bodies.len() as u64);
-                for b in &bodies {
-                    put_varint(&mut section, b.len() as u64);
+                put_varint(&mut section, lens.len() as u64);
+                for &l in &lens {
+                    put_varint(&mut section, l as u64);
                 }
-                let mut out = envelope(
-                    KIND_FLEET,
-                    section.len() + bodies.iter().map(Vec::len).sum::<usize>(),
-                );
+                let mut out = envelope(KIND_FLEET, section.len() + bodies.len());
                 put_varint(&mut out, section.len() as u64);
                 out.extend_from_slice(&section);
                 out.extend_from_slice(&crc32(&section).to_le_bytes());
-                for b in &bodies {
-                    out.extend_from_slice(b);
-                }
+                out.extend_from_slice(&bodies);
                 out
             }
         }

@@ -52,6 +52,10 @@
 //!   ([`service::plan_service`]), so sessions are byte-identical across
 //!   thread counts and kill/resume
 //!   ([`service::ServiceCheckpoint`] / [`service::resume_service`]).
+//! * [`profile`] — hot-path phase profiling: near-zero-overhead scoped
+//!   counters (propose / execute / observe / emit / steal) threaded
+//!   through the campaign loop and fleet executor, aggregated into a
+//!   [`profile::PhaseBreakdown`] whose counts are deterministic.
 //! * [`governance`] — §4's policy enforcement, guardrails, and
 //!   accountability: sample budgets, human approval for irreversible
 //!   actions, rate limits, audit trails.
@@ -69,12 +73,13 @@ pub mod ide;
 pub mod ledger;
 pub mod matrix;
 pub mod planner;
+pub mod profile;
 pub mod runtime;
 pub mod service;
 
 pub use campaign::{
-    run_campaign, run_campaign_observed, run_campaign_recorded, CampaignConfig, CampaignReport,
-    CoordinationMode,
+    run_campaign, run_campaign_observed, run_campaign_profiled, run_campaign_recorded,
+    CampaignConfig, CampaignReport, CoordinationMode,
 };
 pub use domain::MaterialsSpace;
 pub use federated::{
@@ -87,20 +92,20 @@ pub use federated::{
 pub use federation::{Federation, FederationError, Handshake};
 pub use fleet::{
     fleet_death_point, resume_campaign_fleet, resume_campaign_fleet_recorded, run_campaign_fleet,
-    run_campaign_fleet_recorded, run_campaign_fleet_recorded_until, run_campaign_fleet_timed,
-    run_campaign_fleet_until, CellSummary, DistSummary, FleetCheckpoint, FleetConfig,
-    FleetLedgerCheckpoint, FleetReport, FleetResumeError, FleetTiming,
+    run_campaign_fleet_profiled, run_campaign_fleet_recorded, run_campaign_fleet_recorded_until,
+    run_campaign_fleet_timed, run_campaign_fleet_until, CellSummary, DistSummary, FleetCheckpoint,
+    FleetConfig, FleetLedgerCheckpoint, FleetReport, FleetResumeError, FleetTiming,
 };
 pub use governance::{Action, AuditRecord, GovernanceEngine, Policy, Verdict};
 pub use ide::{panel, render_campaign, render_interventions, render_plane, render_trajectory};
 pub use ledger::wire::{
     replay_fleet_ledger_bytes, replay_ledger_bytes, resume_campaign_fleet_recorded_bytes,
-    resume_service_bytes,
+    resume_service_bytes, WireEncodeStats,
 };
 pub use ledger::{
-    replay_fleet_ledger, replay_ledger, CampaignEvent, CampaignLedger, FleetLedger, KnowledgeSink,
-    LedgerEncoding, LedgerObserver, MetricsSink, ReplayError, ReplayOutcome, RingTelemetry,
-    WireError,
+    replay_fleet_ledger, replay_ledger, CampaignEvent, CampaignLedger, EventBatch, FleetLedger,
+    KnowledgeSink, LedgerEncoding, LedgerObserver, MetricsSink, ReplayError, ReplayOutcome,
+    RingTelemetry, WireError,
 };
 pub use matrix::{
     all_cells, classify, transition_requirement, Cell, SystemDescriptor, TrajectoryPlanner,
@@ -108,6 +113,7 @@ pub use matrix::{
 pub use planner::{
     BanditKind, Observation, PlanCtx, Planner, PlannerBuild, PlannerKind, PlannerTelemetry,
 };
+pub use profile::{Phase, PhaseBreakdown, PhaseProfiler, PhaseStat};
 pub use runtime::{ComponentStatus, LabRuntime};
 pub use service::{
     plan_service, resume_service, run_service, run_service_observed, run_service_until,

@@ -1,0 +1,261 @@
+//! Property tests for the batched hot-path emission contract (ISSUE 8):
+//!
+//! 1. **Observer indistinguishability** — for *every* planner kind, an
+//!    observer that only implements `on_event` (the default `on_batch`
+//!    loops for it) sees the exact same event stream, in the exact same
+//!    order, as an observer that consumes whole batches — and both match
+//!    the recorded `CampaignLedger`.
+//! 2. **Batch shape** — flushes happen at iteration boundaries: every
+//!    delivered batch is non-empty and the batch count matches the
+//!    `EventBatch` counters the profiler reports.
+//! 3. **Byte identity under batching** — the batched path replays to a
+//!    byte-identical report and produces byte-identical `EVWL` wire
+//!    bytes, including through the buffer-reuse fast path; fleet merges
+//!    stay byte-identical at 1/2/4 threads and across a kill + resume
+//!    seam.
+//! 4. **Static metric keys** — `CampaignEvent::metric_key` is exactly
+//!    the `"ledger.{kind}"` string the metrics sink used to allocate
+//!    per event.
+
+use evoflow_agents::Pattern;
+use evoflow_core::{
+    replay_ledger, resume_campaign_fleet_recorded, run_campaign_fleet_recorded,
+    run_campaign_fleet_recorded_until, run_campaign_observed, run_campaign_recorded,
+    CampaignConfig, CampaignEvent, CampaignLedger, Cell, EventBatch, FleetConfig, LedgerEncoding,
+    LedgerObserver, MaterialsSpace, PlannerKind,
+};
+use evoflow_sim::SimDuration;
+use evoflow_sm::IntelligenceLevel;
+
+fn space() -> MaterialsSpace {
+    MaterialsSpace::generate(3, 8, 20260808)
+}
+
+fn all_planners() -> Vec<PlannerKind> {
+    let mut kinds = PlannerKind::all_concrete();
+    kinds.push(PlannerKind::meta());
+    kinds
+}
+
+fn planned_config(planner: PlannerKind, seed: u64) -> CampaignConfig {
+    let mut cfg =
+        CampaignConfig::for_cell(Cell::new(IntelligenceLevel::Learning, Pattern::Mesh), seed)
+            .with_planner(planner);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.coordination = Some(evoflow_core::CoordinationMode::Autonomous);
+    cfg.max_experiments = 2_000;
+    cfg
+}
+
+/// Sees events one at a time through the default `on_batch`, exactly as
+/// every observer did before batching existed.
+#[derive(Default)]
+struct PerEventLog {
+    events: Vec<CampaignEvent>,
+}
+
+impl LedgerObserver for PerEventLog {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Consumes whole batches, remembering where the seams fell.
+#[derive(Default)]
+struct BatchLog {
+    events: Vec<CampaignEvent>,
+    batch_sizes: Vec<usize>,
+}
+
+impl LedgerObserver for BatchLog {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+        self.batch_sizes.push(1);
+    }
+
+    fn on_batch(&mut self, events: &[CampaignEvent]) {
+        self.events.extend_from_slice(events);
+        self.batch_sizes.push(events.len());
+    }
+}
+
+/// For every planner kind, a per-event observer, a batch observer, and
+/// the recorded ledger all see the identical stream — batching is pure
+/// delivery mechanics, never reordering or loss.
+#[test]
+fn batched_delivery_is_indistinguishable_from_per_event_for_every_planner() {
+    let space = space();
+    for planner in all_planners() {
+        let cfg = planned_config(planner.clone(), 29);
+        let mut per_event = PerEventLog::default();
+        let mut batched = BatchLog::default();
+        let report = run_campaign_observed(&space, &cfg, &mut [&mut per_event, &mut batched]);
+        let (recorded, ledger) = run_campaign_recorded(&space, &cfg);
+
+        assert_eq!(
+            per_event.events,
+            batched.events,
+            "{}: batch observer saw a different stream",
+            planner.label()
+        );
+        assert_eq!(
+            batched.events,
+            ledger.events,
+            "{}: observer stream diverged from the recorded ledger",
+            planner.label()
+        );
+        assert_eq!(
+            serde_json::to_string(&report).expect("serialize"),
+            serde_json::to_string(&recorded).expect("serialize"),
+            "{}: report changed across observer shapes",
+            planner.label()
+        );
+        assert!(
+            batched.batch_sizes.iter().all(|&n| n > 0),
+            "{}: empty batch delivered",
+            planner.label()
+        );
+        assert!(
+            batched.batch_sizes.len() > 1,
+            "{}: expected one flush per iteration, got a single batch",
+            planner.label()
+        );
+        assert!(
+            batched.batch_sizes.iter().any(|&n| n > 1),
+            "{}: batching never amortized a delivery",
+            planner.label()
+        );
+    }
+}
+
+/// The batched path's ledger replays to the live report byte-for-byte
+/// and its `EVWL` bytes are identical whether encoded fresh or through
+/// a reused buffer — for every planner kind.
+#[test]
+fn batched_path_keeps_replay_and_wire_bytes_identical() {
+    let space = space();
+    let mut reuse = Vec::new();
+    for planner in all_planners() {
+        let cfg = planned_config(planner.clone(), 31);
+        let (live, ledger) = run_campaign_recorded(&space, &cfg);
+
+        let replayed = replay_ledger(&ledger).expect("batched ledger replays");
+        assert_eq!(
+            serde_json::to_string(&replayed.report).expect("serialize"),
+            serde_json::to_string(&live).expect("serialize"),
+            "{}: replayed report diverged",
+            planner.label()
+        );
+
+        let fresh = ledger.to_bytes(LedgerEncoding::Binary);
+        let stats = ledger.encode_binary_into(&mut reuse);
+        assert_eq!(
+            fresh,
+            reuse,
+            "{}: reused-buffer encode diverged from fresh encode",
+            planner.label()
+        );
+        assert_eq!(
+            stats.events as usize,
+            ledger.len(),
+            "{}: encode stats missed events",
+            planner.label()
+        );
+        assert!(
+            stats.intern_hits > stats.intern_misses,
+            "{}: intern table should mostly hit on a repetitive stream",
+            planner.label()
+        );
+    }
+}
+
+/// Batched emission inside the fleet executor (chunked claiming
+/// included) leaves the merged ledger byte-identical at 1, 2, and 4
+/// threads and across a coordinator kill + resume.
+#[test]
+fn fleet_batching_is_thread_and_crash_invariant() {
+    let space = space();
+    let mut cfg = FleetConfig::new(808);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.threads = 1;
+    cfg.push_cell(Cell::traditional_wms(), 2);
+    cfg.push_cell(Cell::autonomous_science(), 2);
+    cfg.push_cell(Cell::new(IntelligenceLevel::Learning, Pattern::Mesh), 2);
+
+    let (report, ledger) = run_campaign_fleet_recorded(&space, &cfg);
+    let report_json = serde_json::to_string(&report).expect("serialize");
+    let wire = ledger.to_bytes(LedgerEncoding::Binary);
+
+    for threads in [2usize, 4] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let (r, l) = run_campaign_fleet_recorded(&space, &c);
+        assert_eq!(
+            serde_json::to_string(&r).expect("serialize"),
+            report_json,
+            "{threads}-thread report diverged"
+        );
+        assert_eq!(
+            l.to_bytes(LedgerEncoding::Binary),
+            wire,
+            "{threads}-thread merged wire bytes diverged"
+        );
+    }
+
+    for kill_after in [1usize, 3, 5] {
+        let ckpt = run_campaign_fleet_recorded_until(&space, &cfg, kill_after);
+        let (r, l) =
+            resume_campaign_fleet_recorded(&space, &cfg, &ckpt).expect("checkpoint resumes");
+        assert_eq!(
+            serde_json::to_string(&r).expect("serialize"),
+            report_json,
+            "kill@{kill_after}: resumed report diverged"
+        );
+        assert_eq!(
+            l.to_bytes(LedgerEncoding::Binary),
+            wire,
+            "kill@{kill_after}: resumed wire bytes diverged"
+        );
+    }
+}
+
+/// `EventBatch` counters account for every push: N events over K
+/// flushes, empty flushes free.
+#[test]
+fn event_batch_counters_account_for_every_push() {
+    let space = space();
+    let cfg = planned_config(PlannerKind::Grid, 37);
+    let (_, ledger) = run_campaign_recorded(&space, &cfg);
+
+    let mut batch = EventBatch::new();
+    let mut sink = CampaignLedger::new();
+    assert_eq!(batch.flush(&mut [&mut sink]), 0, "empty flush delivers 0");
+    assert_eq!(batch.flushes(), 0, "empty flush is not counted");
+
+    let mut delivered = 0usize;
+    for (i, event) in ledger.events.iter().enumerate() {
+        batch.push(event.clone());
+        if i % 7 == 6 {
+            delivered += batch.flush(&mut [&mut sink]);
+        }
+    }
+    delivered += batch.flush(&mut [&mut sink]);
+    assert_eq!(delivered, ledger.len());
+    assert_eq!(batch.emitted(), ledger.len() as u64);
+    assert_eq!(batch.flushes(), ledger.len().div_ceil(7) as u64);
+    assert_eq!(sink.events, ledger.events, "flushed sink re-ordered events");
+}
+
+/// The static `metric_key` table matches the `"ledger.{kind}"` strings
+/// the metrics sink used to build with a per-event allocation.
+#[test]
+fn metric_keys_are_the_static_form_of_the_old_allocating_keys() {
+    let space = space();
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 41);
+    cfg.horizon = SimDuration::from_days(1);
+    let (_, ledger) = run_campaign_recorded(&space, &cfg);
+    assert!(!ledger.is_empty());
+    for event in &ledger.events {
+        assert_eq!(event.metric_key(), format!("ledger.{}", event.kind()));
+    }
+}
