@@ -20,7 +20,7 @@ pub mod science;
 pub use agent::{Agent, AgentCtx, AgentMsg, AveragingAgent, MapAgent, Route};
 pub use composition::{CommStats, Ensemble, Pattern};
 pub use science::{
-    negotiate, AnalysisAgent, Bid, Candidate, DesignAgent, Evidence, ExperimentPlan, FacilityAgent,
-    HypothesisAgent, LibrarianAgent, LiteratureAgent, MetaOptimizerAgent, Strategy,
-    ValidationError,
+    negotiate, AnalysisAgent, Bid, Candidate, Critique, DesignAgent, Evidence, ExperimentPlan,
+    FacilityAgent, HypothesisAgent, LibrarianAgent, LiteratureAgent, MetaOptimizerAgent,
+    ReflectorAgent, Strategy, ValidationError,
 };

@@ -280,6 +280,77 @@ impl AnalysisAgent {
     }
 }
 
+/// A reflection pass's verdict on one candidate hypothesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Critique {
+    /// Surrogate-predicted score at the candidate.
+    pub predicted: f64,
+    /// Prediction uncertainty at the candidate.
+    pub uncertainty: f64,
+    /// Euclidean distance to the nearest already-confirmed discovery
+    /// region (`f64::INFINITY` when nothing has been discovered yet).
+    pub novelty: f64,
+    /// The candidate's confidence after reflection.
+    pub adjusted_confidence: f64,
+}
+
+/// Critiques candidate hypotheses before any instrument time is spent
+/// (the ensemble's "reflection" role): grounds each candidate in the
+/// analysis agent's surrogate and in the archive of confirmed
+/// discoveries, boosting hypotheses that chase *new* regions and
+/// demoting re-derivations of what the campaign already knows.
+#[derive(Debug, Clone)]
+pub struct ReflectorAgent {
+    /// Radius under which a candidate counts as re-deriving a known
+    /// discovery region.
+    pub rederivation_radius: f64,
+}
+
+impl ReflectorAgent {
+    /// Create with the given re-derivation radius.
+    pub fn new(rederivation_radius: f64) -> Self {
+        ReflectorAgent {
+            rederivation_radius: rederivation_radius.max(0.0),
+        }
+    }
+
+    /// Critique one candidate against the campaign's surrogate
+    /// understanding and the archive of confirmed discovery regions.
+    pub fn critique(
+        &self,
+        candidate: &Candidate,
+        analysis: &AnalysisAgent,
+        discovered: &[Vec<f64>],
+    ) -> Critique {
+        let (predicted, uncertainty) = analysis.predict(&candidate.params);
+        let novelty = discovered
+            .iter()
+            .map(|region| {
+                region
+                    .iter()
+                    .zip(&candidate.params)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let mut adjusted_confidence = candidate.confidence;
+        if novelty <= self.rederivation_radius {
+            // Re-deriving a confirmed discovery adds nothing distinct.
+            adjusted_confidence *= 0.25;
+        } else if uncertainty > 0.5 {
+            // Far from everything measured: genuinely novel territory.
+            adjusted_confidence = (adjusted_confidence + 0.1).min(1.0);
+        }
+        Critique {
+            predicted,
+            uncertainty,
+            novelty,
+            adjusted_confidence: adjusted_confidence.clamp(0.0, 1.0),
+        }
+    }
+}
+
 /// Maintains the knowledge graph and provenance (Fig 4 "Librarian Agent").
 #[derive(Debug, Default)]
 pub struct LibrarianAgent {
@@ -647,6 +718,39 @@ mod tests {
         assert!(s.use_recommendations);
         assert!(s.explore_ratio > Strategy::default().explore_ratio);
         assert!(m.rewrites >= 2);
+    }
+
+    #[test]
+    fn reflector_demotes_rederivations_and_rewards_novelty() {
+        let mut a = AnalysisAgent::new(0.15);
+        for i in 0..10 {
+            let x = i as f64 / 9.0;
+            a.assimilate(&[x, 0.5], 0.5);
+        }
+        let r = ReflectorAgent::new(0.15);
+        let near_known = Candidate {
+            params: vec![0.31, 0.52],
+            rationale: "re-derivation".into(),
+            confidence: 0.8,
+            hallucinated: false,
+        };
+        let discovered = vec![vec![0.3, 0.5]];
+        let c1 = r.critique(&near_known, &a, &discovered);
+        assert!(c1.novelty < 0.15, "novelty {}", c1.novelty);
+        assert!(c1.adjusted_confidence < 0.8 * 0.5, "{c1:?}");
+
+        let fresh = Candidate {
+            params: vec![0.9, 0.05],
+            ..near_known.clone()
+        };
+        let c2 = r.critique(&fresh, &a, &discovered);
+        assert!(c2.novelty > c1.novelty);
+        assert!(c2.adjusted_confidence >= near_known.confidence, "{c2:?}");
+
+        // Empty archive: nothing can be a re-derivation.
+        let c3 = r.critique(&near_known, &a, &[]);
+        assert!(c3.novelty.is_infinite());
+        assert!(c3.adjusted_confidence >= 0.8);
     }
 
     #[test]

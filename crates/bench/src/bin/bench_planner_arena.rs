@@ -12,6 +12,11 @@
 //! 2. **Intelligence pays** — at least the surrogate and one bandit
 //!    planner must beat the Static grid baseline on time-to-first-hit
 //!    (the paper's axis: smarter decide steps find materials sooner).
+//! 3. **Cooperation pays** (ISSUE 9) — the cooperative ensemble must
+//!    beat the best *single* planner on distinct discoveries at the
+//!    same experiment budget: specialist roles (generate / reflect /
+//!    rank / evolve / meta-review) exchanging typed messages should
+//!    cover more of the landscape than any one policy alone.
 
 use evoflow_agents::Pattern;
 use evoflow_bench::{print_table, write_bench_summary};
@@ -28,6 +33,7 @@ const SEED: u64 = 4242;
 fn arena_planners() -> Vec<PlannerKind> {
     let mut kinds = PlannerKind::all_concrete();
     kinds.push(PlannerKind::meta());
+    kinds.push(PlannerKind::ensemble());
     kinds
 }
 
@@ -140,6 +146,26 @@ fn main() {
         if bandit_wins { "PASS" } else { "FAIL" }
     );
 
+    // Gate 3: the cooperative ensemble beats the best single planner on
+    // distinct discoveries at the same experiment budget.
+    let ensemble_distinct = rows
+        .iter()
+        .find(|r| r.planner == "ensemble")
+        .map(|r| r.distinct_discoveries)
+        .unwrap_or(0);
+    let (best_single, best_single_distinct) = rows
+        .iter()
+        .filter(|r| r.planner != "ensemble")
+        .map(|r| (r.planner.clone(), r.distinct_discoveries))
+        .max_by_key(|&(_, d)| d)
+        .unwrap_or(("—".into(), 0));
+    let ensemble_wins = ensemble_distinct > best_single_distinct;
+    println!(
+        "  [{}] ensemble {ensemble_distinct} distinct discoveries vs best single \
+         ({best_single}) {best_single_distinct}",
+        if ensemble_wins { "PASS" } else { "FAIL" }
+    );
+
     #[derive(Serialize)]
     struct Out {
         seed: u64,
@@ -147,6 +173,10 @@ fn main() {
         grid_first_hit_hours: f64,
         surrogate_beats_grid: bool,
         bandit_beats_grid: bool,
+        ensemble_distinct: usize,
+        best_single_planner: String,
+        best_single_distinct: usize,
+        ensemble_beats_best_single: bool,
     }
     let out = Out {
         seed: SEED,
@@ -154,12 +184,17 @@ fn main() {
         grid_first_hit_hours: grid,
         surrogate_beats_grid: surrogate_wins,
         bandit_beats_grid: bandit_wins,
+        ensemble_distinct,
+        best_single_planner: best_single,
+        best_single_distinct,
+        ensemble_beats_best_single: ensemble_wins,
     };
     // Machine-readable per-PR summary: the perf trajectory CI tracks.
     write_bench_summary("planner_arena", &out);
 
-    if !(surrogate_wins && bandit_wins) {
-        // Non-zero exit so CI fails when learning stops paying.
+    if !(surrogate_wins && bandit_wins && ensemble_wins) {
+        // Non-zero exit so CI fails when learning (or cooperation)
+        // stops paying.
         std::process::exit(1);
     }
 }

@@ -380,6 +380,8 @@ pub fn run_campaign_profiled(
         });
     }
     let mut last_telemetry = PlannerTelemetry::default();
+    // Reused buffer for cooperative-planner transcripts (ensemble).
+    let mut ensemble_events: Vec<CampaignEvent> = Vec::new();
 
     let mut lanes: Vec<Lane> = (0..n_lanes)
         .map(|_| Lane {
@@ -550,7 +552,15 @@ pub fn run_campaign_profiled(
 
         // ---- Meta-optimization (Ω) --------------------------------------
         planner.end_iteration(chosen.len(), iter_hits);
+        // Drain the planner's cooperative transcript unconditionally —
+        // the planner builds it either way (emission must never feed
+        // back into decisions) — and ledger it only when observed.
+        ensemble_events.clear();
+        planner.drain_events(&mut ensemble_events);
         if full_stream {
+            for event in ensemble_events.drain(..) {
+                batch.push(event);
+            }
             // Surface planner-internal decisions (gate rejections, Ω
             // rewrites) as events the moment their counters move.
             let t = planner.telemetry();

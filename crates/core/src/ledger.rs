@@ -294,6 +294,59 @@ pub enum CampaignEvent {
         /// Global dispatch slot (total order over all dispatches).
         slot: usize,
     },
+
+    // ---- ensemble layer -----------------------------------------------------
+    // Campaign-scoped (the discovery loop surfaces them between
+    // `IterationStarted` and `IterationEnded`), appended after the
+    // service variants because wire tags are declaration order and
+    // frozen.
+    /// One validated ACL exchange between two ensemble specialists.
+    EnsembleMessage {
+        /// Lane whose iteration carried the exchange.
+        lane: usize,
+        /// Ensemble round ordinal (monotone across the campaign).
+        round: u64,
+        /// Stable kebab-case performative label
+        /// (`evoflow_protocol::Performative::label`).
+        performative: Cow<'static, str>,
+        /// Sending specialist role.
+        sender: Cow<'static, str>,
+        /// Receiving specialist role.
+        receiver: Cow<'static, str>,
+        /// ACL conversation correlation id.
+        conversation: u64,
+        /// Size of the checksummed wire frame the message round-tripped
+        /// through, in bytes.
+        frame_bytes: u64,
+    },
+    /// One seeded pairwise tournament match between two hypotheses.
+    TournamentMatch {
+        /// Lane whose iteration ran the match.
+        lane: usize,
+        /// Ensemble round ordinal.
+        round: u64,
+        /// Pool index of the first contender.
+        left: usize,
+        /// Pool index of the second contender.
+        right: usize,
+        /// Pool index of the winner (always `left` or `right`).
+        winner: usize,
+        /// Winner's utility minus loser's utility.
+        margin: f64,
+    },
+    /// A meta-review pass reweighted the specialist pool.
+    MetaReview {
+        /// Lane whose iteration triggered the review.
+        lane: usize,
+        /// Ensemble round ordinal.
+        round: u64,
+        /// Share of each batch sourced from the generator after review.
+        generator_weight: f64,
+        /// Share of each batch sourced from the evolver after review.
+        evolver_weight: f64,
+        /// Reflection critiques folded into the evidence store so far.
+        critiques: u64,
+    },
 }
 
 impl CampaignEvent {
@@ -317,6 +370,9 @@ impl CampaignEvent {
             CampaignEvent::SubmissionAdmitted { .. } => "submission-admitted",
             CampaignEvent::SubmissionRejected { .. } => "submission-rejected",
             CampaignEvent::CampaignDispatched { .. } => "campaign-dispatched",
+            CampaignEvent::EnsembleMessage { .. } => "ensemble-message",
+            CampaignEvent::TournamentMatch { .. } => "tournament-match",
+            CampaignEvent::MetaReview { .. } => "meta-review",
         }
     }
 
@@ -345,6 +401,9 @@ impl CampaignEvent {
             CampaignEvent::SubmissionAdmitted { .. } => "ledger.submission-admitted",
             CampaignEvent::SubmissionRejected { .. } => "ledger.submission-rejected",
             CampaignEvent::CampaignDispatched { .. } => "ledger.campaign-dispatched",
+            CampaignEvent::EnsembleMessage { .. } => "ledger.ensemble-message",
+            CampaignEvent::TournamentMatch { .. } => "ledger.tournament-match",
+            CampaignEvent::MetaReview { .. } => "ledger.meta-review",
         }
     }
 
@@ -970,6 +1029,13 @@ impl ReplayFold {
             CampaignEvent::IterationEnded { tokens_total, .. } => {
                 self.tokens = *tokens_total;
             }
+            // Cooperative-transcript events: pure audit trail. They carry
+            // no report-shifting totals, so the fold only has to accept
+            // them — the reconstruction they witness is still cross-checked
+            // bit-exactly by `CampaignFinished`.
+            CampaignEvent::EnsembleMessage { .. }
+            | CampaignEvent::TournamentMatch { .. }
+            | CampaignEvent::MetaReview { .. } => {}
             CampaignEvent::CampaignFinished { .. } => {
                 self.finished = Some(event.clone());
             }

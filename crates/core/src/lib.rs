@@ -111,7 +111,8 @@ pub use matrix::{
     all_cells, classify, transition_requirement, Cell, SystemDescriptor, TrajectoryPlanner,
 };
 pub use planner::{
-    BanditKind, Observation, PlanCtx, Planner, PlannerBuild, PlannerKind, PlannerTelemetry,
+    BanditKind, EnsemblePlanner, Observation, PlanCtx, Planner, PlannerBuild, PlannerKind,
+    PlannerTelemetry, DEFAULT_SPECIALISTS,
 };
 pub use profile::{Phase, PhaseBreakdown, PhaseProfiler, PhaseStat};
 pub use runtime::{ComponentStatus, LabRuntime};

@@ -31,6 +31,7 @@
 //! resume guarantee rests on.
 
 use crate::domain::MaterialsSpace;
+use crate::ledger::CampaignEvent;
 use evoflow_agents::{
     AnalysisAgent, Candidate, DesignAgent, Evidence, HypothesisAgent, MetaOptimizerAgent, Strategy,
 };
@@ -40,6 +41,10 @@ use evoflow_sim::{RngRegistry, SimRng};
 use evoflow_sm::IntelligenceLevel;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+mod ensemble;
+
+pub use ensemble::{EnsemblePlanner, DEFAULT_SPECIALISTS};
 
 /// Observations kept in a planner's surrogate (recent + every hit).
 pub const SURROGATE_CAP: usize = 800;
@@ -125,6 +130,18 @@ pub trait Planner {
     fn token_usage(&self) -> TokenUsage {
         TokenUsage::default()
     }
+
+    /// Move any cooperative-transcript events the planner produced since
+    /// the last drain into `out`, in production order.
+    ///
+    /// The campaign loop drains after every [`end_iteration`]
+    /// (discarding when unobserved, ledgering when observed), so a
+    /// planner must *always* build its transcript the same way —
+    /// emission may never feed back into its decisions, or replay
+    /// byte-identity between observed and unobserved runs breaks.
+    ///
+    /// [`end_iteration`]: Self::end_iteration
+    fn drain_events(&mut self, _out: &mut Vec<CampaignEvent>) {}
 }
 
 /// Which bandit drives a [`BanditPlanner`].
@@ -172,6 +189,14 @@ pub enum PlannerKind {
         /// flattened away at build time).
         pool: Vec<PlannerKind>,
     },
+    /// Cooperative specialist ensemble: generator / reflector / ranker /
+    /// evolver / meta-reviewer exchanging ACL messages, with hypotheses
+    /// ranked by seeded pairwise tournament ([`EnsemblePlanner`]).
+    Ensemble {
+        /// Hypotheses each of the generator and evolver contribute per
+        /// tournament pool (pool size is `2 × specialists`).
+        specialists: usize,
+    },
 }
 
 impl PlannerKind {
@@ -211,7 +236,17 @@ impl PlannerKind {
         }
     }
 
+    /// The default cooperative ensemble
+    /// ([`DEFAULT_SPECIALISTS`] hypotheses per specialist source).
+    pub fn ensemble() -> Self {
+        PlannerKind::Ensemble {
+            specialists: DEFAULT_SPECIALISTS,
+        }
+    }
+
     /// Every concrete (non-meta) planner kind, for exhaustive sweeps.
+    /// Composite kinds ([`Meta`](Self::Meta), [`Ensemble`](Self::Ensemble))
+    /// are excluded and joined explicitly where a sweep wants them.
     pub fn all_concrete() -> Vec<PlannerKind> {
         vec![
             PlannerKind::Grid,
@@ -249,6 +284,7 @@ impl PlannerKind {
             } => "bandit-thompson",
             PlannerKind::Swarm { .. } => "swarm",
             PlannerKind::Meta { .. } => "meta",
+            PlannerKind::Ensemble { .. } => "ensemble",
         }
     }
 
@@ -267,6 +303,7 @@ impl PlannerKind {
                 let inner: Vec<String> = pool.iter().map(|k| k.descriptor()).collect();
                 format!("meta[{}]", inner.join("+"))
             }
+            PlannerKind::Ensemble { specialists } => format!("ensemble(s{specialists})"),
             _ => self.label().to_string(),
         }
     }
@@ -309,6 +346,9 @@ impl PlannerKind {
                 }
                 let children = kinds.iter().map(|k| k.build(b)).collect();
                 Box::new(MetaPlanner::new(children))
+            }
+            PlannerKind::Ensemble { specialists } => {
+                Box::new(EnsemblePlanner::new((*specialists).max(1), b))
             }
         }
     }
@@ -1088,7 +1128,7 @@ mod tests {
     fn planner_kind_round_trips_through_serde() {
         for kind in PlannerKind::all_concrete()
             .into_iter()
-            .chain([PlannerKind::meta()])
+            .chain([PlannerKind::meta(), PlannerKind::ensemble()])
         {
             let json = serde_json::to_string(&kind).expect("serialize");
             let back: PlannerKind = serde_json::from_str(&json).expect("deserialize");
@@ -1129,5 +1169,12 @@ mod tests {
         let m2 = PlannerKind::Meta { pool: vec![b] };
         assert_ne!(m1.descriptor(), m2.descriptor());
         assert!(m1.descriptor().starts_with("meta["));
+
+        // Ensemble descriptors carry the pool breadth.
+        let e1 = PlannerKind::Ensemble { specialists: 2 };
+        let e2 = PlannerKind::Ensemble { specialists: 8 };
+        assert_eq!(e1.label(), e2.label());
+        assert_ne!(e1.descriptor(), e2.descriptor());
+        assert_eq!(PlannerKind::ensemble().descriptor(), "ensemble(s4)");
     }
 }

@@ -1,0 +1,242 @@
+//! Property battery for the cooperative ensemble planner's audit
+//! contract:
+//!
+//! 1. **Replay byte-identity across seeds** — an ensemble campaign's
+//!    recorded ledger (which carries the full cooperative transcript:
+//!    ACL messages, tournament matches, meta-reviews) replays to the
+//!    live report byte-for-byte, through both the JSON and the EVWL
+//!    binary encodings.
+//! 2. **Fleet invariance** — ensemble-planned fleets are byte-identical
+//!    at 1, 2, and 4 threads.
+//! 3. **Kill + resume seams** — a coordinator crash at any commit
+//!    boundary resumes to the uninterrupted fleet ledger exactly.
+//! 4. **Protocol-message serde** — the ACL messages the ensemble
+//!    exchanges round-trip through serde and the EVFW wire frame, and
+//!    the transcript in a recorded ledger only ever uses stable
+//!    performative labels.
+
+use evoflow_agents::Pattern;
+use evoflow_core::{
+    replay_fleet_ledger, replay_ledger, replay_ledger_bytes, resume_campaign_fleet_recorded,
+    run_campaign, run_campaign_fleet_recorded, run_campaign_fleet_recorded_until,
+    run_campaign_recorded, CampaignConfig, CampaignEvent, CampaignLedger, Cell, FleetConfig,
+    LedgerEncoding, MaterialsSpace, PlannerKind,
+};
+use evoflow_protocol::{decode_frame, encode_frame, AclMessage, Frame, FrameKind, Performative};
+use evoflow_sim::SimDuration;
+use evoflow_sm::IntelligenceLevel;
+use proptest::prelude::*;
+
+fn space() -> MaterialsSpace {
+    MaterialsSpace::generate(3, 8, 20260610)
+}
+
+fn ensemble_config(pattern: Pattern, seed: u64) -> CampaignConfig {
+    let mut cfg = CampaignConfig::for_cell(Cell::new(IntelligenceLevel::Learning, pattern), seed)
+        .with_planner(PlannerKind::ensemble());
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.coordination = Some(evoflow_core::CoordinationMode::Autonomous);
+    cfg.max_experiments = 1_500;
+    cfg
+}
+
+fn ensemble_fleet(master_seed: u64, campaigns: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(master_seed);
+    cfg.horizon = SimDuration::from_days(1);
+    cfg.max_experiments = 1_000;
+    for i in 0..campaigns {
+        let mut c = ensemble_config(
+            if i % 2 == 0 {
+                Pattern::Single
+            } else {
+                Pattern::Mesh
+            },
+            0,
+        );
+        c.horizon = cfg.horizon;
+        c.max_experiments = cfg.max_experiments;
+        cfg.push_campaign(c);
+    }
+    cfg
+}
+
+fn transcript_counts(ledger: &CampaignLedger) -> (usize, usize, usize) {
+    let mut msgs = 0;
+    let mut matches = 0;
+    let mut reviews = 0;
+    for e in &ledger.events {
+        match e {
+            CampaignEvent::EnsembleMessage { .. } => msgs += 1,
+            CampaignEvent::TournamentMatch { .. } => matches += 1,
+            CampaignEvent::MetaReview { .. } => reviews += 1,
+            _ => {}
+        }
+    }
+    (msgs, matches, reviews)
+}
+
+/// The recorded cooperative transcript is non-trivial, replays to the
+/// live report byte-for-byte, and survives the EVWL binary round trip —
+/// for a spread of seeds and composition patterns.
+#[test]
+fn ensemble_transcript_replays_byte_identically_across_seeds() {
+    let space = space();
+    for (seed, pattern) in [
+        (3u64, Pattern::Single),
+        (17, Pattern::Mesh),
+        (4242, Pattern::Pipeline),
+    ] {
+        let cfg = ensemble_config(pattern, seed);
+        let (live, ledger) = run_campaign_recorded(&space, &cfg);
+        let (msgs, matches, _) = transcript_counts(&ledger);
+        assert!(msgs >= 8, "seed {seed}: transcript missing ACL messages");
+        assert!(matches > 0, "seed {seed}: no tournament matches recorded");
+
+        // Recording must not perturb the loop.
+        assert_eq!(
+            serde_json::to_string(&run_campaign(&space, &cfg)).expect("serialize"),
+            serde_json::to_string(&live).expect("serialize"),
+            "seed {seed}: recording changed the report"
+        );
+
+        // JSON replay.
+        let replayed = replay_ledger(&ledger).expect("ledger replays");
+        assert_eq!(
+            serde_json::to_string(&replayed.report).expect("serialize"),
+            serde_json::to_string(&live).expect("serialize"),
+            "seed {seed}: replay diverged"
+        );
+
+        // EVWL binary round trip + replay straight from bytes.
+        let bytes = ledger.to_bytes(LedgerEncoding::Binary);
+        let decoded = CampaignLedger::from_bytes(&bytes).expect("EVWL decodes");
+        assert_eq!(decoded, ledger, "seed {seed}: EVWL round-trip drift");
+        let from_bytes = replay_ledger_bytes(&bytes).expect("EVWL replays");
+        assert_eq!(
+            serde_json::to_string(&from_bytes.report).expect("serialize"),
+            serde_json::to_string(&live).expect("serialize"),
+            "seed {seed}: EVWL replay diverged"
+        );
+    }
+}
+
+/// Ensemble fleets are a pure function of (space, config): byte-identical
+/// merged ledgers at 1, 2, and 4 worker threads.
+#[test]
+fn ensemble_fleet_is_thread_count_invariant_at_1_2_4() {
+    let space = space();
+    let mut cfg = ensemble_fleet(31, 3);
+    cfg.threads = 1;
+    let (report_1, ledger_1) = run_campaign_fleet_recorded(&space, &cfg);
+    let baseline = serde_json::to_string(&ledger_1).expect("serialize");
+    for threads in [2usize, 4] {
+        cfg.threads = threads;
+        let (report_n, ledger_n) = run_campaign_fleet_recorded(&space, &cfg);
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&ledger_n).expect("serialize"),
+            "ledger drift at {threads} threads"
+        );
+        assert_eq!(
+            serde_json::to_string(&report_1).expect("serialize"),
+            serde_json::to_string(&report_n).expect("serialize"),
+            "report drift at {threads} threads"
+        );
+    }
+    assert!(
+        ledger_1
+            .campaigns
+            .iter()
+            .all(|c| transcript_counts(c).0 > 0),
+        "every fleet campaign carries a cooperative transcript"
+    );
+    let replayed = replay_fleet_ledger(&ledger_1).expect("fleet ledger replays");
+    assert_eq!(
+        serde_json::to_string(&replayed).expect("serialize"),
+        serde_json::to_string(&report_1).expect("serialize")
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A coordinator kill after any number of commits, resumed at an
+    /// arbitrary thread count, reproduces the uninterrupted ensemble
+    /// fleet — report and merged cooperative transcript — exactly.
+    #[test]
+    fn ensemble_fleet_survives_kill_and_resume(
+        kill_after in 0usize..4,
+        threads in 1usize..5,
+        master_seed in 1u64..1_000,
+    ) {
+        let space = space();
+        let mut cfg = ensemble_fleet(master_seed, 2);
+        cfg.threads = threads;
+        let (report, ledger) = run_campaign_fleet_recorded(&space, &cfg);
+        let ckpt = run_campaign_fleet_recorded_until(&space, &cfg, kill_after);
+        let (resumed_report, resumed_ledger) =
+            resume_campaign_fleet_recorded(&space, &cfg, &ckpt).expect("same fleet");
+        prop_assert_eq!(
+            serde_json::to_string(&report).expect("serialize"),
+            serde_json::to_string(&resumed_report).expect("serialize")
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&ledger).expect("serialize"),
+            serde_json::to_string(&resumed_ledger).expect("serialize")
+        );
+    }
+}
+
+/// Every performative the ensemble speaks round-trips through serde and
+/// the EVFW wire frame, and a recorded transcript only ever uses the
+/// stable kebab-case labels.
+#[test]
+fn ensemble_protocol_messages_round_trip_and_labels_stay_stable() {
+    let speakable = [
+        Performative::Request,
+        Performative::Agree,
+        Performative::QueryRef,
+        Performative::InformRef,
+        Performative::Propose,
+        Performative::AcceptProposal,
+        Performative::Inform,
+    ];
+    for p in speakable {
+        let msg = AclMessage::new(
+            p,
+            "coordinator",
+            "generator",
+            7,
+            "evoflow/ensemble/1",
+            "round-trip probe",
+        );
+        let json = serde_json::to_vec(&msg).expect("serializes");
+        let back: AclMessage = serde_json::from_slice(&json).expect("deserializes");
+        assert_eq!(back, msg, "{} serde drift", p.label());
+
+        let frame = Frame {
+            version: 1,
+            kind: FrameKind::Acl,
+            flags: 0,
+            conversation: msg.conversation,
+            payload: json.into(),
+        };
+        let bytes = encode_frame(&frame).expect("frames");
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        let decoded = decode_frame(&mut buf).expect("decodes");
+        assert_eq!(decoded, frame, "{} wire drift", p.label());
+    }
+
+    let labels: Vec<&str> = speakable.iter().map(|p| p.label()).collect();
+    let space = space();
+    let cfg = ensemble_config(Pattern::Single, 11);
+    let (_, ledger) = run_campaign_recorded(&space, &cfg);
+    for e in &ledger.events {
+        if let CampaignEvent::EnsembleMessage { performative, .. } = e {
+            assert!(
+                labels.contains(&performative.as_ref()),
+                "unknown performative label {performative:?} in transcript"
+            );
+        }
+    }
+}

@@ -27,6 +27,7 @@ fn space() -> MaterialsSpace {
 fn all_planners() -> Vec<PlannerKind> {
     let mut kinds = PlannerKind::all_concrete();
     kinds.push(PlannerKind::meta());
+    kinds.push(PlannerKind::ensemble());
     kinds
 }
 

@@ -84,6 +84,29 @@ impl Performative {
     pub fn is_terminal(self) -> bool {
         self.legal_replies().is_empty()
     }
+
+    /// Stable kebab-case name for audit trails and ledger events. Never
+    /// derived from the Rust variant name, so a source rename cannot
+    /// silently re-key archived transcripts.
+    pub fn label(self) -> &'static str {
+        use Performative::*;
+        match self {
+            Inform => "inform",
+            Request => "request",
+            Agree => "agree",
+            Refuse => "refuse",
+            Failure => "failure",
+            Propose => "propose",
+            CounterPropose => "counter-propose",
+            AcceptProposal => "accept-proposal",
+            RejectProposal => "reject-proposal",
+            QueryRef => "query-ref",
+            InformRef => "inform-ref",
+            Subscribe => "subscribe",
+            Cancel => "cancel",
+            NotUnderstood => "not-understood",
+        }
+    }
 }
 
 /// One semantic message.
@@ -121,6 +144,21 @@ impl AclMessage {
             receiver: receiver.into(),
             conversation,
             ontology: ontology.into(),
+            content: content.into(),
+        }
+    }
+
+    /// Build the reply to this message: sender/receiver swapped,
+    /// conversation and ontology carried over. The performative must be
+    /// one of [`Performative::legal_replies`] for the reply to survive
+    /// [`Conversation::accept`]; this constructor only does the plumbing.
+    pub fn reply(&self, performative: Performative, content: impl Into<String>) -> AclMessage {
+        AclMessage {
+            performative,
+            sender: self.receiver.clone(),
+            receiver: self.sender.clone(),
+            conversation: self.conversation,
+            ontology: self.ontology.clone(),
             content: content.into(),
         }
     }
@@ -443,6 +481,44 @@ mod tests {
             NotUnderstood,
         ] {
             assert!(p.is_terminal(), "{p:?} should be terminal");
+        }
+    }
+
+    #[test]
+    fn reply_swaps_parties_and_keeps_the_conversation() {
+        let mut c = Conversation::new(9);
+        let req = AclMessage::new(Request, "coordinator", "generator", 9, "ens/1", "go");
+        let agree = req.reply(Agree, "ack");
+        assert_eq!(agree.sender, "generator");
+        assert_eq!(agree.receiver, "coordinator");
+        assert_eq!(agree.conversation, 9);
+        assert_eq!(agree.ontology, "ens/1");
+        c.accept(req).unwrap();
+        c.accept(agree).unwrap();
+    }
+
+    #[test]
+    fn performative_labels_are_kebab_case_and_distinct() {
+        let all = [
+            Inform,
+            Request,
+            Agree,
+            Refuse,
+            Failure,
+            Propose,
+            CounterPropose,
+            AcceptProposal,
+            RejectProposal,
+            QueryRef,
+            InformRef,
+            Subscribe,
+            Cancel,
+            NotUnderstood,
+        ];
+        let labels: std::collections::BTreeSet<&str> = all.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), all.len());
+        for l in labels {
+            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{l}");
         }
     }
 

@@ -208,6 +208,34 @@ mod tests {
         );
     }
 
+    /// The cooperative ensemble emits extra event vocabulary (ACL
+    /// messages, tournament matches, meta-reviews); the full audit
+    /// ladder — replay, kill+resume, EVWL round-trip — must certify A4
+    /// with that transcript in the stream, not just tolerate it.
+    #[test]
+    fn ensemble_planned_fleet_certifies_wire_durable() {
+        use evoflow_core::{CampaignConfig, PlannerKind};
+
+        let space = MaterialsSpace::generate(3, 8, 20260808);
+        let mut fleet = FleetConfig::new(47);
+        fleet.horizon = SimDuration::from_days(1);
+        fleet.threads = 2;
+        for _ in 0..2 {
+            let mut c = CampaignConfig::for_cell(Cell::autonomous_science(), 0)
+                .with_planner(PlannerKind::ensemble());
+            c.horizon = fleet.horizon;
+            c.max_experiments = 1_500;
+            fleet.push_campaign(c);
+        }
+        let cert = certify_audit(&space, &fleet, 2);
+        assert_eq!(
+            cert.grade,
+            AuditGrade::A4WireDurable,
+            "ensemble transcript broke the audit trail: {cert:?}"
+        );
+        assert!(cert.total_events > 0);
+    }
+
     #[test]
     fn grades_order_and_render() {
         assert!(AuditGrade::A0Unaccountable < AuditGrade::A3CrashAccountable);

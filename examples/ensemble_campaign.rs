@@ -1,0 +1,126 @@
+//! A cooperative agent ensemble running one discovery campaign — and the
+//! audit trail proving how the specialists cooperated.
+//!
+//! `PlannerKind::ensemble()` replaces the single decide policy with a
+//! cast of specialist roles (generator / evolver / reflector / ranker /
+//! meta-reviewer) that exchange typed FIPA-ACL messages over the EVFW
+//! wire format and settle each batch by seeded pairwise tournament.
+//! Every exchange, match, and meta-review lands in the event ledger, so
+//! the cooperative transcript replays byte-identically like everything
+//! else.
+//!
+//! Three acts:
+//! 1. Run a recorded ensemble campaign and summarize the transcript
+//!    (who talked to whom, how many tournament matches, how the
+//!    meta-reviewer reweighted the pool).
+//! 2. Replay the ledger and confirm the reconstruction is byte-identical.
+//! 3. Round-trip the same stream through the binary EVWL wire format.
+//!
+//! ```sh
+//! cargo run --release --example ensemble_campaign
+//! ```
+
+use std::collections::BTreeMap;
+
+use evoflow::core::{
+    replay_ledger, run_campaign_recorded, CampaignConfig, CampaignEvent, CampaignLedger, Cell,
+    CoordinationMode, LedgerEncoding, MaterialsSpace, PlannerKind,
+};
+use evoflow::sim::SimDuration;
+
+fn main() {
+    let space = MaterialsSpace::generate(3, 8, 42);
+
+    // ---- 1. a recorded cooperative campaign ---------------------------------
+    let mut cfg = CampaignConfig::for_cell(Cell::autonomous_science(), 7)
+        .with_planner(PlannerKind::ensemble());
+    cfg.horizon = SimDuration::from_days(2);
+    cfg.coordination = Some(CoordinationMode::Autonomous);
+    cfg.max_experiments = 3_000;
+
+    let (report, ledger) = run_campaign_recorded(&space, &cfg);
+    let descriptor = cfg.planner.as_ref().expect("planner set").descriptor();
+    println!("=== ensemble campaign ({descriptor}) ===\n");
+    println!(
+        "{}: {} experiments, {} distinct discoveries, best score {:.3}",
+        report.cell_label, report.experiments, report.distinct_discoveries, report.best_score
+    );
+
+    // The cooperative transcript is ordinary ledger data — fold it like
+    // any other event stream.
+    let mut exchanges: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut performatives: BTreeMap<String, u64> = BTreeMap::new();
+    let mut matches = 0u64;
+    let mut total_margin = 0.0f64;
+    let mut last_review: Option<(f64, f64, u64)> = None;
+    for event in &ledger.events {
+        match event {
+            CampaignEvent::EnsembleMessage {
+                performative,
+                sender,
+                receiver,
+                ..
+            } => {
+                *exchanges
+                    .entry((sender.to_string(), receiver.to_string()))
+                    .or_default() += 1;
+                *performatives.entry(performative.to_string()).or_default() += 1;
+            }
+            CampaignEvent::TournamentMatch { margin, .. } => {
+                matches += 1;
+                total_margin += margin;
+            }
+            CampaignEvent::MetaReview {
+                generator_weight,
+                evolver_weight,
+                critiques,
+                ..
+            } => last_review = Some((*generator_weight, *evolver_weight, *critiques)),
+            _ => {}
+        }
+    }
+
+    println!("\n=== cooperative transcript ===\n");
+    println!("specialist exchanges (sender -> receiver):");
+    for ((sender, receiver), n) in &exchanges {
+        println!("  {sender:>12} -> {receiver:<13} {n}");
+    }
+    println!("performatives on the wire:");
+    for (label, n) in &performatives {
+        println!("  {label:<16} {n}");
+    }
+    println!(
+        "tournament: {} pairwise matches, mean margin {:.3}",
+        matches,
+        if matches > 0 {
+            total_margin / matches as f64
+        } else {
+            0.0
+        }
+    );
+    match last_review {
+        Some((generator, evolver, critiques)) => println!(
+            "latest meta-review: generator {generator:.3} / evolver {evolver:.3} \
+             after {critiques} reflection critiques"
+        ),
+        None => println!("meta-review: not yet due (fires every 16 rounds)"),
+    }
+
+    // ---- 2. the transcript replays like everything else ---------------------
+    println!("\n=== replay audit ===\n");
+    let replayed = replay_ledger(&ledger).expect("well-formed ledger");
+    println!(
+        "replayed report byte-identical: {}",
+        serde_json::to_string(&replayed.report).unwrap() == serde_json::to_string(&report).unwrap()
+    );
+
+    // ---- 3. and survives the binary wire format ------------------------------
+    let wire = ledger.to_bytes(LedgerEncoding::Binary);
+    let decoded = CampaignLedger::from_bytes(&wire).expect("ledger decodes");
+    println!(
+        "EVWL round trip: {} bytes, {} events, byte-identical: {}",
+        wire.len(),
+        decoded.len(),
+        serde_json::to_string(&decoded).unwrap() == serde_json::to_string(&ledger).unwrap()
+    );
+}

@@ -4,7 +4,7 @@
 //! pluggable `Planner` in this codebase. This example runs one landscape,
 //! one seed, one composition, and swaps only the planner: the five
 //! Table 1 defaults, then the `evoflow-learn`-backed bandit, swarm, and
-//! meta policies.
+//! meta policies, then the cooperative specialist ensemble.
 //!
 //! ```text
 //! cargo run --release --example planner_tour
@@ -22,8 +22,9 @@ fn main() {
 
     let mut planners = PlannerKind::all_concrete();
     planners.push(PlannerKind::meta());
+    planners.push(PlannerKind::ensemble());
 
-    println!("one landscape, one seed — nine decision policies\n");
+    println!("one landscape, one seed — ten decision policies\n");
     println!(
         "{:<16} {:>13} {:>12} {:>12} {:>7}",
         "planner", "first hit (h)", "discoveries", "experiments", "best"

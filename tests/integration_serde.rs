@@ -465,6 +465,93 @@ fn binary_ledger_wire_format_is_stable() {
     assert_eq!(outcome.report.best_score, 0.25);
 }
 
+/// Like [`tiny_pinned_ledger`], but the stream also carries the
+/// cooperative-ensemble transcript events (ISSUE 9): an ACL exchange, a
+/// tournament match, and a meta-review. Pure audit trail — the replay
+/// totals are unchanged.
+fn tiny_pinned_ensemble_ledger() -> CampaignLedger {
+    let mut ledger = tiny_pinned_ledger();
+    let finished = ledger.events.pop().expect("CampaignFinished");
+    ledger.events.push(CampaignEvent::EnsembleMessage {
+        lane: 0,
+        round: 1,
+        performative: "propose".into(),
+        sender: "generator".into(),
+        receiver: "ranker".into(),
+        conversation: 3,
+        frame_bytes: 187,
+    });
+    ledger.events.push(CampaignEvent::TournamentMatch {
+        lane: 0,
+        round: 1,
+        left: 0,
+        right: 1,
+        winner: 1,
+        margin: 0.125,
+    });
+    ledger.events.push(CampaignEvent::MetaReview {
+        lane: 0,
+        round: 1,
+        generator_weight: 0.625,
+        evolver_weight: 0.375,
+        critiques: 24,
+    });
+    ledger.events.push(finished);
+    ledger
+}
+
+/// The exact `EVWL` bytes of [`tiny_pinned_ensemble_ledger`] — pins the
+/// ensemble event tags (17/18/19) the way [`TINY_LEDGER_EVWL_HEX`] pins
+/// the original vocabulary.
+const TINY_ENSEMBLE_LEDGER_EVWL_HEX: &str = concat!(
+    "4556574c0100010aa0ca17b8000a000000f0012b00001053746174696320c397",
+    "2053696e676c65070004677269640180c0e285e368333333333333e33f0a006c",
+    "3c0801000080bcc1960b2fee16020001000000000000e03f0002000000000000",
+    "f03f0045f50f03000180b09dc2df0180ecded8ea019ca80f0400010000000000",
+    "00d03f00000000d93c0507000100000c8322110001000770726f706f73650009",
+    "67656e657261746f72000672616e6b657203bb0167600e120001000101000000",
+    "000000c03f375b14130001000000000000e43f000000000000d83f1852ac2208",
+    "010000000000000000d03f004f1be8b4814e4b3f111111111111913f00000000",
+    "00a9186c833b5a",
+);
+
+/// Streams written *before* the ensemble events existed must keep
+/// decoding unchanged, and the ensemble-bearing stream is pinned in both
+/// dialects.
+#[test]
+fn ensemble_ledger_formats_are_stable_and_legacy_streams_still_decode() {
+    // Legacy first: the pre-ensemble pinned bytes decode and replay
+    // exactly as they did when written.
+    let pinned = from_hex(TINY_LEDGER_EVWL_HEX);
+    let legacy = CampaignLedger::from_bytes(&pinned).expect("legacy EVWL decodes");
+    assert_eq!(legacy, tiny_pinned_ledger());
+
+    let ledger = tiny_pinned_ensemble_ledger();
+    let json = serde_json::to_string(&ledger).unwrap();
+    assert!(json.contains(
+        r#"{"EnsembleMessage":{"lane":0,"round":1,"performative":"propose","sender":"generator","receiver":"ranker","conversation":3,"frame_bytes":187}}"#
+    ));
+    assert!(json.contains(
+        r#"{"TournamentMatch":{"lane":0,"round":1,"left":0,"right":1,"winner":1,"margin":0.125}}"#
+    ));
+    assert!(json.contains(
+        r#"{"MetaReview":{"lane":0,"round":1,"generator_weight":0.625,"evolver_weight":0.375,"critiques":24}}"#
+    ));
+
+    let bin = ledger.to_bytes(LedgerEncoding::Binary);
+    let hex: String = bin.iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(hex, TINY_ENSEMBLE_LEDGER_EVWL_HEX);
+
+    // The pinned bytes decode back to the identical stream and replay
+    // with the same totals — the transcript is audit-only.
+    let decoded = CampaignLedger::from_bytes(&from_hex(TINY_ENSEMBLE_LEDGER_EVWL_HEX))
+        .expect("pinned ensemble bytes decode");
+    assert_eq!(decoded, ledger);
+    let outcome = replay_ledger_bytes(&bin).expect("ensemble bytes replay");
+    assert_eq!(outcome.report.experiments, 1);
+    assert_eq!(outcome.report.best_score, 0.25);
+}
+
 /// A legacy JSON ledger — bytes written before the binary encoding
 /// existed — decodes through the same `from_bytes` entry point and
 /// replays to a byte-identical report. Archives never rot.
