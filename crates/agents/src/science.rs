@@ -13,10 +13,12 @@ use evoflow_cogsim::{CognitiveModel, TokenUsage};
 use evoflow_knowledge::{
     ActivityKind, KnowledgeGraph, NodeKind, ProvenanceStore, ReasoningTrace, Relation,
 };
-use evoflow_learn::{acquisition, RbfSurrogate};
+use evoflow_learn::{RbfSurrogate, ScoreScratch};
 use evoflow_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A proposed design point with its provenance-relevant metadata.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -237,14 +239,32 @@ impl DesignAgent {
 #[derive(Debug)]
 pub struct AnalysisAgent {
     surrogate: RbfSurrogate,
+    /// Candidate/score/accumulator buffers for the batched acquisition
+    /// pass, shared (via `Rc`) across a planner pool so one campaign's
+    /// surrogate-backed planners reuse the same allocations. Proposals
+    /// within a campaign are sequential, so the `RefCell` never
+    /// contends.
+    scratch: Rc<RefCell<ScoreScratch>>,
 }
 
 impl AnalysisAgent {
-    /// Create with the given surrogate bandwidth.
+    /// Create with the given surrogate bandwidth and private scratch.
     pub fn new(bandwidth: f64) -> Self {
+        Self::with_scratch(bandwidth, Rc::new(RefCell::new(ScoreScratch::default())))
+    }
+
+    /// Create with the given surrogate bandwidth, sharing `scratch` with
+    /// whoever else the caller hands it to (e.g. a meta-planner pool).
+    pub fn with_scratch(bandwidth: f64, scratch: Rc<RefCell<ScoreScratch>>) -> Self {
         AnalysisAgent {
             surrogate: RbfSurrogate::new(bandwidth),
+            scratch,
         }
+    }
+
+    /// A handle to this agent's scoring scratch, for sharing.
+    pub fn scratch_handle(&self) -> Rc<RefCell<ScoreScratch>> {
+        Rc::clone(&self.scratch)
     }
 
     /// Number of assimilated observations.
@@ -265,18 +285,52 @@ impl AnalysisAgent {
         (-neg, unc)
     }
 
+    /// [`predict`](Self::predict) for a flat stride-`dim` batch of points
+    /// in one pass over the surrogate's observations, appending one
+    /// `(score, uncertainty)` pair per point to `out`. Bit-identical to
+    /// per-point `predict`.
+    pub fn predict_batch(&self, dim: usize, params: &[f64], out: &mut Vec<(f64, f64)>) {
+        let start = out.len();
+        let mut scratch = self.scratch.borrow_mut();
+        self.surrogate
+            .predict_batch_with(dim, params, &mut scratch.acc, out);
+        for p in &mut out[start..] {
+            p.0 = -p.0;
+        }
+    }
+
     /// Active-learning recommendation: the best of `n_candidates` random
-    /// points under an exploration-weighted acquisition.
+    /// points under an exploration-weighted acquisition. The pool is
+    /// drawn first (same RNG order as scoring inline — scoring consumes
+    /// no randomness), scored in one batched pass over the observations,
+    /// and the first maximal score wins, matching the naive scan.
     pub fn recommend(&self, dim: usize, n_candidates: usize, rng: &mut SimRng) -> Vec<f64> {
-        let mut best: Option<(Vec<f64>, f64)> = None;
-        for _ in 0..n_candidates.max(1) {
-            let x: Vec<f64> = (0..dim).map(|_| rng.uniform()).collect();
-            let a = acquisition(&self.surrogate, &x, 0.6);
-            if best.as_ref().map(|(_, s)| a > *s).unwrap_or(true) {
-                best = Some((x, a));
+        if dim == 0 {
+            return Vec::new();
+        }
+        let n = n_candidates.max(1);
+        let mut scratch = self.scratch.borrow_mut();
+        let ScoreScratch {
+            candidates,
+            scores,
+            acc,
+        } = &mut *scratch;
+        candidates.clear();
+        for _ in 0..n {
+            for _ in 0..dim {
+                candidates.push(rng.uniform());
             }
         }
-        best.expect("n_candidates >= 1").0
+        scores.clear();
+        self.surrogate
+            .score_batch_with(dim, candidates, 0.6, acc, scores);
+        let mut bi = 0;
+        for (j, s) in scores.iter().enumerate().skip(1) {
+            if *s > scores[bi] {
+                bi = j;
+            }
+        }
+        candidates[bi * dim..(bi + 1) * dim].to_vec()
     }
 }
 
@@ -323,6 +377,21 @@ impl ReflectorAgent {
         discovered: &[Vec<f64>],
     ) -> Critique {
         let (predicted, uncertainty) = analysis.predict(&candidate.params);
+        self.critique_scored(candidate, predicted, uncertainty, discovered)
+    }
+
+    /// [`critique`](Self::critique) with the surrogate prediction already
+    /// in hand — the batched path: callers score a whole candidate pool
+    /// via [`AnalysisAgent::predict_batch`] and feed each pair in here,
+    /// so the tournament's predictions come from one pass over the
+    /// observations instead of one scan per candidate.
+    pub fn critique_scored(
+        &self,
+        candidate: &Candidate,
+        predicted: f64,
+        uncertainty: f64,
+        discovered: &[Vec<f64>],
+    ) -> Critique {
         let novelty = discovered
             .iter()
             .map(|region| {

@@ -142,6 +142,26 @@ fn main() {
     );
     println!("  [PASS] phase counts cross-check against report + ledger");
 
+    // ---- Sanity: propose sub-phases (anchor / model / score) -----------
+    // Every proposal times exactly one model call; anchors are computed
+    // only for planners that want one; score counts candidates, so it
+    // can exceed the umbrella count but must be live on a fleet that
+    // includes surrogate-backed planners.
+    assert_eq!(
+        profile.count_of(Phase::ProposeModel),
+        profile.count_of(Phase::Propose),
+        "every propose call must time one model sub-phase"
+    );
+    assert!(
+        profile.count_of(Phase::ProposeAnchor) <= profile.count_of(Phase::Propose),
+        "at most one anchor computation per proposal"
+    );
+    assert!(
+        profile.count_of(Phase::ProposeScore) > 0,
+        "surrogate-backed planners must report scored candidates"
+    );
+    println!("  [PASS] propose sub-phase counts cross-check against umbrella");
+
     // ---- Artifact: deterministic counts only ---------------------------
     #[derive(Serialize)]
     struct Out {
@@ -150,15 +170,20 @@ fn main() {
         ledger_events: usize,
         profile: PhaseBreakdown,
         threaded_steal_claims: u64,
+        /// Umbrella propose count over the sum of all phase counts —
+        /// a pure function of `(space, config)` like every other field.
+        propose_count_share: f64,
         deterministic_counts: bool,
         non_perturbing: bool,
     }
+    let total_counts: u64 = profile.phases.iter().map(|s| s.count).sum();
     let out = Out {
         campaigns,
         total_experiments: report.total_experiments,
         ledger_events: ledger.total_events(),
         profile: profile.counts_only(),
         threaded_steal_claims: threaded_counts.count_of(Phase::Steal),
+        propose_count_share: profile.count_of(Phase::Propose) as f64 / total_counts.max(1) as f64,
         deterministic_counts: true,
         non_perturbing: true,
     };

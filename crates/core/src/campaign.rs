@@ -189,9 +189,105 @@ struct Lane {
     evidence: VecDeque<Evidence>,
 }
 
+/// Incrementally maintained anchors: the per-lane running best plus the
+/// campaign-wide best, updated once per result as it arrives.
+///
+/// This replaces the per-iteration [`best_visible`] rescan of every
+/// visible evidence window (O(lanes × window) per proposal) with an O(1)
+/// update per result and an O(lanes)-at-worst fold per proposal. The
+/// fold applies the same composition sharing rules and the same
+/// keep-current-on-ties comparison as the reference scan, over per-lane
+/// running bests instead of windows. Because the campaign-wide best is
+/// always part of the fold's seed (the global best is "always visible"
+/// by design — see [`EVIDENCE_WINDOW`]), every window entry is ≤ it, so
+/// the result is value-identical to the scan; debug builds assert this
+/// against [`best_visible`] on every anchored iteration.
+struct AnchorTracker {
+    lane_best: Vec<Option<Evidence>>,
+    global: Option<Evidence>,
+}
+
+impl AnchorTracker {
+    fn new(n_lanes: usize) -> Self {
+        AnchorTracker {
+            lane_best: vec![None; n_lanes],
+            global: None,
+        }
+    }
+
+    /// Fold one result in. Strict `>` keeps the earliest best on ties,
+    /// matching the reference scan's tie-break.
+    fn record(&mut self, lane: usize, ev: &Evidence) {
+        if self.lane_best[lane]
+            .as_ref()
+            .map(|b| ev.score > b.score)
+            .unwrap_or(true)
+        {
+            self.lane_best[lane] = Some(ev.clone());
+        }
+        if self
+            .global
+            .as_ref()
+            .map(|b| ev.score > b.score)
+            .unwrap_or(true)
+        {
+            self.global = Some(ev.clone());
+        }
+    }
+
+    /// The campaign-wide best so far. Only the reference-scan
+    /// equivalence checks need it outside this impl.
+    #[cfg(any(test, debug_assertions))]
+    fn global(&self) -> Option<&Evidence> {
+        self.global.as_ref()
+    }
+
+    /// The best evidence visible to lane `li` under the composition's
+    /// sharing pattern — the incremental counterpart of
+    /// [`best_visible`], same fold over per-lane bests.
+    fn visible(&self, li: usize, composition: Pattern, shares_globally: bool) -> Option<&Evidence> {
+        fn better<'a>(best: Option<&'a Evidence>, e: &'a Evidence) -> Option<&'a Evidence> {
+            match best {
+                Some(cur) if cur.score >= e.score => Some(cur),
+                _ => Some(e),
+            }
+        }
+        let mut best = self.global.as_ref();
+        if shares_globally {
+            for e in self.lane_best.iter().flatten() {
+                best = better(best, e);
+            }
+        } else if let Pattern::Swarm { k } = composition {
+            // k-local ring sharing.
+            let n = self.lane_best.len();
+            let half = (k / 2).max(1);
+            if let Some(e) = &self.lane_best[li] {
+                best = better(best, e);
+            }
+            for d in 1..=half {
+                if let Some(e) = &self.lane_best[(li + d) % n] {
+                    best = better(best, e);
+                }
+                if let Some(e) = &self.lane_best[(li + n - d % n) % n] {
+                    best = better(best, e);
+                }
+            }
+        } else if let Some(e) = &self.lane_best[li] {
+            best = better(best, e);
+        }
+        best
+    }
+}
+
 /// The best evidence visible to lane `li` under the composition's sharing
 /// pattern, borrowed straight out of the lanes — the decision phase only
 /// ever needs the argmax, so nothing is copied on the hot path.
+///
+/// Retained as the reference implementation for [`AnchorTracker`]: debug
+/// builds re-run this scan on every anchored iteration and assert the
+/// incremental answer matches, and the equivalence tests sweep it across
+/// compositions.
+#[cfg(any(test, debug_assertions))]
 fn best_visible<'a>(
     lanes: &'a [Lane],
     li: usize,
@@ -397,7 +493,7 @@ pub fn run_campaign_profiled(
     let mut time_to_first: Option<SimTime> = None;
     let mut decision_wait_hours = 0.0;
     let mut execution_hours = 0.0;
-    let mut best_evidence: Option<Evidence> = None;
+    let mut anchors = AnchorTracker::new(n_lanes);
 
     'campaign: loop {
         // Pick the lane with the earliest clock (they run concurrently).
@@ -440,13 +536,27 @@ pub fn run_campaign_profiled(
         {
             let t = prof.begin();
             let anchor = if planner.wants_anchor() {
-                best_visible(
-                    &lanes,
-                    li,
-                    cfg.cell.composition,
-                    shares_globally,
-                    best_evidence.as_ref(),
-                )
+                let ta = prof.begin();
+                let a = anchors.visible(li, cfg.cell.composition, shares_globally);
+                prof.end(Phase::ProposeAnchor, ta);
+                #[cfg(debug_assertions)]
+                {
+                    // The incremental tracker must answer exactly what
+                    // the reference window scan would.
+                    let scan = best_visible(
+                        &lanes,
+                        li,
+                        cfg.cell.composition,
+                        shares_globally,
+                        anchors.global(),
+                    );
+                    debug_assert_eq!(
+                        a.map(|e| (e.score, e.params.as_slice())),
+                        scan.map(|e| (e.score, e.params.as_slice())),
+                        "anchor tracker drifted from reference scan"
+                    );
+                }
+                a
             } else {
                 None
             };
@@ -455,8 +565,13 @@ pub fn run_campaign_profiled(
                 lane: li,
                 rng: &mut decide_rng,
                 anchor,
+                scored: 0,
             };
+            let tm = prof.begin();
             planner.propose(&mut pctx, proposal_budget, &mut chosen);
+            prof.end(Phase::ProposeModel, tm);
+            // Counts-only sub-phase: scoring runs inside the model scope.
+            prof.bump(Phase::ProposeScore, pctx.scored);
             prof.end(Phase::Propose, t);
         }
         if recording {
@@ -527,13 +642,7 @@ pub fn run_campaign_profiled(
                 params: c.params.clone(),
                 score,
             };
-            if best_evidence
-                .as_ref()
-                .map(|b| score > b.score)
-                .unwrap_or(true)
-            {
-                best_evidence = Some(ev.clone());
-            }
+            anchors.record(li, &ev);
             lanes[li].evidence.push_back(ev);
             if lanes[li].evidence.len() > EVIDENCE_WINDOW {
                 lanes[li].evidence.pop_front();
@@ -778,6 +887,54 @@ mod tests {
         cfg.max_experiments = 100;
         let r = run_campaign(&space(), &cfg);
         assert!(r.experiments <= 100);
+    }
+
+    #[test]
+    fn anchor_tracker_matches_reference_scan_across_compositions() {
+        use evoflow_sim::SimRng;
+        let patterns = [
+            (Pattern::Single, false, 1usize),
+            (Pattern::Pipeline, true, 1),
+            (Pattern::Hierarchical, true, 3),
+            (Pattern::Mesh, true, 4),
+            (Pattern::Swarm { k: 4 }, false, 8),
+            (Pattern::Swarm { k: 2 }, false, 3),
+        ];
+        for (pi, &(composition, shares_globally, n_lanes)) in patterns.iter().enumerate() {
+            let mut rng = SimRng::from_seed_u64(0xA11C0 + pi as u64);
+            let mut lanes: Vec<Lane> = (0..n_lanes)
+                .map(|_| Lane {
+                    clock: SimTime::ZERO,
+                    evidence: VecDeque::new(),
+                })
+                .collect();
+            let mut tracker = AnchorTracker::new(n_lanes);
+            for step in 0..600 {
+                let li = rng.below(n_lanes);
+                // Coarse scores force plenty of exact ties, exercising
+                // the keep-current tie-break both scan and tracker use.
+                let score = (rng.uniform() * 8.0).floor() / 8.0;
+                let ev = Evidence {
+                    params: vec![rng.uniform(), score],
+                    score,
+                };
+                tracker.record(li, &ev);
+                lanes[li].evidence.push_back(ev);
+                if lanes[li].evidence.len() > EVIDENCE_WINDOW {
+                    lanes[li].evidence.pop_front();
+                }
+                for q in 0..n_lanes {
+                    let fast = tracker.visible(q, composition, shares_globally);
+                    let scan =
+                        best_visible(&lanes, q, composition, shares_globally, tracker.global());
+                    assert_eq!(
+                        fast.map(|e| (e.score, e.params.clone())),
+                        scan.map(|e| (e.score, e.params.clone())),
+                        "{composition:?} lane {q} step {step}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

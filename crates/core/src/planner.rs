@@ -36,11 +36,13 @@ use evoflow_agents::{
     AnalysisAgent, Candidate, DesignAgent, Evidence, HypothesisAgent, MetaOptimizerAgent, Strategy,
 };
 use evoflow_cogsim::{CognitiveModel, ModelProfile, TokenUsage};
-use evoflow_learn::{BanditPolicy, PsoConfig, ThompsonBeta, Ucb1};
+use evoflow_learn::{BanditPolicy, PsoConfig, ScoreScratch, ThompsonBeta, Ucb1};
 use evoflow_sim::{RngRegistry, SimRng};
 use evoflow_sm::IntelligenceLevel;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 mod ensemble;
 
@@ -61,6 +63,12 @@ pub struct PlanCtx<'a> {
     /// pattern. Only populated when [`Planner::wants_anchor`] returns
     /// true — computing it costs a scan of the visible evidence windows.
     pub anchor: Option<&'a Evidence>,
+    /// Candidates the planner scored against a surrogate model while
+    /// serving this call. Planners bump it whenever they run an
+    /// acquisition or prediction batch; the campaign folds it into the
+    /// `propose.score` sub-phase counter. Purely a function of the
+    /// planner's (deterministic) decisions — never of wall-clock.
+    pub scored: u64,
 }
 
 /// One measured outcome fed back to the planner.
@@ -310,6 +318,18 @@ impl PlannerKind {
 
     /// Build the planner for a campaign.
     pub fn build(&self, b: &PlannerBuild<'_>) -> Box<dyn Planner> {
+        self.build_with(b, None)
+    }
+
+    /// [`build`](Self::build) with an optional shared scoring scratch.
+    /// A [`Meta`](Self::Meta) pool passes one down so every
+    /// surrogate-backed child reuses the same candidate/score buffers —
+    /// proposals are sequential within a campaign, so sharing is safe.
+    fn build_with(
+        &self,
+        b: &PlannerBuild<'_>,
+        scratch: Option<&Rc<RefCell<ScoreScratch>>>,
+    ) -> Box<dyn Planner> {
         match self {
             PlannerKind::Grid => Box::new(GridPlanner::new(
                 b.dim,
@@ -318,8 +338,11 @@ impl PlannerKind {
             )),
             PlannerKind::Adaptive => Box::new(AdaptivePlanner::new(b.n_lanes)),
             PlannerKind::Evidence => Box::new(EvidencePlanner),
-            PlannerKind::Surrogate => Box::new(SurrogatePlanner::new(b.space.threshold)),
-            PlannerKind::Agentic => Box::new(AgenticPlanner::new(b)),
+            PlannerKind::Surrogate => Box::new(SurrogatePlanner::new(
+                b.space.threshold,
+                scratch.map(Rc::clone),
+            )),
+            PlannerKind::Agentic => Box::new(AgenticPlanner::new(b, scratch.map(Rc::clone))),
             PlannerKind::Bandit {
                 policy,
                 regions_per_dim,
@@ -344,7 +367,14 @@ impl PlannerKind {
                 if kinds.is_empty() {
                     kinds.push(PlannerKind::Evidence);
                 }
-                let children = kinds.iter().map(|k| k.build(b)).collect();
+                // One scratch for the whole pool: pooled surrogates
+                // score one batch at a time, so the buffers never
+                // contend and the pool allocates them once.
+                let pool_scratch = scratch.map(Rc::clone).unwrap_or_default();
+                let children = kinds
+                    .iter()
+                    .map(|k| k.build_with(b, Some(&pool_scratch)))
+                    .collect();
                 Box::new(MetaPlanner::new(children))
             }
             PlannerKind::Ensemble { specialists } => {
@@ -546,9 +576,16 @@ pub struct SurrogatePlanner {
 }
 
 impl SurrogatePlanner {
-    fn new(threshold: f64) -> Self {
+    /// Candidates scored per acquisition scan.
+    const POOL: usize = 48;
+
+    fn new(threshold: f64, scratch: Option<Rc<RefCell<ScoreScratch>>>) -> Self {
+        let analysis = match scratch {
+            Some(s) => AnalysisAgent::with_scratch(0.12, s),
+            None => AnalysisAgent::new(0.12),
+        };
         SurrogatePlanner {
-            analysis: AnalysisAgent::new(0.12),
+            analysis,
             threshold,
         }
     }
@@ -562,11 +599,12 @@ impl Planner for SurrogatePlanner {
     fn propose(&mut self, ctx: &mut PlanCtx<'_>, batch: usize, out: &mut Vec<Candidate>) {
         for _ in 0..batch {
             out.push(Candidate {
-                params: self.analysis.recommend(ctx.dim, 48, ctx.rng),
+                params: self.analysis.recommend(ctx.dim, Self::POOL, ctx.rng),
                 rationale: "acquisition argmin J".into(),
                 confidence: 0.7,
                 hallucinated: false,
             });
+            ctx.scored += Self::POOL as u64;
         }
     }
 
@@ -593,7 +631,7 @@ pub struct AgenticPlanner {
 }
 
 impl AgenticPlanner {
-    fn new(b: &PlannerBuild<'_>) -> Self {
+    fn new(b: &PlannerBuild<'_>, scratch: Option<Rc<RefCell<ScoreScratch>>>) -> Self {
         let hypothesis = HypothesisAgent::new(
             CognitiveModel::new(
                 ModelProfile::reasoning_lrm(),
@@ -601,7 +639,10 @@ impl AgenticPlanner {
             ),
             b.dim,
         );
-        let mut analysis = AnalysisAgent::new(0.12);
+        let mut analysis = match scratch {
+            Some(s) => AnalysisAgent::with_scratch(0.12, s),
+            None => AnalysisAgent::new(0.12),
+        };
         // Literature bootstrap: mine the published record before the
         // first experiment runs.
         let corpus = b.space.literature_corpus(50, b.seed ^ 0xBEEF);
@@ -644,7 +685,10 @@ impl Planner for AgenticPlanner {
         let anchor = ctx.anchor.map(|e| e.params.as_slice());
         let mut proposals = self.hypothesis.propose_anchored(anchor, batch);
         if self.strategy.use_recommendations && !proposals.is_empty() {
-            let rec = self.analysis.recommend(ctx.dim, 48, ctx.rng);
+            let rec = self
+                .analysis
+                .recommend(ctx.dim, SurrogatePlanner::POOL, ctx.rng);
+            ctx.scored += SurrogatePlanner::POOL as u64;
             proposals[0] = Candidate {
                 params: rec,
                 rationale: "analysis-agent recommendation".into(),
@@ -701,6 +745,10 @@ pub struct BanditPlanner {
     label: &'static str,
     per_dim: usize,
     dim: usize,
+    /// Coordinate staging buffer, reused across proposals; each
+    /// candidate still owns its `params` (one clone), but digit
+    /// decomposition and sampling never reallocate.
+    coords: Vec<f64>,
 }
 
 impl BanditPlanner {
@@ -715,6 +763,7 @@ impl BanditPlanner {
             label,
             per_dim,
             dim,
+            coords: Vec::with_capacity(dim),
         }
     }
 
@@ -739,15 +788,15 @@ impl Planner for BanditPlanner {
     fn propose(&mut self, ctx: &mut PlanCtx<'_>, batch: usize, out: &mut Vec<Candidate>) {
         for _ in 0..batch {
             let mut arm = self.policy.select(ctx.rng);
-            let params: Vec<f64> = (0..self.dim)
-                .map(|_| {
-                    let digit = arm % self.per_dim;
-                    arm /= self.per_dim;
-                    (digit as f64 + ctx.rng.uniform()) / self.per_dim as f64
-                })
-                .collect();
+            self.coords.clear();
+            for _ in 0..self.dim {
+                let digit = arm % self.per_dim;
+                arm /= self.per_dim;
+                self.coords
+                    .push((digit as f64 + ctx.rng.uniform()) / self.per_dim as f64);
+            }
             out.push(Candidate {
-                params,
+                params: self.coords.clone(),
                 rationale: "bandit region arm".into(),
                 confidence: 0.55,
                 hallucinated: false,
@@ -828,11 +877,11 @@ impl Planner for SwarmPlanner {
             // Move evaluated particles before re-proposing them; fresh
             // particles fly from their seeded initial positions first.
             if let Some((pb, _)) = &self.pbest[i] {
-                let social = self.gbest.as_ref().map(|(g, _)| g.clone());
+                let social = self.gbest.as_ref().map(|(g, _)| g.as_slice());
                 for d in 0..ctx.dim {
                     let r1 = ctx.rng.uniform();
                     let r2 = ctx.rng.uniform();
-                    let toward_g = social.as_ref().map(|g| g[d]).unwrap_or(pb[d]);
+                    let toward_g = social.map(|g| g[d]).unwrap_or(pb[d]);
                     self.vel[i][d] = (self.cfg.inertia * self.vel[i][d]
                         + self.cfg.cognitive * r1 * (pb[d] - self.pos[i][d])
                         + self.cfg.social * r2 * (toward_g - self.pos[i][d]))
@@ -1050,6 +1099,7 @@ mod tests {
             lane: 0,
             rng: &mut rng,
             anchor: None,
+            scored: 0,
         };
         p.propose(&mut ctx, 16, &mut out);
         assert_eq!(out.len(), 16);
@@ -1071,6 +1121,7 @@ mod tests {
                 lane: 0,
                 rng: &mut rng,
                 anchor: None,
+                scored: 0,
             };
             p.propose(&mut ctx, 4, &mut out);
             for c in &out {
@@ -1110,6 +1161,7 @@ mod tests {
             lane: 0,
             rng: &mut rng,
             anchor: None,
+            scored: 0,
         };
         p.propose(&mut ctx, 4, &mut out);
         assert_eq!(out.len(), 4);

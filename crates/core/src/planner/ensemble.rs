@@ -46,7 +46,9 @@ use evoflow_protocol::acl::ConversationTable;
 use evoflow_protocol::{decode_frame, encode_frame, AclMessage, Frame, FrameKind, Performative};
 use evoflow_sim::SimRng;
 
-use super::{Observation, PlanCtx, Planner, PlannerBuild, PlannerTelemetry, SURROGATE_CAP};
+use super::{
+    Observation, PlanCtx, Planner, PlannerBuild, PlannerTelemetry, SurrogatePlanner, SURROGATE_CAP,
+};
 use crate::ledger::CampaignEvent;
 
 /// Default specialist breadth: each of generator and evolver contributes
@@ -129,6 +131,12 @@ pub struct EnsemblePlanner {
     frontier: Vec<Evidence>,
     /// Source of each candidate proposed this iteration, in order.
     pending: Vec<Source>,
+    /// Flattened pool coordinates for the reflector's batched surrogate
+    /// pass, reused across rounds.
+    pool_flat: Vec<f64>,
+    /// `(predicted, uncertainty)` per pool candidate, reused across
+    /// rounds.
+    pool_preds: Vec<(f64, f64)>,
     obs_cursor: usize,
     gen_runs: u64,
     gen_hits: u64,
@@ -194,6 +202,8 @@ impl EnsemblePlanner {
             discovered: Vec::new(),
             frontier: Vec::new(),
             pending: Vec::new(),
+            pool_flat: Vec::new(),
+            pool_preds: Vec::new(),
             obs_cursor: 0,
             gen_runs: 0,
             gen_hits: 0,
@@ -352,7 +362,10 @@ impl Planner for EnsemblePlanner {
         );
         let mut gen_pool = self.generator.propose_anchored(anchor.as_deref(), n_gen);
         if self.strategy.use_recommendations && !gen_pool.is_empty() {
-            let rec = self.analysis.recommend(ctx.dim, 48, ctx.rng);
+            let rec = self
+                .analysis
+                .recommend(ctx.dim, SurrogatePlanner::POOL, ctx.rng);
+            ctx.scored += SurrogatePlanner::POOL as u64;
             gen_pool[0] = Candidate {
                 params: rec,
                 rationale: "analysis-agent recommendation".into(),
@@ -401,9 +414,25 @@ impl Planner for EnsemblePlanner {
         }
 
         // -- reflection -----------------------------------------------------
+        // One batched surrogate pass for the whole pool: flatten the
+        // coordinates, predict every candidate in a single scan of the
+        // observations, then critique against the precomputed pairs.
+        // Bit-identical to per-candidate `critique`.
+        self.pool_flat.clear();
+        for (c, _) in &pool {
+            self.pool_flat.extend_from_slice(&c.params);
+        }
+        self.pool_preds.clear();
+        self.analysis
+            .predict_batch(ctx.dim, &self.pool_flat, &mut self.pool_preds);
+        ctx.scored += pool.len() as u64;
         let critiques: Vec<_> = pool
             .iter()
-            .map(|(c, _)| self.reflector.critique(c, &self.analysis, &self.discovered))
+            .zip(&self.pool_preds)
+            .map(|((c, _), &(pred, unc))| {
+                self.reflector
+                    .critique_scored(c, pred, unc, &self.discovered)
+            })
             .collect();
         let rederivations = critiques
             .iter()
@@ -659,6 +688,7 @@ mod tests {
             lane: 0,
             rng: &mut rng,
             anchor: None,
+            scored: 0,
         };
         let mut out = Vec::new();
         p.propose(&mut ctx, 4, &mut out);
@@ -712,6 +742,7 @@ mod tests {
                 lane: 0,
                 rng: &mut rng,
                 anchor: None,
+                scored: 0,
             };
             let mut out = Vec::new();
             p.propose(&mut ctx, 2, &mut out);

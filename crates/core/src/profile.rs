@@ -5,7 +5,9 @@
 //! chasing throughput: **propose** (planner decision), **execute**
 //! (simulated measurement), **observe** (feeding outcomes back into the
 //! planner), **emit** (event construction + batched observer delivery),
-//! and **steal** (fleet task claiming). A [`PhaseProfiler`] threads
+//! and **steal** (fleet task claiming) — with propose further split into
+//! **propose.anchor** / **propose.model** / **propose.score** sub-phases
+//! (see [`Phase`]). A [`PhaseProfiler`] threads
 //! through [`run_campaign_profiled`](crate::run_campaign_profiled) and
 //! the fleet executor and aggregates per-phase call counts and wall
 //! nanoseconds.
@@ -27,6 +29,15 @@ use std::borrow::Cow;
 use std::time::Instant;
 
 /// A phase of the recording hot path.
+///
+/// The `propose` umbrella is additionally split into three sub-phases so
+/// profiles attribute *where* decision time goes: `propose.anchor` (the
+/// visible-evidence lookup), `propose.model` (the planner's own
+/// `propose` call, surrogate math included), and `propose.score` (a
+/// counts-only tally of candidates scored against a surrogate — its
+/// scoring runs inside `propose.model`'s scope, so it carries no
+/// separate wall time). Sub-phase counts do not sum to the umbrella's:
+/// the umbrella counts iterations, the sub-phases count their own units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Planner decision: anchor lookup + `Planner::propose`.
@@ -39,13 +50,31 @@ pub enum Phase {
     Emit,
     /// Fleet executor task claiming (chunked CAS on the shared cursor).
     Steal,
+    /// Propose sub-phase: computing the best-visible-evidence anchor
+    /// (counted only on iterations whose planner wants one).
+    ProposeAnchor,
+    /// Propose sub-phase: the planner's `propose` call itself.
+    ProposeModel,
+    /// Propose sub-phase: candidates scored against a surrogate model
+    /// (batched acquisition/prediction passes). Counts-only — the time
+    /// is inside [`ProposeModel`](Self::ProposeModel).
+    ProposeScore,
 }
 
 /// Number of phases (array sizing).
-const PHASES: usize = 5;
+const PHASES: usize = 8;
 
 /// Stable names, indexed by `Phase as usize`.
-const PHASE_NAMES: [&str; PHASES] = ["propose", "execute", "observe", "emit", "steal"];
+const PHASE_NAMES: [&str; PHASES] = [
+    "propose",
+    "execute",
+    "observe",
+    "emit",
+    "steal",
+    "propose.anchor",
+    "propose.model",
+    "propose.score",
+];
 
 impl Phase {
     /// Stable lowercase name (JSON keys, tables).
@@ -61,6 +90,9 @@ impl Phase {
             Phase::Observe,
             Phase::Emit,
             Phase::Steal,
+            Phase::ProposeAnchor,
+            Phase::ProposeModel,
+            Phase::ProposeScore,
         ]
     }
 }

@@ -32,4 +32,7 @@ pub use qlearn::{train_corridor, Corridor, QConfig, QLearner};
 pub use search::{
     grid_search, random_search, simulated_annealing, successive_halving, AnnealConfig,
 };
-pub use surrogate::{acquisition, bayes_opt, BoConfig, OptResult, RbfSurrogate};
+pub use surrogate::reference::NaiveRbfSurrogate;
+pub use surrogate::{
+    acquisition, bayes_opt, AccScratch, BoConfig, OptResult, RbfSurrogate, ScoreScratch,
+};

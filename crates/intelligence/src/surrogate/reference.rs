@@ -1,0 +1,99 @@
+//! The pre-overhaul naive surrogate, retained verbatim as the
+//! bit-identity oracle.
+//!
+//! [`NaiveRbfSurrogate`] is the `Vec<Vec<f64>>` implementation the flat
+//! [`RbfSurrogate`](super::RbfSurrogate) replaced: per-candidate `best()`
+//! rescans, per-call allocations, one candidate at a time. It exists so
+//! the `surrogate_equivalence` property battery and the `bench_propose`
+//! gate can assert — bit for bit — that the optimized path computes the
+//! same numbers. Nothing on the hot path should use this type.
+
+/// Naive Gaussian-kernel RBF regressor over row-per-observation storage.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveRbfSurrogate {
+    points: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    /// Kernel bandwidth.
+    pub bandwidth: f64,
+}
+
+impl NaiveRbfSurrogate {
+    /// Create an empty surrogate with the given kernel bandwidth.
+    pub fn new(bandwidth: f64) -> Self {
+        NaiveRbfSurrogate {
+            points: Vec::new(),
+            values: Vec::new(),
+            bandwidth: bandwidth.max(1e-6),
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the surrogate has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Add an observation. Mirrors the optimized surrogate's input
+    /// hygiene (finite-only, fixed dim) so both sides see the same data.
+    pub fn observe(&mut self, x: &[f64], y: f64) {
+        if !(y.is_finite() && x.iter().all(|v| v.is_finite())) {
+            return;
+        }
+        if let Some(first) = self.points.first() {
+            if first.len() != x.len() {
+                return;
+            }
+        }
+        self.points.push(x.to_vec());
+        self.values.push(y);
+    }
+
+    /// Best (lowest) observed value, by full scan — first minimum wins
+    /// ties, exactly like `Iterator::min_by`.
+    pub fn best(&self) -> Option<(&[f64], f64)> {
+        let (i, y) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))?;
+        Some((&self.points[i], *y))
+    }
+
+    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+    }
+
+    /// Predict `(mean, uncertainty)` at `x` — the original per-candidate
+    /// loop, float op for float op.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        if self.points.is_empty() {
+            return (0.0, 1.0);
+        }
+        let h2 = self.bandwidth * self.bandwidth;
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        let mut min_d2 = f64::INFINITY;
+        for (p, v) in self.points.iter().zip(&self.values) {
+            let d2 = Self::sq_dist(p, x);
+            min_d2 = min_d2.min(d2);
+            let w = (-d2 / (2.0 * h2)).exp().max(1e-300);
+            wsum += w;
+            vsum += w * v;
+        }
+        let mean = vsum / wsum;
+        let uncertainty = 1.0 - (-min_d2 / (2.0 * h2)).exp();
+        (mean, uncertainty)
+    }
+
+    /// The original acquisition: incumbent via full `best()` rescan, then
+    /// a single-candidate predict.
+    pub fn acquisition(&self, x: &[f64], kappa: f64) -> f64 {
+        let incumbent = self.best().map(|(_, y)| y).unwrap_or(0.0);
+        let (mean, unc) = self.predict(x);
+        (incumbent - mean) + kappa * unc
+    }
+}
